@@ -1,0 +1,384 @@
+(* cpsrisk — command-line front end of the risk-assessment framework.
+
+   Subcommands:
+     casestudy   reproduce the paper's §VII water-tank evaluation
+     pipeline    run the Fig. 1 pipeline end to end
+     matrices    print the qualitative risk matrices (Table I, IEC 61508)
+     model       parse, validate and inspect a textual system model
+     threats     threat landscape of a typed model
+     solve       run the embedded ASP solver on a program file
+     score       CVSS v3.1 calculator *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* casestudy                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let casestudy backend =
+  print_endline "Water tank case study (paper §VII)\n";
+  (match backend with
+  | `Dynamics ->
+      print_string
+        (Cpsrisk.Report.table_ii
+           ~fault_ids:[ "F1"; "F2"; "F3"; "F4" ]
+           ~mitigation_ids:[ "M1"; "M2" ]
+           (Cpsrisk.Water_tank.table_ii_rows ()))
+  | `Asp ->
+      List.iter
+        (fun (label, scenario) ->
+          let verdicts = Cpsrisk.Water_tank.asp_verdicts ~scenario () in
+          Printf.printf "%-4s %s\n" label
+            (String.concat "  "
+               (List.map
+                  (fun (r, v) ->
+                    Printf.sprintf "%s=%s" r (if v then "Violated" else "-"))
+                  verdicts)))
+        Cpsrisk.Water_tank.paper_scenarios);
+  print_newline ();
+  let rows = Cpsrisk.Water_tank.full_sweep ~mitigations:[ "M1"; "M2" ] () in
+  (match Epa.Analysis.most_severe rows with
+  | worst :: _ ->
+      Printf.printf
+        "most severe combination: {%s} (%d violations from %d faults)\n"
+        (String.concat "," worst.Epa.Analysis.scenario.Epa.Scenario.faults)
+        (List.length (Epa.Analysis.violations worst))
+        (List.length worst.Epa.Analysis.scenario.Epa.Scenario.faults)
+  | [] -> ());
+  0
+
+let backend_arg =
+  let backend_conv = Arg.enum [ ("dynamics", `Dynamics); ("asp", `Asp) ] in
+  Arg.(
+    value & opt backend_conv `Dynamics
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Analysis backend: $(b,dynamics) (LTLf model checking) or \
+              $(b,asp) (generated temporal ASP program).")
+
+let casestudy_cmd =
+  Cmd.v
+    (Cmd.info "casestudy" ~doc:"Reproduce the paper's water-tank evaluation (Table II)")
+    Term.(const casestudy $ backend_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pipeline                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline budget =
+  let artifacts =
+    Cpsrisk.Pipeline.run (Cpsrisk.Pipeline.water_tank_config ?budget ())
+  in
+  print_string (Cpsrisk.Pipeline.render_log artifacts);
+  print_newline ();
+  print_endline "confirmed hazards (ranked):";
+  List.iter
+    (fun h ->
+      Printf.printf "  %-28s risk %s\n"
+        (Epa.Scenario.label h.Cpsrisk.Pipeline.row.Epa.Analysis.scenario)
+        (Qual.Level.to_string h.Cpsrisk.Pipeline.risk))
+    artifacts.Cpsrisk.Pipeline.confirmed_hazards;
+  0
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"N" ~doc:"Mitigation budget constraint.")
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Run the seven-step Fig. 1 pipeline end to end")
+    Term.(const pipeline $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* matrices                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let matrices () =
+  print_endline "Table I — O-RA risk matrix (LM x LEF):\n";
+  print_string (Cpsrisk.Report.table_i ());
+  print_endline "\nIEC 61508 risk classes (likelihood x consequence):\n";
+  print_string (Cpsrisk.Report.iec_matrix ());
+  print_endline "\nHierarchical evaluation matrix (Fig. 3):\n";
+  print_string (Cpsrisk.Report.hierarchical_matrix ());
+  0
+
+let matrices_cmd =
+  Cmd.v
+    (Cmd.info "matrices" ~doc:"Print the qualitative risk matrices")
+    Term.(const matrices $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* model                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let model_cmd_run file =
+  match Archimate.Text.parse (read_file file) with
+  | exception Archimate.Text.Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  | m ->
+      print_string (Cpsrisk.Report.model_inventory m);
+      let issues = Archimate.Validate.run m in
+      if issues = [] then print_endline "\nvalidation: clean"
+      else begin
+        print_endline "\nvalidation:";
+        List.iter
+          (fun i -> Format.printf "  %a@." Archimate.Validate.pp_issue i)
+          issues
+      end;
+      if Archimate.Validate.is_valid m then 0 else 1
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Textual system model.")
+
+let model_cmd =
+  Cmd.v
+    (Cmd.info "model" ~doc:"Parse, validate and inspect a textual system model")
+    Term.(const model_cmd_run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* threats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let threats file =
+  match Archimate.Text.parse (read_file file) with
+  | exception Archimate.Text.Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+  | m ->
+      List.iter
+        (fun (e : Archimate.Element.t) ->
+          match Archimate.Element.property "component_type" e with
+          | None -> ()
+          | Some ty ->
+              let threats = Threatdb.Db.threats_for_type ty in
+              if threats <> [] then begin
+                Printf.printf "%s (%s):\n" e.Archimate.Element.id ty;
+                List.iter
+                  (fun (t : Threatdb.Db.threat) ->
+                    Printf.printf "  %-6s %-36s severity %s\n"
+                      t.Threatdb.Db.technique.Threatdb.Attck.id
+                      t.Threatdb.Db.technique.Threatdb.Attck.name
+                      (Qual.Level.to_string t.Threatdb.Db.severity))
+                  threats
+              end)
+        (Archimate.Model.elements m);
+      0
+
+let threats_cmd =
+  Cmd.v
+    (Cmd.info "threats" ~doc:"Threat landscape of a typed system model")
+    Term.(const threats $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let solve file limit optimal =
+  match Asp.Parser.parse_program (read_file file) with
+  | exception Asp.Parser.Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      1
+  | program -> (
+      match Asp.Grounder.ground program with
+      | exception Asp.Grounder.Unsafe msg | exception Asp.Grounder.Overflow msg ->
+          Printf.eprintf "grounding error: %s\n" msg;
+          1
+      | ground -> (
+          let models =
+            if optimal then Asp.Solver.solve_optimal ground
+            else Asp.Solver.solve ?limit ground
+          in
+          let shows = ground.Asp.Ground.shows in
+          let project m =
+            if shows = [] then m else Asp.Model.project shows m
+          in
+          match models with
+          | [] ->
+              print_endline "UNSATISFIABLE";
+              1
+          | models ->
+              List.iteri
+                (fun i m ->
+                  Printf.printf "Answer %d: %s\n" (i + 1)
+                    (Asp.Model.to_string (project m)))
+                models;
+              Printf.printf "SATISFIABLE (%d model%s)\n" (List.length models)
+                (if List.length models = 1 then "" else "s");
+              0))
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "models" ] ~docv:"N" ~doc:"Stop after $(docv) models.")
+
+let optimal_arg =
+  Arg.(
+    value & flag
+    & info [ "opt" ] ~doc:"Report only weak-constraint-optimal models.")
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run the embedded ASP solver on a program file")
+    Term.(const solve $ file_arg $ limit_arg $ optimal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* score                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let score vector =
+  match Threatdb.Cvss.of_vector vector with
+  | Error msg ->
+      Printf.eprintf "invalid vector: %s\n" msg;
+      1
+  | Ok base ->
+      let s = Threatdb.Cvss.base_score base in
+      Printf.printf "%s\nbase score: %.1f (%s)\n"
+        (Threatdb.Cvss.to_vector base) s
+        (Threatdb.Cvss.severity_to_string (Threatdb.Cvss.severity s));
+      0
+
+let vector_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"VECTOR" ~doc:"CVSS v3.1 vector string.")
+
+let score_cmd =
+  Cmd.v
+    (Cmd.info "score" ~doc:"CVSS v3.1 base-score calculator")
+    Term.(const score $ vector_arg)
+
+(* ------------------------------------------------------------------ *)
+(* attackgraph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let attackgraph file dot =
+  let model =
+    match file with
+    | Some f -> Archimate.Text.parse (read_file f)
+    | None -> Cpsrisk.Water_tank.refined_model
+  in
+  let g = Attackgraph.Graph.generate model in
+  if dot then begin
+    print_string (Attackgraph.Graph.to_dot g);
+    0
+  end
+  else begin
+    let n_nodes, n_edges = Attackgraph.Graph.size g in
+    Printf.printf "nodes: %d, edges: %d\n" n_nodes n_edges;
+    let scenarios = Attackgraph.Graph.attack_scenarios ~max_length:5 g in
+    Printf.printf "entry->goal scenarios (max 5 steps): %d\n\n"
+      (List.length scenarios);
+    List.iteri
+      (fun i path ->
+        if i < 20 then
+          Printf.printf "[%s] %s\n"
+            (Qual.Level.to_string (Attackgraph.Graph.severity path))
+            (String.concat " -> "
+               (List.map (Format.asprintf "%a" Attackgraph.Graph.pp_node) path)))
+      scenarios;
+    if List.length scenarios > 20 then
+      Printf.printf "... (%d more)\n" (List.length scenarios - 20);
+    0
+  end
+
+let optional_file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:"Textual system model (defaults to the built-in case study).")
+
+let dot_flag =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a listing.")
+
+let attackgraph_cmd =
+  Cmd.v
+    (Cmd.info "attackgraph"
+       ~doc:"Generate the attack graph of a typed system model")
+    Term.(const attackgraph $ optional_file_arg $ dot_flag)
+
+(* ------------------------------------------------------------------ *)
+(* dot (model diagram)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd_run file =
+  let model =
+    match file with
+    | Some f -> Archimate.Text.parse (read_file f)
+    | None -> Cpsrisk.Water_tank.refined_model
+  in
+  print_string (Archimate.Dot.render model);
+  0
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render a system model as Graphviz")
+    Term.(const dot_cmd_run $ optional_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* quant                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let quant p_physical p_attack =
+  let rows = Cpsrisk.Water_tank.full_sweep () in
+  let p = function "F4" -> p_attack | _ -> p_physical in
+  List.iter
+    (fun rid ->
+      let tree = Fta.From_epa.of_analysis ~requirement:rid rows in
+      Printf.printf "P(%s violated) = %.4f\n" rid
+        (Fta.Quant.top_event_probability tree p))
+    [ "R1"; "R2" ];
+  print_endline "\nBirnbaum importance (R1):";
+  List.iter
+    (fun (e, v) -> Printf.printf "  %-4s %.4f\n" e v)
+    (Fta.Quant.birnbaum_importance
+       (Fta.From_epa.of_analysis ~requirement:"R1" rows)
+       p);
+  0
+
+let p_physical_arg =
+  Arg.(
+    value & opt float 0.02
+    & info [ "p-physical" ] ~docv:"P"
+        ~doc:"Per-mission probability of each physical fault mode.")
+
+let p_attack_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "p-attack" ] ~docv:"P"
+        ~doc:"Per-mission probability of the workstation compromise (F4).")
+
+let quant_cmd =
+  Cmd.v
+    (Cmd.info "quant"
+       ~doc:"Quantitative FTA over the case study (probabilities, importance)")
+    Term.(const quant $ p_physical_arg $ p_attack_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "preliminary risk and mitigation assessment for cyber-physical systems" in
+  Cmd.group
+    (Cmd.info "cpsrisk" ~version:"1.0.0" ~doc)
+    [
+      casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; threats_cmd;
+      solve_cmd; score_cmd; attackgraph_cmd; dot_cmd; quant_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

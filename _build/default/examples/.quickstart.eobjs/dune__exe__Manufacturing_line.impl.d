@@ -1,0 +1,1 @@
+examples/manufacturing_line.ml: Archimate Cpsrisk Epa List Mitigation Model Printf Qual Relationship String Threatdb

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpsrisk Epa List Printf String

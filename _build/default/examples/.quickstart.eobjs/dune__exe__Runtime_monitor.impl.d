@@ -1,0 +1,1 @@
+examples/runtime_monitor.ml: Cpsrisk Epa List Ltl Printf Qual

@@ -1,0 +1,1 @@
+examples/threat_assessment.ml: Archimate Attackgraph Cegar Cpsrisk Format List Option Printf Qual String Threatdb

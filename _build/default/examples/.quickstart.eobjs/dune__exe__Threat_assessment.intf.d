@@ -1,0 +1,1 @@
+examples/threat_assessment.mli:

@@ -1,0 +1,1 @@
+examples/uncertainty_analysis.ml: List Option Printf Qual Risk Rough Sensitivity String

@@ -1,0 +1,114 @@
+(* Uncertainty handling (paper §V): qualitative risk under uncertain
+   attributes with Rough Set Theory and one-at-a-time sensitivity
+   analysis, ending with attribute reducts that tell the analyst which
+   estimates actually matter.
+
+   Run with: dune exec examples/uncertainty_analysis.exe *)
+
+let lvl s = Option.get (Qual.Level.of_string s)
+
+let () =
+  print_endline "=== The paper's §V.A example ===\n";
+  (* LEF is known Low; LM is only known as a set of possible categories *)
+  let narrow = { Rough.Risk_bridge.lm = [ lvl "VL"; lvl "L" ]; lef = [ lvl "L" ] } in
+  let wide =
+    {
+      Rough.Risk_bridge.lm = [ lvl "L"; lvl "M"; lvl "H"; lvl "VH" ];
+      lef = [ lvl "L" ];
+    }
+  in
+  let describe name u =
+    let outcomes =
+      Rough.Risk_bridge.possible_risks u
+      |> List.map Qual.Level.to_string |> String.concat ", "
+    in
+    Printf.printf "%-28s possible risk {%s} -> %s\n" name outcomes
+      (if Rough.Risk_bridge.is_sensitive u then
+         "SENSITIVE: further evaluation required"
+       else "insensitive: conclusion is certain")
+  in
+  describe "LM in {VL,L}, LEF=L:" narrow;
+  describe "LM in {L..VH}, LEF=L:" wide;
+
+  print_endline "\n=== RST three-region view of the wide case ===\n";
+  let sys = Rough.Risk_bridge.worlds wide in
+  let risky =
+    List.filter
+      (fun w -> Rough.Infosys.value sys w "risk" <> "VL")
+      (Rough.Infosys.objects sys)
+  in
+  let conditions = Rough.Infosys.restrict_attributes [ "lm" ] sys in
+  let regions = Rough.Approx.regions conditions risky in
+  Printf.printf "target: worlds with risk above VL\n";
+  Printf.printf "  positive  (certainly risky): %s\n"
+    (String.concat ", " regions.Rough.Approx.positive);
+  Printf.printf "  boundary  (undecidable):     %s\n"
+    (String.concat ", " regions.Rough.Approx.boundary);
+  Printf.printf "  negative  (certainly safe):  %s\n"
+    (String.concat ", " regions.Rough.Approx.negative);
+
+  print_endline "\n=== Sensitivity analysis (tornado) ===\n";
+  let f assignment =
+    Risk.Ora.risk
+      ~lm:(List.assoc "loss_magnitude" assignment)
+      ~lef:(List.assoc "loss_event_frequency" assignment)
+  in
+  let report =
+    Sensitivity.Oat.analyze
+      ~factors:
+        [
+          { Sensitivity.Oat.name = "loss_magnitude"; candidates = Qual.Level.all };
+          {
+            Sensitivity.Oat.name = "loss_event_frequency";
+            candidates = [ lvl "VL"; lvl "L"; lvl "M" ];
+          };
+        ]
+      ~baseline:
+        [ ("loss_magnitude", lvl "M"); ("loss_event_frequency", lvl "L") ]
+      ~f
+  in
+  print_string (Sensitivity.Oat.render report);
+
+  print_endline "\n=== Which factors does the decision depend on? ===\n";
+  (* a small decision table collected from past assessments *)
+  let assessments =
+    Rough.Infosys.of_table
+      ~attributes:[ "exposure"; "skill_needed"; "asset_value"; "decision" ]
+      [
+        ("a1", [ "internet"; "low"; "high"; "fix_now" ]);
+        ("a2", [ "internet"; "high"; "high"; "fix_now" ]);
+        ("a3", [ "internal"; "low"; "high"; "plan" ]);
+        ("a4", [ "internal"; "high"; "low"; "accept" ]);
+        ("a5", [ "internet"; "low"; "low"; "plan" ]);
+        ("a6", [ "internal"; "low"; "low"; "accept" ]);
+      ]
+  in
+  let reducts = Rough.Reduct.reducts ~decision:"decision" assessments in
+  List.iter
+    (fun r -> Printf.printf "reduct: {%s}\n" (String.concat ", " r))
+    reducts;
+  Printf.printf "core:   {%s}\n"
+    (String.concat ", " (Rough.Reduct.core ~decision:"decision" assessments));
+
+  print_endline "\ncertain decision rules:";
+  List.iter
+    (fun rule ->
+      if rule.Rough.Reduct.certain then
+        Printf.printf "  %s\n" (Rough.Reduct.rule_to_string rule))
+    (Rough.Reduct.induce_rules ~decision:"decision" assessments);
+
+  print_endline "\n=== Full O-RA derivation with explanation (Fig. 2) ===\n";
+  let attrs =
+    {
+      Risk.Ora.no_attributes with
+      Risk.Ora.contact_frequency = Some (lvl "H");
+      probability_of_action = Some (lvl "M");
+      threat_capability = Some (lvl "H");
+      resistance_strength = Some (lvl "M");
+      primary_loss = Some (lvl "H");
+      secondary_loss = Some (lvl "L");
+    }
+  in
+  match Risk.Ora.assess attrs with
+  | Ok a -> print_string (Risk.Ora.render_tree a.Risk.Ora.tree)
+  | Error missing -> Printf.printf "missing attribute: %s\n" missing

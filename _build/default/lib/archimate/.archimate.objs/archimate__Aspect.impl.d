@@ -1,0 +1,1 @@
+lib/archimate/aspect.ml: Element Format Hashtbl List Model Relationship String

@@ -1,0 +1,1 @@
+lib/archimate/aspect.mli: Format Model

@@ -1,0 +1,1 @@
+lib/archimate/catalog.ml: Element List Map Printf String

@@ -1,0 +1,1 @@
+lib/archimate/catalog.mli: Element

@@ -1,0 +1,1 @@
+lib/archimate/dot.ml: Buffer Element List Model Printf Relationship String

@@ -1,0 +1,1 @@
+lib/archimate/dot.mli: Element Model

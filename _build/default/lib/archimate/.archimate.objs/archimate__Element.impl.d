@@ -1,0 +1,1 @@
+lib/archimate/element.ml: Format List

@@ -1,0 +1,1 @@
+lib/archimate/model.ml: Element Format Hashtbl List Map Option Printf Relationship String

@@ -1,0 +1,1 @@
+lib/archimate/model.mli: Element Format Relationship

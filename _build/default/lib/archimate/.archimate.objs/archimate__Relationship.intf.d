@@ -1,0 +1,1 @@
+lib/archimate/relationship.mli: Format

@@ -1,0 +1,1 @@
+lib/archimate/text.ml: Buffer Element List Model Printf Relationship String

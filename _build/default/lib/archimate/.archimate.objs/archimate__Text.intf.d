@@ -1,0 +1,1 @@
+lib/archimate/text.mli: Model

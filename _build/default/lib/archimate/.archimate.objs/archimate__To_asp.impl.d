@@ -1,0 +1,1 @@
+lib/archimate/to_asp.ml: Asp Buffer Element List Model Relationship String

@@ -1,0 +1,1 @@
+lib/archimate/to_asp.mli: Asp Model

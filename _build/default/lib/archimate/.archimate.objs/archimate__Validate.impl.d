@@ -1,0 +1,1 @@
+lib/archimate/validate.ml: Element Format Hashtbl List Model Option Printf Relationship String

@@ -1,0 +1,1 @@
+lib/archimate/validate.mli: Format Model

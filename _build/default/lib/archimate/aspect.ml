@@ -1,0 +1,90 @@
+type conflict = {
+  element : string;
+  field : string;
+  values : string list;
+}
+
+let merge_elements (conflicts : conflict list ref) (a : Element.t)
+    (b : Element.t) =
+  let check field va vb =
+    if va <> vb then
+      conflicts := { element = a.Element.id; field; values = [ va; vb ] } :: !conflicts
+  in
+  check "name" a.Element.name b.Element.name;
+  check "kind"
+    (Element.kind_to_string a.Element.kind)
+    (Element.kind_to_string b.Element.kind);
+  let merged_properties =
+    List.fold_left
+      (fun props (k, v) ->
+        match List.assoc_opt k props with
+        | None -> props @ [ (k, v) ]
+        | Some v' when v' = v -> props
+        | Some v' ->
+            conflicts :=
+              { element = a.Element.id; field = k; values = [ v'; v ] }
+              :: !conflicts;
+            props)
+      a.Element.properties b.Element.properties
+  in
+  { a with Element.properties = merged_properties }
+
+let merge ~name aspects =
+  let conflicts = ref [] in
+  let elements : (string, Element.t) Hashtbl.t = Hashtbl.create 32 in
+  let element_order = ref [] in
+  let relationships : (string, Relationship.t) Hashtbl.t = Hashtbl.create 32 in
+  let rel_order = ref [] in
+  List.iter
+    (fun aspect ->
+      List.iter
+        (fun (e : Element.t) ->
+          match Hashtbl.find_opt elements e.Element.id with
+          | None ->
+              Hashtbl.replace elements e.Element.id e;
+              element_order := e.Element.id :: !element_order
+          | Some existing ->
+              Hashtbl.replace elements e.Element.id
+                (merge_elements conflicts existing e))
+        (Model.elements aspect);
+      List.iter
+        (fun (r : Relationship.t) ->
+          match Hashtbl.find_opt relationships r.Relationship.id with
+          | None ->
+              Hashtbl.replace relationships r.Relationship.id r;
+              rel_order := r.Relationship.id :: !rel_order
+          | Some existing ->
+              if
+                existing.Relationship.source <> r.Relationship.source
+                || existing.Relationship.target <> r.Relationship.target
+                || existing.Relationship.kind <> r.Relationship.kind
+              then
+                conflicts :=
+                  {
+                    element = r.Relationship.id;
+                    field = "relationship";
+                    values =
+                      [
+                        Format.asprintf "%a" Relationship.pp existing;
+                        Format.asprintf "%a" Relationship.pp r;
+                      ];
+                  }
+                  :: !conflicts)
+        (Model.relationships aspect))
+    aspects;
+  match List.rev !conflicts with
+  | _ :: _ as cs -> Error cs
+  | [] ->
+      let m =
+        List.fold_left
+          (fun m id -> Model.add_element (Hashtbl.find elements id) m)
+          (Model.empty ~name) (List.rev !element_order)
+      in
+      Ok
+        (List.fold_left
+           (fun m id -> Model.add_relationship (Hashtbl.find relationships id) m)
+           m (List.rev !rel_order))
+
+let pp_conflict ppf c =
+  Format.fprintf ppf "%s/%s: %s" c.element c.field
+    (String.concat " vs " c.values)

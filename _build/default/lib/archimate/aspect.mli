@@ -1,0 +1,26 @@
+(** Aspect-model merging — Fig. 1 step 1: "the system model results from
+    merging the different aspect models (like architecture, dynamics, and
+    deployment) of the complete IT/OT system into a single model".
+
+    Unlike {!Model.merge} (disjoint union), aspect models may {e overlap}:
+    the same element id can appear in several aspects as long as every
+    occurrence agrees on name and kind; properties are unioned, with
+    conflicting values reported. *)
+
+type conflict = {
+  element : string;
+  field : string;   (** "name", "kind" or a property key *)
+  values : string list;  (** the disagreeing values, aspect order *)
+}
+
+val merge :
+  name:string ->
+  Model.t list ->
+  (Model.t, conflict list) result
+(** Merges the aspect models left to right. Relationships with duplicate
+    ids must be structurally identical (same source/target/kind), else a
+    ["relationship"] conflict is reported. On success the merged model
+    carries every element (properties unioned, first aspect wins key
+    order) and every relationship once. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,91 @@
+type component_type = {
+  type_name : string;
+  kind : Element.kind;
+  default_properties : (string * string) list;
+  fault_modes : string list;
+}
+
+module Sm = Map.Make (String)
+
+type t = component_type Sm.t
+
+let empty = Sm.empty
+let add ct lib = Sm.add ct.type_name ct lib
+let find name lib = Sm.find_opt name lib
+let types lib = List.map snd (Sm.bindings lib)
+let size = Sm.cardinal
+
+let instantiate lib ~type_name ~id ~name =
+  match find type_name lib with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Catalog.instantiate: unknown component type %S"
+           type_name)
+  | Some ct ->
+      let properties =
+        ("component_type", ct.type_name)
+        :: ("fault_modes", String.concat "," ct.fault_modes)
+        :: ct.default_properties
+      in
+      Element.make ~id ~name ~kind:ct.kind ~properties ()
+
+let ct type_name kind ?(props = []) fault_modes =
+  { type_name; kind; default_properties = props; fault_modes }
+
+let standard =
+  List.fold_left
+    (fun lib c -> add c lib)
+    empty
+    [
+      (* OT field devices *)
+      ct "plc" Element.Device
+        ~props:[ ("zone", "ot"); ("criticality", "high") ]
+        [ "halt"; "wrong_output"; "compromise" ];
+      ct "hmi" Element.Device
+        ~props:[ ("zone", "ot") ]
+        [ "no_signal"; "frozen_display"; "compromise" ];
+      ct "sensor" Element.Device
+        ~props:[ ("zone", "ot") ]
+        [ "stuck_at"; "drift"; "omission" ];
+      ct "actuator" Element.Equipment
+        ~props:[ ("zone", "ot") ]
+        [ "stuck_at_open"; "stuck_at_closed" ];
+      ct "valve" Element.Equipment
+        ~props:[ ("zone", "ot") ]
+        [ "stuck_at_open"; "stuck_at_closed"; "leak" ];
+      ct "pump" Element.Equipment
+        ~props:[ ("zone", "ot") ]
+        [ "halt"; "degraded_flow" ];
+      ct "tank" Element.Equipment ~props:[ ("zone", "ot") ] [ "leak"; "rupture" ];
+      ct "controller" Element.Application_component
+        ~props:[ ("zone", "ot"); ("criticality", "high") ]
+        [ "halt"; "wrong_command"; "compromise" ];
+      (* IT assets *)
+      ct "workstation" Element.Node
+        ~props:[ ("zone", "it") ]
+        [ "compromise"; "halt" ];
+      ct "server" Element.Node
+        ~props:[ ("zone", "it") ]
+        [ "compromise"; "halt"; "data_loss" ];
+      ct "historian" Element.Node
+        ~props:[ ("zone", "it") ]
+        [ "compromise"; "data_loss" ];
+      ct "scada_server" Element.Node
+        ~props:[ ("zone", "it"); ("criticality", "high") ]
+        [ "compromise"; "halt" ];
+      ct "email_client" Element.Application_component
+        ~props:[ ("zone", "it") ]
+        [ "compromise" ];
+      ct "browser" Element.Application_component
+        ~props:[ ("zone", "it") ]
+        [ "compromise" ];
+      ct "firewall" Element.Node
+        ~props:[ ("zone", "dmz") ]
+        [ "misconfiguration"; "halt" ];
+      ct "switch" Element.Communication_network
+        ~props:[ ("zone", "it") ]
+        [ "halt"; "packet_loss" ];
+      ct "ot_network" Element.Communication_network
+        ~props:[ ("zone", "ot") ]
+        [ "halt"; "packet_loss" ];
+    ]

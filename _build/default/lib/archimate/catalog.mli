@@ -1,0 +1,33 @@
+(** Component-type libraries ("component-type libraries support reusing
+    already existing sub-models", Fig. 1 step 1).
+
+    A component type is a reusable element template carrying the kind,
+    default security/dependability properties, and the fault modes the EPA
+    layer injects for instances of that type. *)
+
+type component_type = {
+  type_name : string;
+  kind : Element.kind;
+  default_properties : (string * string) list;
+  fault_modes : string list;
+}
+
+type t
+
+val empty : t
+val add : component_type -> t -> t
+(** Replaces an existing type of the same name. *)
+
+val find : string -> t -> component_type option
+val types : t -> component_type list
+val size : t -> int
+
+val instantiate : t -> type_name:string -> id:string -> name:string -> Element.t
+(** Creates an element from a template; the element records its origin in a
+    ["component_type"] property and its fault modes in a comma-separated
+    ["fault_modes"] property. Raises [Invalid_argument] on unknown types. *)
+
+val standard : t
+(** Built-in IT/OT library: PLCs, HMIs, sensors, actuators, valves, tanks,
+    workstations, servers, network gear, and the e-mail-client/browser pair
+    of the paper's refined Engineering Workstation (Fig. 4). *)

@@ -1,0 +1,55 @@
+let element_shape = function
+  | Element.Business -> "ellipse"
+  | Element.Application -> "box"
+  | Element.Technology -> "box3d"
+  | Element.Physical -> "component"
+  | Element.Motivation -> "note"
+
+let edge_attrs = function
+  | Relationship.Composition -> "arrowtail=diamond, dir=both, arrowhead=none"
+  | Relationship.Aggregation -> "arrowtail=odiamond, dir=both, arrowhead=none"
+  | Relationship.Assignment -> "arrowhead=dot"
+  | Relationship.Realization -> "style=dashed, arrowhead=empty"
+  | Relationship.Serving -> "style=dashed"
+  | Relationship.Access _ -> "style=dotted"
+  | Relationship.Triggering -> "arrowhead=open"
+  | Relationship.Flow -> "arrowhead=vee"
+  | Relationship.Association -> "arrowhead=none"
+  | Relationship.Specialization -> "arrowhead=onormal"
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let render m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n  node [fontsize=10];\n"
+       (escape (Model.name m)));
+  List.iteri
+    (fun i layer ->
+      let elements = Model.elements_in_layer layer m in
+      if elements <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" i
+             (Element.layer_to_string layer));
+        List.iter
+          (fun (e : Element.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %s [label=\"%s\", shape=%s];\n"
+                 e.Element.id (escape e.Element.name) (element_shape layer)))
+          elements;
+        Buffer.add_string buf "  }\n"
+      end)
+    [
+      Element.Business; Element.Application; Element.Technology;
+      Element.Physical; Element.Motivation;
+    ];
+  List.iter
+    (fun (r : Relationship.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [%s];\n" r.Relationship.source
+           r.Relationship.target
+           (edge_attrs r.Relationship.kind)))
+    (Model.relationships m);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

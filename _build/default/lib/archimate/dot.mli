@@ -1,0 +1,10 @@
+(** Graphviz rendering of system models — the visual counterpart of the
+    Fig. 4 diagrams. Elements are grouped into layer clusters; relationship
+    kinds map to edge styles (composition: diamond tail, flow: solid,
+    serving: dashed, access: dotted). *)
+
+val render : Model.t -> string
+(** A complete [digraph] document. *)
+
+val element_shape : Element.layer -> string
+(** The node shape used for a layer (exposed for tests). *)

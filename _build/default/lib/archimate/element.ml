@@ -1,0 +1,106 @@
+type layer =
+  | Business
+  | Application
+  | Technology
+  | Physical
+  | Motivation
+
+type kind =
+  | Business_actor
+  | Business_role
+  | Business_process
+  | Business_service
+  | Business_object
+  | Application_component
+  | Application_service
+  | Application_interface
+  | Data_object
+  | Node
+  | Device
+  | System_software
+  | Technology_service
+  | Communication_network
+  | Artifact
+  | Equipment
+  | Facility
+  | Distribution_network
+  | Material
+  | Requirement
+  | Constraint_
+  | Goal
+
+type t = {
+  id : string;
+  name : string;
+  kind : kind;
+  properties : (string * string) list;
+}
+
+let make ~id ~name ~kind ?(properties = []) () = { id; name; kind; properties }
+
+let layer_of_kind = function
+  | Business_actor | Business_role | Business_process | Business_service
+  | Business_object ->
+      Business
+  | Application_component | Application_service | Application_interface
+  | Data_object ->
+      Application
+  | Node | Device | System_software | Technology_service
+  | Communication_network | Artifact ->
+      Technology
+  | Equipment | Facility | Distribution_network | Material -> Physical
+  | Requirement | Constraint_ | Goal -> Motivation
+
+let layer e = layer_of_kind e.kind
+let property key e = List.assoc_opt key e.properties
+
+let with_property key value e =
+  { e with properties = (key, value) :: List.remove_assoc key e.properties }
+
+let kind_to_string = function
+  | Business_actor -> "business_actor"
+  | Business_role -> "business_role"
+  | Business_process -> "business_process"
+  | Business_service -> "business_service"
+  | Business_object -> "business_object"
+  | Application_component -> "application_component"
+  | Application_service -> "application_service"
+  | Application_interface -> "application_interface"
+  | Data_object -> "data_object"
+  | Node -> "node"
+  | Device -> "device"
+  | System_software -> "system_software"
+  | Technology_service -> "technology_service"
+  | Communication_network -> "communication_network"
+  | Artifact -> "artifact"
+  | Equipment -> "equipment"
+  | Facility -> "facility"
+  | Distribution_network -> "distribution_network"
+  | Material -> "material"
+  | Requirement -> "requirement"
+  | Constraint_ -> "constraint"
+  | Goal -> "goal"
+
+let all_kinds =
+  [
+    Business_actor; Business_role; Business_process; Business_service;
+    Business_object; Application_component; Application_service;
+    Application_interface; Data_object; Node; Device; System_software;
+    Technology_service; Communication_network; Artifact; Equipment; Facility;
+    Distribution_network; Material; Requirement; Constraint_; Goal;
+  ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let layer_to_string = function
+  | Business -> "business"
+  | Application -> "application"
+  | Technology -> "technology"
+  | Physical -> "physical"
+  | Motivation -> "motivation"
+
+let equal a b = a = b
+
+let pp ppf e =
+  Format.fprintf ppf "%s %S (%s)" e.id e.name (kind_to_string e.kind)

@@ -1,0 +1,67 @@
+(** ArchiMate-style model elements. The kind vocabulary covers the layers
+    the paper's IT/OT models use (business, application, technology,
+    physical, motivation); security metadata is carried in free-form
+    properties, as in the Open Group's risk-and-security overlay. *)
+
+type layer =
+  | Business
+  | Application
+  | Technology
+  | Physical
+  | Motivation
+
+type kind =
+  (* business *)
+  | Business_actor
+  | Business_role
+  | Business_process
+  | Business_service
+  | Business_object
+  (* application *)
+  | Application_component
+  | Application_service
+  | Application_interface
+  | Data_object
+  (* technology *)
+  | Node
+  | Device
+  | System_software
+  | Technology_service
+  | Communication_network
+  | Artifact
+  (* physical *)
+  | Equipment
+  | Facility
+  | Distribution_network
+  | Material
+  (* motivation *)
+  | Requirement
+  | Constraint_
+  | Goal
+
+type t = {
+  id : string;
+  name : string;
+  kind : kind;
+  properties : (string * string) list;
+}
+
+val make : id:string -> name:string -> kind:kind -> ?properties:(string * string) list -> unit -> t
+
+val layer_of_kind : kind -> layer
+val layer : t -> layer
+
+val property : string -> t -> string option
+val with_property : string -> string -> t -> t
+(** Adds or replaces one property. *)
+
+val kind_to_string : kind -> string
+(** Lower-snake-case, stable — used by the textual format and the ASP
+    transformation. *)
+
+val kind_of_string : string -> kind option
+val layer_to_string : layer -> string
+val all_kinds : kind list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

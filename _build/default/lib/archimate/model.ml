@@ -1,0 +1,165 @@
+module Sm = Map.Make (String)
+
+type t = {
+  name : string;
+  elements : Element.t Sm.t;
+  relationships : Relationship.t Sm.t;
+  order : string list; (* element insertion order, newest first *)
+  rel_order : string list;
+}
+
+let empty ~name =
+  { name; elements = Sm.empty; relationships = Sm.empty; order = []; rel_order = [] }
+
+let name m = m.name
+
+let add_element e m =
+  if Sm.mem e.Element.id m.elements then
+    invalid_arg (Printf.sprintf "Model.add_element: duplicate id %s" e.Element.id);
+  { m with elements = Sm.add e.Element.id e m.elements; order = e.Element.id :: m.order }
+
+let add_relationship r m =
+  if Sm.mem r.Relationship.id m.relationships then
+    invalid_arg
+      (Printf.sprintf "Model.add_relationship: duplicate id %s" r.Relationship.id);
+  let check_endpoint what id =
+    if not (Sm.mem id m.elements) then
+      invalid_arg
+        (Printf.sprintf "Model.add_relationship: %s endpoint %s of %s not in model"
+           what id r.Relationship.id)
+  in
+  check_endpoint "source" r.Relationship.source;
+  check_endpoint "target" r.Relationship.target;
+  {
+    m with
+    relationships = Sm.add r.Relationship.id r m.relationships;
+    rel_order = r.Relationship.id :: m.rel_order;
+  }
+
+let remove_relationship id m =
+  {
+    m with
+    relationships = Sm.remove id m.relationships;
+    rel_order = List.filter (fun i -> i <> id) m.rel_order;
+  }
+
+let remove_element id m =
+  let incident =
+    Sm.fold
+      (fun rid r acc ->
+        if r.Relationship.source = id || r.Relationship.target = id then
+          rid :: acc
+        else acc)
+      m.relationships []
+  in
+  let m = List.fold_left (fun m rid -> remove_relationship rid m) m incident in
+  {
+    m with
+    elements = Sm.remove id m.elements;
+    order = List.filter (fun i -> i <> id) m.order;
+  }
+
+let element id m = Sm.find_opt id m.elements
+
+let element_exn id m =
+  match element id m with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Model.element_exn: no element %s" id)
+
+let relationship id m = Sm.find_opt id m.relationships
+let elements m = List.rev_map (fun id -> Sm.find id m.elements) m.order
+let relationships m = List.rev_map (fun id -> Sm.find id m.relationships) m.rel_order
+let element_count m = Sm.cardinal m.elements
+let relationship_count m = Sm.cardinal m.relationships
+
+let update_element id f m =
+  match Sm.find_opt id m.elements with
+  | None -> raise Not_found
+  | Some e ->
+      let e' = f e in
+      if e'.Element.id <> id then
+        invalid_arg "Model.update_element: update must not change the id";
+      { m with elements = Sm.add id e' m.elements }
+
+let find_by_name n m =
+  List.filter (fun e -> e.Element.name = n) (elements m)
+
+let elements_in_layer l m =
+  List.filter (fun e -> Element.layer e = l) (elements m)
+
+let elements_of_kind k m =
+  List.filter (fun e -> e.Element.kind = k) (elements m)
+
+let with_property ~key m =
+  List.filter (fun e -> Element.property key e <> None) (elements m)
+
+let outgoing id m =
+  List.filter (fun r -> r.Relationship.source = id) (relationships m)
+
+let incoming id m =
+  List.filter (fun r -> r.Relationship.target = id) (relationships m)
+
+let matching_kind kind r =
+  match kind with None -> true | Some k -> r.Relationship.kind = k
+
+let successors ?kind id m =
+  outgoing id m
+  |> List.filter (matching_kind kind)
+  |> List.filter_map (fun r -> element r.Relationship.target m)
+
+let predecessors ?kind id m =
+  incoming id m
+  |> List.filter (matching_kind kind)
+  |> List.filter_map (fun r -> element r.Relationship.source m)
+
+let parts id m =
+  outgoing id m
+  |> List.filter (fun r ->
+         match r.Relationship.kind with
+         | Relationship.Composition | Relationship.Aggregation -> true
+         | _ -> false)
+  |> List.filter_map (fun r -> element r.Relationship.target m)
+
+let parent id m =
+  incoming id m
+  |> List.find_opt (fun r -> r.Relationship.kind = Relationship.Composition)
+  |> fun r -> Option.bind r (fun r -> element r.Relationship.source m)
+
+let reachable ?kinds id m =
+  let matches r =
+    match kinds with
+    | None -> true
+    | Some ks -> List.mem r.Relationship.kind ks
+  in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen id ();
+  let order = ref [] in
+  let frontier = ref [ id ] in
+  while !frontier <> [] do
+    let next =
+      List.concat_map
+        (fun eid ->
+          outgoing eid m |> List.filter matches
+          |> List.filter_map (fun r ->
+                 let tgt = r.Relationship.target in
+                 if Hashtbl.mem seen tgt then None
+                 else begin
+                   Hashtbl.replace seen tgt ();
+                   order := tgt :: !order;
+                   Some tgt
+                 end))
+        !frontier
+    in
+    frontier := next
+  done;
+  List.rev_map (fun eid -> Sm.find eid m.elements) !order
+
+let merge a b =
+  let m =
+    List.fold_left (fun m e -> add_element e m) a (List.rev (elements b) |> List.rev)
+  in
+  List.fold_left (fun m r -> add_relationship r m) m (relationships b)
+
+let pp ppf m =
+  Format.fprintf ppf "model %S: %d elements, %d relationships" m.name
+    (element_count m) (relationship_count m)

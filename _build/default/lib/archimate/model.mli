@@ -1,0 +1,58 @@
+(** The merged system model of Fig. 1: a typed graph of elements and
+    relationships with id-indexed access and the queries the analysis steps
+    need. *)
+
+type t
+
+val empty : name:string -> t
+val name : t -> string
+
+val add_element : Element.t -> t -> t
+(** Raises [Invalid_argument] on a duplicate element id. *)
+
+val add_relationship : Relationship.t -> t -> t
+(** Raises [Invalid_argument] on a duplicate relationship id or a dangling
+    endpoint. *)
+
+val remove_element : string -> t -> t
+(** Also removes incident relationships. *)
+
+val remove_relationship : string -> t -> t
+
+val element : string -> t -> Element.t option
+val element_exn : string -> t -> Element.t
+val relationship : string -> t -> Relationship.t option
+val elements : t -> Element.t list
+val relationships : t -> Relationship.t list
+val element_count : t -> int
+val relationship_count : t -> int
+
+val update_element : string -> (Element.t -> Element.t) -> t -> t
+(** Raises [Not_found] when the id is absent. *)
+
+val find_by_name : string -> t -> Element.t list
+val elements_in_layer : Element.layer -> t -> Element.t list
+val elements_of_kind : Element.kind -> t -> Element.t list
+val with_property : key:string -> t -> Element.t list
+
+val outgoing : string -> t -> Relationship.t list
+val incoming : string -> t -> Relationship.t list
+
+val successors : ?kind:Relationship.kind -> string -> t -> Element.t list
+val predecessors : ?kind:Relationship.kind -> string -> t -> Element.t list
+
+val parts : string -> t -> Element.t list
+(** Direct parts via composition/aggregation (source = whole). *)
+
+val parent : string -> t -> Element.t option
+(** The composing whole, if any. *)
+
+val reachable : ?kinds:Relationship.kind list -> string -> t -> Element.t list
+(** Transitive successors along the given relationship kinds (default: all),
+    excluding the start element, in BFS order. *)
+
+val merge : t -> t -> t
+(** Union of the aspect models (§ Fig. 1 step 1); raises
+    [Invalid_argument] on conflicting ids. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type access_mode = Read | Write | Read_write
+
+type kind =
+  | Composition
+  | Aggregation
+  | Assignment
+  | Realization
+  | Serving
+  | Access of access_mode
+  | Triggering
+  | Flow
+  | Association
+  | Specialization
+
+type t = {
+  id : string;
+  source : string;
+  target : string;
+  kind : kind;
+  properties : (string * string) list;
+}
+
+let make ~id ~source ~target ~kind ?(properties = []) () =
+  { id; source; target; kind; properties }
+
+let kind_to_string = function
+  | Composition -> "composition"
+  | Aggregation -> "aggregation"
+  | Assignment -> "assignment"
+  | Realization -> "realization"
+  | Serving -> "serving"
+  | Access Read -> "access_read"
+  | Access Write -> "access_write"
+  | Access Read_write -> "access"
+  | Triggering -> "triggering"
+  | Flow -> "flow"
+  | Association -> "association"
+  | Specialization -> "specialization"
+
+let all_kinds =
+  [
+    Composition; Aggregation; Assignment; Realization; Serving; Access Read;
+    Access Write; Access Read_write; Triggering; Flow; Association;
+    Specialization;
+  ]
+
+let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds
+let property key r = List.assoc_opt key r.properties
+
+let structural = function
+  | Composition | Aggregation | Assignment | Realization -> true
+  | Serving | Access _ | Triggering | Flow | Association | Specialization ->
+      false
+
+let equal a b = a = b
+
+let pp ppf r =
+  Format.fprintf ppf "%s: %s -[%s]-> %s" r.id r.source (kind_to_string r.kind)
+    r.target

@@ -1,0 +1,39 @@
+(** ArchiMate-style relationships between elements. *)
+
+type access_mode = Read | Write | Read_write
+
+type kind =
+  | Composition     (** whole–part, used for asset refinement (§VI) *)
+  | Aggregation
+  | Assignment      (** active element assigned to behaviour / node *)
+  | Realization
+  | Serving
+  | Access of access_mode
+  | Triggering
+  | Flow            (** information / material flow, the EPA propagation edges *)
+  | Association
+  | Specialization
+
+type t = {
+  id : string;
+  source : string;  (** element id *)
+  target : string;  (** element id *)
+  kind : kind;
+  properties : (string * string) list;
+}
+
+val make :
+  id:string -> source:string -> target:string -> kind:kind ->
+  ?properties:(string * string) list -> unit -> t
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+val property : string -> t -> string option
+val structural : kind -> bool
+(** Composition/aggregation/assignment/realization are structural;
+    structural relationships define the hierarchical containment used by
+    the refinement machinery. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

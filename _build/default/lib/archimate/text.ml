@@ -1,0 +1,178 @@
+exception Error of string
+
+type token = Word of string | Quoted of string | Lbrace | Rbrace | Equals | Semi | Arrow | Eol
+
+let tokenize_line line_no line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let err fmt =
+    Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line_no s))) fmt
+  in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then i := n (* comment *)
+    else if c = '{' then begin toks := Lbrace :: !toks; incr i end
+    else if c = '}' then begin toks := Rbrace :: !toks; incr i end
+    else if c = '=' then begin toks := Equals :: !toks; incr i end
+    else if c = ';' then begin toks := Semi :: !toks; incr i end
+    else if c = '-' && !i + 1 < n && line.[!i + 1] = '>' then begin
+      toks := Arrow :: !toks;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !i >= n then err "unterminated string"
+        else if line.[!i] = '"' then incr i
+        else if line.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf line.[!i + 1];
+          i := !i + 2;
+          scan ()
+        end
+        else begin
+          Buffer.add_char buf line.[!i];
+          incr i;
+          scan ()
+        end
+      in
+      scan ();
+      toks := Quoted (Buffer.contents buf) :: !toks
+    end
+    else begin
+      let start = !i in
+      let word_char c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '_' || c = '.' || c = '-'
+      in
+      while !i < n && word_char line.[!i] do
+        incr i
+      done;
+      if !i = start then err "unexpected character %C" c;
+      toks := Word (String.sub line start (!i - start)) :: !toks
+    end
+  done;
+  List.rev (Eol :: !toks)
+
+let parse_properties line_no toks =
+  let err fmt =
+    Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line_no s))) fmt
+  in
+  let rec go acc = function
+    | Rbrace :: rest -> (List.rev acc, rest)
+    | Word key :: Equals :: value :: rest -> (
+        let value =
+          match value with
+          | Quoted s | Word s -> s
+          | _ -> err "expected a property value for %s" key
+        in
+        match rest with
+        | Semi :: rest -> go ((key, value) :: acc) rest
+        | Rbrace :: rest -> (List.rev ((key, value) :: acc), rest)
+        | _ -> err "expected ';' or '}' after property %s" key)
+    | _ -> err "malformed property block"
+  in
+  go [] toks
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let model = ref None in
+  let rel_counter = ref 0 in
+  List.iteri
+    (fun idx line ->
+      let line_no = idx + 1 in
+      let err fmt =
+        Printf.ksprintf
+          (fun s -> raise (Error (Printf.sprintf "line %d: %s" line_no s)))
+          fmt
+      in
+      match tokenize_line line_no line with
+      | [ Eol ] -> ()
+      | Word "model" :: name :: Eol :: _ -> (
+          match name with
+          | Quoted n | Word n -> (
+              match !model with
+              | None -> model := Some (Model.empty ~name:n)
+              | Some _ -> err "duplicate model declaration")
+          | _ -> err "expected model name")
+      | Word "element" :: Word id :: Quoted name :: Word kind :: rest -> (
+          let kind =
+            match Element.kind_of_string kind with
+            | Some k -> k
+            | None -> err "unknown element kind %S" kind
+          in
+          let properties, rest =
+            match rest with
+            | Lbrace :: rest -> parse_properties line_no rest
+            | rest -> ([], rest)
+          in
+          (match rest with [ Eol ] | [] -> () | _ -> err "trailing tokens");
+          match !model with
+          | None -> err "element before model declaration"
+          | Some m -> (
+              match
+                Model.add_element (Element.make ~id ~name ~kind ~properties ()) m
+              with
+              | m -> model := Some m
+              | exception Invalid_argument msg -> err "%s" msg))
+      | Word "relation" :: Word id :: Word kind :: Word source :: Arrow
+        :: Word target :: rest -> (
+          let kind =
+            match Relationship.kind_of_string kind with
+            | Some k -> k
+            | None -> err "unknown relationship kind %S" kind
+          in
+          let properties, rest =
+            match rest with
+            | Lbrace :: rest -> parse_properties line_no rest
+            | rest -> ([], rest)
+          in
+          (match rest with [ Eol ] | [] -> () | _ -> err "trailing tokens");
+          incr rel_counter;
+          match !model with
+          | None -> err "relation before model declaration"
+          | Some m -> (
+              match
+                Model.add_relationship
+                  (Relationship.make ~id ~source ~target ~kind ~properties ())
+                  m
+              with
+              | m -> model := Some m
+              | exception Invalid_argument msg -> err "%s" msg))
+      | _ -> err "unrecognized statement")
+    lines;
+  match !model with
+  | Some m -> m
+  | None -> raise (Error "missing model declaration")
+
+let print_properties = function
+  | [] -> ""
+  | props ->
+      let body =
+        props
+        |> List.map (fun (k, v) -> Printf.sprintf "%s = %S" k v)
+        |> String.concat "; "
+      in
+      Printf.sprintf " { %s }" body
+
+let print m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "model %S\n" (Model.name m));
+  List.iter
+    (fun (e : Element.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "element %s %S %s%s\n" e.Element.id e.Element.name
+           (Element.kind_to_string e.Element.kind)
+           (print_properties e.Element.properties)))
+    (Model.elements m);
+  List.iter
+    (fun (r : Relationship.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s %s %s -> %s%s\n" r.Relationship.id
+           (Relationship.kind_to_string r.Relationship.kind)
+           r.Relationship.source r.Relationship.target
+           (print_properties r.Relationship.properties)))
+    (Model.relationships m);
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Textual serialization of system models — a lightweight stand-in for the
+    ArchiMate model exchange format.
+
+    {v
+    model "Water Tank System"
+    element tank "Water Tank" equipment { criticality = "high" }
+    element wls "Water Level Sensor" device { }
+    relation r1 flow wls -> tank { medium = "signal" }
+    v} *)
+
+exception Error of string
+
+val parse : string -> Model.t
+val print : Model.t -> string
+(** [parse (print m)] reconstructs [m] up to property ordering. *)

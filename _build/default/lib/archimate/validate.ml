@@ -1,0 +1,114 @@
+type severity = Error | Warning
+
+type issue = { severity : severity; subject : string; message : string }
+
+let error subject fmt = Printf.ksprintf (fun message -> { severity = Error; subject; message }) fmt
+let warning subject fmt = Printf.ksprintf (fun message -> { severity = Warning; subject; message }) fmt
+
+let composition_cycles m =
+  (* DFS over composition edges *)
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let issues = ref [] in
+  let rec visit id =
+    if Hashtbl.mem done_ id then ()
+    else if Hashtbl.mem visiting id then
+      issues := error id "element is part of a composition cycle" :: !issues
+    else begin
+      Hashtbl.replace visiting id ();
+      List.iter
+        (fun (e : Element.t) -> visit e.Element.id)
+        (Model.successors ~kind:Relationship.Composition id m);
+      Hashtbl.remove visiting id;
+      Hashtbl.replace done_ id ()
+    end
+  in
+  List.iter (fun (e : Element.t) -> visit e.Element.id) (Model.elements m);
+  !issues
+
+let multiple_parents m =
+  List.filter_map
+    (fun (e : Element.t) ->
+      let parents =
+        Model.predecessors ~kind:Relationship.Composition e.Element.id m
+      in
+      if List.length parents > 1 then
+        Some
+          (error e.Element.id "element has %d composition parents"
+             (List.length parents))
+      else None)
+    (Model.elements m)
+
+let empty_names m =
+  List.filter_map
+    (fun (e : Element.t) ->
+      if String.trim e.Element.name = "" then
+        Some (warning e.Element.id "element has an empty name")
+      else None)
+    (Model.elements m)
+
+let duplicate_names m =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Element.t) ->
+      let k = e.Element.name in
+      Hashtbl.replace tbl k (e.Element.id :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+    (Model.elements m);
+  Hashtbl.fold
+    (fun name ids acc ->
+      if List.length ids > 1 && String.trim name <> "" then
+        warning (String.concat "," (List.rev ids)) "duplicate element name %S" name
+        :: acc
+      else acc)
+    tbl []
+
+let isolated m =
+  List.filter_map
+    (fun (e : Element.t) ->
+      if
+        Model.outgoing e.Element.id m = []
+        && Model.incoming e.Element.id m = []
+        && Model.element_count m > 1
+      then Some (warning e.Element.id "element has no relationships")
+      else None)
+    (Model.elements m)
+
+let flow_into_motivation m =
+  List.filter_map
+    (fun (r : Relationship.t) ->
+      if r.Relationship.kind <> Relationship.Flow then None
+      else
+        let touches_motivation id =
+          match Model.element id m with
+          | Some e -> Element.layer e = Element.Motivation
+          | None -> false
+        in
+        if touches_motivation r.Relationship.source || touches_motivation r.Relationship.target
+        then Some (error r.Relationship.id "flow relationship touches a motivation element")
+        else None)
+    (Model.relationships m)
+
+let self_loops m =
+  List.filter_map
+    (fun (r : Relationship.t) ->
+      if r.Relationship.source = r.Relationship.target then
+        Some (warning r.Relationship.id "self-loop relationship")
+      else None)
+    (Model.relationships m)
+
+let run m =
+  let issues =
+    composition_cycles m @ multiple_parents m @ flow_into_motivation m
+    @ empty_names m @ duplicate_names m @ isolated m @ self_loops m
+  in
+  let errors, warnings =
+    List.partition (fun i -> i.severity = Error) issues
+  in
+  errors @ warnings
+
+let is_valid m = List.for_all (fun i -> i.severity <> Error) (run m)
+
+let pp_issue ppf i =
+  Format.fprintf ppf "[%s] %s: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.subject i.message

@@ -1,0 +1,23 @@
+(** Structural validation of system models ("system validation model",
+    §II.C): errors make a model unusable for analysis, warnings flag likely
+    modeling mistakes the sensitivity-analysis support should draw the
+    analyst's eye to. *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; subject : string; message : string }
+
+val run : Model.t -> issue list
+(** All issues, errors first. Checked rules:
+    - composition cycles (error)
+    - multiple composition parents (error)
+    - empty element names (warning)
+    - duplicate element names (warning)
+    - isolated elements — no incident relationship (warning)
+    - flow relationships touching motivation-layer elements (error)
+    - self-loop relationships (warning) *)
+
+val is_valid : Model.t -> bool
+(** No [Error]-severity issues. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/asp/atom.ml: Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/asp/deps.ml: Atom Hashtbl List Lit Map Option Program Rule Set

@@ -1,0 +1,1 @@
+lib/asp/deps.mli: Program

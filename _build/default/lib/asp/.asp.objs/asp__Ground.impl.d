@@ -1,0 +1,1 @@
+lib/asp/ground.ml: Atom Format List Lit Model Printf String Term

@@ -1,0 +1,1 @@
+lib/asp/ground.mli: Atom Format Lit Model Term

@@ -1,0 +1,1 @@
+lib/asp/grounder.ml: Atom Ground Hashtbl List Lit Model Printf Program Rule String Term

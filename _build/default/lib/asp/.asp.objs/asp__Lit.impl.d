@@ -1,0 +1,1 @@
+lib/asp/lit.ml: Atom Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/asp/lit.mli: Atom Format Term

@@ -1,0 +1,1 @@
+lib/asp/model.ml: Atom Format List Option Printf Set Stdlib String

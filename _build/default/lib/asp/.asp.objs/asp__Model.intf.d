@@ -1,0 +1,1 @@
+lib/asp/model.mli: Atom Format Set

@@ -1,0 +1,1 @@
+lib/asp/parser.ml: Array Atom Lexer List Lit Option Printf Program Rule Term

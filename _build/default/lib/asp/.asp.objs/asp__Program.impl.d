@@ -1,0 +1,1 @@
+lib/asp/program.ml: Atom Format List Lit Printf Rule String

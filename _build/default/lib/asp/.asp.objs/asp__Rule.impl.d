@@ -1,0 +1,1 @@
+lib/asp/rule.ml: Atom Format List Lit Printf String Term

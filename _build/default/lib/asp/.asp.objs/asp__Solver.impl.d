@@ -1,0 +1,1 @@
+lib/asp/solver.ml: Array Atom Ground Hashtbl List Lit Model Option Printf Stdlib Term

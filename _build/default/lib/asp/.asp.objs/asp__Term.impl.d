@@ -1,0 +1,1 @@
+lib/asp/term.ml: Format List Printf Stdlib String

@@ -1,0 +1,34 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let prop pred = { pred; args = [] }
+let arity a = List.length a.args
+let signature a = (a.pred, arity a)
+
+let equal a b =
+  String.equal a.pred b.pred
+  && List.length a.args = List.length b.args
+  && List.for_all2 Term.equal a.args b.args
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else List.compare Term.compare a.args b.args
+
+let is_ground a = List.for_all Term.is_ground a.args
+
+let vars a =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  List.rev
+    (List.fold_left (fun acc t -> List.fold_left add acc (Term.vars t)) [] a.args)
+
+let substitute s a = { a with args = List.map (Term.substitute s) a.args }
+let eval a = { a with args = List.map Term.eval a.args }
+
+let to_string a =
+  match a.args with
+  | [] -> a.pred
+  | args ->
+      Printf.sprintf "%s(%s)" a.pred
+        (String.concat "," (List.map Term.to_string args))
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,21 @@
+(** Predicate atoms [p(t1, …, tn)]. *)
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val prop : string -> t
+(** Propositional atom (no arguments). *)
+
+val arity : t -> int
+val signature : t -> string * int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_ground : t -> bool
+val vars : t -> string list
+val substitute : Term.subst -> t -> t
+
+val eval : t -> t
+(** Evaluate arithmetic in all arguments (ground atoms only). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

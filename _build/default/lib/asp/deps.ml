@@ -1,0 +1,194 @@
+type edge = Positive | Negative
+
+module Sig = struct
+  type t = string * int
+
+  let compare = compare
+end
+
+module SigMap = Map.Make (Sig)
+module SigSet = Set.Make (Sig)
+
+type t = {
+  nodes : SigSet.t;
+  edges : (Sig.t * edge) list SigMap.t; (* head -> (body pred, polarity) *)
+}
+
+let add_edge head dep pol g =
+  let existing = Option.value ~default:[] (SigMap.find_opt head g.edges) in
+  let entry = (dep, pol) in
+  let edges =
+    if List.mem entry existing then g.edges
+    else SigMap.add head (entry :: existing) g.edges
+  in
+  { nodes = SigSet.add head (SigSet.add dep g.nodes); edges }
+
+let add_node n g = { g with nodes = SigSet.add n g.nodes }
+
+let rec deps_of_lits lits =
+  List.concat_map
+    (fun l ->
+      match l with
+      | Lit.Pos a -> [ (Atom.signature a, Positive) ]
+      | Lit.Neg a -> [ (Atom.signature a, Negative) ]
+      | Lit.Cmp _ -> []
+      | Lit.Count { cond; _ } ->
+          (* the aggregate must see its condition fully decided: treat every
+             condition atom as a negative (stratum-raising) dependency *)
+          List.map (fun (sg, _) -> (sg, Negative)) (deps_of_lits cond))
+    lits
+
+let of_program p =
+  let g = { nodes = SigSet.empty; edges = SigMap.empty } in
+  List.fold_left
+    (fun g r ->
+      let heads = List.map Atom.signature (Rule.head_atoms r) in
+      let body_deps = deps_of_lits (Rule.body r) in
+      let cond_deps =
+        match r with
+        | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+            List.concat_map (fun (e : Rule.choice_elem) -> deps_of_lits e.cond) elems
+        | Rule.Rule _ | Rule.Weak _ -> []
+      in
+      let g = List.fold_left (fun g h -> add_node h g) g heads in
+      let g =
+        List.fold_left
+          (fun g (d, _) -> add_node d g)
+          g (body_deps @ cond_deps)
+      in
+      List.fold_left
+        (fun g h ->
+          List.fold_left (fun g (d, pol) -> add_edge h d pol g) g
+            (body_deps @ cond_deps))
+        g heads)
+    g (Program.rules p)
+
+let predicates g = SigSet.elements g.nodes
+
+let successors g n =
+  Option.value ~default:[] (SigMap.find_opt n g.edges)
+
+(* Tarjan's strongly connected components. *)
+let sccs g =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if Sig.compare w v = 0 then w :: acc else pop (w :: acc)
+      in
+      result := pop [] :: !result
+    end
+  in
+  SigSet.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) g.nodes;
+  List.rev !result
+
+let scc_id_map components =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i comp -> List.iter (fun n -> Hashtbl.replace tbl n i) comp) components;
+  tbl
+
+let stratified g =
+  let components = sccs g in
+  let ids = scc_id_map components in
+  SigSet.for_all
+    (fun v ->
+      List.for_all
+        (fun (w, pol) ->
+          match pol with
+          | Positive -> true
+          | Negative -> Hashtbl.find ids v <> Hashtbl.find ids w)
+        (successors g v))
+    g.nodes
+
+let strata g =
+  if not (stratified g) then None
+  else begin
+    let components = sccs g in
+    (* components are in reverse topological order: callees first, so a
+       single left-to-right pass assigns valid strata. *)
+    let ids = scc_id_map components in
+    let comp_stratum = Hashtbl.create 16 in
+    List.iteri
+      (fun i comp ->
+        let s =
+          List.fold_left
+            (fun acc v ->
+              List.fold_left
+                (fun acc (w, pol) ->
+                  let wid = Hashtbl.find ids w in
+                  if wid = i then acc
+                  else
+                    let ws = Hashtbl.find comp_stratum wid in
+                    max acc (match pol with Positive -> ws | Negative -> ws + 1))
+                acc (successors g v))
+            0 comp
+        in
+        Hashtbl.replace comp_stratum i s)
+      components;
+    Some
+      (List.map
+         (fun v -> (v, Hashtbl.find comp_stratum (Hashtbl.find ids v)))
+         (SigSet.elements g.nodes))
+  end
+
+let choice_predicates p =
+  let add acc s = if List.mem s acc then acc else s :: acc in
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         match r with
+         | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+             List.fold_left
+               (fun acc (e : Rule.choice_elem) -> add acc (Atom.signature e.atom))
+               acc elems
+         | Rule.Rule _ | Rule.Weak _ -> acc)
+       [] (Program.rules p))
+
+let negated_predicates p =
+  let add acc s = if List.mem s acc then acc else s :: acc in
+  let rec of_lits acc lits =
+    List.fold_left
+      (fun acc l ->
+        match l with
+        | Lit.Neg a -> add acc (Atom.signature a)
+        | Lit.Count { cond; _ } -> of_lits acc cond
+        | Lit.Pos _ | Lit.Cmp _ -> acc)
+      acc lits
+  in
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         let acc = of_lits acc (Rule.body r) in
+         match r with
+         | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+             List.fold_left
+               (fun acc (e : Rule.choice_elem) -> of_lits acc e.cond)
+               acc elems
+         | Rule.Rule _ | Rule.Weak _ -> acc)
+       [] (Program.rules p))

@@ -1,0 +1,32 @@
+(** Predicate-level dependency analysis: dependency graph, strongly connected
+    components and stratification. A program is stratified when no SCC of the
+    dependency graph contains a negative edge; stratified programs (given
+    values for choice-head predicates) have a unique stable model computable
+    by iterated fixpoint. *)
+
+type edge = Positive | Negative
+
+type t
+(** Dependency graph over predicate signatures. *)
+
+val of_program : Program.t -> t
+
+val predicates : t -> (string * int) list
+
+val sccs : t -> (string * int) list list
+(** Strongly connected components in reverse topological order (callees
+    first), computed with Tarjan's algorithm. *)
+
+val stratified : t -> bool
+(** No negative edge inside any SCC. *)
+
+val strata : t -> ((string * int) * int) list option
+(** Stratum number per predicate ([None] when not stratified): body
+    predicates have strata [<=] the head's; negated body predicates have
+    strictly smaller strata. *)
+
+val choice_predicates : Program.t -> (string * int) list
+(** Signatures occurring in choice-rule heads. *)
+
+val negated_predicates : Program.t -> (string * int) list
+(** Signatures occurring under default negation. *)

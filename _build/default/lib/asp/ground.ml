@@ -1,0 +1,108 @@
+type gelem = { gatom : Atom.t; gpos : Atom.t list; gneg : Atom.t list }
+
+type gcount_elem = { etuple : Term.t list; epos : Atom.t list; eneg : Atom.t list }
+
+type gcount = {
+  ckind : Lit.agg_kind;
+  celems : gcount_elem list;
+  cop : Lit.cmp;
+  cbound : int;
+}
+
+type grule =
+  | Gfact of Atom.t
+  | Grule of {
+      head : Atom.t;
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+    }
+  | Gchoice of {
+      lower : int option;
+      upper : int option;
+      elems : gelem list;
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+    }
+  | Gconstraint of { pos : Atom.t list; neg : Atom.t list; counts : gcount list }
+  | Gweak of {
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+      weight : int;
+      priority : int;
+      terms : Term.t list;
+    }
+
+type t = {
+  rules : grule list;
+  universe : Model.AtomSet.t;
+  shows : (string * int) list;
+}
+
+let rule_count g = List.length g.rules
+let atom_count g = Model.AtomSet.cardinal g.universe
+
+let count_to_string c =
+  let elem e =
+    let tuple = String.concat "," (List.map Term.to_string e.etuple) in
+    let body =
+      List.map Atom.to_string e.epos
+      @ List.map (fun a -> "not " ^ Atom.to_string a) e.eneg
+    in
+    match body with
+    | [] -> tuple
+    | body -> tuple ^ " : " ^ String.concat ", " body
+  in
+  let name =
+    match c.ckind with Lit.Cardinality -> "#count" | Lit.Summation -> "#sum"
+  in
+  Printf.sprintf "%s { %s } %s %d" name
+    (String.concat " ; " (List.map elem c.celems))
+    (Lit.cmp_to_string c.cop) c.cbound
+
+let body_to_string pos neg counts =
+  String.concat ", "
+    (List.map Atom.to_string pos
+    @ List.map (fun a -> "not " ^ Atom.to_string a) neg
+    @ List.map count_to_string counts)
+
+let rule_to_string = function
+  | Gfact a -> Atom.to_string a ^ "."
+  | Grule { head; pos = []; neg = []; counts = [] } -> Atom.to_string head ^ "."
+  | Grule { head; pos; neg; counts } ->
+      Printf.sprintf "%s :- %s." (Atom.to_string head)
+        (body_to_string pos neg counts)
+  | Gconstraint { pos; neg; counts } ->
+      Printf.sprintf ":- %s." (body_to_string pos neg counts)
+  | Gchoice { lower; upper; elems; pos; neg; counts } ->
+      let elem e =
+        match e.gpos, e.gneg with
+        | [], [] -> Atom.to_string e.gatom
+        | gpos, gneg ->
+            Printf.sprintf "%s : %s" (Atom.to_string e.gatom)
+              (body_to_string gpos gneg [])
+      in
+      let inner = String.concat " ; " (List.map elem elems) in
+      let lo = match lower with Some n -> string_of_int n ^ " " | None -> "" in
+      let hi = match upper with Some n -> " " ^ string_of_int n | None -> "" in
+      let head = Printf.sprintf "%s{ %s }%s" lo inner hi in
+      if pos = [] && neg = [] && counts = [] then head ^ "."
+      else Printf.sprintf "%s :- %s." head (body_to_string pos neg counts)
+  | Gweak { pos; neg; counts; weight; priority; terms } ->
+      let terms_str =
+        match terms with
+        | [] -> ""
+        | ts -> ", " ^ String.concat "," (List.map Term.to_string ts)
+      in
+      Printf.sprintf ":~ %s. [%d@%d%s]"
+        (body_to_string pos neg counts)
+        weight priority terms_str
+
+let pp_rule ppf r = Format.pp_print_string ppf (rule_to_string r)
+
+let pp ppf g =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    pp_rule ppf g.rules

@@ -1,0 +1,59 @@
+(** Ground (variable-free) programs produced by {!Grounder}. Built-in
+    comparisons are already evaluated away; negative body literals are kept
+    only when their atom is derivable at all (atoms outside the universe are
+    simplified to true negations and dropped). *)
+
+type gelem = { gatom : Atom.t; gpos : Atom.t list; gneg : Atom.t list }
+(** Ground choice element: atom with its instantiated condition. *)
+
+type gcount_elem = { etuple : Term.t list; epos : Atom.t list; eneg : Atom.t list }
+(** One instantiated aggregate element: the counted tuple and its ground
+    condition. *)
+
+type gcount = {
+  ckind : Lit.agg_kind;
+  celems : gcount_elem list;
+  cop : Lit.cmp;
+  cbound : int;
+}
+(** Ground aggregate: satisfied when the aggregated value over the distinct
+    [etuple]s whose condition holds — their number ([Cardinality]) or the
+    sum of their first integer components ([Summation]) — compares to
+    [cbound] under [cop]. *)
+
+type grule =
+  | Gfact of Atom.t
+  | Grule of {
+      head : Atom.t;
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+    }
+  | Gchoice of {
+      lower : int option;
+      upper : int option;
+      elems : gelem list;
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+    }
+  | Gconstraint of { pos : Atom.t list; neg : Atom.t list; counts : gcount list }
+  | Gweak of {
+      pos : Atom.t list;
+      neg : Atom.t list;
+      counts : gcount list;
+      weight : int;
+      priority : int;
+      terms : Term.t list;
+    }
+
+type t = {
+  rules : grule list;
+  universe : Model.AtomSet.t;  (** over-approximation of derivable atoms *)
+  shows : (string * int) list;
+}
+
+val rule_count : t -> int
+val atom_count : t -> int
+val pp_rule : Format.formatter -> grule -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Safe bottom-up grounder.
+
+    Instantiation proceeds in two phases: a fixpoint over the positive
+    projection of the program builds an over-approximating atom universe,
+    then every rule is instantiated against that universe. Built-in
+    comparisons are evaluated during instantiation (an [X = expr] equality
+    with a ground right-hand side acts as an assignment, as in clingo).
+
+    Safety: every variable of a rule must be bound by a positive body
+    literal, an assignment, or — for choice elements — the element's own
+    condition. *)
+
+exception Unsafe of string
+(** A rule violates the safety condition. *)
+
+exception Overflow of string
+(** The universe exceeded [max_atoms] (non-terminating arithmetic recursion
+    such as [p(X+1) :- p(X)] without a bound). *)
+
+val ground : ?max_atoms:int -> Program.t -> Ground.t
+(** [max_atoms] defaults to 200_000. *)

@@ -1,0 +1,182 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | STRING of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT | AT
+  | IF
+  | WEAKIF
+  | NOT
+  | OP of string
+  | HASH of string
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string
+
+let error line col fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" line col s))) fmt
+
+let is_lower c = (c >= 'a' && c <= 'z')
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let emit tok l c = tokens := { token = tok; line = l; col = c } :: !tokens in
+  while !i < n do
+    let l = !line and c = !col in
+    let ch = src.[!i] in
+    if ch = ' ' || ch = '\t' || ch = '\r' || ch = '\n' then advance ()
+    else if ch = '%' then begin
+      (* %* ... *% block comment, otherwise line comment *)
+      if peek 1 = Some '*' then begin
+        advance ();
+        advance ();
+        let rec skip () =
+          if !i >= n then error l c "unterminated block comment"
+          else if src.[!i] = '*' && peek 1 = Some '%' then begin
+            advance ();
+            advance ()
+          end
+          else begin
+            advance ();
+            skip ()
+          end
+        in
+        skip ()
+      end
+      else
+        while !i < n && src.[!i] <> '\n' do
+          advance ()
+        done
+    end
+    else if is_digit ch then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start)))) l c
+    end
+    else if is_lower ch then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      emit (if word = "not" then NOT else IDENT word) l c
+    end
+    else if is_upper ch then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      emit (VAR (String.sub src start (!i - start))) l c
+    end
+    else if ch = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !i >= n then error l c "unterminated string literal"
+        else
+          match src.[!i] with
+          | '"' -> advance ()
+          | '\\' -> (
+              advance ();
+              if !i >= n then error l c "unterminated escape"
+              else
+                let e = src.[!i] in
+                advance ();
+                match e with
+                | 'n' -> Buffer.add_char buf '\n'; scan ()
+                | 't' -> Buffer.add_char buf '\t'; scan ()
+                | '"' -> Buffer.add_char buf '"'; scan ()
+                | '\\' -> Buffer.add_char buf '\\'; scan ()
+                | other -> error l c "unknown escape \\%c" other)
+          | other ->
+              Buffer.add_char buf other;
+              advance ();
+              scan ()
+      in
+      scan ();
+      emit (STRING (Buffer.contents buf)) l c
+    end
+    else if ch = '#' then begin
+      advance ();
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      if !i = start then error l c "expected directive name after #";
+      emit (HASH (String.sub src start (!i - start))) l c
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some ":-" -> advance (); advance (); emit IF l c
+      | Some ":~" -> advance (); advance (); emit WEAKIF l c
+      | Some ("==" | "!=" | "<>" | "<=" | ">=" as op) ->
+          advance (); advance ();
+          emit (OP (if op = "<>" then "!=" else op)) l c
+      | Some ".." -> advance (); advance (); emit (OP "..") l c
+      | _ -> (
+          advance ();
+          match ch with
+          | '(' -> emit LPAREN l c
+          | ')' -> emit RPAREN l c
+          | '{' -> emit LBRACE l c
+          | '}' -> emit RBRACE l c
+          | '[' -> emit LBRACKET l c
+          | ']' -> emit RBRACKET l c
+          | ',' -> emit COMMA l c
+          | ';' -> emit SEMI l c
+          | ':' -> emit COLON l c
+          | '.' -> emit DOT l c
+          | '@' -> emit AT l c
+          | '=' | '<' | '>' | '+' | '-' | '*' | '/' ->
+              emit (OP (String.make 1 ch)) l c
+          | other -> error l c "unexpected character %C" other)
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !tokens
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | VAR s -> Printf.sprintf "variable %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | AT -> "'@'"
+  | IF -> "':-'"
+  | WEAKIF -> "':~'"
+  | NOT -> "'not'"
+  | OP s -> Printf.sprintf "operator %S" s
+  | HASH s -> Printf.sprintf "directive #%s" s
+  | EOF -> "end of input"

@@ -1,0 +1,23 @@
+(** Tokenizer for the clingo-like concrete syntax. *)
+
+type token =
+  | IDENT of string   (** lowercase identifier *)
+  | VAR of string     (** uppercase / [_]-prefixed variable *)
+  | INT of int
+  | STRING of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT | AT
+  | IF        (** [:-] *)
+  | WEAKIF    (** [:~] *)
+  | NOT
+  | OP of string      (** comparison / arithmetic operator *)
+  | HASH of string    (** directive name after [#] *)
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string
+(** Raised on malformed input, with position information in the message. *)
+
+val tokenize : string -> located list
+val token_to_string : token -> string

@@ -1,0 +1,111 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Cmp of Term.t * cmp * Term.t
+  | Count of count
+
+and agg_kind = Cardinality | Summation
+
+and count = {
+  kind : agg_kind;
+  terms : Term.t list;
+  cond : t list;
+  op : cmp;
+  bound : Term.t;
+}
+
+let pos a = Pos a
+let neg a = Neg a
+
+let cmp_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let cmp_of_string = function
+  | "==" | "=" -> Some Eq
+  | "!=" | "<>" -> Some Ne
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+let add_var acc v = if List.mem v acc then acc else v :: acc
+
+let rec vars = function
+  | Pos a | Neg a -> Atom.vars a
+  | Cmp (l, _, r) ->
+      List.rev
+        (List.fold_left add_var
+           (List.fold_left add_var [] (Term.vars l))
+           (Term.vars r))
+  | Count { terms; cond; bound; _ } ->
+      let acc =
+        List.fold_left
+          (fun acc t -> List.fold_left add_var acc (Term.vars t))
+          [] terms
+      in
+      let acc =
+        List.fold_left (fun acc l -> List.fold_left add_var acc (vars l)) acc cond
+      in
+      List.rev (List.fold_left add_var acc (Term.vars bound))
+
+let rec is_ground = function
+  | Pos a | Neg a -> Atom.is_ground a
+  | Cmp (l, _, r) -> Term.is_ground l && Term.is_ground r
+  | Count { terms; cond; bound; _ } ->
+      List.for_all Term.is_ground terms
+      && List.for_all is_ground cond
+      && Term.is_ground bound
+
+let rec substitute s = function
+  | Pos a -> Pos (Atom.substitute s a)
+  | Neg a -> Neg (Atom.substitute s a)
+  | Cmp (l, op, r) -> Cmp (Term.substitute s l, op, Term.substitute s r)
+  | Count { kind; terms; cond; op; bound } ->
+      Count
+        {
+          kind;
+          terms = List.map (Term.substitute s) terms;
+          cond = List.map (substitute s) cond;
+          op;
+          bound = Term.substitute s bound;
+        }
+
+let eval_cmp op l r =
+  let l = Term.eval l and r = Term.eval r in
+  let c = Term.compare l r in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let atom = function Pos a | Neg a -> Some a | Cmp _ | Count _ -> None
+
+let rec to_string = function
+  | Pos a -> Atom.to_string a
+  | Neg a -> "not " ^ Atom.to_string a
+  | Cmp (l, op, r) ->
+      Printf.sprintf "%s %s %s" (Term.to_string l) (cmp_to_string op)
+        (Term.to_string r)
+  | Count { kind; terms; cond; op; bound } ->
+      let tuple = String.concat "," (List.map Term.to_string terms) in
+      let cond_str =
+        match cond with
+        | [] -> ""
+        | cond -> " : " ^ String.concat ", " (List.map to_string cond)
+      in
+      let name = match kind with Cardinality -> "#count" | Summation -> "#sum" in
+      Printf.sprintf "%s { %s%s } %s %s" name tuple cond_str (cmp_to_string op)
+        (Term.to_string bound)
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,48 @@
+(** Body literals: positive/default-negated atoms and built-in comparisons. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Pos of Atom.t            (** [p(...)] *)
+  | Neg of Atom.t            (** [not p(...)] — default negation *)
+  | Cmp of Term.t * cmp * Term.t  (** built-in comparison, e.g. [X < Y+1] *)
+  | Count of count
+      (** [#count { t1,…,tk : cond } OP bound] or
+          [#sum { w,t2,…,tk : cond } OP bound] *)
+
+and agg_kind =
+  | Cardinality  (** [#count]: number of distinct satisfied tuples *)
+  | Summation    (** [#sum]: sum of the first (integer) tuple component
+                     over distinct satisfied tuples *)
+
+and count = {
+  kind : agg_kind;
+  terms : Term.t list;  (** the aggregated tuple *)
+  cond : t list;        (** element condition; must not nest aggregates *)
+  op : cmp;
+  bound : Term.t;
+}
+(** Aggregate literal: the aggregated value over the distinct ground
+    instances of [terms] whose [cond] holds, compared against [bound].
+    Semantically the condition is treated like negation for stratification
+    purposes: it must be fully decided in a strictly lower stratum. *)
+
+val pos : Atom.t -> t
+val neg : Atom.t -> t
+val cmp_to_string : cmp -> string
+val cmp_of_string : string -> cmp option
+
+val vars : t -> string list
+val is_ground : t -> bool
+val substitute : Term.subst -> t -> t
+
+val eval_cmp : cmp -> Term.t -> Term.t -> bool
+(** Evaluate a ground comparison. Integers compare arithmetically; other
+    ground terms compare structurally for [Eq]/[Ne] and by term order for
+    the rest. Raises [Invalid_argument] on non-ground operands. *)
+
+val atom : t -> Atom.t option
+(** The underlying atom of a [Pos]/[Neg] literal. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

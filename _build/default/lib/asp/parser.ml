@@ -1,0 +1,346 @@
+exception Error of string
+
+type state = { toks : Lexer.located array; mutable pos : int }
+
+let peek st = st.toks.(st.pos).token
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).token
+  else Lexer.EOF
+
+let located st = st.toks.(st.pos)
+
+let fail st fmt =
+  let { Lexer.line; col; token; _ } = located st in
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Error
+           (Printf.sprintf "line %d, col %d: %s (found %s)" line col s
+              (Lexer.token_to_string token))))
+    fmt
+
+let next st =
+  let t = peek st in
+  if t <> Lexer.EOF then st.pos <- st.pos + 1;
+  t
+
+let expect st tok what =
+  if peek st = tok then ignore (next st) else fail st "expected %s" what
+
+(* ---------------- terms ---------------- *)
+
+let rec parse_term_prec st =
+  let t = parse_addsub st in
+  match peek st with
+  | Lexer.OP ".." ->
+      ignore (next st);
+      let hi = parse_addsub st in
+      Term.Func ("..", [ t; hi ])
+  | _ -> t
+
+and parse_addsub st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OP ("+" | "-") ->
+        let op = match next st with Lexer.OP o -> o | _ -> assert false in
+        let rhs = parse_mul st in
+        loop (Term.Func (op, [ acc; rhs ]))
+    | _ -> acc
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OP ("*" | "/") ->
+        let op = match next st with Lexer.OP o -> o | _ -> assert false in
+        let rhs = parse_unary st in
+        loop (Term.Func (op, [ acc; rhs ]))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.OP "-" ->
+      ignore (next st);
+      let t = parse_unary st in
+      (match t with Term.Int n -> Term.Int (-n) | _ -> Term.Func ("-", [ t ]))
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Lexer.INT n -> Term.Int n
+  | Lexer.STRING s -> Term.Str s
+  | Lexer.VAR v -> Term.Var v
+  | Lexer.IDENT f ->
+      if peek st = Lexer.LPAREN then begin
+        ignore (next st);
+        let args = parse_term_list st in
+        expect st Lexer.RPAREN "')'";
+        Term.Func (f, args)
+      end
+      else Term.Const f
+  | Lexer.LPAREN ->
+      let t = parse_term_prec st in
+      expect st Lexer.RPAREN "')'";
+      t
+  | _ ->
+      st.pos <- st.pos - 1;
+      fail st "expected a term"
+
+and parse_term_list st =
+  let t = parse_term_prec st in
+  if peek st = Lexer.COMMA then begin
+    ignore (next st);
+    t :: parse_term_list st
+  end
+  else [ t ]
+
+(* ---------------- literals ---------------- *)
+
+let atom_of_term st = function
+  | Term.Const c -> Atom.prop c
+  | Term.Func (f, args) when not (List.mem f Term.arith_ops) -> Atom.make f args
+  | _ -> fail st "expected an atom"
+
+let rec parse_literal st =
+  match peek st with
+  | Lexer.NOT ->
+      ignore (next st);
+      let t = parse_term_prec st in
+      Lit.Neg (atom_of_term st t)
+  | Lexer.HASH (("count" | "sum") as agg) ->
+      let kind =
+        if agg = "count" then Lit.Cardinality else Lit.Summation
+      in
+      ignore (next st);
+      expect st Lexer.LBRACE "'{'";
+      let terms = parse_term_list st in
+      let cond =
+        if peek st = Lexer.COLON then begin
+          ignore (next st);
+          parse_body st
+        end
+        else []
+      in
+      expect st Lexer.RBRACE "'}'";
+      let op =
+        match next st with
+        | Lexer.OP op when Lit.cmp_of_string op <> None ->
+            Option.get (Lit.cmp_of_string op)
+        | _ ->
+            st.pos <- st.pos - 1;
+            fail st "expected a comparison after the aggregate"
+      in
+      let bound = parse_term_prec st in
+      Lit.Count { kind; terms; cond; op; bound }
+  | _ -> (
+      let t = parse_term_prec st in
+      match peek st with
+      | Lexer.OP op when Lit.cmp_of_string op <> None ->
+          ignore (next st);
+          let cmp = Option.get (Lit.cmp_of_string op) in
+          let rhs = parse_term_prec st in
+          Lit.Cmp (t, cmp, rhs)
+      | _ -> Lit.Pos (atom_of_term st t))
+
+and parse_body st =
+  let l = parse_literal st in
+  if peek st = Lexer.COMMA then begin
+    ignore (next st);
+    l :: parse_body st
+  end
+  else [ l ]
+
+(* ---------------- rules ---------------- *)
+
+let parse_choice_elems st =
+  let parse_elem () =
+    let t = parse_term_prec st in
+    let atom = atom_of_term st t in
+    let cond =
+      if peek st = Lexer.COLON then begin
+        ignore (next st);
+        parse_body st
+      end
+      else []
+    in
+    { Rule.atom; cond }
+  in
+  let rec loop acc =
+    let e = parse_elem () in
+    if peek st = Lexer.SEMI then begin
+      ignore (next st);
+      loop (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  loop []
+
+let parse_opt_body st =
+  if peek st = Lexer.IF then begin
+    ignore (next st);
+    parse_body st
+  end
+  else []
+
+(* expand interval terms in facts: p(1..3) -> p(1). p(2). p(3). *)
+let rec expand_term = function
+  | Term.Func ("..", [ lo; hi ]) -> (
+      match Term.eval_int lo, Term.eval_int hi with
+      | Some a, Some b when a <= b -> List.init (b - a + 1) (fun k -> Term.Int (a + k))
+      | Some _, Some _ -> []
+      | _ -> raise (Error "interval bounds must be ground integers"))
+  | Term.Func (f, args) ->
+      List.map (fun args -> Term.Func (f, args)) (expand_args args)
+  | t -> [ t ]
+
+and expand_args = function
+  | [] -> [ [] ]
+  | a :: rest ->
+      let choices = expand_term a in
+      let rests = expand_args rest in
+      List.concat_map (fun c -> List.map (fun r -> c :: r) rests) choices
+
+let rec has_interval = function
+  | Term.Func ("..", _) -> true
+  | Term.Func (_, args) -> List.exists has_interval args
+  | Term.Const _ | Term.Int _ | Term.Str _ | Term.Var _ -> false
+
+let expand_fact (a : Atom.t) =
+  if List.exists has_interval a.Atom.args then
+    List.map (fun args -> { a with Atom.args }) (expand_args a.Atom.args)
+  else [ a ]
+
+let parse_statement st : [ `Rules of Rule.t list | `Show of string * int ] =
+  match peek st with
+  | Lexer.IF ->
+      ignore (next st);
+      let body = parse_body st in
+      expect st Lexer.DOT "'.'";
+      `Rules [ Rule.constraint_ body ]
+  | Lexer.WEAKIF ->
+      ignore (next st);
+      let body = parse_body st in
+      expect st Lexer.DOT "'.'";
+      expect st Lexer.LBRACKET "'['";
+      let weight = parse_term_prec st in
+      let priority =
+        if peek st = Lexer.AT then begin
+          ignore (next st);
+          match next st with
+          | Lexer.INT n -> n
+          | _ ->
+              st.pos <- st.pos - 1;
+              fail st "expected priority integer after '@'"
+        end
+        else 0
+      in
+      let terms =
+        if peek st = Lexer.COMMA then begin
+          ignore (next st);
+          parse_term_list st
+        end
+        else []
+      in
+      expect st Lexer.RBRACKET "']'";
+      `Rules [ Rule.weak ~priority ~terms ~weight body ]
+  | Lexer.HASH "show" ->
+      ignore (next st);
+      let name =
+        match next st with
+        | Lexer.IDENT s -> s
+        | _ ->
+            st.pos <- st.pos - 1;
+            fail st "expected predicate name after #show"
+      in
+      expect st (Lexer.OP "/") "'/'";
+      let arity =
+        match next st with
+        | Lexer.INT n -> n
+        | _ ->
+            st.pos <- st.pos - 1;
+            fail st "expected arity integer"
+      in
+      expect st Lexer.DOT "'.'";
+      `Show (name, arity)
+  | Lexer.HASH d ->
+      fail st "unsupported directive #%s" d
+  | Lexer.INT _ when peek2 st = Lexer.LBRACE ->
+      let lower = match next st with Lexer.INT n -> Some n | _ -> assert false in
+      expect st Lexer.LBRACE "'{'";
+      let elems = parse_choice_elems st in
+      expect st Lexer.RBRACE "'}'";
+      let upper =
+        match peek st with
+        | Lexer.INT n ->
+            ignore (next st);
+            Some n
+        | _ -> None
+      in
+      let body = parse_opt_body st in
+      expect st Lexer.DOT "'.'";
+      `Rules [ Rule.choice ?lower ?upper elems body ]
+  | Lexer.LBRACE ->
+      ignore (next st);
+      let elems = parse_choice_elems st in
+      expect st Lexer.RBRACE "'}'";
+      let upper =
+        match peek st with
+        | Lexer.INT n ->
+            ignore (next st);
+            Some n
+        | _ -> None
+      in
+      let body = parse_opt_body st in
+      expect st Lexer.DOT "'.'";
+      `Rules [ Rule.choice ?upper elems body ]
+  | _ ->
+      let t = parse_term_prec st in
+      let head = atom_of_term st t in
+      let body = parse_opt_body st in
+      expect st Lexer.DOT "'.'";
+      if body = [] then `Rules (List.map Rule.fact (expand_fact head))
+      else `Rules [ Rule.rule head body ]
+
+let with_state src f =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error msg -> raise (Error msg)
+  in
+  f { toks; pos = 0 }
+
+let parse_program src =
+  with_state src (fun st ->
+      let rec loop acc =
+        if peek st = Lexer.EOF then acc
+        else
+          let acc =
+            match parse_statement st with
+            | `Rules rs -> Program.add_all rs acc
+            | `Show s -> Program.add_show s acc
+          in
+          loop acc
+      in
+      loop Program.empty)
+
+let parse_rule src =
+  let p = parse_program src in
+  match Program.rules p with
+  | [ r ] -> r
+  | [] -> raise (Error "expected one statement, found none")
+  | _ -> raise (Error "expected exactly one statement")
+
+let parse_term src =
+  with_state src (fun st ->
+      let t = parse_term_prec st in
+      if peek st <> Lexer.EOF then fail st "trailing input after term";
+      t)
+
+let parse_atom src =
+  with_state src (fun st ->
+      let t = parse_term_prec st in
+      let a = atom_of_term st t in
+      if peek st <> Lexer.EOF then fail st "trailing input after atom";
+      a)

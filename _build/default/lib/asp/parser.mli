@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the clingo-like concrete syntax.
+
+    Supported statements:
+    - facts and normal rules: [p(X) :- q(X), not r(X), X < 3.]
+    - choice rules: [1 { a(X) : b(X) } 2 :- c.]
+    - integrity constraints: [:- p, q.]
+    - weak constraints: [:~ p(X). \[1@2, X\]]
+    - counting aggregates in bodies:
+      [big(G) :- group(G), #count { X : member(G, X) } >= 2.]
+    - [#show p/n.] directives
+    - interval facts: [time(0..5).] expand to one fact per value
+    - [%] line comments and [%* … *%] block comments. *)
+
+exception Error of string
+
+val parse_program : string -> Program.t
+val parse_rule : string -> Rule.t
+(** Parse a single statement; raises {!Error} if input has none or several. *)
+
+val parse_term : string -> Term.t
+val parse_atom : string -> Atom.t

@@ -1,0 +1,35 @@
+type t = { rules : Rule.t list; shows : (string * int) list }
+
+let empty = { rules = []; shows = [] }
+let of_rules rules = { rules; shows = [] }
+let rules p = p.rules
+let add r p = { p with rules = p.rules @ [ r ] }
+let add_all rs p = { p with rules = p.rules @ rs }
+let append a b = { rules = a.rules @ b.rules; shows = a.shows @ b.shows }
+let size p = List.length p.rules
+let shows p = p.shows
+let add_show s p = { p with shows = p.shows @ [ s ] }
+
+let predicates p =
+  let add acc sg = if List.mem sg acc then acc else sg :: acc in
+  let of_lit acc l =
+    match Lit.atom l with Some a -> add acc (Atom.signature a) | None -> acc
+  in
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         let acc =
+           List.fold_left (fun acc a -> add acc (Atom.signature a)) acc
+             (Rule.head_atoms r)
+         in
+         List.fold_left of_lit acc (Rule.body r))
+       [] p.rules)
+
+let to_string p =
+  let rules = List.map Rule.to_string p.rules in
+  let shows =
+    List.map (fun (pr, n) -> Printf.sprintf "#show %s/%d." pr n) p.shows
+  in
+  String.concat "\n" (rules @ shows)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,23 @@
+(** An ASP program: an ordered collection of rules plus [#show]-style
+    projection directives. *)
+
+type t
+
+val empty : t
+val of_rules : Rule.t list -> t
+val rules : t -> Rule.t list
+val add : Rule.t -> t -> t
+val add_all : Rule.t list -> t -> t
+val append : t -> t -> t
+val size : t -> int
+
+val shows : t -> (string * int) list
+(** Predicate signatures marked with [#show p/n.]; empty means show all. *)
+
+val add_show : string * int -> t -> t
+
+val predicates : t -> (string * int) list
+(** All predicate signatures occurring in the program. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,114 @@
+type choice_elem = { atom : Atom.t; cond : Lit.t list }
+
+type head =
+  | Head of Atom.t
+  | Choice of { lower : int option; upper : int option; elems : choice_elem list }
+  | Falsity
+
+type t =
+  | Rule of { head : head; body : Lit.t list }
+  | Weak of { body : Lit.t list; weight : Term.t; priority : int; terms : Term.t list }
+
+let fact a = Rule { head = Head a; body = [] }
+let rule a body = Rule { head = Head a; body }
+let constraint_ body = Rule { head = Falsity; body }
+
+let choice ?lower ?upper elems body =
+  Rule { head = Choice { lower; upper; elems }; body }
+
+let weak ?(priority = 0) ?(terms = []) ~weight body =
+  Weak { body; weight; priority; terms }
+
+let add_vars acc vs = List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
+
+let vars = function
+  | Rule { head; body } ->
+      let acc =
+        match head with
+        | Head a -> add_vars [] (Atom.vars a)
+        | Falsity -> []
+        | Choice { elems; _ } ->
+            List.fold_left
+              (fun acc e ->
+                let acc = add_vars acc (Atom.vars e.atom) in
+                List.fold_left (fun acc l -> add_vars acc (Lit.vars l)) acc e.cond)
+              [] elems
+      in
+      List.rev (List.fold_left (fun acc l -> add_vars acc (Lit.vars l)) acc body)
+  | Weak { body; weight; terms; _ } ->
+      let acc = List.fold_left (fun acc l -> add_vars acc (Lit.vars l)) [] body in
+      let acc = add_vars acc (Term.vars weight) in
+      List.rev
+        (List.fold_left (fun acc t -> add_vars acc (Term.vars t)) acc terms)
+
+let is_ground r = vars r = []
+
+let substitute s = function
+  | Rule { head; body } ->
+      let head =
+        match head with
+        | Head a -> Head (Atom.substitute s a)
+        | Falsity -> Falsity
+        | Choice { lower; upper; elems } ->
+            Choice
+              {
+                lower;
+                upper;
+                elems =
+                  List.map
+                    (fun e ->
+                      {
+                        atom = Atom.substitute s e.atom;
+                        cond = List.map (Lit.substitute s) e.cond;
+                      })
+                    elems;
+              }
+      in
+      Rule { head; body = List.map (Lit.substitute s) body }
+  | Weak { body; weight; priority; terms } ->
+      Weak
+        {
+          body = List.map (Lit.substitute s) body;
+          weight = Term.substitute s weight;
+          priority;
+          terms = List.map (Term.substitute s) terms;
+        }
+
+let head_atoms = function
+  | Rule { head = Head a; _ } -> [ a ]
+  | Rule { head = Choice { elems; _ }; _ } -> List.map (fun e -> e.atom) elems
+  | Rule { head = Falsity; _ } | Weak _ -> []
+
+let body = function Rule { body; _ } | Weak { body; _ } -> body
+
+let body_to_string body = String.concat ", " (List.map Lit.to_string body)
+
+let to_string = function
+  | Rule { head = Head a; body = [] } -> Atom.to_string a ^ "."
+  | Rule { head = Head a; body } ->
+      Printf.sprintf "%s :- %s." (Atom.to_string a) (body_to_string body)
+  | Rule { head = Falsity; body } ->
+      Printf.sprintf ":- %s." (body_to_string body)
+  | Rule { head = Choice { lower; upper; elems }; body } ->
+      let elem_to_string (e : choice_elem) =
+        match e.cond with
+        | [] -> Atom.to_string e.atom
+        | cond ->
+            Printf.sprintf "%s : %s" (Atom.to_string e.atom) (body_to_string cond)
+      in
+      let inner = String.concat " ; " (List.map elem_to_string elems) in
+      let lo = match lower with Some n -> string_of_int n ^ " " | None -> "" in
+      let hi = match upper with Some n -> " " ^ string_of_int n | None -> "" in
+      let head = Printf.sprintf "%s{ %s }%s" lo inner hi in
+      if body = [] then head ^ "."
+      else Printf.sprintf "%s :- %s." head (body_to_string body)
+  | Weak { body; weight; priority; terms } ->
+      let terms_str =
+        match terms with
+        | [] -> ""
+        | ts -> ", " ^ String.concat "," (List.map Term.to_string ts)
+      in
+      Printf.sprintf ":~ %s. [%s@%d%s]" (body_to_string body)
+        (Term.to_string weight) priority terms_str
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,34 @@
+(** Rules: normal rules, choice rules, integrity constraints and weak
+    constraints, in the clingo fragment the framework generates. *)
+
+type choice_elem = { atom : Atom.t; cond : Lit.t list }
+(** A choice element [atom : cond1, …, condn]. *)
+
+type head =
+  | Head of Atom.t  (** normal rule / fact head *)
+  | Choice of { lower : int option; upper : int option; elems : choice_elem list }
+      (** [lo { e1 ; … ; en } hi] *)
+  | Falsity  (** integrity constraint [:- body] *)
+
+type t =
+  | Rule of { head : head; body : Lit.t list }
+  | Weak of { body : Lit.t list; weight : Term.t; priority : int; terms : Term.t list }
+      (** [:~ body. \[w@p, t1, …\]] *)
+
+val fact : Atom.t -> t
+val rule : Atom.t -> Lit.t list -> t
+val constraint_ : Lit.t list -> t
+val choice : ?lower:int -> ?upper:int -> choice_elem list -> Lit.t list -> t
+val weak : ?priority:int -> ?terms:Term.t list -> weight:Term.t -> Lit.t list -> t
+
+val vars : t -> string list
+val is_ground : t -> bool
+val substitute : Term.subst -> t -> t
+
+val head_atoms : t -> Atom.t list
+(** Atoms that this rule can derive (choice elements included). *)
+
+val body : t -> Lit.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,32 @@
+(** Stable-model enumeration for ground programs.
+
+    Strategy: the candidate space is spanned by the choice-element atoms
+    (plus, for non-stratified programs, the atoms occurring under default
+    negation). For each guess the deterministic consequence is computed by
+    iterated fixpoint over the stratified program; the Gelfond–Lifschitz
+    consistency condition is checked where needed, integrity constraints and
+    choice-rule cardinality bounds are verified, and the weak-constraint
+    cost is attached to each surviving model.
+
+    The framework's generated encodings are stratified modulo choices, which
+    keeps enumeration at [2^#choice-atoms]; fully non-stratified programs
+    fall back to guessing over negated atoms as well. *)
+
+exception Unsupported of string
+(** The guess space is too large ([> max_guess] atoms) for exhaustive
+    enumeration. *)
+
+val solve : ?limit:int -> ?max_guess:int -> Ground.t -> Model.t list
+(** All stable models (up to [limit], default unlimited), deduplicated,
+    sorted by atom set; [#show] projections are {e not} applied — use
+    {!Model.project} with [Ground.shows]. [max_guess] defaults to 24. *)
+
+val solve_optimal : ?max_guess:int -> Ground.t -> Model.t list
+(** Models with the minimal weak-constraint cost (all optima). *)
+
+val satisfiable : ?max_guess:int -> Ground.t -> bool
+
+val is_stable_model : Ground.t -> Model.AtomSet.t -> bool
+(** Independent Gelfond–Lifschitz verification: [m] is the least model of
+    the reduct of the program w.r.t. [m], and satisfies all integrity
+    constraints and choice bounds. Used as a test oracle. *)

@@ -1,0 +1,104 @@
+type t =
+  | Const of string
+  | Int of int
+  | Str of string
+  | Var of string
+  | Func of string * t list
+
+type subst = (string * t) list
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Var x, Var y -> String.equal x y
+  | Func (f, xs), Func (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 equal xs ys
+  | (Const _ | Int _ | Str _ | Var _ | Func _), _ -> false
+
+let rec compare a b =
+  let tag = function
+    | Int _ -> 0
+    | Const _ -> 1
+    | Str _ -> 2
+    | Var _ -> 3
+    | Func _ -> 4
+  in
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Const x, Const y | Str x, Str y | Var x, Var y -> String.compare x y
+  | Func (f, xs), Func (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else List.compare compare xs ys
+  | _ -> Stdlib.compare (tag a) (tag b)
+
+let rec is_ground = function
+  | Const _ | Int _ | Str _ -> true
+  | Var _ -> false
+  | Func (_, args) -> List.for_all is_ground args
+
+let vars t =
+  let rec go acc = function
+    | Const _ | Int _ | Str _ -> acc
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Func (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec substitute s = function
+  | (Const _ | Int _ | Str _) as t -> t
+  | Var v as t -> ( match List.assoc_opt v s with Some t' -> t' | None -> t)
+  | Func (f, args) -> Func (f, List.map (substitute s) args)
+
+let arith_ops = [ "+"; "-"; "*"; "/"; "abs"; "min"; "max"; "mod" ]
+
+let rec eval t =
+  match t with
+  | Const _ | Int _ | Str _ -> t
+  | Var v -> invalid_arg (Printf.sprintf "Term.eval: non-ground term (variable %s)" v)
+  | Func (f, args) when List.mem f arith_ops -> (
+      let args = List.map eval args in
+      let ints =
+        List.map
+          (function
+            | Int n -> n
+            | other ->
+                invalid_arg
+                  (Printf.sprintf "Term.eval: arithmetic on non-integer %s"
+                     (to_string other)))
+          args
+      in
+      match f, ints with
+      | "+", [ a; b ] -> Int (a + b)
+      | "-", [ a; b ] -> Int (a - b)
+      | "-", [ a ] -> Int (-a)
+      | "*", [ a; b ] -> Int (a * b)
+      | "/", [ a; b ] ->
+          if b = 0 then invalid_arg "Term.eval: division by zero" else Int (a / b)
+      | "mod", [ a; b ] ->
+          if b = 0 then invalid_arg "Term.eval: modulo by zero" else Int (a mod b)
+      | "abs", [ a ] -> Int (abs a)
+      | "min", [ a; b ] -> Int (Stdlib.min a b)
+      | "max", [ a; b ] -> Int (Stdlib.max a b)
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Term.eval: bad arity for arithmetic %s/%d" f
+               (List.length ints)))
+  | Func (f, args) -> Func (f, List.map eval args)
+
+and to_string t =
+  match t with
+  | Const c -> c
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Var v -> v
+  | Func (f, [ a; b ]) when List.mem f [ "+"; "-"; "*"; "/" ] ->
+      Printf.sprintf "(%s%s%s)" (to_string a) f (to_string b)
+  | Func (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat "," (List.map to_string args))
+
+let eval_int t = match eval t with Int n -> Some n | _ -> None
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,35 @@
+(** Terms of the ASP language: constants, integers, variables and compound
+    terms. Arithmetic function symbols ["+"], ["-"], ["*"], ["/"], ["abs"]
+    evaluate over integers during grounding. *)
+
+type t =
+  | Const of string        (** lowercase symbolic constant *)
+  | Int of int
+  | Str of string          (** quoted string constant *)
+  | Var of string          (** uppercase variable *)
+  | Func of string * t list  (** compound term / arithmetic expression *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_ground : t -> bool
+val vars : t -> string list
+(** Variables in order of first occurrence, without duplicates. *)
+
+type subst = (string * t) list
+
+val substitute : subst -> t -> t
+
+val eval : t -> t
+(** Normalize a ground term by evaluating arithmetic function symbols over
+    integer arguments; non-arithmetic structure is preserved. Raises
+    [Invalid_argument] on arithmetic over non-integers, division by zero, or
+    a non-ground term. *)
+
+val eval_int : t -> int option
+(** [Some n] when {!eval} yields [Int n]. *)
+
+val arith_ops : string list
+(** Function symbols interpreted arithmetically by {!eval}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/attackgraph/graph.ml: Archimate Buffer Format Hashtbl List Printf Qual Threatdb

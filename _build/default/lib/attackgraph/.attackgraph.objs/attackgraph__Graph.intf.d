@@ -1,0 +1,1 @@
+lib/attackgraph/graph.mli: Archimate Format Qual Threatdb

@@ -1,0 +1,174 @@
+type node = {
+  component : string;
+  technique : Threatdb.Attck.technique;
+}
+
+type t = {
+  nodes : node list;
+  edges : (node * node) list;
+  severities : (string * string, Qual.Level.t) Hashtbl.t;
+      (* (component, technique id) -> severity *)
+}
+
+let tactic_stage = function
+  | Threatdb.Attck.Initial_access -> 0
+  | Threatdb.Attck.Execution -> 1
+  | Threatdb.Attck.Persistence -> 2
+  | Threatdb.Attck.Privilege_escalation -> 3
+  | Threatdb.Attck.Evasion -> 4
+  | Threatdb.Attck.Discovery -> 5
+  | Threatdb.Attck.Lateral_movement -> 6
+  | Threatdb.Attck.Collection -> 7
+  | Threatdb.Attck.Command_and_control -> 8
+  | Threatdb.Attck.Inhibit_response -> 9
+  | Threatdb.Attck.Impair_process_control -> 10
+  | Threatdb.Attck.Impact -> 11
+
+let stage (t : Threatdb.Attck.technique) =
+  List.fold_left
+    (fun acc tac -> min acc (tactic_stage tac))
+    max_int t.Threatdb.Attck.tactics
+
+let node_equal a b =
+  a.component = b.component
+  && a.technique.Threatdb.Attck.id = b.technique.Threatdb.Attck.id
+
+(* components adjacent for adversary progression *)
+let adjacent model c1 c2 =
+  c1 = c2
+  || List.exists
+       (fun (r : Archimate.Relationship.t) ->
+         let connects src dst = r.Archimate.Relationship.source = src && r.Archimate.Relationship.target = dst in
+         match r.Archimate.Relationship.kind with
+         | Archimate.Relationship.Flow | Archimate.Relationship.Serving
+         | Archimate.Relationship.Access _ ->
+             connects c1 c2
+         | Archimate.Relationship.Composition | Archimate.Relationship.Aggregation ->
+             connects c1 c2 || connects c2 c1
+         | Archimate.Relationship.Assignment | Archimate.Relationship.Realization
+         | Archimate.Relationship.Triggering | Archimate.Relationship.Association
+         | Archimate.Relationship.Specialization ->
+             false)
+       (Archimate.Model.relationships model)
+
+let generate model =
+  let severities = Hashtbl.create 64 in
+  let nodes =
+    List.concat_map
+      (fun (e : Archimate.Element.t) ->
+        match Archimate.Element.property "component_type" e with
+        | None -> []
+        | Some ty ->
+            List.map
+              (fun (threat : Threatdb.Db.threat) ->
+                let node =
+                  {
+                    component = e.Archimate.Element.id;
+                    technique = threat.Threatdb.Db.technique;
+                  }
+                in
+                Hashtbl.replace severities
+                  ( node.component,
+                    node.technique.Threatdb.Attck.id )
+                  threat.Threatdb.Db.severity;
+                node)
+              (Threatdb.Db.threats_for_type ty))
+      (Archimate.Model.elements model)
+  in
+  let edges =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if
+              (not (node_equal a b))
+              && stage a.technique < stage b.technique
+              && adjacent model a.component b.component
+            then Some (a, b)
+            else None)
+          nodes)
+      nodes
+  in
+  { nodes; edges; severities }
+
+let nodes g = g.nodes
+let edges g = g.edges
+let size g = (List.length g.nodes, List.length g.edges)
+
+let entry_nodes g =
+  List.filter
+    (fun n ->
+      List.mem Threatdb.Attck.Initial_access n.technique.Threatdb.Attck.tactics)
+    g.nodes
+
+let goal_nodes g =
+  List.filter
+    (fun n ->
+      List.exists
+        (fun tac ->
+          tac = Threatdb.Attck.Impact || tac = Threatdb.Attck.Impair_process_control)
+        n.technique.Threatdb.Attck.tactics)
+    g.nodes
+
+let successors g n =
+  List.filter_map
+    (fun (a, b) -> if node_equal a n then Some b else None)
+    g.edges
+
+let paths ?(max_length = 8) g ~source ~sink =
+  let out = ref [] in
+  let rec go path n =
+    let path = n :: path in
+    if node_equal n sink then out := List.rev path :: !out
+    else if List.length path < max_length then
+      List.iter
+        (fun succ ->
+          if not (List.exists (node_equal succ) path) then go path succ)
+        (successors g n)
+  in
+  go [] source;
+  List.rev !out
+
+let attack_scenarios ?max_length g =
+  let goals = goal_nodes g in
+  List.concat_map
+    (fun source ->
+      List.concat_map (fun sink -> paths ?max_length g ~source ~sink) goals)
+    (entry_nodes g)
+
+let severity_of g n =
+  match Hashtbl.find_opt g.severities (n.component, n.technique.Threatdb.Attck.id) with
+  | Some s -> s
+  | None -> Qual.Level.Medium
+
+let severity path =
+  List.fold_left
+    (fun acc (n : node) ->
+      Qual.Level.max acc (Threatdb.Db.technique_severity n.technique))
+    Qual.Level.Very_low path
+
+let pp_node ppf n =
+  Format.fprintf ppf "%s@%s" n.technique.Threatdb.Attck.id n.component
+
+let to_dot g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph attack {\n  rankdir=LR;\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s@%s\" [label=\"%s\\n%s\\n(%s)\"];\n"
+           n.technique.Threatdb.Attck.id n.component
+           n.technique.Threatdb.Attck.id n.technique.Threatdb.Attck.name
+           n.component))
+    g.nodes;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s@%s\" -> \"%s@%s\";\n"
+           a.technique.Threatdb.Attck.id a.component
+           b.technique.Threatdb.Attck.id b.component))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let _ = severity_of

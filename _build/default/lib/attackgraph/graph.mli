@@ -1,0 +1,54 @@
+(** Attack-graph generation over the typed system model — the capability
+    the paper's related work (§III.B, threat modeling with the ATT&CK
+    matrix) provides, integrated with this framework's model and threat
+    snapshots.
+
+    Nodes pair a model component with an applicable ATT&CK-ICS technique;
+    an edge leads from one node to another when the adversary can progress:
+    the target's earliest tactic stage is strictly later in the kill chain
+    and the components are adjacent in the model (same element; a
+    flow/serving/access relationship; or composition in either direction —
+    code running in a part runs in the whole). *)
+
+type node = {
+  component : string;  (** model element id *)
+  technique : Threatdb.Attck.technique;
+}
+
+type t
+
+val generate : Archimate.Model.t -> t
+(** Techniques are drawn from {!Threatdb.Db.threats_for_type} via each
+    element's ["component_type"] property; untyped elements get no nodes. *)
+
+val nodes : t -> node list
+val edges : t -> (node * node) list
+val size : t -> int * int
+(** (node count, edge count). *)
+
+val entry_nodes : t -> node list
+(** Nodes whose technique includes the initial-access tactic. *)
+
+val goal_nodes : t -> node list
+(** Nodes with an impact or impair-process-control tactic. *)
+
+val stage : Threatdb.Attck.technique -> int
+(** Earliest kill-chain position of the technique's tactics (0 = initial
+    access … 11 = impact). *)
+
+val paths : ?max_length:int -> t -> source:node -> sink:node -> node list list
+(** Simple paths (no repeated node) from [source] to [sink], bounded by
+    [max_length] nodes (default 8), in DFS order. *)
+
+val attack_scenarios : ?max_length:int -> t -> node list list
+(** All entry→goal paths: the graph view of the paper's "attack scenario
+    space" (§IV.A). *)
+
+val severity : node list -> Qual.Level.t
+(** Severity of a scenario path: the maximum severity of its techniques
+    per {!Threatdb.Db.threats_for_type} (Very_low for the empty path). *)
+
+val node_equal : node -> node -> bool
+val pp_node : Format.formatter -> node -> unit
+val to_dot : t -> string
+(** Graphviz rendering for documentation. *)

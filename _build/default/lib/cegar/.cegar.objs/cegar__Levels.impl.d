@@ -1,0 +1,1 @@
+lib/cegar/levels.ml: Buffer List Printf String

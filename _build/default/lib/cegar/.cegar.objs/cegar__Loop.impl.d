@@ -1,0 +1,1 @@
+lib/cegar/loop.ml: List Printf

@@ -1,0 +1,1 @@
+lib/cegar/loop.mli:

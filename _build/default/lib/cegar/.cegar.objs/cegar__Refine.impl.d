@@ -1,0 +1,1 @@
+lib/cegar/refine.ml: Archimate Hashtbl List Printf

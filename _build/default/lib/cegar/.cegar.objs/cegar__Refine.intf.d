@@ -1,0 +1,1 @@
+lib/cegar/refine.mli: Archimate

@@ -1,0 +1,54 @@
+type asset_level = A_system | A_subsystem | A_component
+type threat_level = T_aspect | T_fault | T_mitigation
+
+type focus =
+  | Topology_propagation
+  | Detailed_epa
+  | Mitigation_planning
+
+let asset_levels = [ A_system; A_subsystem; A_component ]
+let threat_levels = [ T_aspect; T_fault; T_mitigation ]
+
+let focus_for _asset = function
+  | T_aspect -> Topology_propagation
+  | T_fault -> Detailed_epa
+  | T_mitigation -> Mitigation_planning
+
+let level_index = function A_system -> 0 | A_subsystem -> 1 | A_component -> 2
+let refines ~coarse ~fine = level_index coarse < level_index fine
+
+let asset_level_to_string = function
+  | A_system -> "system"
+  | A_subsystem -> "subsystem"
+  | A_component -> "component"
+
+let threat_level_to_string = function
+  | T_aspect -> "aspect"
+  | T_fault -> "fault/vulnerability"
+  | T_mitigation -> "mitigation"
+
+let focus_to_string = function
+  | Topology_propagation -> "topology-based propagation"
+  | Detailed_epa -> "detailed propagation analysis"
+  | Mitigation_planning -> "mitigation plan"
+
+let render_matrix () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-12s|" "asset\\threat");
+  List.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf " %-22s" (threat_level_to_string t)))
+    threat_levels;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make 83 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "%-12s|" (asset_level_to_string a));
+      List.iter
+        (fun t ->
+          Buffer.add_string buf
+            (Printf.sprintf " %-22s" (focus_to_string (focus_for a t))))
+        threat_levels;
+      Buffer.add_char buf '\n')
+    asset_levels;
+  Buffer.contents buf

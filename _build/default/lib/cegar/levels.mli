@@ -1,0 +1,36 @@
+(** The hierarchical-evaluation matrix of Fig. 3: asset-type refinements on
+    one axis, threat refinements on the other, with the three evaluation
+    focuses placed at their applicable combinations (§VI). *)
+
+type asset_level =
+  | A_system     (** main assets only, broad terms *)
+  | A_subsystem  (** refined assets, e.g. the decomposed workstation *)
+  | A_component  (** component versions known, library-precise *)
+
+type threat_level =
+  | T_aspect      (** high-level aspects: reliability, availability, timeliness *)
+  | T_fault       (** specific faults and vulnerabilities *)
+  | T_mitigation  (** mitigation mechanisms attached *)
+
+type focus =
+  | Topology_propagation  (** §VI item 1 *)
+  | Detailed_epa          (** §VI item 2 *)
+  | Mitigation_planning   (** §VI item 3 *)
+
+val asset_levels : asset_level list
+(** Coarsest first (matrix rows, top to bottom). *)
+
+val threat_levels : threat_level list
+(** Coarsest first (the paper arranges these right to left). *)
+
+val focus_for : asset_level -> threat_level -> focus
+(** The evaluation focus recommended at a matrix cell: aspect-level threats
+    get topology propagation, fault-level threats detailed EPA, and
+    mitigation-level threats mitigation planning (available at any asset
+    granularity — precision grows with refinement). *)
+
+val refines : coarse:asset_level -> fine:asset_level -> bool
+val asset_level_to_string : asset_level -> string
+val threat_level_to_string : threat_level -> string
+val focus_to_string : focus -> string
+val render_matrix : unit -> string

@@ -1,0 +1,43 @@
+type 'c round = {
+  level : int;
+  candidates : 'c list;
+  eliminated : 'c list;
+}
+
+type 'c outcome = {
+  rounds : 'c round list;
+  confirmed : 'c list;
+  converged : bool;
+}
+
+let run ?(max_rounds = 10) ~equal ~initial ~refine () =
+  let initial_candidates = initial () in
+  let rec go level candidates rounds =
+    if level >= max_rounds then
+      { rounds = List.rev rounds; confirmed = candidates; converged = false }
+    else
+      match refine level candidates with
+      | None ->
+          { rounds = List.rev rounds; confirmed = candidates; converged = true }
+      | Some refined ->
+          let fresh =
+            List.filter
+              (fun c -> not (List.exists (equal c) candidates))
+              refined
+          in
+          if fresh <> [] then
+            invalid_arg
+              (Printf.sprintf
+                 "Cegar.Loop.run: refinement at level %d introduced %d \
+                  candidates absent from the abstraction (unsound abstraction)"
+                 (level + 1) (List.length fresh));
+          let eliminated =
+            List.filter
+              (fun c -> not (List.exists (equal c) refined))
+              candidates
+          in
+          let round = { level = level + 1; candidates = refined; eliminated } in
+          go (level + 1) refined (round :: rounds)
+  in
+  let round0 = { level = 0; candidates = initial_candidates; eliminated = [] } in
+  go 0 initial_candidates [ round0 ]

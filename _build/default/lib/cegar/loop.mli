@@ -1,0 +1,35 @@
+(** CEGAR-styled refinement loop (Fig. 1 step 5): the abstract analysis
+    over-approximates — "the method guarantees that no actual hazardous
+    attack is overlooked" — and successive refinement rounds eliminate
+    spurious candidates until the candidate set stabilizes or no refinement
+    remains.
+
+    The driver is generic in the candidate type: the water-tank tool
+    instantiates it with attack scenarios, with refinement moving from
+    topology-based propagation to behaviour-level EPA. *)
+
+type 'c round = {
+  level : int;                (** 0 = initial abstraction *)
+  candidates : 'c list;       (** hazard candidates surviving this level *)
+  eliminated : 'c list;       (** spurious candidates removed by this level *)
+}
+
+type 'c outcome = {
+  rounds : 'c round list;     (** in refinement order *)
+  confirmed : 'c list;        (** candidates of the final round *)
+  converged : bool;           (** no refinement remained applicable *)
+}
+
+val run :
+  ?max_rounds:int ->
+  equal:('c -> 'c -> bool) ->
+  initial:(unit -> 'c list) ->
+  refine:(int -> 'c list -> 'c list option) ->
+  unit ->
+  'c outcome
+(** [refine level candidates] re-analyzes at the next refinement level and
+    returns the surviving candidates, or [None] when no further refinement
+    exists. Candidates {e introduced} by a refinement (absent from the
+    abstract round) violate the over-approximation contract and raise
+    [Invalid_argument] — abstraction soundness is enforced, not assumed.
+    [max_rounds] defaults to 10. *)

@@ -1,0 +1,77 @@
+type t = {
+  target : string;
+  parts : Archimate.Element.t list;
+  internal_flows : (string * string) list;
+}
+
+let apply model r =
+  (match Archimate.Model.element r.target model with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Refine.apply: target %s not in model" r.target)
+  | Some _ -> ());
+  let model =
+    List.fold_left (fun m e -> Archimate.Model.add_element e m) model r.parts
+  in
+  let model =
+    List.fold_left
+      (fun m (e : Archimate.Element.t) ->
+        Archimate.Model.add_relationship
+          (Archimate.Relationship.make
+             ~id:(Printf.sprintf "comp_%s_%s" r.target e.Archimate.Element.id)
+             ~source:r.target ~target:e.Archimate.Element.id
+             ~kind:Archimate.Relationship.Composition ())
+          m)
+      model r.parts
+  in
+  List.fold_left
+    (fun m (src, dst) ->
+      Archimate.Model.add_relationship
+        (Archimate.Relationship.make
+           ~id:(Printf.sprintf "iflow_%s_%s" src dst)
+           ~source:src ~target:dst ~kind:Archimate.Relationship.Flow ())
+        m)
+    model r.internal_flows
+
+let parts_of model id =
+  List.map
+    (fun (e : Archimate.Element.t) -> e.Archimate.Element.id)
+    (Archimate.Model.parts id model)
+
+let attack_path model ~entry ~target =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen entry ();
+  let rec bfs frontier =
+    if frontier = [] then None
+    else if List.exists (fun (id, _) -> id = target) frontier then
+      let _, path = List.find (fun (id, _) -> id = target) frontier in
+      Some (List.rev path)
+    else
+      let next =
+        List.concat_map
+          (fun (id, path) ->
+            Archimate.Model.successors ~kind:Archimate.Relationship.Flow id model
+            |> List.filter_map (fun (e : Archimate.Element.t) ->
+                   let eid = e.Archimate.Element.id in
+                   if Hashtbl.mem seen eid then None
+                   else begin
+                     Hashtbl.replace seen eid ();
+                     Some (eid, eid :: path)
+                   end))
+          frontier
+      in
+      bfs next
+  in
+  bfs [ (entry, [ entry ]) ]
+
+let flatten model id =
+  let rec collect acc eid =
+    List.fold_left
+      (fun acc (e : Archimate.Element.t) ->
+        let pid = e.Archimate.Element.id in
+        if List.mem pid acc then acc else collect (pid :: acc) pid)
+      acc
+      (Archimate.Model.parts eid model)
+  in
+  let to_remove = collect [] id in
+  List.fold_left (fun m eid -> Archimate.Model.remove_element eid m) model to_remove

@@ -1,0 +1,30 @@
+(** Asset refinement (Fig. 4): replacing a coarse asset by its internal
+    decomposition while keeping the whole as a composition parent — the
+    "Engineering Workstation → E-mail Client → Browser → Infected Computer"
+    example, with mitigations attachable to the refined parts. *)
+
+type t = {
+  target : string;  (** id of the element to refine *)
+  parts : Archimate.Element.t list;
+  internal_flows : (string * string) list;
+      (** flow edges between part ids (attack/data flow inside the asset) *)
+}
+
+val apply : Archimate.Model.t -> t -> Archimate.Model.t
+(** Adds the parts, composition edges from the target to each part, and the
+    internal flows (relationship ids are derived from the part ids).
+    Raises [Invalid_argument] when the target is missing or a part id
+    collides. *)
+
+val parts_of : Archimate.Model.t -> string -> string list
+(** Ids of the direct composition parts (refinement result inspection). *)
+
+val attack_path :
+  Archimate.Model.t -> entry:string -> target:string -> string list option
+(** Shortest flow path between two elements (BFS) — the refined model's
+    attack-flow witness, e.g. e-mail client → browser → infected computer.
+    Includes both endpoints. *)
+
+val flatten : Archimate.Model.t -> string -> Archimate.Model.t
+(** Inverse abstraction: removes all (transitive) parts of the given
+    element, re-coarsening the model. *)

@@ -1,0 +1,1 @@
+lib/cpsrisk/cascade.ml: Array Asp Buffer Epa List Printf Qual String

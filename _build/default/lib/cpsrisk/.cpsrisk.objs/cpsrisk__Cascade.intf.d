@@ -1,0 +1,1 @@
+lib/cpsrisk/cascade.mli: Asp Epa Ltl

@@ -1,0 +1,1 @@
+lib/cpsrisk/pipeline.ml: Archimate Cegar Epa List Mitigation Printf Qual Risk String Threatdb Water_tank

@@ -1,0 +1,1 @@
+lib/cpsrisk/pipeline.mli: Archimate Epa Mitigation Qual

@@ -1,0 +1,1 @@
+lib/cpsrisk/report.ml: Archimate Buffer Cegar Epa Format List Printf Risk String

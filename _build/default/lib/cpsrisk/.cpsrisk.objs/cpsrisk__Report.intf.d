@@ -1,0 +1,1 @@
+lib/cpsrisk/report.mli: Archimate Epa Risk

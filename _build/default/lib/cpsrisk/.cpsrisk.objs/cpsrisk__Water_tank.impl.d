@@ -1,0 +1,1 @@
+lib/cpsrisk/water_tank.ml: Archimate Array Asp Buffer Cegar Element Epa List Mitigation Model Printf Qual Relationship String Telingo

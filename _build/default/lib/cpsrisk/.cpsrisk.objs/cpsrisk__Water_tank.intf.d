@@ -1,0 +1,1 @@
+lib/cpsrisk/water_tank.mli: Archimate Asp Epa Ltl Mitigation

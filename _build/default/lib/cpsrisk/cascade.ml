@@ -1,0 +1,64 @@
+let tank_var i = Printf.sprintf "tank%d" i
+let fault_id i = Printf.sprintf "D%d" i
+
+let faults n =
+  List.init n (fun i ->
+      Epa.Fault.make ~id:(fault_id i)
+        ~component:(Printf.sprintf "drain%d" i)
+        ~mode:(Epa.Fault.Stuck_at "closed")
+        ())
+
+let build n ~faults:active =
+  let broken i = List.mem (fault_id i) active in
+  let init =
+    Qual.Qstate.of_list (List.init n (fun i -> (tank_var i, "low")))
+  in
+  let step s =
+    let next = Array.make n "low" in
+    for i = 0 to n - 1 do
+      let upstream_overflow = i > 0 && next.(i - 1) = "overflow" in
+      let current = Qual.Qstate.get (tank_var i) s in
+      next.(i) <-
+        (if current = "overflow" || upstream_overflow then "overflow"
+         else if broken i then
+           match current with "low" -> "high" | _ -> "overflow"
+         else "low")
+    done;
+    Qual.Qstate.of_list (List.init n (fun i -> (tank_var i, next.(i))))
+  in
+  Epa.Dynamics.to_ts (Epa.Dynamics.make ~init ~step)
+
+let requirements n =
+  List.init n (fun i ->
+      Epa.Requirement.make
+        ~id:(Printf.sprintf "R%d" i)
+        ~description:(Printf.sprintf "tank %d must not overflow" i)
+        ~formula:(Printf.sprintf "G !%s=overflow" (tank_var i)))
+
+let system n =
+  {
+    Epa.Analysis.catalog = faults n;
+    blocks = (fun _ -> []);
+    build = build n;
+    requirements = requirements n;
+  }
+
+(* ASP chain program: reachability over a linear graph of [n] nodes. *)
+let asp_chain_program n =
+  let buf = Buffer.create 256 in
+  for i = 0 to n - 2 do
+    Buffer.add_string buf (Printf.sprintf "edge(n%d, n%d).\n" i (i + 1))
+  done;
+  Buffer.add_string buf "path(X, Y) :- edge(X, Y).\n";
+  Buffer.add_string buf "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  Asp.Parser.parse_program (Buffer.contents buf)
+
+(* ASP choice program: k independent switches with a parity-ish constraint,
+   exercising the 2^k stable-model enumeration. *)
+let asp_choice_program k =
+  let buf = Buffer.create 256 in
+  let atoms = List.init k (fun i -> Printf.sprintf "x%d" i) in
+  Buffer.add_string buf
+    (Printf.sprintf "{ %s }.\n" (String.concat " ; " atoms));
+  Buffer.add_string buf ":- not x0.\n";
+  Asp.Parser.parse_program (Buffer.contents buf)

@@ -1,0 +1,18 @@
+(** Parametric scaling substrate: a cascade of [n] tanks where tank [i]
+    overflows when its own drain fault [Di] sticks or the upstream tank has
+    already spilled. One no-overflow requirement per tank; the scenario
+    space is 2^n — the knob the scalability benchmarks turn, and a family
+    of regression models for the analysis engine. *)
+
+val faults : int -> Epa.Fault.t list
+val requirements : int -> Epa.Requirement.t list
+val build : int -> faults:string list -> Ltl.Ts.t
+val system : int -> Epa.Analysis.system
+
+val asp_chain_program : int -> Asp.Program.t
+(** Reachability over a linear [n]-node graph: the grounder-growth
+    benchmark (O(n²) ground rules). *)
+
+val asp_choice_program : int -> Asp.Program.t
+(** [k] independent choice atoms under one constraint: 2^(k−1) stable
+    models — the enumeration benchmark. *)

@@ -1,0 +1,183 @@
+type mutation = {
+  component : string;
+  source : [ `Fault of string | `Technique of string ];
+}
+
+type ranked_hazard = {
+  row : Epa.Analysis.row;
+  risk : Qual.Level.t;
+}
+
+type artifacts = {
+  validation : Archimate.Validate.issue list;
+  mutations : mutation list;
+  scenario_count : int;
+  candidate_hazards : string list;
+  confirmed_hazards : ranked_hazard list;
+  spurious_eliminated : string list;
+  plan : Mitigation.Optimizer.solution;
+  log : string list;
+}
+
+type config = {
+  model : Archimate.Model.t;
+  topology : Epa.Propagation.network;
+  system : Epa.Analysis.system;
+  actions : Mitigation.Action.t list;
+  residual : active:string list -> int;
+  budget : int option;
+}
+
+let water_tank_config ?budget () =
+  {
+    model = Water_tank.refined_model;
+    topology = Water_tank.topology;
+    system = Water_tank.system;
+    actions = Water_tank.mitigations;
+    residual = Water_tank.residual_loss;
+    budget;
+  }
+
+(* Step 6 ranking policy: loss magnitude VH when the physical requirement
+   (first requirement) is violated, M when only monitoring degrades; loss
+   event frequency decreases with the number of simultaneous root faults
+   (single root causes are the likely ones). *)
+let rank_risk (row : Epa.Analysis.row) =
+  let violations = Epa.Analysis.violations row in
+  let physical =
+    match row.Epa.Analysis.verdicts with
+    | (first, _) :: _ -> List.mem first violations
+    | [] -> false
+  in
+  let lm = if physical then Qual.Level.Very_high else Qual.Level.Medium in
+  let lef =
+    match List.length row.Epa.Analysis.scenario.Epa.Scenario.faults with
+    | 0 | 1 -> Qual.Level.Medium
+    | 2 -> Qual.Level.Low
+    | _ -> Qual.Level.Very_low
+  in
+  Risk.Ora.risk ~lm ~lef
+
+let run config =
+  let log = ref [] in
+  let logf fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
+  (* 1. system model *)
+  let validation = Archimate.Validate.run config.model in
+  if not (Archimate.Validate.is_valid config.model) then
+    invalid_arg "Pipeline.run: the system model has validation errors";
+  logf "step 1 (system model): %d elements, %d relationships, %d warnings"
+    (Archimate.Model.element_count config.model)
+    (Archimate.Model.relationship_count config.model)
+    (List.length validation);
+  (* 2. candidate system mutations *)
+  let fault_mutations =
+    List.map
+      (fun (f : Epa.Fault.t) ->
+        { component = f.Epa.Fault.component; source = `Fault f.Epa.Fault.id })
+      config.system.Epa.Analysis.catalog
+  in
+  let technique_mutations =
+    List.concat_map
+      (fun (e : Archimate.Element.t) ->
+        match Archimate.Element.property "component_type" e with
+        | None -> []
+        | Some ty ->
+            List.map
+              (fun (t : Threatdb.Db.threat) ->
+                {
+                  component = e.Archimate.Element.id;
+                  source = `Technique t.Threatdb.Db.technique.Threatdb.Attck.id;
+                })
+              (Threatdb.Db.threats_for_type ty))
+      (Archimate.Model.elements config.model)
+  in
+  let mutations = fault_mutations @ technique_mutations in
+  logf "step 2 (candidate mutations): %d fault modes, %d applicable techniques"
+    (List.length fault_mutations)
+    (List.length technique_mutations);
+  (* 3. reasoning: the joint scenario space *)
+  let scenarios =
+    Epa.Scenario.all_combinations config.system.Epa.Analysis.catalog
+  in
+  let scenario_count = List.length scenarios in
+  logf "step 3 (reasoning): %d fault-combination scenarios" scenario_count;
+  (* 4. hazard identification: exhaustive EPA *)
+  let rows = Epa.Analysis.run config.system in
+  let hazardous = Epa.Analysis.hazardous rows in
+  logf "step 4 (hazard identification): %d/%d scenarios violate requirements"
+    (List.length hazardous) scenario_count;
+  (* 5. CEGAR refinement: topology-level candidates -> confirmed hazards *)
+  let label (row : Epa.Analysis.row) = Epa.Scenario.label row.Epa.Analysis.scenario in
+  let topological_candidate (row : Epa.Analysis.row) =
+    (* abstract over-approximation: any scenario whose effective faults
+       produce an error somewhere in the static topology is suspect *)
+    let active =
+      List.filter
+        (fun (f : Epa.Fault.t) ->
+          List.mem f.Epa.Fault.id row.Epa.Analysis.effective)
+        config.system.Epa.Analysis.catalog
+    in
+    active <> []
+    && Epa.Propagation.affected
+         (Epa.Propagation.analyze config.topology ~active)
+       <> []
+  in
+  let outcome =
+    Cegar.Loop.run ~equal:(fun a b -> label a = label b)
+      ~initial:(fun () -> List.filter topological_candidate rows)
+      ~refine:(fun level candidates ->
+        match level with
+        | 0 ->
+            Some
+              (List.filter
+                 (fun row -> Epa.Analysis.violations row <> [])
+                 candidates)
+        | _ -> None)
+      ()
+  in
+  let candidate_hazards =
+    match outcome.Cegar.Loop.rounds with
+    | first :: _ -> List.map label first.Cegar.Loop.candidates
+    | [] -> []
+  in
+  let spurious_eliminated =
+    List.concat_map
+      (fun r -> List.map label r.Cegar.Loop.eliminated)
+      outcome.Cegar.Loop.rounds
+  in
+  logf
+    "step 5 (refinement): %d topology-level candidates, %d spurious \
+     eliminated, %d confirmed"
+    (List.length candidate_hazards)
+    (List.length spurious_eliminated)
+    (List.length outcome.Cegar.Loop.confirmed);
+  (* 6. quantitative (qualitative-scale) risk analysis *)
+  let confirmed_hazards =
+    Epa.Analysis.most_severe outcome.Cegar.Loop.confirmed
+    |> List.map (fun row -> { row; risk = rank_risk row })
+  in
+  (match confirmed_hazards with
+  | top :: _ ->
+      logf "step 6 (risk analysis): top hazard %s at risk %s" (label top.row)
+        (Qual.Level.to_string top.risk)
+  | [] -> logf "step 6 (risk analysis): no hazards to rank");
+  (* 7. mitigation strategy *)
+  let problem =
+    { Mitigation.Optimizer.actions = config.actions; residual = config.residual }
+  in
+  let plan = Mitigation.Optimizer.optimal ?budget:config.budget problem in
+  logf "step 7 (mitigation): selected {%s} at cost %d, residual loss %d"
+    (String.concat "," plan.Mitigation.Optimizer.selected)
+    plan.Mitigation.Optimizer.cost plan.Mitigation.Optimizer.residual;
+  {
+    validation;
+    mutations;
+    scenario_count;
+    candidate_hazards;
+    confirmed_hazards;
+    spurious_eliminated;
+    plan;
+    log = List.rev !log;
+  }
+
+let render_log artifacts = String.concat "\n" artifacts.log ^ "\n"

@@ -1,0 +1,49 @@
+(** The seven-step experimental framework of Fig. 1, end to end:
+
+    1. system model — merge + validate;
+    2. candidate system mutations — faults from the catalog plus techniques
+       from the threat databases per typed component;
+    3. reasoning — build the joint scenario space;
+    4. hazard identification — exhaustive EPA over every scenario;
+    5. model refinement — CEGAR round from topology-level candidates to
+       behaviour-confirmed hazards (spurious candidates eliminated);
+    6. quantitative risk analysis — O-RA qualitative risk per hazard;
+    7. mitigation strategy — budget-constrained cost-benefit optimization. *)
+
+type mutation = {
+  component : string;
+  source : [ `Fault of string | `Technique of string ];
+}
+
+type ranked_hazard = {
+  row : Epa.Analysis.row;
+  risk : Qual.Level.t;
+}
+
+type artifacts = {
+  validation : Archimate.Validate.issue list;
+  mutations : mutation list;
+  scenario_count : int;
+  candidate_hazards : string list;   (** scenario labels before refinement *)
+  confirmed_hazards : ranked_hazard list;  (** after refinement, ranked *)
+  spurious_eliminated : string list; (** labels removed by refinement *)
+  plan : Mitigation.Optimizer.solution;
+  log : string list;                 (** one narrative line per step *)
+}
+
+type config = {
+  model : Archimate.Model.t;
+  topology : Epa.Propagation.network;
+  system : Epa.Analysis.system;
+  actions : Mitigation.Action.t list;
+  residual : active:string list -> int;
+  budget : int option;
+}
+
+val water_tank_config : ?budget:int -> unit -> config
+
+val run : config -> artifacts
+(** Raises [Invalid_argument] when the model fails structural validation
+    (error-severity issues). *)
+
+val render_log : artifacts -> string

@@ -1,0 +1,136 @@
+let table_i () =
+  Risk.Matrix.render ~row_label:"LM" ~col_label:"Loss Event Frequency (LEF)"
+    Risk.Ora.risk_matrix
+
+let table_ii ~fault_ids ~mitigation_ids rows =
+  let buf = Buffer.create 512 in
+  let cell w s = Printf.sprintf "%-*s" w s in
+  let fault_w = 4 and mit_w = 8 and req_w = 10 in
+  (* header *)
+  Buffer.add_string buf (cell 5 "");
+  Buffer.add_string buf "| ";
+  List.iter (fun f -> Buffer.add_string buf (cell fault_w f)) fault_ids;
+  Buffer.add_string buf "| ";
+  List.iter (fun m -> Buffer.add_string buf (cell mit_w m)) mitigation_ids;
+  Buffer.add_string buf "| ";
+  (match rows with
+  | (_, row) :: _ ->
+      List.iter
+        (fun (rid, _) -> Buffer.add_string buf (cell req_w rid))
+        row.Epa.Analysis.verdicts
+  | [] -> ());
+  Buffer.add_char buf '\n';
+  let width = Buffer.length buf - 1 in
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, (row : Epa.Analysis.row)) ->
+      Buffer.add_string buf (cell 5 label);
+      Buffer.add_string buf "| ";
+      List.iter
+        (fun f ->
+          let active = List.mem f row.Epa.Analysis.scenario.Epa.Scenario.faults in
+          Buffer.add_string buf (cell fault_w (if active then "*" else "")))
+        fault_ids;
+      Buffer.add_string buf "| ";
+      List.iter
+        (fun m ->
+          let active =
+            List.mem m row.Epa.Analysis.scenario.Epa.Scenario.mitigations
+          in
+          Buffer.add_string buf (cell mit_w (if active then "Active" else "")))
+        mitigation_ids;
+      Buffer.add_string buf "| ";
+      List.iter
+        (fun (_, verdict) ->
+          Buffer.add_string buf
+            (cell req_w
+               (if Epa.Requirement.violated verdict then "Violated" else "-")))
+        row.Epa.Analysis.verdicts;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let iec_matrix () = Risk.Iec61508.render_matrix ()
+let fair_tree node = Risk.Ora.render_tree node
+let hierarchical_matrix () = Cegar.Levels.render_matrix ()
+
+let model_inventory m =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "model %S: %d elements, %d relationships\n"
+       (Archimate.Model.name m)
+       (Archimate.Model.element_count m)
+       (Archimate.Model.relationship_count m));
+  List.iter
+    (fun layer ->
+      let elements = Archimate.Model.elements_in_layer layer m in
+      if elements <> [] then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  [%s]\n" (Archimate.Element.layer_to_string layer));
+        List.iter
+          (fun (e : Archimate.Element.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf "    %-12s %-28s %s\n" e.Archimate.Element.id
+                 e.Archimate.Element.name
+                 (Archimate.Element.kind_to_string e.Archimate.Element.kind)))
+          elements
+      end)
+    [
+      Archimate.Element.Business; Archimate.Element.Application;
+      Archimate.Element.Technology; Archimate.Element.Physical;
+      Archimate.Element.Motivation;
+    ];
+  Buffer.add_string buf "  [relationships]\n";
+  List.iter
+    (fun (r : Archimate.Relationship.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %s -[%s]-> %s\n" r.Archimate.Relationship.source
+           (Archimate.Relationship.kind_to_string r.Archimate.Relationship.kind)
+           r.Archimate.Relationship.target))
+    (Archimate.Model.relationships m);
+  Buffer.contents buf
+
+let propagation_paths result =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (f : Epa.Propagation.finding) ->
+      Buffer.add_string buf (Format.asprintf "  %a\n" Epa.Propagation.pp_finding f))
+    (Epa.Propagation.findings result);
+  Buffer.contents buf
+
+let markdown_table ~header rows =
+  let buf = Buffer.create 256 in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length h) rows)
+      header
+  in
+  let emit_row cells =
+    Buffer.add_string buf "|";
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_string buf (Printf.sprintf " %-*s |" w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf "|";
+  List.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-' ^ "|")) widths;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (* pad short rows *)
+      let row =
+        row @ List.init (max 0 (List.length header - List.length row)) (fun _ -> "")
+      in
+      emit_row row)
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Rendering of the paper's result artifacts ("the results of the
+    evaluation can be examined in a form of a Jupyter Notebook", §VII —
+    here: plain-text tables). *)
+
+val table_i : unit -> string
+(** Table I: the O-RA risk matrix. *)
+
+val table_ii :
+  fault_ids:string list ->
+  mitigation_ids:string list ->
+  (string * Epa.Analysis.row) list ->
+  string
+(** Table II layout: one line per labeled scenario with [*] for activated
+    fault modes, [Active] per active mitigation, and [Violated]/[-] per
+    requirement. *)
+
+val iec_matrix : unit -> string
+
+val fair_tree : Risk.Ora.node -> string
+(** Fig. 2 artifact: the risk-attribute derivation tree. *)
+
+val hierarchical_matrix : unit -> string
+(** Fig. 3 artifact. *)
+
+val model_inventory : Archimate.Model.t -> string
+(** Fig. 4 artifact: elements (grouped by layer) and relationships. *)
+
+val propagation_paths : Epa.Propagation.result -> string
+
+val markdown_table : header:string list -> string list list -> string
+(** Generic GitHub-style table used by the benches. *)

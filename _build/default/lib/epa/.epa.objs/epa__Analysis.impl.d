@@ -1,0 +1,1 @@
+lib/epa/analysis.ml: Fault Format List Ltl Printf Requirement Scenario Stdlib String

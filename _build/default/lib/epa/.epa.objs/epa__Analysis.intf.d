@@ -1,0 +1,1 @@
+lib/epa/analysis.mli: Fault Format Ltl Requirement Scenario

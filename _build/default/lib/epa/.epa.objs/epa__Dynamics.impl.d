@@ -1,0 +1,1 @@
+lib/epa/dynamics.ml: Ltl Requirement

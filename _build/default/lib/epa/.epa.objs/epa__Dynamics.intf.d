@@ -1,0 +1,1 @@
+lib/epa/dynamics.mli: Ltl Qual Requirement

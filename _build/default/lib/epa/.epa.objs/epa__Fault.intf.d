@@ -1,0 +1,1 @@
+lib/epa/fault.mli: Format

@@ -1,0 +1,1 @@
+lib/epa/propagation.ml: Fault Format Hashtbl List Printf String

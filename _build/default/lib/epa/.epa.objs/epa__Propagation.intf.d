@@ -1,0 +1,1 @@
+lib/epa/propagation.mli: Fault Format

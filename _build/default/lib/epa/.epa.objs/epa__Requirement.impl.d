@@ -1,0 +1,1 @@
+lib/epa/requirement.ml: Format Ltl Printf

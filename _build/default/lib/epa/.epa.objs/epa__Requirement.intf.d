@@ -1,0 +1,1 @@
+lib/epa/requirement.mli: Format Ltl

@@ -1,0 +1,1 @@
+lib/epa/scenario.ml: Array Fault Format List Option String

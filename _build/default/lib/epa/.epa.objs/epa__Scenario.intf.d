@@ -1,0 +1,1 @@
+lib/epa/scenario.mli: Fault Format

@@ -1,0 +1,62 @@
+type system = {
+  catalog : Fault.t list;
+  blocks : string -> string list;
+  build : faults:string list -> Ltl.Ts.t;
+  requirements : Requirement.t list;
+}
+
+type row = {
+  scenario : Scenario.t;
+  effective : string list;
+  verdicts : (string * Requirement.verdict) list;
+}
+
+let run_scenario ?horizon sys scenario =
+  let effective =
+    Scenario.effective_faults ~catalog:sys.catalog ~blocks:sys.blocks scenario
+  in
+  let ts = sys.build ~faults:effective in
+  let verdicts =
+    List.map
+      (fun (r : Requirement.t) -> (r.Requirement.id, Requirement.check ?horizon ts r))
+      sys.requirements
+  in
+  { scenario; effective; verdicts }
+
+let run ?horizon ?max_faults ?mitigations sys =
+  Scenario.all_combinations ?max_faults ?mitigations sys.catalog
+  |> List.map (run_scenario ?horizon sys)
+
+let violations row =
+  List.filter_map
+    (fun (id, v) -> if Requirement.violated v then Some id else None)
+    row.verdicts
+
+let hazardous rows = List.filter (fun r -> violations r <> []) rows
+
+let most_severe rows =
+  hazardous rows
+  |> List.stable_sort (fun a b ->
+         let c =
+           Stdlib.compare (List.length (violations b)) (List.length (violations a))
+         in
+         if c <> 0 then c
+         else
+           (* rank by the number of simultaneously activated root faults:
+              fewer simultaneous activations = higher occurrence
+              probability = more severe (the paper's S5 vs S7 argument) *)
+           Stdlib.compare
+             (List.length a.scenario.Scenario.faults)
+             (List.length b.scenario.Scenario.faults))
+
+let pp_row ppf row =
+  let verdicts =
+    row.verdicts
+    |> List.map (fun (id, v) ->
+           Printf.sprintf "%s=%s" id
+             (if Requirement.violated v then "violated" else "-"))
+    |> String.concat " "
+  in
+  Format.fprintf ppf "%s effective={%s} %s" (Scenario.label row.scenario)
+    (String.concat "," row.effective)
+    verdicts

@@ -1,0 +1,46 @@
+(** The EPA engine (Fig. 1 steps 2–4): exhaustive evaluation of the
+    scenario space against the safety requirements.
+
+    A {!system} packages the fault catalog, the mitigation blocking
+    relation (Listing 1 semantics), a builder producing the qualitative
+    dynamics for a given set of active faults, and the requirements. *)
+
+type system = {
+  catalog : Fault.t list;
+  blocks : string -> string list;
+      (** fault ids blocked by an active mitigation *)
+  build : faults:string list -> Ltl.Ts.t;
+      (** dynamics of the system under the given {e effective} faults *)
+  requirements : Requirement.t list;
+}
+
+type row = {
+  scenario : Scenario.t;
+  effective : string list;  (** faults after blocking + induced closure *)
+  verdicts : (string * Requirement.verdict) list;  (** per requirement id *)
+}
+
+val run_scenario : ?horizon:int -> system -> Scenario.t -> row
+
+val run :
+  ?horizon:int ->
+  ?max_faults:int ->
+  ?mitigations:string list ->
+  system ->
+  row list
+(** Exhaustive sweep over the fault combinations (§IV.A), each combined
+    with the given mitigation set. *)
+
+val violations : row -> string list
+(** Requirement ids violated in this row. *)
+
+val hazardous : row list -> row list
+(** Rows violating at least one requirement. *)
+
+val most_severe : row list -> row list
+(** Hazardous rows ranked: more violated requirements first, then {e fewer}
+    simultaneous faults first — the paper's §VII argument that S5 (two
+    faults) is more severe than S7 (three faults, same violations, lower
+    simultaneous-occurrence probability). *)
+
+val pp_row : Format.formatter -> row -> unit

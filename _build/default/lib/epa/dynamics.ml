@@ -1,0 +1,12 @@
+type t = Ltl.Ts.t
+
+let make ~init ~step = Ltl.Ts.make ~init:[ init ] ~next:(fun s -> [ step s ])
+let make_nondet ~init ~step = Ltl.Ts.make ~init ~next:step
+let to_ts t = t
+
+let run ?horizon t =
+  match Ltl.Ts.init t with
+  | [] -> invalid_arg "Dynamics.run: no initial state"
+  | st :: _ -> Ltl.Ts.run ?horizon t st
+
+let check ?horizon t r = Requirement.check ?horizon t r

@@ -1,0 +1,18 @@
+(** Discrete-time qualitative dynamics ("detailed propagation analysis",
+    §VI item 2): component behaviour modeled as a step function over the
+    qualitative state, simulated exhaustively as a transition system. *)
+
+type t
+
+val make : init:Qual.Qstate.t -> step:(Qual.Qstate.t -> Qual.Qstate.t) -> t
+(** Deterministic dynamics. *)
+
+val make_nondet :
+  init:Qual.Qstate.t list -> step:(Qual.Qstate.t -> Qual.Qstate.t list) -> t
+
+val to_ts : t -> Ltl.Ts.t
+val run : ?horizon:int -> t -> Ltl.Trace.t
+(** Deterministic trace from the (first) initial state, ending at horizon,
+    deadlock or first repeated state. *)
+
+val check : ?horizon:int -> t -> Requirement.t -> Requirement.verdict

@@ -1,0 +1,45 @@
+type mode =
+  | Stuck_at of string
+  | Omission
+  | Value_error
+  | Timing_error
+  | Compromise
+  | Custom of string
+
+type t = {
+  id : string;
+  component : string;
+  mode : mode;
+  description : string;
+  induces : string list;
+}
+
+let make ~id ~component ~mode ?(description = "") ?(induces = []) () =
+  { id; component; mode; description; induces }
+
+let mode_to_string = function
+  | Stuck_at v -> "stuck_at_" ^ v
+  | Omission -> "omission"
+  | Value_error -> "value_error"
+  | Timing_error -> "timing_error"
+  | Compromise -> "compromise"
+  | Custom s -> s
+
+let equal a b = a = b
+let find id faults = List.find_opt (fun f -> f.id = id) faults
+
+let close_induced catalog active =
+  let rec go seen = function
+    | [] -> seen
+    | id :: rest ->
+        if List.mem id seen then go seen rest
+        else
+          let induced =
+            match find id catalog with Some f -> f.induces | None -> []
+          in
+          go (id :: seen) (induced @ rest)
+  in
+  List.sort_uniq String.compare (go [] active)
+
+let pp ppf f =
+  Format.fprintf ppf "%s: %s/%s" f.id f.component (mode_to_string f.mode)

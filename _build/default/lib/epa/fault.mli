@@ -1,0 +1,37 @@
+(** Fault modes of components (§IV.A step 2: "identify the different ways in
+    which components can fail"), covering both accidental dependability
+    faults and attacker-activated faults.
+
+    A fault can {e induce} other faults: the paper's F4 (infected
+    engineering workstation) induces F1, F2 and F3 — the attacker
+    reconfigures both valves and suppresses the HMI signal. *)
+
+type mode =
+  | Stuck_at of string  (** output frozen at a value, e.g. valve stuck "open" *)
+  | Omission            (** no output / no signal *)
+  | Value_error         (** wrong value delivered *)
+  | Timing_error        (** output delivered too late *)
+  | Compromise          (** component under attacker control *)
+  | Custom of string
+
+type t = {
+  id : string;           (** e.g. "F1" *)
+  component : string;    (** model element id *)
+  mode : mode;
+  description : string;
+  induces : string list; (** fault ids activated by this fault *)
+}
+
+val make :
+  id:string -> component:string -> mode:mode -> ?description:string ->
+  ?induces:string list -> unit -> t
+
+val mode_to_string : mode -> string
+val equal : t -> t -> bool
+
+val close_induced : t list -> string list -> string list
+(** [close_induced catalog active] adds transitively induced fault ids;
+    result is sorted and duplicate-free. Unknown ids are kept as-is. *)
+
+val find : string -> t list -> t option
+val pp : Format.formatter -> t -> unit

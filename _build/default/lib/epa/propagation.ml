@@ -1,0 +1,175 @@
+type error_class = Omission_err | Value_err | Timing_err | Control_err
+
+type behaviour = incoming:error_class list -> faults:Fault.mode list -> error_class list
+
+let classes_of_fault = function
+  | Fault.Stuck_at _ | Fault.Value_error -> [ Value_err ]
+  | Fault.Omission -> [ Omission_err ]
+  | Fault.Timing_error -> [ Timing_err ]
+  | Fault.Compromise -> [ Control_err; Value_err; Omission_err ]
+  | Fault.Custom _ -> [ Value_err ]
+
+let default_behaviour ~incoming ~faults =
+  List.sort_uniq compare (incoming @ List.concat_map classes_of_fault faults)
+
+type component = { id : string; behaviour : behaviour }
+
+type network = {
+  components : component list;
+  edges : (string * string) list;
+}
+
+let make_network ?(behaviours = []) ~components ~edges () =
+  let known id = List.mem id components in
+  List.iter
+    (fun (s, t) ->
+      if not (known s && known t) then
+        invalid_arg
+          (Printf.sprintf "Propagation.make_network: edge %s -> %s has unknown endpoint" s t))
+    edges;
+  List.iter
+    (fun (id, _) ->
+      if not (known id) then
+        invalid_arg
+          (Printf.sprintf "Propagation.make_network: behaviour for unknown component %s" id))
+    behaviours;
+  let comp id =
+    {
+      id;
+      behaviour =
+        (match List.assoc_opt id behaviours with
+        | Some b -> b
+        | None -> default_behaviour);
+    }
+  in
+  { components = List.map comp components; edges }
+
+type origin =
+  | Local_fault of Fault.t
+  | Propagated of string * error_class
+
+type finding = {
+  component : string;
+  error : error_class;
+  origin : origin;
+}
+
+type result = {
+  table : (string * error_class, origin) Hashtbl.t;
+  order : finding list; (* derivation order *)
+}
+
+let analyze net ~active =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  let faults_of c =
+    List.filter (fun (f : Fault.t) -> f.Fault.component = c) active
+  in
+  let errors_of c =
+    List.filter_map
+      (fun ((comp, err), _) -> if comp = c then Some err else None)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  let add component error origin =
+    if not (Hashtbl.mem table (component, error)) then begin
+      Hashtbl.replace table (component, error) origin;
+      order := { component; error; origin } :: !order;
+      true
+    end
+    else false
+  in
+  (* seed with local faults *)
+  List.iter
+    (fun (c : component) ->
+      List.iter
+        (fun (f : Fault.t) ->
+          List.iter
+            (fun err -> ignore (add c.id err (Local_fault f)))
+            (classes_of_fault f.Fault.mode))
+        (faults_of c.id))
+    net.components;
+  (* fixpoint over transfer behaviours *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : component) ->
+        (* incoming errors with their source components *)
+        let incoming_with_src =
+          List.concat_map
+            (fun (s, t) ->
+              if t = c.id then List.map (fun e -> (s, e)) (errors_of s) else [])
+            net.edges
+        in
+        let incoming = List.sort_uniq compare (List.map snd incoming_with_src) in
+        let fault_modes =
+          List.map (fun (f : Fault.t) -> f.Fault.mode) (faults_of c.id)
+        in
+        let out = c.behaviour ~incoming ~faults:fault_modes in
+        List.iter
+          (fun err ->
+            if not (Hashtbl.mem table (c.id, err)) then begin
+              (* find a responsible origin: an incoming pair whose class is
+                 err if the behaviour passed it through, else any incoming
+                 pair (transformation), else a local fault *)
+              let origin =
+                match
+                  List.find_opt (fun (_, e) -> e = err) incoming_with_src
+                with
+                | Some (src, e) -> Some (Propagated (src, e))
+                | None -> (
+                    match incoming_with_src with
+                    | (src, e) :: _ -> Some (Propagated (src, e))
+                    | [] -> (
+                        match faults_of c.id with
+                        | f :: _ -> Some (Local_fault f)
+                        | [] -> None))
+              in
+              match origin with
+              | Some o -> if add c.id err o then changed := true
+              | None -> ()
+            end)
+          out)
+      net.components
+  done;
+  { table; order = List.rev !order }
+
+let errors_at c r =
+  Hashtbl.fold
+    (fun (comp, err) _ acc -> if comp = c then err :: acc else acc)
+    r.table []
+  |> List.sort_uniq compare
+
+let findings r = r.order
+
+let affected r =
+  Hashtbl.fold (fun (comp, _) _ acc -> comp :: acc) r.table []
+  |> List.sort_uniq String.compare
+
+let path_to c err r =
+  let rec go acc c err =
+    match Hashtbl.find_opt r.table (c, err) with
+    | None -> []
+    | Some (Local_fault _) -> (c, err) :: acc
+    | Some (Propagated (src, e)) ->
+        if List.mem (src, e) acc then (c, err) :: acc (* cycle guard *)
+        else go ((c, err) :: acc) src e
+  in
+  go [] c err
+
+let error_class_to_string = function
+  | Omission_err -> "omission"
+  | Value_err -> "value"
+  | Timing_err -> "timing"
+  | Control_err -> "control"
+
+let pp_finding ppf f =
+  let origin =
+    match f.origin with
+    | Local_fault fault -> "local " ^ fault.Fault.id
+    | Propagated (src, e) ->
+        Printf.sprintf "from %s/%s" src (error_class_to_string e)
+  in
+  Format.fprintf ppf "%s/%s (%s)" f.component
+    (error_class_to_string f.error)
+    origin

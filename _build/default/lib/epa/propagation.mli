@@ -1,0 +1,68 @@
+(** Static (topology-based) qualitative error propagation — the paper's
+    "topology-based propagation" evaluation focus (§VI item 1): when
+    component behaviour is not yet modeled, errors propagate along the
+    information-flow edges through qualitative transfer behaviours.
+
+    The analysis computes, by fixpoint, which error classes each component
+    can exhibit given a set of active fault modes, and records provenance so
+    that every derived error can be explained by a propagation path back to
+    an originating fault ("gives the components' error propagation path and
+    active fault modes", §II.C). *)
+
+type error_class =
+  | Omission_err   (** missing service/signal *)
+  | Value_err      (** wrong value *)
+  | Timing_err     (** late service *)
+  | Control_err    (** wrong control action / attacker-controlled behaviour *)
+
+type behaviour = incoming:error_class list -> faults:Fault.mode list -> error_class list
+(** Qualitative transfer function of one component: which error classes it
+    emits given incoming error classes and its own active fault modes. *)
+
+val default_behaviour : behaviour
+(** Pass-through: propagates every incoming error class and translates local
+    fault modes into classes (stuck-at/value → value, omission → omission,
+    timing → timing, compromise → control + value + omission). *)
+
+type component = { id : string; behaviour : behaviour }
+
+type network = {
+  components : component list;
+  edges : (string * string) list;  (** directed flow edges (source, target) *)
+}
+
+val make_network :
+  ?behaviours:(string * behaviour) list ->
+  components:string list ->
+  edges:(string * string) list ->
+  unit ->
+  network
+(** Components not listed in [behaviours] get {!default_behaviour}. Raises
+    [Invalid_argument] on edges touching unknown components. *)
+
+type origin =
+  | Local_fault of Fault.t
+  | Propagated of string * error_class  (** from upstream component *)
+
+type finding = {
+  component : string;
+  error : error_class;
+  origin : origin;
+}
+
+type result
+
+val analyze : network -> active:Fault.t list -> result
+
+val errors_at : string -> result -> error_class list
+val findings : result -> finding list
+val affected : result -> string list
+(** Components with at least one error class, sorted. *)
+
+val path_to : string -> error_class -> result -> (string * error_class) list
+(** A propagation path [(component, error) … ] from an originating fault to
+    the requested pair; [\[\]] if the pair was not derived. The head of the
+    list is the origin. *)
+
+val error_class_to_string : error_class -> string
+val pp_finding : Format.formatter -> finding -> unit

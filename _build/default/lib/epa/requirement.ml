@@ -1,0 +1,30 @@
+type t = {
+  id : string;
+  description : string;
+  formula : Ltl.Formula.t;
+}
+
+let make ~id ~description ~formula =
+  match Ltl.Parser.parse formula with
+  | f -> { id; description; formula = f }
+  | exception Ltl.Parser.Error msg ->
+      invalid_arg
+        (Printf.sprintf "Requirement.make %s: bad formula %S: %s" id formula msg)
+
+let of_formula ~id ~description formula = { id; description; formula }
+
+type verdict = Satisfied | Violated of Ltl.Trace.t
+
+let check ?horizon ts r =
+  match Ltl.Ts.check ?horizon ts r.formula with
+  | Ltl.Ts.Holds -> Satisfied
+  | Ltl.Ts.Counterexample tr -> Violated tr
+
+let violated = function Satisfied -> false | Violated _ -> true
+
+let pp ppf r =
+  Format.fprintf ppf "%s: %s [%a]" r.id r.description Ltl.Formula.pp r.formula
+
+let pp_verdict ppf = function
+  | Satisfied -> Format.pp_print_string ppf "satisfied"
+  | Violated tr -> Format.fprintf ppf "violated by %a" Ltl.Trace.pp tr

@@ -1,0 +1,21 @@
+(** Safety requirements as LTLf formulas over the qualitative state (§VII:
+    R1 "the water tank should not overflow", R2 "alert … in case of
+    overflow"). *)
+
+type t = {
+  id : string;
+  description : string;
+  formula : Ltl.Formula.t;
+}
+
+val make : id:string -> description:string -> formula:string -> t
+(** Parses the formula; raises [Invalid_argument] on a syntax error. *)
+
+val of_formula : id:string -> description:string -> Ltl.Formula.t -> t
+
+type verdict = Satisfied | Violated of Ltl.Trace.t
+
+val check : ?horizon:int -> Ltl.Ts.t -> t -> verdict
+val violated : verdict -> bool
+val pp : Format.formatter -> t -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,51 @@
+type t = {
+  faults : string list;
+  mitigations : string list;
+}
+
+let make ?(mitigations = []) faults =
+  {
+    faults = List.sort_uniq String.compare faults;
+    mitigations = List.sort_uniq String.compare mitigations;
+  }
+
+let subsets_by_size xs max_size =
+  let n = List.length xs in
+  let xs = Array.of_list xs in
+  let out = ref [] in
+  (* enumerate subsets of a given size in lexicographic index order *)
+  let rec choose start size acc =
+    if size = 0 then out := List.rev acc :: !out
+    else
+      for i = start to n - size do
+        choose (i + 1) (size - 1) (xs.(i) :: acc)
+      done
+  in
+  for size = 0 to min n max_size do
+    choose 0 size []
+  done;
+  List.rev !out
+
+let all_combinations ?max_faults ?(mitigations = []) catalog =
+  let ids = List.map (fun (f : Fault.t) -> f.Fault.id) catalog in
+  let max_size = Option.value ~default:(List.length ids) max_faults in
+  List.map (fun faults -> make ~mitigations faults) (subsets_by_size ids max_size)
+
+let effective_faults ~catalog ~blocks s =
+  let blocked =
+    List.concat_map blocks s.mitigations |> List.sort_uniq String.compare
+  in
+  let potential = List.filter (fun f -> not (List.mem f blocked)) s.faults in
+  (* induced faults of an unblocked fault are themselves subject to
+     blocking: close first, then filter, then re-close over survivors *)
+  let closed = Fault.close_induced catalog potential in
+  List.filter (fun f -> not (List.mem f blocked)) closed
+
+let label s =
+  let set xs = "{" ^ String.concat "," xs ^ "}" in
+  match s.mitigations with
+  | [] -> set s.faults
+  | ms -> set s.faults ^ "+" ^ set ms
+
+let equal a b = a = b
+let pp ppf s = Format.pp_print_string ppf (label s)

@@ -1,0 +1,32 @@
+(** Attack/fault scenarios: the "scenario space" of §IV.A — combinations of
+    fault-mode activations, optionally under a set of active mitigations. *)
+
+type t = {
+  faults : string list;      (** activated fault ids, sorted *)
+  mitigations : string list; (** active mitigation ids, sorted *)
+}
+
+val make : ?mitigations:string list -> string list -> t
+
+val all_combinations :
+  ?max_faults:int -> ?mitigations:string list -> Fault.t list -> t list
+(** Every subset of the fault catalog (up to [max_faults] simultaneous
+    activations if given), each paired with the same mitigation set. The
+    empty scenario comes first; subsets are enumerated in size-then-lex
+    order, matching the paper's Table II layout. *)
+
+val effective_faults :
+  catalog:Fault.t list ->
+  blocks:(string -> string list) ->
+  t ->
+  string list
+(** Faults that actually activate: the paper's Listing 1 semantics — a fault
+    is only {e potential} when no active mitigation blocks it — followed by
+    closure over induced faults. [blocks m] lists the fault ids blocked by
+    mitigation [m]. *)
+
+val label : t -> string
+(** ["{F1,F3}+{M1}"]-style label. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

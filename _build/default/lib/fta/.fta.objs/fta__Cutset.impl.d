@@ -1,0 +1,1 @@
+lib/fta/cutset.ml: List Stdlib String Tree

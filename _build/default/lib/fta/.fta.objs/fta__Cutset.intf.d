@@ -1,0 +1,1 @@
+lib/fta/cutset.mli: Tree

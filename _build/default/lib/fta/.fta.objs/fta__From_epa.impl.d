@@ -1,0 +1,1 @@
+lib/fta/from_epa.ml: Epa Hashtbl List Tree

@@ -1,0 +1,1 @@
+lib/fta/from_epa.mli: Epa Tree

@@ -1,0 +1,1 @@
+lib/fta/quant.ml: Array Float List Printf Tree

@@ -1,0 +1,1 @@
+lib/fta/quant.mli: Tree

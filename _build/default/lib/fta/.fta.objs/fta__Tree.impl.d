@@ -1,0 +1,1 @@
+lib/fta/tree.ml: Format List Printf String

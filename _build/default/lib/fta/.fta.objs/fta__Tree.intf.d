@@ -1,0 +1,1 @@
+lib/fta/tree.mli: Format

@@ -1,0 +1,51 @@
+(* Represent the DNF as a list of sorted event lists; expand gates
+   top-down (MOCUS) and absorb supersets at the end. *)
+
+let product a b =
+  List.concat_map
+    (fun ca -> List.map (fun cb -> List.sort_uniq String.compare (ca @ cb)) b)
+    a
+
+let rec combinations k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest)
+        @ combinations k rest
+
+let rec dnf = function
+  | Tree.Basic e -> [ [ e ] ]
+  | Tree.Or ts -> List.concat_map dnf ts
+  | Tree.And ts ->
+      List.fold_left (fun acc t -> product acc (dnf t)) [ [] ] ts
+  | Tree.K_of_n (k, ts) ->
+      if k <= 0 then [ [] ]
+      else if k > List.length ts then []
+      else dnf (Tree.Or (List.map (fun c -> Tree.And c) (combinations k ts)))
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let absorb cuts =
+  let cuts = List.sort_uniq compare cuts in
+  List.filter
+    (fun c ->
+      not (List.exists (fun c' -> c' <> c && subset c' c) cuts))
+    cuts
+
+let minimal_cut_sets t =
+  absorb (dnf t)
+  |> List.sort (fun a b ->
+         let c = Stdlib.compare (List.length a) (List.length b) in
+         if c <> 0 then c else Stdlib.compare a b)
+
+let is_cut_set t events = Tree.eval (fun e -> List.mem e events) t
+
+let order = function
+  | [] -> max_int
+  | cuts -> List.fold_left (fun acc c -> min acc (List.length c)) max_int cuts
+
+let single_points_of_failure t =
+  minimal_cut_sets t
+  |> List.filter_map (function [ e ] -> Some e | _ -> None)

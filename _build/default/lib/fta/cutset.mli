@@ -1,0 +1,16 @@
+(** Minimal cut sets: the smallest basic-event combinations that trigger the
+    top event — computed by MOCUS-style top-down expansion followed by
+    absorption. *)
+
+val minimal_cut_sets : Tree.t -> string list list
+(** Each cut set sorted; the list ordered by cardinality, then
+    lexicographically. *)
+
+val is_cut_set : Tree.t -> string list -> bool
+(** The given events (and nothing else) trigger the top event. *)
+
+val order : string list list -> int
+(** Cardinality of the smallest cut set; [max_int] for an empty list. *)
+
+val single_points_of_failure : Tree.t -> string list
+(** Basic events forming order-1 cut sets. *)

@@ -1,0 +1,58 @@
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let of_analysis ~requirement rows =
+  let violating =
+    List.filter_map
+      (fun (row : Epa.Analysis.row) ->
+        if List.mem requirement (Epa.Analysis.violations row) then
+          Some row.Epa.Analysis.scenario.Epa.Scenario.faults
+        else None)
+      rows
+  in
+  (* keep only the minimal violating combinations *)
+  let minimal =
+    List.filter
+      (fun c -> not (List.exists (fun c' -> c' <> c && subset c' c) violating))
+      violating
+    |> List.sort_uniq compare
+  in
+  Tree.Or (List.map (fun c -> Tree.And (List.map (fun f -> Tree.Basic f) c)) minimal)
+
+let structural ~topology ~asset ~faults =
+  (* a fault is assumed hazardous when an error from its component can reach
+     the asset along flow edges (or it sits on the asset itself) *)
+  let reaches src =
+    if src = asset then true
+    else begin
+      let seen = Hashtbl.create 16 in
+      let rec go c =
+        if c = asset then true
+        else if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.replace seen c ();
+          List.exists
+            (fun (s, t) -> s = c && go t)
+            topology.Epa.Propagation.edges
+        end
+      in
+      go src
+    end
+  in
+  let contributing =
+    List.filter (fun (f : Epa.Fault.t) -> reaches f.Epa.Fault.component) faults
+  in
+  Tree.Or (List.map (fun (f : Epa.Fault.t) -> Tree.Basic f.Epa.Fault.id) contributing)
+
+type comparison = {
+  spurious : string list list;
+  escaped : string list list;
+}
+
+let compare_cut_sets ~exact ~structural =
+  let covered_by base c = List.exists (fun c' -> subset c' c) base in
+  {
+    spurious = List.filter (fun c -> not (covered_by exact c)) structural;
+    escaped = List.filter (fun c -> not (covered_by structural c)) exact;
+  }
+
+let agree c = c.spurious = [] && c.escaped = []

@@ -1,0 +1,33 @@
+(** Bridges between qualitative EPA and fault trees (§III.A: "qualitative
+    error propagation analysis can be incorporated into the FTA process to
+    achieve a more comprehensive and accurate result"). *)
+
+val of_analysis : requirement:string -> Epa.Analysis.row list -> Tree.t
+(** Exact fault tree of one requirement from the exhaustive EPA sweep: an
+    OR over the minimal violating fault combinations (scenario root
+    faults). [Or []] — an unreachable top event — when nothing violates. *)
+
+val structural :
+  topology:Epa.Propagation.network ->
+  asset:string ->
+  faults:Epa.Fault.t list ->
+  Tree.t
+(** The naive structural fault tree an analyst would draw from topology
+    alone: the asset's top event fires whenever {e any} catalog fault can
+    reach it along flow edges — ignoring behaviour and interactions. This
+    is the §III.A strawman: compared against {!of_analysis} it
+    over-approximates, flagging compensated faults as cut sets. *)
+
+type comparison = {
+  spurious : string list list;
+      (** structural cut sets with no exact cut set inside them: the
+          false alarms behaviour-aware EPA eliminates *)
+  escaped : string list list;
+      (** exact cut sets not covered by any structural cut set: hazards the
+          naive tree would miss entirely *)
+}
+
+val compare_cut_sets :
+  exact:string list list -> structural:string list list -> comparison
+
+val agree : comparison -> bool

@@ -1,0 +1,59 @@
+let check_probability e p =
+  if p < 0. || p > 1. then
+    invalid_arg
+      (Printf.sprintf "Fta.Quant: probability %g of event %s outside [0,1]" p e)
+
+let top_event_probability t p =
+  let events = Tree.basic_events t in
+  let n = List.length events in
+  if n > 20 then
+    invalid_arg
+      (Printf.sprintf "Fta.Quant: %d basic events exceed the enumeration bound" n);
+  List.iter (fun e -> check_probability e (p e)) events;
+  let events = Array.of_list events in
+  let total = ref 0. in
+  (* enumerate all event subsets by bitmask; weight = product of marginals *)
+  for mask = 0 to (1 lsl n) - 1 do
+    let weight = ref 1. in
+    for i = 0 to n - 1 do
+      let pe = p events.(i) in
+      weight := !weight *. if mask land (1 lsl i) <> 0 then pe else 1. -. pe
+    done;
+    if !weight > 0. then begin
+      let active e =
+        let rec find i = events.(i) = e || find (i + 1) in
+        let rec idx i = if events.(i) = e then i else idx (i + 1) in
+        ignore find;
+        mask land (1 lsl idx 0) <> 0
+      in
+      if Tree.eval active t then total := !total +. !weight
+    end
+  done;
+  !total
+
+let scenario_probability ~all p subset =
+  List.iter (fun e -> check_probability e (p e)) all;
+  List.fold_left
+    (fun acc e ->
+      acc *. if List.mem e subset then p e else 1. -. p e)
+    1. all
+
+let conditioned p event value e = if e = event then value else p e
+
+let birnbaum_importance t p =
+  Tree.basic_events t
+  |> List.map (fun e ->
+         let with_e = top_event_probability t (conditioned p e 1.) in
+         let without_e = top_event_probability t (conditioned p e 0.) in
+         (e, with_e -. without_e))
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let fussell_vesely t p =
+  let top = top_event_probability t p in
+  Tree.basic_events t
+  |> List.map (fun e ->
+         if top = 0. then (e, 0.)
+         else
+           let without_e = top_event_probability t (conditioned p e 0.) in
+           (e, 1. -. (without_e /. top)))
+  |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)

@@ -1,0 +1,27 @@
+(** Quantitative fault-tree evaluation ("enriching the model … facilitates
+    a rough-granular risk analysis", Fig. 1 step 6): top-event probability
+    under independent basic events, plus importance measures.
+
+    Exact by exhaustive enumeration over the basic events — the trees this
+    framework produces have a handful of fault modes, so 2^n enumeration is
+    both exact and cheap (guarded at 20 events). *)
+
+val top_event_probability : Tree.t -> (string -> float) -> float
+(** [top_event_probability t p] with [p e] the activation probability of
+    basic event [e]. Raises [Invalid_argument] when a probability is
+    outside [0, 1] or the tree has more than 20 basic events. *)
+
+val scenario_probability : all:string list -> (string -> float) -> string list -> float
+(** Probability that {e exactly} the given subset of [all] events is active
+    (the paper's §VII occurrence-probability comparison of S5 vs S7). *)
+
+val birnbaum_importance : Tree.t -> (string -> float) -> (string * float) list
+(** Birnbaum structural importance per basic event:
+    [P(top | e active) − P(top | e inactive)] — which fault most deserves a
+    mitigation. Sorted by importance, largest first. *)
+
+val fussell_vesely : Tree.t -> (string -> float) -> (string * float) list
+(** Fussell–Vesely importance: the fraction of the top-event probability
+    contributed by cut sets containing the event, approximated by
+    [1 − P(top with e inactive)/P(top)]; 0 when the top event is
+    impossible. Sorted largest first. *)

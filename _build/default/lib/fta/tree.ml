@@ -1,0 +1,40 @@
+type t =
+  | Basic of string
+  | And of t list
+  | Or of t list
+  | K_of_n of int * t list
+
+let basic_events t =
+  let add acc e = if List.mem e acc then acc else e :: acc in
+  let rec go acc = function
+    | Basic e -> add acc e
+    | And ts | Or ts | K_of_n (_, ts) -> List.fold_left go acc ts
+  in
+  List.rev (go [] t)
+
+let rec eval v = function
+  | Basic e -> v e
+  | And ts -> List.for_all (eval v) ts
+  | Or ts -> List.exists (eval v) ts
+  | K_of_n (k, ts) ->
+      List.length (List.filter (eval v) ts) >= k
+
+let rec size = function
+  | Basic _ -> 1
+  | And ts | Or ts | K_of_n (_, ts) ->
+      1 + List.fold_left (fun acc t -> acc + size t) 0 ts
+
+let rec depth = function
+  | Basic _ -> 1
+  | And ts | Or ts | K_of_n (_, ts) ->
+      1 + List.fold_left (fun acc t -> max acc (depth t)) 0 ts
+
+let rec to_string = function
+  | Basic e -> e
+  | And ts -> "AND(" ^ String.concat ", " (List.map to_string ts) ^ ")"
+  | Or ts -> "OR(" ^ String.concat ", " (List.map to_string ts) ^ ")"
+  | K_of_n (k, ts) ->
+      Printf.sprintf "%d-of-%d(%s)" k (List.length ts)
+        (String.concat ", " (List.map to_string ts))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

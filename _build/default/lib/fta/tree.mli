@@ -1,0 +1,20 @@
+(** Classic fault trees — the baseline EPA method the paper contrasts with
+    qualitative EPA (§III.A): top-down combination of basic events through
+    AND/OR/k-of-n gates. *)
+
+type t =
+  | Basic of string
+  | And of t list
+  | Or of t list
+  | K_of_n of int * t list  (** at least k of the subtrees *)
+
+val basic_events : t -> string list
+(** Distinct, in first-occurrence order. *)
+
+val eval : (string -> bool) -> t -> bool
+(** Truth of the top event under a basic-event assignment. *)
+
+val size : t -> int
+val depth : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

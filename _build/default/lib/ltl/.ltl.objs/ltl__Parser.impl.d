@@ -1,0 +1,1 @@
+lib/ltl/parser.ml: Formula List Printf String

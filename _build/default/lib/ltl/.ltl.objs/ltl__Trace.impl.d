@@ -1,0 +1,1 @@
+lib/ltl/trace.ml: Array Format Formula Qual String

@@ -1,0 +1,1 @@
+lib/ltl/trace.mli: Format Formula Qual

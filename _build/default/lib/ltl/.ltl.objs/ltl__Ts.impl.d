@@ -1,0 +1,1 @@
+lib/ltl/ts.ml: Hashtbl List Qual Trace

@@ -1,0 +1,1 @@
+lib/ltl/ts.mli: Formula Qual Trace

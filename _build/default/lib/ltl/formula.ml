@@ -1,0 +1,120 @@
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Wnext of t
+  | Eventually of t
+  | Always of t
+  | Until of t * t
+  | Release of t * t
+
+let atom s = Atom s
+let not_ f = Not f
+
+let and_ = function
+  | [] -> True
+  | [ f ] -> f
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let or_ = function
+  | [] -> False
+  | [ f ] -> f
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let implies a b = Implies (a, b)
+let next f = Next f
+let wnext f = Wnext f
+let eventually f = Eventually f
+let always f = Always f
+let until a b = Until (a, b)
+let release a b = Release (a, b)
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f | Next f | Wnext f | Eventually f | Always f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+      1 + size a + size b
+
+let atoms f =
+  let add acc a = if List.mem a acc then acc else a :: acc in
+  let rec go acc = function
+    | True | False -> acc
+    | Atom a -> add acc a
+    | Not f | Next f | Wnext f | Eventually f | Always f -> go acc f
+    | And (a, b) | Or (a, b) | Implies (a, b) | Until (a, b) | Release (a, b) ->
+        go (go acc a) b
+  in
+  List.rev (go [] f)
+
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | Atom _ as f -> f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (nnf (Not a), nnf b)
+  | Next f -> Next (nnf f)
+  | Wnext f -> Wnext (nnf f)
+  | Eventually f -> Eventually (nnf f)
+  | Always f -> Always (nnf f)
+  | Until (a, b) -> Until (nnf a, nnf b)
+  | Release (a, b) -> Release (nnf a, nnf b)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom _ -> Not g
+      | Not f -> nnf f
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Implies (a, b) -> And (nnf a, nnf (Not b))
+      | Next f -> Wnext (nnf (Not f))
+      | Wnext f -> Next (nnf (Not f))
+      | Eventually f -> Always (nnf (Not f))
+      | Always f -> Eventually (nnf (Not f))
+      | Until (a, b) -> Release (nnf (Not a), nnf (Not b))
+      | Release (a, b) -> Until (nnf (Not a), nnf (Not b)))
+
+let rec equal a b =
+  match a, b with
+  | True, True | False, False -> true
+  | Atom x, Atom y -> String.equal x y
+  | Not x, Not y | Next x, Next y | Wnext x, Wnext y
+  | Eventually x, Eventually y | Always x, Always y ->
+      equal x y
+  | And (x1, y1), And (x2, y2)
+  | Or (x1, y1), Or (x2, y2)
+  | Implies (x1, y1), Implies (x2, y2)
+  | Until (x1, y1), Until (x2, y2)
+  | Release (x1, y1), Release (x2, y2) ->
+      equal x1 x2 && equal y1 y2
+  | ( ( True | False | Atom _ | Not _ | And _ | Or _ | Implies _ | Next _
+      | Wnext _ | Eventually _ | Always _ | Until _ | Release _ ),
+      _ ) ->
+      false
+
+(* Precedence: binary temporal < implies < or < and < unary *)
+let rec to_str prec f =
+  let paren p s = if prec > p then "(" ^ s ^ ")" else s in
+  match f with
+  | True -> "true"
+  | False -> "false"
+  | Atom a -> a
+  | Not f -> "!" ^ to_str 4 f
+  | Next f -> "X " ^ to_str 4 f
+  | Wnext f -> "WX " ^ to_str 4 f
+  | Eventually f -> "F " ^ to_str 4 f
+  | Always f -> "G " ^ to_str 4 f
+  | And (a, b) -> paren 3 (to_str 3 a ^ " & " ^ to_str 4 b)
+  | Or (a, b) -> paren 2 (to_str 2 a ^ " | " ^ to_str 3 b)
+  | Implies (a, b) -> paren 1 (to_str 2 a ^ " -> " ^ to_str 1 b)
+  | Until (a, b) -> paren 0 (to_str 1 a ^ " U " ^ to_str 1 b)
+  | Release (a, b) -> paren 0 (to_str 1 a ^ " R " ^ to_str 1 b)
+
+let to_string f = to_str 0 f
+let pp ppf f = Format.pp_print_string ppf (to_string f)

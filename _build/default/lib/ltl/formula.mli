@@ -1,0 +1,50 @@
+(** Linear temporal logic over finite traces (LTLf) — the temporal layer the
+    paper borrows from Telingo (§II.C) to express dynamic safety
+    requirements such as "the tank never overflows".
+
+    Atomic propositions are opaque strings; evaluation is parameterized by a
+    state predicate, so the same formulas work over {!Qual.Qstate.t} traces
+    and over ASP-derived interpretations. *)
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t        (** strong next: requires a successor state *)
+  | Wnext of t       (** weak next: vacuously true at the last state *)
+  | Eventually of t  (** F *)
+  | Always of t      (** G *)
+  | Until of t * t   (** strong until *)
+  | Release of t * t
+
+val atom : string -> t
+val not_ : t -> t
+val and_ : t list -> t
+(** Right-nested conjunction; [and_ \[\] = True]. *)
+
+val or_ : t list -> t
+val implies : t -> t -> t
+val next : t -> t
+val wnext : t -> t
+val eventually : t -> t
+val always : t -> t
+val until : t -> t -> t
+val release : t -> t -> t
+
+val size : t -> int
+(** Number of syntax nodes. *)
+
+val atoms : t -> string list
+(** Distinct atomic propositions, in first-occurrence order. *)
+
+val nnf : t -> t
+(** Negation normal form: negations pushed to atoms using finite-trace
+    dualities ([¬X φ ≡ WX ¬φ], [¬(a U b) ≡ ¬a R ¬b], …). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

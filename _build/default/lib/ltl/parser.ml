@@ -1,0 +1,184 @@
+exception Error of string
+
+type token =
+  | TAtom of string
+  | TTrue
+  | TFalse
+  | TNot
+  | TAnd
+  | TOr
+  | TImplies
+  | TNext
+  | TWnext
+  | TEventually
+  | TAlways
+  | TUntil
+  | TRelease
+  | TLparen
+  | TRparen
+  | TEof
+
+let is_atom_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_atom_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '=' || c = '.' || c = '-' || c = '\''
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin
+      toks := TLparen :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := TRparen :: !toks;
+      incr i
+    end
+    else if c = '!' then begin
+      toks := TNot :: !toks;
+      incr i
+    end
+    else if c = '&' then begin
+      toks := TAnd :: !toks;
+      incr i;
+      if !i < n && src.[!i] = '&' then incr i
+    end
+    else if c = '|' then begin
+      toks := TOr :: !toks;
+      incr i;
+      if !i < n && src.[!i] = '|' then incr i
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      toks := TImplies :: !toks;
+      i := !i + 2
+    end
+    else if c >= 'A' && c <= 'Z' then begin
+      let start = !i in
+      while !i < n && ((src.[!i] >= 'A' && src.[!i] <= 'Z') || src.[!i] = 'X') do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let tok =
+        match word with
+        | "X" -> TNext
+        | "WX" -> TWnext
+        | "F" -> TEventually
+        | "G" -> TAlways
+        | "U" -> TUntil
+        | "R" -> TRelease
+        | other -> raise (Error (Printf.sprintf "unknown operator %S" other))
+      in
+      toks := tok :: !toks
+    end
+    else if is_atom_start c then begin
+      let start = !i in
+      while !i < n && is_atom_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let tok =
+        match word with
+        | "true" -> TTrue
+        | "false" -> TFalse
+        | a -> TAtom a
+      in
+      toks := tok :: !toks
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev (TEof :: !toks)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* until/release: right-associative, lowest precedence *)
+let rec parse_until st =
+  let lhs = parse_implies st in
+  match peek st with
+  | TUntil ->
+      advance st;
+      Formula.Until (lhs, parse_until st)
+  | TRelease ->
+      advance st;
+      Formula.Release (lhs, parse_until st)
+  | _ -> lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | TImplies ->
+      advance st;
+      Formula.Implies (lhs, parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | TOr ->
+      advance st;
+      Formula.Or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  match peek st with
+  | TAnd ->
+      advance st;
+      Formula.And (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_unary st =
+  match peek st with
+  | TNot ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | TNext ->
+      advance st;
+      Formula.Next (parse_unary st)
+  | TWnext ->
+      advance st;
+      Formula.Wnext (parse_unary st)
+  | TEventually ->
+      advance st;
+      Formula.Eventually (parse_unary st)
+  | TAlways ->
+      advance st;
+      Formula.Always (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | TTrue ->
+      advance st;
+      Formula.True
+  | TFalse ->
+      advance st;
+      Formula.False
+  | TAtom a ->
+      advance st;
+      Formula.Atom a
+  | TLparen ->
+      advance st;
+      let f = parse_until st in
+      if peek st = TRparen then begin
+        advance st;
+        f
+      end
+      else raise (Error "expected ')'")
+  | _ -> raise (Error "expected a formula")
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let f = parse_until st in
+  if peek st <> TEof then raise (Error "trailing input after formula");
+  f

@@ -1,0 +1,10 @@
+(** Parser for LTLf formulas.
+
+    Syntax (loosest to tightest binding):
+    [U], [R] — [->] — [|] — [&] — unary [!], [X], [WX], [F], [G] — atoms.
+    Atoms are lowercase identifiers that may embed [=], [.], [-] (e.g.
+    [level=overflow]); [true] and [false] are constants. *)
+
+exception Error of string
+
+val parse : string -> Formula.t

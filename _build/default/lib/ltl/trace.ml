@@ -1,0 +1,99 @@
+type t = Qual.Qstate.t array
+
+let of_list = function
+  | [] -> invalid_arg "Trace.of_list: empty trace"
+  | l -> Array.of_list l
+
+let to_list = Array.to_list
+let length = Array.length
+let state t i = t.(i)
+let last t = t.(Array.length t - 1)
+
+let default_holds st atom =
+  match String.index_opt atom '=' with
+  | Some i ->
+      let var = String.sub atom 0 i in
+      let value = String.sub atom (i + 1) (String.length atom - i - 1) in
+      Qual.Qstate.holds var value st
+  | None -> Qual.Qstate.holds atom "true" st
+
+let rec eval_at ?(holds = default_holds) trace i f =
+  let n = Array.length trace in
+  let ev i f = eval_at ~holds trace i f in
+  match (f : Formula.t) with
+  | True -> true
+  | False -> false
+  | Atom a -> holds trace.(i) a
+  | Not f -> not (ev i f)
+  | And (a, b) -> ev i a && ev i b
+  | Or (a, b) -> ev i a || ev i b
+  | Implies (a, b) -> (not (ev i a)) || ev i b
+  | Next f -> i + 1 < n && ev (i + 1) f
+  | Wnext f -> i + 1 >= n || ev (i + 1) f
+  | Eventually f ->
+      let rec exists j = j < n && (ev j f || exists (j + 1)) in
+      exists i
+  | Always f ->
+      let rec forall j = j >= n || (ev j f && forall (j + 1)) in
+      forall i
+  | Until (a, b) ->
+      let rec go j =
+        j < n && (ev j b || (ev j a && go (j + 1)))
+      in
+      go i
+  | Release (a, b) ->
+      let rec go j =
+        if j >= n then true
+        else if not (ev j b) then false
+        else ev j a || go (j + 1)
+      in
+      go i
+
+let eval ?holds trace f = eval_at ?holds trace 0 f
+
+(* smart constructors with constant folding *)
+let sand a b =
+  match (a : Formula.t), (b : Formula.t) with
+  | False, _ | _, False -> Formula.False
+  | True, f | f, True -> f
+  | a, b -> Formula.And (a, b)
+
+let sor a b =
+  match (a : Formula.t), (b : Formula.t) with
+  | True, _ | _, True -> Formula.True
+  | False, f | f, False -> f
+  | a, b -> Formula.Or (a, b)
+
+let rec progress ?(holds = default_holds) st ~is_last f =
+  let prog f = progress ~holds st ~is_last f in
+  match (f : Formula.t) with
+  | True -> Formula.True
+  | False -> Formula.False
+  | Atom a -> if holds st a then Formula.True else Formula.False
+  | Not f -> (
+      match prog f with
+      | Formula.True -> Formula.False
+      | Formula.False -> Formula.True
+      | g -> Formula.Not g)
+  | And (a, b) -> sand (prog a) (prog b)
+  | Or (a, b) -> sor (prog a) (prog b)
+  | Implies (a, b) -> prog (Formula.Or (Formula.Not a, b))
+  | Next f -> if is_last then Formula.False else f
+  | Wnext f -> if is_last then Formula.True else f
+  | Eventually f ->
+      sor (prog f) (if is_last then Formula.False else Formula.Eventually f)
+  | Always f ->
+      sand (prog f) (if is_last then Formula.True else Formula.Always f)
+  | Until (a, b) ->
+      sor (prog b)
+        (sand (prog a) (if is_last then Formula.False else Formula.Until (a, b)))
+  | Release (a, b) ->
+      sand (prog b)
+        (sor (prog a) (if is_last then Formula.True else Formula.Release (a, b)))
+
+let pp ppf t =
+  Array.iteri
+    (fun i st ->
+      if i > 0 then Format.fprintf ppf " -> ";
+      Qual.Qstate.pp ppf st)
+    t

@@ -1,0 +1,35 @@
+(** Finite traces of qualitative states and LTLf evaluation over them. *)
+
+type t
+(** A non-empty finite sequence of {!Qual.Qstate.t}. *)
+
+val of_list : Qual.Qstate.t list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val to_list : t -> Qual.Qstate.t list
+val length : t -> int
+val state : t -> int -> Qual.Qstate.t
+val last : t -> Qual.Qstate.t
+
+val default_holds : Qual.Qstate.t -> string -> bool
+(** Interprets the atom ["var=value"] as [Qstate.holds var value] and a bare
+    atom ["var"] as [Qstate.holds var "true"]. *)
+
+val eval : ?holds:(Qual.Qstate.t -> string -> bool) -> t -> Formula.t -> bool
+(** Satisfaction at the first position (finite-trace LTLf semantics). *)
+
+val eval_at :
+  ?holds:(Qual.Qstate.t -> string -> bool) -> t -> int -> Formula.t -> bool
+
+val progress :
+  ?holds:(Qual.Qstate.t -> string -> bool) ->
+  Qual.Qstate.t ->
+  is_last:bool ->
+  Formula.t ->
+  Formula.t
+(** Bacchus–Kabanza formula progression: the returned formula must hold on
+    the remainder of the trace. With [is_last:true] the result simplifies to
+    [True] or [False] — the verdict for the whole trace. Used for online
+    monitoring and incremental checking. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+type t = {
+  init : Qual.Qstate.t list;
+  next : Qual.Qstate.t -> Qual.Qstate.t list;
+}
+
+let make ~init ~next = { init; next }
+let init ts = ts.init
+
+type verdict = Holds | Counterexample of Trace.t
+
+(* Depth-first enumeration of maximal traces; [on_trace] may stop the
+   search by returning false. *)
+let iter_traces ?(horizon = 50) ts ~on_trace =
+  let exception Stop in
+  let rec go path_rev seen depth st =
+    let path_rev = st :: path_rev in
+    let stop_here =
+      depth >= horizon
+      || List.exists (Qual.Qstate.equal st) seen
+    in
+    if stop_here then begin
+      if not (on_trace (Trace.of_list (List.rev path_rev))) then raise Stop
+    end
+    else
+      match ts.next st with
+      | [] ->
+          if not (on_trace (Trace.of_list (List.rev path_rev))) then raise Stop
+      | succs ->
+          List.iter (fun s -> go path_rev (st :: seen) (depth + 1) s) succs
+  in
+  try List.iter (fun st -> go [] [] 0 st) ts.init with Stop -> ()
+
+let traces ?horizon ts =
+  let acc = ref [] in
+  iter_traces ?horizon ts ~on_trace:(fun tr ->
+      acc := tr :: !acc;
+      true);
+  List.rev !acc
+
+let reachable ?(horizon = 50) ts =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let add st =
+    let key = Qual.Qstate.to_list st in
+    if Hashtbl.mem seen key then false
+    else begin
+      Hashtbl.replace seen key ();
+      order := st :: !order;
+      true
+    end
+  in
+  let frontier = ref (List.filter add ts.init) in
+  let depth = ref 0 in
+  while !frontier <> [] && !depth < horizon do
+    incr depth;
+    frontier :=
+      List.concat_map ts.next !frontier |> List.filter add
+  done;
+  List.rev !order
+
+let check ?horizon ?holds ts f =
+  let result = ref Holds in
+  iter_traces ?horizon ts ~on_trace:(fun tr ->
+      if Trace.eval ?holds tr f then true
+      else begin
+        result := Counterexample tr;
+        false
+      end);
+  !result
+
+let run ?(horizon = 50) ts st =
+  let rec go acc seen depth st =
+    let acc = st :: acc in
+    if depth >= horizon || List.exists (Qual.Qstate.equal st) seen then
+      List.rev acc
+    else
+      match ts.next st with
+      | [] -> List.rev acc
+      | succ :: _ -> go acc (st :: seen) (depth + 1) succ
+  in
+  Trace.of_list (go [] [] 0 st)

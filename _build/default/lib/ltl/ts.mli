@@ -1,0 +1,39 @@
+(** Transition systems over qualitative states, with bounded exhaustive LTLf
+    checking. This is the model-checking back-end behind the paper's
+    "hidden formal method": dynamics produced by the EPA simulator are
+    explored trace-by-trace and each trace is evaluated against the LTLf
+    requirement.
+
+    Traces end when the horizon is reached, the system deadlocks, or a state
+    repeats on the current path (the qualitative systems of the paper settle
+    into stable states or small cycles, so a repeated state adds no new
+    qualitative behaviour). *)
+
+type t
+
+val make : init:Qual.Qstate.t list -> next:(Qual.Qstate.t -> Qual.Qstate.t list) -> t
+
+val init : t -> Qual.Qstate.t list
+
+val traces : ?horizon:int -> t -> Trace.t list
+(** All maximal traces (default horizon 50). Exponential for highly
+    non-deterministic systems — the qualitative models here have small
+    branching. *)
+
+val reachable : ?horizon:int -> t -> Qual.Qstate.t list
+(** Distinct states reachable within the horizon, in BFS order. *)
+
+type verdict = Holds | Counterexample of Trace.t
+
+val check :
+  ?horizon:int ->
+  ?holds:(Qual.Qstate.t -> string -> bool) ->
+  t ->
+  Formula.t ->
+  verdict
+(** Universal check: the formula must hold on every maximal trace; the first
+    failing trace is returned as a counterexample. *)
+
+val run : ?horizon:int -> t -> Qual.Qstate.t -> Trace.t
+(** Deterministic simulation from one state (first successor at each step),
+    ending at horizon / deadlock / first repeated state. *)

@@ -1,0 +1,1 @@
+lib/markov/dtmc.mli:

@@ -1,0 +1,155 @@
+type t = {
+  states : string array;
+  index : (string, int) Hashtbl.t;
+  (* row-major transition matrix; rows sum to 1 *)
+  matrix : float array array;
+}
+
+let make ~states ~transitions =
+  if states = [] then invalid_arg "Dtmc.make: no states";
+  let n = List.length states in
+  let index = Hashtbl.create n in
+  List.iteri
+    (fun i s ->
+      if Hashtbl.mem index s then
+        invalid_arg (Printf.sprintf "Dtmc.make: duplicate state %s" s);
+      Hashtbl.replace index s i)
+    states;
+  let matrix = Array.make_matrix n n 0. in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, p) ->
+      if p < 0. || p > 1. then
+        invalid_arg
+          (Printf.sprintf "Dtmc.make: probability %g of %s->%s outside [0,1]" p
+             src dst);
+      let i =
+        match Hashtbl.find_opt index src with
+        | Some i -> i
+        | None -> invalid_arg (Printf.sprintf "Dtmc.make: unknown state %s" src)
+      in
+      let j =
+        match Hashtbl.find_opt index dst with
+        | Some j -> j
+        | None -> invalid_arg (Printf.sprintf "Dtmc.make: unknown state %s" dst)
+      in
+      if Hashtbl.mem seen (i, j) then
+        invalid_arg (Printf.sprintf "Dtmc.make: duplicate edge %s->%s" src dst);
+      Hashtbl.replace seen (i, j) ();
+      matrix.(i).(j) <- p)
+    transitions;
+  Array.iteri
+    (fun i row ->
+      let sum = Array.fold_left ( +. ) 0. row in
+      if sum > 1. +. 1e-9 then
+        invalid_arg
+          (Printf.sprintf "Dtmc.make: outgoing probability of %s sums to %g"
+             (List.nth states i) sum);
+      (* missing mass becomes a self-loop *)
+      matrix.(i).(i) <- matrix.(i).(i) +. Float.max 0. (1. -. sum))
+    matrix;
+  { states = Array.of_list states; index; matrix }
+
+let states t = Array.to_list t.states
+
+let state_index t s =
+  match Hashtbl.find_opt t.index s with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Dtmc: unknown state %s" s)
+
+let probability t src dst = t.matrix.(state_index t src).(state_index t dst)
+
+let n_states t = Array.length t.states
+
+let vector_of_dist t dist =
+  let v = Array.make (n_states t) 0. in
+  List.iter (fun (s, p) -> v.(state_index t s) <- v.(state_index t s) +. p) dist;
+  v
+
+let dist_of_vector t v =
+  Array.to_list (Array.mapi (fun i p -> (t.states.(i), p)) v)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let step_vector t v =
+  let n = n_states t in
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    if v.(i) > 0. then
+      for j = 0 to n - 1 do
+        out.(j) <- out.(j) +. (v.(i) *. t.matrix.(i).(j))
+      done
+  done;
+  out
+
+let step t dist = dist_of_vector t (step_vector t (vector_of_dist t dist))
+
+let transient t ~init ~steps =
+  let v = ref (vector_of_dist t [ (init, 1.) ]) in
+  for _ = 1 to steps do
+    v := step_vector t !v
+  done;
+  dist_of_vector t !v
+
+let absorbing t =
+  let n = n_states t in
+  List.filter_map
+    (fun i ->
+      if t.matrix.(i).(i) >= 1. -. 1e-12 then Some t.states.(i) else None)
+    (List.init n Fun.id)
+
+let check_absorbing t target =
+  if not (List.mem target (absorbing t)) then
+    invalid_arg (Printf.sprintf "Dtmc: state %s is not absorbing" target)
+
+(* value iteration on h(s) = P(eventually reach target from s) *)
+let absorption_probability ?(epsilon = 1e-12) ?(max_iterations = 100_000) t
+    ~init ~target =
+  check_absorbing t target;
+  let n = n_states t in
+  let tgt = state_index t target in
+  let h = Array.make n 0. in
+  h.(tgt) <- 1.;
+  let delta = ref 1. in
+  let iterations = ref 0 in
+  while !delta > epsilon && !iterations < max_iterations do
+    incr iterations;
+    delta := 0.;
+    for i = 0 to n - 1 do
+      if i <> tgt then begin
+        let v = ref 0. in
+        for j = 0 to n - 1 do
+          v := !v +. (t.matrix.(i).(j) *. h.(j))
+        done;
+        delta := Float.max !delta (Float.abs (!v -. h.(i)));
+        h.(i) <- !v
+      end
+    done
+  done;
+  h.(state_index t init)
+
+let expected_steps_to ?(epsilon = 1e-12) ?(max_iterations = 100_000) t ~init
+    ~target =
+  let reach = absorption_probability ~epsilon ~max_iterations t ~init ~target in
+  if reach < 1. -. 1e-6 then infinity
+  else begin
+    let n = n_states t in
+    let tgt = state_index t target in
+    let e = Array.make n 0. in
+    let delta = ref 1. in
+    let iterations = ref 0 in
+    while !delta > epsilon && !iterations < max_iterations do
+      incr iterations;
+      delta := 0.;
+      for i = 0 to n - 1 do
+        if i <> tgt then begin
+          let v = ref 1. in
+          for j = 0 to n - 1 do
+            v := !v +. (t.matrix.(i).(j) *. e.(j))
+          done;
+          delta := Float.max !delta (Float.abs (!v -. e.(i)));
+          e.(i) <- !v
+        end
+      done
+    done;
+    e.(state_index t init)
+  end

@@ -1,0 +1,35 @@
+(** Discrete-time Markov chains — the other classical EPA formalism the
+    paper positions qualitative EPA against (§III.A: "Markov chains and
+    Petri nets … require specific expert knowledge"). Provided as a
+    quantitative baseline: the same qualitative models, annotated with
+    per-step fault probabilities, yield failure probabilities. *)
+
+type t
+
+val make : states:string list -> transitions:(string * string * float) list -> t
+(** Missing probability mass on a state becomes a self-loop; raises
+    [Invalid_argument] on unknown states, probabilities outside [0,1],
+    duplicate edges, or a row summing above 1 (+1e-9 tolerance). *)
+
+val states : t -> string list
+val probability : t -> string -> string -> float
+
+val step : t -> (string * float) list -> (string * float) list
+(** One transition of a distribution (missing states have mass 0). *)
+
+val transient : t -> init:string -> steps:int -> (string * float) list
+(** Distribution after [steps] transitions from [init], sorted by state. *)
+
+val absorbing : t -> string list
+(** States whose only outgoing mass is the self-loop. *)
+
+val absorption_probability :
+  ?epsilon:float -> ?max_iterations:int -> t -> init:string -> target:string -> float
+(** Probability of eventually reaching the absorbing [target] from [init],
+    by value iteration ([epsilon] defaults to 1e-12, [max_iterations] to
+    100_000). Raises [Invalid_argument] when [target] is not absorbing. *)
+
+val expected_steps_to :
+  ?epsilon:float -> ?max_iterations:int -> t -> init:string -> target:string -> float
+(** Expected number of steps to hit [target] from [init]; [infinity] when
+    the target is reached with probability < 1. *)

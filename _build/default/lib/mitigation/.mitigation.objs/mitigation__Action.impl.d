@@ -1,0 +1,1 @@
+lib/mitigation/action.ml: Format List String

@@ -1,0 +1,1 @@
+lib/mitigation/action.mli: Format

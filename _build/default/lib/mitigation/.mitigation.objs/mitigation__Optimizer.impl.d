@@ -1,0 +1,1 @@
+lib/mitigation/optimizer.ml: Action Format List Stdlib String

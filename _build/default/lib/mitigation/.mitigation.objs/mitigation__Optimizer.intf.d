@@ -1,0 +1,1 @@
+lib/mitigation/optimizer.mli: Action Format

@@ -1,0 +1,24 @@
+type t = {
+  id : string;
+  name : string;
+  cost : int;
+  blocks : string list;
+}
+
+let make ~id ~name ~cost ~blocks =
+  if cost < 0 then invalid_arg "Action.make: negative cost";
+  { id; name; cost; blocks }
+
+let find id actions = List.find_opt (fun a -> a.id = id) actions
+
+let blocks_relation actions id =
+  match find id actions with Some a -> a.blocks | None -> []
+
+let total_cost actions ids =
+  List.fold_left
+    (fun acc id -> acc + match find id actions with Some a -> a.cost | None -> 0)
+    0 ids
+
+let pp ppf a =
+  Format.fprintf ppf "%s (%s, cost %d, blocks {%s})" a.id a.name a.cost
+    (String.concat "," a.blocks)

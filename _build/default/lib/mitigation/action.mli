@@ -1,0 +1,23 @@
+(** Mitigation actions (§IV.C): protective measures with a cost and the set
+    of faults (or attacker-induced fault activations) they block. The case
+    study's M1 (User Training) and M2 (Endpoint Security) both block F4. *)
+
+type t = {
+  id : string;
+  name : string;
+  cost : int;            (** implementation cost, abstract money units *)
+  blocks : string list;  (** fault ids this measure prevents *)
+}
+
+val make : id:string -> name:string -> cost:int -> blocks:string list -> t
+
+val blocks_relation : t list -> string -> string list
+(** [blocks_relation actions] is the [blocks] function an
+    {!Epa.Analysis.system} expects: mitigation id → blocked fault ids
+    (empty for unknown ids). *)
+
+val total_cost : t list -> string list -> int
+(** Cost of a selection by ids; unknown ids cost 0. *)
+
+val find : string -> t list -> t option
+val pp : Format.formatter -> t -> unit

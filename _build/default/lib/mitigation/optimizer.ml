@@ -1,0 +1,115 @@
+type problem = {
+  actions : Action.t list;
+  residual : active:string list -> int;
+}
+
+type solution = {
+  selected : string list;
+  cost : int;
+  residual : int;
+}
+
+let evaluate p ids =
+  let selected = List.sort_uniq String.compare ids in
+  {
+    selected;
+    cost = Action.total_cost p.actions selected;
+    residual = p.residual ~active:selected;
+  }
+
+(* enumerate subsets within budget, with simple cost pruning along the
+   inclusion order (costs are non-negative) *)
+let subsets_within_budget actions budget =
+  let rec go remaining cost selected acc =
+    match remaining with
+    | [] -> List.rev selected :: acc
+    | (a : Action.t) :: rest ->
+        let acc = go rest cost selected acc in
+        let cost' = cost + a.Action.cost in
+        if
+          match budget with Some b -> cost' <= b | None -> true
+        then go rest cost' (a.Action.id :: selected) acc
+        else acc
+  in
+  go actions 0 [] []
+
+let better a b =
+  (* smaller residual, then cheaper, then lexicographically smaller *)
+  let c = Stdlib.compare a.residual b.residual in
+  if c <> 0 then c < 0
+  else
+    let c = Stdlib.compare a.cost b.cost in
+    if c <> 0 then c < 0 else Stdlib.compare a.selected b.selected < 0
+
+let optimal ?budget p =
+  let candidates = subsets_within_budget p.actions budget in
+  match candidates with
+  | [] -> evaluate p [] (* budget < 0: only the empty selection *)
+  | first :: rest ->
+      List.fold_left
+        (fun best ids ->
+          let s = evaluate p ids in
+          if better s best then s else best)
+        (evaluate p first) rest
+
+let dominates a b =
+  a.cost <= b.cost && a.residual <= b.residual
+  && (a.cost < b.cost || a.residual < b.residual)
+
+let pareto p =
+  let all = List.map (evaluate p) (subsets_within_budget p.actions None) in
+  let front =
+    List.filter (fun s -> not (List.exists (fun s' -> dominates s' s) all)) all
+  in
+  (* dedup equal (cost, residual) points, keep the lexicographically
+     smallest selection as the representative *)
+  let front =
+    List.sort
+      (fun a b ->
+        let c = Stdlib.compare (a.cost, a.residual) (b.cost, b.residual) in
+        if c <> 0 then c else Stdlib.compare a.selected b.selected)
+      front
+  in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a.cost = b.cost && a.residual = b.residual ->
+        a :: dedup (List.filter (fun s -> not (s.cost = a.cost && s.residual = a.residual)) rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup front
+
+let budget_sweep p ~budgets =
+  List.map (fun b -> (b, optimal ~budget:b p)) budgets
+
+let multi_phase p ~phase_budgets =
+  let rec go selected acc = function
+    | [] -> List.rev acc
+    | budget :: rest ->
+        let remaining_actions =
+          List.filter
+            (fun (a : Action.t) -> not (List.mem a.Action.id selected))
+            p.actions
+        in
+        let sub_problem =
+          {
+            actions = remaining_actions;
+            residual =
+              (fun ~active -> p.residual ~active:(active @ selected));
+          }
+        in
+        let increment = optimal ~budget sub_problem in
+        let selected =
+          List.sort_uniq String.compare (increment.selected @ selected)
+        in
+        go selected (evaluate p selected :: acc) rest
+  in
+  go [] [] phase_budgets
+
+let benefit (p : problem) s =
+  let baseline = p.residual ~active:[] in
+  baseline - s.residual
+
+let pp_solution ppf s =
+  Format.fprintf ppf "{%s} cost=%d residual=%d"
+    (String.concat "," s.selected)
+    s.cost s.residual

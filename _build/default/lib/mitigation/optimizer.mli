@@ -1,0 +1,45 @@
+(** Cost-benefit optimization of mitigation selections (§IV.D): exact
+    search over mitigation subsets with budget constraints, Pareto
+    analysis, and the multi-phase consolidation strategy for SMEs with
+    staged budgets.
+
+    The objective is supplied as [residual]: any integer loss measure of
+    the system under the given active mitigations (e.g. expected loss,
+    number of hazardous scenarios, worst-case severity). Smaller is
+    better. *)
+
+type problem = {
+  actions : Action.t list;
+  residual : active:string list -> int;
+}
+
+type solution = {
+  selected : string list;  (** mitigation ids, sorted *)
+  cost : int;
+  residual : int;
+}
+
+val evaluate : problem -> string list -> solution
+
+val optimal : ?budget:int -> problem -> solution
+(** Minimal residual within budget; ties broken by lower cost, then
+    lexicographic selection. Exhaustive with cost pruning — exact for the
+    catalog sizes of the paper's domain (≤ ~20 actions). *)
+
+val pareto : problem -> solution list
+(** Cost-vs-residual Pareto front over all subsets, sorted by cost: no
+    front member is dominated (lower-or-equal cost {e and} residual, one
+    strict) by any subset. *)
+
+val budget_sweep : problem -> budgets:int list -> (int * solution) list
+(** {!optimal} per budget — the §IV.D trade-off curve. *)
+
+val multi_phase : problem -> phase_budgets:int list -> solution list
+(** Staged consolidation: each phase adds actions within its own budget on
+    top of the previous selection, choosing the exact best increment. The
+    returned list gives the cumulative solution after each phase. *)
+
+val benefit : problem -> solution -> int
+(** Loss reduction w.r.t. doing nothing: residual(∅) − residual(sel). *)
+
+val pp_solution : Format.formatter -> solution -> unit

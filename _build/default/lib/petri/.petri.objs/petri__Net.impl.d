@@ -1,0 +1,1 @@
+lib/petri/net.ml: Format Hashtbl List Option Printf Queue String

@@ -1,0 +1,169 @@
+type t = {
+  places : string list;
+  transitions : string list;
+  (* per transition: consumed and produced tokens per place *)
+  pre : (string, (string * int) list) Hashtbl.t;
+  post : (string, (string * int) list) Hashtbl.t;
+}
+
+type marking = (string * int) list
+
+let make ~places ~transitions ~arcs =
+  let dup l =
+    let seen = Hashtbl.create 8 in
+    List.find_opt
+      (fun x ->
+        if Hashtbl.mem seen x then true
+        else begin
+          Hashtbl.replace seen x ();
+          false
+        end)
+      l
+  in
+  (match dup places with
+  | Some p -> invalid_arg (Printf.sprintf "Petri.make: duplicate place %s" p)
+  | None -> ());
+  (match dup transitions with
+  | Some t -> invalid_arg (Printf.sprintf "Petri.make: duplicate transition %s" t)
+  | None -> ());
+  (match List.find_opt (fun p -> List.mem p transitions) places with
+  | Some x ->
+      invalid_arg (Printf.sprintf "Petri.make: %s is both place and transition" x)
+  | None -> ());
+  let pre = Hashtbl.create 16 and post = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      Hashtbl.replace pre t [];
+      Hashtbl.replace post t [])
+    transitions;
+  let seen_arcs = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, w) ->
+      if w <= 0 then
+        invalid_arg
+          (Printf.sprintf "Petri.make: non-positive weight on %s -> %s" src dst);
+      if Hashtbl.mem seen_arcs (src, dst) then
+        invalid_arg (Printf.sprintf "Petri.make: duplicate arc %s -> %s" src dst);
+      Hashtbl.replace seen_arcs (src, dst) ();
+      match
+        (List.mem src places, List.mem src transitions,
+         List.mem dst places, List.mem dst transitions)
+      with
+      | true, _, _, true ->
+          (* place -> transition: consumption *)
+          Hashtbl.replace pre dst ((src, w) :: Hashtbl.find pre dst)
+      | _, true, true, _ ->
+          (* transition -> place: production *)
+          Hashtbl.replace post src ((dst, w) :: Hashtbl.find post src)
+      | true, _, true, _ ->
+          invalid_arg (Printf.sprintf "Petri.make: place-place arc %s -> %s" src dst)
+      | _, true, _, true ->
+          invalid_arg
+            (Printf.sprintf "Petri.make: transition-transition arc %s -> %s" src dst)
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Petri.make: unknown endpoint on arc %s -> %s" src dst))
+    arcs;
+  { places; transitions; pre; post }
+
+let tokens marking place =
+  Option.value ~default:0 (List.assoc_opt place marking)
+
+let normalize net marking =
+  List.iter
+    (fun (p, n) ->
+      if not (List.mem p net.places) then
+        invalid_arg (Printf.sprintf "Petri: unknown place %s" p);
+      if n < 0 then
+        invalid_arg (Printf.sprintf "Petri: negative token count on %s" p))
+    marking;
+  (* sum duplicates, drop zeros, sort *)
+  List.filter_map
+    (fun p ->
+      let total =
+        List.fold_left
+          (fun acc (p', n) -> if p' = p then acc + n else acc)
+          0 marking
+      in
+      if total > 0 then Some (p, total) else None)
+    net.places
+  |> List.sort compare
+
+let transition_enabled net marking t =
+  List.for_all (fun (p, w) -> tokens marking p >= w) (Hashtbl.find net.pre t)
+
+let enabled net marking =
+  let marking = normalize net marking in
+  List.filter (transition_enabled net marking) net.transitions
+
+let fire net marking t =
+  let marking = normalize net marking in
+  if not (List.mem t net.transitions) then
+    invalid_arg (Printf.sprintf "Petri.fire: unknown transition %s" t);
+  if not (transition_enabled net marking t) then
+    invalid_arg (Printf.sprintf "Petri.fire: transition %s not enabled" t);
+  let consumed =
+    List.map
+      (fun p -> (p, tokens marking p - Option.value ~default:0 (List.assoc_opt p (Hashtbl.find net.pre t))))
+      net.places
+  in
+  let produced =
+    List.map
+      (fun (p, n) ->
+        (p, n + Option.value ~default:0 (List.assoc_opt p (Hashtbl.find net.post t))))
+      consumed
+  in
+  normalize net produced
+
+type graph = {
+  markings : marking list;
+  edges : (marking * string * marking) list;
+  complete : bool;
+}
+
+let reachability ?(max_markings = 10_000) net ~initial =
+  let initial = normalize net initial in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen initial ();
+  let order = ref [ initial ] in
+  let edges = ref [] in
+  let queue = Queue.create () in
+  Queue.add initial queue;
+  let complete = ref true in
+  while not (Queue.is_empty queue) do
+    let m = Queue.take queue in
+    List.iter
+      (fun t ->
+        if transition_enabled net m t then begin
+          let m' = fire net m t in
+          edges := (m, t, m') :: !edges;
+          if not (Hashtbl.mem seen m') then
+            if Hashtbl.length seen >= max_markings then complete := false
+            else begin
+              Hashtbl.replace seen m' ();
+              order := m' :: !order;
+              Queue.add m' queue
+            end
+        end)
+      net.transitions
+  done;
+  { markings = List.rev !order; edges = List.rev !edges; complete = !complete }
+
+let bounded ?(bound = 1) ?max_markings net ~initial =
+  let g = reachability ?max_markings net ~initial in
+  g.complete
+  && List.for_all
+       (fun m -> List.for_all (fun (_, n) -> n <= bound) m)
+       g.markings
+
+let deadlocks ?max_markings net ~initial =
+  let g = reachability ?max_markings net ~initial in
+  List.filter (fun m -> enabled net m = []) g.markings
+
+let reachable_with ?max_markings net ~initial ~pred =
+  let g = reachability ?max_markings net ~initial in
+  List.find_opt pred g.markings
+
+let pp_marking ppf m =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", " (List.map (fun (p, n) -> Printf.sprintf "%s:%d" p n) m))

@@ -1,0 +1,53 @@
+(** Place/transition Petri nets — the third classical EPA formalism the
+    paper positions qualitative EPA against (§III.A). Ordinary nets with
+    weighted arcs; analysis by explicit reachability-graph construction,
+    which suits the small nets error-propagation models produce. *)
+
+type t
+
+val make :
+  places:string list ->
+  transitions:string list ->
+  arcs:(string * string * int) list ->
+  t
+(** [arcs] are (source, target, weight) with one endpoint a place and the
+    other a transition. Raises [Invalid_argument] on unknown names,
+    non-positive weights, duplicate arcs, or a place–place / transition–
+    transition arc. *)
+
+type marking = (string * int) list
+(** Tokens per place; places absent from the list hold zero. Normalized
+    (sorted, zero entries dropped) by all functions returning markings. *)
+
+val normalize : t -> marking -> marking
+(** Also validates place names and non-negative counts. *)
+
+val enabled : t -> marking -> string list
+(** Transitions fireable in the marking. *)
+
+val fire : t -> marking -> string -> marking
+(** Raises [Invalid_argument] when the transition is not enabled. *)
+
+type graph = {
+  markings : marking list;             (** in BFS discovery order *)
+  edges : (marking * string * marking) list;
+  complete : bool;  (** false when the bound cut exploration *)
+}
+
+val reachability : ?max_markings:int -> t -> initial:marking -> graph
+(** Explicit reachability graph (default bound 10_000 markings). *)
+
+val bounded : ?bound:int -> ?max_markings:int -> t -> initial:marking -> bool
+(** Every reachable place count stays ≤ [bound] (default 1, i.e. safe
+    net); false when exploration hits [max_markings] without settling. *)
+
+val deadlocks : ?max_markings:int -> t -> initial:marking -> marking list
+(** Reachable markings enabling no transition. *)
+
+val reachable_with :
+  ?max_markings:int -> t -> initial:marking -> pred:(marking -> bool) -> marking option
+(** First discovered marking satisfying [pred] — e.g. the hazard marking
+    of an error-propagation net. *)
+
+val tokens : marking -> string -> int
+val pp_marking : Format.formatter -> marking -> unit

@@ -1,0 +1,1 @@
+lib/qual/domain.ml: Array Format Hashtbl List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/qual/domain.mli: Format

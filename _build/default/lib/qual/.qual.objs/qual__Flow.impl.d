@@ -1,0 +1,1 @@
+lib/qual/flow.ml: Format List Sign

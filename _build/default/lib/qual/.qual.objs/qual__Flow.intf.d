@@ -1,0 +1,1 @@
+lib/qual/flow.mli: Format Sign

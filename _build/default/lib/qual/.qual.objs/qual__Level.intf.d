@@ -1,0 +1,1 @@
+lib/qual/level.mli: Format

@@ -1,0 +1,1 @@
+lib/qual/qspace.ml: Array Format Hashtbl List Printf Sign Stdlib String

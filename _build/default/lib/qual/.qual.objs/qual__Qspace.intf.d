@@ -1,0 +1,1 @@
+lib/qual/qspace.mli: Format Sign

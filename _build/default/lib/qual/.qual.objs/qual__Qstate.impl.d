@@ -1,0 +1,1 @@
+lib/qual/qstate.ml: Format Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/qual/qstate.mli: Format

@@ -1,0 +1,1 @@
+lib/qual/sign.ml: Format Stdlib

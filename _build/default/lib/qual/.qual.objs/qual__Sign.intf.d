@@ -1,0 +1,1 @@
+lib/qual/sign.mli: Format

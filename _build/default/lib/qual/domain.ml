@@ -1,0 +1,67 @@
+type t = { name : string; labels : string array }
+type value = { dom : t; idx : int }
+
+let make ~name labels =
+  if labels = [] then invalid_arg "Domain.make: empty label list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen l then
+        invalid_arg (Printf.sprintf "Domain.make: duplicate label %S" l);
+      Hashtbl.add seen l ())
+    labels;
+  { name; labels = Array.of_list labels }
+
+let name d = d.name
+let labels d = Array.to_list d.labels
+let size d = Array.length d.labels
+let equal a b = a.name = b.name && a.labels = b.labels
+
+let find_index d l =
+  let n = Array.length d.labels in
+  let rec loop i = if i >= n then None else if d.labels.(i) = l then Some i else loop (i + 1) in
+  loop 0
+
+let value_opt d l = Option.map (fun idx -> { dom = d; idx }) (find_index d l)
+
+let value d l =
+  match value_opt d l with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Domain.value: %S not in domain %s" l d.name)
+
+let of_index d i = if i >= 0 && i < size d then Some { dom = d; idx = i } else None
+let index v = v.idx
+let label v = v.dom.labels.(v.idx)
+let domain v = v.dom
+
+let check_same a b =
+  if not (equal a.dom b.dom) then
+    invalid_arg
+      (Printf.sprintf "Domain: comparing values of distinct domains %s and %s"
+         a.dom.name b.dom.name)
+
+let equal_value a b = equal a.dom b.dom && a.idx = b.idx
+
+let compare_value a b =
+  check_same a b;
+  Stdlib.compare a.idx b.idx
+
+let min_value d = { dom = d; idx = 0 }
+let max_value d = { dom = d; idx = size d - 1 }
+let all_values d = List.init (size d) (fun idx -> { dom = d; idx })
+let succ v = of_index v.dom (v.idx + 1)
+let pred v = of_index v.dom (v.idx - 1)
+
+let shift_clamped k v =
+  let idx = Stdlib.max 0 (Stdlib.min (size v.dom - 1) (v.idx + k)) in
+  { v with idx }
+
+let between ~lo ~hi v =
+  check_same lo v;
+  check_same hi v;
+  lo.idx <= v.idx && v.idx <= hi.idx
+
+let pp ppf d =
+  Format.fprintf ppf "%s{%s}" d.name (String.concat " < " (labels d))
+
+let pp_value ppf v = Format.fprintf ppf "%s:%s" v.dom.name (label v)

@@ -1,0 +1,52 @@
+(** Ordered categorical domains — the paper's "categorical ordered variables"
+    (§II.B), e.g. workload described as low / medium / high / overloaded.
+
+    A domain is a named, ordered, finite set of labels. Values are
+    domain-tagged indices, so comparing values from different domains is a
+    programming error and raises [Invalid_argument]. *)
+
+type t
+(** An ordered categorical domain. *)
+
+type value
+(** A value belonging to a specific domain. *)
+
+val make : name:string -> string list -> t
+(** [make ~name labels] builds a domain whose order is the list order.
+    Raises [Invalid_argument] on an empty or duplicated label list. *)
+
+val name : t -> string
+val labels : t -> string list
+val size : t -> int
+val equal : t -> t -> bool
+
+val value : t -> string -> value
+(** Raises [Invalid_argument] if the label is not in the domain. *)
+
+val value_opt : t -> string -> value option
+val of_index : t -> int -> value option
+val index : value -> int
+val label : value -> string
+val domain : value -> t
+
+val equal_value : value -> value -> bool
+val compare_value : value -> value -> int
+(** Raises [Invalid_argument] when the values belong to different domains. *)
+
+val min_value : t -> value
+val max_value : t -> value
+val all_values : t -> value list
+
+val succ : value -> value option
+(** Next-higher value, [None] at the top. *)
+
+val pred : value -> value option
+
+val shift_clamped : int -> value -> value
+(** Move by [k] positions, saturating at the domain bounds. *)
+
+val between : lo:value -> hi:value -> value -> bool
+(** Inclusive range membership (same domain required). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,25 @@
+type contribution = In of Sign.t | Out of Sign.t
+
+let signed = function In s -> s | Out s -> Sign.neg s
+
+let derivative contributions =
+  let rec sum acc = function
+    | [] -> acc
+    | c :: rest ->
+        let acc =
+          List.concat_map (fun s -> Sign.add s (signed c)) acc
+          |> List.sort_uniq Sign.compare
+        in
+        sum acc rest
+  in
+  sum [ Sign.Zero ] contributions
+
+let derivative_dominant contributions =
+  let balance =
+    List.fold_left (fun acc c -> acc + Sign.to_int (signed c)) 0 contributions
+  in
+  Sign.of_int balance
+
+let pp_contribution ppf = function
+  | In s -> Format.fprintf ppf "in(%a)" Sign.pp s
+  | Out s -> Format.fprintf ppf "out(%a)" Sign.pp s

@@ -1,0 +1,22 @@
+(** Qualitative conservation-law balances (§II.B: physical components share
+    quantities underlying undirected conservation laws).
+
+    A balance sums the signs of in-flows (positive contributions) and
+    out-flows (negative contributions) into the qualitative derivative of a
+    stored quantity. Ambiguous sums — equal-magnitude opposing flows are not
+    distinguishable qualitatively — return every consistent derivative. *)
+
+type contribution = In of Sign.t | Out of Sign.t
+
+val derivative : contribution list -> Sign.t list
+(** All derivative signs consistent with the contributions. The empty
+    contribution list yields [[Zero]]. *)
+
+val derivative_dominant : contribution list -> Sign.t
+(** Deterministic resolution used by the discrete-time simulator: counts
+    active in-flows minus active out-flows ([Pos] contributions count 1,
+    [Zero] count 0, [Neg] count -1) and takes the sign of the balance. This
+    models same-magnitude unit flows, which is the abstraction the paper's
+    water-tank case study uses. *)
+
+val pp_contribution : Format.formatter -> contribution -> unit

@@ -1,0 +1,56 @@
+type t = Very_low | Low | Medium | High | Very_high
+
+let all = [ Very_low; Low; Medium; High; Very_high ]
+
+let to_index = function
+  | Very_low -> 0
+  | Low -> 1
+  | Medium -> 2
+  | High -> 3
+  | Very_high -> 4
+
+let of_index = function
+  | 0 -> Some Very_low
+  | 1 -> Some Low
+  | 2 -> Some Medium
+  | 3 -> Some High
+  | 4 -> Some Very_high
+  | _ -> None
+
+let of_index_clamped i =
+  match of_index (Stdlib.max 0 (Stdlib.min 4 i)) with
+  | Some l -> l
+  | None -> assert false
+
+let equal a b = to_index a = to_index b
+let compare a b = Stdlib.compare (to_index a) (to_index b)
+let succ l = of_index_clamped (to_index l + 1)
+let pred l = of_index_clamped (to_index l - 1)
+let max a b = if compare a b >= 0 then a else b
+let min a b = if compare a b <= 0 then a else b
+let shift k l = of_index_clamped (to_index l + k)
+
+let to_string = function
+  | Very_low -> "VL"
+  | Low -> "L"
+  | Medium -> "M"
+  | High -> "H"
+  | Very_high -> "VH"
+
+let to_long_string = function
+  | Very_low -> "very low"
+  | Low -> "low"
+  | Medium -> "medium"
+  | High -> "high"
+  | Very_high -> "very high"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "vl" | "very low" | "very_low" | "verylow" -> Some Very_low
+  | "l" | "low" -> Some Low
+  | "m" | "medium" | "med" -> Some Medium
+  | "h" | "high" -> Some High
+  | "vh" | "very high" | "very_high" | "veryhigh" -> Some Very_high
+  | _ -> None
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,47 @@
+(** The uniform five-category qualitative scale used throughout the paper's
+    risk quantization step: very low … very high (§IV.B).
+
+    Both the Open FAIR O-RA standard and the paper's qualitative risk matrix
+    classify every risk attribute on this scale, so it is a first-class type
+    rather than a generic {!Domain.t}. *)
+
+type t = Very_low | Low | Medium | High | Very_high
+
+val all : t list
+(** In ascending order. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: [Very_low < Low < Medium < High < Very_high]. *)
+
+val to_index : t -> int
+(** 0-based ascending index. *)
+
+val of_index : int -> t option
+
+val of_index_clamped : int -> t
+(** Out-of-range indices saturate at the extremes. *)
+
+val succ : t -> t
+(** Saturating increment. *)
+
+val pred : t -> t
+(** Saturating decrement. *)
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val shift : int -> t -> t
+(** [shift k l] moves [l] by [k] categories, saturating. *)
+
+val to_string : t -> string
+(** Short form: ["VL"], ["L"], ["M"], ["H"], ["VH"]. *)
+
+val to_long_string : t -> string
+(** ["very low"], …, ["very high"]. *)
+
+val of_string : string -> t option
+(** Accepts short and long forms, case-insensitive. *)
+
+val pp : Format.formatter -> t -> unit

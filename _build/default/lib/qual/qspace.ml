@@ -1,0 +1,114 @@
+type t = {
+  name : string;
+  landmarks : string array;
+  positions : float array option; (* same length as landmarks when numeric *)
+}
+
+type qval = Below | At of int | Between of int | Above
+
+let check_names landmarks =
+  if landmarks = [] then invalid_arg "Qspace.make: empty landmark list";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen l then
+        invalid_arg (Printf.sprintf "Qspace.make: duplicate landmark %S" l);
+      Hashtbl.add seen l ())
+    landmarks
+
+let make ~name ~landmarks =
+  check_names landmarks;
+  { name; landmarks = Array.of_list landmarks; positions = None }
+
+let make_numeric ~name ~landmarks =
+  check_names (List.map fst landmarks);
+  let positions = List.map snd landmarks in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | [ _ ] | [] -> true
+  in
+  if not (ascending positions) then
+    invalid_arg "Qspace.make_numeric: landmark positions must be strictly increasing";
+  {
+    name;
+    landmarks = Array.of_list (List.map fst landmarks);
+    positions = Some (Array.of_list positions);
+  }
+
+let name s = s.name
+let landmark_count s = Array.length s.landmarks
+
+let landmark_name s i =
+  if i < 0 || i >= landmark_count s then
+    invalid_arg (Printf.sprintf "Qspace.landmark_name: index %d out of range" i);
+  s.landmarks.(i)
+
+let landmark_index s l =
+  let n = landmark_count s in
+  let rec loop i = if i >= n then None else if s.landmarks.(i) = l then Some i else loop (i + 1) in
+  loop 0
+
+let at s l =
+  match landmark_index s l with
+  | Some i -> At i
+  | None -> invalid_arg (Printf.sprintf "Qspace.at: unknown landmark %S in %s" l s.name)
+
+let abstract s x =
+  match s.positions with
+  | None -> invalid_arg "Qspace.abstract: quantity space has no numeric landmarks"
+  | Some pos ->
+      let n = Array.length pos in
+      if x < pos.(0) then Below
+      else if x > pos.(n - 1) then Above
+      else
+        let rec loop i =
+          if x = pos.(i) then At i
+          else if i + 1 < n && x < pos.(i + 1) then Between i
+          else loop (i + 1)
+        in
+        loop 0
+
+(* Encode qvals on an even/odd integer line for total ordering:
+   Below = -1, At i = 2i, Between i = 2i+1, Above = 2n. *)
+let rank s = function
+  | Below -> -1
+  | At i -> 2 * i
+  | Between i -> (2 * i) + 1
+  | Above -> 2 * landmark_count s
+
+let compare_qval s a b = Stdlib.compare (rank s a) (rank s b)
+
+let equal_qval a b =
+  match a, b with
+  | Below, Below | Above, Above -> true
+  | At i, At j | Between i, Between j -> i = j
+  | (Below | At _ | Between _ | Above), _ -> false
+
+let move s v (dir : Sign.t) =
+  let n = landmark_count s in
+  match dir with
+  | Sign.Zero -> v
+  | Sign.Pos -> (
+      match v with
+      | Below -> At 0
+      | At i -> if i = n - 1 then Above else Between i
+      | Between i -> At (i + 1)
+      | Above -> Above)
+  | Sign.Neg -> (
+      match v with
+      | Above -> At (n - 1)
+      | At i -> if i = 0 then Below else Between (i - 1)
+      | Between i -> At i
+      | Below -> Below)
+
+let to_string s = function
+  | Below -> Printf.sprintf "(-inf, %s)" s.landmarks.(0)
+  | At i -> s.landmarks.(i)
+  | Between i -> Printf.sprintf "(%s, %s)" s.landmarks.(i) s.landmarks.(i + 1)
+  | Above -> Printf.sprintf "(%s, +inf)" s.landmarks.(landmark_count s - 1)
+
+let pp_qval s ppf v = Format.pp_print_string ppf (to_string s v)
+
+let pp ppf s =
+  Format.fprintf ppf "%s[%s]" s.name
+    (String.concat " < " (Array.to_list s.landmarks))

@@ -1,0 +1,52 @@
+(** Quantity spaces: qualitative abstraction of a continuous quantity along
+    landmark values (§II.B: "partitions continuous domains into clusters of
+    identical or similar behavior along landmarks").
+
+    A quantity space is an ordered list of landmarks; a qualitative value is
+    either exactly at a landmark or inside the open interval between two
+    adjacent landmarks (or beyond the extremes). *)
+
+type t
+(** A quantity space. *)
+
+type qval =
+  | Below          (** strictly below the first landmark *)
+  | At of int      (** exactly at landmark [i] *)
+  | Between of int (** in the open interval between landmarks [i] and [i+1] *)
+  | Above          (** strictly above the last landmark *)
+
+val make : name:string -> landmarks:string list -> t
+(** Raises [Invalid_argument] on empty or duplicated landmark names. *)
+
+val make_numeric : name:string -> landmarks:(string * float) list -> t
+(** A quantity space whose landmarks carry numeric positions (ascending);
+    enables {!abstract}. Raises [Invalid_argument] if positions are not
+    strictly increasing. *)
+
+val name : t -> string
+val landmark_count : t -> int
+val landmark_name : t -> int -> string
+val landmark_index : t -> string -> int option
+
+val at : t -> string -> qval
+(** Qualitative value at a named landmark; raises [Invalid_argument] if
+    unknown. *)
+
+val abstract : t -> float -> qval
+(** Map a numeric magnitude into the quantity space (requires
+    {!make_numeric}; raises [Invalid_argument] otherwise). *)
+
+val compare_qval : t -> qval -> qval -> int
+(** Total order along the quantity space. *)
+
+val equal_qval : qval -> qval -> bool
+
+val move : t -> qval -> Sign.t -> qval
+(** One qualitative step in the direction of the derivative sign:
+    a value at a landmark moves into the adjacent interval, a value in an
+    interval reaches the adjacent landmark. [Zero] keeps the value. Values
+    saturate at [Below]/[Above]. *)
+
+val to_string : t -> qval -> string
+val pp_qval : t -> Format.formatter -> qval -> unit
+val pp : Format.formatter -> t -> unit

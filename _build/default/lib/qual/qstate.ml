@@ -1,0 +1,27 @@
+module Sm = Map.Make (String)
+
+type t = string Sm.t
+
+let empty = Sm.empty
+let of_list l = List.fold_left (fun m (k, v) -> Sm.add k v m) Sm.empty l
+let to_list s = Sm.bindings s
+let set k v s = Sm.add k v s
+let get k s = Sm.find k s
+let get_opt k s = Sm.find_opt k s
+let mem k s = Sm.mem k s
+let vars s = List.map fst (Sm.bindings s)
+let cardinal = Sm.cardinal
+let holds k v s = match Sm.find_opt k s with Some v' -> v = v' | None -> false
+let equal = Sm.equal String.equal
+let compare = Sm.compare String.compare
+let merge a b = Sm.union (fun _ _ r -> Some r) a b
+let restrict ks s = Sm.filter (fun k _ -> List.mem k ks) s
+
+let to_string s =
+  to_list s
+  |> List.map (fun (k, v) -> k ^ "=" ^ v)
+  |> String.concat ", "
+  |> Printf.sprintf "{%s}"
+
+let hash s = Hashtbl.hash (to_list s)
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,38 @@
+(** Qualitative system states: finite assignments of categorical values to
+    named variables. Used as the state type of the qualitative dynamics
+    simulator and of the transition systems the LTL checker explores. *)
+
+type t
+(** An immutable assignment from variable names to label strings. *)
+
+val empty : t
+val of_list : (string * string) list -> t
+(** Later bindings override earlier ones. *)
+
+val to_list : t -> (string * string) list
+(** Sorted by variable name. *)
+
+val set : string -> string -> t -> t
+val get : string -> t -> string
+(** Raises [Not_found]. *)
+
+val get_opt : string -> t -> string option
+val mem : string -> t -> bool
+val vars : t -> string list
+val cardinal : t -> int
+
+val holds : string -> string -> t -> bool
+(** [holds var label s] is [true] iff [var] is bound to [label] in [s]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val merge : t -> t -> t
+(** Right-biased union. *)
+
+val restrict : string list -> t -> t
+(** Keep only the listed variables (abstraction onto a sub-vocabulary). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

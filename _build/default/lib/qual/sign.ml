@@ -1,0 +1,41 @@
+type t = Neg | Zero | Pos
+
+let equal a b =
+  match a, b with
+  | Neg, Neg | Zero, Zero | Pos, Pos -> true
+  | (Neg | Zero | Pos), _ -> false
+
+let to_int = function Neg -> -1 | Zero -> 0 | Pos -> 1
+let compare a b = Stdlib.compare (to_int a) (to_int b)
+let of_int n = if n < 0 then Neg else if n > 0 then Pos else Zero
+let of_float x = if x < 0. then Neg else if x > 0. then Pos else Zero
+let neg = function Neg -> Pos | Zero -> Zero | Pos -> Neg
+
+let add a b =
+  match a, b with
+  | Zero, x | x, Zero -> [ x ]
+  | Pos, Pos -> [ Pos ]
+  | Neg, Neg -> [ Neg ]
+  | Pos, Neg | Neg, Pos -> [ Neg; Zero; Pos ]
+
+let add_exn a b =
+  match add a b with
+  | [ s ] -> s
+  | _ -> invalid_arg "Sign.add_exn: ambiguous sum of opposite signs"
+
+let mul a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | Pos, Pos | Neg, Neg -> Pos
+  | Pos, Neg | Neg, Pos -> Neg
+
+let all = [ Neg; Zero; Pos ]
+let to_string = function Neg -> "-" | Zero -> "0" | Pos -> "+"
+
+let of_string = function
+  | "-" | "neg" -> Some Neg
+  | "0" | "zero" -> Some Zero
+  | "+" | "pos" -> Some Pos
+  | _ -> None
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,36 @@
+(** Qualitative sign algebra: the classic {-, 0, +} abstraction of reals.
+
+    Signs are the coarsest qualitative abstraction used by qualitative
+    process theory (Forbus, 1984). Addition is ambiguous when operands have
+    opposite signs, so [add] returns the set of possible results. *)
+
+type t = Neg | Zero | Pos
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_int : int -> t
+(** Sign of an integer. *)
+
+val of_float : float -> t
+(** Sign of a float; [Zero] for [0.] exactly. *)
+
+val to_int : t -> int
+(** [-1], [0] or [1]. *)
+
+val neg : t -> t
+
+val add : t -> t -> t list
+(** Possible signs of a sum; ambiguous cases ([Pos + Neg]) return all three. *)
+
+val add_exn : t -> t -> t
+(** Like {!add} but raises [Invalid_argument] on ambiguity. *)
+
+val mul : t -> t -> t
+(** Sign of a product (always determined). *)
+
+val all : t list
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/risk/iec61508.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/risk/iec61508.mli:

@@ -1,0 +1,1 @@
+lib/risk/loss.ml: Format List Printf Qual

@@ -1,0 +1,1 @@
+lib/risk/loss.mli: Format Qual

@@ -1,0 +1,1 @@
+lib/risk/matrix.ml: Array Buffer List Printf Qual

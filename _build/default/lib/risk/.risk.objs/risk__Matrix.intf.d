@@ -1,0 +1,1 @@
+lib/risk/matrix.mli: Qual

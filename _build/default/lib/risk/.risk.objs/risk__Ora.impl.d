@@ -1,0 +1,1 @@
+lib/risk/ora.ml: Buffer List Matrix Option Printf Qual Result

@@ -1,0 +1,1 @@
+lib/risk/ora.mli: Matrix Qual

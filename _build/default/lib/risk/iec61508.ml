@@ -1,0 +1,82 @@
+type likelihood =
+  | Frequent
+  | Probable
+  | Occasional
+  | Remote
+  | Improbable
+  | Incredible
+
+type consequence = Catastrophic | Critical | Marginal | Negligible
+
+type risk_class = Class_I | Class_II | Class_III | Class_IV
+
+(* IEC 61508-5 Annex B risk-class matrix (table B.1). *)
+let classify l c =
+  match l, c with
+  | Frequent, (Catastrophic | Critical | Marginal) -> Class_I
+  | Frequent, Negligible -> Class_II
+  | Probable, (Catastrophic | Critical) -> Class_I
+  | Probable, Marginal -> Class_II
+  | Probable, Negligible -> Class_III
+  | Occasional, Catastrophic -> Class_I
+  | Occasional, Critical -> Class_II
+  | Occasional, (Marginal | Negligible) -> Class_III
+  | Remote, Catastrophic -> Class_II
+  | Remote, (Critical | Marginal) -> Class_III
+  | Remote, Negligible -> Class_IV
+  | Improbable, (Catastrophic | Critical) -> Class_III
+  | Improbable, (Marginal | Negligible) -> Class_IV
+  | Incredible, (Catastrophic | Critical | Marginal | Negligible) -> Class_IV
+
+let all_likelihoods =
+  [ Frequent; Probable; Occasional; Remote; Improbable; Incredible ]
+
+let all_consequences = [ Catastrophic; Critical; Marginal; Negligible ]
+
+let likelihood_to_string = function
+  | Frequent -> "frequent"
+  | Probable -> "probable"
+  | Occasional -> "occasional"
+  | Remote -> "remote"
+  | Improbable -> "improbable"
+  | Incredible -> "incredible"
+
+let consequence_to_string = function
+  | Catastrophic -> "catastrophic"
+  | Critical -> "critical"
+  | Marginal -> "marginal"
+  | Negligible -> "negligible"
+
+let risk_class_to_string = function
+  | Class_I -> "I"
+  | Class_II -> "II"
+  | Class_III -> "III"
+  | Class_IV -> "IV"
+
+let interpretation = function
+  | Class_I -> "intolerable risk: shall be excluded"
+  | Class_II -> "undesirable risk: tolerable only if reduction impracticable"
+  | Class_III -> "tolerable risk if the cost of reduction exceeds the gain"
+  | Class_IV -> "negligible risk"
+
+let tolerable = function
+  | Class_I | Class_II -> false
+  | Class_III | Class_IV -> true
+
+let render_matrix () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-11s| %-13s %-9s %-9s %-10s\n" "likelihood" "catastrophic"
+       "critical" "marginal" "negligible");
+  Buffer.add_string buf (String.make 56 '-' ^ "\n");
+  List.iter
+    (fun l ->
+      Buffer.add_string buf (Printf.sprintf "%-11s|" (likelihood_to_string l));
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf " %-13s" (risk_class_to_string (classify l c))))
+        all_consequences;
+      Buffer.add_char buf '\n')
+    all_likelihoods;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** IEC 61508 qualitative hazard analysis (§IV.B): "six categories of the
+    likelihood of occurrence and 4 of consequence … combined in a risk class
+    matrix" (IEC 61508-5, Annex B). *)
+
+type likelihood =
+  | Frequent
+  | Probable
+  | Occasional
+  | Remote
+  | Improbable
+  | Incredible
+
+type consequence = Catastrophic | Critical | Marginal | Negligible
+
+type risk_class = Class_I | Class_II | Class_III | Class_IV
+(** I = intolerable … IV = negligible. *)
+
+val classify : likelihood -> consequence -> risk_class
+
+val all_likelihoods : likelihood list
+(** Most to least likely. *)
+
+val all_consequences : consequence list
+(** Most to least severe. *)
+
+val likelihood_to_string : likelihood -> string
+val consequence_to_string : consequence -> string
+val risk_class_to_string : risk_class -> string
+
+val interpretation : risk_class -> string
+(** The standard's required action per class. *)
+
+val tolerable : risk_class -> bool
+(** Classes III and IV. *)
+
+val render_matrix : unit -> string

@@ -1,0 +1,41 @@
+type interval = { lo : float; hi : float }
+
+let interval lo hi =
+  if lo < 0. || hi < lo then
+    invalid_arg (Printf.sprintf "Loss.interval: bad bounds [%g, %g]" lo hi);
+  { lo; hi }
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+
+let scale k a =
+  if k < 0. then invalid_arg "Loss.scale: negative factor";
+  { lo = k *. a.lo; hi = k *. a.hi }
+
+let midpoint a = (a.lo +. a.hi) /. 2.
+let width a = a.hi -. a.lo
+let contains a x = a.lo <= x && x <= a.hi
+
+let default_bands = function
+  | Qual.Level.Very_low -> { lo = 0.; hi = 1_000. }
+  | Qual.Level.Low -> { lo = 1_000.; hi = 10_000. }
+  | Qual.Level.Medium -> { lo = 10_000.; hi = 100_000. }
+  | Qual.Level.High -> { lo = 100_000.; hi = 1_000_000. }
+  | Qual.Level.Very_high -> { lo = 1_000_000.; hi = 10_000_000. }
+
+let expected_loss ?(bands = default_bands) ~probability ~magnitude () =
+  if probability < 0. || probability > 1. then
+    invalid_arg
+      (Printf.sprintf "Loss.expected_loss: probability %g outside [0,1]"
+         probability);
+  scale probability (bands magnitude)
+
+let total = List.fold_left add { lo = 0.; hi = 0. }
+
+let annual_loss_exposure ?bands scenarios =
+  total
+    (List.map
+       (fun (probability, magnitude) ->
+         expected_loss ?bands ~probability ~magnitude ())
+       scenarios)
+
+let pp ppf a = Format.fprintf ppf "[%g, %g]" a.lo a.hi

@@ -1,0 +1,47 @@
+(** Rough-granular quantitative loss estimation (Fig. 1 step 6:
+    "enriching the model and the components describing attack impacts and
+    cost facilitate a rough-granular risk analysis").
+
+    Qualitative loss-magnitude categories map to monetary {e intervals}
+    rather than point values — the calibration an SME analyst can actually
+    provide — and interval arithmetic propagates the imprecision to the
+    totals. *)
+
+type interval = { lo : float; hi : float }
+
+val interval : float -> float -> interval
+(** Raises [Invalid_argument] unless [0 <= lo <= hi]. *)
+
+val add : interval -> interval -> interval
+val scale : float -> interval -> interval
+(** Raises [Invalid_argument] on a negative factor. *)
+
+val midpoint : interval -> float
+val width : interval -> float
+val contains : interval -> float -> bool
+
+val default_bands : Qual.Level.t -> interval
+(** A generic SME calibration in abstract money units:
+    VL → \[0, 1k\], L → \[1k, 10k\], M → \[10k, 100k\], H → \[100k, 1M\],
+    VH → \[1M, 10M\]. *)
+
+val expected_loss :
+  ?bands:(Qual.Level.t -> interval) ->
+  probability:float ->
+  magnitude:Qual.Level.t ->
+  unit ->
+  interval
+(** Probability-weighted loss interval of one scenario. Raises
+    [Invalid_argument] on probabilities outside [0, 1]. *)
+
+val total : interval list -> interval
+(** Sum; the empty list totals to [0, 0]. *)
+
+val annual_loss_exposure :
+  ?bands:(Qual.Level.t -> interval) ->
+  (float * Qual.Level.t) list ->
+  interval
+(** FAIR-style loss exposure: sum of probability-weighted magnitude bands
+    over the scenario list. *)
+
+val pp : Format.formatter -> interval -> unit

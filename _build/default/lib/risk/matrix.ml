@@ -1,0 +1,41 @@
+type t = Qual.Level.t array array
+(* indexed [row][col] with ascending indices: row 0 = VL, col 0 = VL *)
+
+let of_rows rows =
+  if List.length rows <> 5 || List.exists (fun r -> List.length r <> 5) rows then
+    invalid_arg "Matrix.of_rows: expected 5 rows of 5 entries";
+  (* input is printed top-down from VH to VL: reverse to ascending *)
+  Array.of_list (List.rev_map Array.of_list rows)
+
+let lookup m ~row ~col =
+  m.(Qual.Level.to_index row).(Qual.Level.to_index col)
+
+let monotone m =
+  let ok = ref true in
+  for r = 0 to 4 do
+    for c = 0 to 4 do
+      if r > 0 && Qual.Level.compare m.(r).(c) m.(r - 1).(c) < 0 then ok := false;
+      if c > 0 && Qual.Level.compare m.(r).(c) m.(r).(c - 1) < 0 then ok := false
+    done
+  done;
+  !ok
+
+let to_rows m =
+  List.init 5 (fun i -> Array.to_list m.(4 - i))
+
+let render ?(row_label = "rows") ?(col_label = "cols") m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-6s|  VL   L   M   H  VH\n" row_label);
+  Buffer.add_string buf "------+--------------------\n";
+  List.iteri
+    (fun i row ->
+      let lvl = Qual.Level.of_index_clamped (4 - i) in
+      Buffer.add_string buf (Printf.sprintf "%-6s|" (Qual.Level.to_string lvl));
+      List.iter
+        (fun v ->
+          Buffer.add_string buf (Printf.sprintf "%4s" (Qual.Level.to_string v)))
+        row;
+      Buffer.add_char buf '\n')
+    (to_rows m);
+  Buffer.add_string buf (Printf.sprintf "      (columns: %s)\n" col_label);
+  Buffer.contents buf

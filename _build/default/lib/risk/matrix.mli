@@ -1,0 +1,21 @@
+(** 5×5 qualitative combination matrices over the uniform VL…VH scale
+    (§IV.B: "the evaluation is based on a 5x5 risk matrix"). *)
+
+type t
+
+val of_rows : Qual.Level.t list list -> t
+(** [of_rows rows] with [rows] listed from VH row down to VL row (as printed
+    in the paper's Table I) and columns from VL to VH. Raises
+    [Invalid_argument] unless exactly 5×5. *)
+
+val lookup : t -> row:Qual.Level.t -> col:Qual.Level.t -> Qual.Level.t
+
+val monotone : t -> bool
+(** Non-decreasing along both axes — the sanity property a risk matrix must
+    satisfy. *)
+
+val render : ?row_label:string -> ?col_label:string -> t -> string
+(** ASCII rendering in the paper's Table I layout (VH row first). *)
+
+val to_rows : t -> Qual.Level.t list list
+(** In the same order {!of_rows} accepts. *)

@@ -1,0 +1,142 @@
+open Qual.Level
+
+(* Table I of the paper, rows Loss Magnitude VH..VL, columns LEF VL..VH. *)
+let risk_matrix =
+  Matrix.of_rows
+    [
+      [ Medium; High; Very_high; Very_high; Very_high ];
+      [ Low; Medium; High; Very_high; Very_high ];
+      [ Very_low; Low; Medium; High; Very_high ];
+      [ Very_low; Very_low; Low; Medium; High ];
+      [ Very_low; Very_low; Very_low; Low; Medium ];
+    ]
+
+let risk ~lm ~lef = Matrix.lookup risk_matrix ~row:lm ~col:lef
+
+(* TEF: a threat event needs both contact and action — the combination is
+   capped by the weaker factor, softened by one category when the other
+   factor is extreme. We use the conservative min. *)
+let derive_tef ~contact ~action = min contact action
+
+(* Vulnerability: medium baseline shifted by the capability/resistance
+   difference (FAIR: vulnerability is the probability that a threat's
+   capability exceeds the asset's resistance). *)
+let derive_vulnerability ~capability ~resistance =
+  shift (to_index capability - to_index resistance) Medium
+
+(* LEF: the threat event frequency thinned by vulnerability — only the
+   vulnerable fraction of threat events become loss events. *)
+let derive_lef ~tef ~vulnerability =
+  of_index_clamped (to_index tef - (4 - to_index vulnerability))
+
+(* LM: losses aggregate; the larger component dominates. *)
+let derive_lm ~primary ~secondary = max primary secondary
+
+type attributes = {
+  contact_frequency : Qual.Level.t option;
+  probability_of_action : Qual.Level.t option;
+  threat_event_frequency : Qual.Level.t option;
+  threat_capability : Qual.Level.t option;
+  resistance_strength : Qual.Level.t option;
+  vulnerability : Qual.Level.t option;
+  loss_event_frequency : Qual.Level.t option;
+  primary_loss : Qual.Level.t option;
+  secondary_loss : Qual.Level.t option;
+  loss_magnitude : Qual.Level.t option;
+}
+
+let no_attributes =
+  {
+    contact_frequency = None;
+    probability_of_action = None;
+    threat_event_frequency = None;
+    threat_capability = None;
+    resistance_strength = None;
+    vulnerability = None;
+    loss_event_frequency = None;
+    primary_loss = None;
+    secondary_loss = None;
+    loss_magnitude = None;
+  }
+
+type node = {
+  attribute : string;
+  value : Qual.Level.t;
+  children : node list;
+}
+
+type assessment = { level : Qual.Level.t; tree : node }
+
+let given attribute value = { attribute; value; children = [] }
+
+let assess attrs =
+  let ( let* ) = Result.bind in
+  (* an attribute is either given directly or derived from children; the
+     derivation is only attempted when no direct estimate exists *)
+  let resolve direct derive = match direct with Some v -> Ok v | None -> derive () in
+  let leaf name = function
+    | Some v -> Ok (given name v)
+    | None -> Error name
+  in
+  let tef () =
+    resolve
+      (Option.map (given "threat_event_frequency") attrs.threat_event_frequency)
+      (fun () ->
+        let* cf = leaf "contact_frequency" attrs.contact_frequency in
+        let* pa = leaf "probability_of_action" attrs.probability_of_action in
+        Ok
+          {
+            attribute = "threat_event_frequency";
+            value = derive_tef ~contact:cf.value ~action:pa.value;
+            children = [ cf; pa ];
+          })
+  in
+  let vuln () =
+    resolve (Option.map (given "vulnerability") attrs.vulnerability) (fun () ->
+        let* tc = leaf "threat_capability" attrs.threat_capability in
+        let* rs = leaf "resistance_strength" attrs.resistance_strength in
+        Ok
+          {
+            attribute = "vulnerability";
+            value = derive_vulnerability ~capability:tc.value ~resistance:rs.value;
+            children = [ tc; rs ];
+          })
+  in
+  let* lef =
+    resolve
+      (Option.map (given "loss_event_frequency") attrs.loss_event_frequency)
+      (fun () ->
+        let* tef = tef () in
+        let* vuln = vuln () in
+        Ok
+          {
+            attribute = "loss_event_frequency";
+            value = derive_lef ~tef:tef.value ~vulnerability:vuln.value;
+            children = [ tef; vuln ];
+          })
+  in
+  let* lm =
+    resolve (Option.map (given "loss_magnitude") attrs.loss_magnitude) (fun () ->
+        let* pl = leaf "primary_loss" attrs.primary_loss in
+        let* sl = leaf "secondary_loss" attrs.secondary_loss in
+        Ok
+          {
+            attribute = "loss_magnitude";
+            value = derive_lm ~primary:pl.value ~secondary:sl.value;
+            children = [ pl; sl ];
+          })
+  in
+  let level = risk ~lm:lm.value ~lef:lef.value in
+  Ok { level; tree = { attribute = "risk"; value = level; children = [ lef; lm ] } }
+
+let render_tree root =
+  let buf = Buffer.create 256 in
+  let rec go indent node =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s%s\n" indent node.attribute
+         (Qual.Level.to_string node.value)
+         (if node.children = [] then " (given)" else ""));
+    List.iter (go (indent ^ "  ")) node.children
+  in
+  go "" root;
+  Buffer.contents buf

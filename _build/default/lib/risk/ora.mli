@@ -1,0 +1,60 @@
+(** Open FAIR Risk Analysis (O-RA) qualitative assessment (§IV.B).
+
+    The risk matrix is the paper's Table I, cell for cell. The upstream
+    attribute derivations follow the O-RA attribute taxonomy of Fig. 2:
+
+    {v
+    Risk ← Loss Event Frequency × Loss Magnitude
+    LEF  ← Threat Event Frequency × Vulnerability
+    TEF  ← Contact Frequency × Probability of Action
+    Vuln ← Threat Capability vs Resistance Strength
+    LM   ← Primary Loss ⊕ Secondary Loss
+    v}
+
+    Any attribute can be estimated directly (overriding its derivation),
+    exactly as analysts do in practice; the result carries the full
+    derivation tree for explainability. *)
+
+val risk_matrix : Matrix.t
+(** Table I of the paper: rows = Loss Magnitude (VH first), columns = Loss
+    Event Frequency (VL first). *)
+
+val risk : lm:Qual.Level.t -> lef:Qual.Level.t -> Qual.Level.t
+
+type attributes = {
+  contact_frequency : Qual.Level.t option;
+  probability_of_action : Qual.Level.t option;
+  threat_event_frequency : Qual.Level.t option;
+  threat_capability : Qual.Level.t option;
+  resistance_strength : Qual.Level.t option;
+  vulnerability : Qual.Level.t option;
+  loss_event_frequency : Qual.Level.t option;
+  primary_loss : Qual.Level.t option;
+  secondary_loss : Qual.Level.t option;
+  loss_magnitude : Qual.Level.t option;
+}
+
+val no_attributes : attributes
+(** Everything unknown; set the fields you can estimate. *)
+
+type node = {
+  attribute : string;       (** e.g. "loss_event_frequency" *)
+  value : Qual.Level.t;
+  children : node list;     (** empty for directly estimated attributes *)
+}
+
+type assessment = { level : Qual.Level.t; tree : node }
+
+val assess : attributes -> (assessment, string) result
+(** [Error] names the first attribute that can neither be derived nor was
+    given. *)
+
+(* Individual derivation steps (exposed for sensitivity analysis): *)
+val derive_tef : contact:Qual.Level.t -> action:Qual.Level.t -> Qual.Level.t
+val derive_vulnerability :
+  capability:Qual.Level.t -> resistance:Qual.Level.t -> Qual.Level.t
+val derive_lef : tef:Qual.Level.t -> vulnerability:Qual.Level.t -> Qual.Level.t
+val derive_lm : primary:Qual.Level.t -> secondary:Qual.Level.t -> Qual.Level.t
+
+val render_tree : node -> string
+(** Indented rendering of the derivation tree (the Fig. 2 artifact). *)

@@ -1,0 +1,1 @@
+lib/rough/approx.ml: Hashtbl Infosys List Option String

@@ -1,0 +1,1 @@
+lib/rough/approx.mli: Infosys

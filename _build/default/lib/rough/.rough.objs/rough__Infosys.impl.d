@@ -1,0 +1,1 @@
+lib/rough/infosys.ml: Format Hashtbl List Printf String

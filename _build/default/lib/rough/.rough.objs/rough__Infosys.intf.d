@@ -1,0 +1,1 @@
+lib/rough/infosys.mli: Format

@@ -1,0 +1,1 @@
+lib/rough/reduct.ml: Approx Infosys List Printf String

@@ -1,0 +1,1 @@
+lib/rough/reduct.mli: Infosys

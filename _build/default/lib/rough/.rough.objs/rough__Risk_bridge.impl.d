@@ -1,0 +1,1 @@
+lib/rough/risk_bridge.ml: Infosys List Printf Qual Risk

@@ -1,0 +1,1 @@
+lib/rough/risk_bridge.mli: Infosys Qual

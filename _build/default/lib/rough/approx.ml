@@ -1,0 +1,76 @@
+let signature t attrs obj = List.map (fun a -> Infosys.value t obj a) attrs
+
+let indiscernibility ?attributes t =
+  let attrs = Option.value ~default:(Infosys.attributes t) attributes in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun obj ->
+      let key = signature t attrs obj in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := obj :: !l
+      | None ->
+          let l = ref [ obj ] in
+          Hashtbl.replace tbl key l;
+          order := key :: !order)
+    (Infosys.objects t);
+  List.rev_map
+    (fun key -> List.sort String.compare !(Hashtbl.find tbl key))
+    !order
+
+let lower ?attributes t target =
+  indiscernibility ?attributes t
+  |> List.filter (fun cls -> List.for_all (fun o -> List.mem o target) cls)
+  |> List.concat
+  |> List.sort String.compare
+
+let upper ?attributes t target =
+  indiscernibility ?attributes t
+  |> List.filter (fun cls -> List.exists (fun o -> List.mem o target) cls)
+  |> List.concat
+  |> List.sort String.compare
+
+type regions = {
+  positive : string list;
+  boundary : string list;
+  negative : string list;
+}
+
+let regions ?attributes t target =
+  let lo = lower ?attributes t target in
+  let up = upper ?attributes t target in
+  {
+    positive = lo;
+    boundary = List.filter (fun o -> not (List.mem o lo)) up;
+    negative =
+      List.filter (fun o -> not (List.mem o up)) (Infosys.objects t)
+      |> List.sort String.compare;
+  }
+
+let accuracy ?attributes t target =
+  let up = upper ?attributes t target in
+  if up = [] then 1.0
+  else
+    float_of_int (List.length (lower ?attributes t target))
+    /. float_of_int (List.length up)
+
+let is_crisp ?attributes t target = accuracy ?attributes t target = 1.0
+
+let dependency_degree ~decision t =
+  let conditions, d = Infosys.decision_of ~decision t in
+  let decision_classes =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun obj ->
+        let v = Infosys.value t obj d in
+        Hashtbl.replace tbl v
+          (obj :: Option.value ~default:[] (Hashtbl.find_opt tbl v)))
+      (Infosys.objects t);
+    Hashtbl.fold (fun _ objs acc -> objs :: acc) tbl []
+  in
+  let positive_size =
+    List.fold_left
+      (fun acc cls -> acc + List.length (lower conditions cls))
+      0 decision_classes
+  in
+  float_of_int positive_size /. float_of_int (List.length (Infosys.objects t))

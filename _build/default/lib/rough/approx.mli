@@ -1,0 +1,33 @@
+(** Rough approximations: indiscernibility, lower/upper approximation and
+    the positive/boundary/negative regions (§V.A: "the result of the RST
+    approximation consists of three sets"). *)
+
+val indiscernibility : ?attributes:string list -> Infosys.t -> string list list
+(** Equivalence classes of objects indistinguishable on the given attributes
+    (default: all visible attributes), each class sorted; classes ordered by
+    first member. *)
+
+val lower : ?attributes:string list -> Infosys.t -> string list -> string list
+(** Objects whose whole indiscernibility class lies inside the target set —
+    certainly in the set. *)
+
+val upper : ?attributes:string list -> Infosys.t -> string list -> string list
+(** Objects whose class intersects the target set — possibly in the set. *)
+
+type regions = {
+  positive : string list;  (** certainly in *)
+  boundary : string list;  (** undecidable from the available attributes *)
+  negative : string list;  (** certainly out *)
+}
+
+val regions : ?attributes:string list -> Infosys.t -> string list -> regions
+
+val accuracy : ?attributes:string list -> Infosys.t -> string list -> float
+(** |lower| / |upper|; 1.0 for crisp (exactly definable) sets, and for the
+    empty set by convention. *)
+
+val is_crisp : ?attributes:string list -> Infosys.t -> string list -> bool
+
+val dependency_degree : decision:string -> Infosys.t -> float
+(** γ(C, d): fraction of objects in the positive region of the decision's
+    partition w.r.t. the condition attributes. *)

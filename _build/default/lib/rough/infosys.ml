@@ -1,0 +1,53 @@
+type t = {
+  objects : string list;
+  attributes : string list;
+  visible : string list; (* attribute view; values table keeps everything *)
+  table : (string * string, string) Hashtbl.t;
+}
+
+let of_table ~attributes rows =
+  if attributes = [] then invalid_arg "Infosys.of_table: no attributes";
+  let table = Hashtbl.create (List.length rows * List.length attributes) in
+  let seen = Hashtbl.create 16 in
+  let objects =
+    List.map
+      (fun (obj, values) ->
+        if Hashtbl.mem seen obj then
+          invalid_arg (Printf.sprintf "Infosys.of_table: duplicate object %s" obj);
+        Hashtbl.replace seen obj ();
+        if List.length values <> List.length attributes then
+          invalid_arg
+            (Printf.sprintf "Infosys.of_table: row %s has %d values, expected %d"
+               obj (List.length values) (List.length attributes));
+        List.iter2 (fun a v -> Hashtbl.replace table (obj, a) v) attributes values;
+        obj)
+      rows
+  in
+  { objects; attributes; visible = attributes; table }
+
+let objects t = t.objects
+let attributes t = t.visible
+
+let value t obj attr =
+  match Hashtbl.find_opt t.table (obj, attr) with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Infosys.value: no value for (%s, %s)" obj attr)
+
+let decision_of ~decision t =
+  if not (List.mem decision t.attributes) then
+    invalid_arg (Printf.sprintf "Infosys.decision_of: unknown attribute %s" decision);
+  ({ t with visible = List.filter (fun a -> a <> decision) t.visible }, decision)
+
+let restrict_attributes attrs t =
+  List.iter
+    (fun a ->
+      if not (List.mem a t.attributes) then
+        invalid_arg (Printf.sprintf "Infosys.restrict_attributes: unknown %s" a))
+    attrs;
+  { t with visible = List.filter (fun a -> List.mem a attrs) t.visible }
+
+let pp ppf t =
+  Format.fprintf ppf "infosys: %d objects, attributes {%s}"
+    (List.length t.objects)
+    (String.concat ", " t.visible)

@@ -1,0 +1,24 @@
+(** Information and decision systems of Rough Set Theory (Pawlak 1982),
+    the paper's machinery for imprecise/incomplete knowledge (§V.A). *)
+
+type t
+
+val of_table :
+  attributes:string list -> (string * string list) list -> t
+(** [of_table ~attributes rows] with each row [(object_id, values)] aligned
+    with [attributes]. Raises [Invalid_argument] on arity mismatch or
+    duplicate object ids. *)
+
+val objects : t -> string list
+val attributes : t -> string list
+val value : t -> string -> string -> string
+(** [value t obj attr]; raises [Invalid_argument] on unknown names. *)
+
+val decision_of : decision:string -> t -> t * string
+(** Splits a decision system: returns the system restricted to condition
+    attributes and the decision attribute name. Raises [Invalid_argument]
+    if [decision] is not an attribute. The returned system still answers
+    {!value} for the decision attribute. *)
+
+val restrict_attributes : string list -> t -> t
+val pp : Format.formatter -> t -> unit

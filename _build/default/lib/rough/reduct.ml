@@ -1,0 +1,75 @@
+let subsets xs =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+    [ [] ] xs
+  |> List.map List.rev
+
+let reducts ~decision t =
+  let conditions, _ = Infosys.decision_of ~decision t in
+  let all_attrs = Infosys.attributes conditions in
+  let full = Approx.dependency_degree ~decision t in
+  let candidates =
+    subsets all_attrs
+    |> List.filter (fun b -> b <> [])
+    |> List.filter (fun b ->
+           let restricted =
+             Infosys.restrict_attributes (b @ [ decision ]) t
+           in
+           Approx.dependency_degree ~decision restricted >= full)
+  in
+  (* keep only minimal ones *)
+  let is_strict_subset a b =
+    List.length a < List.length b && List.for_all (fun x -> List.mem x b) a
+  in
+  List.filter
+    (fun b -> not (List.exists (fun b' -> is_strict_subset b' b) candidates))
+    candidates
+
+let core ~decision t =
+  match reducts ~decision t with
+  | [] -> []
+  | first :: rest ->
+      List.filter (fun a -> List.for_all (List.mem a) rest) first
+
+type rule = {
+  conditions : (string * string) list;
+  decision : string * string;
+  certain : bool;
+  support : int;
+}
+
+let induce_rules ~decision t =
+  let conditions, d = Infosys.decision_of ~decision t in
+  let attrs = Infosys.attributes conditions in
+  let classes = Approx.indiscernibility conditions in
+  List.concat_map
+    (fun cls ->
+      let obj0 = List.hd cls in
+      let conds = List.map (fun a -> (a, Infosys.value t obj0 a)) attrs in
+      let decisions =
+        List.sort_uniq String.compare
+          (List.map (fun o -> Infosys.value t o d) cls)
+      in
+      let certain = List.length decisions = 1 in
+      List.map
+        (fun dv ->
+          {
+            conditions = conds;
+            decision = (d, dv);
+            certain;
+            support =
+              List.length (List.filter (fun o -> Infosys.value t o d = dv) cls);
+          })
+        decisions)
+    classes
+
+let rule_to_string r =
+  let conds =
+    r.conditions
+    |> List.map (fun (a, v) -> Printf.sprintf "%s=%s" a v)
+    |> String.concat " & "
+  in
+  let d, dv = r.decision in
+  Printf.sprintf "%s => %s=%s [%s, support %d]" conds d dv
+    (if r.certain then "certain" else "possible")
+    r.support

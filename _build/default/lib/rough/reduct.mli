@@ -1,0 +1,27 @@
+(** Attribute reduction for decision systems: reducts (minimal attribute
+    subsets preserving the classification power) and the core. Reducts tell
+    the analyst which risk factors actually matter — the paper's support
+    for focusing expert estimation effort. *)
+
+val reducts : decision:string -> Infosys.t -> string list list
+(** All minimal subsets [B] of condition attributes with
+    γ(B, d) = γ(C, d). Exhaustive — intended for the tool-scale systems of
+    the paper (say ≤ 15 condition attributes). *)
+
+val core : decision:string -> Infosys.t -> string list
+(** Intersection of all reducts: attributes no classification can do
+    without. *)
+
+type rule = {
+  conditions : (string * string) list;
+  decision : string * string;
+  certain : bool;  (** from the lower approximation (vs possible rule) *)
+  support : int;   (** matching objects *)
+}
+
+val induce_rules : decision:string -> Infosys.t -> rule list
+(** One rule per indiscernibility class (over all condition attributes):
+    certain when the class is consistent, possible otherwise (one rule per
+    decision value occurring in the class). *)
+
+val rule_to_string : rule -> string

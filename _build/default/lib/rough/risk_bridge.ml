@@ -1,0 +1,45 @@
+type uncertain = {
+  lm : Qual.Level.t list;
+  lef : Qual.Level.t list;
+}
+
+let exact ~lm ~lef = { lm = [ lm ]; lef = [ lef ] }
+
+let check u =
+  if u.lm = [] || u.lef = [] then
+    invalid_arg "Risk_bridge: empty possibility set"
+
+let combos u =
+  check u;
+  List.concat_map (fun lm -> List.map (fun lef -> (lm, lef)) u.lef) u.lm
+
+let possible_risks u =
+  combos u
+  |> List.map (fun (lm, lef) -> Risk.Ora.risk ~lm ~lef)
+  |> List.sort_uniq Qual.Level.compare
+
+let certain_risk u =
+  match possible_risks u with [ r ] -> Some r | _ -> None
+
+let is_sensitive u = List.length (possible_risks u) > 1
+
+let worlds u =
+  let rows =
+    List.map
+      (fun (lm, lef) ->
+        let risk = Risk.Ora.risk ~lm ~lef in
+        ( Printf.sprintf "w_%s_%s" (Qual.Level.to_string lm)
+            (Qual.Level.to_string lef),
+          [
+            Qual.Level.to_string lm; Qual.Level.to_string lef;
+            Qual.Level.to_string risk;
+          ] ))
+      (combos u)
+  in
+  Infosys.of_table ~attributes:[ "lm"; "lef"; "risk" ] rows
+
+let outcome_regions ~target u =
+  let outcomes = possible_risks u in
+  if List.exists (Qual.Level.equal target) outcomes then
+    if List.length outcomes = 1 then `Certain else `Possible
+  else `Excluded

@@ -1,0 +1,32 @@
+(** RST applied to uncertain qualitative risk evaluation (§V.A): when an
+    O-RA attribute is only known as a {e set} of possible categories, the
+    possible worlds span a decision system whose decision is the risk level.
+    The three RST regions then separate certain conclusions from spurious
+    ones. *)
+
+type uncertain = {
+  lm : Qual.Level.t list;   (** possible Loss Magnitude values *)
+  lef : Qual.Level.t list;  (** possible Loss Event Frequency values *)
+}
+
+val exact : lm:Qual.Level.t -> lef:Qual.Level.t -> uncertain
+
+val possible_risks : uncertain -> Qual.Level.t list
+(** Distinct risk outcomes over all possible worlds, ascending. *)
+
+val certain_risk : uncertain -> Qual.Level.t option
+(** The risk level when every possible world agrees ([None] otherwise) —
+    the positive-region case. *)
+
+val is_sensitive : uncertain -> bool
+(** More than one possible outcome: the §V.A criterion that "further
+    evaluation is required". *)
+
+val worlds : uncertain -> Infosys.t
+(** The underlying decision system: one object per (LM, LEF) combination,
+    condition attributes ["lm"]/["lef"], decision ["risk"] — ready for the
+    generic {!Approx} and {!Reduct} machinery. *)
+
+val outcome_regions :
+  target:Qual.Level.t -> uncertain -> [ `Certain | `Possible | `Excluded ]
+(** Status of one candidate conclusion "risk = target". *)

@@ -1,0 +1,1 @@
+lib/sensitivity/oat.ml: Buffer List Printf Qual Stdlib String

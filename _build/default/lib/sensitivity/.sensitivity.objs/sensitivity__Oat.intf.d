@@ -1,0 +1,1 @@
+lib/sensitivity/oat.mli: Qual

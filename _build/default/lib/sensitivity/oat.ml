@@ -1,0 +1,66 @@
+type assignment = (string * Qual.Level.t) list
+
+type factor = { name : string; candidates : Qual.Level.t list }
+
+type entry = {
+  factor : string;
+  outcomes : (Qual.Level.t * Qual.Level.t) list;
+  spread : int;
+}
+
+type report = entry list
+
+let sensitive e = e.spread > 0
+
+let analyze ~factors ~baseline ~f =
+  List.map
+    (fun factor ->
+      if not (List.mem_assoc factor.name baseline) then
+        invalid_arg
+          (Printf.sprintf "Oat.analyze: factor %s missing from baseline"
+             factor.name);
+      if factor.candidates = [] then
+        invalid_arg
+          (Printf.sprintf "Oat.analyze: factor %s has no candidates" factor.name);
+      let outcomes =
+        List.map
+          (fun v ->
+            let assignment =
+              (factor.name, v) :: List.remove_assoc factor.name baseline
+            in
+            (v, f assignment))
+          factor.candidates
+      in
+      let indices =
+        List.map (fun (_, out) -> Qual.Level.to_index out) outcomes
+      in
+      let spread =
+        List.fold_left max (List.hd indices) indices
+        - List.fold_left min (List.hd indices) indices
+      in
+      { factor = factor.name; outcomes; spread })
+    factors
+
+let tornado report =
+  List.stable_sort (fun a b -> Stdlib.compare b.spread a.spread) report
+
+let sensitive_factors report =
+  List.filter_map (fun e -> if sensitive e then Some e.factor else None) report
+
+let render report =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      let outs =
+        e.outcomes
+        |> List.map (fun (v, o) ->
+               Printf.sprintf "%s->%s" (Qual.Level.to_string v)
+                 (Qual.Level.to_string o))
+        |> String.concat " "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s spread=%d %s  [%s]\n" e.factor e.spread
+           (if sensitive e then "SENSITIVE" else "stable   ")
+           outs))
+    (tornado report);
+  Buffer.contents buf

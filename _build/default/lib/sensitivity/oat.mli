@@ -1,0 +1,34 @@
+(** One-at-a-time qualitative sensitivity analysis (§II.A, §V.A):
+    "sensitivity analysis examines how uncertain factors impact the output
+    by altering its values". Each factor is varied over its candidate
+    categories while the others stay at baseline; a factor is sensitive
+    when the output changes. The tornado ranking orders factors by output
+    spread, highlighting "the critical decisions from the point of view of
+    the overall result" for the analyst. *)
+
+type assignment = (string * Qual.Level.t) list
+
+type factor = { name : string; candidates : Qual.Level.t list }
+
+type entry = {
+  factor : string;
+  outcomes : (Qual.Level.t * Qual.Level.t) list;
+      (** (input value, output) per candidate *)
+  spread : int;  (** max output index − min output index *)
+}
+
+val sensitive : entry -> bool
+(** Spread > 0. *)
+
+type report = entry list
+
+val analyze :
+  factors:factor list -> baseline:assignment -> f:(assignment -> Qual.Level.t) ->
+  report
+(** Raises [Invalid_argument] when a factor is missing from the baseline. *)
+
+val tornado : report -> entry list
+(** Sorted by spread, largest first (ties keep input order). *)
+
+val sensitive_factors : report -> string list
+val render : report -> string

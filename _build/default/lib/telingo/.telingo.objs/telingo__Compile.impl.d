@@ -1,0 +1,1 @@
+lib/telingo/compile.ml: Asp List Ltl Printf Qual String

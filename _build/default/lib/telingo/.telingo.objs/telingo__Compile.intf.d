@@ -1,0 +1,1 @@
+lib/telingo/compile.mli: Asp Ltl

@@ -1,0 +1,64 @@
+(** Telingo-style temporal ASP ("telingo = ASP + time", §II.C): LTLf
+    formulas compiled into logic-program rules over a time-indexed trace.
+
+    Each subformula [i] becomes a predicate [<prefix>sat_i/1] defined
+    compositionally over the time points [time(0..H)]; the returned root
+    atom holds exactly when the formula is satisfied at time 0 under
+    finite-trace semantics. Negation is applied only to deeper subformulas,
+    so the generated program is stratified and has a unique stable model
+    once the trace facts are fixed.
+
+    The default trace vocabulary is [holds(Var, Value, T)] — the atom
+    ["level=overflow"] reads [holds(level, overflow, T)], a bare atom
+    ["alert"] reads [holds(alert, true, T)] — and can be overridden per
+    atom with [encode], which is how the water-tank backend maps ["alert"]
+    onto its [alert(T)] predicate. *)
+
+type encoding = string -> Asp.Term.t -> Asp.Lit.t
+(** [encode atom time_term] is the body literal stating that [atom] holds
+    at [time_term]. *)
+
+val default_encoding : encoding
+
+type context = {
+  params : Asp.Term.t list;  (** extra arguments threaded through every
+                                 satisfaction predicate (e.g. a scenario
+                                 variable) *)
+  guards : Asp.Lit.t list;   (** body literals binding those arguments
+                                 (e.g. [scenario(S)]) *)
+}
+
+val no_context : context
+
+val formula :
+  ?prefix:string ->
+  ?encode:encoding ->
+  ?context:context ->
+  horizon:int ->
+  Ltl.Formula.t ->
+  Asp.Program.t * Asp.Atom.t
+(** [formula ~horizon f] returns the defining rules and the root atom
+    (satisfaction of [f] at time 0 over the trace [0..horizon]). The
+    caller must supply [time(0..horizon)] facts and the trace vocabulary.
+    [prefix] defaults to ["f"], yielding predicates [fsat_0], [fsat_1], …
+
+    With a [context], every satisfaction predicate carries the context
+    parameters in front of the time argument and every rule includes the
+    guards — one compilation then checks the requirement for {e each}
+    binding of the context (e.g. every attack scenario in a joint
+    program). The [encode] callback must produce literals mentioning the
+    same parameters where appropriate. The returned root atom keeps the
+    context parameters as variables. Context parameters must not use the
+    reserved variable names [TLT_NOW] and [TLT_NEXT]. *)
+
+val violated_rule : requirement:string -> root:Asp.Atom.t -> Asp.Rule.t
+(** [violated(requirement) :- not root.] *)
+
+val trace_facts : Ltl.Trace.t -> Asp.Program.t
+(** [time(T)] and [holds(Var, Value, T)] facts for a concrete trace (all
+    variable values are emitted through the default vocabulary). *)
+
+val check_trace : Ltl.Trace.t -> Ltl.Formula.t -> bool
+(** Satisfaction of the formula on the trace, decided entirely inside the
+    ASP engine (compile + ground + solve + query the root atom). Agrees
+    with {!Ltl.Trace.eval} — the property the test suite enforces. *)

@@ -1,0 +1,1 @@
+lib/threatdb/attck.ml: Format List Qual

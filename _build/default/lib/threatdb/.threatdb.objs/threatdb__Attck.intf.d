@@ -1,0 +1,1 @@
+lib/threatdb/attck.mli: Format Qual

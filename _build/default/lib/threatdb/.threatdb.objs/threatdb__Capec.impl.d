@@ -1,0 +1,1 @@
+lib/threatdb/capec.ml: Format List Printf Qual

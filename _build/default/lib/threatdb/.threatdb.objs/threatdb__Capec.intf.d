@@ -1,0 +1,1 @@
+lib/threatdb/capec.mli: Format Qual

@@ -1,0 +1,1 @@
+lib/threatdb/cve.ml: Cvss Format List

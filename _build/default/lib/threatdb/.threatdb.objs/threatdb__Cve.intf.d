@@ -1,0 +1,1 @@
+lib/threatdb/cve.mli: Cvss Format Qual

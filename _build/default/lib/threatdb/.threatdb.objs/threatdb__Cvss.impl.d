@@ -1,0 +1,1 @@
+lib/threatdb/cvss.ml: Float Hashtbl List Option Printf Qual Result String

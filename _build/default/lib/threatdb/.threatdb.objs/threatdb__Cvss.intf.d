@@ -1,0 +1,1 @@
+lib/threatdb/cvss.mli: Qual

@@ -1,0 +1,1 @@
+lib/threatdb/cwe.mli: Format

@@ -1,0 +1,1 @@
+lib/threatdb/db.ml: Asp Attck Capec Cve Cwe List Printf Qual String

@@ -1,0 +1,1 @@
+lib/threatdb/db.mli: Asp Attck Capec Cve Cwe Qual

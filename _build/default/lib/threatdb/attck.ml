@@ -1,0 +1,199 @@
+type tactic =
+  | Initial_access
+  | Execution
+  | Persistence
+  | Privilege_escalation
+  | Evasion
+  | Discovery
+  | Lateral_movement
+  | Collection
+  | Command_and_control
+  | Inhibit_response
+  | Impair_process_control
+  | Impact
+
+type technique = {
+  id : string;
+  name : string;
+  tactics : tactic list;
+  description : string;
+  applicable_types : string list;
+  mitigations : string list;
+  capec : int list;
+}
+
+type mitigation = {
+  mid : string;
+  mname : string;
+  mdescription : string;
+  cost_hint : Qual.Level.t;
+}
+
+let tactics =
+  [
+    Initial_access; Execution; Persistence; Privilege_escalation; Evasion;
+    Discovery; Lateral_movement; Collection; Command_and_control;
+    Inhibit_response; Impair_process_control; Impact;
+  ]
+
+let tactic_to_string = function
+  | Initial_access -> "initial-access"
+  | Execution -> "execution"
+  | Persistence -> "persistence"
+  | Privilege_escalation -> "privilege-escalation"
+  | Evasion -> "evasion"
+  | Discovery -> "discovery"
+  | Lateral_movement -> "lateral-movement"
+  | Collection -> "collection"
+  | Command_and_control -> "command-and-control"
+  | Inhibit_response -> "inhibit-response-function"
+  | Impair_process_control -> "impair-process-control"
+  | Impact -> "impact"
+
+let mitigations =
+  [
+    {
+      mid = "M0917";
+      mname = "User Training";
+      mdescription =
+        "Train users to be aware of access or manipulation attempts to \
+         reduce successful spearphishing and social engineering.";
+      cost_hint = Qual.Level.Low;
+    };
+    {
+      mid = "M0949";
+      mname = "Antivirus/Antimalware";
+      mdescription =
+        "Deploy endpoint security to detect and quarantine malicious \
+         software (the paper's Endpoint Security mitigation).";
+      cost_hint = Qual.Level.Medium;
+    };
+    {
+      mid = "M0930";
+      mname = "Network Segmentation";
+      mdescription =
+        "Architect network sections to isolate critical systems and limit \
+         lateral movement between IT and OT.";
+      cost_hint = Qual.Level.High;
+    };
+    {
+      mid = "M0932";
+      mname = "Multi-factor Authentication";
+      mdescription = "Require two or more pieces of evidence at login.";
+      cost_hint = Qual.Level.Medium;
+    };
+    {
+      mid = "M0926";
+      mname = "Privileged Account Management";
+      mdescription =
+        "Manage creation, use and permissions of privileged accounts.";
+      cost_hint = Qual.Level.Medium;
+    };
+    {
+      mid = "M0942";
+      mname = "Disable or Remove Feature or Program";
+      mdescription = "Remove or deny access to unnecessary software/features.";
+      cost_hint = Qual.Level.Low;
+    };
+    {
+      mid = "M0810";
+      mname = "Out-of-Band Communications Channel";
+      mdescription =
+        "Provide an alternative channel for alarms so operators are \
+         notified even when the primary HMI path is degraded.";
+      cost_hint = Qual.Level.High;
+    };
+    {
+      mid = "M0937";
+      mname = "Filter Network Traffic";
+      mdescription = "Use appliances to filter ingress/egress traffic.";
+      cost_hint = Qual.Level.Medium;
+    };
+  ]
+
+let mk id name tactics description applicable_types mitigations capec =
+  { id; name; tactics; description; applicable_types; mitigations; capec }
+
+let techniques =
+  [
+    mk "T0866" "Exploitation of Remote Services"
+      [ Initial_access; Lateral_movement ]
+      "Adversaries exploit a software vulnerability in a remote service to \
+       gain access to ICS assets (the high-level attack of §VII)."
+      [ "workstation"; "server"; "scada_server"; "historian"; "plc" ]
+      [ "M0930"; "M0926"; "M0937" ] [ 100; 248 ];
+    mk "T0865" "Spearphishing Attachment"
+      [ Initial_access ]
+      "Adversaries use spearphishing with a malicious attachment or link \
+       to gain initial access (the spam e-mail of Fig. 4)."
+      [ "workstation"; "email_client" ]
+      [ "M0917"; "M0949" ] [ 98; 163 ];
+    mk "T0862" "Supply Chain Compromise"
+      [ Initial_access ]
+      "Adversaries manipulate products or delivery mechanisms before \
+       receipt by the final consumer."
+      [ "plc"; "controller"; "workstation" ]
+      [ "M0926" ] [ 438 ];
+    mk "T0853" "Scripting"
+      [ Execution ]
+      "Adversaries use scripting languages to execute arbitrary code."
+      [ "workstation"; "server"; "browser" ]
+      [ "M0942"; "M0949" ] [ 248 ];
+    mk "T0843" "Program Download"
+      [ Lateral_movement ]
+      "Adversaries perform a program download to transfer a user program \
+       to a controller, changing the control logic."
+      [ "plc"; "controller" ]
+      [ "M0930"; "M0926" ] [ 233 ];
+    mk "T0831" "Manipulation of Control"
+      [ Impair_process_control ]
+      "Adversaries manipulate physical process control: in the case study, \
+       reconfiguring the input and output valve actuators."
+      [ "controller"; "plc"; "actuator"; "valve" ]
+      [ "M0930"; "M0810" ] [ 233 ];
+    mk "T0827" "Loss of Control"
+      [ Impact ]
+      "Adversaries seek to achieve a sustained loss of control of the \
+       physical process."
+      [ "controller"; "plc" ]
+      [ "M0810" ] [];
+    mk "T0829" "Loss of View"
+      [ Impact ]
+      "Adversaries cause a sustained or permanent loss of view: operators \
+       cannot monitor the process status (HMI no-signal, F3)."
+      [ "hmi" ]
+      [ "M0810" ] [];
+    mk "T0846" "Remote System Discovery"
+      [ Discovery ]
+      "Adversaries attempt to get a listing of other systems on the \
+       network."
+      [ "switch"; "ot_network"; "workstation" ]
+      [ "M0930"; "M0937" ] [];
+    mk "T0859" "Valid Accounts"
+      [ Initial_access; Persistence; Privilege_escalation; Lateral_movement ]
+      "Adversaries steal and abuse the credentials of existing accounts."
+      [ "workstation"; "server"; "scada_server"; "hmi" ]
+      [ "M0932"; "M0926"; "M0917" ] [ 94 ];
+    mk "T0814" "Denial of Service"
+      [ Inhibit_response ]
+      "Adversaries perform denial of service to disrupt expected device \
+       functionality."
+      [ "switch"; "ot_network"; "plc"; "scada_server" ]
+      [ "M0937" ] [ 125 ];
+  ]
+
+let find_technique id = List.find_opt (fun t -> t.id = id) techniques
+
+let techniques_for_type ty =
+  List.filter (fun t -> List.mem ty t.applicable_types) techniques
+
+let techniques_for_tactic tac =
+  List.filter (fun t -> List.mem tac t.tactics) techniques
+
+let find_mitigation mid = List.find_opt (fun m -> m.mid = mid) mitigations
+
+let mitigations_for t =
+  List.filter_map find_mitigation t.mitigations
+
+let pp_technique ppf t = Format.fprintf ppf "%s %s" t.id t.name
+let pp_mitigation ppf m = Format.fprintf ppf "%s %s" m.mid m.mname

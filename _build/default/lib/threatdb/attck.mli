@@ -1,0 +1,51 @@
+(** Offline snapshot of MITRE ATT&CK for ICS: the tactics, techniques and
+    mitigations the paper's workflow consumes (§IV.A and §IV.C), including
+    the case study's *Exploitation of Remote Services*, *User Training* and
+    the endpoint-protection mitigations. *)
+
+type tactic =
+  | Initial_access
+  | Execution
+  | Persistence
+  | Privilege_escalation
+  | Evasion
+  | Discovery
+  | Lateral_movement
+  | Collection
+  | Command_and_control
+  | Inhibit_response
+  | Impair_process_control
+  | Impact
+
+type technique = {
+  id : string;  (** e.g. "T0866" *)
+  name : string;
+  tactics : tactic list;
+  description : string;
+  applicable_types : string list;  (** catalog component-type names *)
+  mitigations : string list;       (** mitigation ids *)
+  capec : int list;                (** related CAPEC pattern ids *)
+}
+
+type mitigation = {
+  mid : string;  (** e.g. "M0917" *)
+  mname : string;
+  mdescription : string;
+  cost_hint : Qual.Level.t;
+      (** rough implementation-cost category for the optimization step *)
+}
+
+val tactics : tactic list
+val tactic_to_string : tactic -> string
+
+val techniques : technique list
+val find_technique : string -> technique option
+val techniques_for_type : string -> technique list
+val techniques_for_tactic : tactic -> technique list
+
+val mitigations : mitigation list
+val find_mitigation : string -> mitigation option
+val mitigations_for : technique -> mitigation list
+
+val pp_technique : Format.formatter -> technique -> unit
+val pp_mitigation : Format.formatter -> mitigation -> unit

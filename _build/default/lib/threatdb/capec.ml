@@ -1,0 +1,62 @@
+type t = {
+  id : int;
+  name : string;
+  description : string;
+  severity : Qual.Level.t;
+  likelihood : Qual.Level.t;
+  related_cwes : int list;
+}
+
+let mk id name description severity likelihood related_cwes =
+  { id; name; description; severity; likelihood; related_cwes }
+
+open Qual.Level
+
+let all =
+  [
+    mk 98 "Phishing"
+      "An adversary masquerades as a trustworthy entity to trick a user \
+       into revealing information or performing actions."
+      Very_high High [ 287; 522 ];
+    mk 163 "Spear Phishing"
+      "Targeted phishing against specific individuals, such as the \
+       operator of an engineering workstation."
+      Very_high Medium [ 287; 522 ];
+    mk 542 "Targeted Malware"
+      "An adversary develops malware tailored to the target environment, \
+       e.g. delivered through a malicious download link."
+      Very_high Medium [ 829; 494 ];
+    mk 17 "Using Malicious Files"
+      "An attacker exploits file handling to deliver and execute a \
+       malicious payload."
+      High Medium [ 829 ];
+    mk 233 "Privilege Escalation"
+      "An adversary exploits a weakness enabling them to elevate their \
+       privilege."
+      High Medium [ 284 ];
+    mk 100 "Overflow Buffers"
+      "Targets improper restriction of operations within the bounds of a \
+       memory buffer."
+      Very_high High [ 787; 20 ];
+    mk 248 "Command Injection"
+      "An adversary injects commands through an input mechanism that are \
+       executed with the privileges of the product."
+      High Medium [ 94; 20 ];
+    mk 125 "Flooding"
+      "An adversary consumes the resources of a target by rapidly issuing \
+       requests."
+      Medium High [ 400 ];
+    mk 94 "Adversary in the Middle (AiTM)"
+      "An adversary inserts themselves into the communication channel \
+       between two components."
+      Very_high Medium [ 287; 522 ];
+    mk 438 "Modification During Manufacture"
+      "An attacker modifies a technology component during its development \
+       or packaging, ahead of deployment."
+      High Very_low [ 1188 ];
+  ]
+
+let find id = List.find_opt (fun p -> p.id = id) all
+let key p = Printf.sprintf "CAPEC-%d" p.id
+let for_cwe cwe = List.filter (fun p -> List.mem cwe p.related_cwes) all
+let pp ppf p = Format.fprintf ppf "%s %s" (key p) p.name

@@ -1,0 +1,22 @@
+(** Offline snapshot of CAPEC attack patterns (curated, schema-faithful).
+    The spam-link → malware chain of the paper's case study (§VII) is
+    covered by CAPEC-98 / CAPEC-163 / CAPEC-542. *)
+
+type t = {
+  id : int;
+  name : string;
+  description : string;
+  severity : Qual.Level.t;
+  likelihood : Qual.Level.t;
+  related_cwes : int list;
+}
+
+val all : t list
+val find : int -> t option
+val key : t -> string
+(** ["CAPEC-98"]. *)
+
+val for_cwe : int -> t list
+(** Patterns exploiting the given weakness. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = {
+  id : string;
+  description : string;
+  vector : Cvss.base;
+  cwes : int list;
+  techniques : string list;
+  applicable_types : string list;
+}
+
+let vec s =
+  match Cvss.of_vector s with
+  | Ok b -> b
+  | Error e -> invalid_arg ("Cve: bad seed vector " ^ s ^ ": " ^ e)
+
+let mk id description vector cwes techniques applicable_types =
+  { id; description; vector = vec vector; cwes; techniques; applicable_types }
+
+let all =
+  [
+    mk "CVE-SIM-2023-0101"
+      "Unauthenticated remote code execution in the engineering \
+       workstation's project-file service."
+      "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+      [ 787; 20 ] [ "T0866" ] [ "workstation" ];
+    mk "CVE-SIM-2023-0102"
+      "Malicious e-mail link leads to drive-by download executing \
+       arbitrary code in the browser sandbox."
+      "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H"
+      [ 829; 494 ] [ "T0865"; "T0853" ] [ "browser"; "email_client" ];
+    mk "CVE-SIM-2022-0201"
+      "Missing authentication on the PLC program-download port allows \
+       logic modification from the control network."
+      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:H/A:H"
+      [ 306 ] [ "T0843"; "T0831" ] [ "plc"; "controller" ];
+    mk "CVE-SIM-2022-0202"
+      "HMI panel discloses and accepts session tokens over an unencrypted \
+       channel."
+      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:L/A:N"
+      [ 522; 287 ] [ "T0859"; "T0829" ] [ "hmi" ];
+    mk "CVE-SIM-2021-0301"
+      "SCADA historian SQL injection allows reading and modifying archived \
+       process data."
+      "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:N"
+      [ 94; 20 ] [ "T0866" ] [ "historian"; "scada_server" ];
+    mk "CVE-SIM-2021-0302"
+      "Resource exhaustion in the OT switch firmware drops control traffic \
+       under crafted packet floods."
+      "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H"
+      [ 400 ] [ "T0814" ] [ "switch"; "ot_network" ];
+    mk "CVE-SIM-2020-0401"
+      "Firewall management interface ships with documented default \
+       credentials."
+      "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H"
+      [ 1188; 287 ] [ "T0859" ] [ "firewall" ];
+    mk "CVE-SIM-2020-0402"
+      "Local privilege escalation in workstation agent service via \
+       unquoted service path."
+      "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H"
+      [ 284 ] [ "T0859" ] [ "workstation"; "server" ];
+  ]
+
+let find id = List.find_opt (fun c -> c.id = id) all
+
+let for_component_type ty =
+  List.filter (fun c -> List.mem ty c.applicable_types) all
+
+let score c = Cvss.base_score c.vector
+let severity_level c = Cvss.severity_to_level (Cvss.severity (score c))
+
+let pp ppf c =
+  Format.fprintf ppf "%s (%.1f %s)" c.id (score c)
+    (Cvss.severity_to_string (Cvss.severity (score c)))

@@ -1,0 +1,23 @@
+(** Offline snapshot of CVE-style vulnerability records with CVSS v3.1
+    vectors. The identifiers are synthetic ("CVE-SIM-…") to make clear this
+    is a curated stand-in for the live registry, but every record carries a
+    well-formed vector, CWE links and component-type applicability — the
+    fields the framework's mutation generator reads. *)
+
+type t = {
+  id : string;
+  description : string;
+  vector : Cvss.base;
+  cwes : int list;
+  techniques : string list;  (** ATT&CK technique ids this CVE enables *)
+  applicable_types : string list;
+}
+
+val all : t list
+val find : string -> t option
+val for_component_type : string -> t list
+val score : t -> float
+(** CVSS base score. *)
+
+val severity_level : t -> Qual.Level.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,264 @@
+type attack_vector = AV_network | AV_adjacent | AV_local | AV_physical
+type attack_complexity = AC_low | AC_high
+type privileges_required = PR_none | PR_low | PR_high
+type user_interaction = UI_none | UI_required
+type scope = S_unchanged | S_changed
+type impact = I_high | I_low | I_none
+
+type base = {
+  av : attack_vector;
+  ac : attack_complexity;
+  pr : privileges_required;
+  ui : user_interaction;
+  s : scope;
+  c : impact;
+  i : impact;
+  a : impact;
+}
+
+type exploit_maturity = E_not_defined | E_high | E_functional | E_poc | E_unproven
+
+type remediation_level =
+  | RL_not_defined
+  | RL_unavailable
+  | RL_workaround
+  | RL_temporary_fix
+  | RL_official_fix
+
+type report_confidence = RC_not_defined | RC_confirmed | RC_reasonable | RC_unknown
+
+type temporal = {
+  e : exploit_maturity;
+  rl : remediation_level;
+  rc : report_confidence;
+}
+
+type requirement = R_not_defined | R_high | R_medium | R_low
+
+type environmental = {
+  cr : requirement;
+  ir : requirement;
+  ar : requirement;
+  modified : base option;
+}
+
+let default_temporal = { e = E_not_defined; rl = RL_not_defined; rc = RC_not_defined }
+
+let default_environmental =
+  { cr = R_not_defined; ir = R_not_defined; ar = R_not_defined; modified = None }
+
+(* ------------------------------------------------------------------ *)
+(* Metric weights (CVSS v3.1 specification, table 7.4)                  *)
+(* ------------------------------------------------------------------ *)
+
+let w_av = function
+  | AV_network -> 0.85
+  | AV_adjacent -> 0.62
+  | AV_local -> 0.55
+  | AV_physical -> 0.2
+
+let w_ac = function AC_low -> 0.77 | AC_high -> 0.44
+
+let w_pr scope = function
+  | PR_none -> 0.85
+  | PR_low -> ( match scope with S_unchanged -> 0.62 | S_changed -> 0.68)
+  | PR_high -> ( match scope with S_unchanged -> 0.27 | S_changed -> 0.5)
+
+let w_ui = function UI_none -> 0.85 | UI_required -> 0.62
+let w_cia = function I_high -> 0.56 | I_low -> 0.22 | I_none -> 0.
+
+let w_e = function
+  | E_not_defined | E_high -> 1.
+  | E_functional -> 0.97
+  | E_poc -> 0.94
+  | E_unproven -> 0.91
+
+let w_rl = function
+  | RL_not_defined | RL_unavailable -> 1.
+  | RL_workaround -> 0.97
+  | RL_temporary_fix -> 0.96
+  | RL_official_fix -> 0.95
+
+let w_rc = function
+  | RC_not_defined | RC_confirmed -> 1.
+  | RC_reasonable -> 0.96
+  | RC_unknown -> 0.92
+
+let w_req = function
+  | R_not_defined | R_medium -> 1.
+  | R_high -> 1.5
+  | R_low -> 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Scores                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Appendix A of the specification: integer-based Roundup avoiding
+   floating-point artifacts. *)
+let roundup value =
+  let int_input = Float.round (value *. 100_000.) |> int_of_float in
+  if int_input mod 10_000 = 0 then float_of_int int_input /. 100_000.
+  else float_of_int (1 + (int_input / 10_000)) /. 10.
+
+let iss b = 1. -. ((1. -. w_cia b.c) *. (1. -. w_cia b.i) *. (1. -. w_cia b.a))
+
+let impact_sub b =
+  let iss = iss b in
+  match b.s with
+  | S_unchanged -> 6.42 *. iss
+  | S_changed -> (7.52 *. (iss -. 0.029)) -. (3.25 *. ((iss -. 0.02) ** 15.))
+
+let exploitability_sub b = 8.22 *. w_av b.av *. w_ac b.ac *. w_pr b.s b.pr *. w_ui b.ui
+
+let base_score b =
+  let impact = impact_sub b in
+  if impact <= 0. then 0.
+  else
+    let expl = exploitability_sub b in
+    match b.s with
+    | S_unchanged -> roundup (Float.min (impact +. expl) 10.)
+    | S_changed -> roundup (Float.min (1.08 *. (impact +. expl)) 10.)
+
+let temporal_score b t =
+  roundup (base_score b *. w_e t.e *. w_rl t.rl *. w_rc t.rc)
+
+let environmental_score b t env =
+  let m = Option.value ~default:b env.modified in
+  let miss =
+    Float.min
+      (1.
+      -. ((1. -. (w_req env.cr *. w_cia m.c))
+         *. (1. -. (w_req env.ir *. w_cia m.i))
+         *. (1. -. (w_req env.ar *. w_cia m.a))))
+      0.915
+  in
+  let modified_impact =
+    match m.s with
+    | S_unchanged -> 6.42 *. miss
+    | S_changed ->
+        (7.52 *. (miss -. 0.029)) -. (3.25 *. (((miss *. 0.9731) -. 0.02) ** 13.))
+  in
+  let modified_expl = exploitability_sub m in
+  if modified_impact <= 0. then 0.
+  else
+    let combined =
+      match m.s with
+      | S_unchanged -> Float.min (modified_impact +. modified_expl) 10.
+      | S_changed -> Float.min (1.08 *. (modified_impact +. modified_expl)) 10.
+    in
+    roundup (roundup combined *. w_e t.e *. w_rl t.rl *. w_rc t.rc)
+
+(* ------------------------------------------------------------------ *)
+(* Severity                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type severity = None_ | Low | Medium | High | Critical
+
+let severity score =
+  if score <= 0. then None_
+  else if score < 4.0 then Low
+  else if score < 7.0 then Medium
+  else if score < 9.0 then High
+  else Critical
+
+let severity_to_level = function
+  | None_ -> Qual.Level.Very_low
+  | Low -> Qual.Level.Low
+  | Medium -> Qual.Level.Medium
+  | High -> Qual.Level.High
+  | Critical -> Qual.Level.Very_high
+
+let severity_to_string = function
+  | None_ -> "None"
+  | Low -> "Low"
+  | Medium -> "Medium"
+  | High -> "High"
+  | Critical -> "Critical"
+
+(* ------------------------------------------------------------------ *)
+(* Vector strings                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_vector b =
+  let av = function AV_network -> "N" | AV_adjacent -> "A" | AV_local -> "L" | AV_physical -> "P" in
+  let ac = function AC_low -> "L" | AC_high -> "H" in
+  let pr = function PR_none -> "N" | PR_low -> "L" | PR_high -> "H" in
+  let ui = function UI_none -> "N" | UI_required -> "R" in
+  let s = function S_unchanged -> "U" | S_changed -> "C" in
+  let cia = function I_high -> "H" | I_low -> "L" | I_none -> "N" in
+  Printf.sprintf "CVSS:3.1/AV:%s/AC:%s/PR:%s/UI:%s/S:%s/C:%s/I:%s/A:%s"
+    (av b.av) (ac b.ac) (pr b.pr) (ui b.ui) (s b.s) (cia b.c) (cia b.i)
+    (cia b.a)
+
+let of_vector str =
+  let parts = String.split_on_char '/' (String.trim str) in
+  match parts with
+  | prefix :: metrics when prefix = "CVSS:3.1" || prefix = "CVSS:3.0" -> (
+      let table = Hashtbl.create 8 in
+      let malformed = ref None in
+      List.iter
+        (fun metric ->
+          match String.split_on_char ':' metric with
+          | [ k; v ] -> Hashtbl.replace table k v
+          | _ -> malformed := Some metric)
+        metrics;
+      match !malformed with
+      | Some metric -> Error (Printf.sprintf "malformed metric %S" metric)
+      | None -> (
+          let get k =
+            match Hashtbl.find_opt table k with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "missing metric %s" k)
+          in
+          let ( let* ) = Result.bind in
+          let* av =
+            let* v = get "AV" in
+            match v with
+            | "N" -> Ok AV_network
+            | "A" -> Ok AV_adjacent
+            | "L" -> Ok AV_local
+            | "P" -> Ok AV_physical
+            | v -> Error ("bad AV:" ^ v)
+          in
+          let* ac =
+            let* v = get "AC" in
+            match v with
+            | "L" -> Ok AC_low
+            | "H" -> Ok AC_high
+            | v -> Error ("bad AC:" ^ v)
+          in
+          let* pr =
+            let* v = get "PR" in
+            match v with
+            | "N" -> Ok PR_none
+            | "L" -> Ok PR_low
+            | "H" -> Ok PR_high
+            | v -> Error ("bad PR:" ^ v)
+          in
+          let* ui =
+            let* v = get "UI" in
+            match v with
+            | "N" -> Ok UI_none
+            | "R" -> Ok UI_required
+            | v -> Error ("bad UI:" ^ v)
+          in
+          let* s =
+            let* v = get "S" in
+            match v with
+            | "U" -> Ok S_unchanged
+            | "C" -> Ok S_changed
+            | v -> Error ("bad S:" ^ v)
+          in
+          let cia k =
+            let* v = get k in
+            match v with
+            | "H" -> Ok I_high
+            | "L" -> Ok I_low
+            | "N" -> Ok I_none
+            | v -> Error (Printf.sprintf "bad %s:%s" k v)
+          in
+          let* c = cia "C" in
+          let* i = cia "I" in
+          let* a = cia "A" in
+          Ok { av; ac; pr; ui; s; c; i; a }))
+  | _ -> Error "vector must start with CVSS:3.1"

@@ -1,0 +1,81 @@
+(** Complete CVSS v3.1 implementation (base, temporal and environmental
+    metric groups) following the FIRST specification — the scoring system
+    CVE entries are measured with (§III.B).
+
+    Scores are computed with the specification's exact constants and
+    Roundup function; vector strings parse and print in the standard
+    ["CVSS:3.1/AV:N/AC:L/…"] form. *)
+
+type attack_vector = AV_network | AV_adjacent | AV_local | AV_physical
+type attack_complexity = AC_low | AC_high
+type privileges_required = PR_none | PR_low | PR_high
+type user_interaction = UI_none | UI_required
+type scope = S_unchanged | S_changed
+type impact = I_high | I_low | I_none
+
+type base = {
+  av : attack_vector;
+  ac : attack_complexity;
+  pr : privileges_required;
+  ui : user_interaction;
+  s : scope;
+  c : impact;
+  i : impact;
+  a : impact;
+}
+
+type exploit_maturity = E_not_defined | E_high | E_functional | E_poc | E_unproven
+
+type remediation_level =
+  | RL_not_defined
+  | RL_unavailable
+  | RL_workaround
+  | RL_temporary_fix
+  | RL_official_fix
+
+type report_confidence = RC_not_defined | RC_confirmed | RC_reasonable | RC_unknown
+
+type temporal = {
+  e : exploit_maturity;
+  rl : remediation_level;
+  rc : report_confidence;
+}
+
+type requirement = R_not_defined | R_high | R_medium | R_low
+
+type environmental = {
+  cr : requirement;  (** confidentiality requirement *)
+  ir : requirement;
+  ar : requirement;
+  modified : base option;  (** modified base metrics; [None] = unmodified *)
+}
+
+val default_temporal : temporal
+val default_environmental : environmental
+
+val base_score : base -> float
+(** In [0.0, 10.0], one decimal. *)
+
+val temporal_score : base -> temporal -> float
+val environmental_score : base -> temporal -> environmental -> float
+
+type severity = None_ | Low | Medium | High | Critical
+
+val severity : float -> severity
+(** Qualitative severity rating scale of the specification. *)
+
+val severity_to_level : severity -> Qual.Level.t
+(** Maps onto the paper's five-category scale: None→VL, Low→L, Medium→M,
+    High→H, Critical→VH. *)
+
+val severity_to_string : severity -> string
+
+val to_vector : base -> string
+(** ["CVSS:3.1/AV:…/AC:…/PR:…/UI:…/S:…/C:…/I:…/A:…"]. *)
+
+val of_vector : string -> (base, string) result
+(** Parses a base vector (extra metric groups are ignored). *)
+
+val roundup : float -> float
+(** The specification's Roundup: smallest number with one decimal that is
+    [>=] the input, with the official integer-arithmetic implementation. *)

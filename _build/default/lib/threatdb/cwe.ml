@@ -1,0 +1,91 @@
+type t = {
+  id : int;
+  name : string;
+  description : string;
+  parent : int option;
+  applicable_types : string list;
+}
+
+let mk id name description parent applicable_types =
+  { id; name; description; parent; applicable_types }
+
+let all =
+  [
+    mk 284 "Improper Access Control"
+      "The product does not restrict or incorrectly restricts access to a \
+       resource from an unauthorized actor."
+      None
+      [ "plc"; "hmi"; "scada_server"; "server"; "workstation"; "controller" ];
+    mk 287 "Improper Authentication"
+      "An actor claims to have a given identity, but the product does not \
+       prove or insufficiently proves that the claim is correct."
+      (Some 284)
+      [ "hmi"; "scada_server"; "server"; "workstation"; "historian" ];
+    mk 306 "Missing Authentication for Critical Function"
+      "The product does not perform any authentication for functionality \
+       that requires a provable user identity."
+      (Some 287)
+      [ "plc"; "controller"; "hmi" ];
+    mk 20 "Improper Input Validation"
+      "The product receives input but does not validate that it has the \
+       properties required to process it safely."
+      None
+      [ "plc"; "controller"; "server"; "historian"; "scada_server" ];
+    mk 787 "Out-of-bounds Write"
+      "The product writes data past the end, or before the beginning, of \
+       the intended buffer."
+      (Some 20)
+      [ "plc"; "server"; "workstation" ];
+    mk 94 "Improper Control of Generation of Code ('Code Injection')"
+      "The product constructs all or part of a code segment using \
+       externally-influenced input without neutralizing special elements."
+      (Some 20)
+      [ "server"; "workstation"; "browser" ];
+    mk 352 "Cross-Site Request Forgery (CSRF)"
+      "The web application does not sufficiently verify whether a request \
+       was intentionally provided by the user who submitted it."
+      None [ "browser"; "hmi" ];
+    mk 522 "Insufficiently Protected Credentials"
+      "The product transmits or stores authentication credentials using an \
+       insecure method."
+      None
+      [ "workstation"; "server"; "email_client"; "historian" ];
+    mk 829 "Inclusion of Functionality from Untrusted Control Sphere"
+      "The product imports executable functionality from a source outside \
+       of the intended control sphere."
+      None
+      [ "browser"; "email_client"; "workstation" ];
+    mk 1188 "Initialization of a Resource with an Insecure Default"
+      "The product initializes a resource with a default that is intended \
+       to be changed but is insecure when left in place."
+      None
+      [ "plc"; "firewall"; "switch"; "ot_network" ];
+    mk 400 "Uncontrolled Resource Consumption"
+      "The product does not properly control the consumption of limited \
+       resources, enabling denial of service."
+      None
+      [ "switch"; "ot_network"; "server"; "scada_server" ];
+    mk 494 "Download of Code Without Integrity Check"
+      "The product downloads code and executes it without verifying its \
+       origin and integrity."
+      (Some 829)
+      [ "browser"; "workstation" ];
+  ]
+
+let find id = List.find_opt (fun w -> w.id = id) all
+let key w = Printf.sprintf "CWE-%d" w.id
+
+let for_component_type ty =
+  List.filter (fun w -> List.mem ty w.applicable_types) all
+
+let ancestors w =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some id -> (
+        match find id with
+        | None -> List.rev acc
+        | Some p -> go (p :: acc) p.parent)
+  in
+  go [] w.parent
+
+let pp ppf w = Format.fprintf ppf "%s %s" (key w) w.name

@@ -1,0 +1,23 @@
+(** Offline snapshot of the Common Weakness Enumeration entries the
+    framework's mutation generator draws on (see DESIGN.md on database
+    substitution: schema-faithful curated records, not the live registry). *)
+
+type t = {
+  id : int;                 (** e.g. 284 for CWE-284 *)
+  name : string;
+  description : string;
+  parent : int option;      (** ChildOf in the research view *)
+  applicable_types : string list;
+      (** catalog component-type names this weakness typically affects *)
+}
+
+val all : t list
+val find : int -> t option
+val key : t -> string
+(** ["CWE-284"]. *)
+
+val for_component_type : string -> t list
+val ancestors : t -> t list
+(** Transitive ChildOf chain, nearest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+type threat = {
+  technique : Attck.technique;
+  cves : Cve.t list;
+  severity : Qual.Level.t;
+}
+
+let cves_for_technique_and_type tech ty =
+  List.filter
+    (fun (c : Cve.t) ->
+      List.mem tech.Attck.id c.Cve.techniques
+      && List.mem ty c.Cve.applicable_types)
+    Cve.all
+
+let capec_for_technique (tech : Attck.technique) =
+  List.filter_map Capec.find tech.Attck.capec
+
+let threat_severity tech cves =
+  match cves with
+  | _ :: _ ->
+      List.fold_left
+        (fun acc c -> Qual.Level.max acc (Cve.severity_level c))
+        Qual.Level.Very_low cves
+  | [] -> (
+      match capec_for_technique tech with
+      | [] -> Qual.Level.Medium
+      | patterns ->
+          List.fold_left
+            (fun acc (p : Capec.t) -> Qual.Level.max acc p.Capec.severity)
+            Qual.Level.Very_low patterns)
+
+let technique_severity tech =
+  let cves =
+    List.filter
+      (fun (c : Cve.t) -> List.mem tech.Attck.id c.Cve.techniques)
+      Cve.all
+  in
+  threat_severity tech cves
+
+let threats_for_type ty =
+  List.map
+    (fun tech ->
+      let cves = cves_for_technique_and_type tech ty in
+      { technique = tech; cves; severity = threat_severity tech cves })
+    (Attck.techniques_for_type ty)
+
+let cwes_for_cve (c : Cve.t) = List.filter_map Cwe.find c.Cve.cwes
+
+let referential_integrity () =
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  List.iter
+    (fun (t : Attck.technique) ->
+      List.iter
+        (fun mid ->
+          if Attck.find_mitigation mid = None then
+            bad "technique %s references unknown mitigation %s" t.Attck.id mid)
+        t.Attck.mitigations;
+      List.iter
+        (fun cid ->
+          if Capec.find cid = None then
+            bad "technique %s references unknown CAPEC-%d" t.Attck.id cid)
+        t.Attck.capec)
+    Attck.techniques;
+  List.iter
+    (fun (c : Cve.t) ->
+      List.iter
+        (fun w ->
+          if Cwe.find w = None then
+            bad "%s references unknown CWE-%d" c.Cve.id w)
+        c.Cve.cwes;
+      List.iter
+        (fun tid ->
+          if Attck.find_technique tid = None then
+            bad "%s references unknown technique %s" c.Cve.id tid)
+        c.Cve.techniques)
+    Cve.all;
+  List.iter
+    (fun (p : Capec.t) ->
+      List.iter
+        (fun w ->
+          if Cwe.find w = None then
+            bad "%s references unknown CWE-%d" (Capec.key p) w)
+        p.Capec.related_cwes)
+    Capec.all;
+  List.iter
+    (fun (w : Cwe.t) ->
+      match w.Cwe.parent with
+      | Some p when Cwe.find p = None ->
+          bad "%s references unknown parent CWE-%d" (Cwe.key w) p
+      | Some _ | None -> ())
+    Cwe.all;
+  List.rev !problems
+
+let sanitize s =
+  let s = String.lowercase_ascii s in
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' then c
+      else '_')
+    s
+
+let const s = Asp.Term.Const (sanitize s)
+let fact pred args = Asp.Rule.fact (Asp.Atom.make pred args)
+let level_int l = Qual.Level.to_index l + 1
+
+let asp_facts ~components =
+  let technique_facts (t : Attck.technique) =
+    fact "technique" [ const t.Attck.id ]
+    :: List.map
+         (fun tac ->
+           fact "tactic" [ const t.Attck.id; const (Attck.tactic_to_string tac) ])
+         t.Attck.tactics
+  in
+  let mitigation_facts (m : Attck.mitigation) =
+    [
+      fact "mitigation" [ const m.Attck.mid ];
+      fact "mitigation_cost"
+        [ const m.Attck.mid; Asp.Term.Int (level_int m.Attck.cost_hint) ];
+    ]
+  in
+  let mitigates_facts (t : Attck.technique) =
+    List.map
+      (fun mid -> fact "mitigates" [ const mid; const t.Attck.id ])
+      t.Attck.mitigations
+  in
+  let component_facts (cid, ty) =
+    List.concat_map
+      (fun threat ->
+        [
+          fact "vulnerable" [ const cid; const threat.technique.Attck.id ];
+          fact "vuln_severity"
+            [
+              const cid;
+              const threat.technique.Attck.id;
+              Asp.Term.Int (level_int threat.severity);
+            ];
+        ])
+      (threats_for_type ty)
+  in
+  Asp.Program.of_rules
+    (List.concat_map technique_facts Attck.techniques
+    @ List.concat_map mitigation_facts Attck.mitigations
+    @ List.concat_map mitigates_facts Attck.techniques
+    @ List.concat_map component_facts components)

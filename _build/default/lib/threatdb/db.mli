@@ -1,0 +1,35 @@
+(** Unified query layer over the threat-knowledge snapshots (CWE, CAPEC,
+    CVE/CVSS, ATT&CK-ICS) and the transformation of that knowledge into ASP
+    facts — step 2 of Fig. 1: "injecting validated information on the
+    component security faults … from validated public collections". *)
+
+type threat = {
+  technique : Attck.technique;
+  cves : Cve.t list;           (** applicable CVEs backing the technique *)
+  severity : Qual.Level.t;     (** max CVE severity, else CAPEC severity *)
+}
+
+val threats_for_type : string -> threat list
+(** Threat landscape of one catalog component type. *)
+
+val capec_for_technique : Attck.technique -> Capec.t list
+
+(** Component-type-independent severity of a technique: the maximum
+    severity over all CVEs enabling it, falling back to the related CAPEC
+    patterns' severity, then to Medium. *)
+val technique_severity : Attck.technique -> Qual.Level.t
+val cwes_for_cve : Cve.t -> Cwe.t list
+
+val referential_integrity : unit -> string list
+(** Broken cross-references between the snapshots (empty = consistent);
+    exercised by the test suite to keep the seed data well-formed. *)
+
+val asp_facts : components:(string * string) list -> Asp.Program.t
+(** [asp_facts ~components] with [(element_id, component_type)] pairs emits:
+    - [technique(TId).], [tactic(TId, Tactic).]
+    - [vulnerable(Component, TId).] when the technique applies to the type
+    - [vuln_severity(Component, TId, S).] with [S] in 1..5
+    - [mitigation(MId).], [mitigates(MId, TId).]
+    - [mitigation_cost(MId, C).] with [C] in 1..5 (from the cost hint)
+
+    Ids are sanitized to ASP constants (lowercased). *)

@@ -1,0 +1,1 @@
+test/test_aggregates.ml: Alcotest Asp List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_archimate.ml: Alcotest Archimate Asp Aspect Element Format Fun List Model Printf Relationship String Validate

@@ -1,0 +1,1 @@
+test/test_asp.ml: Alcotest Asp List Printf QCheck QCheck_alcotest String

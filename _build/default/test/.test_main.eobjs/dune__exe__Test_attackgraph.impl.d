@@ -1,0 +1,1 @@
+test/test_attackgraph.ml: Alcotest Archimate Attackgraph Cpsrisk List Qual String Threatdb

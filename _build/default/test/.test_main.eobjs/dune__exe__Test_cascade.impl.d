@@ -1,0 +1,1 @@
+test/test_cascade.ml: Alcotest Archimate Asp Cpsrisk Epa List Printf String

@@ -1,0 +1,1 @@
+test/test_cegar.ml: Alcotest Archimate Cegar Element Int List Model QCheck QCheck_alcotest Relationship String

@@ -1,0 +1,1 @@
+test/test_cpsrisk.ml: Alcotest Archimate Asp Cegar Cpsrisk Epa List Ltl Mitigation Option Printf QCheck QCheck_alcotest Qual String

@@ -1,0 +1,1 @@
+test/test_epa.ml: Alcotest Epa List Ltl QCheck QCheck_alcotest Qual

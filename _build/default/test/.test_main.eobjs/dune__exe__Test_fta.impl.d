@@ -1,0 +1,1 @@
+test/test_fta.ml: Alcotest Epa Fta List QCheck QCheck_alcotest Qual String

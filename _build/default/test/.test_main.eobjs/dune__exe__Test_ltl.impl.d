@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest List Ltl Printf QCheck QCheck_alcotest Qual

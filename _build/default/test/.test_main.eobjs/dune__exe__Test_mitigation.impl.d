@@ -1,0 +1,1 @@
+test/test_mitigation.ml: Alcotest List Mitigation Printf QCheck QCheck_alcotest

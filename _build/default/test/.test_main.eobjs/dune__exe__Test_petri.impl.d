@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest List Petri QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_qual.ml: Alcotest List Option QCheck QCheck_alcotest Qual

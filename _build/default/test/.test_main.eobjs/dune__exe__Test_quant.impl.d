@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Float Fta List Markov QCheck QCheck_alcotest Qual Risk

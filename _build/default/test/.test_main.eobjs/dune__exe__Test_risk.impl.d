@@ -1,0 +1,1 @@
+test/test_risk.ml: Alcotest List Option Printf QCheck QCheck_alcotest Qual Risk String

@@ -1,0 +1,1 @@
+test/test_rough.ml: Alcotest List Option QCheck QCheck_alcotest Qual Rough String

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest List Option QCheck QCheck_alcotest Qual Risk Sensitivity String

@@ -1,0 +1,1 @@
+test/test_telingo.ml: Alcotest Asp List Ltl Printf QCheck QCheck_alcotest Qual Telingo

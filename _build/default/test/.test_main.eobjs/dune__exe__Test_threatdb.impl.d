@@ -1,0 +1,1 @@
+test/test_threatdb.ml: Alcotest Asp Float List Printf QCheck QCheck_alcotest Qual Threatdb

@@ -1,0 +1,461 @@
+(* Tests for the modeling layer (lib/archimate). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let el ?(props = []) id name kind =
+  Archimate.Element.make ~id ~name ~kind ~properties:props ()
+
+let rel id source target kind =
+  Archimate.Relationship.make ~id ~source ~target ~kind ()
+
+(* A small fragment of the paper's water-tank model. *)
+let tank_model () =
+  let open Archimate in
+  Model.empty ~name:"Water Tank System"
+  |> Model.add_element (el "tank" "Water Tank" Element.Equipment)
+  |> Model.add_element
+       (el "wls" "Water Level Sensor" Element.Device
+          ~props:[ ("fault_modes", "stuck_at,omission") ])
+  |> Model.add_element (el "ctrl" "Water Tank Controller" Element.Application_component)
+  |> Model.add_element (el "in_valve" "Input Valve" Element.Equipment)
+  |> Model.add_element (el "ews" "Engineering Workstation" Element.Node)
+  |> Model.add_element (el "email" "E-mail Client" Element.Application_component)
+  |> Model.add_relationship (rel "r1" "wls" "ctrl" Relationship.Flow)
+  |> Model.add_relationship (rel "r2" "ctrl" "in_valve" Relationship.Flow)
+  |> Model.add_relationship (rel "r3" "in_valve" "tank" Relationship.Flow)
+  |> Model.add_relationship (rel "r4" "ews" "ctrl" Relationship.Serving)
+  |> Model.add_relationship (rel "r5" "ews" "email" Relationship.Composition)
+
+(* -------------------------------------------------------------------- *)
+(* Element / Relationship                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_element_layers () =
+  check Alcotest.string "device is technology" "technology"
+    Archimate.Element.(layer_to_string (layer_of_kind Device));
+  check Alcotest.string "equipment is physical" "physical"
+    Archimate.Element.(layer_to_string (layer_of_kind Equipment));
+  check Alcotest.string "process is business" "business"
+    Archimate.Element.(layer_to_string (layer_of_kind Business_process))
+
+let test_element_kind_roundtrip () =
+  List.iter
+    (fun k ->
+      match Archimate.Element.(kind_of_string (kind_to_string k)) with
+      | Some k' ->
+          check Alcotest.string "kind roundtrip"
+            (Archimate.Element.kind_to_string k)
+            (Archimate.Element.kind_to_string k')
+      | None -> fail "kind did not roundtrip")
+    Archimate.Element.all_kinds
+
+let test_element_properties () =
+  let e =
+    el "x" "X" Archimate.Element.Node ~props:[ ("zone", "it") ]
+    |> Archimate.Element.with_property "zone" "ot"
+    |> Archimate.Element.with_property "criticality" "high"
+  in
+  check (Alcotest.option Alcotest.string) "replaced" (Some "ot")
+    (Archimate.Element.property "zone" e);
+  check (Alcotest.option Alcotest.string) "added" (Some "high")
+    (Archimate.Element.property "criticality" e)
+
+let test_relationship_roundtrip () =
+  List.iter
+    (fun k ->
+      match
+        Archimate.Relationship.(kind_of_string (kind_to_string k))
+      with
+      | Some k' ->
+          check Alcotest.string "rel kind roundtrip"
+            (Archimate.Relationship.kind_to_string k)
+            (Archimate.Relationship.kind_to_string k')
+      | None -> fail "relationship kind did not roundtrip")
+    Archimate.Relationship.all_kinds
+
+(* -------------------------------------------------------------------- *)
+(* Model                                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let test_model_construction () =
+  let m = tank_model () in
+  check Alcotest.int "elements" 6 (Archimate.Model.element_count m);
+  check Alcotest.int "relationships" 5 (Archimate.Model.relationship_count m)
+
+let test_model_rejects_duplicates_and_dangling () =
+  let m = tank_model () in
+  (match
+     Archimate.Model.add_element (el "tank" "Another" Archimate.Element.Node) m
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate id accepted");
+  match
+    Archimate.Model.add_relationship
+      (rel "rx" "tank" "ghost" Archimate.Relationship.Flow)
+      m
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "dangling endpoint accepted"
+
+let test_model_queries () =
+  let m = tank_model () in
+  let names es = List.map (fun (e : Archimate.Element.t) -> e.Archimate.Element.id) es in
+  check (Alcotest.list Alcotest.string) "flow successors of ctrl" [ "in_valve" ]
+    (names (Archimate.Model.successors ~kind:Archimate.Relationship.Flow "ctrl" m));
+  check (Alcotest.list Alcotest.string) "predecessors of tank" [ "in_valve" ]
+    (names (Archimate.Model.predecessors "tank" m));
+  check (Alcotest.list Alcotest.string) "parts of ews" [ "email" ]
+    (names (Archimate.Model.parts "ews" m));
+  (match Archimate.Model.parent "email" m with
+  | Some e -> check Alcotest.string "parent" "ews" e.Archimate.Element.id
+  | None -> fail "expected a parent");
+  check (Alcotest.list Alcotest.string) "flow reachable from wls"
+    [ "ctrl"; "in_valve"; "tank" ]
+    (names
+       (Archimate.Model.reachable ~kinds:[ Archimate.Relationship.Flow ] "wls" m))
+
+let test_model_remove_element_cleans_relationships () =
+  let m = tank_model () in
+  let m = Archimate.Model.remove_element "ctrl" m in
+  check Alcotest.int "element removed" 5 (Archimate.Model.element_count m);
+  (* r1, r2, r4 were incident to ctrl *)
+  check Alcotest.int "incident rels removed" 2
+    (Archimate.Model.relationship_count m)
+
+let test_model_merge () =
+  let open Archimate in
+  let a =
+    Model.empty ~name:"a" |> Model.add_element (el "x" "X" Element.Node)
+  in
+  let b =
+    Model.empty ~name:"b" |> Model.add_element (el "y" "Y" Element.Node)
+  in
+  let m = Model.merge a b in
+  check Alcotest.int "merged" 2 (Model.element_count m);
+  match Model.merge a a with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "conflicting merge accepted"
+
+(* -------------------------------------------------------------------- *)
+(* Aspect merging (Fig. 1 step 1)                                        *)
+(* -------------------------------------------------------------------- *)
+
+let architecture_aspect =
+  let open Archimate in
+  Model.empty ~name:"architecture"
+  |> Model.add_element (el "ctrl" "Controller" Element.Application_component)
+  |> Model.add_element (el "tank" "Water Tank" Element.Equipment)
+  |> Model.add_relationship (rel "a1" "ctrl" "tank" Relationship.Flow)
+
+let deployment_aspect =
+  let open Archimate in
+  Model.empty ~name:"deployment"
+  |> Model.add_element
+       (el "ctrl" "Controller" Element.Application_component
+          ~props:[ ("node", "plc-1") ])
+  |> Model.add_element (el "plc1" "PLC 1" Element.Device)
+  |> Model.add_relationship (rel "d1" "plc1" "ctrl" Relationship.Assignment)
+
+let test_aspect_merge_overlapping () =
+  match
+    Archimate.Aspect.merge ~name:"system"
+      [ architecture_aspect; deployment_aspect ]
+  with
+  | Ok m ->
+      check Alcotest.int "union of elements" 3 (Archimate.Model.element_count m);
+      check Alcotest.int "union of relationships" 2
+        (Archimate.Model.relationship_count m);
+      (* deployment property survives on the shared element *)
+      check (Alcotest.option Alcotest.string) "property union" (Some "plc-1")
+        (Archimate.Element.property "node" (Archimate.Model.element_exn "ctrl" m))
+  | Error cs ->
+      fail
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Archimate.Aspect.pp_conflict) cs))
+
+let test_aspect_merge_name_conflict () =
+  let renamed =
+    let open Archimate in
+    Model.empty ~name:"other"
+    |> Model.add_element (el "ctrl" "Renamed Controller" Element.Application_component)
+  in
+  match Archimate.Aspect.merge ~name:"system" [ architecture_aspect; renamed ] with
+  | Error [ c ] ->
+      check Alcotest.string "conflicting field" "name" c.Archimate.Aspect.field;
+      check Alcotest.string "element" "ctrl" c.Archimate.Aspect.element
+  | Error _ -> fail "expected exactly one conflict"
+  | Ok _ -> fail "conflicting names accepted"
+
+let test_aspect_merge_property_conflict () =
+  let open Archimate in
+  let a =
+    Model.empty ~name:"a"
+    |> Model.add_element (el "x" "X" Element.Node ~props:[ ("zone", "it") ])
+  in
+  let b =
+    Model.empty ~name:"b"
+    |> Model.add_element (el "x" "X" Element.Node ~props:[ ("zone", "ot") ])
+  in
+  match Aspect.merge ~name:"m" [ a; b ] with
+  | Error [ c ] -> check Alcotest.string "zone conflict" "zone" c.Aspect.field
+  | Error _ -> fail "expected one conflict"
+  | Ok _ -> fail "property conflict accepted"
+
+let test_aspect_merge_relationship_conflict () =
+  let open Archimate in
+  let base = architecture_aspect in
+  let other =
+    Model.empty ~name:"other"
+    |> Model.add_element (el "ctrl" "Controller" Element.Application_component)
+    |> Model.add_element (el "tank" "Water Tank" Element.Equipment)
+    |> Model.add_relationship (rel "a1" "tank" "ctrl" Relationship.Flow)
+  in
+  match Aspect.merge ~name:"m" [ base; other ] with
+  | Error (c :: _) ->
+      check Alcotest.string "relationship conflict" "relationship"
+        c.Aspect.field
+  | Error [] | Ok _ -> fail "reversed relationship accepted"
+
+(* -------------------------------------------------------------------- *)
+(* Catalog                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let test_catalog_instantiate () =
+  let e =
+    Archimate.Catalog.instantiate Archimate.Catalog.standard ~type_name:"valve"
+      ~id:"in_valve" ~name:"Input Valve"
+  in
+  check (Alcotest.option Alcotest.string) "origin type" (Some "valve")
+    (Archimate.Element.property "component_type" e);
+  match Archimate.Element.property "fault_modes" e with
+  | Some modes ->
+      check Alcotest.bool "has stuck_at_open" true
+        (List.mem "stuck_at_open" (String.split_on_char ',' modes))
+  | None -> fail "expected fault modes"
+
+let test_catalog_unknown () =
+  match
+    Archimate.Catalog.instantiate Archimate.Catalog.standard
+      ~type_name:"quantum_tunnel" ~id:"q" ~name:"Q"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown type accepted"
+
+let test_catalog_extension () =
+  let custom =
+    Archimate.Catalog.add
+      {
+        Archimate.Catalog.type_name = "robot_arm";
+        kind = Archimate.Element.Equipment;
+        default_properties = [ ("zone", "ot") ];
+        fault_modes = [ "frozen"; "overshoot" ];
+      }
+      Archimate.Catalog.standard
+  in
+  check Alcotest.int "one more type"
+    (Archimate.Catalog.size Archimate.Catalog.standard + 1)
+    (Archimate.Catalog.size custom);
+  match Archimate.Catalog.find "robot_arm" custom with
+  | Some ct ->
+      check (Alcotest.list Alcotest.string) "fault modes"
+        [ "frozen"; "overshoot" ] ct.Archimate.Catalog.fault_modes
+  | None -> fail "custom type not found"
+
+(* -------------------------------------------------------------------- *)
+(* Validation                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let test_validate_clean_model () =
+  check Alcotest.bool "tank model valid" true
+    (Archimate.Validate.is_valid (tank_model ()))
+
+let test_validate_composition_cycle () =
+  let open Archimate in
+  let m =
+    Model.empty ~name:"cyclic"
+    |> Model.add_element (el "a" "A" Element.Node)
+    |> Model.add_element (el "b" "B" Element.Node)
+    |> Model.add_relationship (rel "r1" "a" "b" Relationship.Composition)
+    |> Model.add_relationship (rel "r2" "b" "a" Relationship.Composition)
+  in
+  check Alcotest.bool "cycle detected" false (Validate.is_valid m)
+
+let test_validate_warnings () =
+  let open Archimate in
+  let m =
+    Model.empty ~name:"warny"
+    |> Model.add_element (el "a" "Thing" Element.Node)
+    |> Model.add_element (el "b" "Thing" Element.Node)
+    |> Model.add_element (el "c" "" Element.Node)
+  in
+  let issues = Validate.run m in
+  let warnings =
+    List.filter (fun i -> i.Validate.severity = Validate.Warning) issues
+  in
+  (* duplicate name + empty name + 3 isolated *)
+  check Alcotest.bool "several warnings" true (List.length warnings >= 4);
+  check Alcotest.bool "still valid" true (Validate.is_valid m)
+
+(* -------------------------------------------------------------------- *)
+(* Text format                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let test_text_roundtrip () =
+  let m = tank_model () in
+  let m' = Archimate.Text.parse (Archimate.Text.print m) in
+  check Alcotest.string "same print" (Archimate.Text.print m)
+    (Archimate.Text.print m');
+  check Alcotest.int "same elements" (Archimate.Model.element_count m)
+    (Archimate.Model.element_count m')
+
+let test_text_parse_literal () =
+  let src =
+    "# the paper's refined workstation\n\
+     model \"Refined EWS\"\n\
+     element ews \"Engineering Workstation\" node { zone = \"it\" }\n\
+     element email \"E-mail Client\" application_component\n\
+     element browser \"Browser\" application_component\n\
+     relation c1 composition ews -> email\n\
+     relation c2 composition ews -> browser\n\
+     relation f1 flow email -> browser { medium = \"link\" }\n"
+  in
+  let m = Archimate.Text.parse src in
+  check Alcotest.int "elements" 3 (Archimate.Model.element_count m);
+  check Alcotest.int "relations" 3 (Archimate.Model.relationship_count m);
+  match Archimate.Model.relationship "f1" m with
+  | Some r ->
+      check (Alcotest.option Alcotest.string) "rel property" (Some "link")
+        (Archimate.Relationship.property "medium" r)
+  | None -> fail "relation f1 missing"
+
+let test_text_shipped_model_file () =
+  (* the model file shipped under examples/models must stay parseable *)
+  let path = "../examples/models/press_cell.model" in
+  let ic = open_in path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let m = Archimate.Text.parse src in
+  check Alcotest.string "name" "Press Cell" (Archimate.Model.name m);
+  check Alcotest.int "elements" 8 (Archimate.Model.element_count m);
+  check Alcotest.bool "valid" true (Archimate.Validate.is_valid m);
+  (* every element is typed so the threat layer can pick it up *)
+  List.iter
+    (fun (e : Archimate.Element.t) ->
+      check Alcotest.bool (e.Archimate.Element.id ^ " typed") true
+        (Archimate.Element.property "component_type" e <> None))
+    (Archimate.Model.elements m)
+
+let test_text_errors () =
+  List.iter
+    (fun src ->
+      match Archimate.Text.parse src with
+      | exception Archimate.Text.Error _ -> ()
+      | _ -> fail (Printf.sprintf "accepted malformed %S" src))
+    [
+      "element a \"A\" node";
+      "model \"m\"\nelement a \"A\" warp_core";
+      "model \"m\"\nrelation r flow a -> b";
+      "model \"m\"\nelement a \"A\" node { zone = }";
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* ASP transformation                                                    *)
+(* -------------------------------------------------------------------- *)
+
+let test_to_asp_facts () =
+  let p = Archimate.To_asp.facts (tank_model ()) in
+  let g = Asp.Grounder.ground p in
+  match Asp.Solver.solve g with
+  | [ m ] ->
+      check Alcotest.int "component facts" 6
+        (List.length (Asp.Model.by_predicate m "component"));
+      check Alcotest.bool "flow edge" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "flow(in_valve, tank)"));
+      check Alcotest.bool "part_of" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "part_of(email, ews)"));
+      check Alcotest.bool "fault mode from property" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "fault_mode(wls, stuck_at)"))
+  | _ -> fail "expected one model"
+
+let test_to_asp_queryable () =
+  (* the generated facts compose with analysis rules *)
+  let p =
+    Asp.Program.append
+      (Archimate.To_asp.facts (tank_model ()))
+      (Asp.Parser.parse_program
+         "reaches(X,Y) :- flow(X,Y). reaches(X,Z) :- reaches(X,Y), flow(Y,Z).")
+  in
+  match Asp.Solver.solve (Asp.Grounder.ground p) with
+  | [ m ] ->
+      check Alcotest.bool "sensor reaches tank" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "reaches(wls, tank)"))
+  | _ -> fail "expected one model"
+
+let test_sanitize () =
+  check Alcotest.string "lowercase" "water_tank"
+    (Archimate.To_asp.sanitize "Water Tank");
+  check Alcotest.string "leading digit" "x3com" (Archimate.To_asp.sanitize "3com");
+  check Alcotest.string "empty" "x" (Archimate.To_asp.sanitize "")
+
+let suites =
+  [
+    ( "archimate.element",
+      [
+        Alcotest.test_case "layers" `Quick test_element_layers;
+        Alcotest.test_case "kind roundtrip" `Quick test_element_kind_roundtrip;
+        Alcotest.test_case "properties" `Quick test_element_properties;
+        Alcotest.test_case "relationship kinds" `Quick
+          test_relationship_roundtrip;
+      ] );
+    ( "archimate.model",
+      [
+        Alcotest.test_case "construction" `Quick test_model_construction;
+        Alcotest.test_case "duplicates & dangling" `Quick
+          test_model_rejects_duplicates_and_dangling;
+        Alcotest.test_case "queries" `Quick test_model_queries;
+        Alcotest.test_case "remove cleans rels" `Quick
+          test_model_remove_element_cleans_relationships;
+        Alcotest.test_case "merge" `Quick test_model_merge;
+      ] );
+    ( "archimate.aspect",
+      [
+        Alcotest.test_case "overlapping merge" `Quick
+          test_aspect_merge_overlapping;
+        Alcotest.test_case "name conflict" `Quick test_aspect_merge_name_conflict;
+        Alcotest.test_case "property conflict" `Quick
+          test_aspect_merge_property_conflict;
+        Alcotest.test_case "relationship conflict" `Quick
+          test_aspect_merge_relationship_conflict;
+      ] );
+    ( "archimate.catalog",
+      [
+        Alcotest.test_case "instantiate" `Quick test_catalog_instantiate;
+        Alcotest.test_case "unknown type" `Quick test_catalog_unknown;
+        Alcotest.test_case "extension" `Quick test_catalog_extension;
+      ] );
+    ( "archimate.validate",
+      [
+        Alcotest.test_case "clean model" `Quick test_validate_clean_model;
+        Alcotest.test_case "composition cycle" `Quick
+          test_validate_composition_cycle;
+        Alcotest.test_case "warnings" `Quick test_validate_warnings;
+      ] );
+    ( "archimate.text",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_text_roundtrip;
+        Alcotest.test_case "literal" `Quick test_text_parse_literal;
+        Alcotest.test_case "shipped model file" `Quick
+          test_text_shipped_model_file;
+        Alcotest.test_case "errors" `Quick test_text_errors;
+      ] );
+    ( "archimate.to_asp",
+      [
+        Alcotest.test_case "facts" `Quick test_to_asp_facts;
+        Alcotest.test_case "composes with rules" `Quick test_to_asp_queryable;
+        Alcotest.test_case "sanitize" `Quick test_sanitize;
+      ] );
+  ]

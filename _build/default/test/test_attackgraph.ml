@@ -1,0 +1,149 @@
+(* Tests for attack-graph generation (lib/attackgraph). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let graph = Attackgraph.Graph.generate Cpsrisk.Water_tank.refined_model
+
+let find_node component tid =
+  List.find_opt
+    (fun (n : Attackgraph.Graph.node) ->
+      n.Attackgraph.Graph.component = component
+      && n.Attackgraph.Graph.technique.Threatdb.Attck.id = tid)
+    (Attackgraph.Graph.nodes graph)
+
+let test_generation_basics () =
+  let n_nodes, n_edges = Attackgraph.Graph.size graph in
+  check Alcotest.bool "nodes exist" true (n_nodes > 10);
+  check Alcotest.bool "edges exist" true (n_edges > 10);
+  (* untyped elements (operator) contribute no nodes *)
+  check Alcotest.bool "operator absent" true
+    (List.for_all
+       (fun (n : Attackgraph.Graph.node) -> n.Attackgraph.Graph.component <> "operator")
+       (Attackgraph.Graph.nodes graph))
+
+let test_entry_and_goal_nodes () =
+  let entries = Attackgraph.Graph.entry_nodes graph in
+  check Alcotest.bool "spearphishing at the email client" true
+    (List.exists
+       (fun (n : Attackgraph.Graph.node) ->
+         n.Attackgraph.Graph.component = "email"
+         && n.Attackgraph.Graph.technique.Threatdb.Attck.id = "T0865")
+       entries);
+  let goals = Attackgraph.Graph.goal_nodes graph in
+  check Alcotest.bool "loss of view at the HMI" true
+    (List.exists
+       (fun (n : Attackgraph.Graph.node) ->
+         n.Attackgraph.Graph.component = "hmi"
+         && n.Attackgraph.Graph.technique.Threatdb.Attck.id = "T0829")
+       goals)
+
+let test_stage_ordering_respected () =
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.bool "edges go forward in the kill chain" true
+        (Attackgraph.Graph.stage a.Attackgraph.Graph.technique
+        < Attackgraph.Graph.stage b.Attackgraph.Graph.technique))
+    (Attackgraph.Graph.edges graph)
+
+let test_paths_spearphish_to_manipulation () =
+  (* the paper's narrative: spam link on the workstation ends in actuator
+     manipulation *)
+  match
+    ( find_node "email" "T0865",
+      find_node "in_valve_ctrl" "T0831" )
+  with
+  | Some source, Some sink ->
+      let paths = Attackgraph.Graph.paths graph ~source ~sink in
+      check Alcotest.bool "at least one path" true (paths <> []);
+      List.iter
+        (fun path ->
+          check Alcotest.bool "path starts at source" true
+            (Attackgraph.Graph.node_equal (List.hd path) source);
+          check Alcotest.bool "path ends at sink" true
+            (Attackgraph.Graph.node_equal
+               (List.nth path (List.length path - 1))
+               sink))
+        paths
+  | _ -> fail "expected the source and sink nodes to exist"
+
+let test_paths_no_duplicates () =
+  match find_node "email" "T0865" with
+  | Some source ->
+      List.iter
+        (fun sink ->
+          List.iter
+            (fun path ->
+              let rec distinct = function
+                | [] -> true
+                | n :: rest ->
+                    (not (List.exists (Attackgraph.Graph.node_equal n) rest))
+                    && distinct rest
+              in
+              check Alcotest.bool "simple path" true (distinct path))
+            (Attackgraph.Graph.paths graph ~source ~sink))
+        (Attackgraph.Graph.goal_nodes graph)
+  | None -> fail "source missing"
+
+let test_attack_scenarios_space () =
+  let scenarios = Attackgraph.Graph.attack_scenarios ~max_length:5 graph in
+  check Alcotest.bool "non-empty scenario space" true (scenarios <> []);
+  (* severity is defined for each scenario *)
+  List.iter
+    (fun path ->
+      check Alcotest.bool "positive severity" true
+        (Qual.Level.compare (Attackgraph.Graph.severity path) Qual.Level.Very_low
+        >= 0))
+    scenarios
+
+let test_severity_monotone_in_path_extension () =
+  let scenarios = Attackgraph.Graph.attack_scenarios ~max_length:4 graph in
+  List.iter
+    (fun path ->
+      match path with
+      | _ :: rest when rest <> [] ->
+          check Alcotest.bool "prefix severity <= path severity" true
+            (Qual.Level.compare
+               (Attackgraph.Graph.severity rest)
+               (Attackgraph.Graph.severity path)
+            <= 0)
+      | _ -> ())
+    scenarios
+
+let test_to_dot () =
+  let dot = Attackgraph.Graph.to_dot graph in
+  check Alcotest.bool "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  check Alcotest.bool "mentions T0865" true
+    (let needle = "T0865" in
+     let n = String.length needle and h = String.length dot in
+     let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+     go 0)
+
+let test_untyped_model_is_empty () =
+  let m =
+    Archimate.Model.empty ~name:"untyped"
+    |> Archimate.Model.add_element
+         (Archimate.Element.make ~id:"x" ~name:"X" ~kind:Archimate.Element.Node ())
+  in
+  let g = Attackgraph.Graph.generate m in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "empty graph" (0, 0)
+    (Attackgraph.Graph.size g)
+
+let suites =
+  [
+    ( "attackgraph",
+      [
+        Alcotest.test_case "generation basics" `Quick test_generation_basics;
+        Alcotest.test_case "entry & goal nodes" `Quick test_entry_and_goal_nodes;
+        Alcotest.test_case "stage ordering" `Quick test_stage_ordering_respected;
+        Alcotest.test_case "spearphish -> manipulation path" `Quick
+          test_paths_spearphish_to_manipulation;
+        Alcotest.test_case "simple paths" `Quick test_paths_no_duplicates;
+        Alcotest.test_case "scenario space" `Quick test_attack_scenarios_space;
+        Alcotest.test_case "severity monotone" `Quick
+          test_severity_monotone_in_path_extension;
+        Alcotest.test_case "dot output" `Quick test_to_dot;
+        Alcotest.test_case "untyped model" `Quick test_untyped_model_is_empty;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+(* Tests for the cascade scaling substrate (Cpsrisk.Cascade) and the
+   Graphviz renderers. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* -------------------------------------------------------------------- *)
+(* Cascade                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let test_cascade_shapes () =
+  check Alcotest.int "3 faults" 3 (List.length (Cpsrisk.Cascade.faults 3));
+  check Alcotest.int "3 requirements" 3
+    (List.length (Cpsrisk.Cascade.requirements 3));
+  let rows = Epa.Analysis.run (Cpsrisk.Cascade.system 3) in
+  check Alcotest.int "2^3 scenarios" 8 (List.length rows);
+  check Alcotest.int "all but empty hazardous" 7
+    (List.length (Epa.Analysis.hazardous rows))
+
+let test_cascade_fault_free_is_safe () =
+  let row =
+    Epa.Analysis.run_scenario (Cpsrisk.Cascade.system 4) (Epa.Scenario.make [])
+  in
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Epa.Analysis.violations row)
+
+let test_cascade_spill_propagates_downstream () =
+  (* breaking only drain 0 floods every downstream tank *)
+  let row =
+    Epa.Analysis.run_scenario (Cpsrisk.Cascade.system 3)
+      (Epa.Scenario.make [ "D0" ])
+  in
+  check (Alcotest.list Alcotest.string) "all requirements violated"
+    [ "R0"; "R1"; "R2" ]
+    (Epa.Analysis.violations row)
+
+let test_cascade_downstream_fault_stays_local () =
+  (* breaking the last drain does not affect upstream tanks *)
+  let row =
+    Epa.Analysis.run_scenario (Cpsrisk.Cascade.system 3)
+      (Epa.Scenario.make [ "D2" ])
+  in
+  check (Alcotest.list Alcotest.string) "only the last tank" [ "R2" ]
+    (Epa.Analysis.violations row)
+
+let test_cascade_asp_programs () =
+  let g = Asp.Grounder.ground (Cpsrisk.Cascade.asp_chain_program 5) in
+  (* path(i,j) for i<j over 5 nodes: 10 ground atoms + 4 edges *)
+  check Alcotest.int "chain universe" 14 (Asp.Ground.atom_count g);
+  let models = Asp.Solver.solve (Asp.Grounder.ground (Cpsrisk.Cascade.asp_choice_program 5)) in
+  check Alcotest.int "2^4 models" 16 (List.length models)
+
+(* -------------------------------------------------------------------- *)
+(* Dot renderers                                                         *)
+(* -------------------------------------------------------------------- *)
+
+let test_archimate_dot () =
+  let dot = Archimate.Dot.render Cpsrisk.Water_tank.refined_model in
+  check Alcotest.bool "digraph" true (contains dot "digraph");
+  check Alcotest.bool "layer cluster" true (contains dot "cluster_");
+  check Alcotest.bool "workstation node" true (contains dot "Engineering Workstation");
+  check Alcotest.bool "composition styling" true (contains dot "arrowtail=diamond");
+  (* every element id appears *)
+  List.iter
+    (fun (e : Archimate.Element.t) ->
+      check Alcotest.bool ("node " ^ e.Archimate.Element.id) true
+        (contains dot e.Archimate.Element.id))
+    (Archimate.Model.elements Cpsrisk.Water_tank.refined_model)
+
+let test_archimate_dot_escaping () =
+  let m =
+    Archimate.Model.empty ~name:"with \"quotes\""
+    |> Archimate.Model.add_element
+         (Archimate.Element.make ~id:"x" ~name:"A \"named\" thing"
+            ~kind:Archimate.Element.Node ())
+  in
+  let dot = Archimate.Dot.render m in
+  check Alcotest.bool "escaped quotes" true (contains dot "\\\"named\\\"")
+
+let test_layer_shapes_distinct () =
+  let shapes =
+    List.map Archimate.Dot.element_shape
+      [
+        Archimate.Element.Business; Archimate.Element.Application;
+        Archimate.Element.Technology; Archimate.Element.Physical;
+        Archimate.Element.Motivation;
+      ]
+  in
+  check Alcotest.int "all distinct" 5
+    (List.length (List.sort_uniq String.compare shapes))
+
+let test_cascade_system_matches_paper_shape () =
+  (* ablation-style check: the hazard count grows exactly as 2^n - 1 *)
+  List.iter
+    (fun n ->
+      let rows = Epa.Analysis.run (Cpsrisk.Cascade.system n) in
+      check Alcotest.int
+        (Printf.sprintf "n=%d hazard count" n)
+        ((1 lsl n) - 1)
+        (List.length (Epa.Analysis.hazardous rows)))
+    [ 1; 2; 3; 4; 5 ]
+
+let suites =
+  [
+    ( "cpsrisk.cascade",
+      [
+        Alcotest.test_case "shapes" `Quick test_cascade_shapes;
+        Alcotest.test_case "fault-free safe" `Quick test_cascade_fault_free_is_safe;
+        Alcotest.test_case "spill propagates" `Quick
+          test_cascade_spill_propagates_downstream;
+        Alcotest.test_case "downstream stays local" `Quick
+          test_cascade_downstream_fault_stays_local;
+        Alcotest.test_case "asp programs" `Quick test_cascade_asp_programs;
+        Alcotest.test_case "hazards = 2^n - 1" `Quick
+          test_cascade_system_matches_paper_shape;
+      ] );
+    ( "archimate.dot",
+      [
+        Alcotest.test_case "render" `Quick test_archimate_dot;
+        Alcotest.test_case "escaping" `Quick test_archimate_dot_escaping;
+        Alcotest.test_case "layer shapes" `Quick test_layer_shapes_distinct;
+      ] );
+  ]

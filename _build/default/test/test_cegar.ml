@@ -1,0 +1,212 @@
+(* Tests for hierarchical refinement (lib/cegar). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let el id name kind = Archimate.Element.make ~id ~name ~kind ()
+
+(* -------------------------------------------------------------------- *)
+(* Levels (Fig. 3)                                                       *)
+(* -------------------------------------------------------------------- *)
+
+let test_levels_focus_mapping () =
+  let open Cegar.Levels in
+  check Alcotest.string "aspect -> topology" "topology-based propagation"
+    (focus_to_string (focus_for A_system T_aspect));
+  check Alcotest.string "fault -> detailed" "detailed propagation analysis"
+    (focus_to_string (focus_for A_subsystem T_fault));
+  check Alcotest.string "mitigation -> plan" "mitigation plan"
+    (focus_to_string (focus_for A_component T_mitigation))
+
+let test_levels_refinement_order () =
+  let open Cegar.Levels in
+  check Alcotest.bool "system -> component" true
+    (refines ~coarse:A_system ~fine:A_component);
+  check Alcotest.bool "not reflexive" false
+    (refines ~coarse:A_subsystem ~fine:A_subsystem);
+  check Alcotest.bool "not backwards" false
+    (refines ~coarse:A_component ~fine:A_system)
+
+let test_levels_matrix_render () =
+  let s = Cegar.Levels.render_matrix () in
+  check Alcotest.bool "3 asset rows + header" true
+    (List.length (String.split_on_char '\n' s) >= 5)
+
+(* -------------------------------------------------------------------- *)
+(* Asset refinement (Fig. 4)                                             *)
+(* -------------------------------------------------------------------- *)
+
+let base_model () =
+  let open Archimate in
+  Model.empty ~name:"case study"
+  |> Model.add_element (el "ews" "Engineering Workstation" Element.Node)
+  |> Model.add_element (el "ctrl" "Water Tank Controller" Element.Application_component)
+  |> Model.add_relationship
+       (Relationship.make ~id:"r1" ~source:"ews" ~target:"ctrl"
+          ~kind:Relationship.Serving ())
+
+(* the paper's refinement: E-mail Client -> Browser -> Infected Computer *)
+let ews_refinement =
+  {
+    Cegar.Refine.target = "ews";
+    parts =
+      [
+        el "email" "E-mail Client" Archimate.Element.Application_component;
+        el "browser" "Browser" Archimate.Element.Application_component;
+        el "infected" "Infected Computer" Archimate.Element.Node;
+      ];
+    internal_flows = [ ("email", "browser"); ("browser", "infected") ];
+  }
+
+let test_refine_apply () =
+  let m = Cegar.Refine.apply (base_model ()) ews_refinement in
+  check Alcotest.int "elements grew" 5 (Archimate.Model.element_count m);
+  check (Alcotest.list Alcotest.string) "parts attached"
+    [ "email"; "browser"; "infected" ]
+    (Cegar.Refine.parts_of m "ews");
+  check Alcotest.bool "still valid" true (Archimate.Validate.is_valid m)
+
+let test_refine_attack_path () =
+  let m = Cegar.Refine.apply (base_model ()) ews_refinement in
+  match Cegar.Refine.attack_path m ~entry:"email" ~target:"infected" with
+  | Some path ->
+      check (Alcotest.list Alcotest.string) "spam-link chain"
+        [ "email"; "browser"; "infected" ] path
+  | None -> fail "expected an attack path"
+
+let test_refine_attack_path_absent () =
+  let m = Cegar.Refine.apply (base_model ()) ews_refinement in
+  check Alcotest.bool "no reverse path" true
+    (Cegar.Refine.attack_path m ~entry:"infected" ~target:"email" = None)
+
+let test_refine_flatten_roundtrip () =
+  let m0 = base_model () in
+  let m1 = Cegar.Refine.apply m0 ews_refinement in
+  let m2 = Cegar.Refine.flatten m1 "ews" in
+  check Alcotest.int "back to coarse" (Archimate.Model.element_count m0)
+    (Archimate.Model.element_count m2);
+  check (Alcotest.list Alcotest.string) "no parts left" []
+    (Cegar.Refine.parts_of m2 "ews")
+
+let test_refine_errors () =
+  (match Cegar.Refine.apply (base_model ()) { ews_refinement with Cegar.Refine.target = "ghost" } with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown target accepted");
+  let clash =
+    { ews_refinement with
+      Cegar.Refine.parts = [ el "ctrl" "Duplicate" Archimate.Element.Node ] }
+  in
+  match Cegar.Refine.apply (base_model ()) clash with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "id collision accepted"
+
+(* -------------------------------------------------------------------- *)
+(* CEGAR loop                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let test_loop_eliminates_spurious () =
+  (* abstraction: candidates 1..6; level 1 removes odd; level 2 removes >4 *)
+  let refine level candidates =
+    match level with
+    | 0 -> Some (List.filter (fun c -> c mod 2 = 0) candidates)
+    | 1 -> Some (List.filter (fun c -> c <= 4) candidates)
+    | _ -> None
+  in
+  let outcome =
+    Cegar.Loop.run ~equal:Int.equal
+      ~initial:(fun () -> [ 1; 2; 3; 4; 5; 6 ])
+      ~refine ()
+  in
+  check (Alcotest.list Alcotest.int) "confirmed" [ 2; 4 ]
+    outcome.Cegar.Loop.confirmed;
+  check Alcotest.bool "converged" true outcome.Cegar.Loop.converged;
+  check Alcotest.int "three rounds recorded" 3
+    (List.length outcome.Cegar.Loop.rounds);
+  let round1 = List.nth outcome.Cegar.Loop.rounds 1 in
+  check (Alcotest.list Alcotest.int) "eliminated at level 1" [ 1; 3; 5 ]
+    round1.Cegar.Loop.eliminated
+
+let test_loop_rejects_unsound_refinement () =
+  let refine _ _ = Some [ 42 ] in
+  match
+    Cegar.Loop.run ~equal:Int.equal ~initial:(fun () -> [ 1 ]) ~refine ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "refinement introducing candidates accepted"
+
+let test_loop_max_rounds () =
+  (* refinement that never terminates: stop at max_rounds, not converged *)
+  let refine _ candidates = Some candidates in
+  let outcome =
+    Cegar.Loop.run ~max_rounds:4 ~equal:Int.equal
+      ~initial:(fun () -> [ 1; 2 ])
+      ~refine ()
+  in
+  check Alcotest.bool "not converged" false outcome.Cegar.Loop.converged;
+  check Alcotest.int "bounded rounds" 5 (List.length outcome.Cegar.Loop.rounds)
+
+let test_loop_immediate_convergence () =
+  let outcome =
+    Cegar.Loop.run ~equal:Int.equal
+      ~initial:(fun () -> [ 7 ])
+      ~refine:(fun _ _ -> None)
+      ()
+  in
+  check Alcotest.bool "converged" true outcome.Cegar.Loop.converged;
+  check (Alcotest.list Alcotest.int) "kept" [ 7 ] outcome.Cegar.Loop.confirmed
+
+let prop_loop_candidates_shrink =
+  QCheck.Test.make ~name:"cegar: candidate sets only shrink" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 8) (int_range 0 20)))
+    (fun initial ->
+      let initial = List.sort_uniq compare initial in
+      let refine level candidates =
+        if level >= 3 then None
+        else Some (List.filter (fun c -> c mod (level + 2) <> 0) candidates)
+      in
+      let outcome =
+        Cegar.Loop.run ~equal:Int.equal ~initial:(fun () -> initial) ~refine ()
+      in
+      let sizes =
+        List.map
+          (fun r -> List.length r.Cegar.Loop.candidates)
+          outcome.Cegar.Loop.rounds
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      non_increasing sizes)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "cegar.levels",
+      [
+        Alcotest.test_case "focus mapping" `Quick test_levels_focus_mapping;
+        Alcotest.test_case "refinement order" `Quick test_levels_refinement_order;
+        Alcotest.test_case "matrix render" `Quick test_levels_matrix_render;
+      ] );
+    ( "cegar.refine",
+      [
+        Alcotest.test_case "apply" `Quick test_refine_apply;
+        Alcotest.test_case "attack path" `Quick test_refine_attack_path;
+        Alcotest.test_case "no reverse path" `Quick test_refine_attack_path_absent;
+        Alcotest.test_case "flatten roundtrip" `Quick
+          test_refine_flatten_roundtrip;
+        Alcotest.test_case "errors" `Quick test_refine_errors;
+      ] );
+    ( "cegar.loop",
+      [
+        Alcotest.test_case "eliminates spurious" `Quick
+          test_loop_eliminates_spurious;
+        Alcotest.test_case "rejects unsound refinement" `Quick
+          test_loop_rejects_unsound_refinement;
+        Alcotest.test_case "max rounds" `Quick test_loop_max_rounds;
+        Alcotest.test_case "immediate convergence" `Quick
+          test_loop_immediate_convergence;
+        qcheck prop_loop_candidates_shrink;
+      ] );
+  ]

@@ -1,0 +1,386 @@
+(* Tests for the EPA core (lib/epa). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let f1 =
+  Epa.Fault.make ~id:"F1" ~component:"in_valve"
+    ~mode:(Epa.Fault.Stuck_at "open") ()
+
+let f2 =
+  Epa.Fault.make ~id:"F2" ~component:"out_valve"
+    ~mode:(Epa.Fault.Stuck_at "closed") ()
+
+let f3 = Epa.Fault.make ~id:"F3" ~component:"hmi" ~mode:Epa.Fault.Omission ()
+
+let f4 =
+  Epa.Fault.make ~id:"F4" ~component:"ews" ~mode:Epa.Fault.Compromise
+    ~induces:[ "F1"; "F2"; "F3" ] ()
+
+let catalog = [ f1; f2; f3; f4 ]
+
+(* -------------------------------------------------------------------- *)
+(* Fault                                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let test_fault_close_induced () =
+  check (Alcotest.list Alcotest.string) "F4 induces F1-F3"
+    [ "F1"; "F2"; "F3"; "F4" ]
+    (Epa.Fault.close_induced catalog [ "F4" ]);
+  check (Alcotest.list Alcotest.string) "no duplication"
+    [ "F1"; "F2"; "F4" ]
+    (Epa.Fault.close_induced [ f1; f2; Epa.Fault.make ~id:"F4" ~component:"e" ~mode:Epa.Fault.Compromise ~induces:[ "F1"; "F2" ] () ] [ "F4"; "F1" ])
+
+let test_fault_close_induced_transitive () =
+  let a = Epa.Fault.make ~id:"A" ~component:"x" ~mode:Epa.Fault.Omission ~induces:[ "B" ] () in
+  let b = Epa.Fault.make ~id:"B" ~component:"y" ~mode:Epa.Fault.Omission ~induces:[ "C" ] () in
+  let c = Epa.Fault.make ~id:"C" ~component:"z" ~mode:Epa.Fault.Omission () in
+  check (Alcotest.list Alcotest.string) "transitive" [ "A"; "B"; "C" ]
+    (Epa.Fault.close_induced [ a; b; c ] [ "A" ])
+
+let test_fault_close_induced_cyclic () =
+  let a = Epa.Fault.make ~id:"A" ~component:"x" ~mode:Epa.Fault.Omission ~induces:[ "B" ] () in
+  let b = Epa.Fault.make ~id:"B" ~component:"y" ~mode:Epa.Fault.Omission ~induces:[ "A" ] () in
+  check (Alcotest.list Alcotest.string) "cycle terminates" [ "A"; "B" ]
+    (Epa.Fault.close_induced [ a; b ] [ "A" ])
+
+let test_fault_mode_strings () =
+  check Alcotest.string "stuck at" "stuck_at_open"
+    (Epa.Fault.mode_to_string (Epa.Fault.Stuck_at "open"));
+  check Alcotest.string "compromise" "compromise"
+    (Epa.Fault.mode_to_string Epa.Fault.Compromise)
+
+(* -------------------------------------------------------------------- *)
+(* Static propagation                                                    *)
+(* -------------------------------------------------------------------- *)
+
+(* sensor -> controller -> valve -> tank, plus ews -> controller *)
+let network =
+  Epa.Propagation.make_network
+    ~components:[ "sensor"; "controller"; "valve"; "tank"; "ews" ]
+    ~edges:
+      [
+        ("sensor", "controller");
+        ("controller", "valve");
+        ("valve", "tank");
+        ("ews", "controller");
+      ]
+    ()
+
+let test_propagation_reaches_tank () =
+  let fault =
+    Epa.Fault.make ~id:"FS" ~component:"sensor" ~mode:(Epa.Fault.Stuck_at "low") ()
+  in
+  let r = Epa.Propagation.analyze network ~active:[ fault ] in
+  check Alcotest.bool "tank receives value error" true
+    (List.mem Epa.Propagation.Value_err (Epa.Propagation.errors_at "tank" r));
+  check (Alcotest.list Alcotest.string) "affected downstream"
+    [ "controller"; "sensor"; "tank"; "valve" ]
+    (Epa.Propagation.affected r)
+
+let test_propagation_path () =
+  let fault =
+    Epa.Fault.make ~id:"FS" ~component:"sensor" ~mode:(Epa.Fault.Stuck_at "low") ()
+  in
+  let r = Epa.Propagation.analyze network ~active:[ fault ] in
+  let path = Epa.Propagation.path_to "tank" Epa.Propagation.Value_err r in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "full chain"
+    [
+      ("sensor", "value"); ("controller", "value"); ("valve", "value");
+      ("tank", "value");
+    ]
+    (List.map
+       (fun (c, e) -> (c, Epa.Propagation.error_class_to_string e))
+       path)
+
+let test_propagation_no_faults () =
+  let r = Epa.Propagation.analyze network ~active:[] in
+  check (Alcotest.list Alcotest.string) "nothing affected" []
+    (Epa.Propagation.affected r);
+  check (Alcotest.list Alcotest.string) "no path" []
+    (List.map fst (Epa.Propagation.path_to "tank" Epa.Propagation.Value_err r))
+
+let test_propagation_compromise_classes () =
+  let fault = Epa.Fault.make ~id:"FE" ~component:"ews" ~mode:Epa.Fault.Compromise () in
+  let r = Epa.Propagation.analyze network ~active:[ fault ] in
+  let classes = Epa.Propagation.errors_at "ews" r in
+  check Alcotest.int "compromise emits three classes" 3 (List.length classes);
+  (* sensor is upstream-only: unaffected *)
+  check (Alcotest.list Alcotest.string) "sensor clean" []
+    (List.map Epa.Propagation.error_class_to_string
+       (Epa.Propagation.errors_at "sensor" r))
+
+let test_propagation_custom_behaviour () =
+  (* a filter that stops value errors but passes omissions *)
+  let filter ~incoming ~faults:_ =
+    List.filter (fun e -> e <> Epa.Propagation.Value_err) incoming
+  in
+  let net =
+    Epa.Propagation.make_network
+      ~behaviours:[ ("filter", filter) ]
+      ~components:[ "src"; "filter"; "sink" ]
+      ~edges:[ ("src", "filter"); ("filter", "sink") ]
+      ()
+  in
+  let vf = Epa.Fault.make ~id:"V" ~component:"src" ~mode:Epa.Fault.Value_error () in
+  let om = Epa.Fault.make ~id:"O" ~component:"src" ~mode:Epa.Fault.Omission () in
+  let r = Epa.Propagation.analyze net ~active:[ vf; om ] in
+  check Alcotest.bool "value stopped" false
+    (List.mem Epa.Propagation.Value_err (Epa.Propagation.errors_at "sink" r));
+  check Alcotest.bool "omission passes" true
+    (List.mem Epa.Propagation.Omission_err (Epa.Propagation.errors_at "sink" r))
+
+let test_propagation_rejects_unknown () =
+  match
+    Epa.Propagation.make_network ~components:[ "a" ] ~edges:[ ("a", "b") ] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "edge to unknown component accepted"
+
+let prop_propagation_monotone =
+  (* adding faults never removes derived errors *)
+  let fault_gen =
+    QCheck.Gen.(
+      map2
+        (fun comp mode -> Epa.Fault.make ~id:(comp ^ "_f") ~component:comp ~mode ())
+        (oneofl [ "sensor"; "controller"; "valve"; "ews" ])
+        (oneofl
+           [
+             Epa.Fault.Omission; Epa.Fault.Value_error; Epa.Fault.Compromise;
+             Epa.Fault.Timing_error;
+           ]))
+  in
+  QCheck.Test.make ~name:"propagation: monotone in the active-fault set"
+    ~count:100
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 0 3) fault_gen) fault_gen))
+    (fun (faults, extra) ->
+      let r1 = Epa.Propagation.analyze network ~active:faults in
+      let r2 = Epa.Propagation.analyze network ~active:(extra :: faults) in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun e -> List.mem e (Epa.Propagation.errors_at c r2))
+            (Epa.Propagation.errors_at c r1))
+        [ "sensor"; "controller"; "valve"; "tank"; "ews" ])
+
+(* -------------------------------------------------------------------- *)
+(* Scenario                                                              *)
+(* -------------------------------------------------------------------- *)
+
+let test_scenario_all_combinations () =
+  let scenarios = Epa.Scenario.all_combinations catalog in
+  check Alcotest.int "2^4 subsets" 16 (List.length scenarios);
+  check (Alcotest.list Alcotest.string) "first is empty" []
+    (List.hd scenarios).Epa.Scenario.faults;
+  let bounded = Epa.Scenario.all_combinations ~max_faults:1 catalog in
+  check Alcotest.int "empty + singletons" 5 (List.length bounded)
+
+let test_scenario_effective_faults () =
+  let blocks = function "M1" | "M2" -> [ "F4" ] | _ -> [] in
+  (* without mitigation, F4 expands *)
+  let s = Epa.Scenario.make [ "F4" ] in
+  check (Alcotest.list Alcotest.string) "expands"
+    [ "F1"; "F2"; "F3"; "F4" ]
+    (Epa.Scenario.effective_faults ~catalog ~blocks s);
+  (* with mitigation, F4 is blocked entirely *)
+  let s = Epa.Scenario.make ~mitigations:[ "M1" ] [ "F4" ] in
+  check (Alcotest.list Alcotest.string) "blocked" []
+    (Epa.Scenario.effective_faults ~catalog ~blocks s);
+  (* physical faults unaffected by M1 *)
+  let s = Epa.Scenario.make ~mitigations:[ "M1" ] [ "F2"; "F3" ] in
+  check (Alcotest.list Alcotest.string) "others pass" [ "F2"; "F3" ]
+    (Epa.Scenario.effective_faults ~catalog ~blocks s)
+
+let test_scenario_blocked_induced () =
+  (* a mitigation blocking an induced fault keeps it out even when the
+     inducer activates *)
+  let blocks = function "MX" -> [ "F3" ] | _ -> [] in
+  let s = Epa.Scenario.make ~mitigations:[ "MX" ] [ "F4" ] in
+  check (Alcotest.list Alcotest.string) "F3 filtered"
+    [ "F1"; "F2"; "F4" ]
+    (Epa.Scenario.effective_faults ~catalog ~blocks s)
+
+let test_scenario_label () =
+  check Alcotest.string "label" "{F1,F2}+{M1}"
+    (Epa.Scenario.label (Epa.Scenario.make ~mitigations:[ "M1" ] [ "F2"; "F1" ]))
+
+(* -------------------------------------------------------------------- *)
+(* Dynamics + analysis on a miniature system                             *)
+(* -------------------------------------------------------------------- *)
+
+(* A buffer that overflows unless a drain compensates; the drain fails
+   under fault FD; an alarm reports overflow unless FA is active. *)
+let mini_catalog =
+  [
+    Epa.Fault.make ~id:"FD" ~component:"drain" ~mode:(Epa.Fault.Stuck_at "off") ();
+    Epa.Fault.make ~id:"FA" ~component:"alarm" ~mode:Epa.Fault.Omission ();
+    Epa.Fault.make ~id:"FC" ~component:"ctrl" ~mode:Epa.Fault.Compromise
+      ~induces:[ "FD"; "FA" ] ();
+  ]
+
+let mini_build ~faults =
+  let drain_broken = List.mem "FD" faults in
+  let alarm_broken = List.mem "FA" faults in
+  let init =
+    Qual.Qstate.of_list [ ("fill", "low"); ("alarm", "false") ]
+  in
+  let step s =
+    let fill = Qual.Qstate.get "fill" s in
+    let fill' =
+      match fill with
+      | "low" -> "high"
+      | "high" -> if drain_broken then "overflow" else "low"
+      | other -> other (* overflow absorbs *)
+    in
+    let alarm' =
+      if fill' = "overflow" && not alarm_broken then "true"
+      else Qual.Qstate.get "alarm" s
+    in
+    Qual.Qstate.of_list [ ("fill", fill'); ("alarm", alarm') ]
+  in
+  Epa.Dynamics.to_ts (Epa.Dynamics.make ~init ~step)
+
+let mini_requirements =
+  [
+    Epa.Requirement.make ~id:"R1" ~description:"no overflow"
+      ~formula:"G !fill=overflow";
+    Epa.Requirement.make ~id:"R2" ~description:"overflow is alarmed"
+      ~formula:"G (fill=overflow -> F alarm)";
+  ]
+
+let mini_system =
+  {
+    Epa.Analysis.catalog = mini_catalog;
+    blocks = (function "M" -> [ "FC" ] | _ -> []);
+    build = mini_build;
+    requirements = mini_requirements;
+  }
+
+let test_dynamics_run () =
+  let d =
+    Epa.Dynamics.make
+      ~init:(Qual.Qstate.of_list [ ("fill", "low"); ("alarm", "false") ])
+      ~step:(fun s ->
+        Qual.Qstate.set "fill"
+          (match Qual.Qstate.get "fill" s with "low" -> "high" | _ -> "low")
+          s)
+  in
+  let tr = Epa.Dynamics.run d in
+  check Alcotest.bool "at least 3 states" true (Ltl.Trace.length tr >= 3)
+
+let test_analysis_fault_free_is_safe () =
+  let row = Epa.Analysis.run_scenario mini_system (Epa.Scenario.make []) in
+  check (Alcotest.list Alcotest.string) "no violations" []
+    (Epa.Analysis.violations row)
+
+let test_analysis_drain_fault_overflows () =
+  let row = Epa.Analysis.run_scenario mini_system (Epa.Scenario.make [ "FD" ]) in
+  check (Alcotest.list Alcotest.string) "R1 only" [ "R1" ]
+    (Epa.Analysis.violations row)
+
+let test_analysis_double_fault_loses_alarm () =
+  let row =
+    Epa.Analysis.run_scenario mini_system (Epa.Scenario.make [ "FD"; "FA" ])
+  in
+  check (Alcotest.list Alcotest.string) "both violated" [ "R1"; "R2" ]
+    (Epa.Analysis.violations row)
+
+let test_analysis_compromise_induces_all () =
+  let row = Epa.Analysis.run_scenario mini_system (Epa.Scenario.make [ "FC" ]) in
+  check (Alcotest.list Alcotest.string) "induced" [ "FA"; "FC"; "FD" ]
+    row.Epa.Analysis.effective;
+  check (Alcotest.list Alcotest.string) "both violated" [ "R1"; "R2" ]
+    (Epa.Analysis.violations row)
+
+let test_analysis_mitigation_blocks_compromise () =
+  let row =
+    Epa.Analysis.run_scenario mini_system
+      (Epa.Scenario.make ~mitigations:[ "M" ] [ "FC" ])
+  in
+  check (Alcotest.list Alcotest.string) "nothing effective" []
+    row.Epa.Analysis.effective;
+  check (Alcotest.list Alcotest.string) "safe" []
+    (Epa.Analysis.violations row)
+
+let test_analysis_exhaustive_sweep () =
+  let rows = Epa.Analysis.run mini_system in
+  check Alcotest.int "2^3 scenarios" 8 (List.length rows);
+  let hazardous = Epa.Analysis.hazardous rows in
+  (* FD alone, FD+FA, FC alone, FC+FD, FC+FA, FC+FD+FA, FD... let's just
+     check the count: scenarios containing FD or FC are hazardous = 6 *)
+  check Alcotest.int "hazardous count" 6 (List.length hazardous)
+
+let test_analysis_most_severe_ordering () =
+  let rows = Epa.Analysis.run mini_system in
+  match Epa.Analysis.most_severe rows with
+  | first :: _ ->
+      (* double violation with fewest faults: FC alone (1 activation) *)
+      check (Alcotest.list Alcotest.string) "FC is ranked most severe"
+        [ "FC" ] first.Epa.Analysis.scenario.Epa.Scenario.faults;
+      check Alcotest.int "both requirements" 2
+        (List.length (Epa.Analysis.violations first))
+  | [] -> fail "expected hazardous rows"
+
+let test_requirement_bad_formula () =
+  match
+    Epa.Requirement.make ~id:"R" ~description:"broken" ~formula:"G ("
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "bad formula accepted"
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "epa.fault",
+      [
+        Alcotest.test_case "close induced" `Quick test_fault_close_induced;
+        Alcotest.test_case "transitive" `Quick test_fault_close_induced_transitive;
+        Alcotest.test_case "cyclic" `Quick test_fault_close_induced_cyclic;
+        Alcotest.test_case "mode strings" `Quick test_fault_mode_strings;
+      ] );
+    ( "epa.propagation",
+      [
+        Alcotest.test_case "reaches tank" `Quick test_propagation_reaches_tank;
+        Alcotest.test_case "provenance path" `Quick test_propagation_path;
+        Alcotest.test_case "no faults" `Quick test_propagation_no_faults;
+        Alcotest.test_case "compromise classes" `Quick
+          test_propagation_compromise_classes;
+        Alcotest.test_case "custom behaviour" `Quick
+          test_propagation_custom_behaviour;
+        Alcotest.test_case "rejects unknown endpoints" `Quick
+          test_propagation_rejects_unknown;
+        qcheck prop_propagation_monotone;
+      ] );
+    ( "epa.scenario",
+      [
+        Alcotest.test_case "all combinations" `Quick
+          test_scenario_all_combinations;
+        Alcotest.test_case "effective faults" `Quick
+          test_scenario_effective_faults;
+        Alcotest.test_case "blocked induced" `Quick test_scenario_blocked_induced;
+        Alcotest.test_case "label" `Quick test_scenario_label;
+      ] );
+    ( "epa.analysis",
+      [
+        Alcotest.test_case "dynamics run" `Quick test_dynamics_run;
+        Alcotest.test_case "fault-free safe" `Quick
+          test_analysis_fault_free_is_safe;
+        Alcotest.test_case "drain fault overflows" `Quick
+          test_analysis_drain_fault_overflows;
+        Alcotest.test_case "double fault loses alarm" `Quick
+          test_analysis_double_fault_loses_alarm;
+        Alcotest.test_case "compromise induces all" `Quick
+          test_analysis_compromise_induces_all;
+        Alcotest.test_case "mitigation blocks compromise" `Quick
+          test_analysis_mitigation_blocks_compromise;
+        Alcotest.test_case "exhaustive sweep" `Quick
+          test_analysis_exhaustive_sweep;
+        Alcotest.test_case "severity ordering" `Quick
+          test_analysis_most_severe_ordering;
+        Alcotest.test_case "bad formula rejected" `Quick
+          test_requirement_bad_formula;
+      ] );
+  ]

@@ -1,0 +1,274 @@
+(* Tests for the FTA baseline (lib/fta). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let cuts = Alcotest.list (Alcotest.list Alcotest.string)
+
+(* -------------------------------------------------------------------- *)
+(* Tree                                                                  *)
+(* -------------------------------------------------------------------- *)
+
+let sample =
+  Fta.Tree.Or
+    [
+      Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ];
+      Fta.Tree.Basic "c";
+    ]
+
+let test_tree_eval () =
+  let v events e = List.mem e events in
+  check Alcotest.bool "a alone insufficient" false
+    (Fta.Tree.eval (v [ "a" ]) sample);
+  check Alcotest.bool "a and b fire" true (Fta.Tree.eval (v [ "a"; "b" ]) sample);
+  check Alcotest.bool "c alone fires" true (Fta.Tree.eval (v [ "c" ]) sample)
+
+let test_tree_k_of_n () =
+  let t =
+    Fta.Tree.K_of_n (2, [ Fta.Tree.Basic "x"; Fta.Tree.Basic "y"; Fta.Tree.Basic "z" ])
+  in
+  let v events e = List.mem e events in
+  check Alcotest.bool "one of three" false (Fta.Tree.eval (v [ "x" ]) t);
+  check Alcotest.bool "two of three" true (Fta.Tree.eval (v [ "x"; "z" ]) t)
+
+let test_tree_metrics () =
+  check Alcotest.int "size" 5 (Fta.Tree.size sample);
+  check Alcotest.int "depth" 3 (Fta.Tree.depth sample);
+  check (Alcotest.list Alcotest.string) "basic events" [ "a"; "b"; "c" ]
+    (Fta.Tree.basic_events sample)
+
+(* -------------------------------------------------------------------- *)
+(* Cut sets                                                              *)
+(* -------------------------------------------------------------------- *)
+
+let test_cutsets_simple () =
+  check cuts "or-and" [ [ "c" ]; [ "a"; "b" ] ] (Fta.Cutset.minimal_cut_sets sample)
+
+let test_cutsets_absorption () =
+  (* (a & b & c) | (a & b) -> only (a & b) is minimal *)
+  let t =
+    Fta.Tree.Or
+      [
+        Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b"; Fta.Tree.Basic "c" ];
+        Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ];
+      ]
+  in
+  check cuts "absorbed" [ [ "a"; "b" ] ] (Fta.Cutset.minimal_cut_sets t)
+
+let test_cutsets_k_of_n () =
+  let t =
+    Fta.Tree.K_of_n (2, [ Fta.Tree.Basic "x"; Fta.Tree.Basic "y"; Fta.Tree.Basic "z" ])
+  in
+  check cuts "pairs"
+    [ [ "x"; "y" ]; [ "x"; "z" ]; [ "y"; "z" ] ]
+    (Fta.Cutset.minimal_cut_sets t)
+
+let test_cutsets_shared_event () =
+  (* shared event across branches: (a&b)|(a&c), minimal: {a,b},{a,c} *)
+  let t =
+    Fta.Tree.And
+      [
+        Fta.Tree.Basic "a";
+        Fta.Tree.Or [ Fta.Tree.Basic "b"; Fta.Tree.Basic "c" ];
+      ]
+  in
+  check cuts "distributed" [ [ "a"; "b" ]; [ "a"; "c" ] ]
+    (Fta.Cutset.minimal_cut_sets t)
+
+let test_cutsets_metrics () =
+  check Alcotest.int "order" 1
+    (Fta.Cutset.order (Fta.Cutset.minimal_cut_sets sample));
+  check (Alcotest.list Alcotest.string) "spof" [ "c" ]
+    (Fta.Cutset.single_points_of_failure sample);
+  check Alcotest.int "empty order" max_int (Fta.Cutset.order [])
+
+let prop_cutsets_are_cutsets =
+  (* every reported minimal cut set actually triggers the top event, and
+     removing any element stops it (minimality) *)
+  let tree_gen =
+    let open QCheck.Gen in
+    let basic = map (fun c -> Fta.Tree.Basic (String.make 1 c)) (char_range 'a' 'f') in
+    fix
+      (fun self depth ->
+        if depth = 0 then basic
+        else
+          frequency
+            [
+              (3, basic);
+              (2, map (fun ts -> Fta.Tree.And ts) (list_size (int_range 1 3) (self (depth - 1))));
+              (2, map (fun ts -> Fta.Tree.Or ts) (list_size (int_range 1 3) (self (depth - 1))));
+            ])
+      3
+  in
+  QCheck.Test.make ~name:"fta: minimal cut sets trigger and are minimal"
+    ~count:200
+    (QCheck.make ~print:Fta.Tree.to_string tree_gen)
+    (fun t ->
+      let mcs = Fta.Cutset.minimal_cut_sets t in
+      List.for_all
+        (fun cut ->
+          Fta.Cutset.is_cut_set t cut
+          && List.for_all
+               (fun e ->
+                 not (Fta.Cutset.is_cut_set t (List.filter (fun x -> x <> e) cut)))
+               cut)
+        mcs)
+
+let prop_cutsets_complete =
+  (* any satisfying assignment contains some minimal cut set *)
+  let tree_gen =
+    let open QCheck.Gen in
+    let basic = map (fun c -> Fta.Tree.Basic (String.make 1 c)) (char_range 'a' 'e') in
+    fix
+      (fun self depth ->
+        if depth = 0 then basic
+        else
+          frequency
+            [
+              (2, basic);
+              (2, map (fun ts -> Fta.Tree.And ts) (list_size (int_range 1 3) (self (depth - 1))));
+              (2, map (fun ts -> Fta.Tree.Or ts) (list_size (int_range 1 3) (self (depth - 1))));
+            ])
+      3
+  in
+  QCheck.Test.make ~name:"fta: cut sets cover every satisfying assignment"
+    ~count:100
+    (QCheck.make ~print:Fta.Tree.to_string tree_gen)
+    (fun t ->
+      let events = Fta.Tree.basic_events t in
+      let mcs = Fta.Cutset.minimal_cut_sets t in
+      (* enumerate all assignments (≤ 2^5) *)
+      let rec assignments = function
+        | [] -> [ [] ]
+        | e :: rest ->
+            let sub = assignments rest in
+            sub @ List.map (fun s -> e :: s) sub
+      in
+      List.for_all
+        (fun on ->
+          let fires = Fta.Tree.eval (fun e -> List.mem e on) t in
+          let covered =
+            List.exists (fun cut -> List.for_all (fun e -> List.mem e on) cut) mcs
+          in
+          fires = covered)
+        (assignments events))
+
+(* -------------------------------------------------------------------- *)
+(* From EPA                                                              *)
+(* -------------------------------------------------------------------- *)
+
+(* reuse the miniature system of test_epa: drain fault FD -> overflow,
+   alarm fault FA; FC induces both *)
+let mini_catalog =
+  [
+    Epa.Fault.make ~id:"FD" ~component:"drain" ~mode:(Epa.Fault.Stuck_at "off") ();
+    Epa.Fault.make ~id:"FA" ~component:"alarm" ~mode:Epa.Fault.Omission ();
+    Epa.Fault.make ~id:"FC" ~component:"ctrl" ~mode:Epa.Fault.Compromise
+      ~induces:[ "FD"; "FA" ] ();
+  ]
+
+let mini_build ~faults =
+  let drain_broken = List.mem "FD" faults in
+  let alarm_broken = List.mem "FA" faults in
+  let init = Qual.Qstate.of_list [ ("fill", "low"); ("alarm", "false") ] in
+  let step s =
+    let fill = Qual.Qstate.get "fill" s in
+    let fill' =
+      match fill with
+      | "low" -> "high"
+      | "high" -> if drain_broken then "overflow" else "low"
+      | other -> other
+    in
+    let alarm' =
+      if fill' = "overflow" && not alarm_broken then "true"
+      else Qual.Qstate.get "alarm" s
+    in
+    Qual.Qstate.of_list [ ("fill", fill'); ("alarm", alarm') ]
+  in
+  Epa.Dynamics.to_ts (Epa.Dynamics.make ~init ~step)
+
+let mini_system =
+  {
+    Epa.Analysis.catalog = mini_catalog;
+    blocks = (fun _ -> []);
+    build = mini_build;
+    requirements =
+      [
+        Epa.Requirement.make ~id:"R1" ~description:"no overflow"
+          ~formula:"G !fill=overflow";
+        Epa.Requirement.make ~id:"R2" ~description:"overflow alarmed"
+          ~formula:"G (fill=overflow -> F alarm)";
+      ];
+  }
+
+let test_from_epa_exact_tree () =
+  let rows = Epa.Analysis.run mini_system in
+  let t = Fta.From_epa.of_analysis ~requirement:"R1" rows in
+  (* R1 violated iff FD or FC active: minimal cut sets {FC}, {FD} *)
+  check cuts "R1 cut sets" [ [ "FC" ]; [ "FD" ] ] (Fta.Cutset.minimal_cut_sets t);
+  let t2 = Fta.From_epa.of_analysis ~requirement:"R2" rows in
+  (* R2 needs overflow AND no alarm: {FC} or {FA,FD} *)
+  check cuts "R2 cut sets" [ [ "FC" ]; [ "FA"; "FD" ] ]
+    (Fta.Cutset.minimal_cut_sets t2)
+
+let test_from_epa_no_violation () =
+  let safe_system = { mini_system with Epa.Analysis.catalog = [] } in
+  let rows = Epa.Analysis.run safe_system in
+  let t = Fta.From_epa.of_analysis ~requirement:"R1" rows in
+  check cuts "no cut sets" [] (Fta.Cutset.minimal_cut_sets t)
+
+let test_structural_overapproximates () =
+  (* naive structural tree: every fault whose component reaches the tank is
+     flagged — including the alarm-only fault FA that EPA proves harmless
+     for R1 *)
+  let topology =
+    Epa.Propagation.make_network
+      ~components:[ "ctrl"; "drain"; "alarm"; "tank" ]
+      ~edges:[ ("ctrl", "drain"); ("drain", "tank"); ("alarm", "tank") ]
+      ()
+  in
+  let structural =
+    Fta.From_epa.structural ~topology ~asset:"tank" ~faults:mini_catalog
+  in
+  let rows = Epa.Analysis.run mini_system in
+  let exact = Fta.From_epa.of_analysis ~requirement:"R1" rows in
+  let cmp =
+    Fta.From_epa.compare_cut_sets
+      ~exact:(Fta.Cutset.minimal_cut_sets exact)
+      ~structural:(Fta.Cutset.minimal_cut_sets structural)
+  in
+  check Alcotest.bool "structural has spurious cut sets" true
+    (cmp.Fta.From_epa.spurious <> []);
+  check cuts "FA is the spurious one" [ [ "FA" ] ] cmp.Fta.From_epa.spurious;
+  check Alcotest.bool "but misses nothing (over-approximation)" true
+    (cmp.Fta.From_epa.escaped = []);
+  check Alcotest.bool "not agreeing" false (Fta.From_epa.agree cmp)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "fta.tree",
+      [
+        Alcotest.test_case "eval" `Quick test_tree_eval;
+        Alcotest.test_case "k of n" `Quick test_tree_k_of_n;
+        Alcotest.test_case "metrics" `Quick test_tree_metrics;
+      ] );
+    ( "fta.cutset",
+      [
+        Alcotest.test_case "simple" `Quick test_cutsets_simple;
+        Alcotest.test_case "absorption" `Quick test_cutsets_absorption;
+        Alcotest.test_case "k of n" `Quick test_cutsets_k_of_n;
+        Alcotest.test_case "shared event" `Quick test_cutsets_shared_event;
+        Alcotest.test_case "metrics" `Quick test_cutsets_metrics;
+        qcheck prop_cutsets_are_cutsets;
+        qcheck prop_cutsets_complete;
+      ] );
+    ( "fta.from_epa",
+      [
+        Alcotest.test_case "exact tree from sweep" `Quick test_from_epa_exact_tree;
+        Alcotest.test_case "no violation" `Quick test_from_epa_no_violation;
+        Alcotest.test_case "structural over-approximates" `Quick
+          test_structural_overapproximates;
+      ] );
+  ]

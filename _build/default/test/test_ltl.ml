@@ -1,0 +1,306 @@
+(* Tests for the LTLf layer (lib/ltl). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let formula_testable = Alcotest.testable Ltl.Formula.pp Ltl.Formula.equal
+
+let st bindings = Qual.Qstate.of_list bindings
+
+let trace_of_levels levels =
+  Ltl.Trace.of_list (List.map (fun l -> st [ ("level", l) ]) levels)
+
+let parse = Ltl.Parser.parse
+let eval tr f = Ltl.Trace.eval tr (parse f)
+
+(* -------------------------------------------------------------------- *)
+(* Parser                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_parser_precedence () =
+  check formula_testable "and binds tighter than or"
+    Ltl.Formula.(Or (Atom "a", And (Atom "b", Atom "c")))
+    (parse "a | b & c");
+  check formula_testable "implies right assoc"
+    Ltl.Formula.(Implies (Atom "a", Implies (Atom "b", Atom "c")))
+    (parse "a -> b -> c");
+  check formula_testable "until lowest"
+    Ltl.Formula.(Until (Atom "a", Or (Atom "b", Atom "c")))
+    (parse "a U b | c");
+  check formula_testable "unary chain"
+    Ltl.Formula.(Always (Not (Atom "a")))
+    (parse "G ! a")
+
+let test_parser_atoms_with_equals () =
+  check formula_testable "embedded equals"
+    Ltl.Formula.(Always (Not (Atom "level=overflow")))
+    (parse "G !level=overflow")
+
+let test_parser_roundtrip () =
+  let formulas =
+    [
+      "G !level=overflow";
+      "G (level=overflow -> F alert)";
+      "a U (b R c)";
+      "X a & WX b";
+      "F (a & !b) -> G c";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let f = parse src in
+      let f' = parse (Ltl.Formula.to_string f) in
+      check formula_testable ("roundtrip " ^ src) f f')
+    formulas
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match parse src with
+      | exception Ltl.Parser.Error _ -> ()
+      | _ -> fail (Printf.sprintf "accepted malformed %S" src))
+    [ "a &"; "(a"; "a Q b"; "" ]
+
+(* -------------------------------------------------------------------- *)
+(* Finite-trace semantics                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_eval_basic () =
+  let tr = trace_of_levels [ "normal"; "high"; "overflow" ] in
+  check Alcotest.bool "atom at start" true (eval tr "level=normal");
+  check Alcotest.bool "not high at start" false (eval tr "level=high");
+  check Alcotest.bool "next" true (eval tr "X level=high");
+  check Alcotest.bool "eventually" true (eval tr "F level=overflow");
+  check Alcotest.bool "always fails" false (eval tr "G level=normal");
+  check Alcotest.bool "negation" true (eval tr "!level=high")
+
+let test_eval_next_at_end () =
+  let tr = trace_of_levels [ "normal" ] in
+  check Alcotest.bool "strong next false at last" false (eval tr "X true");
+  check Alcotest.bool "weak next true at last" true (eval tr "WX false")
+
+let test_eval_until () =
+  let tr = trace_of_levels [ "low"; "low"; "normal"; "high" ] in
+  check Alcotest.bool "low until normal" true (eval tr "level=low U level=normal");
+  check Alcotest.bool "until needs witness" false
+    (eval tr "level=low U level=overflow");
+  (* release: b must hold up to and including the release point *)
+  let tr2 = trace_of_levels [ "safe"; "safe"; "done" ] in
+  ignore tr2;
+  check Alcotest.bool "release holds forever" true
+    (eval (trace_of_levels [ "low"; "low" ]) "false R level=low")
+
+let test_eval_requirements_of_paper () =
+  (* R1: G !overflow; R2: G (overflow -> F alert) *)
+  let mk level alert = st [ ("level", level); ("alert", alert) ] in
+  let violating =
+    Ltl.Trace.of_list
+      [ mk "normal" "false"; mk "overflow" "false"; mk "overflow" "false" ]
+  in
+  let alerted =
+    Ltl.Trace.of_list
+      [ mk "normal" "false"; mk "overflow" "false"; mk "overflow" "true" ]
+  in
+  let r1 = "G !level=overflow" and r2 = "G (level=overflow -> F alert)" in
+  check Alcotest.bool "R1 violated" false (Ltl.Trace.eval violating (parse r1));
+  check Alcotest.bool "R2 violated without alert" false
+    (Ltl.Trace.eval violating (parse r2));
+  check Alcotest.bool "R2 holds with alert" true
+    (Ltl.Trace.eval alerted (parse r2));
+  check Alcotest.bool "R1 still violated with alert" false
+    (Ltl.Trace.eval alerted (parse r1))
+
+let test_nnf_preserves_semantics () =
+  let tr = trace_of_levels [ "low"; "normal"; "high"; "high" ] in
+  let formulas =
+    [
+      "!(level=low U level=high)";
+      "!G (level=low -> F level=high)";
+      "!(X level=normal & F level=high)";
+      "!WX level=normal";
+      "!(a R level=normal)";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let f = parse src in
+      check Alcotest.bool ("nnf " ^ src)
+        (Ltl.Trace.eval tr f)
+        (Ltl.Trace.eval tr (Ltl.Formula.nnf f)))
+    formulas
+
+(* -------------------------------------------------------------------- *)
+(* Progression agrees with direct evaluation                             *)
+(* -------------------------------------------------------------------- *)
+
+let formula_gen =
+  let open QCheck.Gen in
+  let atom = oneofl [ "level=low"; "level=normal"; "level=high"; "alert" ] in
+  fix
+    (fun self depth ->
+      if depth <= 0 then map Ltl.Formula.atom atom
+      else
+        let sub = self (depth - 1) in
+        frequency
+          [
+            (2, map Ltl.Formula.atom atom);
+            (1, return Ltl.Formula.True);
+            (1, return Ltl.Formula.False);
+            (2, map Ltl.Formula.not_ sub);
+            (2, map2 (fun a b -> Ltl.Formula.And (a, b)) sub sub);
+            (2, map2 (fun a b -> Ltl.Formula.Or (a, b)) sub sub);
+            (1, map2 Ltl.Formula.implies sub sub);
+            (2, map Ltl.Formula.next sub);
+            (1, map Ltl.Formula.wnext sub);
+            (2, map Ltl.Formula.eventually sub);
+            (2, map Ltl.Formula.always sub);
+            (1, map2 Ltl.Formula.until sub sub);
+            (1, map2 Ltl.Formula.release sub sub);
+          ])
+    3
+
+let trace_gen =
+  let open QCheck.Gen in
+  let state =
+    map2
+      (fun level alert ->
+        st [ ("level", level); ("alert", string_of_bool alert) ])
+      (oneofl [ "low"; "normal"; "high" ])
+      bool
+  in
+  map Ltl.Trace.of_list (list_size (int_range 1 6) state)
+
+let prop_progression_agrees =
+  QCheck.Test.make ~name:"ltl: progression verdict = direct evaluation"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (f, tr) ->
+         Ltl.Formula.to_string f ^ " on trace of length "
+         ^ string_of_int (Ltl.Trace.length tr))
+       (QCheck.Gen.pair formula_gen trace_gen))
+    (fun (f, tr) ->
+      let n = Ltl.Trace.length tr in
+      let rec drive f i =
+        let is_last = i = n - 1 in
+        let f' = Ltl.Trace.progress (Ltl.Trace.state tr i) ~is_last f in
+        if is_last then f'
+        else
+          match f' with
+          | Ltl.Formula.True | Ltl.Formula.False -> f'
+          | _ -> drive f' (i + 1)
+      in
+      let verdict =
+        match drive f 0 with
+        | Ltl.Formula.True -> true
+        | Ltl.Formula.False -> false
+        | other ->
+            QCheck.Test.fail_reportf "non-verdict %s"
+              (Ltl.Formula.to_string other)
+      in
+      verdict = Ltl.Trace.eval tr f)
+
+let prop_nnf_agrees =
+  QCheck.Test.make ~name:"ltl: nnf preserves finite-trace semantics" ~count:500
+    (QCheck.make
+       ~print:(fun (f, _) -> Ltl.Formula.to_string f)
+       (QCheck.Gen.pair formula_gen trace_gen))
+    (fun (f, tr) -> Ltl.Trace.eval tr f = Ltl.Trace.eval tr (Ltl.Formula.nnf f))
+
+(* -------------------------------------------------------------------- *)
+(* Transition systems                                                    *)
+(* -------------------------------------------------------------------- *)
+
+(* A tiny tank: level rises until high, then controller drains it back. *)
+let tank_ts =
+  let next s =
+    match Qual.Qstate.get "level" s with
+    | "low" -> [ Qual.Qstate.set "level" "normal" s ]
+    | "normal" -> [ Qual.Qstate.set "level" "high" s ]
+    | "high" -> [ Qual.Qstate.set "level" "normal" s ]
+    | _ -> []
+  in
+  Ltl.Ts.make ~init:[ st [ ("level", "low") ] ] ~next
+
+let test_ts_run_cycle_detection () =
+  let tr = Ltl.Ts.run tank_ts (st [ ("level", "low") ]) in
+  (* low normal high normal: stops when "normal" repeats *)
+  check Alcotest.int "trace length" 4 (Ltl.Trace.length tr)
+
+let test_ts_check_holds () =
+  match Ltl.Ts.check tank_ts (parse "G !level=overflow") with
+  | Ltl.Ts.Holds -> ()
+  | Ltl.Ts.Counterexample _ -> fail "expected the property to hold"
+
+let test_ts_check_counterexample () =
+  match Ltl.Ts.check tank_ts (parse "G level=low") with
+  | Ltl.Ts.Counterexample tr ->
+      check Alcotest.bool "cex has at least 2 states" true
+        (Ltl.Trace.length tr >= 2)
+  | Ltl.Ts.Holds -> fail "expected a counterexample"
+
+let test_ts_nondeterministic_traces () =
+  (* branching system: from start, go to a or b; both terminal *)
+  let next s =
+    match Qual.Qstate.get "v" s with
+    | "start" -> [ st [ ("v", "a") ]; st [ ("v", "b") ] ]
+    | _ -> []
+  in
+  let ts = Ltl.Ts.make ~init:[ st [ ("v", "start") ] ] ~next in
+  check Alcotest.int "two traces" 2 (List.length (Ltl.Ts.traces ts));
+  (* F v=a holds only on one branch: universal check must fail *)
+  match Ltl.Ts.check ts (parse "F v=a") with
+  | Ltl.Ts.Counterexample _ -> ()
+  | Ltl.Ts.Holds -> fail "expected failure on the b-branch"
+
+let test_ts_reachable () =
+  let states = Ltl.Ts.reachable tank_ts in
+  check Alcotest.int "three reachable" 3 (List.length states)
+
+let test_ts_horizon () =
+  (* unbounded counter: horizon must cut exploration *)
+  let next s =
+    let n = int_of_string (Qual.Qstate.get "n" s) in
+    [ st [ ("n", string_of_int (n + 1)) ] ]
+  in
+  let ts = Ltl.Ts.make ~init:[ st [ ("n", "0") ] ] ~next in
+  let tr = Ltl.Ts.run ~horizon:10 ts (st [ ("n", "0") ]) in
+  check Alcotest.int "horizon cut" 11 (Ltl.Trace.length tr);
+  check Alcotest.int "reachable bounded" 11
+    (List.length (Ltl.Ts.reachable ~horizon:10 ts))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "ltl.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "atoms with equals" `Quick
+          test_parser_atoms_with_equals;
+        Alcotest.test_case "roundtrip" `Quick test_parser_roundtrip;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "ltl.semantics",
+      [
+        Alcotest.test_case "basic" `Quick test_eval_basic;
+        Alcotest.test_case "next at end" `Quick test_eval_next_at_end;
+        Alcotest.test_case "until/release" `Quick test_eval_until;
+        Alcotest.test_case "paper requirements" `Quick
+          test_eval_requirements_of_paper;
+        Alcotest.test_case "nnf cases" `Quick test_nnf_preserves_semantics;
+        qcheck prop_progression_agrees;
+        qcheck prop_nnf_agrees;
+      ] );
+    ( "ltl.ts",
+      [
+        Alcotest.test_case "run cycle detection" `Quick
+          test_ts_run_cycle_detection;
+        Alcotest.test_case "check holds" `Quick test_ts_check_holds;
+        Alcotest.test_case "check counterexample" `Quick
+          test_ts_check_counterexample;
+        Alcotest.test_case "nondeterministic traces" `Quick
+          test_ts_nondeterministic_traces;
+        Alcotest.test_case "reachable" `Quick test_ts_reachable;
+        Alcotest.test_case "horizon" `Quick test_ts_horizon;
+      ] );
+  ]

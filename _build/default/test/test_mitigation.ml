@@ -1,0 +1,210 @@
+(* Tests for mitigation selection and cost-benefit optimization
+   (lib/mitigation), cross-checked against brute force. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let m1 = Mitigation.Action.make ~id:"M1" ~name:"User Training" ~cost:2 ~blocks:[ "F4" ]
+let m2 = Mitigation.Action.make ~id:"M2" ~name:"Endpoint Security" ~cost:5 ~blocks:[ "F4" ]
+let m3 = Mitigation.Action.make ~id:"M3" ~name:"Redundant Valve" ~cost:8 ~blocks:[ "F2" ]
+let m4 = Mitigation.Action.make ~id:"M4" ~name:"Alert Channel" ~cost:3 ~blocks:[ "F3" ]
+
+let actions = [ m1; m2; m3; m4 ]
+
+(* Residual loss model: start at 100; each unblocked hazard costs. F4 is
+   blocked by M1 or M2; F2 by M3; F3 by M4. *)
+let residual ~active =
+  let blocked f =
+    List.exists
+      (fun id ->
+        match Mitigation.Action.find id actions with
+        | Some a -> List.mem f a.Mitigation.Action.blocks
+        | None -> false)
+      active
+  in
+  (if blocked "F4" then 0 else 60)
+  + (if blocked "F2" then 0 else 30)
+  + if blocked "F3" then 0 else 10
+
+let problem = { Mitigation.Optimizer.actions; residual }
+
+(* -------------------------------------------------------------------- *)
+(* Action                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_action_basics () =
+  check Alcotest.int "total cost" 7
+    (Mitigation.Action.total_cost actions [ "M1"; "M2" ]);
+  check (Alcotest.list Alcotest.string) "blocks relation" [ "F4" ]
+    (Mitigation.Action.blocks_relation actions "M1");
+  check (Alcotest.list Alcotest.string) "unknown id" []
+    (Mitigation.Action.blocks_relation actions "MX");
+  match Mitigation.Action.make ~id:"X" ~name:"X" ~cost:(-1) ~blocks:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "negative cost accepted"
+
+(* -------------------------------------------------------------------- *)
+(* Optimizer                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_optimal_unbounded () =
+  let s = Mitigation.Optimizer.optimal problem in
+  (* blocking everything costs M1(2)+M3(8)+M4(3)=13 (M1 cheaper than M2) *)
+  check (Alcotest.list Alcotest.string) "selection" [ "M1"; "M3"; "M4" ]
+    s.Mitigation.Optimizer.selected;
+  check Alcotest.int "cost" 13 s.Mitigation.Optimizer.cost;
+  check Alcotest.int "residual" 0 s.Mitigation.Optimizer.residual
+
+let test_optimal_budgeted () =
+  (* budget 5: M1 (block F4, -60) + M4 (block F3, -10) = cost 5 *)
+  let s = Mitigation.Optimizer.optimal ~budget:5 problem in
+  check (Alcotest.list Alcotest.string) "selection" [ "M1"; "M4" ]
+    s.Mitigation.Optimizer.selected;
+  check Alcotest.int "residual" 30 s.Mitigation.Optimizer.residual;
+  (* budget 2: only M1 fits *)
+  let s = Mitigation.Optimizer.optimal ~budget:2 problem in
+  check (Alcotest.list Alcotest.string) "tight budget" [ "M1" ]
+    s.Mitigation.Optimizer.selected
+
+let test_optimal_zero_budget () =
+  let s = Mitigation.Optimizer.optimal ~budget:0 problem in
+  check (Alcotest.list Alcotest.string) "nothing affordable" []
+    s.Mitigation.Optimizer.selected;
+  check Alcotest.int "full residual" 100 s.Mitigation.Optimizer.residual
+
+let test_benefit () =
+  let s = Mitigation.Optimizer.optimal ~budget:5 problem in
+  check Alcotest.int "benefit" 70 (Mitigation.Optimizer.benefit problem s)
+
+let test_pareto_front () =
+  let front = Mitigation.Optimizer.pareto problem in
+  (* front must be sorted by cost with strictly decreasing residual *)
+  let rec strictly_improving = function
+    | a :: (b :: _ as rest) ->
+        a.Mitigation.Optimizer.cost < b.Mitigation.Optimizer.cost
+        && a.Mitigation.Optimizer.residual > b.Mitigation.Optimizer.residual
+        && strictly_improving rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "front shape" true (strictly_improving front);
+  (* endpoints: empty selection and the full-protection optimum *)
+  check Alcotest.int "starts at zero cost" 0
+    (List.hd front).Mitigation.Optimizer.cost;
+  check Alcotest.int "ends at zero residual" 0
+    (List.nth front (List.length front - 1)).Mitigation.Optimizer.residual
+
+let test_budget_sweep_crossovers () =
+  let sweep =
+    Mitigation.Optimizer.budget_sweep problem
+      ~budgets:[ 0; 1; 2; 5; 10; 13; 20 ]
+  in
+  let residual_at b = (List.assoc b sweep).Mitigation.Optimizer.residual in
+  check Alcotest.int "b=0" 100 (residual_at 0);
+  check Alcotest.int "b=1 still nothing" 100 (residual_at 1);
+  check Alcotest.int "b=2 unlocks M1" 40 (residual_at 2);
+  check Alcotest.int "b=5 adds M4" 30 (residual_at 5);
+  check Alcotest.int "b=10 M1+M3" 10 (residual_at 10);
+  check Alcotest.int "b=13 everything" 0 (residual_at 13);
+  check Alcotest.int "b=20 no better than 13" 0 (residual_at 20);
+  (* monotone decreasing residual in budget *)
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        a.Mitigation.Optimizer.residual >= b.Mitigation.Optimizer.residual
+        && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "monotone" true (monotone sweep)
+
+let test_multi_phase () =
+  (* §IV.D: "if a company has a limited budget let's first deal with the
+     most potential and severe risk and later focus on the other ones" *)
+  let phases = Mitigation.Optimizer.multi_phase problem ~phase_budgets:[ 2; 3; 8 ] in
+  match phases with
+  | [ p1; p2; p3 ] ->
+      check (Alcotest.list Alcotest.string) "phase 1: biggest risk first"
+        [ "M1" ] p1.Mitigation.Optimizer.selected;
+      check (Alcotest.list Alcotest.string) "phase 2 adds alert channel"
+        [ "M1"; "M4" ] p2.Mitigation.Optimizer.selected;
+      check (Alcotest.list Alcotest.string) "phase 3 completes"
+        [ "M1"; "M3"; "M4" ] p3.Mitigation.Optimizer.selected;
+      check Alcotest.int "final residual" 0 p3.Mitigation.Optimizer.residual
+  | _ -> fail "expected three phases"
+
+let test_multi_phase_never_worse () =
+  let phases = Mitigation.Optimizer.multi_phase problem ~phase_budgets:[ 1; 1; 1 ] in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) ->
+        a.Mitigation.Optimizer.residual >= b.Mitigation.Optimizer.residual
+        && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "residual never grows" true (non_increasing phases)
+
+(* brute-force cross-check on random problems *)
+let prop_optimal_matches_bruteforce =
+  let gen =
+    let open QCheck.Gen in
+    let action i =
+      map2
+        (fun cost impact -> (Printf.sprintf "A%d" i, cost, impact))
+        (int_range 1 9) (int_range 0 50)
+    in
+    map2
+      (fun specs budget -> (specs, budget))
+      (flatten_l (List.init 5 action))
+      (int_range 0 25)
+  in
+  QCheck.Test.make ~name:"optimizer: exact vs brute force" ~count:100
+    (QCheck.make gen)
+    (fun (specs, budget) ->
+      let actions =
+        List.map
+          (fun (id, cost, _) ->
+            Mitigation.Action.make ~id ~name:id ~cost ~blocks:[ id ])
+          specs
+      in
+      let residual ~active =
+        List.fold_left
+          (fun acc (id, _, impact) ->
+            if List.mem id active then acc else acc + impact)
+          0 specs
+      in
+      let p = { Mitigation.Optimizer.actions; residual } in
+      let s = Mitigation.Optimizer.optimal ~budget p in
+      (* brute force over all 32 subsets *)
+      let rec subsets = function
+        | [] -> [ [] ]
+        | x :: rest ->
+            let sub = subsets rest in
+            sub @ List.map (fun s -> x :: s) sub
+      in
+      let best =
+        subsets (List.map (fun (id, _, _) -> id) specs)
+        |> List.filter (fun ids -> Mitigation.Action.total_cost actions ids <= budget)
+        |> List.map (fun ids -> residual ~active:ids)
+        |> List.fold_left min max_int
+      in
+      s.Mitigation.Optimizer.residual = best
+      && s.Mitigation.Optimizer.cost <= budget)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "mitigation.action",
+      [ Alcotest.test_case "basics" `Quick test_action_basics ] );
+    ( "mitigation.optimizer",
+      [
+        Alcotest.test_case "optimal unbounded" `Quick test_optimal_unbounded;
+        Alcotest.test_case "optimal budgeted" `Quick test_optimal_budgeted;
+        Alcotest.test_case "zero budget" `Quick test_optimal_zero_budget;
+        Alcotest.test_case "benefit" `Quick test_benefit;
+        Alcotest.test_case "pareto front" `Quick test_pareto_front;
+        Alcotest.test_case "budget sweep crossovers" `Quick
+          test_budget_sweep_crossovers;
+        Alcotest.test_case "multi-phase plan" `Quick test_multi_phase;
+        Alcotest.test_case "multi-phase monotone" `Quick
+          test_multi_phase_never_worse;
+        qcheck prop_optimal_matches_bruteforce;
+      ] );
+  ]

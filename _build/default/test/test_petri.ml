@@ -1,0 +1,171 @@
+(* Tests for the Petri-net baseline (lib/petri). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let marking_t =
+  Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)
+
+(* Producer/consumer through a 1-slot buffer. *)
+let buffer_net =
+  Petri.Net.make
+    ~places:[ "idle"; "ready"; "buffer"; "consumed" ]
+    ~transitions:[ "produce"; "consume" ]
+    ~arcs:
+      [
+        ("idle", "produce", 1);
+        ("produce", "ready", 1);
+        ("ready", "consume", 1);
+        ("buffer", "consume", 1);
+        ("consume", "consumed", 1);
+      ]
+
+let test_make_validation () =
+  (match
+     Petri.Net.make ~places:[ "p" ] ~transitions:[ "t" ]
+       ~arcs:[ ("p", "ghost", 1) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown endpoint accepted");
+  (match
+     Petri.Net.make ~places:[ "p"; "q" ] ~transitions:[ "t" ]
+       ~arcs:[ ("p", "q", 1) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "place-place arc accepted");
+  (match
+     Petri.Net.make ~places:[ "p" ] ~transitions:[ "t" ] ~arcs:[ ("p", "t", 0) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "zero weight accepted");
+  match Petri.Net.make ~places:[ "x" ] ~transitions:[ "x" ] ~arcs:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "shared name accepted"
+
+let test_enabled_and_fire () =
+  let m0 = [ ("idle", 1); ("buffer", 1) ] in
+  check (Alcotest.list Alcotest.string) "only produce" [ "produce" ]
+    (Petri.Net.enabled buffer_net m0);
+  let m1 = Petri.Net.fire buffer_net m0 "produce" in
+  check marking_t "after produce" [ ("buffer", 1); ("ready", 1) ]
+    (Petri.Net.normalize buffer_net m1);
+  let m2 = Petri.Net.fire buffer_net m1 "consume" in
+  check marking_t "after consume" [ ("consumed", 1) ]
+    (Petri.Net.normalize buffer_net m2);
+  match Petri.Net.fire buffer_net m2 "produce" with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "firing disabled transition accepted"
+
+let test_normalize () =
+  let m = Petri.Net.normalize buffer_net [ ("idle", 1); ("idle", 2); ("ready", 0) ] in
+  check marking_t "summed and pruned" [ ("idle", 3) ] m;
+  match Petri.Net.normalize buffer_net [ ("idle", -1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "negative tokens accepted"
+
+let test_reachability_graph () =
+  let g =
+    Petri.Net.reachability buffer_net ~initial:[ ("idle", 1); ("buffer", 1) ]
+  in
+  (* m0 -> m1 -> m2, linear *)
+  check Alcotest.int "three markings" 3 (List.length g.Petri.Net.markings);
+  check Alcotest.int "two edges" 2 (List.length g.Petri.Net.edges);
+  check Alcotest.bool "complete" true g.Petri.Net.complete
+
+let test_deadlocks () =
+  let dead =
+    Petri.Net.deadlocks buffer_net ~initial:[ ("idle", 1); ("buffer", 1) ]
+  in
+  check (Alcotest.list marking_t) "final marking is the deadlock"
+    [ [ ("consumed", 1) ] ]
+    dead
+
+let test_boundedness () =
+  check Alcotest.bool "buffer net is safe" true
+    (Petri.Net.bounded buffer_net ~initial:[ ("idle", 1); ("buffer", 1) ]);
+  (* an unbounded producer: t makes tokens from nothing *)
+  let unbounded =
+    Petri.Net.make ~places:[ "p" ] ~transitions:[ "t" ] ~arcs:[ ("t", "p", 1) ]
+  in
+  check Alcotest.bool "detected unbounded" false
+    (Petri.Net.bounded ~max_markings:50 unbounded ~initial:[])
+
+let test_weighted_arcs () =
+  (* t needs 2 tokens and produces 3 *)
+  let net =
+    Petri.Net.make ~places:[ "a"; "b" ] ~transitions:[ "t" ]
+      ~arcs:[ ("a", "t", 2); ("t", "b", 3) ]
+  in
+  check (Alcotest.list Alcotest.string) "not enabled with 1" []
+    (Petri.Net.enabled net [ ("a", 1) ]);
+  let m = Petri.Net.fire net [ ("a", 2) ] "t" in
+  check Alcotest.int "3 produced" 3 (Petri.Net.tokens m "b")
+
+(* an error-propagation net in the §III.A style: a fault token propagates
+   from the IT zone through the controller into the physical asset *)
+let propagation_net =
+  Petri.Net.make
+    ~places:[ "fault_it"; "fault_ctrl"; "fault_phys"; "guard" ]
+    ~transitions:[ "spread_ctrl"; "spread_phys" ]
+    ~arcs:
+      [
+        ("fault_it", "spread_ctrl", 1);
+        ("spread_ctrl", "fault_ctrl", 1);
+        ("fault_ctrl", "spread_phys", 1);
+        ("guard", "spread_phys", 1);
+        ("spread_phys", "fault_phys", 1);
+      ]
+
+let test_propagation_scenario () =
+  (* with the guard token (no mitigation) the physical fault is reachable *)
+  let hazard m = Petri.Net.tokens m "fault_phys" > 0 in
+  (match
+     Petri.Net.reachable_with propagation_net
+       ~initial:[ ("fault_it", 1); ("guard", 1) ]
+       ~pred:hazard
+   with
+  | Some _ -> ()
+  | None -> fail "expected the hazard marking to be reachable");
+  (* removing the guard token (mitigation active) blocks the propagation *)
+  match
+    Petri.Net.reachable_with propagation_net ~initial:[ ("fault_it", 1) ]
+      ~pred:hazard
+  with
+  | None -> ()
+  | Some _ -> fail "mitigated net should not reach the hazard"
+
+let prop_firing_preserves_validity =
+  QCheck.Test.make ~name:"petri: firing any enabled sequence stays valid"
+    ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 6) (int_range 0 1)))
+    (fun choices ->
+      let rec run m = function
+        | [] -> true
+        | c :: rest -> (
+            match Petri.Net.enabled buffer_net m with
+            | [] -> true
+            | ts ->
+                let t = List.nth ts (c mod List.length ts) in
+                let m' = Petri.Net.fire buffer_net m t in
+                List.for_all (fun (_, n) -> n >= 0) m' && run m' rest)
+      in
+      run [ ("idle", 1); ("buffer", 1) ] choices)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "petri.net",
+      [
+        Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "enabled & fire" `Quick test_enabled_and_fire;
+        Alcotest.test_case "normalize" `Quick test_normalize;
+        Alcotest.test_case "reachability" `Quick test_reachability_graph;
+        Alcotest.test_case "deadlocks" `Quick test_deadlocks;
+        Alcotest.test_case "boundedness" `Quick test_boundedness;
+        Alcotest.test_case "weighted arcs" `Quick test_weighted_arcs;
+        Alcotest.test_case "propagation scenario" `Quick
+          test_propagation_scenario;
+        qcheck prop_firing_preserves_validity;
+      ] );
+  ]

@@ -1,0 +1,332 @@
+(* Tests for the qualitative-reasoning substrate (lib/qual). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* -------------------------------------------------------------------- *)
+(* Sign                                                                  *)
+(* -------------------------------------------------------------------- *)
+
+let sign_testable = Alcotest.testable Qual.Sign.pp Qual.Sign.equal
+
+let test_sign_of_int () =
+  check sign_testable "neg" Qual.Sign.Neg (Qual.Sign.of_int (-7));
+  check sign_testable "zero" Qual.Sign.Zero (Qual.Sign.of_int 0);
+  check sign_testable "pos" Qual.Sign.Pos (Qual.Sign.of_int 42)
+
+let test_sign_add_determined () =
+  check (Alcotest.list sign_testable) "pos+pos" [ Qual.Sign.Pos ]
+    (Qual.Sign.add Qual.Sign.Pos Qual.Sign.Pos);
+  check (Alcotest.list sign_testable) "zero+neg" [ Qual.Sign.Neg ]
+    (Qual.Sign.add Qual.Sign.Zero Qual.Sign.Neg)
+
+let test_sign_add_ambiguous () =
+  check Alcotest.int "three results" 3
+    (List.length (Qual.Sign.add Qual.Sign.Pos Qual.Sign.Neg));
+  match Qual.Sign.add_exn Qual.Sign.Pos Qual.Sign.Neg with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "add_exn should raise on ambiguity"
+
+let test_sign_mul () =
+  check sign_testable "neg*neg" Qual.Sign.Pos
+    (Qual.Sign.mul Qual.Sign.Neg Qual.Sign.Neg);
+  check sign_testable "neg*pos" Qual.Sign.Neg
+    (Qual.Sign.mul Qual.Sign.Neg Qual.Sign.Pos);
+  check sign_testable "zero absorbs" Qual.Sign.Zero
+    (Qual.Sign.mul Qual.Sign.Zero Qual.Sign.Pos)
+
+let prop_sign_mul_matches_int =
+  QCheck.Test.make ~name:"sign: mul is the abstraction of int mul" ~count:200
+    QCheck.(pair (int_range (-50) 50) (int_range (-50) 50))
+    (fun (a, b) ->
+      Qual.Sign.equal
+        (Qual.Sign.mul (Qual.Sign.of_int a) (Qual.Sign.of_int b))
+        (Qual.Sign.of_int (a * b)))
+
+let prop_sign_add_sound =
+  QCheck.Test.make ~name:"sign: add over-approximates int add" ~count:200
+    QCheck.(pair (int_range (-50) 50) (int_range (-50) 50))
+    (fun (a, b) ->
+      List.exists
+        (Qual.Sign.equal (Qual.Sign.of_int (a + b)))
+        (Qual.Sign.add (Qual.Sign.of_int a) (Qual.Sign.of_int b)))
+
+(* -------------------------------------------------------------------- *)
+(* Level                                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let level_testable = Alcotest.testable Qual.Level.pp Qual.Level.equal
+
+let test_level_order () =
+  let sorted = List.sort Qual.Level.compare Qual.Level.all in
+  check (Alcotest.list level_testable) "ascending" Qual.Level.all sorted;
+  check Alcotest.bool "VL < VH" true
+    (Qual.Level.compare Qual.Level.Very_low Qual.Level.Very_high < 0)
+
+let test_level_saturation () =
+  check level_testable "succ VH = VH" Qual.Level.Very_high
+    (Qual.Level.succ Qual.Level.Very_high);
+  check level_testable "pred VL = VL" Qual.Level.Very_low
+    (Qual.Level.pred Qual.Level.Very_low);
+  check level_testable "shift -10 H = VL" Qual.Level.Very_low
+    (Qual.Level.shift (-10) Qual.Level.High)
+
+let test_level_strings () =
+  List.iter
+    (fun l ->
+      (match Qual.Level.of_string (Qual.Level.to_string l) with
+      | Some l' -> check level_testable "short roundtrip" l l'
+      | None -> fail "short form did not parse");
+      match Qual.Level.of_string (Qual.Level.to_long_string l) with
+      | Some l' -> check level_testable "long roundtrip" l l'
+      | None -> fail "long form did not parse")
+    Qual.Level.all;
+  check (Alcotest.option level_testable) "garbage" None
+    (Qual.Level.of_string "banana")
+
+let level_gen = QCheck.Gen.oneofl Qual.Level.all
+let level_arb = QCheck.make ~print:Qual.Level.to_string level_gen
+
+let prop_level_max_lattice =
+  QCheck.Test.make ~name:"level: max/min form a lattice" ~count:200
+    QCheck.(pair level_arb level_arb)
+    (fun (a, b) ->
+      Qual.Level.equal (Qual.Level.max a b) (Qual.Level.max b a)
+      && Qual.Level.equal (Qual.Level.min a b) (Qual.Level.min b a)
+      && Qual.Level.equal (Qual.Level.max a (Qual.Level.min a b)) a)
+
+(* -------------------------------------------------------------------- *)
+(* Domain                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let workload =
+  Qual.Domain.make ~name:"workload" [ "low"; "medium"; "high"; "overloaded" ]
+
+let test_domain_basics () =
+  check Alcotest.int "size" 4 (Qual.Domain.size workload);
+  let v = Qual.Domain.value workload "high" in
+  check Alcotest.string "label" "high" (Qual.Domain.label v);
+  check Alcotest.int "index" 2 (Qual.Domain.index v)
+
+let test_domain_rejects () =
+  (match Qual.Domain.make ~name:"d" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty domain accepted");
+  (match Qual.Domain.make ~name:"d" [ "a"; "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate label accepted");
+  match Qual.Domain.value workload "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown label accepted"
+
+let test_domain_cross_domain_comparison () =
+  let other = Qual.Domain.make ~name:"other" [ "low"; "high" ] in
+  let a = Qual.Domain.value workload "low" in
+  let b = Qual.Domain.value other "low" in
+  match Qual.Domain.compare_value a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "cross-domain comparison accepted"
+
+let test_domain_navigation () =
+  let low = Qual.Domain.min_value workload in
+  check Alcotest.string "min" "low" (Qual.Domain.label low);
+  check Alcotest.string "max" "overloaded"
+    (Qual.Domain.label (Qual.Domain.max_value workload));
+  (match Qual.Domain.succ low with
+  | Some v -> check Alcotest.string "succ low" "medium" (Qual.Domain.label v)
+  | None -> fail "succ low missing");
+  check (Alcotest.option Alcotest.string) "succ max" None
+    (Option.map Qual.Domain.label (Qual.Domain.succ (Qual.Domain.max_value workload)));
+  check Alcotest.string "shift clamps" "overloaded"
+    (Qual.Domain.label (Qual.Domain.shift_clamped 10 low))
+
+let test_domain_between () =
+  let v l = Qual.Domain.value workload l in
+  check Alcotest.bool "in range" true
+    (Qual.Domain.between ~lo:(v "medium") ~hi:(v "overloaded") (v "high"));
+  check Alcotest.bool "below range" false
+    (Qual.Domain.between ~lo:(v "medium") ~hi:(v "overloaded") (v "low"))
+
+(* -------------------------------------------------------------------- *)
+(* Qspace                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let level_space =
+  Qual.Qspace.make ~name:"level" ~landmarks:[ "empty"; "normal"; "full" ]
+
+let test_qspace_order () =
+  let open Qual.Qspace in
+  let vals = [ Below; At 0; Between 0; At 1; Between 1; At 2; Above ] in
+  let sorted = List.sort (compare_qval level_space) vals in
+  check Alcotest.bool "already ordered" true
+    (List.for_all2 equal_qval vals sorted)
+
+let test_qspace_move () =
+  let open Qual.Qspace in
+  check Alcotest.bool "up from landmark" true
+    (equal_qval (Between 0) (move level_space (At 0) Qual.Sign.Pos));
+  check Alcotest.bool "up from interval" true
+    (equal_qval (At 1) (move level_space (Between 0) Qual.Sign.Pos));
+  check Alcotest.bool "down from interval" true
+    (equal_qval (At 1) (move level_space (Between 1) Qual.Sign.Neg));
+  check Alcotest.bool "zero keeps" true
+    (equal_qval (Between 1) (move level_space (Between 1) Qual.Sign.Zero));
+  check Alcotest.bool "saturate above" true
+    (equal_qval Above (move level_space Above Qual.Sign.Pos));
+  check Alcotest.bool "top landmark moves above" true
+    (equal_qval Above (move level_space (At 2) Qual.Sign.Pos))
+
+let numeric_space =
+  Qual.Qspace.make_numeric ~name:"temp"
+    ~landmarks:[ ("freezing", 0.); ("ambient", 20.); ("boiling", 100.) ]
+
+let test_qspace_abstract () =
+  let open Qual.Qspace in
+  check Alcotest.bool "below" true (equal_qval Below (abstract numeric_space (-3.)));
+  check Alcotest.bool "at landmark" true (equal_qval (At 1) (abstract numeric_space 20.));
+  check Alcotest.bool "interval" true
+    (equal_qval (Between 1) (abstract numeric_space 50.));
+  check Alcotest.bool "above" true (equal_qval Above (abstract numeric_space 150.));
+  match abstract level_space 1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "abstract on symbolic space accepted"
+
+let test_qspace_non_increasing_rejected () =
+  match
+    Qual.Qspace.make_numeric ~name:"bad" ~landmarks:[ ("a", 1.); ("b", 1.) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-increasing landmarks accepted"
+
+let prop_qspace_move_inverse =
+  let open Qual.Qspace in
+  let qval_gen =
+    QCheck.Gen.oneofl [ At 0; Between 0; At 1; Between 1; At 2 ]
+  in
+  QCheck.Test.make ~name:"qspace: move up then down is identity (interior)"
+    ~count:100
+    (QCheck.make ~print:(to_string level_space) qval_gen)
+    (fun v ->
+      let up = move level_space v Qual.Sign.Pos in
+      (* moving up from the top landmark saturates, skip that case *)
+      if equal_qval up Above then true
+      else equal_qval v (move level_space up Qual.Sign.Neg))
+
+(* -------------------------------------------------------------------- *)
+(* Qstate                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_qstate_basics () =
+  let s = Qual.Qstate.of_list [ ("level", "normal"); ("valve", "open") ] in
+  check Alcotest.string "get" "normal" (Qual.Qstate.get "level" s);
+  check Alcotest.bool "holds" true (Qual.Qstate.holds "valve" "open" s);
+  check Alcotest.bool "not holds" false (Qual.Qstate.holds "valve" "closed" s);
+  check Alcotest.int "cardinal" 2 (Qual.Qstate.cardinal s);
+  let s' = Qual.Qstate.set "valve" "closed" s in
+  check Alcotest.bool "set overrides" true (Qual.Qstate.holds "valve" "closed" s');
+  check Alcotest.bool "original untouched" true (Qual.Qstate.holds "valve" "open" s)
+
+let test_qstate_merge_restrict () =
+  let a = Qual.Qstate.of_list [ ("x", "1"); ("y", "2") ] in
+  let b = Qual.Qstate.of_list [ ("y", "3"); ("z", "4") ] in
+  let m = Qual.Qstate.merge a b in
+  check Alcotest.string "right bias" "3" (Qual.Qstate.get "y" m);
+  check Alcotest.int "union size" 3 (Qual.Qstate.cardinal m);
+  let r = Qual.Qstate.restrict [ "x"; "z" ] m in
+  check (Alcotest.list Alcotest.string) "restricted vars" [ "x"; "z" ]
+    (Qual.Qstate.vars r)
+
+let test_qstate_equality () =
+  let a = Qual.Qstate.of_list [ ("x", "1"); ("y", "2") ] in
+  let b = Qual.Qstate.of_list [ ("y", "2"); ("x", "1") ] in
+  check Alcotest.bool "order-insensitive" true (Qual.Qstate.equal a b);
+  check Alcotest.int "hash agrees" (Qual.Qstate.hash a) (Qual.Qstate.hash b)
+
+(* -------------------------------------------------------------------- *)
+(* Flow                                                                  *)
+(* -------------------------------------------------------------------- *)
+
+let test_flow_dominant () =
+  let open Qual.Flow in
+  check sign_testable "fill" Qual.Sign.Pos
+    (derivative_dominant [ In Qual.Sign.Pos; Out Qual.Sign.Zero ]);
+  check sign_testable "drain" Qual.Sign.Neg
+    (derivative_dominant [ In Qual.Sign.Zero; Out Qual.Sign.Pos ]);
+  check sign_testable "balanced" Qual.Sign.Zero
+    (derivative_dominant [ In Qual.Sign.Pos; Out Qual.Sign.Pos ]);
+  check sign_testable "no flow" Qual.Sign.Zero (derivative_dominant [])
+
+let test_flow_ambiguous () =
+  let open Qual.Flow in
+  let ds = derivative [ In Qual.Sign.Pos; Out Qual.Sign.Pos ] in
+  check Alcotest.int "opposing unit flows: all three signs" 3 (List.length ds);
+  let ds = derivative [ In Qual.Sign.Pos ] in
+  check (Alcotest.list sign_testable) "single inflow" [ Qual.Sign.Pos ] ds
+
+let prop_flow_dominant_in_derivative =
+  let contrib_gen =
+    QCheck.Gen.(
+      list_size (int_range 0 5)
+        (map2
+           (fun inflow s -> if inflow then Qual.Flow.In s else Qual.Flow.Out s)
+           bool (oneofl Qual.Sign.all)))
+  in
+  QCheck.Test.make ~name:"flow: dominant resolution is a possible derivative"
+    ~count:200
+    (QCheck.make contrib_gen)
+    (fun cs ->
+      List.exists
+        (Qual.Sign.equal (Qual.Flow.derivative_dominant cs))
+        (Qual.Flow.derivative cs))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "qual.sign",
+      [
+        Alcotest.test_case "of_int" `Quick test_sign_of_int;
+        Alcotest.test_case "add determined" `Quick test_sign_add_determined;
+        Alcotest.test_case "add ambiguous" `Quick test_sign_add_ambiguous;
+        Alcotest.test_case "mul" `Quick test_sign_mul;
+        qcheck prop_sign_mul_matches_int;
+        qcheck prop_sign_add_sound;
+      ] );
+    ( "qual.level",
+      [
+        Alcotest.test_case "order" `Quick test_level_order;
+        Alcotest.test_case "saturation" `Quick test_level_saturation;
+        Alcotest.test_case "strings" `Quick test_level_strings;
+        qcheck prop_level_max_lattice;
+      ] );
+    ( "qual.domain",
+      [
+        Alcotest.test_case "basics" `Quick test_domain_basics;
+        Alcotest.test_case "rejects bad input" `Quick test_domain_rejects;
+        Alcotest.test_case "cross-domain compare" `Quick
+          test_domain_cross_domain_comparison;
+        Alcotest.test_case "navigation" `Quick test_domain_navigation;
+        Alcotest.test_case "between" `Quick test_domain_between;
+      ] );
+    ( "qual.qspace",
+      [
+        Alcotest.test_case "total order" `Quick test_qspace_order;
+        Alcotest.test_case "move" `Quick test_qspace_move;
+        Alcotest.test_case "abstract numeric" `Quick test_qspace_abstract;
+        Alcotest.test_case "rejects non-increasing" `Quick
+          test_qspace_non_increasing_rejected;
+        qcheck prop_qspace_move_inverse;
+      ] );
+    ( "qual.qstate",
+      [
+        Alcotest.test_case "basics" `Quick test_qstate_basics;
+        Alcotest.test_case "merge/restrict" `Quick test_qstate_merge_restrict;
+        Alcotest.test_case "equality" `Quick test_qstate_equality;
+      ] );
+    ( "qual.flow",
+      [
+        Alcotest.test_case "dominant" `Quick test_flow_dominant;
+        Alcotest.test_case "ambiguous" `Quick test_flow_ambiguous;
+        qcheck prop_flow_dominant_in_derivative;
+      ] );
+  ]

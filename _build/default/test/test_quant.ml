@@ -1,0 +1,324 @@
+(* Tests for the quantitative layers: fault-tree probabilities (Fta.Quant),
+   Markov chains (Markov.Dtmc) and loss intervals (Risk.Loss). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let feq = Alcotest.float 1e-9
+
+(* -------------------------------------------------------------------- *)
+(* Fta.Quant                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let p_of assoc e = List.assoc e assoc
+
+let test_quant_or_gate () =
+  let t = Fta.Tree.Or [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ] in
+  (* P(a or b) = 1 - (1-pa)(1-pb) *)
+  let p = p_of [ ("a", 0.1); ("b", 0.2) ] in
+  check feq "or" (1. -. (0.9 *. 0.8)) (Fta.Quant.top_event_probability t p)
+
+let test_quant_and_gate () =
+  let t = Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ] in
+  let p = p_of [ ("a", 0.1); ("b", 0.2) ] in
+  check feq "and" 0.02 (Fta.Quant.top_event_probability t p)
+
+let test_quant_shared_event_exact () =
+  (* (a&b)|(a&c): naive cut-set sum would double-count through a *)
+  let t =
+    Fta.Tree.Or
+      [
+        Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ];
+        Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "c" ];
+      ]
+  in
+  let p = p_of [ ("a", 0.5); ("b", 0.5); ("c", 0.5) ] in
+  (* P(a & (b|c)) = 0.5 * 0.75 *)
+  check feq "inclusion-exclusion" 0.375 (Fta.Quant.top_event_probability t p)
+
+let test_quant_k_of_n () =
+  let t =
+    Fta.Tree.K_of_n
+      (2, [ Fta.Tree.Basic "x"; Fta.Tree.Basic "y"; Fta.Tree.Basic "z" ])
+  in
+  let p _ = 0.5 in
+  (* exactly-2 (3 ways, 1/8 each) + all-3 (1/8) = 0.5 *)
+  check feq "2 of 3 at p=0.5" 0.5 (Fta.Quant.top_event_probability t p)
+
+let test_quant_validation () =
+  (match
+     Fta.Quant.top_event_probability (Fta.Tree.Basic "a") (fun _ -> 1.5)
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "probability > 1 accepted");
+  let big =
+    Fta.Tree.Or (List.init 21 (fun i -> Fta.Tree.Basic (string_of_int i)))
+  in
+  match Fta.Quant.top_event_probability big (fun _ -> 0.1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "21 events accepted"
+
+let test_quant_scenario_probability_paper () =
+  (* §VII: "the potential probability of the simultaneous occurrence of all
+     faults is much lower" — S5 {F2,F3} vs S7 {F1,F2,F3} *)
+  let all = [ "F1"; "F2"; "F3"; "F4" ] in
+  let p _ = 0.1 in
+  let s5 = Fta.Quant.scenario_probability ~all p [ "F2"; "F3" ] in
+  let s7 = Fta.Quant.scenario_probability ~all p [ "F1"; "F2"; "F3" ] in
+  check Alcotest.bool "S5 more likely than S7" true (s5 > s7);
+  check feq "S5 value" (0.9 *. 0.1 *. 0.1 *. 0.9) s5;
+  check feq "S7 value" (0.1 *. 0.1 *. 0.1 *. 0.9) s7
+
+let test_quant_birnbaum () =
+  (* top = b | (a & c): b is the single point of failure, most important
+     at small probabilities *)
+  let t =
+    Fta.Tree.Or
+      [
+        Fta.Tree.Basic "b";
+        Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "c" ];
+      ]
+  in
+  let p _ = 0.01 in
+  match Fta.Quant.birnbaum_importance t p with
+  | (first, _) :: _ -> check Alcotest.string "b most important" "b" first
+  | [] -> fail "no importances"
+
+let test_quant_fussell_vesely () =
+  let t = Fta.Tree.Or [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ] in
+  let p = p_of [ ("a", 0.2); ("b", 0.0) ] in
+  (match Fta.Quant.fussell_vesely t p with
+  | (e1, v1) :: (_, v2) :: [] ->
+      check Alcotest.string "a carries all the risk" "a" e1;
+      check feq "full contribution" 1.0 v1;
+      check feq "no contribution" 0.0 v2
+  | _ -> fail "expected two entries");
+  (* impossible top event: all zeros *)
+  let all_zero = Fta.Quant.fussell_vesely t (fun _ -> 0.) in
+  List.iter (fun (_, v) -> check feq "zero top" 0.0 v) all_zero
+
+let prop_quant_monotone =
+  QCheck.Test.make ~name:"quant: top-event probability monotone in each p"
+    ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         tup3 (float_bound_exclusive 1.) (float_bound_exclusive 1.)
+           (float_bound_exclusive 1.)))
+    (fun (pa, pb, pc) ->
+      let t =
+        Fta.Tree.Or
+          [
+            Fta.Tree.And [ Fta.Tree.Basic "a"; Fta.Tree.Basic "b" ];
+            Fta.Tree.Basic "c";
+          ]
+      in
+      let p = p_of [ ("a", pa); ("b", pb); ("c", pc) ] in
+      let bumped e = if e = "a" then Float.min 1. (pa +. 0.1) else p e in
+      Fta.Quant.top_event_probability t bumped
+      >= Fta.Quant.top_event_probability t p -. 1e-12)
+
+(* -------------------------------------------------------------------- *)
+(* Markov.Dtmc                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let simple_chain =
+  Markov.Dtmc.make
+    ~states:[ "ok"; "degraded"; "failed" ]
+    ~transitions:
+      [
+        ("ok", "degraded", 0.1);
+        ("degraded", "ok", 0.5);
+        ("degraded", "failed", 0.2);
+        ("failed", "failed", 1.0);
+      ]
+
+let test_dtmc_self_loop_completion () =
+  check feq "ok self loop" 0.9 (Markov.Dtmc.probability simple_chain "ok" "ok");
+  check feq "degraded self loop" 0.3
+    (Markov.Dtmc.probability simple_chain "degraded" "degraded")
+
+let test_dtmc_validation () =
+  (match
+     Markov.Dtmc.make ~states:[ "a" ] ~transitions:[ ("a", "b", 0.5) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown state accepted");
+  (match
+     Markov.Dtmc.make ~states:[ "a"; "b" ]
+       ~transitions:[ ("a", "b", 0.7); ("a", "a", 0.7) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "row sum > 1 accepted");
+  match
+    Markov.Dtmc.make ~states:[ "a"; "b" ]
+      ~transitions:[ ("a", "b", 0.5); ("a", "b", 0.3) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate edge accepted"
+
+let test_dtmc_transient_mass_conserved () =
+  let dist = Markov.Dtmc.transient simple_chain ~init:"ok" ~steps:10 in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+  check (Alcotest.float 1e-9) "mass 1" 1.0 total;
+  check Alcotest.bool "some failure mass" true
+    (List.assoc "failed" dist > 0.)
+
+let test_dtmc_absorbing () =
+  check (Alcotest.list Alcotest.string) "failed absorbs" [ "failed" ]
+    (Markov.Dtmc.absorbing simple_chain)
+
+let test_dtmc_absorption_probability () =
+  (* failed is the only absorbing state of an irreducible-otherwise chain:
+     absorption is certain *)
+  check (Alcotest.float 1e-6) "eventually fails" 1.0
+    (Markov.Dtmc.absorption_probability simple_chain ~init:"ok" ~target:"failed");
+  match
+    Markov.Dtmc.absorption_probability simple_chain ~init:"ok" ~target:"degraded"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-absorbing target accepted"
+
+let test_dtmc_absorption_partial () =
+  (* two absorbing states: probability splits *)
+  let t =
+    Markov.Dtmc.make
+      ~states:[ "s"; "good"; "bad" ]
+      ~transitions:
+        [
+          ("s", "good", 0.3); ("s", "bad", 0.7);
+          ("good", "good", 1.0); ("bad", "bad", 1.0);
+        ]
+  in
+  check (Alcotest.float 1e-9) "to good" 0.3
+    (Markov.Dtmc.absorption_probability t ~init:"s" ~target:"good");
+  check (Alcotest.float 1e-9) "to bad" 0.7
+    (Markov.Dtmc.absorption_probability t ~init:"s" ~target:"bad");
+  check Alcotest.bool "expected steps infinite when not certain" true
+    (Markov.Dtmc.expected_steps_to t ~init:"s" ~target:"good" = infinity)
+
+let test_dtmc_expected_steps () =
+  (* geometric: p=0.5 to absorb each step -> expected 2 steps *)
+  let t =
+    Markov.Dtmc.make ~states:[ "s"; "done" ]
+      ~transitions:[ ("s", "done", 0.5); ("done", "done", 1.0) ]
+  in
+  check (Alcotest.float 1e-6) "geometric mean" 2.0
+    (Markov.Dtmc.expected_steps_to t ~init:"s" ~target:"done")
+
+let prop_dtmc_transient_stochastic =
+  QCheck.Test.make ~name:"dtmc: transient distributions stay stochastic"
+    ~count:100
+    (QCheck.make QCheck.Gen.(pair (float_bound_exclusive 1.) (int_range 0 30)))
+    (fun (p, steps) ->
+      let t =
+        Markov.Dtmc.make ~states:[ "a"; "b" ]
+          ~transitions:[ ("a", "b", p); ("b", "a", 1. -. p) ]
+      in
+      let dist = Markov.Dtmc.transient t ~init:"a" ~steps in
+      let total = List.fold_left (fun acc (_, q) -> acc +. q) 0. dist in
+      Float.abs (total -. 1.) < 1e-9
+      && List.for_all (fun (_, q) -> q >= -1e-12) dist)
+
+(* -------------------------------------------------------------------- *)
+(* Risk.Loss                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_loss_intervals () =
+  let a = Risk.Loss.interval 10. 20. in
+  let b = Risk.Loss.interval 1. 2. in
+  let s = Risk.Loss.add a b in
+  check feq "lo" 11. s.Risk.Loss.lo;
+  check feq "hi" 22. s.Risk.Loss.hi;
+  check feq "midpoint" 16.5 (Risk.Loss.midpoint s);
+  check feq "width" 11. (Risk.Loss.width s);
+  check Alcotest.bool "contains" true (Risk.Loss.contains s 15.);
+  match Risk.Loss.interval 5. 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "inverted interval accepted"
+
+let test_loss_bands_ordered () =
+  (* band upper bounds strictly increase with the category *)
+  let his =
+    List.map (fun l -> (Risk.Loss.default_bands l).Risk.Loss.hi) Qual.Level.all
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "increasing" true (increasing his)
+
+let test_loss_expected () =
+  let e =
+    Risk.Loss.expected_loss ~probability:0.01 ~magnitude:Qual.Level.Very_high ()
+  in
+  check feq "lo" 10_000. e.Risk.Loss.lo;
+  check feq "hi" 100_000. e.Risk.Loss.hi;
+  match Risk.Loss.expected_loss ~probability:1.2 ~magnitude:Qual.Level.Low () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "probability > 1 accepted"
+
+let test_loss_exposure () =
+  let exposure =
+    Risk.Loss.annual_loss_exposure
+      [ (0.5, Qual.Level.Low); (0.1, Qual.Level.High) ]
+  in
+  check feq "lo" ((0.5 *. 1_000.) +. (0.1 *. 100_000.)) exposure.Risk.Loss.lo;
+  check feq "hi" ((0.5 *. 10_000.) +. (0.1 *. 1_000_000.)) exposure.Risk.Loss.hi;
+  let empty = Risk.Loss.total [] in
+  check feq "empty total" 0. empty.Risk.Loss.hi
+
+(* water-tank quantitative cross-check: expected ordering of scenario risk *)
+let test_loss_water_tank_ranking () =
+  let all = [ "F1"; "F2"; "F3"; "F4" ] in
+  let p = function "F4" -> 0.05 | _ -> 0.02 in
+  let s5 = Fta.Quant.scenario_probability ~all p [ "F2"; "F3" ] in
+  let s7 = Fta.Quant.scenario_probability ~all p [ "F1"; "F2"; "F3" ] in
+  let loss prob =
+    Risk.Loss.expected_loss ~probability:prob ~magnitude:Qual.Level.Very_high ()
+  in
+  check Alcotest.bool "S5 expected loss dominates S7" true
+    (Risk.Loss.midpoint (loss s5) > Risk.Loss.midpoint (loss s7))
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "fta.quant",
+      [
+        Alcotest.test_case "or gate" `Quick test_quant_or_gate;
+        Alcotest.test_case "and gate" `Quick test_quant_and_gate;
+        Alcotest.test_case "shared event exact" `Quick
+          test_quant_shared_event_exact;
+        Alcotest.test_case "k of n" `Quick test_quant_k_of_n;
+        Alcotest.test_case "validation" `Quick test_quant_validation;
+        Alcotest.test_case "S5 vs S7 probability" `Quick
+          test_quant_scenario_probability_paper;
+        Alcotest.test_case "birnbaum" `Quick test_quant_birnbaum;
+        Alcotest.test_case "fussell-vesely" `Quick test_quant_fussell_vesely;
+        qcheck prop_quant_monotone;
+      ] );
+    ( "markov.dtmc",
+      [
+        Alcotest.test_case "self-loop completion" `Quick
+          test_dtmc_self_loop_completion;
+        Alcotest.test_case "validation" `Quick test_dtmc_validation;
+        Alcotest.test_case "transient mass" `Quick
+          test_dtmc_transient_mass_conserved;
+        Alcotest.test_case "absorbing" `Quick test_dtmc_absorbing;
+        Alcotest.test_case "absorption probability" `Quick
+          test_dtmc_absorption_probability;
+        Alcotest.test_case "partial absorption" `Quick
+          test_dtmc_absorption_partial;
+        Alcotest.test_case "expected steps" `Quick test_dtmc_expected_steps;
+        qcheck prop_dtmc_transient_stochastic;
+      ] );
+    ( "risk.loss",
+      [
+        Alcotest.test_case "intervals" `Quick test_loss_intervals;
+        Alcotest.test_case "bands ordered" `Quick test_loss_bands_ordered;
+        Alcotest.test_case "expected loss" `Quick test_loss_expected;
+        Alcotest.test_case "exposure" `Quick test_loss_exposure;
+        Alcotest.test_case "water-tank ranking" `Quick
+          test_loss_water_tank_ranking;
+      ] );
+  ]

@@ -1,0 +1,270 @@
+(* Tests for the qualitative risk layer (lib/risk), including a cell-by-cell
+   check of the paper's Table I. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let level_testable = Alcotest.testable Qual.Level.pp Qual.Level.equal
+let lvl s = Option.get (Qual.Level.of_string s)
+
+(* -------------------------------------------------------------------- *)
+(* Matrix                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_matrix_shape_validation () =
+  (match Risk.Matrix.of_rows [ [ Qual.Level.Low ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "bad shape accepted");
+  match Risk.Matrix.of_rows (List.init 5 (fun _ -> List.init 4 (fun _ -> Qual.Level.Low))) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "4-wide rows accepted"
+
+let test_matrix_roundtrip () =
+  let rows = Risk.Matrix.to_rows Risk.Ora.risk_matrix in
+  let again = Risk.Matrix.of_rows rows in
+  check (Alcotest.list (Alcotest.list level_testable)) "roundtrip" rows
+    (Risk.Matrix.to_rows again)
+
+let test_matrix_non_monotone_detected () =
+  let bad =
+    Risk.Matrix.of_rows
+      [
+        [ lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL" ];
+        [ lvl "VL"; lvl "H"; lvl "VL"; lvl "VL"; lvl "VL" ];
+        [ lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL" ];
+        [ lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL" ];
+        [ lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL"; lvl "VL" ];
+      ]
+  in
+  check Alcotest.bool "non-monotone" false (Risk.Matrix.monotone bad)
+
+(* -------------------------------------------------------------------- *)
+(* Table I — the paper's O-RA risk matrix, cell for cell                 *)
+(* -------------------------------------------------------------------- *)
+
+let paper_table_i =
+  (* (LM, [risk at LEF=VL; L; M; H; VH]) exactly as printed in Table I *)
+  [
+    ("VH", [ "M"; "H"; "VH"; "VH"; "VH" ]);
+    ("H", [ "L"; "M"; "H"; "VH"; "VH" ]);
+    ("M", [ "VL"; "L"; "M"; "H"; "VH" ]);
+    ("L", [ "VL"; "VL"; "L"; "M"; "H" ]);
+    ("VL", [ "VL"; "VL"; "VL"; "L"; "M" ]);
+  ]
+
+let test_table_i_exact () =
+  List.iter
+    (fun (lm, row) ->
+      List.iteri
+        (fun i expected ->
+          let lef = Qual.Level.of_index_clamped i in
+          check level_testable
+            (Printf.sprintf "LM=%s LEF=%s" lm (Qual.Level.to_string lef))
+            (lvl expected)
+            (Risk.Ora.risk ~lm:(lvl lm) ~lef))
+        row)
+    paper_table_i
+
+let test_table_i_paper_example () =
+  (* §IV.B: "if LM is medium and LEF is low, the risk will be low" *)
+  check level_testable "paper example" (lvl "L")
+    (Risk.Ora.risk ~lm:(lvl "M") ~lef:(lvl "L"))
+
+let test_table_i_monotone () =
+  check Alcotest.bool "risk matrix monotone" true
+    (Risk.Matrix.monotone Risk.Ora.risk_matrix)
+
+(* -------------------------------------------------------------------- *)
+(* O-RA derivations (Fig. 2)                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_ora_assess_direct () =
+  let attrs =
+    {
+      Risk.Ora.no_attributes with
+      Risk.Ora.loss_event_frequency = Some (lvl "L");
+      loss_magnitude = Some (lvl "M");
+    }
+  in
+  match Risk.Ora.assess attrs with
+  | Ok a -> check level_testable "direct assessment" (lvl "L") a.Risk.Ora.level
+  | Error e -> fail e
+
+let test_ora_assess_derived () =
+  (* fully derived from the leaves *)
+  let attrs =
+    {
+      Risk.Ora.no_attributes with
+      Risk.Ora.contact_frequency = Some (lvl "H");
+      probability_of_action = Some (lvl "H");
+      threat_capability = Some (lvl "H");
+      resistance_strength = Some (lvl "L");
+      primary_loss = Some (lvl "H");
+      secondary_loss = Some (lvl "M");
+    }
+  in
+  match Risk.Ora.assess attrs with
+  | Ok a ->
+      (* TEF = min(H,H) = H; Vuln = M + (H-L) = VH; LEF = H - 0 = H;
+         LM = max(H,M) = H; Risk(H,H) = VH *)
+      check level_testable "derived" (lvl "VH") a.Risk.Ora.level;
+      (* tree shape: risk has 2 children, both derived with 2 children *)
+      check Alcotest.int "risk children" 2
+        (List.length a.Risk.Ora.tree.Risk.Ora.children);
+      List.iter
+        (fun (n : Risk.Ora.node) ->
+          check Alcotest.int ("children of " ^ n.Risk.Ora.attribute) 2
+            (List.length n.Risk.Ora.children))
+        a.Risk.Ora.tree.Risk.Ora.children
+  | Error e -> fail e
+
+let test_ora_assess_missing () =
+  match Risk.Ora.assess Risk.Ora.no_attributes with
+  | Error missing ->
+      check Alcotest.string "first missing leaf" "contact_frequency" missing
+  | Ok _ -> fail "expected an error"
+
+let test_ora_direct_overrides_derivation () =
+  let attrs =
+    {
+      Risk.Ora.no_attributes with
+      Risk.Ora.loss_event_frequency = Some (lvl "VL");
+      (* the leaves would derive something high, but LEF is given *)
+      contact_frequency = Some (lvl "VH");
+      probability_of_action = Some (lvl "VH");
+      threat_capability = Some (lvl "VH");
+      resistance_strength = Some (lvl "VL");
+      loss_magnitude = Some (lvl "M");
+    }
+  in
+  match Risk.Ora.assess attrs with
+  | Ok a -> check level_testable "override wins" (lvl "VL") a.Risk.Ora.level
+  | Error e -> fail e
+
+let test_ora_vulnerability_derivation () =
+  check level_testable "evenly matched -> M" (lvl "M")
+    (Risk.Ora.derive_vulnerability ~capability:(lvl "H") ~resistance:(lvl "H"));
+  check level_testable "outmatched defender" (lvl "VH")
+    (Risk.Ora.derive_vulnerability ~capability:(lvl "VH") ~resistance:(lvl "VL"));
+  check level_testable "strong defender" (lvl "VL")
+    (Risk.Ora.derive_vulnerability ~capability:(lvl "VL") ~resistance:(lvl "VH"))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_ora_render_tree () =
+  let attrs =
+    {
+      Risk.Ora.no_attributes with
+      Risk.Ora.loss_event_frequency = Some (lvl "L");
+      loss_magnitude = Some (lvl "M");
+    }
+  in
+  match Risk.Ora.assess attrs with
+  | Ok a ->
+      let s = Risk.Ora.render_tree a.Risk.Ora.tree in
+      check Alcotest.bool "mentions risk" true
+        (String.length s > 4 && String.sub s 0 4 = "risk");
+      check Alcotest.bool "mentions given" true (contains s "(given)")
+  | Error e -> fail e
+
+let prop_risk_monotone_in_inputs =
+  let gen = QCheck.Gen.(pair (oneofl Qual.Level.all) (oneofl Qual.Level.all)) in
+  QCheck.Test.make ~name:"ora: risk monotone in LM and LEF" ~count:200
+    (QCheck.make gen)
+    (fun (lm, lef) ->
+      let r = Risk.Ora.risk ~lm ~lef in
+      let up_lm = Risk.Ora.risk ~lm:(Qual.Level.succ lm) ~lef in
+      let up_lef = Risk.Ora.risk ~lm ~lef:(Qual.Level.succ lef) in
+      Qual.Level.compare up_lm r >= 0 && Qual.Level.compare up_lef r >= 0)
+
+(* -------------------------------------------------------------------- *)
+(* IEC 61508                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_iec_corner_cells () =
+  let open Risk.Iec61508 in
+  check Alcotest.string "frequent catastrophic" "I"
+    (risk_class_to_string (classify Frequent Catastrophic));
+  check Alcotest.string "incredible negligible" "IV"
+    (risk_class_to_string (classify Incredible Negligible));
+  check Alcotest.string "remote catastrophic" "II"
+    (risk_class_to_string (classify Remote Catastrophic));
+  check Alcotest.string "occasional marginal" "III"
+    (risk_class_to_string (classify Occasional Marginal))
+
+let test_iec_tolerability () =
+  let open Risk.Iec61508 in
+  check Alcotest.bool "class I intolerable" false (tolerable Class_I);
+  check Alcotest.bool "class III tolerable" true (tolerable Class_III)
+
+let test_iec_monotone () =
+  (* moving to a less likely row or milder consequence never worsens class *)
+  let open Risk.Iec61508 in
+  let class_index = function
+    | Class_I -> 0
+    | Class_II -> 1
+    | Class_III -> 2
+    | Class_IV -> 3
+  in
+  let rec adjacent = function
+    | a :: (b :: _ as rest) -> (a, b) :: adjacent rest
+    | [ _ ] | [] -> []
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (more_likely, less_likely) ->
+          check Alcotest.bool "likelihood monotone" true
+            (class_index (classify less_likely c)
+            >= class_index (classify more_likely c)))
+        (adjacent all_likelihoods))
+    all_consequences;
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (worse, milder) ->
+          check Alcotest.bool "consequence monotone" true
+            (class_index (classify l milder) >= class_index (classify l worse)))
+        (adjacent all_consequences))
+    all_likelihoods
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "risk.matrix",
+      [
+        Alcotest.test_case "shape validation" `Quick test_matrix_shape_validation;
+        Alcotest.test_case "roundtrip" `Quick test_matrix_roundtrip;
+        Alcotest.test_case "non-monotone detected" `Quick
+          test_matrix_non_monotone_detected;
+      ] );
+    ( "risk.table1",
+      [
+        Alcotest.test_case "Table I exact" `Quick test_table_i_exact;
+        Alcotest.test_case "paper example (M,L)->L" `Quick
+          test_table_i_paper_example;
+        Alcotest.test_case "monotone" `Quick test_table_i_monotone;
+      ] );
+    ( "risk.ora",
+      [
+        Alcotest.test_case "direct assessment" `Quick test_ora_assess_direct;
+        Alcotest.test_case "derived assessment" `Quick test_ora_assess_derived;
+        Alcotest.test_case "missing attribute" `Quick test_ora_assess_missing;
+        Alcotest.test_case "direct overrides derivation" `Quick
+          test_ora_direct_overrides_derivation;
+        Alcotest.test_case "vulnerability derivation" `Quick
+          test_ora_vulnerability_derivation;
+        Alcotest.test_case "render tree" `Quick test_ora_render_tree;
+        qcheck prop_risk_monotone_in_inputs;
+      ] );
+    ( "risk.iec61508",
+      [
+        Alcotest.test_case "corner cells" `Quick test_iec_corner_cells;
+        Alcotest.test_case "tolerability" `Quick test_iec_tolerability;
+        Alcotest.test_case "monotone" `Quick test_iec_monotone;
+      ] );
+  ]

@@ -1,0 +1,269 @@
+(* Tests for Rough Set Theory (lib/rough) and its risk-uncertainty bridge. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let level_testable = Alcotest.testable Qual.Level.pp Qual.Level.equal
+let lvl s = Option.get (Qual.Level.of_string s)
+let sl = Alcotest.list Alcotest.string
+
+(* The classic flu example (Pawlak-style): symptoms vs diagnosis.
+   p1/p2 share symptoms but differ in decision -> boundary region. *)
+let flu =
+  Rough.Infosys.of_table
+    ~attributes:[ "headache"; "temp"; "flu" ]
+    [
+      ("p1", [ "yes"; "high"; "yes" ]);
+      ("p2", [ "yes"; "high"; "no" ]);
+      ("p3", [ "no"; "normal"; "no" ]);
+      ("p4", [ "no"; "high"; "yes" ]);
+      ("p5", [ "no"; "normal"; "no" ]);
+      ("p6", [ "yes"; "normal"; "no" ]);
+    ]
+
+let conditions = Rough.Infosys.restrict_attributes [ "headache"; "temp" ] flu
+let flu_yes = [ "p1"; "p4" ]
+
+(* -------------------------------------------------------------------- *)
+(* Infosys                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let test_infosys_basics () =
+  check Alcotest.int "objects" 6 (List.length (Rough.Infosys.objects flu));
+  check Alcotest.string "value" "high" (Rough.Infosys.value flu "p1" "temp");
+  match Rough.Infosys.value flu "p1" "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown attribute accepted"
+
+let test_infosys_validation () =
+  (match
+     Rough.Infosys.of_table ~attributes:[ "a" ] [ ("x", [ "1"; "2" ]) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "arity mismatch accepted");
+  match
+    Rough.Infosys.of_table ~attributes:[ "a" ] [ ("x", [ "1" ]); ("x", [ "2" ]) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "duplicate object accepted"
+
+(* -------------------------------------------------------------------- *)
+(* Approximations                                                        *)
+(* -------------------------------------------------------------------- *)
+
+let test_indiscernibility () =
+  let classes = Rough.Approx.indiscernibility conditions in
+  check Alcotest.int "four classes" 4 (List.length classes);
+  check Alcotest.bool "p1 p2 together" true
+    (List.exists (fun c -> c = [ "p1"; "p2" ]) classes);
+  check Alcotest.bool "p3 p5 together" true
+    (List.exists (fun c -> c = [ "p3"; "p5" ]) classes)
+
+let test_lower_upper () =
+  check sl "lower" [ "p4" ] (Rough.Approx.lower conditions flu_yes);
+  check sl "upper" [ "p1"; "p2"; "p4" ] (Rough.Approx.upper conditions flu_yes)
+
+let test_regions () =
+  let r = Rough.Approx.regions conditions flu_yes in
+  check sl "positive" [ "p4" ] r.Rough.Approx.positive;
+  check sl "boundary" [ "p1"; "p2" ] r.Rough.Approx.boundary;
+  check sl "negative" [ "p3"; "p5"; "p6" ] r.Rough.Approx.negative
+
+let test_accuracy () =
+  check (Alcotest.float 0.0001) "1/3" (1. /. 3.)
+    (Rough.Approx.accuracy conditions flu_yes);
+  check Alcotest.bool "not crisp" false (Rough.Approx.is_crisp conditions flu_yes);
+  (* a definable set is crisp *)
+  check Alcotest.bool "definable set crisp" true
+    (Rough.Approx.is_crisp conditions [ "p3"; "p5" ]);
+  check (Alcotest.float 0.0001) "empty set accuracy" 1.0
+    (Rough.Approx.accuracy conditions [])
+
+let test_dependency_degree () =
+  (* positive region of the decision partition: all but p1, p2 -> 4/6 *)
+  check (Alcotest.float 0.0001) "gamma" (4. /. 6.)
+    (Rough.Approx.dependency_degree ~decision:"flu" flu)
+
+let prop_lower_subset_upper =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun mask ->
+          List.filteri (fun i _ -> List.nth mask (i mod List.length mask))
+            [ "p1"; "p2"; "p3"; "p4"; "p5"; "p6" ])
+        (list_size (int_range 1 6) bool))
+  in
+  QCheck.Test.make ~name:"rough: lower ⊆ target ⊆ upper (within universe)"
+    ~count:200 (QCheck.make gen)
+    (fun target ->
+      let lo = Rough.Approx.lower conditions target in
+      let up = Rough.Approx.upper conditions target in
+      List.for_all (fun o -> List.mem o target) lo
+      && List.for_all (fun o -> List.mem o up) target)
+
+let prop_regions_partition =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun mask ->
+          List.filteri (fun i _ -> List.nth mask (i mod List.length mask))
+            [ "p1"; "p2"; "p3"; "p4"; "p5"; "p6" ])
+        (list_size (int_range 1 6) bool))
+  in
+  QCheck.Test.make ~name:"rough: regions partition the universe" ~count:200
+    (QCheck.make gen)
+    (fun target ->
+      let r = Rough.Approx.regions conditions target in
+      let all =
+        List.sort String.compare
+          (r.Rough.Approx.positive @ r.Rough.Approx.boundary
+         @ r.Rough.Approx.negative)
+      in
+      all = List.sort String.compare (Rough.Infosys.objects conditions))
+
+(* -------------------------------------------------------------------- *)
+(* Reducts and rules                                                     *)
+(* -------------------------------------------------------------------- *)
+
+let test_reducts () =
+  let reducts = Rough.Reduct.reducts ~decision:"flu" flu in
+  (* both attributes are needed: the only reduct is {headache, temp} *)
+  check
+    (Alcotest.list sl)
+    "single full reduct"
+    [ [ "headache"; "temp" ] ]
+    reducts;
+  check sl "core = both" [ "headache"; "temp" ]
+    (Rough.Reduct.core ~decision:"flu" flu)
+
+let test_reducts_redundant_attribute () =
+  (* add a constant attribute: it should drop out of every reduct *)
+  let sys =
+    Rough.Infosys.of_table
+      ~attributes:[ "headache"; "temp"; "noise"; "flu" ]
+      [
+        ("p1", [ "yes"; "high"; "k"; "yes" ]);
+        ("p3", [ "no"; "normal"; "k"; "no" ]);
+        ("p4", [ "no"; "high"; "k"; "yes" ]);
+        ("p6", [ "yes"; "normal"; "k"; "no" ]);
+      ]
+  in
+  let reducts = Rough.Reduct.reducts ~decision:"flu" sys in
+  check Alcotest.bool "noise not in any reduct" true
+    (List.for_all (fun r -> not (List.mem "noise" r)) reducts);
+  (* temp alone decides: {temp} is a reduct *)
+  check Alcotest.bool "temp alone suffices" true
+    (List.mem [ "temp" ] reducts)
+
+let test_rule_induction () =
+  let rules = Rough.Reduct.induce_rules ~decision:"flu" flu in
+  let certain = List.filter (fun r -> r.Rough.Reduct.certain) rules in
+  let possible = List.filter (fun r -> not r.Rough.Reduct.certain) rules in
+  (* 3 consistent classes -> 3 certain rules; 1 inconsistent class (p1,p2)
+     -> 2 possible rules *)
+  check Alcotest.int "certain rules" 3 (List.length certain);
+  check Alcotest.int "possible rules" 2 (List.length possible);
+  check Alcotest.bool "possible rules mention both outcomes" true
+    (List.exists (fun r -> snd r.Rough.Reduct.decision = "yes") possible
+    && List.exists (fun r -> snd r.Rough.Reduct.decision = "no") possible)
+
+(* -------------------------------------------------------------------- *)
+(* Risk bridge (§V.A example)                                            *)
+(* -------------------------------------------------------------------- *)
+
+let test_bridge_paper_insensitive_case () =
+  (* LEF = L known; LM uncertain in {VL, L}: risk stays VL -> not sensitive *)
+  let u = { Rough.Risk_bridge.lm = [ lvl "VL"; lvl "L" ]; lef = [ lvl "L" ] } in
+  check (Alcotest.list level_testable) "single outcome" [ lvl "VL" ]
+    (Rough.Risk_bridge.possible_risks u);
+  check Alcotest.bool "not sensitive" false (Rough.Risk_bridge.is_sensitive u);
+  check (Alcotest.option level_testable) "certain" (Some (lvl "VL"))
+    (Rough.Risk_bridge.certain_risk u)
+
+let test_bridge_paper_sensitive_case () =
+  (* LM ranging L..VH with LEF = L: output varies -> sensitive *)
+  let u =
+    {
+      Rough.Risk_bridge.lm = [ lvl "L"; lvl "M"; lvl "H"; lvl "VH" ];
+      lef = [ lvl "L" ];
+    }
+  in
+  check Alcotest.bool "sensitive" true (Rough.Risk_bridge.is_sensitive u);
+  check (Alcotest.option level_testable) "no certain risk" None
+    (Rough.Risk_bridge.certain_risk u);
+  check (Alcotest.list level_testable) "outcomes VL..H"
+    [ lvl "VL"; lvl "L"; lvl "M"; lvl "H" ]
+    (Rough.Risk_bridge.possible_risks u)
+
+let test_bridge_outcome_regions () =
+  let u =
+    { Rough.Risk_bridge.lm = [ lvl "L"; lvl "M" ]; lef = [ lvl "M" ] }
+  in
+  (* outcomes: (L,M)->L, (M,M)->M *)
+  check Alcotest.bool "L possible" true
+    (Rough.Risk_bridge.outcome_regions ~target:(lvl "L") u = `Possible);
+  check Alcotest.bool "VH excluded" true
+    (Rough.Risk_bridge.outcome_regions ~target:(lvl "VH") u = `Excluded);
+  let exact = Rough.Risk_bridge.exact ~lm:(lvl "L") ~lef:(lvl "M") in
+  check Alcotest.bool "exact is certain" true
+    (Rough.Risk_bridge.outcome_regions ~target:(lvl "L") exact = `Certain)
+
+let test_bridge_worlds_decision_system () =
+  let u =
+    { Rough.Risk_bridge.lm = [ lvl "L"; lvl "VH" ]; lef = [ lvl "M"; lvl "H" ] }
+  in
+  let sys = Rough.Risk_bridge.worlds u in
+  check Alcotest.int "four worlds" 4 (List.length (Rough.Infosys.objects sys));
+  (* knowing only LEF cannot decide the risk: dependency degree < 1 *)
+  let partial = Rough.Infosys.restrict_attributes [ "lef"; "risk" ] sys in
+  check Alcotest.bool "lef alone insufficient" true
+    (Rough.Approx.dependency_degree ~decision:"risk" partial < 1.0);
+  (* knowing both attributes decides the risk fully *)
+  check (Alcotest.float 0.0001) "full attributes decide" 1.0
+    (Rough.Approx.dependency_degree ~decision:"risk" sys)
+
+let test_bridge_rejects_empty () =
+  match
+    Rough.Risk_bridge.possible_risks { Rough.Risk_bridge.lm = []; lef = [ lvl "L" ] }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty possibility set accepted"
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "rough.infosys",
+      [
+        Alcotest.test_case "basics" `Quick test_infosys_basics;
+        Alcotest.test_case "validation" `Quick test_infosys_validation;
+      ] );
+    ( "rough.approx",
+      [
+        Alcotest.test_case "indiscernibility" `Quick test_indiscernibility;
+        Alcotest.test_case "lower/upper" `Quick test_lower_upper;
+        Alcotest.test_case "three regions" `Quick test_regions;
+        Alcotest.test_case "accuracy" `Quick test_accuracy;
+        Alcotest.test_case "dependency degree" `Quick test_dependency_degree;
+        qcheck prop_lower_subset_upper;
+        qcheck prop_regions_partition;
+      ] );
+    ( "rough.reduct",
+      [
+        Alcotest.test_case "reducts & core" `Quick test_reducts;
+        Alcotest.test_case "redundant attribute" `Quick
+          test_reducts_redundant_attribute;
+        Alcotest.test_case "rule induction" `Quick test_rule_induction;
+      ] );
+    ( "rough.risk_bridge",
+      [
+        Alcotest.test_case "paper insensitive case" `Quick
+          test_bridge_paper_insensitive_case;
+        Alcotest.test_case "paper sensitive case" `Quick
+          test_bridge_paper_sensitive_case;
+        Alcotest.test_case "outcome regions" `Quick test_bridge_outcome_regions;
+        Alcotest.test_case "worlds decision system" `Quick
+          test_bridge_worlds_decision_system;
+        Alcotest.test_case "rejects empty" `Quick test_bridge_rejects_empty;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+(* Tests for one-at-a-time sensitivity analysis (lib/sensitivity). *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let lvl s = Option.get (Qual.Level.of_string s)
+
+(* Output = O-RA risk over factors lm/lef. *)
+let risk_f assignment =
+  Risk.Ora.risk ~lm:(List.assoc "lm" assignment) ~lef:(List.assoc "lef" assignment)
+
+let baseline = [ ("lm", lvl "M"); ("lef", lvl "L") ]
+
+let test_oat_paper_example () =
+  (* §V.A: with LEF=L, varying LM over {VL, L} leaves risk VL: insensitive;
+     varying over L..VH changes the output: sensitive *)
+  let narrow =
+    Sensitivity.Oat.analyze
+      ~factors:[ { Sensitivity.Oat.name = "lm"; candidates = [ lvl "VL"; lvl "L" ] } ]
+      ~baseline ~f:risk_f
+  in
+  check (Alcotest.list Alcotest.string) "narrow range insensitive" []
+    (Sensitivity.Oat.sensitive_factors narrow);
+  let wide =
+    Sensitivity.Oat.analyze
+      ~factors:
+        [
+          {
+            Sensitivity.Oat.name = "lm";
+            candidates = [ lvl "L"; lvl "M"; lvl "H"; lvl "VH" ];
+          };
+        ]
+      ~baseline ~f:risk_f
+  in
+  check (Alcotest.list Alcotest.string) "wide range sensitive" [ "lm" ]
+    (Sensitivity.Oat.sensitive_factors wide)
+
+let test_oat_tornado_ranking () =
+  let report =
+    Sensitivity.Oat.analyze
+      ~factors:
+        [
+          { Sensitivity.Oat.name = "lm"; candidates = [ lvl "VL"; lvl "L" ] };
+          { Sensitivity.Oat.name = "lef"; candidates = Qual.Level.all };
+        ]
+      ~baseline ~f:risk_f
+  in
+  match Sensitivity.Oat.tornado report with
+  | first :: second :: [] ->
+      check Alcotest.string "lef dominates" "lef" first.Sensitivity.Oat.factor;
+      check Alcotest.bool "spread ordering" true
+        (first.Sensitivity.Oat.spread >= second.Sensitivity.Oat.spread)
+  | _ -> fail "expected two entries"
+
+let test_oat_outcomes_recorded () =
+  let report =
+    Sensitivity.Oat.analyze
+      ~factors:[ { Sensitivity.Oat.name = "lef"; candidates = Qual.Level.all } ]
+      ~baseline ~f:risk_f
+  in
+  match report with
+  | [ e ] ->
+      check Alcotest.int "five outcomes" 5 (List.length e.Sensitivity.Oat.outcomes);
+      (* baseline lm=M: outcomes are the M row of Table I: VL L M H VH *)
+      check (Alcotest.list Alcotest.string) "row of Table I"
+        [ "VL"; "L"; "M"; "H"; "VH" ]
+        (List.map
+           (fun (_, o) -> Qual.Level.to_string o)
+           e.Sensitivity.Oat.outcomes)
+  | _ -> fail "expected one entry"
+
+let test_oat_validation () =
+  (match
+     Sensitivity.Oat.analyze
+       ~factors:[ { Sensitivity.Oat.name = "ghost"; candidates = [ lvl "L" ] } ]
+       ~baseline ~f:risk_f
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "unknown factor accepted");
+  match
+    Sensitivity.Oat.analyze
+      ~factors:[ { Sensitivity.Oat.name = "lm"; candidates = [] } ]
+      ~baseline ~f:risk_f
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty candidates accepted"
+
+let test_oat_render () =
+  let report =
+    Sensitivity.Oat.analyze
+      ~factors:[ { Sensitivity.Oat.name = "lef"; candidates = Qual.Level.all } ]
+      ~baseline ~f:risk_f
+  in
+  let s = Sensitivity.Oat.render report in
+  check Alcotest.bool "mentions SENSITIVE" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 9 <= String.length s && (String.sub s i 9 = "SENSITIVE" || contains (i + 1))
+    in
+    contains 0)
+
+let prop_constant_function_never_sensitive =
+  QCheck.Test.make ~name:"oat: constant function has zero spread" ~count:100
+    (QCheck.make (QCheck.Gen.oneofl Qual.Level.all))
+    (fun const ->
+      let report =
+        Sensitivity.Oat.analyze
+          ~factors:[ { Sensitivity.Oat.name = "lm"; candidates = Qual.Level.all } ]
+          ~baseline
+          ~f:(fun _ -> const)
+      in
+      Sensitivity.Oat.sensitive_factors report = [])
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "sensitivity.oat",
+      [
+        Alcotest.test_case "paper LM example" `Quick test_oat_paper_example;
+        Alcotest.test_case "tornado ranking" `Quick test_oat_tornado_ranking;
+        Alcotest.test_case "outcomes recorded" `Quick test_oat_outcomes_recorded;
+        Alcotest.test_case "validation" `Quick test_oat_validation;
+        Alcotest.test_case "render" `Quick test_oat_render;
+        qcheck prop_constant_function_never_sensitive;
+      ] );
+  ]

@@ -1,0 +1,335 @@
+(* Tests for the threat-knowledge layer (lib/threatdb), including golden
+   CVSS v3.1 scores cross-checked against the FIRST reference calculator. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let base_of v =
+  match Threatdb.Cvss.of_vector v with
+  | Ok b -> b
+  | Error e -> fail (Printf.sprintf "vector %s: %s" v e)
+
+let score v = Threatdb.Cvss.base_score (base_of v)
+
+(* -------------------------------------------------------------------- *)
+(* CVSS golden values                                                    *)
+(* -------------------------------------------------------------------- *)
+
+let test_cvss_golden_base_scores () =
+  let cases =
+    [
+      (* wormable network RCE *)
+      ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8);
+      (* scope-changing total compromise *)
+      ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0);
+      (* classic browser RCE with user interaction *)
+      ("CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:H/I:H/A:H", 9.6);
+      (* local privilege escalation *)
+      ("CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8);
+      (* high attack complexity *)
+      ("CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1);
+      (* authenticated SQL injection (C:H/I:H) *)
+      ("CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:N", 8.1);
+      (* information disclosure only *)
+      ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 5.3);
+      (* no impact at all *)
+      ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0);
+      (* physical access low impact *)
+      ("CVSS:3.1/AV:P/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 2.4);
+      (* adjacent DoS *)
+      ("CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 6.5);
+    ]
+  in
+  List.iter
+    (fun (v, expected) ->
+      check (Alcotest.float 0.001) v expected (score v))
+    cases
+
+let test_cvss_severity_bands () =
+  let open Threatdb.Cvss in
+  check Alcotest.string "0 none" "None" (severity_to_string (severity 0.));
+  check Alcotest.string "3.9 low" "Low" (severity_to_string (severity 3.9));
+  check Alcotest.string "4.0 medium" "Medium" (severity_to_string (severity 4.0));
+  check Alcotest.string "8.9 high" "High" (severity_to_string (severity 8.9));
+  check Alcotest.string "9.8 critical" "Critical"
+    (severity_to_string (severity 9.8));
+  check Alcotest.bool "critical is VH" true
+    (Qual.Level.equal Qual.Level.Very_high (severity_to_level Critical))
+
+let test_cvss_temporal () =
+  let b = base_of "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H" in
+  let open Threatdb.Cvss in
+  (* all not-defined: temporal = base *)
+  check (Alcotest.float 0.001) "ND temporal = base" 9.8
+    (temporal_score b default_temporal);
+  let t = { e = E_functional; rl = RL_official_fix; rc = RC_confirmed } in
+  (* 9.8 * 0.97 * 0.95 = 9.0307 -> 9.1 *)
+  check (Alcotest.float 0.001) "degraded temporal" 9.1 (temporal_score b t);
+  check Alcotest.bool "temporal <= base" true (temporal_score b t <= base_score b)
+
+let test_cvss_environmental_defaults () =
+  (* with everything not-defined and scope unchanged, env = temporal = base *)
+  let b = base_of "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H" in
+  let open Threatdb.Cvss in
+  check (Alcotest.float 0.001) "env defaults" (base_score b)
+    (environmental_score b default_temporal default_environmental)
+
+let test_cvss_environmental_requirements () =
+  let b = base_of "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N" in
+  let open Threatdb.Cvss in
+  let high_cr = { default_environmental with cr = R_high } in
+  let low_cr = { default_environmental with cr = R_low } in
+  let base = base_score b in
+  check Alcotest.bool "CR:H raises" true
+    (environmental_score b default_temporal high_cr > base);
+  check Alcotest.bool "CR:L lowers" true
+    (environmental_score b default_temporal low_cr < base)
+
+let test_cvss_vector_roundtrip () =
+  List.iter
+    (fun (c : Threatdb.Cve.t) ->
+      let v = Threatdb.Cvss.to_vector c.Threatdb.Cve.vector in
+      match Threatdb.Cvss.of_vector v with
+      | Ok b ->
+          check (Alcotest.float 0.0001) ("roundtrip " ^ v)
+            (Threatdb.Cvss.base_score c.Threatdb.Cve.vector)
+            (Threatdb.Cvss.base_score b)
+      | Error e -> fail e)
+    Threatdb.Cve.all
+
+let test_cvss_vector_errors () =
+  List.iter
+    (fun v ->
+      match Threatdb.Cvss.of_vector v with
+      | Error _ -> ()
+      | Ok _ -> fail (Printf.sprintf "accepted bad vector %S" v))
+    [
+      "CVSS:2.0/AV:N";
+      "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H";
+      "CVSS:3.1/AV:Q/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H";
+      "gibberish";
+    ]
+
+let test_cvss_roundup () =
+  let open Threatdb.Cvss in
+  check (Alcotest.float 0.0001) "exact stays" 4.0 (roundup 4.0);
+  check (Alcotest.float 0.0001) "rounds up" 4.1 (roundup 4.02);
+  (* the spec's motivating example: 8.6 * 0.915... *)
+  check (Alcotest.float 0.0001) "known artifact" 6.9 (roundup 6.8900000000000001)
+
+let prop_cvss_score_in_range =
+  let gen =
+    let open QCheck.Gen in
+    let open Threatdb.Cvss in
+    let av = oneofl [ AV_network; AV_adjacent; AV_local; AV_physical ] in
+    let ac = oneofl [ AC_low; AC_high ] in
+    let pr = oneofl [ PR_none; PR_low; PR_high ] in
+    let ui = oneofl [ UI_none; UI_required ] in
+    let s = oneofl [ S_unchanged; S_changed ] in
+    let cia = oneofl [ I_high; I_low; I_none ] in
+    map
+      (fun (av, ac, pr, ui, s, (c, i, a)) -> { av; ac; pr; ui; s; c; i; a })
+      (tup6 av ac pr ui s (tup3 cia cia cia))
+  in
+  QCheck.Test.make ~name:"cvss: scores in [0,10], one decimal, monotone bands"
+    ~count:500
+    (QCheck.make ~print:Threatdb.Cvss.to_vector gen)
+    (fun b ->
+      let s = Threatdb.Cvss.base_score b in
+      let decimal_ok = Float.abs ((s *. 10.) -. Float.round (s *. 10.)) < 1e-9 in
+      s >= 0. && s <= 10. && decimal_ok)
+
+let prop_cvss_vector_roundtrip =
+  let gen =
+    let open QCheck.Gen in
+    let open Threatdb.Cvss in
+    map
+      (fun (av, ac, pr, ui, s, (c, i, a)) -> { av; ac; pr; ui; s; c; i; a })
+      (tup6
+         (oneofl [ AV_network; AV_adjacent; AV_local; AV_physical ])
+         (oneofl [ AC_low; AC_high ])
+         (oneofl [ PR_none; PR_low; PR_high ])
+         (oneofl [ UI_none; UI_required ])
+         (oneofl [ S_unchanged; S_changed ])
+         (tup3
+            (oneofl [ I_high; I_low; I_none ])
+            (oneofl [ I_high; I_low; I_none ])
+            (oneofl [ I_high; I_low; I_none ])))
+  in
+  QCheck.Test.make ~name:"cvss: of_vector . to_vector = id" ~count:300
+    (QCheck.make ~print:Threatdb.Cvss.to_vector gen)
+    (fun b ->
+      match Threatdb.Cvss.of_vector (Threatdb.Cvss.to_vector b) with
+      | Ok b' -> b = b'
+      | Error _ -> false)
+
+(* -------------------------------------------------------------------- *)
+(* Snapshots                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_referential_integrity () =
+  check (Alcotest.list Alcotest.string) "no broken links" []
+    (Threatdb.Db.referential_integrity ())
+
+let test_cwe_hierarchy () =
+  match Threatdb.Cwe.find 306 with
+  | Some w ->
+      let ancestors = Threatdb.Cwe.ancestors w in
+      check (Alcotest.list Alcotest.int) "306 -> 287 -> 284" [ 287; 284 ]
+        (List.map (fun (a : Threatdb.Cwe.t) -> a.Threatdb.Cwe.id) ancestors)
+  | None -> fail "CWE-306 missing"
+
+let test_cwe_for_type () =
+  let ws = Threatdb.Cwe.for_component_type "plc" in
+  check Alcotest.bool "plc has CWE-306" true
+    (List.exists (fun (w : Threatdb.Cwe.t) -> w.Threatdb.Cwe.id = 306) ws)
+
+let test_capec_for_cwe () =
+  let patterns = Threatdb.Capec.for_cwe 829 in
+  check Alcotest.bool "targeted malware exploits CWE-829" true
+    (List.exists
+       (fun (p : Threatdb.Capec.t) -> p.Threatdb.Capec.id = 542)
+       patterns)
+
+let test_attck_exploitation_of_remote_services () =
+  (* the technique named in §VII *)
+  match Threatdb.Attck.find_technique "T0866" with
+  | Some t ->
+      check Alcotest.string "name" "Exploitation of Remote Services"
+        t.Threatdb.Attck.name;
+      check Alcotest.bool "applies to workstations" true
+        (List.mem "workstation" t.Threatdb.Attck.applicable_types)
+  | None -> fail "T0866 missing"
+
+let test_attck_mitigations_of_paper () =
+  (* M1 = User Training, M2 = Endpoint Security (antimalware) *)
+  (match Threatdb.Attck.find_mitigation "M0917" with
+  | Some m -> check Alcotest.string "M1" "User Training" m.Threatdb.Attck.mname
+  | None -> fail "M0917 missing");
+  match Threatdb.Attck.find_technique "T0865" with
+  | Some t ->
+      let mids =
+        List.map
+          (fun (m : Threatdb.Attck.mitigation) -> m.Threatdb.Attck.mid)
+          (Threatdb.Attck.mitigations_for t)
+      in
+      check Alcotest.bool "spearphishing mitigated by training" true
+        (List.mem "M0917" mids);
+      check Alcotest.bool "and by endpoint security" true
+        (List.mem "M0949" mids)
+  | None -> fail "T0865 missing"
+
+let test_attck_tactic_query () =
+  let impact = Threatdb.Attck.techniques_for_tactic Threatdb.Attck.Impact in
+  check Alcotest.bool "loss of view is an impact" true
+    (List.exists (fun (t : Threatdb.Attck.technique) -> t.Threatdb.Attck.id = "T0829") impact)
+
+let test_cve_queries () =
+  let plc_cves = Threatdb.Cve.for_component_type "plc" in
+  check Alcotest.bool "plc has the program-download CVE" true
+    (List.exists
+       (fun (c : Threatdb.Cve.t) -> c.Threatdb.Cve.id = "CVE-SIM-2022-0201")
+       plc_cves);
+  match Threatdb.Cve.find "CVE-SIM-2023-0102" with
+  | Some c ->
+      check (Alcotest.float 0.001) "browser CVE scores 9.6" 9.6
+        (Threatdb.Cve.score c)
+  | None -> fail "CVE-SIM-2023-0102 missing"
+
+(* -------------------------------------------------------------------- *)
+(* Db / ASP facts                                                        *)
+(* -------------------------------------------------------------------- *)
+
+let test_db_threats_for_type () =
+  let threats = Threatdb.Db.threats_for_type "workstation" in
+  check Alcotest.bool "several threats" true (List.length threats >= 3);
+  let spear =
+    List.find_opt
+      (fun t -> t.Threatdb.Db.technique.Threatdb.Attck.id = "T0865")
+      threats
+  in
+  match spear with
+  | Some t ->
+      (* backed by the drive-by CVE? it applies to browser/email_client, not
+         workstation, so severity falls back to CAPEC (VH) *)
+      check Alcotest.bool "severity is high or very high" true
+        (Qual.Level.compare t.Threatdb.Db.severity Qual.Level.High >= 0)
+  | None -> fail "workstation should face spearphishing"
+
+let test_db_asp_facts () =
+  let p =
+    Threatdb.Db.asp_facts
+      ~components:[ ("ews", "workstation"); ("panel", "hmi") ]
+  in
+  match Asp.Solver.solve (Asp.Grounder.ground p) with
+  | [ m ] ->
+      check Alcotest.bool "ews vulnerable to T0866" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "vulnerable(ews, t0866)"));
+      check Alcotest.bool "panel loss of view" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "vulnerable(panel, t0829)"));
+      check Alcotest.bool "user training mitigates spearphishing" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "mitigates(m0917, t0865)"));
+      check Alcotest.bool "mitigation cost emitted" true
+        (Asp.Model.holds m (Asp.Parser.parse_atom "mitigation_cost(m0917, 2)"))
+  | _ -> fail "expected one model"
+
+let test_db_asp_facts_compose () =
+  (* find the cheapest mitigation covering every threat of one component *)
+  let p =
+    Asp.Program.append
+      (Threatdb.Db.asp_facts ~components:[ ("ews", "workstation") ])
+      (Asp.Parser.parse_program
+         "{ active(M) : mitigation(M) }.\n\
+          covered(T) :- vulnerable(ews, T), mitigates(M, T), active(M).\n\
+          :- vulnerable(ews, T), not covered(T).\n\
+          :~ active(M), mitigation_cost(M, C). [C@1, M]")
+  in
+  match Asp.Solver.solve_optimal (Asp.Grounder.ground p) with
+  | m :: _ ->
+      let active = Asp.Model.by_predicate m "active" in
+      check Alcotest.bool "found a covering set" true (List.length active >= 1)
+  | [] -> fail "expected an optimal covering"
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suites =
+  [
+    ( "threatdb.cvss",
+      [
+        Alcotest.test_case "golden base scores" `Quick
+          test_cvss_golden_base_scores;
+        Alcotest.test_case "severity bands" `Quick test_cvss_severity_bands;
+        Alcotest.test_case "temporal" `Quick test_cvss_temporal;
+        Alcotest.test_case "environmental defaults" `Quick
+          test_cvss_environmental_defaults;
+        Alcotest.test_case "environmental requirements" `Quick
+          test_cvss_environmental_requirements;
+        Alcotest.test_case "vector roundtrip (seed)" `Quick
+          test_cvss_vector_roundtrip;
+        Alcotest.test_case "vector errors" `Quick test_cvss_vector_errors;
+        Alcotest.test_case "roundup" `Quick test_cvss_roundup;
+        qcheck prop_cvss_score_in_range;
+        qcheck prop_cvss_vector_roundtrip;
+      ] );
+    ( "threatdb.snapshots",
+      [
+        Alcotest.test_case "referential integrity" `Quick
+          test_referential_integrity;
+        Alcotest.test_case "cwe hierarchy" `Quick test_cwe_hierarchy;
+        Alcotest.test_case "cwe for type" `Quick test_cwe_for_type;
+        Alcotest.test_case "capec for cwe" `Quick test_capec_for_cwe;
+        Alcotest.test_case "T0866 of the paper" `Quick
+          test_attck_exploitation_of_remote_services;
+        Alcotest.test_case "paper mitigations M1/M2" `Quick
+          test_attck_mitigations_of_paper;
+        Alcotest.test_case "tactic query" `Quick test_attck_tactic_query;
+        Alcotest.test_case "cve queries" `Quick test_cve_queries;
+      ] );
+    ( "threatdb.db",
+      [
+        Alcotest.test_case "threats for type" `Quick test_db_threats_for_type;
+        Alcotest.test_case "asp facts" `Quick test_db_asp_facts;
+        Alcotest.test_case "asp facts compose (set cover)" `Quick
+          test_db_asp_facts_compose;
+      ] );
+  ]
