@@ -5,6 +5,7 @@
      pipeline    run the Fig. 1 pipeline end to end
      matrices    print the qualitative risk matrices (Table I, IEC 61508)
      model       parse, validate and inspect a textual system model
+     lint        static analysis of ASP programs and system models
      threats     threat landscape of a typed model
      solve       run the embedded ASP solver on a program file
      score       CVSS v3.1 calculator *)
@@ -148,6 +149,114 @@ let model_cmd =
   Cmd.v
     (Cmd.info "model" ~doc:"Parse, validate and inspect a textual system model")
     Term.(const model_cmd_run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lint_run file builtin json strict list_codes =
+  let module D = Lint.Diagnostic in
+  if list_codes then begin
+    List.iter
+      (fun (code, sev, doc) ->
+        Printf.printf "%-6s %-8s %s\n" code (D.severity_to_string sev) doc)
+      Lint.codes;
+    0
+  end
+  else
+    let diags =
+      match builtin, file with
+      | Some `Water_tank, _ ->
+          (* the paper's S5 scenario: both mitigations and the worst fault
+             pair, so every predicate family is populated *)
+          let scenario =
+            List.assoc "S5" Cpsrisk.Water_tank.paper_scenarios
+          in
+          let encode atom time_term =
+            if atom = "alert" then
+              Asp.Lit.Pos (Asp.Atom.make "alert" [ time_term ])
+            else Telingo.Compile.default_encoding atom time_term
+          in
+          let requirements =
+            List.map
+              (fun (r : Epa.Requirement.t) ->
+                (r.Epa.Requirement.id, r.Epa.Requirement.formula))
+              Cpsrisk.Water_tank.requirements
+          in
+          Some
+            (Lint.run_program ~requirements ~encode
+               (Cpsrisk.Water_tank.asp_program ~scenario ()))
+      | None, Some file -> (
+          match read_file file with
+          | exception Sys_error msg ->
+              Printf.eprintf "%s\n" msg;
+              None
+          | src ->
+              if Filename.check_suffix file ".model" then
+                Some (Lint.run_model_source src)
+              else Some (Lint.run_source src))
+      | None, None ->
+          Printf.eprintf
+            "lint: a FILE or --builtin water-tank is required\n";
+          None
+    in
+    match diags with
+    | None -> 2
+    | Some diags ->
+        if json then print_endline (D.list_to_json diags)
+        else begin
+          List.iter (fun d -> print_endline (D.to_string d)) diags;
+          Printf.printf "lint: %s\n" (D.summary diags)
+        end;
+        if D.has_errors diags || (strict && not (D.is_clean diags)) then 1
+        else 0
+
+let lint_file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:"ASP program ($(b,.lp)) or textual system model ($(b,.model)); \
+              files ending in $(b,.model) get the model checks, everything \
+              else the program checks.")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("water-tank", `Water_tank) ])) None
+    & info [ "builtin" ] ~docv:"NAME"
+        ~doc:"Lint a built-in encoding instead of a file ($(b,water-tank): \
+              the generated S5 scenario program with requirement coverage).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit non-zero on warnings too, not just errors.")
+
+let list_codes_flag =
+  Arg.(
+    value & flag
+    & info [ "list-codes" ] ~doc:"Print the table of diagnostic codes and exit.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis of ASP programs and system models"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the pre-grounding check battery and prints located \
+              diagnostics. Exit status is 0 when no error-severity \
+              diagnostic was produced, 1 otherwise (with $(b,--strict), \
+              warnings also fail), 2 on usage errors.";
+         ])
+    Term.(
+      const lint_run $ lint_file_arg $ builtin_arg $ json_flag $ strict_flag
+      $ list_codes_flag)
 
 (* ------------------------------------------------------------------ *)
 (* threats                                                              *)
@@ -377,8 +486,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cpsrisk" ~version:"1.0.0" ~doc)
     [
-      casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; threats_cmd;
-      solve_cmd; score_cmd; attackgraph_cmd; dot_cmd; quant_cmd;
+      casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; lint_cmd;
+      threats_cmd; solve_cmd; score_cmd; attackgraph_cmd; dot_cmd; quant_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

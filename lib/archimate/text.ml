@@ -76,10 +76,21 @@ let parse_properties line_no toks =
   in
   go [] toks
 
-let parse src =
+type raw = {
+  raw_name : string option;
+  raw_elements : (int * Element.t) list;
+  raw_relations : (int * Relationship.t) list;
+}
+
+(* Syntactic pass only: statement shape, kinds, property blocks and
+   declaration order are enforced here; the id-level invariants the model
+   constructors maintain (duplicate ids, dangling endpoints) are NOT — the
+   lint layer checks those on the raw form with line positions attached. *)
+let parse_raw src =
   let lines = String.split_on_char '\n' src in
-  let model = ref None in
-  let rel_counter = ref 0 in
+  let name = ref None in
+  let elements = ref [] in
+  let relations = ref [] in
   List.iteri
     (fun idx line ->
       let line_no = idx + 1 in
@@ -90,14 +101,14 @@ let parse src =
       in
       match tokenize_line line_no line with
       | [ Eol ] -> ()
-      | Word "model" :: name :: Eol :: _ -> (
-          match name with
+      | Word "model" :: mname :: Eol :: _ -> (
+          match mname with
           | Quoted n | Word n -> (
-              match !model with
-              | None -> model := Some (Model.empty ~name:n)
+              match !name with
+              | None -> name := Some n
               | Some _ -> err "duplicate model declaration")
           | _ -> err "expected model name")
-      | Word "element" :: Word id :: Quoted name :: Word kind :: rest -> (
+      | Word "element" :: Word id :: Quoted ename :: Word kind :: rest ->
           let kind =
             match Element.kind_of_string kind with
             | Some k -> k
@@ -109,16 +120,12 @@ let parse src =
             | rest -> ([], rest)
           in
           (match rest with [ Eol ] | [] -> () | _ -> err "trailing tokens");
-          match !model with
-          | None -> err "element before model declaration"
-          | Some m -> (
-              match
-                Model.add_element (Element.make ~id ~name ~kind ~properties ()) m
-              with
-              | m -> model := Some m
-              | exception Invalid_argument msg -> err "%s" msg))
+          if !name = None then err "element before model declaration";
+          elements :=
+            (line_no, Element.make ~id ~name:ename ~kind ~properties ())
+            :: !elements
       | Word "relation" :: Word id :: Word kind :: Word source :: Arrow
-        :: Word target :: rest -> (
+        :: Word target :: rest ->
           let kind =
             match Relationship.kind_of_string kind with
             | Some k -> k
@@ -130,22 +137,34 @@ let parse src =
             | rest -> ([], rest)
           in
           (match rest with [ Eol ] | [] -> () | _ -> err "trailing tokens");
-          incr rel_counter;
-          match !model with
-          | None -> err "relation before model declaration"
-          | Some m -> (
-              match
-                Model.add_relationship
-                  (Relationship.make ~id ~source ~target ~kind ~properties ())
-                  m
-              with
-              | m -> model := Some m
-              | exception Invalid_argument msg -> err "%s" msg))
+          if !name = None then err "relation before model declaration";
+          relations :=
+            (line_no, Relationship.make ~id ~source ~target ~kind ~properties ())
+            :: !relations
       | _ -> err "unrecognized statement")
     lines;
-  match !model with
-  | Some m -> m
+  {
+    raw_name = !name;
+    raw_elements = List.rev !elements;
+    raw_relations = List.rev !relations;
+  }
+
+let build raw =
+  match raw.raw_name with
   | None -> raise (Error "missing model declaration")
+  | Some name ->
+      let add f m (line_no, x) =
+        try f x m
+        with Invalid_argument msg ->
+          raise (Error (Printf.sprintf "line %d: %s" line_no msg))
+      in
+      let m =
+        List.fold_left (add Model.add_element) (Model.empty ~name)
+          raw.raw_elements
+      in
+      List.fold_left (add Model.add_relationship) m raw.raw_relations
+
+let parse src = build (parse_raw src)
 
 let print_properties = function
   | [] -> ""

@@ -10,6 +10,27 @@
 
 exception Error of string
 
+type raw = {
+  raw_name : string option;
+  raw_elements : (int * Element.t) list;   (** 1-based source line, element *)
+  raw_relations : (int * Relationship.t) list;
+}
+(** The file after the syntactic pass only: statement shapes, kinds and
+    declaration order are checked, but the id-level invariants the model
+    constructors enforce (duplicate ids, dangling relationship endpoints)
+    are not yet — so a lint pass can report those as located diagnostics
+    instead of dying on the first one. *)
+
+val parse_raw : string -> raw
+(** Raises {!Error} on malformed statements. *)
+
+val build : raw -> Model.t
+(** Raises {!Error} (with the offending line) on duplicate ids or dangling
+    endpoints; elements are added before relationships, so forward
+    references within the file are fine. *)
+
 val parse : string -> Model.t
+(** [build (parse_raw src)]. *)
+
 val print : Model.t -> string
 (** [parse (print m)] reconstructs [m] up to property ordering. *)

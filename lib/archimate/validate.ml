@@ -1,9 +1,17 @@
-type severity = Error | Warning
+(* Re-exported so historical pattern-matches and field accesses through
+   [Validate] keep compiling; the definitions live in [Diagnostic]. *)
+type severity = Diagnostic.severity = Info | Warning | Error
 
-type issue = { severity : severity; subject : string; message : string }
+type issue = Diagnostic.t = {
+  code : string;
+  severity : severity;
+  pos : Diagnostic.pos option;
+  subject : string option;
+  message : string;
+}
 
-let error subject fmt = Printf.ksprintf (fun message -> { severity = Error; subject; message }) fmt
-let warning subject fmt = Printf.ksprintf (fun message -> { severity = Warning; subject; message }) fmt
+let error ~code subject fmt = Diagnostic.error ~code ~subject fmt
+let warning ~code subject fmt = Diagnostic.warning ~code ~subject fmt
 
 let composition_cycles m =
   (* DFS over composition edges *)
@@ -13,7 +21,9 @@ let composition_cycles m =
   let rec visit id =
     if Hashtbl.mem done_ id then ()
     else if Hashtbl.mem visiting id then
-      issues := error id "element is part of a composition cycle" :: !issues
+      issues :=
+        error ~code:"L101" id "element is part of a composition cycle"
+        :: !issues
     else begin
       Hashtbl.replace visiting id ();
       List.iter
@@ -34,7 +44,7 @@ let multiple_parents m =
       in
       if List.length parents > 1 then
         Some
-          (error e.Element.id "element has %d composition parents"
+          (error ~code:"L102" e.Element.id "element has %d composition parents"
              (List.length parents))
       else None)
     (Model.elements m)
@@ -43,7 +53,7 @@ let empty_names m =
   List.filter_map
     (fun (e : Element.t) ->
       if String.trim e.Element.name = "" then
-        Some (warning e.Element.id "element has an empty name")
+        Some (warning ~code:"L104" e.Element.id "element has an empty name")
       else None)
     (Model.elements m)
 
@@ -57,7 +67,9 @@ let duplicate_names m =
   Hashtbl.fold
     (fun name ids acc ->
       if List.length ids > 1 && String.trim name <> "" then
-        warning (String.concat "," (List.rev ids)) "duplicate element name %S" name
+        warning ~code:"L105"
+          (String.concat "," (List.rev ids))
+          "duplicate element name %S" name
         :: acc
       else acc)
     tbl []
@@ -69,7 +81,7 @@ let isolated m =
         Model.outgoing e.Element.id m = []
         && Model.incoming e.Element.id m = []
         && Model.element_count m > 1
-      then Some (warning e.Element.id "element has no relationships")
+      then Some (warning ~code:"L106" e.Element.id "element has no relationships")
       else None)
     (Model.elements m)
 
@@ -84,7 +96,10 @@ let flow_into_motivation m =
           | None -> false
         in
         if touches_motivation r.Relationship.source || touches_motivation r.Relationship.target
-        then Some (error r.Relationship.id "flow relationship touches a motivation element")
+        then
+          Some
+            (error ~code:"L103" r.Relationship.id
+               "flow relationship touches a motivation element")
         else None)
     (Model.relationships m)
 
@@ -92,23 +107,75 @@ let self_loops m =
   List.filter_map
     (fun (r : Relationship.t) ->
       if r.Relationship.source = r.Relationship.target then
-        Some (warning r.Relationship.id "self-loop relationship")
+        Some (warning ~code:"L107" r.Relationship.id "self-loop relationship")
       else None)
     (Model.relationships m)
 
 let run m =
-  let issues =
-    composition_cycles m @ multiple_parents m @ flow_into_motivation m
-    @ empty_names m @ duplicate_names m @ isolated m @ self_loops m
-  in
-  let errors, warnings =
-    List.partition (fun i -> i.severity = Error) issues
-  in
-  errors @ warnings
+  Diagnostic.sort
+    (composition_cycles m @ multiple_parents m @ flow_into_motivation m
+   @ empty_names m @ duplicate_names m @ isolated m @ self_loops m)
 
-let is_valid m = List.for_all (fun i -> i.severity <> Error) (run m)
+(* ------------------------------------------------------------------ *)
+(* Raw-level checks                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let pp_issue ppf i =
-  Format.fprintf ppf "[%s] %s: %s"
-    (match i.severity with Error -> "error" | Warning -> "warning")
-    i.subject i.message
+(* These invariants are enforced by the [Model] constructors ([invalid_arg]
+   on the first offender), so they can only be observed — and reported with
+   source lines, all at once — on the raw parse. *)
+let lint_raw (raw : Text.raw) =
+  let pos line = { Diagnostic.line; col = 0 } in
+  let dup_elements =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun (line, (e : Element.t)) ->
+        let id = e.Element.id in
+        if Hashtbl.mem seen id then
+          Some
+            (Diagnostic.error ~code:"L110" ~pos:(pos line) ~subject:id
+               "duplicate element id (first declared on line %d)"
+               (Hashtbl.find seen id))
+        else begin
+          Hashtbl.replace seen id line;
+          None
+        end)
+      raw.Text.raw_elements
+  in
+  let element_ids =
+    List.map (fun (_, (e : Element.t)) -> e.Element.id) raw.Text.raw_elements
+  in
+  let dangling =
+    List.concat_map
+      (fun (line, (r : Relationship.t)) ->
+        List.filter_map
+          (fun (role, id) ->
+            if List.mem id element_ids then None
+            else
+              Some
+                (Diagnostic.error ~code:"L108" ~pos:(pos line)
+                   ~subject:r.Relationship.id
+                   "relationship %s references unknown element %S" role id))
+          [ ("source", r.Relationship.source); ("target", r.Relationship.target) ])
+      raw.Text.raw_relations
+  in
+  let dup_relations =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun (line, (r : Relationship.t)) ->
+        let id = r.Relationship.id in
+        if Hashtbl.mem seen id then
+          Some
+            (Diagnostic.warning ~code:"L109" ~pos:(pos line) ~subject:id
+               "duplicate relationship id (first declared on line %d)"
+               (Hashtbl.find seen id))
+        else begin
+          Hashtbl.replace seen id line;
+          None
+        end)
+      raw.Text.raw_relations
+  in
+  Diagnostic.sort (dup_elements @ dangling @ dup_relations)
+
+let is_valid m = not (Diagnostic.has_errors (run m))
+
+let pp_issue = Diagnostic.pp

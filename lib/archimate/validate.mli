@@ -1,21 +1,43 @@
 (** Structural validation of system models ("system validation model",
     §II.C): errors make a model unusable for analysis, warnings flag likely
     modeling mistakes the sensitivity-analysis support should draw the
-    analyst's eye to. *)
+    analyst's eye to.
 
-type severity = Error | Warning
+    Issues are {!Diagnostic.t} values (codes [L101]–[L110]), so model
+    validation and program lint share one reporting pipeline. The types are
+    re-exported transparently: [Validate.Warning], [i.Validate.severity]
+    etc. keep working. *)
 
-type issue = { severity : severity; subject : string; message : string }
+type severity = Diagnostic.severity = Info | Warning | Error
+
+type issue = Diagnostic.t = {
+  code : string;
+  severity : severity;
+  pos : Diagnostic.pos option;
+  subject : string option;
+  message : string;
+}
 
 val run : Model.t -> issue list
-(** All issues, errors first. Checked rules:
-    - composition cycles (error)
-    - multiple composition parents (error)
-    - empty element names (warning)
-    - duplicate element names (warning)
-    - isolated elements — no incident relationship (warning)
-    - flow relationships touching motivation-layer elements (error)
-    - self-loop relationships (warning) *)
+(** All issues, sorted errors-first. Checked rules:
+    - [L101] composition cycles (error)
+    - [L102] multiple composition parents (error)
+    - [L103] flow relationships touching motivation-layer elements (error)
+    - [L104] empty element names (warning)
+    - [L105] duplicate element names (warning)
+    - [L106] isolated elements — no incident relationship (warning)
+    - [L107] self-loop relationships (warning) *)
+
+val lint_raw : Text.raw -> issue list
+(** Id-level invariants that the {!Model} constructors enforce by raising,
+    reported here on the raw parse as located diagnostics instead — all
+    offenders at once, each with its source line:
+    - [L108] relationship endpoint references an unknown element id (error)
+    - [L109] duplicate relationship id (warning)
+    - [L110] duplicate element id (error)
+
+    A raw model with no [L108]–[L110] findings is safe to {!Text.build}
+    (the constructors also reject duplicate relationship ids). *)
 
 val is_valid : Model.t -> bool
 (** No [Error]-severity issues. *)

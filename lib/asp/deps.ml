@@ -113,6 +113,19 @@ let scc_id_map components =
   List.iteri (fun i comp -> List.iter (fun n -> Hashtbl.replace tbl n i) comp) components;
   tbl
 
+let negative_cycle_sccs g =
+  let components = sccs g in
+  let ids = scc_id_map components in
+  List.filteri
+    (fun i comp ->
+      List.exists
+        (fun v ->
+          List.exists
+            (fun (w, pol) -> pol = Negative && Hashtbl.find ids w = i)
+            (successors g v))
+        comp)
+    components
+
 let stratified g =
   let components = sccs g in
   let ids = scc_id_map components in

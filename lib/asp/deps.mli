@@ -20,6 +20,10 @@ val sccs : t -> (string * int) list list
 val stratified : t -> bool
 (** No negative edge inside any SCC. *)
 
+val negative_cycle_sccs : t -> (string * int) list list
+(** The strongly connected components that do contain an internal negative
+    edge — the witnesses of non-stratification, one per offending cycle. *)
+
 val strata : t -> ((string * int) * int) list option
 (** Stratum number per predicate ([None] when not stratified): body
     predicates have strata [<=] the head's; negated body predicates have

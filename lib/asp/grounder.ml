@@ -5,105 +5,20 @@ exception Overflow of string
 (* Safety                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let add_var bound v = if List.mem v bound then bound else v :: bound
-
-(* Variables bound by the positive part of [lits], starting from [base]:
-   positive atoms bind their variables; an equality with one side a fresh
-   variable and the other side already bound acts as an assignment. *)
-let bound_closure base lits =
-  let bound =
-    List.fold_left
-      (fun acc l ->
-        match l with
-        | Lit.Pos a -> List.fold_left add_var acc (Atom.vars a)
-        | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> acc)
-      base lits
-  in
-  let subset vs bound = List.for_all (fun v -> List.mem v bound) vs in
-  let rec closure bound =
-    let bound', progressed =
-      List.fold_left
-        (fun (bound, progressed) l ->
-          match l with
-          | Lit.Cmp (Term.Var v, Lit.Eq, rhs)
-            when (not (List.mem v bound)) && subset (Term.vars rhs) bound ->
-              (v :: bound, true)
-          | Lit.Cmp (lhs, Lit.Eq, Term.Var v)
-            when (not (List.mem v bound)) && subset (Term.vars lhs) bound ->
-              (v :: bound, true)
-          | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ ->
-              (bound, progressed))
-        (bound, false) lits
-    in
-    if progressed then closure bound' else bound'
-  in
-  closure bound
-
-let check_safe_vars what rule_str vars bound =
-  List.iter
-    (fun v ->
-      if not (List.mem v bound) then
-        raise
-          (Unsafe
-             (Printf.sprintf "unsafe variable %s in %s of rule: %s" v what
-                rule_str)))
-    vars
-
-(* body-literal safety; aggregates may bind local variables inside their
-   own condition, so they are checked against an extended closure *)
-let check_body_lit rule_str bound l =
-  match l with
-  | Lit.Count { terms; cond; bound = agg_bound; _ } ->
-      List.iter
-        (fun c ->
-          match c with
-          | Lit.Count _ ->
-              raise (Unsafe ("nested aggregate in rule: " ^ rule_str))
-          | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> ())
-        cond;
-      check_safe_vars "aggregate bound" rule_str (Term.vars agg_bound) bound;
-      let ebound = bound_closure bound cond in
-      List.iter
-        (fun t -> check_safe_vars "aggregate tuple" rule_str (Term.vars t) ebound)
-        terms;
-      List.iter
-        (fun c -> check_safe_vars "aggregate condition" rule_str (Lit.vars c) ebound)
-        cond
-  | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ ->
-      check_safe_vars "body" rule_str (Lit.vars l) bound
-
+(* The analysis itself lives in [Safety] (the lint layer reuses it); the
+   grounder keeps its historical exception-based interface, but the message
+   now carries the rule's source position and lists every unsafe variable
+   instead of stopping at the first. *)
 let check_rule r =
-  let rule_str = Rule.to_string r in
-  match r with
-  | Rule.Weak { body; weight; terms; _ } ->
-      let bound = bound_closure [] body in
-      List.iter (check_body_lit rule_str bound) body;
-      check_safe_vars "weight" rule_str (Term.vars weight) bound;
-      List.iter (fun t -> check_safe_vars "terms" rule_str (Term.vars t) bound) terms
-  | Rule.Rule { head; body } -> (
-      let bound = bound_closure [] body in
-      List.iter (check_body_lit rule_str bound) body;
-      match head with
-      | Rule.Falsity -> ()
-      | Rule.Head a -> check_safe_vars "head" rule_str (Atom.vars a) bound
-      | Rule.Choice { elems; _ } ->
-          List.iter
-            (fun (e : Rule.choice_elem) ->
-              List.iter
-                (fun l ->
-                  match l with
-                  | Lit.Count _ ->
-                      raise
-                        (Unsafe
-                           ("aggregate in choice-element condition: " ^ rule_str))
-                  | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> ())
-                e.cond;
-              let ebound = bound_closure bound e.cond in
-              List.iter
-                (fun l -> check_safe_vars "condition" rule_str (Lit.vars l) ebound)
-                e.cond;
-              check_safe_vars "choice element" rule_str (Atom.vars e.atom) ebound)
-            elems)
+  match Safety.violations r with
+  | [] -> ()
+  | vs ->
+      let located =
+        match Rule.pos r with
+        | Some p -> Rule.pos_to_string p ^ ": "
+        | None -> ""
+      in
+      raise (Unsafe (located ^ Safety.describe r vs))
 
 (* ------------------------------------------------------------------ *)
 (* Matching                                                            *)
@@ -265,7 +180,7 @@ let ground ?(max_atoms = 200_000) p =
       (fun r ->
         match r with
         | Rule.Weak _ -> ()
-        | Rule.Rule { head; body } ->
+        | Rule.Rule { head; body; _ } ->
             matches by_sig [] body ~on_match:(fun subst ->
                 match head with
                 | Rule.Falsity -> ()
@@ -334,7 +249,7 @@ let ground ?(max_atoms = 200_000) p =
     (fun r ->
       let rule_str = Rule.to_string r in
       match r with
-      | Rule.Rule { head; body } ->
+      | Rule.Rule { head; body; _ } ->
           matches by_sig [] body ~on_match:(fun subst ->
               let pos = ground_pos subst body in
               let neg = ground_neg subst body in
@@ -364,7 +279,7 @@ let ground ?(max_atoms = 200_000) p =
                   emit
                     (Ground.Gchoice
                        { lower; upper; elems = List.rev !gelems; pos; neg; counts }))
-      | Rule.Weak { body; weight; priority; terms } ->
+      | Rule.Weak { body; weight; priority; terms; _ } ->
           matches by_sig [] body ~on_match:(fun subst ->
               let pos = ground_pos subst body in
               let neg = ground_neg subst body in

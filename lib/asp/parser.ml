@@ -316,9 +316,11 @@ let parse_program src =
       let rec loop acc =
         if peek st = Lexer.EOF then acc
         else
+          let { Lexer.line; col; _ } = located st in
+          let pos = { Rule.line; col } in
           let acc =
             match parse_statement st with
-            | `Rules rs -> Program.add_all rs acc
+            | `Rules rs -> Program.add_all (List.map (Rule.with_pos pos) rs) acc
             | `Show s -> Program.add_show s acc
           in
           loop acc

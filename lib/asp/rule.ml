@@ -1,28 +1,44 @@
 type choice_elem = { atom : Atom.t; cond : Lit.t list }
 
+type pos = { line : int; col : int }
+
 type head =
   | Head of Atom.t
   | Choice of { lower : int option; upper : int option; elems : choice_elem list }
   | Falsity
 
 type t =
-  | Rule of { head : head; body : Lit.t list }
-  | Weak of { body : Lit.t list; weight : Term.t; priority : int; terms : Term.t list }
+  | Rule of { head : head; body : Lit.t list; pos : pos option }
+  | Weak of {
+      body : Lit.t list;
+      weight : Term.t;
+      priority : int;
+      terms : Term.t list;
+      pos : pos option;
+    }
 
-let fact a = Rule { head = Head a; body = [] }
-let rule a body = Rule { head = Head a; body }
-let constraint_ body = Rule { head = Falsity; body }
+let fact ?pos a = Rule { head = Head a; body = []; pos }
+let rule ?pos a body = Rule { head = Head a; body; pos }
+let constraint_ ?pos body = Rule { head = Falsity; body; pos }
 
-let choice ?lower ?upper elems body =
-  Rule { head = Choice { lower; upper; elems }; body }
+let choice ?lower ?upper ?pos elems body =
+  Rule { head = Choice { lower; upper; elems }; body; pos }
 
-let weak ?(priority = 0) ?(terms = []) ~weight body =
-  Weak { body; weight; priority; terms }
+let weak ?(priority = 0) ?(terms = []) ?pos ~weight body =
+  Weak { body; weight; priority; terms; pos }
+
+let pos = function Rule { pos; _ } | Weak { pos; _ } -> pos
+
+let with_pos pos = function
+  | Rule r -> Rule { r with pos = Some pos }
+  | Weak w -> Weak { w with pos = Some pos }
+
+let pos_to_string { line; col } = Printf.sprintf "line %d, col %d" line col
 
 let add_vars acc vs = List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc vs
 
 let vars = function
-  | Rule { head; body } ->
+  | Rule { head; body; _ } ->
       let acc =
         match head with
         | Head a -> add_vars [] (Atom.vars a)
@@ -44,7 +60,7 @@ let vars = function
 let is_ground r = vars r = []
 
 let substitute s = function
-  | Rule { head; body } ->
+  | Rule { head; body; pos } ->
       let head =
         match head with
         | Head a -> Head (Atom.substitute s a)
@@ -64,14 +80,15 @@ let substitute s = function
                     elems;
               }
       in
-      Rule { head; body = List.map (Lit.substitute s) body }
-  | Weak { body; weight; priority; terms } ->
+      Rule { head; body = List.map (Lit.substitute s) body; pos }
+  | Weak { body; weight; priority; terms; pos } ->
       Weak
         {
           body = List.map (Lit.substitute s) body;
           weight = Term.substitute s weight;
           priority;
           terms = List.map (Term.substitute s) terms;
+          pos;
         }
 
 let head_atoms = function
@@ -84,12 +101,12 @@ let body = function Rule { body; _ } | Weak { body; _ } -> body
 let body_to_string body = String.concat ", " (List.map Lit.to_string body)
 
 let to_string = function
-  | Rule { head = Head a; body = [] } -> Atom.to_string a ^ "."
-  | Rule { head = Head a; body } ->
+  | Rule { head = Head a; body = []; _ } -> Atom.to_string a ^ "."
+  | Rule { head = Head a; body; _ } ->
       Printf.sprintf "%s :- %s." (Atom.to_string a) (body_to_string body)
-  | Rule { head = Falsity; body } ->
+  | Rule { head = Falsity; body; _ } ->
       Printf.sprintf ":- %s." (body_to_string body)
-  | Rule { head = Choice { lower; upper; elems }; body } ->
+  | Rule { head = Choice { lower; upper; elems }; body; _ } ->
       let elem_to_string (e : choice_elem) =
         match e.cond with
         | [] -> Atom.to_string e.atom
@@ -102,7 +119,7 @@ let to_string = function
       let head = Printf.sprintf "%s{ %s }%s" lo inner hi in
       if body = [] then head ^ "."
       else Printf.sprintf "%s :- %s." head (body_to_string body)
-  | Weak { body; weight; priority; terms } ->
+  | Weak { body; weight; priority; terms; _ } ->
       let terms_str =
         match terms with
         | [] -> ""

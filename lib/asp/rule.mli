@@ -4,6 +4,10 @@
 type choice_elem = { atom : Atom.t; cond : Lit.t list }
 (** A choice element [atom : cond1, …, condn]. *)
 
+type pos = { line : int; col : int }
+(** Source position (1-based) of the statement a rule was parsed from;
+    [None] for programmatically constructed rules. *)
+
 type head =
   | Head of Atom.t  (** normal rule / fact head *)
   | Choice of { lower : int option; upper : int option; elems : choice_elem list }
@@ -11,15 +15,25 @@ type head =
   | Falsity  (** integrity constraint [:- body] *)
 
 type t =
-  | Rule of { head : head; body : Lit.t list }
-  | Weak of { body : Lit.t list; weight : Term.t; priority : int; terms : Term.t list }
-      (** [:~ body. \[w@p, t1, …\]] *)
+  | Rule of { head : head; body : Lit.t list; pos : pos option }
+  | Weak of {
+      body : Lit.t list;
+      weight : Term.t;
+      priority : int;
+      terms : Term.t list;
+      pos : pos option;
+    }  (** [:~ body. \[w@p, t1, …\]] *)
 
-val fact : Atom.t -> t
-val rule : Atom.t -> Lit.t list -> t
-val constraint_ : Lit.t list -> t
-val choice : ?lower:int -> ?upper:int -> choice_elem list -> Lit.t list -> t
-val weak : ?priority:int -> ?terms:Term.t list -> weight:Term.t -> Lit.t list -> t
+val fact : ?pos:pos -> Atom.t -> t
+val rule : ?pos:pos -> Atom.t -> Lit.t list -> t
+val constraint_ : ?pos:pos -> Lit.t list -> t
+val choice : ?lower:int -> ?upper:int -> ?pos:pos -> choice_elem list -> Lit.t list -> t
+val weak :
+  ?priority:int -> ?terms:Term.t list -> ?pos:pos -> weight:Term.t -> Lit.t list -> t
+
+val pos : t -> pos option
+val with_pos : pos -> t -> t
+val pos_to_string : pos -> string
 
 val vars : t -> string list
 val is_ground : t -> bool

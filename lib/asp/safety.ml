@@ -1,0 +1,137 @@
+type violation =
+  | Unsafe_var of { context : string; var : string }
+  | Nested_aggregate
+  | Aggregate_in_choice_cond
+
+let add_var bound v = if List.mem v bound then bound else v :: bound
+
+(* Variables bound by the positive part of [lits], starting from [base]:
+   positive atoms bind their variables; an equality with one side a fresh
+   variable and the other side already bound acts as an assignment. *)
+let bound_closure base lits =
+  let bound =
+    List.fold_left
+      (fun acc l ->
+        match l with
+        | Lit.Pos a -> List.fold_left add_var acc (Atom.vars a)
+        | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> acc)
+      base lits
+  in
+  let subset vs bound = List.for_all (fun v -> List.mem v bound) vs in
+  let rec closure bound =
+    let bound', progressed =
+      List.fold_left
+        (fun (bound, progressed) l ->
+          match l with
+          | Lit.Cmp (Term.Var v, Lit.Eq, rhs)
+            when (not (List.mem v bound)) && subset (Term.vars rhs) bound ->
+              (v :: bound, true)
+          | Lit.Cmp (lhs, Lit.Eq, Term.Var v)
+            when (not (List.mem v bound)) && subset (Term.vars lhs) bound ->
+              (v :: bound, true)
+          | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ ->
+              (bound, progressed))
+        (bound, false) lits
+    in
+    if progressed then closure bound' else bound'
+  in
+  closure bound
+
+let unsafe_vars acc context vars bound =
+  List.fold_left
+    (fun acc v ->
+      if List.mem v bound then acc else Unsafe_var { context; var = v } :: acc)
+    acc vars
+
+(* body-literal safety; aggregates may bind local variables inside their
+   own condition, so they are checked against an extended closure *)
+let check_body_lit acc bound l =
+  match l with
+  | Lit.Count { terms; cond; bound = agg_bound; _ } ->
+      let acc =
+        List.fold_left
+          (fun acc c ->
+            match c with
+            | Lit.Count _ -> Nested_aggregate :: acc
+            | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> acc)
+          acc cond
+      in
+      let acc = unsafe_vars acc "aggregate bound" (Term.vars agg_bound) bound in
+      let ebound = bound_closure bound cond in
+      let acc =
+        List.fold_left
+          (fun acc t -> unsafe_vars acc "aggregate tuple" (Term.vars t) ebound)
+          acc terms
+      in
+      List.fold_left
+        (fun acc c -> unsafe_vars acc "aggregate condition" (Lit.vars c) ebound)
+        acc cond
+  | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ ->
+      unsafe_vars acc "body" (Lit.vars l) bound
+
+let violations r =
+  let acc =
+    match r with
+    | Rule.Weak { body; weight; terms; _ } ->
+        let bound = bound_closure [] body in
+        let acc = List.fold_left (fun acc l -> check_body_lit acc bound l) [] body in
+        let acc = unsafe_vars acc "weight" (Term.vars weight) bound in
+        List.fold_left
+          (fun acc t -> unsafe_vars acc "terms" (Term.vars t) bound)
+          acc terms
+    | Rule.Rule { head; body; _ } -> (
+        let bound = bound_closure [] body in
+        let acc = List.fold_left (fun acc l -> check_body_lit acc bound l) [] body in
+        match head with
+        | Rule.Falsity -> acc
+        | Rule.Head a -> unsafe_vars acc "head" (Atom.vars a) bound
+        | Rule.Choice { elems; _ } ->
+            List.fold_left
+              (fun acc (e : Rule.choice_elem) ->
+                let acc =
+                  List.fold_left
+                    (fun acc l ->
+                      match l with
+                      | Lit.Count _ -> Aggregate_in_choice_cond :: acc
+                      | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> acc)
+                    acc e.cond
+                in
+                let ebound = bound_closure bound e.cond in
+                let acc =
+                  List.fold_left
+                    (fun acc l -> unsafe_vars acc "condition" (Lit.vars l) ebound)
+                    acc e.cond
+                in
+                unsafe_vars acc "choice element" (Atom.vars e.atom) ebound)
+              acc elems)
+  in
+  (* [acc] was built by prepending: restore check order, then keep the
+     first occurrence of each violation *)
+  List.rev
+    (List.fold_left
+       (fun seen v -> if List.mem v seen then seen else v :: seen)
+       [] (List.rev acc))
+
+let is_safe r = violations r = []
+
+let violation_to_string = function
+  | Unsafe_var { context; var } -> Printf.sprintf "%s (%s)" var context
+  | Nested_aggregate -> "nested aggregate"
+  | Aggregate_in_choice_cond -> "aggregate in choice-element condition"
+
+let describe r vs =
+  let unsafe, structural =
+    List.partition (function Unsafe_var _ -> true | _ -> false) vs
+  in
+  let parts =
+    (match unsafe with
+    | [] -> []
+    | vs ->
+        [
+          Printf.sprintf "unsafe variable%s %s"
+            (if List.length vs = 1 then "" else "s")
+            (String.concat ", " (List.map violation_to_string vs));
+        ])
+    @ List.map violation_to_string structural
+  in
+  Printf.sprintf "%s in rule: %s" (String.concat "; " parts) (Rule.to_string r)

@@ -1,0 +1,33 @@
+(** Static safety analysis of rules, shared by the grounder and the lint
+    layer. A rule is safe when every variable is bound by a positive body
+    literal, an [X = expr] assignment over already-bound variables, or — for
+    choice elements and aggregates — the element's own condition.
+
+    Unlike {!Grounder}'s historical first-failure exception, this module
+    reports {e all} violations of a rule at once. *)
+
+type violation =
+  | Unsafe_var of { context : string; var : string }
+      (** [context] names where the variable occurs unbound: ["head"],
+          ["body"], ["choice element"], ["condition"], ["aggregate bound"],
+          ["aggregate tuple"], ["aggregate condition"], ["weight"] or
+          ["terms"]. *)
+  | Nested_aggregate  (** an aggregate inside an aggregate condition *)
+  | Aggregate_in_choice_cond  (** an aggregate inside a choice-element condition *)
+
+val violations : Rule.t -> violation list
+(** All safety violations of the rule, deduplicated, in check order
+    (body literals first, then the head). Empty for safe rules. *)
+
+val is_safe : Rule.t -> bool
+
+val bound_closure : string list -> Lit.t list -> string list
+(** Variables bound by the positive part of the literals, starting from the
+    given base set (exposed for reuse by the grounder). *)
+
+val violation_to_string : violation -> string
+
+val describe : Rule.t -> violation list -> string
+(** One-line description listing every violation and the rule's text.
+    Position-free: callers that want a located message prefix
+    {!Rule.pos_to_string} themselves. *)

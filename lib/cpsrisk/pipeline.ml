@@ -9,7 +9,7 @@ type ranked_hazard = {
 }
 
 type artifacts = {
-  validation : Archimate.Validate.issue list;
+  validation : Lint.Diagnostic.t list;
   mutations : mutation list;
   scenario_count : int;
   candidate_hazards : string list;
@@ -62,13 +62,20 @@ let run config =
   let log = ref [] in
   let logf fmt = Printf.ksprintf (fun s -> log := s :: !log) fmt in
   (* 1. system model *)
-  let validation = Archimate.Validate.run config.model in
-  if not (Archimate.Validate.is_valid config.model) then
-    invalid_arg "Pipeline.run: the system model has validation errors";
-  logf "step 1 (system model): %d elements, %d relationships, %d warnings"
+  let validation = Lint.run_model config.model in
+  if Lint.Diagnostic.has_errors validation then
+    invalid_arg
+      (Printf.sprintf "Pipeline.run: the system model has validation errors: %s"
+         (String.concat "; "
+            (List.map Lint.Diagnostic.to_string
+               (List.filter
+                  (fun (d : Lint.Diagnostic.t) ->
+                    d.Lint.Diagnostic.severity = Lint.Diagnostic.Error)
+                  validation))));
+  logf "step 1 (system model): %d elements, %d relationships, %s"
     (Archimate.Model.element_count config.model)
     (Archimate.Model.relationship_count config.model)
-    (List.length validation);
+    (Lint.Diagnostic.summary validation);
   (* 2. candidate system mutations *)
   let fault_mutations =
     List.map

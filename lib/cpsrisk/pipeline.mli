@@ -21,7 +21,7 @@ type ranked_hazard = {
 }
 
 type artifacts = {
-  validation : Archimate.Validate.issue list;
+  validation : Lint.Diagnostic.t list;
   mutations : mutation list;
   scenario_count : int;
   candidate_hazards : string list;   (** scenario labels before refinement *)
@@ -43,7 +43,7 @@ type config = {
 val water_tank_config : ?budget:int -> unit -> config
 
 val run : config -> artifacts
-(** Raises [Invalid_argument] when the model fails structural validation
-    (error-severity issues). *)
+(** Fails fast — raises [Invalid_argument] listing the error-severity lint
+    diagnostics — when the model fails structural validation. *)
 
 val render_log : artifacts -> string

@@ -13,6 +13,8 @@ let make ~id ~description ~formula =
 
 let of_formula ~id ~description formula = { id; description; formula }
 
+let atoms r = Ltl.Formula.atoms r.formula
+
 type verdict = Satisfied | Violated of Ltl.Trace.t
 
 let check ?horizon ts r =

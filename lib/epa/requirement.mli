@@ -13,6 +13,11 @@ val make : id:string -> description:string -> formula:string -> t
 
 val of_formula : id:string -> description:string -> Ltl.Formula.t -> t
 
+val atoms : t -> string list
+(** The state atoms the requirement's formula mentions — its footprint on
+    the trace vocabulary (what the lint coverage check compares against the
+    compiled program). *)
+
 type verdict = Satisfied | Violated of Ltl.Trace.t
 
 val check : ?horizon:int -> Ltl.Ts.t -> t -> verdict

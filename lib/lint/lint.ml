@@ -1,0 +1,424 @@
+module D = Diagnostic
+module Diagnostic = Diagnostic
+
+let sig_to_string (name, arity) = Printf.sprintf "%s/%d" name arity
+
+let rule_pos r =
+  Option.map
+    (fun { Asp.Rule.line; col } -> { D.line; col })
+    (Asp.Rule.pos r)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate reference collection                                      *)
+(* ------------------------------------------------------------------ *)
+
+type polarity = Pos | Neg
+
+(* predicate references of a body literal, aggregate conditions included *)
+let rec lit_refs l =
+  match l with
+  | Asp.Lit.Pos a -> [ (Asp.Atom.signature a, Pos) ]
+  | Asp.Lit.Neg a -> [ (Asp.Atom.signature a, Neg) ]
+  | Asp.Lit.Cmp _ -> []
+  | Asp.Lit.Count { cond; _ } -> List.concat_map lit_refs cond
+
+(* every body-position predicate reference of a rule: the main body plus
+   choice-element conditions *)
+let body_refs r =
+  let conds =
+    match r with
+    | Asp.Rule.Rule { head = Asp.Rule.Choice { elems; _ }; _ } ->
+        List.concat_map (fun (e : Asp.Rule.choice_elem) -> e.cond) elems
+    | Asp.Rule.Rule _ | Asp.Rule.Weak _ -> []
+  in
+  List.concat_map lit_refs (Asp.Rule.body r @ conds)
+
+let head_sigs r = List.map Asp.Atom.signature (Asp.Rule.head_atoms r)
+
+(* ------------------------------------------------------------------ *)
+(* L001: safety                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_safety rules =
+  List.concat_map
+    (fun r ->
+      match Asp.Safety.violations r with
+      | [] -> []
+      | vs ->
+          [ D.error ~code:"L001" ?pos:(rule_pos r) "%s" (Asp.Safety.describe r vs) ])
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* L002: stratification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_stratification p rules =
+  let g = Asp.Deps.of_program p in
+  List.map
+    (fun scc ->
+      let in_scc s = List.mem s scc in
+      (* anchor the cycle at the first rule that contributes a negative
+         edge inside it *)
+      let anchor =
+        List.find_opt
+          (fun r ->
+            List.exists in_scc (head_sigs r)
+            && List.exists
+                 (fun (s, pol) -> pol = Neg && in_scc s)
+                 (body_refs r))
+          rules
+      in
+      D.warning ~code:"L002"
+        ?pos:(Option.bind anchor rule_pos)
+        "predicate%s %s in a cycle through negation: the program is not stratified"
+        (if List.length scc = 1 then "" else "s")
+        (String.concat ", " (List.map sig_to_string scc)))
+    (Asp.Deps.negative_cycle_sccs g)
+
+(* ------------------------------------------------------------------ *)
+(* L003 / L004 / L005: predicate usage                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* first rule (program order) satisfying [f], for diagnostic anchoring *)
+let first_pos rules f =
+  List.find_opt f rules |> fun r -> Option.bind r rule_pos
+
+let check_undefined rules =
+  let defined = List.concat_map head_sigs rules in
+  let used = List.concat_map (fun r -> List.map fst (body_refs r)) rules in
+  let undefined =
+    List.sort_uniq compare (List.filter (fun s -> not (List.mem s defined)) used)
+  in
+  List.map
+    (fun s ->
+      D.warning ~code:"L003"
+        ?pos:(first_pos rules (fun r -> List.mem_assoc s (body_refs r)))
+        ~subject:(sig_to_string s)
+        "predicate is used in a rule body but never occurs in any head")
+    undefined
+
+let check_unused p rules =
+  let used = List.concat_map (fun r -> List.map fst (body_refs r)) rules in
+  let shown = Asp.Program.shows p in
+  let defined = List.sort_uniq compare (List.concat_map head_sigs rules) in
+  List.filter_map
+    (fun s ->
+      if List.mem s used || List.mem s shown then None
+      else
+        Some
+          (D.info ~code:"L004"
+             ?pos:(first_pos rules (fun r -> List.mem s (head_sigs r)))
+             ~subject:(sig_to_string s)
+             "predicate is never used in a body%s"
+             (if shown = [] then "" else " and not #shown")))
+    defined
+
+let check_arities rules =
+  let all r = head_sigs r @ List.map fst (body_refs r) in
+  let sigs = List.sort_uniq compare (List.concat_map all rules) in
+  let names = List.sort_uniq compare (List.map fst sigs) in
+  List.filter_map
+    (fun name ->
+      match List.filter (fun (n, _) -> n = name) sigs with
+      | [] | [ _ ] -> None
+      | many ->
+          Some
+            (D.warning ~code:"L005"
+               ?pos:
+                 (first_pos rules (fun r ->
+                      List.exists (fun (n, _) -> n = name) (all r)))
+               ~subject:name
+               "predicate is used with several arities: %s"
+               (String.concat ", " (List.map sig_to_string many))))
+    names
+
+(* ------------------------------------------------------------------ *)
+(* L006: singleton variables                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* variable occurrences with multiplicity, everywhere in the rule *)
+let rule_var_occurrences r =
+  let rec term t acc =
+    match t with
+    | Asp.Term.Var v -> v :: acc
+    | Asp.Term.Func (_, args) -> List.fold_left (fun acc t -> term t acc) acc args
+    | Asp.Term.Const _ | Asp.Term.Int _ | Asp.Term.Str _ -> acc
+  in
+  let atom (a : Asp.Atom.t) acc = List.fold_left (fun acc t -> term t acc) acc a.Asp.Atom.args in
+  let rec lit l acc =
+    match l with
+    | Asp.Lit.Pos a | Asp.Lit.Neg a -> atom a acc
+    | Asp.Lit.Cmp (l', _, r') -> term r' (term l' acc)
+    | Asp.Lit.Count { terms; cond; bound; _ } ->
+        let acc = List.fold_left (fun acc t -> term t acc) acc terms in
+        let acc = List.fold_left (fun acc c -> lit c acc) acc cond in
+        term bound acc
+  in
+  let lits ls acc = List.fold_left (fun acc l -> lit l acc) acc ls in
+  let occs =
+    match r with
+    | Asp.Rule.Weak { body; weight; terms; _ } ->
+        List.fold_left (fun acc t -> term t acc) (term weight (lits body [])) terms
+    | Asp.Rule.Rule { head; body; _ } ->
+        let acc = lits body [] in
+        (match head with
+        | Asp.Rule.Falsity -> acc
+        | Asp.Rule.Head a -> atom a acc
+        | Asp.Rule.Choice { elems; _ } ->
+            List.fold_left
+              (fun acc (e : Asp.Rule.choice_elem) -> lits e.cond (atom e.atom acc))
+              acc elems)
+  in
+  List.map
+    (fun v -> (v, List.length (List.filter (String.equal v) occs)))
+    (List.sort_uniq compare occs)
+
+let check_singletons rules =
+  List.filter_map
+    (fun r ->
+      let singletons =
+        List.filter_map
+          (fun (v, n) ->
+            if n = 1 && String.length v > 0 && v.[0] <> '_' then Some v else None)
+          (rule_var_occurrences r)
+      in
+      match singletons with
+      | [] -> None
+      | vs ->
+          Some
+            (D.info ~code:"L006" ?pos:(rule_pos r)
+               "variable%s %s occur%s only once in rule: %s"
+               (if List.length vs = 1 then "" else "s")
+               (String.concat ", " vs)
+               (if List.length vs = 1 then "s" else "")
+               (Asp.Rule.to_string r)))
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* L007: dead rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* positive main-body signatures — what a rule needs to fire *)
+let positive_body_sigs r =
+  List.filter_map
+    (fun l ->
+      match l with
+      | Asp.Lit.Pos a -> Some (Asp.Atom.signature a)
+      | Asp.Lit.Neg _ | Asp.Lit.Cmp _ | Asp.Lit.Count _ -> None)
+    (Asp.Rule.body r)
+
+(* Over-approximate fixpoint of derivable predicate signatures: a head is
+   derivable once every positive body predicate is (negation, comparisons,
+   aggregates and choice conditions are optimistically ignored). Anything
+   outside the fixpoint provably has no derivation. *)
+let derivable_sigs rules =
+  let tbl = Hashtbl.create 64 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        match head_sigs r with
+        | [] -> ()
+        | heads ->
+            if List.for_all (Hashtbl.mem tbl) (positive_body_sigs r) then
+              List.iter
+                (fun s ->
+                  if not (Hashtbl.mem tbl s) then begin
+                    Hashtbl.replace tbl s ();
+                    changed := true
+                  end)
+                heads)
+      rules
+  done;
+  tbl
+
+let check_dead_rules rules =
+  let derivable = derivable_sigs rules in
+  List.filter_map
+    (fun r ->
+      match
+        List.sort_uniq compare
+          (List.filter
+             (fun s -> not (Hashtbl.mem derivable s))
+             (positive_body_sigs r))
+      with
+      | [] -> None
+      | missing ->
+          Some
+            (D.warning ~code:"L007" ?pos:(rule_pos r)
+               "rule can never fire: no derivation for %s in rule: %s"
+               (String.concat ", " (List.map sig_to_string missing))
+               (Asp.Rule.to_string r)))
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* L008: grounding blowup through function symbols                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_function_recursion p rules =
+  let components = Asp.Deps.sccs (Asp.Deps.of_program p) in
+  let scc_of = Hashtbl.create 64 in
+  List.iteri
+    (fun i comp -> List.iter (fun s -> Hashtbl.replace scc_of s i) comp)
+    components;
+  let same_scc a b =
+    match Hashtbl.find_opt scc_of a, Hashtbl.find_opt scc_of b with
+    | Some i, Some j -> i = j
+    | _ -> false
+  in
+  let nonground_func t =
+    match t with
+    | Asp.Term.Func _ -> Asp.Term.vars t <> []
+    | Asp.Term.Const _ | Asp.Term.Int _ | Asp.Term.Str _ | Asp.Term.Var _ ->
+        false
+  in
+  List.filter_map
+    (fun r ->
+      let body = List.map fst (body_refs r) in
+      let offending =
+        List.filter
+          (fun (a : Asp.Atom.t) ->
+            List.exists nonground_func a.Asp.Atom.args
+            && List.exists (same_scc (Asp.Atom.signature a)) body)
+          (Asp.Rule.head_atoms r)
+      in
+      match offending with
+      | [] -> None
+      | a :: _ ->
+          Some
+            (D.warning ~code:"L008" ?pos:(rule_pos r)
+               ~subject:(sig_to_string (Asp.Atom.signature a))
+               "recursive rule builds new terms through a function symbol; \
+                grounding may not terminate: %s"
+               (Asp.Rule.to_string r)))
+    rules
+
+(* ------------------------------------------------------------------ *)
+(* L009: requirement coverage                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* can a head atom pattern produce an instance of the requirement's encoded
+   atom pattern? variables (and arithmetic) unify with anything *)
+let rec compatible t u =
+  match t, u with
+  | Asp.Term.Var _, _ | _, Asp.Term.Var _ -> true
+  | Asp.Term.Func (f, ts), Asp.Term.Func (g, us) ->
+      f = g && List.length ts = List.length us && List.for_all2 compatible ts us
+  | Asp.Term.Func _, _ | _, Asp.Term.Func _ -> true
+  | _ -> Asp.Term.equal t u
+
+let atom_display (a : Asp.Atom.t) =
+  let arg t =
+    match t with Asp.Term.Var _ -> "_" | t -> Asp.Term.to_string t
+  in
+  match a.Asp.Atom.args with
+  | [] -> a.Asp.Atom.pred
+  | args ->
+      Printf.sprintf "%s(%s)" a.Asp.Atom.pred
+        (String.concat ", " (List.map arg args))
+
+let run_requirements ?encode ~program reqs =
+  let heads = List.concat_map Asp.Rule.head_atoms (Asp.Program.rules program) in
+  let producible (a : Asp.Atom.t) =
+    List.exists
+      (fun (h : Asp.Atom.t) ->
+        Asp.Atom.signature h = Asp.Atom.signature a
+        && List.for_all2 compatible h.Asp.Atom.args a.Asp.Atom.args)
+      heads
+  in
+  List.concat_map
+    (fun (id, formula) ->
+      List.filter_map
+        (fun (atom_name, lit) ->
+          match (lit : Asp.Lit.t) with
+          | Asp.Lit.Cmp _ | Asp.Lit.Count _ -> None
+          | Asp.Lit.Pos a | Asp.Lit.Neg a ->
+              if producible a then None
+              else
+                Some
+                  (D.warning ~code:"L009" ~subject:id
+                     "requirement mentions %S, but no rule can derive %s"
+                     atom_name (atom_display a)))
+        (Telingo.Compile.encoded_atoms ?encode formula))
+    reqs
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_program ?(requirements = []) ?encode p =
+  let rules = Asp.Program.rules p in
+  D.sort
+    (check_safety rules @ check_stratification p rules @ check_undefined rules
+   @ check_unused p rules @ check_arities rules @ check_singletons rules
+   @ check_dead_rules rules @ check_function_recursion p rules
+   @ run_requirements ?encode ~program:p requirements)
+
+(* "line %d, col %d: rest" → located L000; anything else → unlocated *)
+let parse_error_diag msg =
+  match
+    Scanf.sscanf msg "line %d, col %d: %[\000-\255]" (fun line col rest ->
+        (Some { D.line; col }, rest))
+  with
+  | Some pos, rest -> D.error ~code:"L000" ~pos "%s" rest
+  | None, _ -> assert false
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      D.error ~code:"L000" "%s" msg
+
+let run_source ?requirements ?encode src =
+  match Asp.Parser.parse_program src with
+  | p -> run_program ?requirements ?encode p
+  | exception Asp.Parser.Error msg -> [ parse_error_diag msg ]
+
+let run_model m = Archimate.Validate.run m
+
+(* "line %d: rest" → located L000 (line-oriented parser, no columns) *)
+let model_parse_error_diag msg =
+  match
+    Scanf.sscanf msg "line %d: %[\000-\255]" (fun line rest ->
+        (Some { D.line; col = 0 }, rest))
+  with
+  | Some pos, rest -> D.error ~code:"L000" ~pos "%s" rest
+  | None, _ -> assert false
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      D.error ~code:"L000" "%s" msg
+
+let run_model_source src =
+  match Archimate.Text.parse_raw src with
+  | exception Archimate.Text.Error msg -> [ model_parse_error_diag msg ]
+  | raw -> (
+      let raw_issues = Archimate.Validate.lint_raw raw in
+      match Archimate.Text.build raw with
+      | m -> D.sort (raw_issues @ Archimate.Validate.run m)
+      | exception Archimate.Text.Error _ ->
+          (* id-level breakage: the raw issues already explain why *)
+          raw_issues)
+
+(* ------------------------------------------------------------------ *)
+(* Code registry (docs, --list-codes)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let codes =
+  [
+    ("L000", D.Error, "source is not parseable");
+    ("L001", D.Error, "unsafe variable or malformed aggregate in a rule");
+    ("L002", D.Warning, "cycle through negation; program is not stratified");
+    ("L003", D.Warning, "predicate used in a body but never defined");
+    ("L004", D.Info, "predicate defined but never used");
+    ("L005", D.Warning, "predicate used with several arities");
+    ("L006", D.Info, "singleton variable in a rule");
+    ("L007", D.Warning, "rule can never fire (underivable positive body atom)");
+    ("L008", D.Warning, "recursion builds terms through function symbols");
+    ("L009", D.Warning, "requirement mentions an atom no rule can produce");
+    ("L101", D.Error, "composition cycle");
+    ("L102", D.Error, "multiple composition parents");
+    ("L103", D.Error, "flow relationship touches a motivation element");
+    ("L104", D.Warning, "empty element name");
+    ("L105", D.Warning, "duplicate element name");
+    ("L106", D.Warning, "isolated element (no relationships)");
+    ("L107", D.Warning, "self-loop relationship");
+    ("L108", D.Error, "relationship endpoint references an unknown element");
+    ("L109", D.Warning, "duplicate relationship id");
+    ("L110", D.Error, "duplicate element id");
+  ]

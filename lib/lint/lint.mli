@@ -1,0 +1,63 @@
+(** Static analysis over ASP programs, Telingo-compiled requirement
+    encodings and ArchiMate-style system models, reported as unified
+    located {!Diagnostic.t} values ([L0xx] program codes, [L1xx] model
+    codes; see {!codes}).
+
+    Everything here runs {e before} grounding: the point is to catch
+    encoding mistakes — unsafe rules, non-stratified negation, misspelled
+    or mis-aritied predicates, rules that can never fire, recursion that
+    would make grounding diverge, requirements talking about atoms the
+    dynamics never produce — as a batch of located diagnostics rather than
+    as the grounder's first-failure exceptions. *)
+
+module Diagnostic = Diagnostic
+
+val run_program :
+  ?requirements:(string * Ltl.Formula.t) list ->
+  ?encode:Telingo.Compile.encoding ->
+  Asp.Program.t ->
+  Diagnostic.t list
+(** The full ASP check battery, sorted errors-first:
+    - [L001] safety violations ({!Asp.Safety}), every offending rule with
+      its source position (error)
+    - [L002] cycles through negation — non-stratified program (warning)
+    - [L003] body predicates never occurring in any head (warning)
+    - [L004] head predicates never used in a body nor [#show]n (info)
+    - [L005] one predicate name with several arities (warning)
+    - [L006] singleton variables, ["_"]-prefixed names exempt (info)
+    - [L007] dead rules: a positive body atom outside the over-approximate
+      derivability fixpoint (warning)
+    - [L008] recursive rules building new terms through function symbols —
+      the grounding-blowup heuristic (warning)
+    - [L009] requirement coverage, when [requirements] are given: see
+      {!run_requirements} (warning) *)
+
+val run_requirements :
+  ?encode:Telingo.Compile.encoding ->
+  program:Asp.Program.t ->
+  (string * Ltl.Formula.t) list ->
+  Diagnostic.t list
+(** [L009] only: each requirement's atoms are compiled through [encode]
+    (default {!Telingo.Compile.default_encoding}) and checked against the
+    program's rule heads — a requirement mentioning [level=flood] when no
+    rule can derive [holds(level, flood, _)] is vacuous or misspelled. *)
+
+val run_source :
+  ?requirements:(string * Ltl.Formula.t) list ->
+  ?encode:Telingo.Compile.encoding ->
+  string ->
+  Diagnostic.t list
+(** Parse concrete ASP syntax and {!run_program}; a syntax error becomes a
+    single located [L000] diagnostic instead of an exception. *)
+
+val run_model : Archimate.Model.t -> Diagnostic.t list
+(** Model checks [L101]–[L107] ({!Archimate.Validate.run}). *)
+
+val run_model_source : string -> Diagnostic.t list
+(** Model lint from source text: the raw id-level checks [L108]–[L110]
+    (with source lines) plus, when the model is buildable, the [L101]–[L107]
+    structural checks. A syntax error becomes a located [L000]. *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** Every diagnostic code with its severity and a one-line description —
+    the registry the CLI and the README table are generated from. *)

@@ -105,6 +105,9 @@ let formula ?(prefix = "f") ?(encode = default_encoding)
   ( Asp.Program.of_rules (List.rev !rules),
     Asp.Atom.make root_name (context.params @ [ Asp.Term.Int 0 ]) )
 
+let encoded_atoms ?(encode = default_encoding) f =
+  List.map (fun a -> (a, encode a tvar)) (Ltl.Formula.atoms f)
+
 let violated_rule ~requirement ~root =
   Asp.Rule.rule
     (Asp.Atom.make "violated" [ Asp.Term.Const (sanitize requirement) ])

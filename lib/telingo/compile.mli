@@ -51,6 +51,12 @@ val formula :
     context parameters as variables. Context parameters must not use the
     reserved variable names [TLT_NOW] and [TLT_NEXT]. *)
 
+val encoded_atoms : ?encode:encoding -> Ltl.Formula.t -> (string * Asp.Lit.t) list
+(** Each atom of the formula paired with the body literal it compiles to
+    (at the internal "now" time variable). This is the formula's footprint
+    on the trace vocabulary — the lint layer checks it against what the
+    dynamics rules can actually derive. *)
+
 val violated_rule : requirement:string -> root:Asp.Atom.t -> Asp.Rule.t
 (** [violated(requirement) :- not root.] *)
 

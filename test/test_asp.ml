@@ -80,7 +80,7 @@ let test_parse_paper_listing2 () =
 let test_parse_choice () =
   let r = Asp.Parser.parse_rule "1 { a(X) : b(X) ; c } 2 :- d." in
   match r with
-  | Asp.Rule.Rule { head = Asp.Rule.Choice { lower; upper; elems }; body } ->
+  | Asp.Rule.Rule { head = Asp.Rule.Choice { lower; upper; elems }; body; _ } ->
       check (Alcotest.option Alcotest.int) "lower" (Some 1) lower;
       check (Alcotest.option Alcotest.int) "upper" (Some 2) upper;
       check Alcotest.int "elems" 2 (List.length elems);
@@ -89,7 +89,7 @@ let test_parse_choice () =
 
 let test_parse_constraint_weak () =
   (match Asp.Parser.parse_rule ":- a, not b." with
-  | Asp.Rule.Rule { head = Asp.Rule.Falsity; body } ->
+  | Asp.Rule.Rule { head = Asp.Rule.Falsity; body; _ } ->
       check Alcotest.int "body size" 2 (List.length body)
   | _ -> fail "expected a constraint");
   match Asp.Parser.parse_rule ":~ cost(C). [C@1, C]" with
