@@ -459,9 +459,11 @@ let print_scaling () =
   List.iter
     (fun k ->
       let g = Asp.Grounder.ground (Cpsrisk.Cascade.asp_choice_program k) in
-      Printf.printf "  k=%2d: %5d stable models\n" k
-        (List.length (Asp.Solver.solve g)))
-    [ 4; 8; 10 ]
+      let models, stats = Asp.Solver.solve_with_stats g in
+      Printf.printf "  k=%2d: %5d stable models  (%s)\n" k
+        (List.length models)
+        (Asp.Solver.Stats.to_string stats))
+    [ 4; 8; 12 ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benchmarks                                           *)

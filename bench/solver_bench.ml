@@ -1,0 +1,155 @@
+(* Solver scaling sweep: the production solving path (Asp.Solver — interned
+   atoms, watch-indexed propagation, pruned DFS) against the retained
+   exhaustive reference (Asp.Naive), on three workload shapes:
+
+   - chain n:   deterministic transitive closure over an n-node chain; no
+                choices, measures pure propagation (semi-naive watch index
+                vs scan-all-rules fixpoint).
+   - choice k:  k free switches with one pinned atom, 2^(k-1) stable
+                models; output-bound enumeration.
+   - pinned k:  k choice atoms each pinned by a constraint, exactly one
+                stable model; the reference walks 2^k subsets while the
+                pruned search closes every wrong branch immediately.
+
+   Emits machine-readable JSON (committed as BENCH_solver.json at the repo
+   root for the full sweep; `dune build @bench-smoke` runs a seconds-scale
+   subset as part of the test tree). *)
+
+let time ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let pinned_program k =
+  let buf = Buffer.create 256 in
+  let atoms = List.init k (Printf.sprintf "x%d") in
+  Buffer.add_string buf
+    (Printf.sprintf "{ %s }.\n" (String.concat " ; " atoms));
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf ":- not %s.\n" a))
+    atoms;
+  Asp.Parser.parse_program (Buffer.contents buf)
+
+type entry = {
+  workload : string;
+  param : int;
+  atoms : int;
+  models : int;
+  solver_s : float;
+  naive_s : float option; (* None above the reference's budget *)
+  stats : Asp.Solver.Stats.t;
+}
+
+let run_workload ~reps ~naive_cap name param program =
+  let g = Asp.Grounder.ground program in
+  let (models, stats), solver_s =
+    time ~reps (fun () -> Asp.Solver.solve_with_stats g)
+  in
+  let naive_s =
+    if param <= naive_cap then begin
+      let naive_models, dt =
+        time ~reps (fun () -> Asp.Naive.solve ~max_guess:64 g)
+      in
+      (* the sweep doubles as a coarse differential check *)
+      if List.length naive_models <> List.length models then begin
+        Printf.eprintf "solver/naive disagree on %s %d: %d vs %d models\n"
+          name param (List.length models) (List.length naive_models);
+        exit 2
+      end;
+      Some dt
+    end
+    else None
+  in
+  Printf.eprintf "  %s %2d: solver %8.4fs%s, %d models\n%!" name param
+    solver_s
+    (match naive_s with
+    | Some t -> Printf.sprintf ", naive %8.4fs (%.1fx)" t (t /. solver_s)
+    | None -> ", naive skipped")
+    (List.length models);
+  {
+    workload = name;
+    param;
+    atoms = Asp.Ground.atom_count g;
+    models = List.length models;
+    solver_s;
+    naive_s;
+    stats;
+  }
+
+let emit_json out mode entries =
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"asp-solver-scaling\",\n";
+  p "  \"mode\": %S,\n" mode;
+  p "  \"reference\": \"Asp.Naive (exhaustive subset enumeration)\",\n";
+  p "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      let s = e.stats in
+      p
+        "    {\"workload\": %S, \"param\": %d, \"ground_atoms\": %d, \
+         \"models\": %d,\n\
+        \     \"solver_s\": %.6f, \"naive_s\": %s, \"speedup\": %s,\n\
+        \     \"stats\": {\"guesses\": %d, \"pruned\": %d, \"firings\": %d, \
+         \"leaves\": %d}}%s\n"
+        e.workload e.param e.atoms e.models e.solver_s
+        (match e.naive_s with
+        | Some t -> Printf.sprintf "%.6f" t
+        | None -> "null")
+        (match e.naive_s with
+        | Some t -> Printf.sprintf "%.2f" (t /. e.solver_s)
+        | None -> "null")
+        s.Asp.Solver.Stats.guesses s.Asp.Solver.Stats.pruned
+        s.Asp.Solver.Stats.firings s.Asp.Solver.Stats.leaves
+        (if i = List.length entries - 1 then "" else ",");
+      ())
+    entries;
+  p "  ]\n}\n";
+  close_out oc
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out = ref "BENCH_solver.json" in
+  Array.iteri
+    (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then
+        out := Sys.argv.(i + 1))
+    Sys.argv;
+  let reps = if smoke then 1 else 3 in
+  (* chain: pure propagation, no guessing *)
+  let chain_ns = if smoke then [ 20; 40 ] else [ 20; 40; 80; 160 ] in
+  (* choice: 2^(k-1) models, output-bound *)
+  let choice_ks = if smoke then [ 6; 8 ] else [ 6; 10; 12; 14 ] in
+  let choice_naive_cap = if smoke then 8 else 14 in
+  (* pinned: one model; the reference is 2^k, the pruned search ~linear.
+     k = 18 is the largest size the reference finishes within the full
+     bench budget; the production solver continues far past its
+     historical cap of 24 choice atoms. *)
+  let pinned_ks = if smoke then [ 8; 12; 28 ] else [ 8; 12; 16; 18; 24; 28; 32 ] in
+  let pinned_naive_cap = if smoke then 12 else 18 in
+  let entries =
+    List.map
+      (fun n ->
+        run_workload ~reps ~naive_cap:max_int "chain" n
+          (Cpsrisk.Cascade.asp_chain_program n))
+      chain_ns
+    @ List.map
+        (fun k ->
+          run_workload ~reps ~naive_cap:choice_naive_cap "choice" k
+            (Cpsrisk.Cascade.asp_choice_program k))
+        choice_ks
+    @ List.map
+        (fun k ->
+          run_workload ~reps ~naive_cap:pinned_naive_cap "pinned" k
+            (pinned_program k))
+        pinned_ks
+  in
+  emit_json !out (if smoke then "smoke" else "full") entries;
+  Printf.eprintf "wrote %s\n" !out

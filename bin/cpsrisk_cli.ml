@@ -296,7 +296,7 @@ let threats_cmd =
 (* solve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let solve file limit optimal =
+let solve file limit optimal stats max_guess =
   match Asp.Parser.parse_program (read_file file) with
   | exception Asp.Parser.Error msg ->
       Printf.eprintf "parse error: %s\n" msg;
@@ -307,27 +307,39 @@ let solve file limit optimal =
           Printf.eprintf "grounding error: %s\n" msg;
           1
       | ground -> (
-          let models =
-            if optimal then Asp.Solver.solve_optimal ground
-            else Asp.Solver.solve ?limit ground
-          in
-          let shows = ground.Asp.Ground.shows in
-          let project m =
-            if shows = [] then m else Asp.Model.project shows m
-          in
-          match models with
-          | [] ->
-              print_endline "UNSATISFIABLE";
+          match
+            if optimal then Asp.Solver.solve_optimal_with_stats ?max_guess ground
+            else Asp.Solver.solve_with_stats ?limit ?max_guess ground
+          with
+          | exception Asp.Solver.Unsupported msg ->
+              Printf.eprintf "unsupported program: %s\n" msg;
               1
-          | models ->
-              List.iteri
-                (fun i m ->
-                  Printf.printf "Answer %d: %s\n" (i + 1)
-                    (Asp.Model.to_string (project m)))
-                models;
-              Printf.printf "SATISFIABLE (%d model%s)\n" (List.length models)
-                (if List.length models = 1 then "" else "s");
-              0))
+          | models, search_stats -> (
+              let shows = ground.Asp.Ground.shows in
+              let project m =
+                if shows = [] then m else Asp.Model.project shows m
+              in
+              let report_stats () =
+                if stats then
+                  Printf.printf "Stats: %s\n"
+                    (Asp.Solver.Stats.to_string search_stats)
+              in
+              match models with
+              | [] ->
+                  print_endline "UNSATISFIABLE";
+                  report_stats ();
+                  1
+              | models ->
+                  List.iteri
+                    (fun i m ->
+                      Printf.printf "Answer %d: %s\n" (i + 1)
+                        (Asp.Model.to_string (project m)))
+                    models;
+                  Printf.printf "SATISFIABLE (%d model%s)\n"
+                    (List.length models)
+                    (if List.length models = 1 then "" else "s");
+                  report_stats ();
+                  0)))
 
 let limit_arg =
   Arg.(
@@ -340,10 +352,29 @@ let optimal_arg =
     value & flag
     & info [ "opt" ] ~doc:"Report only weak-constraint-optimal models.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print search statistics (decisions, pruned subtrees, rule \
+           firings, leaves, models, wall time) after solving.")
+
+let max_guess_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-guess" ] ~docv:"N"
+        ~doc:
+          "Refuse programs whose choice space spans more than $(docv) atoms \
+           (default 64).")
+
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the embedded ASP solver on a program file")
-    Term.(const solve $ file_arg $ limit_arg $ optimal_arg)
+    Term.(
+      const solve $ file_arg $ limit_arg $ optimal_arg $ stats_arg
+      $ max_guess_arg)
 
 (* ------------------------------------------------------------------ *)
 (* score                                                                *)

@@ -1,0 +1,498 @@
+exception Unsupported of string
+
+module AtomSet = Model.AtomSet
+
+(* ------------------------------------------------------------------ *)
+(* Rule-level stratification of the ground program                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Union-find over predicate signatures: all head predicates of one rule
+   share a stratum (a choice rule may derive several predicates). *)
+module Uf = struct
+  type t = (string * int, string * int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find (uf : t) x =
+    match Hashtbl.find_opt uf x with
+    | None ->
+        Hashtbl.replace uf x x;
+        x
+    | Some p when p = x -> x
+    | Some p ->
+        let r = find uf p in
+        Hashtbl.replace uf x r;
+        r
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf ra rb
+end
+
+type rule_deps = {
+  heads : (string * int) list;
+  pos_deps : (string * int) list;
+  neg_deps : (string * int) list;
+}
+
+(* every atom an aggregate's condition mentions must be decided strictly
+   below the rule: treat them all as negative dependencies *)
+let count_deps counts =
+  List.concat_map
+    (fun (c : Ground.gcount) ->
+      List.concat_map
+        (fun (e : Ground.gcount_elem) ->
+          List.map Atom.signature e.Ground.epos
+          @ List.map Atom.signature e.Ground.eneg)
+        c.Ground.celems)
+    counts
+
+let rule_deps = function
+  | Ground.Gfact a -> { heads = [ Atom.signature a ]; pos_deps = []; neg_deps = [] }
+  | Ground.Grule { head; pos; neg; counts } ->
+      {
+        heads = [ Atom.signature head ];
+        pos_deps = List.map Atom.signature pos;
+        neg_deps = List.map Atom.signature neg @ count_deps counts;
+      }
+  | Ground.Gchoice { elems; pos; neg; counts; _ } ->
+      {
+        heads = List.map (fun e -> Atom.signature e.Ground.gatom) elems;
+        pos_deps =
+          List.map Atom.signature pos
+          @ List.concat_map
+              (fun e -> List.map Atom.signature e.Ground.gpos)
+              elems;
+        neg_deps =
+          List.map Atom.signature neg
+          @ List.concat_map
+              (fun e -> List.map Atom.signature e.Ground.gneg)
+              elems
+          @ count_deps counts;
+      }
+  | Ground.Gconstraint _ | Ground.Gweak _ ->
+      { heads = []; pos_deps = []; neg_deps = [] }
+
+type strat = {
+  stratum_of : (string * int) -> int;
+  max_stratum : int;
+  ok : bool; (* false when the program is not stratified modulo choices *)
+}
+
+let stratify (g : Ground.t) =
+  let uf = Uf.create () in
+  let deps = List.map rule_deps g.Ground.rules in
+  (* merge head predicates of each rule *)
+  List.iter
+    (fun d ->
+      match d.heads with
+      | [] -> ()
+      | h :: rest -> List.iter (fun h' -> Uf.union uf h h') rest)
+    deps;
+  (* collect nodes *)
+  let nodes = Hashtbl.create 64 in
+  let add_node sg = Hashtbl.replace nodes (Uf.find uf sg) () in
+  List.iter
+    (fun d ->
+      List.iter add_node d.heads;
+      List.iter add_node d.pos_deps;
+      List.iter add_node d.neg_deps)
+    deps;
+  AtomSet.iter (fun a -> add_node (Atom.signature a)) g.Ground.universe;
+  (* edges: rep(head) -> (rep(dep), negated?) *)
+  let edges = Hashtbl.create 64 in
+  let add_edge h d negp =
+    let h = Uf.find uf h and d = Uf.find uf d in
+    let l = match Hashtbl.find_opt edges h with Some l -> l | None -> [] in
+    if not (List.mem (d, negp) l) then Hashtbl.replace edges h ((d, negp) :: l)
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun h ->
+          List.iter (fun p -> add_edge h p false) d.pos_deps;
+          List.iter (fun n -> add_edge h n true) d.neg_deps)
+        d.heads)
+    deps;
+  (* longest-path stratum assignment with negative edges strict; detect
+     negative cycles by bounding iterations. *)
+  let node_list = Hashtbl.fold (fun n () acc -> n :: acc) nodes [] in
+  let n_nodes = List.length node_list in
+  let stratum = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace stratum n 0) node_list;
+  let changed = ref true in
+  let rounds = ref 0 in
+  let ok = ref true in
+  while !changed && !ok do
+    changed := false;
+    incr rounds;
+    if !rounds > n_nodes + 1 then ok := false
+    else
+      List.iter
+        (fun h ->
+          let sh = Hashtbl.find stratum h in
+          List.iter
+            (fun (d, negp) ->
+              let sd = Hashtbl.find stratum d in
+              let required = if negp then sd + 1 else sd in
+              if sh < required then begin
+                Hashtbl.replace stratum h required;
+                changed := true
+              end)
+            (match Hashtbl.find_opt edges h with Some l -> l | None -> []))
+        node_list
+  done;
+  let max_stratum =
+    Hashtbl.fold (fun _ s acc -> max s acc) stratum 0
+  in
+  {
+    stratum_of =
+      (fun sg ->
+        match Hashtbl.find_opt stratum (Uf.find uf sg) with
+        | Some s -> s
+        | None -> 0);
+    max_stratum;
+    ok = !ok;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint evaluation given a guess                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sat_pos m pos = List.for_all (fun a -> AtomSet.mem a m) pos
+let sat_neg m neg = not (List.exists (fun a -> AtomSet.mem a m) neg)
+
+let eval_count m (c : Ground.gcount) =
+  let tuples =
+    List.filter_map
+      (fun (e : Ground.gcount_elem) ->
+        if sat_pos m e.Ground.epos && sat_neg m e.Ground.eneg then
+          Some e.Ground.etuple
+        else None)
+      c.Ground.celems
+    |> List.sort_uniq (List.compare Term.compare)
+  in
+  let n =
+    match c.Ground.ckind with
+    | Lit.Cardinality -> List.length tuples
+    | Lit.Summation ->
+        List.fold_left
+          (fun acc tuple ->
+            match tuple with
+            | Term.Int w :: _ -> acc + w
+            | _ -> acc (* non-integer weights contribute 0, as in clingo *))
+          0 tuples
+  in
+  match c.Ground.cop with
+  | Lit.Eq -> n = c.Ground.cbound
+  | Lit.Ne -> n <> c.Ground.cbound
+  | Lit.Lt -> n < c.Ground.cbound
+  | Lit.Le -> n <= c.Ground.cbound
+  | Lit.Gt -> n > c.Ground.cbound
+  | Lit.Ge -> n >= c.Ground.cbound
+
+let sat_counts m counts = List.for_all (eval_count m) counts
+
+(* Evaluate strata in order; [in_guess] decides choice atoms. *)
+let eval_stratified (g : Ground.t) (st : strat) ~in_guess =
+  let rule_stratum r =
+    match (rule_deps r).heads with
+    | [] -> -1 (* constraints / weaks: not evaluated here *)
+    | h :: _ -> st.stratum_of h
+  in
+  let m = ref AtomSet.empty in
+  for s = 0 to st.max_stratum do
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun r ->
+          if rule_stratum r = s then
+            match r with
+            | Ground.Gfact a ->
+                if not (AtomSet.mem a !m) then begin
+                  m := AtomSet.add a !m;
+                  changed := true
+                end
+            | Ground.Grule { head; pos; neg; counts } ->
+                if
+                  (not (AtomSet.mem head !m))
+                  && sat_pos !m pos && sat_neg !m neg
+                  && sat_counts !m counts
+                then begin
+                  m := AtomSet.add head !m;
+                  changed := true
+                end
+            | Ground.Gchoice { elems; pos; neg; counts; _ } ->
+                if sat_pos !m pos && sat_neg !m neg && sat_counts !m counts then
+                  List.iter
+                    (fun e ->
+                      if
+                        (not (AtomSet.mem e.Ground.gatom !m))
+                        && in_guess e.Ground.gatom
+                        && sat_pos !m e.Ground.gpos
+                        && sat_neg !m e.Ground.gneg
+                      then begin
+                        m := AtomSet.add e.Ground.gatom !m;
+                        changed := true
+                      end)
+                    elems
+            | Ground.Gconstraint _ | Ground.Gweak _ -> ())
+        g.Ground.rules
+    done
+  done;
+  !m
+
+(* Least model of the reduct: negatives decided by [neg_value]; choice
+   atoms admitted by [in_guess]; aggregates evaluated against the fixed
+   candidate interpretation [count_model] (stratified aggregates are
+   two-valued once the candidate is fixed). *)
+let eval_reduct (g : Ground.t) ~neg_value ~in_guess ~count_model =
+  let m = ref AtomSet.empty in
+  let neg_ok neg = not (List.exists neg_value neg) in
+  let counts_ok counts = sat_counts count_model counts in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        match r with
+        | Ground.Gfact a ->
+            if not (AtomSet.mem a !m) then begin
+              m := AtomSet.add a !m;
+              changed := true
+            end
+        | Ground.Grule { head; pos; neg; counts } ->
+            if
+              (not (AtomSet.mem head !m))
+              && sat_pos !m pos && neg_ok neg && counts_ok counts
+            then begin
+              m := AtomSet.add head !m;
+              changed := true
+            end
+        | Ground.Gchoice { elems; pos; neg; counts; _ } ->
+            if sat_pos !m pos && neg_ok neg && counts_ok counts then
+              List.iter
+                (fun e ->
+                  if
+                    (not (AtomSet.mem e.Ground.gatom !m))
+                    && in_guess e.Ground.gatom
+                    && sat_pos !m e.Ground.gpos
+                    && neg_ok e.Ground.gneg
+                  then begin
+                    m := AtomSet.add e.Ground.gatom !m;
+                    changed := true
+                  end)
+                elems
+        | Ground.Gconstraint _ | Ground.Gweak _ -> ())
+      g.Ground.rules
+  done;
+  !m
+
+(* ------------------------------------------------------------------ *)
+(* Post-hoc checks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let constraints_ok (g : Ground.t) m =
+  List.for_all
+    (fun r ->
+      match r with
+      | Ground.Gconstraint { pos; neg; counts } ->
+          not (sat_pos m pos && sat_neg m neg && sat_counts m counts)
+      | Ground.Gfact _ | Ground.Grule _ | Ground.Gchoice _ | Ground.Gweak _ ->
+          true)
+    g.Ground.rules
+
+let bounds_ok (g : Ground.t) m =
+  List.for_all
+    (fun r ->
+      match r with
+      | Ground.Gchoice { lower; upper; elems; pos; neg; counts } ->
+          if not (sat_pos m pos && sat_neg m neg && sat_counts m counts) then
+            true
+          else begin
+            let chosen =
+              List.length
+                (List.filter
+                   (fun e ->
+                     AtomSet.mem e.Ground.gatom m
+                     && sat_pos m e.Ground.gpos
+                     && sat_neg m e.Ground.gneg)
+                   elems)
+            in
+            (match lower with Some lo -> chosen >= lo | None -> true)
+            && match upper with Some hi -> chosen <= hi | None -> true
+          end
+      | Ground.Gfact _ | Ground.Grule _ | Ground.Gconstraint _ | Ground.Gweak _
+        ->
+          true)
+    g.Ground.rules
+
+let cost_of (g : Ground.t) m =
+  let tuples = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | Ground.Gweak { pos; neg; counts; weight; priority; terms } ->
+          if sat_pos m pos && sat_neg m neg && sat_counts m counts then
+            Hashtbl.replace tuples (priority, weight, terms) ()
+      | Ground.Gfact _ | Ground.Grule _ | Ground.Gchoice _ | Ground.Gconstraint _
+        ->
+          ())
+    g.Ground.rules;
+  let per_level = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (priority, weight, _) () ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt per_level priority) in
+      Hashtbl.replace per_level priority (cur + weight))
+    tuples;
+  Hashtbl.fold (fun p w acc -> (p, w) :: acc) per_level []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* Guess-space enumeration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let choice_atoms (g : Ground.t) =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Ground.Gchoice { elems; _ } ->
+          List.fold_left
+            (fun acc e -> AtomSet.add e.Ground.gatom acc)
+            acc elems
+      | Ground.Gfact _ | Ground.Grule _ | Ground.Gconstraint _ | Ground.Gweak _
+        ->
+          acc)
+    AtomSet.empty g.Ground.rules
+
+let derivation_negated_atoms (g : Ground.t) =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Ground.Grule { neg; _ } -> List.fold_left (fun s a -> AtomSet.add a s) acc neg
+      | Ground.Gchoice { neg; elems; _ } ->
+          let acc = List.fold_left (fun s a -> AtomSet.add a s) acc neg in
+          List.fold_left
+            (fun acc e ->
+              List.fold_left (fun s a -> AtomSet.add a s) acc e.Ground.gneg)
+            acc elems
+      | Ground.Gfact _ | Ground.Gconstraint _ | Ground.Gweak _ -> acc)
+    AtomSet.empty g.Ground.rules
+
+let enumerate_subsets atoms ~on_subset =
+  let atoms = Array.of_list atoms in
+  let n = Array.length atoms in
+  let chosen = Hashtbl.create 16 in
+  let rec go i =
+    if i = n then on_subset (fun a -> Hashtbl.mem chosen a)
+    else begin
+      go (i + 1);
+      Hashtbl.replace chosen atoms.(i) ();
+      go (i + 1);
+      Hashtbl.remove chosen atoms.(i)
+    end
+  in
+  go 0
+
+exception Done
+
+let solve ?limit ?(max_guess = 24) (g : Ground.t) =
+  let st = stratify g in
+  let choices = AtomSet.elements (choice_atoms g) in
+  let models = ref [] in
+  let seen = Hashtbl.create 64 in
+  let n_found = ref 0 in
+  let add_model m =
+    let key = AtomSet.elements m in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      models := Model.make ~cost:(cost_of g m) m :: !models;
+      incr n_found;
+      match limit with Some l when !n_found >= l -> raise Done | _ -> ()
+    end
+  in
+  (try
+     if st.ok then begin
+       if List.length choices > max_guess then
+         raise
+           (Unsupported
+              (Printf.sprintf "%d choice atoms exceed the guess bound %d"
+                 (List.length choices) max_guess));
+       enumerate_subsets choices ~on_subset:(fun in_guess ->
+           let m = eval_stratified g st ~in_guess in
+           if constraints_ok g m && bounds_ok g m then add_model m)
+     end
+     else begin
+       (* non-stratified fallback: guess negated atoms too and verify the
+          Gelfond–Lifschitz consistency condition *)
+       let has_counts =
+         List.exists
+           (fun r ->
+             match r with
+             | Ground.Grule { counts; _ }
+             | Ground.Gchoice { counts; _ }
+             | Ground.Gconstraint { counts; _ }
+             | Ground.Gweak { counts; _ } ->
+                 counts <> []
+             | Ground.Gfact _ -> false)
+           g.Ground.rules
+       in
+       if has_counts then
+         raise
+           (Unsupported
+              "aggregates require the program to be stratified modulo choices");
+       let negs = derivation_negated_atoms g in
+       let guess_space =
+         AtomSet.elements (AtomSet.union (choice_atoms g) negs)
+       in
+       if List.length guess_space > max_guess then
+         raise
+           (Unsupported
+              (Printf.sprintf
+                 "non-stratified program with %d guess atoms exceeds bound %d"
+                 (List.length guess_space) max_guess));
+       enumerate_subsets guess_space ~on_subset:(fun in_guess ->
+           (* aggregates rejected above, so count_model is irrelevant *)
+           let m =
+             eval_reduct g ~neg_value:in_guess ~in_guess
+               ~count_model:AtomSet.empty
+           in
+           let consistent =
+             AtomSet.for_all
+               (fun a -> AtomSet.mem a m = in_guess a)
+               negs
+           in
+           if consistent && constraints_ok g m && bounds_ok g m then
+             add_model m)
+     end
+   with Done -> ());
+  List.sort Model.compare !models
+
+let is_stable_model (g : Ground.t) m =
+  (* least model of the GL reduct w.r.t. m *)
+  let neg_value a = AtomSet.mem a m in
+  let in_guess a = AtomSet.mem a m in
+  let least = eval_reduct g ~neg_value ~in_guess ~count_model:m in
+  AtomSet.equal least m && constraints_ok g m && bounds_ok g m
+
+let solve_optimal ?max_guess (g : Ground.t) =
+  let models = solve ?max_guess g in
+  match models with
+  | [] -> []
+  | _ ->
+      let best =
+        List.fold_left
+          (fun acc m ->
+            match acc with
+            | None -> Some (Model.cost m)
+            | Some c ->
+                if Model.compare_cost (Model.cost m) c < 0 then
+                  Some (Model.cost m)
+                else acc)
+          None models
+      in
+      let best = Option.get best in
+      List.filter (fun m -> Model.compare_cost (Model.cost m) best = 0) models
+
+let satisfiable ?max_guess g = solve ?max_guess ~limit:1 g <> []

@@ -1,32 +1,73 @@
 (** Stable-model enumeration for ground programs.
 
-    Strategy: the candidate space is spanned by the choice-element atoms
-    (plus, for non-stratified programs, the atoms occurring under default
-    negation). For each guess the deterministic consequence is computed by
-    iterated fixpoint over the stratified program; the Gelfond–Lifschitz
-    consistency condition is checked where needed, integrity constraints and
-    choice-rule cardinality bounds are verified, and the weak-constraint
-    cost is attached to each surviving model.
+    The production solving path. The ground program is compiled once into a
+    dense interned form ({!Interned}): atoms become contiguous int ids,
+    assignments become bitsets. Enumeration is a pruned depth-first search
+    over the choice space, stratum by stratum:
 
-    The framework's generated encodings are stratified modulo choices, which
-    keeps enumeration at [2^#choice-atoms]; fully non-stratified programs
-    fall back to guessing over negated atoms as well. *)
+    - {b Semi-naive propagation}: a watch index maps each atom to the rules
+      and choice elements whose bodies mention it positively within the same
+      stratum, so deterministic consequences fire incrementally instead of
+      rescanning every rule to fixpoint.
+    - {b Branching on fired elements only}: a choice element becomes a
+      decision point only once its body and condition hold, which collapses
+      guess classes that the exhaustive enumerator ({!Naive}) distinguishes.
+    - {b Pruning}: a subtree is abandoned as soon as an integrity constraint
+      or a choice upper bound is violated on atoms whose values are already
+      final; remaining constraint/bound checks run at the stratum boundary
+      where all their atoms are final.
+    - {b Branch-and-bound} ({!solve_optimal}): once an incumbent model
+      exists, a stratum boundary whose partial weak-constraint cost already
+      exceeds the incumbent is pruned — only when all weights are
+      non-negative, otherwise the partial cost is not a lower bound.
+
+    Programs that are not stratified modulo choices fall back to exhaustive
+    guessing over choice and negated atoms with a per-leaf reduct check,
+    interned but still [2^n]. Results are bit-for-bit identical to {!Naive}
+    on any program both accept. *)
 
 exception Unsupported of string
-(** The guess space is too large ([> max_guess] atoms) for exhaustive
-    enumeration. *)
+(** The guess space is too large ([> max_guess] atoms), or a non-stratified
+    program uses aggregates. *)
+
+val default_max_guess : int
+(** 64. The pruned search tolerates far larger choice spaces than the
+    exhaustive enumerator's historical cap of 24, but the dimension check
+    stays as a guard against accidentally huge groundings. *)
+
+module Stats : sig
+  type t = {
+    mutable guesses : int;  (** decision branches explored (in + out) *)
+    mutable pruned : int;  (** subtrees abandoned by a violation or bound *)
+    mutable firings : int;  (** atom derivations (rule/choice/fact) *)
+    mutable leaves : int;  (** complete assignments reached *)
+    mutable models : int;  (** distinct stable models found (pre-filter) *)
+    mutable wall_s : float;  (** wall-clock seconds for the whole solve *)
+  }
+
+  val create : unit -> t
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
 
 val solve : ?limit:int -> ?max_guess:int -> Ground.t -> Model.t list
 (** All stable models (up to [limit], default unlimited), deduplicated,
     sorted by atom set; [#show] projections are {e not} applied — use
-    {!Model.project} with [Ground.shows]. [max_guess] defaults to 24. *)
+    {!Model.project} with [Ground.shows]. [max_guess] defaults to
+    {!default_max_guess}. *)
+
+val solve_with_stats :
+  ?limit:int -> ?max_guess:int -> Ground.t -> Model.t list * Stats.t
+(** Same as {!solve}, also returning search statistics. *)
 
 val solve_optimal : ?max_guess:int -> Ground.t -> Model.t list
 (** Models with the minimal weak-constraint cost (all optima). *)
 
+val solve_optimal_with_stats :
+  ?max_guess:int -> Ground.t -> Model.t list * Stats.t
+
 val satisfiable : ?max_guess:int -> Ground.t -> bool
 
 val is_stable_model : Ground.t -> Model.AtomSet.t -> bool
-(** Independent Gelfond–Lifschitz verification: [m] is the least model of
-    the reduct of the program w.r.t. [m], and satisfies all integrity
-    constraints and choice bounds. Used as a test oracle. *)
+(** Independent Gelfond–Lifschitz verification, delegated to the retained
+    {!Naive} reference so the oracle shares no code with the fast path. *)

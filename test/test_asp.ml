@@ -342,11 +342,57 @@ let test_solve_limit () =
 
 let test_solver_guess_bound () =
   let atoms =
-    String.concat " ; " (List.init 30 (fun i -> Printf.sprintf "x%d" i))
+    String.concat " ; " (List.init 70 (fun i -> Printf.sprintf "x%d" i))
   in
   match solve_str (Printf.sprintf "{ %s }." atoms) with
   | exception Asp.Solver.Unsupported _ -> ()
-  | _ -> fail "expected Unsupported for a 30-atom guess space"
+  | _ -> fail "expected Unsupported for a 70-atom guess space"
+
+let test_solver_beyond_naive_bound () =
+  (* 28 choice atoms, far past the exhaustive enumerator's cap of 24: each
+     atom is pinned by a constraint, so the pruned search closes the out
+     branches immediately instead of walking 2^28 subsets *)
+  let n = 28 in
+  let atoms = String.concat " ; " (List.init n (Printf.sprintf "x%d")) in
+  let pins =
+    String.concat "\n" (List.init n (Printf.sprintf ":- not x%d."))
+  in
+  let models = solve_str (Printf.sprintf "{ %s }.\n%s" atoms pins) in
+  match models with
+  | [ m ] -> check Alcotest.int "all pinned in" n (List.length (Asp.Model.to_list m))
+  | ms -> fail (Printf.sprintf "expected one model, got %d" (List.length ms))
+
+let test_solver_stats () =
+  let g =
+    Asp.Grounder.ground
+      (Asp.Parser.parse_program "{ a ; b }. c :- a. :- a, b.")
+  in
+  let models, stats = Asp.Solver.solve_with_stats g in
+  check Alcotest.int "three models" 3 (List.length models);
+  check Alcotest.int "stats agree on model count" 3 stats.Asp.Solver.Stats.models;
+  check Alcotest.bool "explored both branches of both choices" true
+    (stats.Asp.Solver.Stats.guesses >= 4);
+  check Alcotest.bool "pruned the a,b conflict" true
+    (stats.Asp.Solver.Stats.pruned >= 1);
+  check Alcotest.bool "derivations counted" true
+    (stats.Asp.Solver.Stats.firings >= 3);
+  check Alcotest.bool "wall clock measured" true
+    (stats.Asp.Solver.Stats.wall_s >= 0.)
+
+let test_solver_optimal_stats () =
+  let g =
+    Asp.Grounder.ground
+      (Asp.Parser.parse_program
+         "1 { a ; b } 1. :~ a. [5@1] :~ b. [1@1]")
+  in
+  let models, stats = Asp.Solver.solve_optimal_with_stats g in
+  (match models with
+  | [ m ] ->
+      check Alcotest.bool "picked the cheap atom" true
+        (Asp.Model.holds m (Asp.Atom.prop "b"))
+  | _ -> fail "expected a unique optimum");
+  check Alcotest.bool "found both candidates" true
+    (stats.Asp.Solver.Stats.models >= 1)
 
 (* -------------------------------------------------------------------- *)
 (* Deps                                                                  *)
@@ -500,6 +546,11 @@ let suites =
         Alcotest.test_case "weak tuple dedup" `Quick test_solve_weak_terms_dedup;
         Alcotest.test_case "limit" `Quick test_solve_limit;
         Alcotest.test_case "guess bound" `Quick test_solver_guess_bound;
+        Alcotest.test_case "beyond naive guess bound" `Quick
+          test_solver_beyond_naive_bound;
+        Alcotest.test_case "search stats" `Quick test_solver_stats;
+        Alcotest.test_case "optimal search stats" `Quick
+          test_solver_optimal_stats;
         qcheck prop_models_are_stable;
         qcheck prop_models_unique;
       ] );
