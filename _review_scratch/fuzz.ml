@@ -1,0 +1,84 @@
+(* extra differential fuzz: different seed base, more strata/choices *)
+let gen_program rng =
+  let int n = Random.State.int rng n in
+  let bool () = Random.State.bool rng in
+  let n_atoms = 5 + int 5 in
+  let atom i = Printf.sprintf "a%d" i in
+  let rand_atom () = atom (int n_atoms) in
+  let lit () = (if int 3 = 0 then "not " else "") ^ rand_atom () in
+  let lits n = List.init n (fun _ -> lit ()) in
+  let buf = Buffer.create 256 in
+  let stmt fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  for _ = 1 to 1 + int 2 do stmt "%s." (rand_atom ()) done;
+  for _ = 1 to 3 + int 5 do
+    stmt "%s :- %s." (rand_atom ()) (String.concat ", " (lits (1 + int 3)))
+  done;
+  for _ = 1 to 1 + int 3 do
+    let elems =
+      List.init (1 + int 3) (fun _ ->
+          if bool () then rand_atom ()
+          else Printf.sprintf "%s : %s" (rand_atom ()) (rand_atom ()))
+    in
+    let body = match int 3 with 0 -> "" | n -> " :- " ^ String.concat ", " (lits n) in
+    let lower = if int 3 = 0 then string_of_int (int 2) ^ " " else "" in
+    let upper = if int 3 = 0 then " " ^ string_of_int (1 + int 2) else "" in
+    stmt "%s{ %s }%s%s." lower (String.concat " ; " elems) upper body
+  done;
+  for _ = 1 to int 4 do stmt ":- %s." (String.concat ", " (lits (1 + int 2))) done;
+  if int 2 = 0 then begin
+    let op = match int 4 with 0 -> ">" | 1 -> "<=" | 2 -> "=" | _ -> ">=" in
+    let agg = if bool () then "#count" else "#sum" in
+    let body =
+      Printf.sprintf "%s { %d : %s } %s %d" agg (1 + int 3)
+        (String.concat ", " (lits (1 + int 2))) op (int 3)
+    in
+    if bool () then stmt ":- %s." body else stmt "%s :- %s." (rand_atom ()) body
+  end;
+  for _ = 1 to int 4 do
+    let weight = int 8 - 3 in
+    let terms = if bool () then ", t" ^ string_of_int (int 2) else "" in
+    stmt ":~ %s. [%d@%d%s]" (String.concat ", " (lits (1 + int 2))) weight (1 + int 3) terms
+  done;
+  Buffer.contents buf
+
+type outcome =
+  | Models of (string list * Asp.Model.cost) list
+  | Rejected of string
+
+let outcome_of_models models =
+  Models (List.map (fun m ->
+    (List.map Asp.Atom.to_string (Asp.Model.to_list m), Asp.Model.cost m)) models)
+
+let run f =
+  match f () with
+  | models -> outcome_of_models models
+  | exception Asp.Solver.Unsupported msg -> Rejected msg
+  | exception Asp.Naive.Unsupported msg -> Rejected msg
+
+let agree a b =
+  match (a, b) with
+  | Rejected x, Rejected y -> x = y
+  | Models xs, Models ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (ax, cx) (ay, cy) ->
+             ax = ay && Asp.Model.compare_cost cx cy = 0) xs ys
+  | _ -> false
+
+let () =
+  let bad = ref 0 in
+  for seed = 0 to 499 do
+    let rng = Random.State.make [| 0xBEEF; seed |] in
+    let src = gen_program rng in
+    let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+    let f1 = run (fun () -> Asp.Solver.solve ~max_guess:16 g) in
+    let s1 = run (fun () -> Asp.Naive.solve ~max_guess:16 g) in
+    if not (agree f1 s1) then begin
+      incr bad; Printf.printf "SOLVE DIVERGENCE seed %d:\n%s\n" seed src
+    end;
+    let f2 = run (fun () -> Asp.Solver.solve_optimal ~max_guess:16 g) in
+    let s2 = run (fun () -> Asp.Naive.solve_optimal ~max_guess:16 g) in
+    if not (agree f2 s2) then begin
+      incr bad; Printf.printf "OPT DIVERGENCE seed %d:\n%s\n" seed src
+    end
+  done;
+  Printf.printf "done, %d divergences over 500 seeds\n" !bad
