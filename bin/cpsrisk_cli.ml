@@ -8,7 +8,8 @@
      lint        static analysis of ASP programs and system models
      threats     threat landscape of a typed model
      solve       run the embedded ASP solver on a program file
-     score       CVSS v3.1 calculator *)
+     score       CVSS v3.1 calculator
+     sweep       batch what-if analysis through the parallel sweep engine *)
 
 open Cmdliner
 
@@ -472,6 +473,152 @@ let dot_cmd =
     Term.(const dot_cmd_run $ optional_file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sweep                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sweep mutations model jobs horizon stats json =
+  let deltas =
+    match mutations with
+    | None -> None
+    | Some file -> (
+        match Engine.Delta.parse (read_file file) with
+        | Ok ds -> Some ds
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 2)
+  in
+  match model with
+  | None ->
+      (* water-tank temporal backend; default workload: the full 2^4
+         fault-combination space, Table II style *)
+      let deltas =
+        match deltas with
+        | Some ds -> ds
+        | None -> Cpsrisk.Sweeps.all_fault_deltas Cpsrisk.Water_tank.faults
+      in
+      let spec = Cpsrisk.Sweeps.water_tank_spec ?horizon deltas in
+      let report = Engine.Sweep.run ?jobs spec in
+      if json then print_endline (Engine.Sweep.to_json report)
+      else begin
+        Array.iter
+          (fun (r : Engine.Job.result) ->
+            Printf.printf "%-28s %s%s\n"
+              (Engine.Delta.label r.Engine.Job.delta)
+              (String.concat "  "
+                 (List.map
+                    (fun (req, v) ->
+                      Printf.sprintf "%s=%s" req
+                        (if v then "Violated" else "-"))
+                    (Cpsrisk.Sweeps.verdicts r)))
+              (if r.Engine.Job.cached then "  [cached]" else ""))
+          report.Engine.Sweep.results;
+        if stats then begin
+          print_newline ();
+          print_string (Engine.Sweep.render report)
+        end
+      end;
+      0
+  | Some file -> (
+      match Archimate.Text.parse (read_file file) with
+      | exception Archimate.Text.Error msg ->
+          Printf.eprintf "parse error: %s\n" msg;
+          1
+      | m ->
+          let deltas =
+            match deltas with
+            | Some ds -> ds
+            | None -> Cpsrisk.Sweeps.model_element_deltas m
+          in
+          let spec = Cpsrisk.Sweeps.topology_spec m deltas in
+          let report = Engine.Sweep.run ?jobs spec in
+          if json then print_endline (Engine.Sweep.to_json report)
+          else begin
+            Array.iter
+              (fun (r : Engine.Job.result) ->
+                let affected = Cpsrisk.Sweeps.affected r in
+                Printf.printf "%-28s -> %s%s\n"
+                  (Engine.Delta.label r.Engine.Job.delta)
+                  (if affected = [] then "(contained)"
+                   else String.concat ", " affected)
+                  (if r.Engine.Job.cached then "  [cached]" else ""))
+              report.Engine.Sweep.results;
+            if stats then begin
+              print_newline ();
+              print_string (Engine.Sweep.render report)
+            end
+          end;
+          0)
+
+let mutations_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"MUTATIONS"
+        ~doc:
+          "Mutations file, one delta per line: $(b,[LABEL:] FAULTS [/ \
+           MITIGATIONS] [! ASP]) with comma-separated id lists, $(b,-) for \
+           none, $(b,#) comments. Defaults to the backend's full what-if \
+           space (every fault combination, or one injection per model \
+           component).")
+
+let sweep_model_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:
+          "Sweep a textual system model with static error propagation \
+           instead of the built-in water-tank temporal encoding; delta \
+           faults name injected component ids, delta mitigations shield \
+           the associated components.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains (default: the hardware's useful parallelism).")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon" ] ~docv:"N"
+        ~doc:"Temporal horizon of the water-tank encoding (default 12).")
+
+let sweep_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the engine report: domains, wall time, cache hit rate, \
+           aggregated fresh-solve statistics.")
+
+let sweep_json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the full machine-readable report as JSON.")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Batch what-if analysis through the parallel sweep engine"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs every mutation delta against the shared base encoding \
+              through the cache-reusing scenario-sweep engine: the base \
+              program is built, fingerprinted and grounded once, jobs fan \
+              out over worker domains, and structurally identical deltas \
+              are solved once. Results are deterministic regardless of \
+              $(b,--jobs).";
+         ])
+    Term.(
+      const sweep $ mutations_arg $ sweep_model_arg $ jobs_arg $ horizon_arg
+      $ sweep_stats_flag $ sweep_json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* quant                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -519,6 +666,7 @@ let main_cmd =
     [
       casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; lint_cmd;
       threats_cmd; solve_cmd; score_cmd; attackgraph_cmd; dot_cmd; quant_cmd;
+      sweep_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

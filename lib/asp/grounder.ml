@@ -148,7 +148,7 @@ let count_lits lits =
 (* Grounding                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ground ?(max_atoms = 200_000) p =
+let ground ?(max_atoms = 200_000) ?universe_seed p =
   List.iter check_rule (Program.rules p);
   let univ : (Atom.t, unit) Hashtbl.t = Hashtbl.create 1024 in
   let by_sig : (string * int, Atom.t list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -172,7 +172,14 @@ let ground ?(max_atoms = 200_000) p =
       true
     end
   in
-  (* Phase 1: universe fixpoint over the positive projection. *)
+  (* Phase 1: universe fixpoint over the positive projection. The fixpoint
+     is monotone, so it may be seeded with the universe of a previously
+     grounded, related program (typically a base program the current one
+     extends): atoms already known to be reachable are admitted up front
+     and the loop below only has to close over what the extension adds. *)
+  (match universe_seed with
+  | None -> ()
+  | Some seed -> Model.AtomSet.iter (fun a -> ignore (add_atom a)) seed);
   let changed = ref true in
   while !changed do
     changed := false;

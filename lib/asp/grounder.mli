@@ -17,5 +17,17 @@ exception Overflow of string
 (** The universe exceeded [max_atoms] (non-terminating arithmetic recursion
     such as [p(X+1) :- p(X)] without a bound). *)
 
-val ground : ?max_atoms:int -> Program.t -> Ground.t
-(** [max_atoms] defaults to 200_000. *)
+val ground : ?max_atoms:int -> ?universe_seed:Model.AtomSet.t -> Program.t -> Ground.t
+(** [max_atoms] defaults to 200_000.
+
+    [universe_seed] seeds the phase-1 atom-universe fixpoint, the reuse hook
+    for batch workloads ({!Engine.Sweep}): when many programs share a large
+    base (model facts, dynamics, compiled requirements) and differ only in a
+    small increment, ground the base once and pass its [Ground.t.universe]
+    here — the fixpoint then converges in one or two passes instead of
+    re-deriving the whole universe per program. Sound because the universe
+    is an over-approximation of the derivable atoms and the fixpoint is
+    monotone: seed atoms that the current program cannot derive only leave
+    behind ground-rule instances whose bodies can never fire (and negative
+    body literals that stay recorded instead of being simplified away),
+    neither of which changes the stable models. *)

@@ -188,3 +188,17 @@ let run config =
   }
 
 let render_log artifacts = String.concat "\n" artifacts.log ^ "\n"
+
+let topology_sweep ?jobs ?deltas config =
+  let deltas =
+    match deltas with
+    | Some ds -> ds
+    | None -> Sweeps.model_element_deltas config.model
+  in
+  let report = Engine.Sweep.run ?jobs (Sweeps.topology_spec config.model deltas) in
+  let impacts =
+    Array.to_list report.Engine.Sweep.results
+    |> List.map (fun (r : Engine.Job.result) ->
+           (Engine.Delta.label r.Engine.Job.delta, Sweeps.affected r))
+  in
+  (report, impacts)

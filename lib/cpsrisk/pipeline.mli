@@ -47,3 +47,14 @@ val run : config -> artifacts
     diagnostics — when the model fails structural validation. *)
 
 val render_log : artifacts -> string
+
+val topology_sweep :
+  ?jobs:int ->
+  ?deltas:Engine.Delta.t list ->
+  config ->
+  Engine.Sweep.report * (string * string list) list
+(** Batch what-if analysis over the configured system model: every delta
+    (default: one single-injection delta per component element, see
+    {!Sweeps.model_element_deltas}) solved through the cache-reusing sweep
+    engine. Returns the engine report plus, per delta in input order, the
+    affected component ids from static error propagation. *)

@@ -361,18 +361,25 @@ let requirement_rules ~horizon =
       Asp.Program.append acc rules)
     Asp.Program.empty requirements
 
-let scenario_facts (scenario : Epa.Scenario.t) =
+(* Scenario-independent catalog facts, part of the shared sweep base. *)
+let catalog_facts =
+  "component(in_valve). component(out_valve). component(hmi). component(ews).\n\
+   fault(f1). fault(f2). fault(f3). fault(f4).\n\
+   fault_on(f1, in_valve). fault_on(f2, out_valve). fault_on(f3, hmi). \
+   fault_on(f4, ews).\n\
+   induces(f4, f1). induces(f4, f2). induces(f4, f3).\n\
+   mitigation(f4, m1). mitigation(f4, m2).\n\
+   mitigation(f3, m3). mitigation(f2, m4). mitigation(f1, m5).\n"
+
+let asp_base ?(horizon = 12) () =
+  let src =
+    Printf.sprintf "time(0..%d).\nstep(0..%d).\n%s\n%s" horizon (horizon - 1)
+      catalog_facts static_rules
+  in
+  Asp.Program.append (Asp.Parser.parse_program src) (requirement_rules ~horizon)
+
+let asp_activation_facts (scenario : Epa.Scenario.t) =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    "component(in_valve). component(out_valve). component(hmi). component(ews).\n";
-  Buffer.add_string buf "fault(f1). fault(f2). fault(f3). fault(f4).\n";
-  Buffer.add_string buf
-    "fault_on(f1, in_valve). fault_on(f2, out_valve). fault_on(f3, hmi). \
-     fault_on(f4, ews).\n";
-  Buffer.add_string buf
-    "induces(f4, f1). induces(f4, f2). induces(f4, f3).\n";
-  Buffer.add_string buf "mitigation(f4, m1). mitigation(f4, m2).\n";
-  Buffer.add_string buf "mitigation(f3, m3). mitigation(f2, m4). mitigation(f1, m5).\n";
   List.iter
     (fun f ->
       Buffer.add_string buf
@@ -391,14 +398,10 @@ let scenario_facts (scenario : Epa.Scenario.t) =
       Buffer.add_string buf
         (Printf.sprintf "active_mitigation(%s, %s).\n" (mitigation_site m) m))
     scenario.Epa.Scenario.mitigations;
-  Buffer.contents buf
+  Asp.Parser.parse_program (Buffer.contents buf)
 
-let asp_program ?(horizon = 12) ~scenario () =
-  let src =
-    Printf.sprintf "time(0..%d).\nstep(0..%d).\n%s\n%s" horizon (horizon - 1)
-      (scenario_facts scenario) static_rules
-  in
-  Asp.Program.append (Asp.Parser.parse_program src) (requirement_rules ~horizon)
+let asp_program ?horizon ~scenario () =
+  Asp.Program.append (asp_base ?horizon ()) (asp_activation_facts scenario)
 
 let asp_verdicts ?horizon ~scenario () =
   let program = asp_program ?horizon ~scenario () in

@@ -60,10 +60,22 @@ val table_ii_rows : unit -> (string * Epa.Analysis.row) list
 val full_sweep : ?mitigations:string list -> unit -> Epa.Analysis.row list
 (** All 2⁴ fault combinations under the given mitigation set. *)
 
+val asp_base : ?horizon:int -> unit -> Asp.Program.t
+(** The scenario-independent part of the temporal encoding (default horizon
+    12 steps): time/step facts, the fault/mitigation catalog, Listing-2
+    style dynamics rules and the Telingo-compiled requirement rules. A
+    sweep ({!Sweeps.water_tank_spec}) builds and grounds this once and
+    appends per-scenario activation facts per job. *)
+
+val asp_activation_facts : Epa.Scenario.t -> Asp.Program.t
+(** The per-scenario increment: [activated/1] and [active_mitigation/2]
+    facts (Listing-1 activation inputs). *)
+
 val asp_program : ?horizon:int -> scenario:Epa.Scenario.t -> unit -> Asp.Program.t
-(** Temporal ASP encoding of the scenario (default horizon 12 steps):
-    Listing-1 fault activation, Listing-2 style frame/fault rules, the
-    qualitative tank dynamics and the requirement-violation rules. *)
+(** Temporal ASP encoding of the scenario — {!asp_base} plus
+    {!asp_activation_facts}: Listing-1 fault activation, Listing-2 style
+    frame/fault rules, the qualitative tank dynamics and the
+    requirement-violation rules. *)
 
 val asp_verdicts : ?horizon:int -> scenario:Epa.Scenario.t -> unit -> (string * bool) list
 (** [(requirement id, violated?)] per requirement, from the unique stable

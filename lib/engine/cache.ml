@@ -1,0 +1,85 @@
+module Table = Hashtbl.Make (struct
+  type t = Fingerprint.t
+
+  let equal = Fingerprint.equal
+  let hash = Fingerprint.hash
+end)
+
+type 'a slot = Pending | Done of 'a
+
+type 'a t = {
+  table : 'a slot Table.t;
+  lock : Mutex.t;
+  settled : Condition.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  {
+    table = Table.create 256;
+    lock = Mutex.create ();
+    settled = Condition.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let find_or_compute t key compute =
+  let rec claim () =
+    (* called with [t.lock] held *)
+    match Table.find_opt t.table key with
+    | Some (Done v) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        (v, true)
+    | Some Pending ->
+        (* another domain is solving this very program: wait, then re-check
+           (the computer may have failed and released the key) *)
+        Condition.wait t.settled t.lock;
+        claim ()
+    | None -> (
+        t.misses <- t.misses + 1;
+        Table.replace t.table key Pending;
+        Mutex.unlock t.lock;
+        match compute () with
+        | v ->
+            Mutex.lock t.lock;
+            Table.replace t.table key (Done v);
+            Condition.broadcast t.settled;
+            Mutex.unlock t.lock;
+            (v, false)
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.lock;
+            Table.remove t.table key;
+            Condition.broadcast t.settled;
+            Mutex.unlock t.lock;
+            Printexc.raise_with_backtrace e bt)
+  in
+  Mutex.lock t.lock;
+  claim ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let mem t key =
+  locked t (fun () ->
+      match Table.find_opt t.table key with
+      | Some (Done _) -> true
+      | Some Pending | None -> false)
+
+let length t =
+  locked t (fun () ->
+      Table.fold
+        (fun _ slot n -> match slot with Done _ -> n + 1 | Pending -> n)
+        t.table 0)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+let clear t =
+  locked t (fun () ->
+      Table.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -1,0 +1,36 @@
+(** Content-addressed solve cache, shared across the worker domains of a
+    sweep (and, when the caller keeps it, across sweeps — a second identical
+    sweep is pure lookups).
+
+    Keys are program {!Fingerprint}s; values are whatever the caller
+    memoizes (the engine stores solved model lists plus solver stats).
+    {!find_or_compute} deduplicates in-flight work: while one domain
+    computes a key, other domains asking for the same key block on a
+    condition variable instead of solving the same program twice, so the
+    hit/miss accounting is exact even under parallelism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_compute : 'a t -> Fingerprint.t -> (unit -> 'a) -> 'a * bool
+(** [(value, was_cached)]. [was_cached] is [true] both for a completed
+    entry and for a wait on another domain's in-flight computation. If the
+    computing domain's thunk raises, the key is released, waiters retry
+    (one of them becomes the new computer), and the exception propagates to
+    the original caller. *)
+
+val mem : 'a t -> Fingerprint.t -> bool
+(** True for completed entries only. *)
+
+val length : 'a t -> int
+(** Completed entries. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+(** Lifetime counters over {!find_or_compute}; per-sweep accounting is done
+    from the [was_cached] flags instead. *)
+
+val clear : 'a t -> unit
+(** Drop all completed entries and reset the counters. Must not be called
+    while a sweep is running on this cache. *)

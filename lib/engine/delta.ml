@@ -1,0 +1,83 @@
+type t = {
+  label : string;
+  faults : string list;
+  mitigations : string list;
+  extra : string list;
+}
+
+let make ?(label = "") ?(mitigations = []) ?(extra = []) faults =
+  {
+    label;
+    faults = List.sort_uniq String.compare faults;
+    mitigations = List.sort_uniq String.compare mitigations;
+    extra;
+  }
+
+let label d =
+  if d.label <> "" then d.label
+  else
+    let set ids = "{" ^ String.concat "," ids ^ "}" in
+    set d.faults ^ if d.mitigations = [] then "" else "+" ^ set d.mitigations
+
+let compare a b =
+  match Stdlib.compare (a.faults, a.mitigations, a.extra) (b.faults, b.mitigations, b.extra) with
+  | 0 -> String.compare a.label b.label
+  | c -> c
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Mutations-file parsing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let ids csv =
+  String.split_on_char ',' csv
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "" && s <> "-")
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok None
+  else
+    let label, rest =
+      match String.index_opt line ':' with
+      | Some i ->
+          ( String.trim (String.sub line 0 i),
+            String.sub line (i + 1) (String.length line - i - 1) )
+      | None -> ("", line)
+    in
+    let rest, extra =
+      match String.index_opt rest '!' with
+      | Some i ->
+          ( String.sub rest 0 i,
+            [ String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) ] )
+      | None -> (rest, [])
+    in
+    match String.split_on_char '/' rest with
+    | [ faults ] -> Ok (Some (make ~label ~extra (ids faults)))
+    | [ faults; mitigations ] ->
+        Ok (Some (make ~label ~mitigations:(ids mitigations) ~extra (ids faults)))
+    | _ -> Error "more than one '/' separator"
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go (n + 1) acc rest
+        | Ok (Some d) -> go (n + 1) (d :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+  in
+  go 1 [] lines
+
+let pp ppf d =
+  Format.fprintf ppf "%s: %s / %s" (label d)
+    (String.concat "," d.faults)
+    (String.concat "," d.mitigations);
+  List.iter (fun s -> Format.fprintf ppf " ! %s" s) d.extra

@@ -1,0 +1,39 @@
+(** Mutation deltas: the unit of what-if in a sweep.
+
+    A delta names the candidate system mutations of one scenario — fault
+    injections, technique/vulnerability activations and an active mitigation
+    subset — plus optional raw ASP statements for anything the structured
+    fields cannot express. The engine itself never interprets the fields:
+    the sweep's [compile] function (see {!Job.spec}) turns a delta into the
+    ASP program increment appended to the shared base, so the same delta
+    list can drive the temporal water-tank encoding, a topology-propagation
+    program, or any other backend. *)
+
+type t = {
+  label : string;  (** display label; [""] means derive from the content *)
+  faults : string list;  (** injected fault / technique ids, sorted *)
+  mitigations : string list;  (** active mitigation ids, sorted *)
+  extra : string list;  (** raw ASP statements appended verbatim *)
+}
+
+val make :
+  ?label:string -> ?mitigations:string list -> ?extra:string list ->
+  string list -> t
+
+val label : t -> string
+(** The explicit label, or a ["{F2,F3}+{M1}"]-style one derived from the
+    fault and mitigation sets. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val parse_line : string -> (t option, string) result
+(** One line of a mutations file:
+    [[LABEL:] FAULTS [/ MITIGATIONS] [! ASP statements]] — comma-separated
+    id lists, [-] or an empty list for none, [#] starts a comment.
+    [Ok None] for blank/comment-only lines. *)
+
+val parse : string -> (t list, string) result
+(** A whole mutations file; errors carry the 1-based line number. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type mode = Enumerate of int option | Optimal
+
+type spec = {
+  base : Asp.Program.t;
+  compile : Delta.t -> Asp.Program.t;
+  deltas : Delta.t list;
+  mode : mode;
+  max_guess : int option;
+  max_atoms : int option;
+}
+
+let spec ?(mode = Enumerate None) ?max_guess ?max_atoms ~compile ~deltas base =
+  { base; compile; deltas; mode; max_guess; max_atoms }
+
+type result = {
+  index : int;
+  delta : Delta.t;
+  fingerprint : Fingerprint.t;
+  models : Asp.Model.t list;
+  stats : Asp.Solver.Stats.t;
+  cached : bool;
+}
+
+type prepared = {
+  p_spec : spec;
+  p_base_fp : Fingerprint.t;
+  p_mode_fp : Fingerprint.t;
+  p_universe : Asp.Model.AtomSet.t;
+}
+
+let mode_fingerprint s =
+  Fingerprint.ints
+    [
+      (match s.mode with
+      | Enumerate None -> 0
+      | Enumerate (Some l) -> 1 + l
+      | Optimal -> -1);
+      Option.value ~default:(-1) s.max_guess;
+      Option.value ~default:(-1) s.max_atoms;
+    ]
+
+let prepare s =
+  let g = Asp.Grounder.ground ?max_atoms:s.max_atoms s.base in
+  {
+    p_spec = s;
+    p_base_fp = Fingerprint.program s.base;
+    p_mode_fp = mode_fingerprint s;
+    p_universe = g.Asp.Ground.universe;
+  }
+
+let prepared_spec p = p.p_spec
+let base_atoms p = Asp.Model.AtomSet.cardinal p.p_universe
+
+let fingerprint p delta =
+  Fingerprint.combine
+    (Fingerprint.extend p.p_base_fp (p.p_spec.compile delta))
+    p.p_mode_fp
+
+let solve p delta =
+  let s = p.p_spec in
+  let program = Asp.Program.append s.base (s.compile delta) in
+  let ground =
+    Asp.Grounder.ground ?max_atoms:s.max_atoms ~universe_seed:p.p_universe
+      program
+  in
+  match s.mode with
+  | Enumerate limit ->
+      Asp.Solver.solve_with_stats ?limit ?max_guess:s.max_guess ground
+  | Optimal -> Asp.Solver.solve_optimal_with_stats ?max_guess:s.max_guess ground

@@ -1,0 +1,58 @@
+(** The job model of a sweep: one shared base program plus one {!Delta} per
+    job, compiled to a per-job ASP increment.
+
+    {!prepare} does the work that is paid once per sweep rather than once
+    per job: fingerprint the base and ground it, so that every job can (a)
+    derive its own content address with {!Fingerprint.extend} over just the
+    increment and (b) seed the grounder's universe fixpoint with the base
+    universe ({!Asp.Grounder.ground}'s [universe_seed] reuse hook). *)
+
+type mode =
+  | Enumerate of int option
+      (** all stable models, up to the optional limit *)
+  | Optimal  (** weak-constraint-optimal models only *)
+
+type spec = {
+  base : Asp.Program.t;  (** shared base, built and grounded once *)
+  compile : Delta.t -> Asp.Program.t;  (** delta -> program increment *)
+  deltas : Delta.t list;  (** one job per delta, in order *)
+  mode : mode;
+  max_guess : int option;  (** per-solve cap, default solver's *)
+  max_atoms : int option;  (** grounder universe cap, default grounder's *)
+}
+
+val spec :
+  ?mode:mode -> ?max_guess:int -> ?max_atoms:int ->
+  compile:(Delta.t -> Asp.Program.t) -> deltas:Delta.t list ->
+  Asp.Program.t -> spec
+(** [mode] defaults to [Enumerate None]. *)
+
+type result = {
+  index : int;  (** position of the delta in [spec.deltas] *)
+  delta : Delta.t;
+  fingerprint : Fingerprint.t;  (** of base + increment + mode *)
+  models : Asp.Model.t list;
+  stats : Asp.Solver.Stats.t;
+      (** stats of the solve that produced [models]; for a cached result
+          these are the original solve's stats, not new work *)
+  cached : bool;
+}
+
+type prepared
+(** A spec with the base fingerprinted and grounded. *)
+
+val prepare : spec -> prepared
+(** Grounds the base once. Raises like {!Asp.Grounder.ground} if the base
+    itself is unsafe or overflows. *)
+
+val prepared_spec : prepared -> spec
+val base_atoms : prepared -> int
+(** Size of the base atom universe (what each job's grounding reuses). *)
+
+val fingerprint : prepared -> Delta.t -> Fingerprint.t
+(** Content address of the job: base extended with the compiled increment,
+    mixed with the solve mode and caps. *)
+
+val solve : prepared -> Delta.t -> Asp.Model.t list * Asp.Solver.Stats.t
+(** Ground (seeded with the base universe) and solve base + increment.
+    Pure: safe to call from any domain. *)

@@ -1,0 +1,122 @@
+type report = {
+  results : Job.result array;
+  jobs : int;
+  wall_s : float;
+  base_atoms : int;
+  hits : int;
+  misses : int;
+  fresh : Asp.Solver.Stats.t;
+}
+
+let run ?oversubscribe ?jobs ?cache spec =
+  let t0 = Unix.gettimeofday () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let prepared = Job.prepare spec in
+  let deltas = Array.of_list spec.Job.deltas in
+  let results =
+    Pool.map ?oversubscribe ~jobs
+      (fun index ->
+        let delta = deltas.(index) in
+        let fingerprint = Job.fingerprint prepared delta in
+        let (models, stats), cached =
+          Cache.find_or_compute cache fingerprint (fun () ->
+              Job.solve prepared delta)
+        in
+        { Job.index; delta; fingerprint; models; stats; cached })
+      (Array.length deltas)
+  in
+  let hits = ref 0 in
+  let fresh = Asp.Solver.Stats.create () in
+  (* a program solved once but hit by several jobs of this sweep counts its
+     stats once: aggregate over distinct fresh fingerprints *)
+  let counted = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : Job.result) ->
+      if r.Job.cached then incr hits
+      else begin
+        let key = Fingerprint.to_hex r.Job.fingerprint in
+        if not (Hashtbl.mem counted key) then begin
+          Hashtbl.replace counted key ();
+          let s = r.Job.stats in
+          fresh.Asp.Solver.Stats.guesses <-
+            fresh.Asp.Solver.Stats.guesses + s.Asp.Solver.Stats.guesses;
+          fresh.Asp.Solver.Stats.pruned <-
+            fresh.Asp.Solver.Stats.pruned + s.Asp.Solver.Stats.pruned;
+          fresh.Asp.Solver.Stats.firings <-
+            fresh.Asp.Solver.Stats.firings + s.Asp.Solver.Stats.firings;
+          fresh.Asp.Solver.Stats.leaves <-
+            fresh.Asp.Solver.Stats.leaves + s.Asp.Solver.Stats.leaves;
+          fresh.Asp.Solver.Stats.models <-
+            fresh.Asp.Solver.Stats.models + s.Asp.Solver.Stats.models;
+          fresh.Asp.Solver.Stats.wall_s <-
+            fresh.Asp.Solver.Stats.wall_s +. s.Asp.Solver.Stats.wall_s
+        end
+      end)
+    results;
+  {
+    results;
+    jobs;
+    wall_s = Unix.gettimeofday () -. t0;
+    base_atoms = Job.base_atoms prepared;
+    hits = !hits;
+    misses = Array.length results - !hits;
+    fresh;
+  }
+
+let hit_rate r =
+  let n = Array.length r.results in
+  if n = 0 then 0.0 else float_of_int r.hits /. float_of_int n
+
+let render ?(verbose = false) r =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "sweep: %d jobs on %d domain%s in %.3fs (base universe %d atoms)\n"
+    (Array.length r.results) r.jobs
+    (if r.jobs = 1 then "" else "s")
+    r.wall_s r.base_atoms;
+  p "cache: %d hits / %d fresh solves (%.1f%% hit rate)\n" r.hits r.misses
+    (100.0 *. hit_rate r);
+  p "fresh solver work: %s\n" (Asp.Solver.Stats.to_string r.fresh);
+  if verbose then
+    Array.iter
+      (fun (res : Job.result) ->
+        p "  [%3d]%s %-28s %d model%s  %s\n" res.Job.index
+          (if res.Job.cached then "*" else " ")
+          (Delta.label res.Job.delta)
+          (List.length res.Job.models)
+          (if List.length res.Job.models = 1 then "" else "s")
+          (Fingerprint.to_hex res.Job.fingerprint))
+      r.results;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"jobs\": %d, \"deltas\": %d, \"wall_s\": %.6f, \"base_atoms\": %d,\n"
+    r.jobs (Array.length r.results) r.wall_s r.base_atoms;
+  p "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n" r.hits
+    r.misses (hit_rate r);
+  p
+    "  \"fresh\": {\"guesses\": %d, \"pruned\": %d, \"firings\": %d, \
+     \"leaves\": %d, \"models\": %d, \"wall_s\": %.6f},\n"
+    r.fresh.Asp.Solver.Stats.guesses r.fresh.Asp.Solver.Stats.pruned
+    r.fresh.Asp.Solver.Stats.firings r.fresh.Asp.Solver.Stats.leaves
+    r.fresh.Asp.Solver.Stats.models r.fresh.Asp.Solver.Stats.wall_s;
+  p "  \"results\": [\n";
+  let n = Array.length r.results in
+  Array.iteri
+    (fun i (res : Job.result) ->
+      p "    {\"label\": %S, \"fingerprint\": %S, \"models\": %d, \
+         \"cached\": %b}%s\n"
+        (Delta.label res.Job.delta)
+        (Fingerprint.to_hex res.Job.fingerprint)
+        (List.length res.Job.models)
+        res.Job.cached
+        (if i = n - 1 then "" else ","))
+    r.results;
+  p "  ]\n}";
+  Buffer.contents buf

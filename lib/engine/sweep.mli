@@ -1,0 +1,45 @@
+(** The sweep engine: batch what-if analysis over a {!Job.spec}.
+
+    [run] prepares the base once (fingerprint + grounding), fans the jobs
+    out over a {!Pool} of domains, and memoizes every solve in a
+    content-addressed {!Cache} — repeated deltas (mitigation search, CEGAR
+    refinement, budget sweeps) are solved once. Results are keyed by job
+    index, so the report is deterministic: a parallel run is bit-identical
+    to the sequential one.
+
+    Pass your own [cache] to reuse solves across sweeps; a second identical
+    sweep on the same cache reports a 100% hit rate and zero fresh solver
+    work. *)
+
+type report = {
+  results : Job.result array;  (** indexed by position in [spec.deltas] *)
+  jobs : int;  (** worker domains used *)
+  wall_s : float;  (** whole-sweep wall clock *)
+  base_atoms : int;  (** base universe size reused by every job *)
+  hits : int;  (** jobs answered from the cache, this run *)
+  misses : int;  (** jobs that ran a fresh solve, this run *)
+  fresh : Asp.Solver.Stats.t;
+      (** solver stats aggregated over this run's {e fresh} solves only —
+          cached results contribute nothing, so a fully cached re-sweep
+          reports zero guesses *)
+}
+
+val run :
+  ?oversubscribe:bool -> ?jobs:int ->
+  ?cache:(Asp.Model.t list * Asp.Solver.Stats.t) Cache.t ->
+  Job.spec -> report
+(** [jobs] defaults to {!Pool.default_jobs} and, like {!Pool.map}, is
+    capped at the hardware's useful parallelism unless [oversubscribe];
+    [cache] defaults to a fresh private cache. The report's [jobs] field
+    records the requested fan-out width. *)
+
+val hit_rate : report -> float
+(** Hits over total jobs, in [0, 1]; 0 on an empty sweep. *)
+
+val render : ?verbose:bool -> report -> string
+(** Human-readable summary; [verbose] adds one line per job (label,
+    model count, cache flag, fingerprint). *)
+
+val to_json : report -> string
+(** Machine-readable report: sweep-level counters plus one entry per job
+    (label, fingerprint, model count, cached flag). *)

@@ -1,0 +1,324 @@
+(* The batch sweep engine: content addressing, the worker pool, the solve
+   cache, and the end-to-end guarantees the docs promise — parallel runs
+   bit-identical to sequential ones, and a repeated sweep answered entirely
+   from the cache with zero fresh solver work. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fp_hex p = Engine.Fingerprint.to_hex (Engine.Fingerprint.program p)
+
+let test_fp_structural () =
+  let a = Asp.Parser.parse_program "p(1). q(X) :- p(X), not r(X)." in
+  let b = Asp.Parser.parse_program "p(1). q(X) :- p(X), not r(X)." in
+  check Alcotest.string "identical programs" (fp_hex a) (fp_hex b);
+  (* layout and source positions must not matter *)
+  let c =
+    Asp.Parser.parse_program "\n\n  p(1).\n\n  q(X) :-\n     p(X), not r(X).\n"
+  in
+  check Alcotest.string "whitespace-insensitive" (fp_hex a) (fp_hex c)
+
+let test_fp_perturbation () =
+  let base = "p(1). q(X) :- p(X), not r(X)." in
+  let variants =
+    [
+      "p(2). q(X) :- p(X), not r(X)."; (* constant *)
+      "p(1). q(X) :- p(X), r(X)."; (* polarity *)
+      "p(1). q(X) :- p(X)."; (* dropped literal *)
+      "p(1). s(X) :- p(X), not r(X)."; (* head predicate *)
+      "q(X) :- p(X), not r(X). p(1)."; (* rule order is significant *)
+    ]
+  in
+  let h = fp_hex (Asp.Parser.parse_program base) in
+  List.iter
+    (fun v ->
+      checkb (Printf.sprintf "distinct from %S" v) false
+        (String.equal h (fp_hex (Asp.Parser.parse_program v))))
+    variants
+
+let test_fp_extend_append () =
+  let base = Asp.Parser.parse_program "p(1). #show q/1. q(X) :- p(X)." in
+  let inc = Asp.Parser.parse_program "p(2). #show p/1." in
+  check Alcotest.string "extend distributes over append"
+    (Engine.Fingerprint.to_hex
+       (Engine.Fingerprint.program (Asp.Program.append base inc)))
+    (Engine.Fingerprint.to_hex
+       (Engine.Fingerprint.extend (Engine.Fingerprint.program base) inc))
+
+(* ------------------------------------------------------------------ *)
+(* Delta parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_delta_parse () =
+  let ok = function Ok v -> v | Error e -> Alcotest.fail e in
+  let d = ok (Engine.Delta.parse_line "worst: F2, F3 / M1 ! fix(a). fix(b).") in
+  (match d with
+  | Some d ->
+      check Alcotest.string "label" "worst" d.Engine.Delta.label;
+      check (Alcotest.list Alcotest.string) "faults" [ "F2"; "F3" ]
+        d.Engine.Delta.faults;
+      check (Alcotest.list Alcotest.string) "mitigations" [ "M1" ]
+        d.Engine.Delta.mitigations;
+      checkb "extra" true (d.Engine.Delta.extra <> [])
+  | None -> Alcotest.fail "expected a delta");
+  (match ok (Engine.Delta.parse_line "  # comment only") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "comment line should produce no delta");
+  (match ok (Engine.Delta.parse_line "- / M1") with
+  | Some d ->
+      check (Alcotest.list Alcotest.string) "no faults" [] d.Engine.Delta.faults
+  | None -> Alcotest.fail "expected a delta");
+  match Engine.Delta.parse "F1\nF2 // M1\n" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> checkb "line number in error" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+
+let test_delta_label () =
+  check Alcotest.string "derived label" "{F2,F3}+{M1}"
+    (Engine.Delta.label (Engine.Delta.make ~mitigations:[ "M1" ] [ "F3"; "F2" ]));
+  check Alcotest.string "empty" "{}"
+    (Engine.Delta.label (Engine.Delta.make []))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map () =
+  let f i = i * i in
+  List.iter
+    (fun jobs ->
+      check
+        (Alcotest.array Alcotest.int)
+        (Printf.sprintf "jobs=%d" jobs)
+        (Array.init 37 f)
+        (Engine.Pool.map ~oversubscribe:true ~jobs f 37))
+    [ 1; 2; 4; 8 ];
+  check (Alcotest.array Alcotest.int) "empty" [||]
+    (Engine.Pool.map ~jobs:4 f 0)
+
+let test_pool_exception () =
+  match
+    Engine.Pool.map ~oversubscribe:true ~jobs:4
+      (fun i -> if i >= 5 then failwith (string_of_int i) else i)
+      20
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure i ->
+      (* every task still ran; the lowest-indexed failure wins *)
+      check Alcotest.string "lowest-indexed failure" "5" i
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache () =
+  let c = Engine.Cache.create () in
+  let key s = Engine.Fingerprint.program (Asp.Parser.parse_program s) in
+  let calls = ref 0 in
+  let compute () = incr calls; !calls in
+  let v1, cached1 = Engine.Cache.find_or_compute c (key "a.") compute in
+  let v2, cached2 = Engine.Cache.find_or_compute c (key "a.") compute in
+  let v3, cached3 = Engine.Cache.find_or_compute c (key "b.") compute in
+  check Alcotest.int "computed once per distinct key" 2 !calls;
+  checkb "first is a miss" false cached1;
+  checkb "second is a hit" true cached2;
+  checkb "new key is a miss" false cached3;
+  check Alcotest.int "hit returns the memo" v1 v2;
+  check Alcotest.int "fresh value" 2 v3;
+  check Alcotest.int "hits" 1 (Engine.Cache.hits c);
+  check Alcotest.int "misses" 2 (Engine.Cache.misses c);
+  (* a failing computation releases the key for the next caller *)
+  (match Engine.Cache.find_or_compute c (key "c.") (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the thunk's exception"
+  | exception Failure _ -> ());
+  let v4, cached4 = Engine.Cache.find_or_compute c (key "c.") compute in
+  checkb "released after failure" false cached4;
+  check Alcotest.int "recomputed" 3 v4
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: determinism and cache accounting                              *)
+(* ------------------------------------------------------------------ *)
+
+let result_key (r : Engine.Job.result) =
+  Printf.sprintf "[%d] %s %s %s" r.Engine.Job.index
+    (Engine.Delta.label r.Engine.Job.delta)
+    (Engine.Fingerprint.to_hex r.Engine.Job.fingerprint)
+    (String.concat " | " (List.map Asp.Model.to_string r.Engine.Job.models))
+
+let sweep_keys report =
+  Array.to_list (Array.map result_key report.Engine.Sweep.results)
+
+let tiny_spec () =
+  Cpsrisk.Sweeps.water_tank_spec ~horizon:6
+    (Cpsrisk.Sweeps.random_deltas ~seed:7 40)
+
+let test_sweep_deterministic () =
+  let sequential = Engine.Sweep.run ~jobs:1 (tiny_spec ()) in
+  List.iter
+    (fun jobs ->
+      let parallel =
+        Engine.Sweep.run ~oversubscribe:true ~jobs (tiny_spec ())
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "jobs=%d bit-identical to sequential" jobs)
+        (sweep_keys sequential) (sweep_keys parallel))
+    [ 2; 3; 4 ]
+
+let test_sweep_cache_accounting () =
+  let cache = Engine.Cache.create () in
+  let first = Engine.Sweep.run ~jobs:1 ~cache (tiny_spec ()) in
+  let n = Array.length first.Engine.Sweep.results in
+  check Alcotest.int "all jobs ran" 40 n;
+  checkb "repeated deltas hit within the first sweep" true
+    (first.Engine.Sweep.hits > 0);
+  check Alcotest.int "hits + misses = jobs" n
+    (first.Engine.Sweep.hits + first.Engine.Sweep.misses);
+  (* the second identical sweep is pure lookups: no fresh solver work *)
+  let second = Engine.Sweep.run ~jobs:1 ~cache (tiny_spec ()) in
+  check Alcotest.int "second sweep: all hits" n second.Engine.Sweep.hits;
+  check Alcotest.int "second sweep: no misses" 0 second.Engine.Sweep.misses;
+  check Alcotest.int "second sweep: zero fresh guesses" 0
+    second.Engine.Sweep.fresh.Asp.Solver.Stats.guesses;
+  check Alcotest.int "second sweep: zero fresh firings" 0
+    second.Engine.Sweep.fresh.Asp.Solver.Stats.firings;
+  check (Alcotest.float 1e-9) "hit rate" 1.0 (Engine.Sweep.hit_rate second);
+  check
+    (Alcotest.list Alcotest.string)
+    "cached results identical to fresh ones" (sweep_keys first)
+    (sweep_keys second)
+
+let test_mode_not_conflated () =
+  let spec mode =
+    Cpsrisk.Sweeps.water_tank_spec ~horizon:4 ~mode
+      [ Engine.Delta.make [ "F2" ] ]
+  in
+  let p = Engine.Job.prepare (spec (Engine.Job.Enumerate None)) in
+  let o = Engine.Job.prepare (spec Engine.Job.Optimal) in
+  let d = Engine.Delta.make [ "F2" ] in
+  checkb "Enumerate and Optimal address different cache slots" false
+    (Engine.Fingerprint.equal
+       (Engine.Job.fingerprint p d)
+       (Engine.Job.fingerprint o d))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep vs the per-scenario reference encodings                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_matches_reference () =
+  let deltas =
+    Cpsrisk.Sweeps.all_fault_deltas ~mitigations:[ "M1" ]
+      Cpsrisk.Water_tank.faults
+  in
+  let report =
+    Engine.Sweep.run ~jobs:1 (Cpsrisk.Sweeps.water_tank_spec ~horizon:8 deltas)
+  in
+  Array.iter
+    (fun (r : Engine.Job.result) ->
+      let scenario = Cpsrisk.Sweeps.delta_scenario r.Engine.Job.delta in
+      let reference =
+        Cpsrisk.Water_tank.asp_verdicts ~horizon:8 ~scenario ()
+      in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.bool))
+        (Engine.Delta.label r.Engine.Job.delta)
+        reference
+        (Cpsrisk.Sweeps.verdicts r))
+    report.Engine.Sweep.results
+
+let test_topology_sweep () =
+  let config = Cpsrisk.Pipeline.water_tank_config () in
+  let report, impacts = Cpsrisk.Pipeline.topology_sweep ~jobs:1 config in
+  check Alcotest.int "one job per component delta"
+    (List.length (Cpsrisk.Sweeps.model_element_deltas config.Cpsrisk.Pipeline.model))
+    (Array.length report.Engine.Sweep.results);
+  (* an unmitigated injection reaches at least itself *)
+  List.iter
+    (fun (label, affected) ->
+      checkb (label ^ " affects itself") true (affected <> []))
+    impacts;
+  (* activating M1 (user training, associated with the e-mail client)
+     shields the injection point and contains the error *)
+  let spec deltas =
+    Cpsrisk.Sweeps.topology_spec config.Cpsrisk.Pipeline.model deltas
+  in
+  let unshielded =
+    Engine.Sweep.run ~jobs:1 (spec [ Engine.Delta.make [ "email" ] ])
+  in
+  checkb "unshielded e-mail client propagates" true
+    (List.length (Cpsrisk.Sweeps.affected unshielded.Engine.Sweep.results.(0))
+    > 1);
+  let shielded =
+    Engine.Sweep.run ~jobs:1
+      (spec [ Engine.Delta.make ~mitigations:[ "M1" ] [ "email" ] ])
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "mitigated e-mail client contained" []
+    (Cpsrisk.Sweeps.affected shielded.Engine.Sweep.results.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer: parallel entry points                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_par () =
+  let problem = Cpsrisk.Water_tank.optimization_problem in
+  let same name a b =
+    check Alcotest.string name
+      (Format.asprintf "%a" Mitigation.Optimizer.pp_solution a)
+      (Format.asprintf "%a" Mitigation.Optimizer.pp_solution b)
+  in
+  same "unconstrained"
+    (Mitigation.Optimizer.optimal problem)
+    (Mitigation.Optimizer.optimal_par ~jobs:3 problem);
+  List.iter
+    (fun budget ->
+      same
+        (Printf.sprintf "budget %d" budget)
+        (Mitigation.Optimizer.optimal ~budget problem)
+        (Mitigation.Optimizer.optimal_par ~jobs:3 ~budget problem))
+    [ 0; 2; 5 ];
+  let budgets = [ 0; 1; 2; 3; 5; 10 ] in
+  List.iter2
+    (fun (b, s) (b', s') ->
+      check Alcotest.int "budget" b b';
+      same (Printf.sprintf "sweep budget %d" b) s s')
+    (Mitigation.Optimizer.budget_sweep problem ~budgets)
+    (Mitigation.Optimizer.budget_sweep_par ~jobs:3 problem ~budgets)
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "fingerprint: structural equality" `Quick
+          test_fp_structural;
+        Alcotest.test_case "fingerprint: perturbations change it" `Quick
+          test_fp_perturbation;
+        Alcotest.test_case "fingerprint: extend/append law" `Quick
+          test_fp_extend_append;
+        Alcotest.test_case "delta: mutations-file parsing" `Quick
+          test_delta_parse;
+        Alcotest.test_case "delta: derived labels" `Quick test_delta_label;
+        Alcotest.test_case "pool: map equals Array.init" `Quick test_pool_map;
+        Alcotest.test_case "pool: deterministic exception" `Quick
+          test_pool_exception;
+        Alcotest.test_case "cache: memoization and accounting" `Quick
+          test_cache;
+        Alcotest.test_case "sweep: parallel identical to sequential" `Quick
+          test_sweep_deterministic;
+        Alcotest.test_case "sweep: second run is all cache hits" `Quick
+          test_sweep_cache_accounting;
+        Alcotest.test_case "sweep: solve mode is part of the address" `Quick
+          test_mode_not_conflated;
+        Alcotest.test_case "sweep: agrees with per-scenario encoding" `Quick
+          test_sweep_matches_reference;
+        Alcotest.test_case "sweep: pipeline topology what-ifs" `Quick
+          test_topology_sweep;
+        Alcotest.test_case "optimizer: parallel equals sequential" `Quick
+          test_optimizer_par;
+      ] );
+  ]

@@ -1,4 +1,10 @@
-(* extra differential fuzz: different seed base, more strata/choices *)
+(* Second differential fuzzer, folded in from the PR-2 review scratch work:
+   a different seed base and a generator biased toward larger programs (more
+   atoms, more strata, more choice rules, weak constraints with tuple terms)
+   than the one in [Test_solver_diff]. The production solver and the
+   exhaustive reference must agree on the model sets, the per-model costs,
+   the optima, and on which programs are rejected. *)
+
 let gen_program rng =
   let int n = Random.State.int rng n in
   let bool () = Random.State.bool rng in
@@ -19,7 +25,9 @@ let gen_program rng =
           if bool () then rand_atom ()
           else Printf.sprintf "%s : %s" (rand_atom ()) (rand_atom ()))
     in
-    let body = match int 3 with 0 -> "" | n -> " :- " ^ String.concat ", " (lits n) in
+    let body =
+      match int 3 with 0 -> "" | n -> " :- " ^ String.concat ", " (lits n)
+    in
     let lower = if int 3 = 0 then string_of_int (int 2) ^ " " else "" in
     let upper = if int 3 = 0 then " " ^ string_of_int (1 + int 2) else "" in
     stmt "%s{ %s }%s%s." lower (String.concat " ; " elems) upper body
@@ -37,7 +45,9 @@ let gen_program rng =
   for _ = 1 to int 4 do
     let weight = int 8 - 3 in
     let terms = if bool () then ", t" ^ string_of_int (int 2) else "" in
-    stmt ":~ %s. [%d@%d%s]" (String.concat ", " (lits (1 + int 2))) weight (1 + int 3) terms
+    stmt ":~ %s. [%d@%d%s]"
+      (String.concat ", " (lits (1 + int 2)))
+      weight (1 + int 3) terms
   done;
   Buffer.contents buf
 
@@ -46,8 +56,12 @@ type outcome =
   | Rejected of string
 
 let outcome_of_models models =
-  Models (List.map (fun m ->
-    (List.map Asp.Atom.to_string (Asp.Model.to_list m), Asp.Model.cost m)) models)
+  Models
+    (List.map
+       (fun m ->
+         ( List.map Asp.Atom.to_string (Asp.Model.to_list m),
+           Asp.Model.cost m ))
+       models)
 
 let run f =
   match f () with
@@ -60,25 +74,32 @@ let agree a b =
   | Rejected x, Rejected y -> x = y
   | Models xs, Models ys ->
       List.length xs = List.length ys
-      && List.for_all2 (fun (ax, cx) (ay, cy) ->
-             ax = ay && Asp.Model.compare_cost cx cy = 0) xs ys
+      && List.for_all2
+           (fun (ax, cx) (ay, cy) -> ax = ay && Asp.Model.compare_cost cx cy = 0)
+           xs ys
   | _ -> false
 
-let () =
-  let bad = ref 0 in
-  for seed = 0 to 499 do
+let test_fuzz_seeded () =
+  for seed = 0 to 149 do
     let rng = Random.State.make [| 0xBEEF; seed |] in
     let src = gen_program rng in
     let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
-    let f1 = run (fun () -> Asp.Solver.solve ~max_guess:16 g) in
-    let s1 = run (fun () -> Asp.Naive.solve ~max_guess:16 g) in
-    if not (agree f1 s1) then begin
-      incr bad; Printf.printf "SOLVE DIVERGENCE seed %d:\n%s\n" seed src
-    end;
-    let f2 = run (fun () -> Asp.Solver.solve_optimal ~max_guess:16 g) in
-    let s2 = run (fun () -> Asp.Naive.solve_optimal ~max_guess:16 g) in
-    if not (agree f2 s2) then begin
-      incr bad; Printf.printf "OPT DIVERGENCE seed %d:\n%s\n" seed src
-    end
-  done;
-  Printf.printf "done, %d divergences over 500 seeds\n" !bad
+    let fast = run (fun () -> Asp.Solver.solve ~max_guess:16 g) in
+    let slow = run (fun () -> Asp.Naive.solve ~max_guess:16 g) in
+    if not (agree fast slow) then
+      Alcotest.fail (Printf.sprintf "solve divergence at seed %d:\n%s" seed src);
+    let fast_opt = run (fun () -> Asp.Solver.solve_optimal ~max_guess:16 g) in
+    let slow_opt = run (fun () -> Asp.Naive.solve_optimal ~max_guess:16 g) in
+    if not (agree fast_opt slow_opt) then
+      Alcotest.fail
+        (Printf.sprintf "solve_optimal divergence at seed %d:\n%s" seed src)
+  done
+
+let suites =
+  [
+    ( "asp.solver_fuzz",
+      [
+        Alcotest.test_case "150 seeded large random programs" `Quick
+          test_fuzz_seeded;
+      ] );
+  ]
