@@ -1,0 +1,197 @@
+(* Grounder scaling sweep: the production grounding path (Asp.Grounder —
+   semi-naive fixpoint, rule indexing, first-argument discrimination,
+   incremental extend) against the retained naive oracle
+   (Asp.Naive_ground — ground-everything-every-pass fixpoint with linear
+   signature scans), on three workload shapes:
+
+   - tc n:       transitive closure over an n-node chain (O(n²) ground
+                 rules, O(n) fixpoint rounds). The oracle re-joins the
+                 whole path relation against the whole edge relation every
+                 pass; the semi-naive grounder only joins the atoms the
+                 previous round produced, probed through the first-arg
+                 index.
+   - tank h:     the water-tank temporal encoding at horizon h — the
+                 paper's actual workload shape (time-indexed fluents,
+                 choices, aggregates, weak constraints).
+   - extend k:   k scenario deltas against one prepared water-tank base:
+                 Grounder.prepare once + Grounder.extend per delta, vs
+                 grounding base+delta from scratch per delta. The sweep
+                 engine's per-job grounding path.
+
+   Every timed run is checked against its reference (Ground.equal for
+   one-shot parity; set-equality on rules plus exact universe/show
+   agreement for extend, which may keep duplicate ground rules two source
+   rules share). Emits JSON (committed as BENCH_ground.json at the repo
+   root for the full sweep; `dune build @ground-smoke` runs a
+   seconds-scale subset as part of the test tree). *)
+
+let time ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+type entry = {
+  workload : string;
+  param : int;
+  atoms : int;
+  grules : int;
+  new_s : float;
+  oracle_s : float option; (* None above the oracle's budget *)
+  stats : Asp.Grounder.Stats.t;
+}
+
+let run_oneshot ~reps ~oracle_cap name param program =
+  let stats = Asp.Grounder.Stats.create () in
+  let g, new_s = time ~reps (fun () -> Asp.Grounder.ground ~stats program) in
+  let oracle_s =
+    if param <= oracle_cap then begin
+      let og, dt = time ~reps (fun () -> Asp.Naive_ground.ground program) in
+      (* the sweep doubles as a differential check *)
+      if not (Asp.Ground.equal g og) then begin
+        Printf.eprintf "grounder/oracle disagree on %s %d\n" name param;
+        exit 2
+      end;
+      Some dt
+    end
+    else None
+  in
+  Printf.eprintf "  %s %3d: grounder %8.4fs%s, %d rules / %d atoms\n%!" name
+    param new_s
+    (match oracle_s with
+    | Some t -> Printf.sprintf ", oracle %8.4fs (%.1fx)" t (t /. new_s)
+    | None -> ", oracle skipped")
+    (Asp.Ground.rule_count g) (Asp.Ground.atom_count g);
+  {
+    workload = name;
+    param;
+    atoms = Asp.Ground.atom_count g;
+    grules = Asp.Ground.rule_count g;
+    new_s;
+    oracle_s;
+    stats;
+  }
+
+(* k scenario deltas against one prepared water-tank base. The scratch
+   reference uses the production grounder too — this row isolates the
+   value of incremental extension itself, not of the semi-naive rewrite
+   (the tank rows measure that). *)
+let run_extend ~reps ~horizon k =
+  let base = Cpsrisk.Water_tank.asp_base ~horizon () in
+  let scenarios =
+    List.map Cpsrisk.Sweeps.delta_scenario
+      (Cpsrisk.Sweeps.random_deltas ~seed:7 k)
+  in
+  let deltas = List.map Cpsrisk.Water_tank.asp_activation_facts scenarios in
+  let stats = Asp.Grounder.Stats.create () in
+  let exts, ext_s =
+    time ~reps (fun () ->
+        let prep = Asp.Grounder.prepare ~stats base in
+        List.map (Asp.Grounder.extend ~stats prep) deltas)
+  in
+  let scratch, scratch_s =
+    time ~reps (fun () ->
+        List.map (fun d -> Asp.Grounder.ground (Asp.Program.append base d)) deltas)
+  in
+  let canon (g : Asp.Ground.t) = List.sort_uniq compare g.Asp.Ground.rules in
+  List.iter2
+    (fun (e : Asp.Ground.t) (s : Asp.Ground.t) ->
+      if
+        not
+          (Asp.Model.AtomSet.equal e.universe s.universe
+          && e.shows = s.shows
+          && canon e = canon s)
+      then begin
+        Printf.eprintf "extend/scratch disagree on tank extend %d\n" k;
+        exit 2
+      end)
+    exts scratch;
+  let total = Asp.Ground.atom_count (List.hd exts) in
+  Printf.eprintf
+    "  extend %3d: extend %8.4fs, scratch %8.4fs (%.1fx), reused %d / fresh \
+     %d instances\n%!"
+    k ext_s scratch_s (scratch_s /. ext_s)
+    stats.Asp.Grounder.Stats.reused_rules stats.Asp.Grounder.Stats.fresh_rules;
+  {
+    workload = "extend";
+    param = k;
+    atoms = total;
+    grules = Asp.Ground.rule_count (List.hd exts);
+    new_s = ext_s;
+    oracle_s = Some scratch_s;
+    stats;
+  }
+
+let emit_json out mode entries =
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"asp-grounder-scaling\",\n";
+  p "  \"mode\": %S,\n" mode;
+  p "  \"reference\": \"Asp.Naive_ground (naive fixpoint, linear signature \
+     scans); extend rows reference fresh base+delta grounding\",\n";
+  p "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      let s = e.stats in
+      p
+        "    {\"workload\": %S, \"param\": %d, \"ground_atoms\": %d, \
+         \"ground_rules\": %d,\n\
+        \     \"grounder_s\": %.6f, \"reference_s\": %s, \"speedup\": %s,\n\
+        \     \"stats\": {\"passes\": %d, \"firings\": %d, \"probes\": %d, \
+         \"fresh_rules\": %d, \"reused_rules\": %d}}%s\n"
+        e.workload e.param e.atoms e.grules e.new_s
+        (match e.oracle_s with
+        | Some t -> Printf.sprintf "%.6f" t
+        | None -> "null")
+        (match e.oracle_s with
+        | Some t -> Printf.sprintf "%.2f" (t /. e.new_s)
+        | None -> "null")
+        s.Asp.Grounder.Stats.passes s.Asp.Grounder.Stats.firings
+        s.Asp.Grounder.Stats.probes s.Asp.Grounder.Stats.fresh_rules
+        s.Asp.Grounder.Stats.reused_rules
+        (if i = List.length entries - 1 then "" else ",");
+      ())
+    entries;
+  p "  ]\n}\n";
+  close_out oc
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out = ref "BENCH_ground.json" in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then
+        out := Sys.argv.(i + 1))
+    Sys.argv;
+  let reps = if smoke then 1 else 3 in
+  (* tc: the oracle is O(rounds × |path| × |edge|) ≈ O(n⁴); capped where it
+     still finishes inside the bench budget *)
+  let tc_ns = if smoke then [ 20; 40 ] else [ 20; 40; 80; 120; 200 ] in
+  let tc_oracle_cap = if smoke then 40 else 120 in
+  let tank_hs = if smoke then [ 6 ] else [ 6; 12; 24; 48 ] in
+  let tank_oracle_cap = if smoke then 6 else 48 in
+  let extend_ks = if smoke then [ 8 ] else [ 16; 64 ] in
+  let entries =
+    List.map
+      (fun n ->
+        run_oneshot ~reps ~oracle_cap:tc_oracle_cap "tc" n
+          (Cpsrisk.Cascade.asp_chain_program n))
+      tc_ns
+    @ List.map
+        (fun h ->
+          run_oneshot ~reps ~oracle_cap:tank_oracle_cap "tank" h
+            (Cpsrisk.Water_tank.asp_program ~horizon:h
+               ~scenario:(Epa.Scenario.make [])
+               ()))
+        tank_hs
+    @ List.map (fun k -> run_extend ~reps ~horizon:12 k) extend_ks
+  in
+  emit_json !out (if smoke then "smoke" else "full") entries;
+  Printf.eprintf "wrote %s\n" !out

@@ -29,22 +29,28 @@ let model_sets (models : Asp.Model.t list) =
 type entry = {
   name : string;
   jobs : int;
+  domains : int; (* actual worker domains after the hardware cap *)
   wall_s : float;
   hits : int;
   misses : int;
   guesses : int;
   firings : int;
+  reused_rules : int;
+  fresh_rules : int;
 }
 
-let entry_of_report name (r : Engine.Sweep.report) wall_s =
+let entry_of_report name ~domains (r : Engine.Sweep.report) wall_s =
   {
     name;
     jobs = r.Engine.Sweep.jobs;
+    domains;
     wall_s;
     hits = r.Engine.Sweep.hits;
     misses = r.Engine.Sweep.misses;
     guesses = r.Engine.Sweep.fresh.Asp.Solver.Stats.guesses;
     firings = r.Engine.Sweep.fresh.Asp.Solver.Stats.firings;
+    reused_rules = r.Engine.Sweep.ground.Asp.Grounder.Stats.reused_rules;
+    fresh_rules = r.Engine.Sweep.ground.Asp.Grounder.Stats.fresh_rules;
   }
 
 let emit_json out mode ~deltas ~horizon ~seed ~base_atoms entries =
@@ -66,13 +72,14 @@ let emit_json out mode ~deltas ~horizon ~seed ~base_atoms entries =
   List.iteri
     (fun i e ->
       p
-        "    {\"name\": %S, \"jobs\": %d, \"wall_s\": %.6f, \
-         \"speedup_vs_cold\": %.2f,\n\
+        "    {\"name\": %S, \"jobs\": %d, \"domains\": %d, \"wall_s\": \
+         %.6f, \"speedup_vs_cold\": %.2f,\n\
         \     \"cache_hits\": %d, \"cache_misses\": %d, \
-         \"fresh_guesses\": %d, \"fresh_firings\": %d}%s\n"
-        e.name e.jobs e.wall_s
+         \"fresh_guesses\": %d, \"fresh_firings\": %d,\n\
+        \     \"ground_reused_rules\": %d, \"ground_fresh_rules\": %d}%s\n"
+        e.name e.jobs e.domains e.wall_s
         (cold_s /. e.wall_s)
-        e.hits e.misses e.guesses e.firings
+        e.hits e.misses e.guesses e.firings e.reused_rules e.fresh_rules
         (if i = List.length entries - 1 then "" else ",");
       ())
     entries;
@@ -116,12 +123,22 @@ let () =
         end)
       r.Engine.Sweep.results
   in
-  let engine name ?cache jobs =
-    let r, s = wall (fun () -> Engine.Sweep.run ~jobs ?cache spec) in
+  let engine name ?cache ?(oversubscribe = false) jobs =
+    let r, s =
+      wall (fun () -> Engine.Sweep.run ~oversubscribe ~jobs ?cache spec)
+    in
     check name r;
-    Printf.eprintf "  %-14s: %8.4fs (%.1fx cold), %d hits / %d misses\n%!"
-      name s (cold_s /. s) r.Engine.Sweep.hits r.Engine.Sweep.misses;
-    (r, entry_of_report name r s)
+    (* the pool caps at the hardware's useful parallelism unless
+       oversubscribed — record the width that actually ran, not just the
+       one requested *)
+    let domains =
+      if oversubscribe then jobs
+      else min jobs (Domain.recommended_domain_count ())
+    in
+    Printf.eprintf
+      "  %-14s: %8.4fs (%.1fx cold), %d domains, %d hits / %d misses\n%!"
+      name s (cold_s /. s) domains r.Engine.Sweep.hits r.Engine.Sweep.misses;
+    (r, entry_of_report name ~domains r s)
   in
 
   let kept = Engine.Cache.create () in
@@ -129,12 +146,14 @@ let () =
   let _, e1c = engine "engine-cached" ~cache:kept 1 in
   let _, e2 = engine "engine-2" 2 in
   let _, e4 = engine "engine-4" 4 in
+  let _, e4o = engine "engine-4-over" ~oversubscribe:true 4 in
   let cold_entry =
-    { name = "seq-cold"; jobs = 1; wall_s = cold_s; hits = 0; misses = n;
-      guesses = 0; firings = 0 }
+    { name = "seq-cold"; jobs = 1; domains = 1; wall_s = cold_s; hits = 0;
+      misses = n; guesses = 0; firings = 0; reused_rules = 0;
+      fresh_rules = 0 }
   in
   emit_json !out
     (if smoke then "smoke" else "full")
     ~deltas:n ~horizon ~seed ~base_atoms:r1.Engine.Sweep.base_atoms
-    [ cold_entry; e1; e1c; e2; e4 ];
+    [ cold_entry; e1; e1c; e2; e4; e4o ];
   Printf.eprintf "wrote %s\n" !out

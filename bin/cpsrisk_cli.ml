@@ -303,7 +303,8 @@ let solve file limit optimal stats max_guess =
       Printf.eprintf "parse error: %s\n" msg;
       1
   | program -> (
-      match Asp.Grounder.ground program with
+      let ground_stats = Asp.Grounder.Stats.create () in
+      match Asp.Grounder.ground ~stats:ground_stats program with
       | exception Asp.Grounder.Unsafe msg | exception Asp.Grounder.Overflow msg ->
           Printf.eprintf "grounding error: %s\n" msg;
           1
@@ -321,9 +322,12 @@ let solve file limit optimal stats max_guess =
                 if shows = [] then m else Asp.Model.project shows m
               in
               let report_stats () =
-                if stats then
+                if stats then begin
+                  Printf.printf "Ground: %s\n"
+                    (Asp.Grounder.Stats.to_string ground_stats);
                   Printf.printf "Stats: %s\n"
                     (Asp.Solver.Stats.to_string search_stats)
+                end
               in
               match models with
               | [] ->

@@ -38,6 +38,40 @@ let rec deps_of_lits lits =
           List.map (fun (sg, _) -> (sg, Negative)) (deps_of_lits cond))
     lits
 
+let positive_body_signatures r =
+  List.filter_map
+    (function
+      | Lit.Pos a -> Some (Atom.signature a)
+      | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> None)
+    (Rule.body r)
+
+let condition_signatures r =
+  let rec all_sigs lits =
+    List.concat_map
+      (fun l ->
+        match l with
+        | Lit.Pos a | Lit.Neg a -> [ Atom.signature a ]
+        | Lit.Cmp _ -> []
+        | Lit.Count { cond; _ } -> all_sigs cond)
+      lits
+  in
+  let body_conds =
+    List.concat_map
+      (fun l ->
+        match l with
+        | Lit.Pos _ | Lit.Cmp _ -> []
+        | Lit.Neg a -> [ Atom.signature a ]
+        | Lit.Count { cond; _ } -> all_sigs cond)
+      (Rule.body r)
+  in
+  let elem_conds =
+    match r with
+    | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+        List.concat_map (fun (e : Rule.choice_elem) -> all_sigs e.cond) elems
+    | Rule.Rule _ | Rule.Weak _ -> []
+  in
+  body_conds @ elem_conds
+
 let of_program p =
   let g = { nodes = SigSet.empty; edges = SigMap.empty } in
   List.fold_left

@@ -29,6 +29,20 @@ val strata : t -> ((string * int) * int) list option
     predicates have strata [<=] the head's; negated body predicates have
     strictly smaller strata. *)
 
+val positive_body_signatures : Rule.t -> (string * int) list
+(** Signatures of the rule's positive body literals, in body order,
+    duplicates kept (one entry per join position — what {!Grounder}'s
+    semi-naive rule index is keyed on). *)
+
+val condition_signatures : Rule.t -> (string * int) list
+(** Signatures whose ground extension influences the rule's instantiation
+    through something other than the positive body join: negated body atoms,
+    every atom of an aggregate condition, and every atom of a choice
+    element's condition. A rule none of whose condition signatures gained
+    atoms instantiates identically over a grown universe except for new
+    positive-body joins — the invariant {!Grounder.extend} exploits to reuse
+    base ground rules. *)
+
 val choice_predicates : Program.t -> (string * int) list
 (** Signatures occurring in choice-rule heads. *)
 

@@ -44,6 +44,11 @@ type t = {
 let rule_count g = List.length g.rules
 let atom_count g = Model.AtomSet.cardinal g.universe
 
+let equal a b =
+  Model.AtomSet.equal a.universe b.universe
+  && a.shows = b.shows
+  && a.rules = b.rules
+
 let count_to_string c =
   let elem e =
     let tuple = String.concat "," (List.map Term.to_string e.etuple) in

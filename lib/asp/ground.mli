@@ -55,5 +55,11 @@ type t = {
 
 val rule_count : t -> int
 val atom_count : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality, rule-for-rule and in order: the relation the
+    grounder differential suite enforces between {!Grounder} and
+    {!Naive_ground} output. *)
+
 val pp_rule : Format.formatter -> grule -> unit
 val pp : Format.formatter -> t -> unit

@@ -2,26 +2,53 @@ exception Unsafe of string
 exception Overflow of string
 
 (* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type t = {
+    mutable passes : int;
+    mutable firings : int;
+    mutable probes : int;
+    mutable fresh_rules : int;
+    mutable reused_rules : int;
+    mutable wall_s : float;
+  }
+
+  let create () =
+    {
+      passes = 0;
+      firings = 0;
+      probes = 0;
+      fresh_rules = 0;
+      reused_rules = 0;
+      wall_s = 0.0;
+    }
+
+  let to_string s =
+    Printf.sprintf
+      "passes=%d firings=%d probes=%d fresh=%d reused=%d wall=%.3fs" s.passes
+      s.firings s.probes s.fresh_rules s.reused_rules s.wall_s
+
+  let pp ppf s = Format.pp_print_string ppf (to_string s)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Safety                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* The analysis itself lives in [Safety] (the lint layer reuses it); the
-   grounder keeps its historical exception-based interface, but the message
-   now carries the rule's source position and lists every unsafe variable
-   instead of stopping at the first. *)
+let located r =
+  match Rule.pos r with
+  | Some p -> Rule.pos_to_string p ^ ": "
+  | None -> ""
+
 let check_rule r =
   match Safety.violations r with
   | [] -> ()
-  | vs ->
-      let located =
-        match Rule.pos r with
-        | Some p -> Rule.pos_to_string p ^ ": "
-        | None -> ""
-      in
-      raise (Unsafe (located ^ Safety.describe r vs))
+  | vs -> raise (Unsafe (located r ^ Safety.describe r vs))
 
 (* ------------------------------------------------------------------ *)
-(* Matching                                                            *)
+(* Matching (shared with the phase-2 instantiator)                     *)
 (* ------------------------------------------------------------------ *)
 
 let rec unify subst pat gterm =
@@ -64,8 +91,6 @@ let try_builtin subst (l, op, r) =
     | Lit.Eq, lhs, Term.Var v when Term.is_ground lhs -> Bind (v, Term.eval lhs)
     | _ -> Stuck
 
-(* Discharge as many builtins as possible. None = some builtin is false.
-   Some (subst, leftover) = consistent so far, [leftover] still unbound. *)
 let rec discharge subst builtins =
   let progressed = ref false in
   let rec pass subst acc = function
@@ -87,32 +112,43 @@ let rec discharge subst builtins =
   | Some (subst, leftover) ->
       if !progressed then discharge subst leftover else Some (subst, leftover)
 
-(* Enumerate substitutions satisfying the positive body + builtins of
-   [lits] against the universe index [by_sig]. *)
-let matches by_sig subst0 lits ~on_match =
-  let positives =
-    List.filter_map
-      (function
-        | Lit.Pos a -> Some a
-        | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> None)
-      lits
-  in
-  let builtins =
-    List.filter_map
-      (function
-        | Lit.Cmp (l, op, r) -> Some (l, op, r)
-        | Lit.Pos _ | Lit.Neg _ | Lit.Count _ -> None)
-      lits
-  in
-  let candidates sg =
-    match Hashtbl.find_opt by_sig sg with Some l -> !l | None -> []
-  in
-  let rec go subst builtins = function
+let positives lits =
+  List.filter_map
+    (function Lit.Pos a -> Some a | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> None)
+    lits
+
+let negatives lits =
+  List.filter_map
+    (function Lit.Neg a -> Some a | Lit.Pos _ | Lit.Cmp _ | Lit.Count _ -> None)
+    lits
+
+let builtins_of lits =
+  List.filter_map
+    (function
+      | Lit.Cmp (l, op, r) -> Some (l, op, r)
+      | Lit.Pos _ | Lit.Neg _ | Lit.Count _ -> None)
+    lits
+
+let count_lits lits =
+  List.filter_map
+    (function
+      | Lit.Count c -> Some c | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> None)
+    lits
+
+(* Enumerate the substitutions satisfying the positive body + builtins of
+   [lits]. [cands] supplies the candidate atoms for the [k]-th positive
+   literal (already substituted) — the hook through which the callers plug
+   in index probes, generation windows and the incremental new/old/full
+   partition. [err] is the located message for the (statically unreachable
+   after {!check_rule}) leftover-builtin case. *)
+let matches_gen ~cands ~err subst0 lits ~on_match =
+  let pats = positives lits in
+  let builtins = builtins_of lits in
+  let rec go k subst builtins = function
     | [] -> (
         match discharge subst builtins with
         | Some (subst, []) -> on_match subst
-        | Some (_, _ :: _) ->
-            raise (Unsafe "builtin comparison with unbound variables")
+        | Some (_, _ :: _) -> raise (Unsafe err)
         | None -> ())
     | pat :: rest -> (
         match discharge subst builtins with
@@ -122,108 +158,308 @@ let matches by_sig subst0 lits ~on_match =
             List.iter
               (fun ga ->
                 match unify_atom subst pat' ga with
-                | Some subst -> go subst builtins rest
+                | Some subst -> go (k + 1) subst builtins rest
                 | None -> ())
-              (candidates (Atom.signature pat')))
+              (cands k pat'))
   in
-  go subst0 builtins positives
-
-let negatives lits =
-  List.filter_map
-    (function Lit.Neg a -> Some a | Lit.Pos _ | Lit.Cmp _ | Lit.Count _ -> None)
-    lits
-
-let positive_atoms lits =
-  List.filter_map
-    (function Lit.Pos a -> Some a | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> None)
-    lits
-
-let count_lits lits =
-  List.filter_map
-    (function
-      | Lit.Count c -> Some c | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> None)
-    lits
+  go 0 subst0 builtins pats
 
 (* ------------------------------------------------------------------ *)
-(* Grounding                                                           *)
+(* Phase 1: semi-naive universe fixpoint                               *)
+(*                                                                     *)
+(* Atoms carry the round (generation) in which they were derived.      *)
+(* Candidate lists are consed newest-first, so they are sorted by      *)
+(* non-increasing generation and a [lo..hi] generation window is a     *)
+(* skip-prefix / take-while walk. A [store] optionally layers over a   *)
+(* frozen base store (the {!extend} overlay), whose atoms all count    *)
+(* as generation 0.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let ground ?(max_atoms = 200_000) ?universe_seed p =
-  List.iter check_rule (Program.rules p);
-  let univ : (Atom.t, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let by_sig : (string * int, Atom.t list ref) Hashtbl.t = Hashtbl.create 64 in
-  let count = ref 0 in
-  let add_atom a =
-    let a = Atom.eval a in
-    if not (Atom.is_ground a) then
-      raise (Unsafe ("derived non-ground atom " ^ Atom.to_string a));
-    if Hashtbl.mem univ a then false
-    else begin
-      Hashtbl.replace univ a ();
-      incr count;
-      if !count > max_atoms then
-        raise
-          (Overflow
-             (Printf.sprintf "atom universe exceeded %d atoms" max_atoms));
-      let key = Atom.signature a in
-      (match Hashtbl.find_opt by_sig key with
-      | Some l -> l := a :: !l
-      | None -> Hashtbl.add by_sig key (ref [ a ]));
-      true
-    end
+type store = {
+  st_univ : (Atom.t, int) Hashtbl.t; (* atom -> generation *)
+  st_by_sig : (string * int, (Atom.t * int) list ref) Hashtbl.t;
+  st_by_first : (string * int * Term.t, (Atom.t * int) list ref) Hashtbl.t;
+  mutable st_count : int; (* includes the base layer's count *)
+  st_max : int;
+  st_base : store option;
+}
+
+let new_store ~max_atoms base =
+  {
+    st_univ = Hashtbl.create 1024;
+    st_by_sig = Hashtbl.create 64;
+    st_by_first = Hashtbl.create 256;
+    st_count = (match base with Some b -> b.st_count | None -> 0);
+    st_max = max_atoms;
+    st_base = base;
+  }
+
+let store_mem st a =
+  Hashtbl.mem st.st_univ a
+  || match st.st_base with Some b -> Hashtbl.mem b.st_univ a | None -> false
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let add_atom st ~gen a ~on_new =
+  let a = Atom.eval a in
+  if not (Atom.is_ground a) then
+    raise (Unsafe ("derived non-ground atom " ^ Atom.to_string a));
+  if not (store_mem st a) then begin
+    Hashtbl.replace st.st_univ a gen;
+    st.st_count <- st.st_count + 1;
+    if st.st_count > st.st_max then
+      raise
+        (Overflow (Printf.sprintf "atom universe exceeded %d atoms" st.st_max));
+    push st.st_by_sig (Atom.signature a) (a, gen);
+    (match a.Atom.args with
+    | first :: _ ->
+        push st.st_by_first (a.Atom.pred, List.length a.Atom.args, first) (a, gen)
+    | [] -> ());
+    on_new a
+  end
+
+(* Candidates of this layer only, discriminated on the first argument when
+   the substituted pattern's first argument is ground. A failing
+   [Term.eval] falls back to the signature scan so that the error (if any)
+   surfaces from per-candidate unification exactly as in the oracle. *)
+let layer_cands st (stats : Stats.t) (pat' : Atom.t) =
+  stats.Stats.probes <- stats.Stats.probes + 1;
+  let of_sig () =
+    match Hashtbl.find_opt st.st_by_sig (Atom.signature pat') with
+    | Some l -> !l
+    | None -> []
   in
-  (* Phase 1: universe fixpoint over the positive projection. The fixpoint
-     is monotone, so it may be seeded with the universe of a previously
-     grounded, related program (typically a base program the current one
-     extends): atoms already known to be reachable are admitted up front
-     and the loop below only has to close over what the extension adds. *)
-  (match universe_seed with
-  | None -> ()
-  | Some seed -> Model.AtomSet.iter (fun a -> ignore (add_atom a)) seed);
-  let changed = ref true in
-  while !changed do
-    changed := false;
+  match pat'.Atom.args with
+  | first :: _ when Term.is_ground first -> (
+      match (try Some (Term.eval first) with Invalid_argument _ -> None) with
+      | Some key -> (
+          match
+            Hashtbl.find_opt st.st_by_first
+              (pat'.Atom.pred, List.length pat'.Atom.args, key)
+          with
+          | Some l -> !l
+          | None -> [])
+      | None -> of_sig ())
+  | _ -> of_sig ()
+
+(* Iterate atoms of st (plus its base layer when [lo = 0]) whose generation
+   lies in [lo..hi]. *)
+let iter_window st stats ~lo ~hi pat' f =
+  let rec skip = function
+    | (_, g) :: rest when g > hi -> skip rest
+    | l -> take l
+  and take = function
+    | (a, g) :: rest when g >= lo ->
+        f a;
+        take rest
+    | _ -> ()
+  in
+  skip (layer_cands st stats pat');
+  if lo = 0 then
+    match st.st_base with
+    | Some b -> List.iter (fun (a, _) -> f a) (layer_cands b stats pat')
+    | None -> ()
+
+(* One head-derivation template per plain-rule head / choice element; a
+   choice element's template joins body and condition positives flat (safe:
+   [check_rule] has already rejected body builtins that only the condition
+   could bind). *)
+type template = {
+  t_pats : Atom.t array;
+  t_builtins : (Term.t * Lit.cmp * Term.t) list;
+  t_head : Atom.t;
+  t_err : string;
+}
+
+let unbound_err r =
+  located r ^ "builtin comparison with unbound variables in: " ^ Rule.to_string r
+
+(* Returns the templates plus the semi-naive rule index: body-predicate
+   signature -> (template, join position) pairs to re-fire when the
+   signature gains atoms. *)
+let build_templates rules =
+  let ts = ref [] in
+  let n = ref 0 in
+  let index : (string * int, (int * int) list) Hashtbl.t = Hashtbl.create 32 in
+  let add_template pats bs head err =
+    let ti = !n in
+    incr n;
+    ts := { t_pats = Array.of_list pats; t_builtins = bs; t_head = head; t_err = err } :: !ts;
+    List.iteri
+      (fun pos pat ->
+        let sg = Atom.signature pat in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt index sg) in
+        Hashtbl.replace index sg ((ti, pos) :: cur))
+      pats
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Rule.Weak _ -> ()
+      | Rule.Rule { head; body; _ } -> (
+          let err = unbound_err r in
+          let bp = positives body and bb = builtins_of body in
+          match head with
+          | Rule.Falsity -> ()
+          | Rule.Head a -> add_template bp bb a err
+          | Rule.Choice { elems; _ } ->
+              List.iter
+                (fun (e : Rule.choice_elem) ->
+                  add_template
+                    (bp @ positives e.cond)
+                    (bb @ builtins_of e.cond)
+                    e.atom err)
+                elems))
+    rules;
+  (Array.of_list (List.rev !ts), index)
+
+let fire st stats t ~round ~dpos ~on_match =
+  let n = Array.length t.t_pats in
+  let cands k pat' f =
+    let lo, hi =
+      if dpos < 0 then (0, max_int) (* naive: everything *)
+      else if k = dpos then (round - 1, round - 1) (* the delta literal *)
+      else if k < dpos then (0, round - 2) (* strictly older *)
+      else (0, max_int) (* anything so far *)
+    in
+    iter_window st stats ~lo ~hi pat' f
+  in
+  let rec go k subst builtins =
+    if k = n then
+      match discharge subst builtins with
+      | Some (subst, []) -> on_match subst
+      | Some (_, _ :: _) -> raise (Unsafe t.t_err)
+      | None -> ()
+    else
+      match discharge subst builtins with
+      | None -> ()
+      | Some (subst, builtins) ->
+          let pat' = Atom.substitute subst t.t_pats.(k) in
+          cands k pat' (fun ga ->
+              match unify_atom subst pat' ga with
+              | Some subst -> go (k + 1) subst builtins
+              | None -> ())
+  in
+  go 0 [] t.t_builtins
+
+(* Semi-naive driver. Round 1 fires [initial] naively (live candidate
+   lists); every later round re-fires only the (template, position) pairs
+   whose position's signature gained an atom in the previous round, with
+   the join partitioned delta-exactly: strictly-older atoms left of the
+   delta position, the previous round's atoms at it, anything so far right
+   of it. Every join result is found exactly at the round after its newest
+   constituent atom was derived (leftmost-newest position). *)
+let run_fixpoint st (stats : Stats.t) templates entries_for ~initial =
+  let added = ref [] in
+  let derive ~round t subst =
+    stats.Stats.firings <- stats.Stats.firings + 1;
+    add_atom st ~gen:round
+      (Atom.substitute subst t.t_head)
+      ~on_new:(fun a -> added := a :: !added)
+  in
+  stats.Stats.passes <- stats.Stats.passes + 1;
+  List.iter
+    (fun ti ->
+      let t = templates.(ti) in
+      fire st stats t ~round:1 ~dpos:(-1) ~on_match:(derive ~round:1 t))
+    initial;
+  let round = ref 1 in
+  while !added <> [] do
+    incr round;
+    stats.Stats.passes <- stats.Stats.passes + 1;
+    let r = !round in
+    let prev = !added in
+    added := [];
+    let seen_sig = Hashtbl.create 16 in
     List.iter
-      (fun r ->
-        match r with
-        | Rule.Weak _ -> ()
-        | Rule.Rule { head; body; _ } ->
-            matches by_sig [] body ~on_match:(fun subst ->
-                match head with
-                | Rule.Falsity -> ()
-                | Rule.Head a ->
-                    if add_atom (Atom.substitute subst a) then changed := true
-                | Rule.Choice { elems; _ } ->
-                    List.iter
-                      (fun (e : Rule.choice_elem) ->
-                        matches by_sig subst e.cond ~on_match:(fun subst' ->
-                            if add_atom (Atom.substitute subst' e.atom) then
-                              changed := true))
-                      elems))
-      (Program.rules p)
-  done;
-  (* Phase 2: final instantiation. *)
-  let in_universe a = Hashtbl.mem univ a in
+      (fun a ->
+        let sg = Atom.signature a in
+        if not (Hashtbl.mem seen_sig sg) then begin
+          Hashtbl.replace seen_sig sg ();
+          List.iter
+            (fun (ti, pos) ->
+              let t = templates.(ti) in
+              fire st stats t ~round:r ~dpos:pos ~on_match:(derive ~round:r t))
+            (entries_for sg)
+        end)
+      prev
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: instantiation against a frozen, canonically ordered view   *)
+(* ------------------------------------------------------------------ *)
+
+(* A [view] answers candidate queries over an immutable universe with
+   every bucket sorted ascending by [Atom.compare] — the canonical order
+   shared with {!Naive_ground}, which is what makes the two grounders'
+   outputs bit-for-bit comparable. *)
+type view = {
+  v_sig : string * int -> Atom.t list;
+  v_first : string * int * Term.t -> Atom.t list;
+}
+
+let tbl_view sigs firsts =
+  {
+    v_sig = (fun k -> Option.value ~default:[] (Hashtbl.find_opt sigs k));
+    v_first = (fun k -> Option.value ~default:[] (Hashtbl.find_opt firsts k));
+  }
+
+(* Sorted per-signature and per-first-argument tables for the atoms of
+   [st]'s own layer. *)
+let sorted_tables st =
+  let sigs = Hashtbl.create (Hashtbl.length st.st_by_sig) in
+  let firsts = Hashtbl.create (Hashtbl.length st.st_by_first) in
+  Hashtbl.iter
+    (fun key l ->
+      let sorted = List.sort Atom.compare (List.map fst !l) in
+      Hashtbl.replace sigs key sorted;
+      (* cons in descending order so every first-arg bucket stays sorted *)
+      List.iter
+        (fun (a : Atom.t) ->
+          match a.Atom.args with
+          | first :: _ ->
+              let fk = (a.Atom.pred, List.length a.Atom.args, first) in
+              let cur = Option.value ~default:[] (Hashtbl.find_opt firsts fk) in
+              Hashtbl.replace firsts fk (a :: cur)
+          | [] -> ())
+        (List.rev sorted))
+    st.st_by_sig;
+  (sigs, firsts)
+
+type snap = { sn_view : view; sn_mem : Atom.t -> bool }
+
+let view_cands view (stats : Stats.t) (pat' : Atom.t) =
+  stats.Stats.probes <- stats.Stats.probes + 1;
+  match pat'.Atom.args with
+  | first :: _ when Term.is_ground first -> (
+      match (try Some (Term.eval first) with Invalid_argument _ -> None) with
+      | Some key -> view.v_first (pat'.Atom.pred, List.length pat'.Atom.args, key)
+      | None -> view.v_sig (Atom.signature pat'))
+  | _ -> view.v_sig (Atom.signature pat')
+
+(* Instantiate rule [r] against [snap], mirroring the oracle's phase 2
+   modulo the first-argument index and hashed (instead of quadratic)
+   dedup of aggregate / choice elements. [body_cands], when given,
+   overrides candidate selection for the rule's outer body join only —
+   {!extend} uses it to enumerate just the joins that involve new atoms. *)
+let instantiate snap (stats : Stats.t) ?body_cands ~emit r =
+  let rule_str = Rule.to_string r in
+  let err = unbound_err r in
+  let default_cands _ pat' = view_cands snap.sn_view stats pat' in
+  let body_cands = Option.value ~default:default_cands body_cands in
   let simplify_negs negs =
-    (* a negated atom outside the universe is never derivable: literal true *)
-    List.filter in_universe
-      (List.map (fun a -> Atom.eval a) negs)
+    List.filter snap.sn_mem (List.map (fun a -> Atom.eval a) negs)
   in
-  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
-  let out = ref [] in
-  let emit gr =
-    if not (Hashtbl.mem seen gr) then begin
-      Hashtbl.replace seen gr ();
-      out := gr :: !out
-    end
+  let ground_pos subst lits =
+    List.map (fun a -> Atom.eval (Atom.substitute subst a)) (positives lits)
   in
-  let ground_pos subst lits = List.map (fun a -> Atom.eval (Atom.substitute subst a)) (positive_atoms lits) in
   let ground_neg subst lits =
     simplify_negs (List.map (Atom.substitute subst) (negatives lits))
   in
-  (* instantiate an aggregate under the outer substitution: enumerate every
-     extension matching its condition and record the counted tuples *)
-  let ground_counts subst lits rule_str =
+  let ground_counts subst lits =
     List.map
       (fun (c : Lit.count) ->
         let cbound =
@@ -234,16 +470,23 @@ let ground ?(max_atoms = 200_000) ?universe_seed p =
                 (Unsafe ("aggregate bound is not an integer in: " ^ rule_str))
         in
         let celems = ref [] in
-        matches by_sig subst c.Lit.cond ~on_match:(fun subst' ->
+        let seen_ce = Hashtbl.create 16 in
+        matches_gen ~cands:default_cands ~err subst c.Lit.cond
+          ~on_match:(fun subst' ->
             let ce =
               {
                 Ground.etuple =
-                  List.map (fun t -> Term.eval (Term.substitute subst' t)) c.Lit.terms;
+                  List.map
+                    (fun t -> Term.eval (Term.substitute subst' t))
+                    c.Lit.terms;
                 epos = ground_pos subst' c.Lit.cond;
                 eneg = ground_neg subst' c.Lit.cond;
               }
             in
-            if not (List.mem ce !celems) then celems := ce :: !celems);
+            if not (Hashtbl.mem seen_ce ce) then begin
+              Hashtbl.replace seen_ce ce ();
+              celems := ce :: !celems
+            end);
         {
           Ground.ckind = c.Lit.kind;
           celems = List.rev !celems;
@@ -252,60 +495,285 @@ let ground ?(max_atoms = 200_000) ?universe_seed p =
         })
       (count_lits lits)
   in
-  List.iter
-    (fun r ->
-      let rule_str = Rule.to_string r in
-      match r with
-      | Rule.Rule { head; body; _ } ->
-          matches by_sig [] body ~on_match:(fun subst ->
-              let pos = ground_pos subst body in
-              let neg = ground_neg subst body in
-              let counts = ground_counts subst body rule_str in
-              match head with
-              | Rule.Head a ->
-                  let head = Atom.eval (Atom.substitute subst a) in
-                  if pos = [] && neg = [] && counts = [] then
-                    emit (Ground.Gfact head)
-                  else emit (Ground.Grule { head; pos; neg; counts })
-              | Rule.Falsity -> emit (Ground.Gconstraint { pos; neg; counts })
-              | Rule.Choice { lower; upper; elems } ->
-                  let gelems = ref [] in
-                  List.iter
-                    (fun (e : Rule.choice_elem) ->
-                      matches by_sig subst e.cond ~on_match:(fun subst' ->
-                          let ge =
-                            {
-                              Ground.gatom = Atom.eval (Atom.substitute subst' e.atom);
-                              gpos = ground_pos subst' e.cond;
-                              gneg = ground_neg subst' e.cond;
-                            }
-                          in
-                          if not (List.mem ge !gelems) then
-                            gelems := ge :: !gelems))
-                    elems;
-                  emit
-                    (Ground.Gchoice
-                       { lower; upper; elems = List.rev !gelems; pos; neg; counts }))
-      | Rule.Weak { body; weight; priority; terms; _ } ->
-          matches by_sig [] body ~on_match:(fun subst ->
-              let pos = ground_pos subst body in
-              let neg = ground_neg subst body in
-              let counts = ground_counts subst body rule_str in
-              let weight =
-                match Term.eval_int (Term.substitute subst weight) with
-                | Some w -> w
-                | None ->
-                    raise
-                      (Unsafe
-                         ("weak constraint weight is not an integer: "
-                        ^ Rule.to_string r))
-              in
-              let terms =
-                List.map (fun t -> Term.eval (Term.substitute subst t)) terms
-              in
-              emit (Ground.Gweak { pos; neg; counts; weight; priority; terms })))
-    (Program.rules p);
-  let universe =
-    Hashtbl.fold (fun a () acc -> Model.AtomSet.add a acc) univ Model.AtomSet.empty
+  match r with
+  | Rule.Rule { head; body; _ } ->
+      matches_gen ~cands:body_cands ~err [] body ~on_match:(fun subst ->
+          let pos = ground_pos subst body in
+          let neg = ground_neg subst body in
+          let counts = ground_counts subst body in
+          match head with
+          | Rule.Head a ->
+              let head = Atom.eval (Atom.substitute subst a) in
+              if pos = [] && neg = [] && counts = [] then
+                emit (Ground.Gfact head)
+              else emit (Ground.Grule { head; pos; neg; counts })
+          | Rule.Falsity -> emit (Ground.Gconstraint { pos; neg; counts })
+          | Rule.Choice { lower; upper; elems } ->
+              let gelems = ref [] in
+              let seen_ge = Hashtbl.create 16 in
+              List.iter
+                (fun (e : Rule.choice_elem) ->
+                  matches_gen ~cands:default_cands ~err subst e.cond
+                    ~on_match:(fun subst' ->
+                      let ge =
+                        {
+                          Ground.gatom =
+                            Atom.eval (Atom.substitute subst' e.atom);
+                          gpos = ground_pos subst' e.cond;
+                          gneg = ground_neg subst' e.cond;
+                        }
+                      in
+                      if not (Hashtbl.mem seen_ge ge) then begin
+                        Hashtbl.replace seen_ge ge ();
+                        gelems := ge :: !gelems
+                      end))
+                elems;
+              emit
+                (Ground.Gchoice
+                   { lower; upper; elems = List.rev !gelems; pos; neg; counts }))
+  | Rule.Weak { body; weight; priority; terms; _ } ->
+      matches_gen ~cands:body_cands ~err [] body ~on_match:(fun subst ->
+          let pos = ground_pos subst body in
+          let neg = ground_neg subst body in
+          let counts = ground_counts subst body in
+          let weight =
+            match Term.eval_int (Term.substitute subst weight) with
+            | Some w -> w
+            | None ->
+                raise
+                  (Unsafe
+                     ("weak constraint weight is not an integer: " ^ rule_str))
+          in
+          let terms =
+            List.map (fun t -> Term.eval (Term.substitute subst t)) terms
+          in
+          emit (Ground.Gweak { pos; neg; counts; weight; priority; terms }))
+
+(* ------------------------------------------------------------------ *)
+(* One-shot grounding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let all_indices n = List.init n (fun i -> i)
+
+let phase1 ~max_atoms stats p =
+  List.iter check_rule (Program.rules p);
+  let st = new_store ~max_atoms None in
+  let templates, tindex = build_templates (Program.rules p) in
+  let entries_for sg =
+    Option.value ~default:[] (Hashtbl.find_opt tindex sg)
   in
-  { Ground.rules = List.rev !out; universe; shows = Program.shows p }
+  run_fixpoint st stats templates entries_for
+    ~initial:(all_indices (Array.length templates));
+  (st, templates, tindex)
+
+let universe_of st base =
+  Hashtbl.fold (fun a _ acc -> Model.AtomSet.add a acc) st.st_univ base
+
+let ground ?(max_atoms = 200_000) ?stats p =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  let st, _, _ = phase1 ~max_atoms stats p in
+  let sigs, firsts = sorted_tables st in
+  let snap =
+    { sn_view = tbl_view sigs firsts; sn_mem = (fun a -> Hashtbl.mem st.st_univ a) }
+  in
+  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
+  let out = ref [] in
+  let emit gr =
+    if not (Hashtbl.mem seen gr) then begin
+      Hashtbl.replace seen gr ();
+      stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
+      out := gr :: !out
+    end
+  in
+  List.iter (fun r -> instantiate snap stats ~emit r) (Program.rules p);
+  let g =
+    {
+      Ground.rules = List.rev !out;
+      universe = universe_of st Model.AtomSet.empty;
+      shows = Program.shows p;
+    }
+  in
+  stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Incremental grounding                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rule_entry = {
+  e_rule : Rule.t;
+  e_pos_sigs : (string * int) array; (* positive body sigs, join order *)
+  e_cond_sigs : (string * int) list; (* Deps.condition_signatures *)
+  e_instances : Ground.grule list; (* base instances, emission order *)
+}
+
+type prepared = {
+  p_program : Program.t;
+  p_max_atoms : int;
+  p_store : store; (* frozen after prepare *)
+  p_view : view; (* sorted base candidate tables *)
+  p_snap : snap;
+  p_entries : rule_entry array;
+  p_templates : template array;
+  p_tindex : (string * int, (int * int) list) Hashtbl.t;
+  p_universe : Model.AtomSet.t;
+  p_rules : Ground.grule list; (* globally deduped, = [ground] output *)
+}
+
+let prepare ?(max_atoms = 200_000) ?stats p =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  let st, templates, tindex = phase1 ~max_atoms stats p in
+  let sigs, firsts = sorted_tables st in
+  let view = tbl_view sigs firsts in
+  let snap = { sn_view = view; sn_mem = (fun a -> Hashtbl.mem st.st_univ a) } in
+  let entries =
+    List.map
+      (fun r ->
+        let acc = ref [] in
+        let emit gr =
+          stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
+          acc := gr :: !acc
+        in
+        instantiate snap stats ~emit r;
+        {
+          e_rule = r;
+          e_pos_sigs = Array.of_list (Deps.positive_body_signatures r);
+          e_cond_sigs = Deps.condition_signatures r;
+          e_instances = List.rev !acc;
+        })
+      (Program.rules p)
+  in
+  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rules =
+    List.concat_map
+      (fun e ->
+        List.filter
+          (fun gr ->
+            if Hashtbl.mem seen gr then false
+            else begin
+              Hashtbl.replace seen gr ();
+              true
+            end)
+          e.e_instances)
+      entries
+  in
+  let prep =
+    {
+      p_program = p;
+      p_max_atoms = max_atoms;
+      p_store = st;
+      p_view = view;
+      p_snap = snap;
+      p_entries = Array.of_list entries;
+      p_templates = templates;
+      p_tindex = tindex;
+      p_universe = universe_of st Model.AtomSet.empty;
+      p_rules = rules;
+    }
+  in
+  stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  prep
+
+let base p =
+  { Ground.rules = p.p_rules; universe = p.p_universe; shows = Program.shows p.p_program }
+
+let base_universe p = p.p_universe
+
+let extend ?stats prep dp =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iter check_rule (Program.rules dp);
+  (* Overlay phase 1: close the base universe under base + delta rules,
+     starting from a naive pass over the delta's templates only (the base
+     is already closed under its own rules). Only reads the prepared
+     state, so concurrent extends of one [prepared] are safe. *)
+  let st = new_store ~max_atoms:prep.p_max_atoms (Some prep.p_store) in
+  let nbase = Array.length prep.p_templates in
+  let dtemplates, dtindex = build_templates (Program.rules dp) in
+  let templates = Array.append prep.p_templates dtemplates in
+  let entries_for sg =
+    let b = Option.value ~default:[] (Hashtbl.find_opt prep.p_tindex sg) in
+    match Hashtbl.find_opt dtindex sg with
+    | None -> b
+    | Some d -> b @ List.map (fun (ti, pos) -> (ti + nbase, pos)) d
+  in
+  run_fixpoint st stats templates entries_for
+    ~initial:(List.map (fun i -> i + nbase) (all_indices (Array.length dtemplates)));
+  (* Sorted overlay tables + full view layering them over the base view. *)
+  let nsigs, nfirsts = sorted_tables st in
+  let merged_sigs = Hashtbl.create (Hashtbl.length nsigs) in
+  Hashtbl.iter
+    (fun k nl ->
+      Hashtbl.replace merged_sigs k (List.merge Atom.compare (prep.p_view.v_sig k) nl))
+    nsigs;
+  let merged_firsts = Hashtbl.create (Hashtbl.length nfirsts) in
+  Hashtbl.iter
+    (fun k nl ->
+      Hashtbl.replace merged_firsts k
+        (List.merge Atom.compare (prep.p_view.v_first k) nl))
+    nfirsts;
+  let full_view =
+    {
+      v_sig =
+        (fun k ->
+          match Hashtbl.find_opt merged_sigs k with
+          | Some l -> l
+          | None -> prep.p_view.v_sig k);
+      v_first =
+        (fun k ->
+          match Hashtbl.find_opt merged_firsts k with
+          | Some l -> l
+          | None -> prep.p_view.v_first k);
+    }
+  in
+  let new_view = tbl_view nsigs nfirsts in
+  let mem a = Hashtbl.mem st.st_univ a || Hashtbl.mem prep.p_store.st_univ a in
+  let snap = { sn_view = full_view; sn_mem = mem } in
+  let touched sg = Hashtbl.mem nsigs sg in
+  let out = ref [] in
+  let emit gr =
+    stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
+    out := gr :: !out
+  in
+  (* Classify each base rule by which signatures gained atoms:
+     - a touched condition signature (negated body atom, aggregate or
+       choice-element condition) can change the content of existing
+       instances -> recompute the rule from scratch against the full view;
+     - touched positive body signatures only -> existing instances are
+       unchanged (share them) and the only new instances are joins with at
+       least one new atom: enumerate them delta-exactly per position
+       (new at it, base-only strictly left, full right);
+     - nothing touched -> share wholesale. *)
+  Array.iter
+    (fun e ->
+      if List.exists touched e.e_cond_sigs then
+        instantiate snap stats ~emit e.e_rule
+      else begin
+        stats.Stats.reused_rules <-
+          stats.Stats.reused_rules + List.length e.e_instances;
+        out := List.rev_append e.e_instances !out;
+        Array.iteri
+          (fun i sg ->
+            if touched sg then begin
+              let body_cands k pat' =
+                if k = i then view_cands new_view stats pat'
+                else if k < i then view_cands prep.p_view stats pat'
+                else view_cands full_view stats pat'
+              in
+              instantiate snap stats ~body_cands ~emit e.e_rule
+            end)
+          e.e_pos_sigs
+      end)
+    prep.p_entries;
+  List.iter (fun r -> instantiate snap stats ~emit r) (Program.rules dp);
+  let g =
+    {
+      Ground.rules = List.rev !out;
+      universe = universe_of st prep.p_universe;
+      shows = Program.shows prep.p_program @ Program.shows dp;
+    }
+  in
+  stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  g

@@ -1,10 +1,22 @@
-(** Safe bottom-up grounder.
+(** Semi-naive, index-driven, incrementally extensible grounder.
 
-    Instantiation proceeds in two phases: a fixpoint over the positive
-    projection of the program builds an over-approximating atom universe,
-    then every rule is instantiated against that universe. Built-in
-    comparisons are evaluated during instantiation (an [X = expr] equality
-    with a ground right-hand side acts as an assignment, as in clingo).
+    Instantiation proceeds in two phases. Phase 1 closes the atom universe
+    over the positive projection of the program with a {e semi-naive}
+    fixpoint: atoms are stamped with the round that derived them, rules are
+    indexed by body-predicate signature, and a round re-fires only the
+    (rule, body-position) pairs whose signature gained an atom in the
+    previous round — seeding the join from the delta literal instead of
+    re-enumerating every candidate, so each join result is derived exactly
+    once. Phase 2 instantiates every rule against that universe through
+    per-signature candidate tables discriminated on the (ground) first
+    argument of the queried pattern, in canonical ascending {!Atom.compare}
+    order. Built-in comparisons are evaluated during instantiation (an
+    [X = expr] equality with a ground right-hand side acts as an
+    assignment, as in clingo).
+
+    The pre-rewrite naive grounder survives as {!Naive_ground}, the
+    differential oracle: on any accepted program both produce structurally
+    equal [Ground.t] values ([test/test_grounder_diff.ml]).
 
     Safety: every variable of a rule must be bound by a positive body
     literal, an assignment, or — for choice elements — the element's own
@@ -17,17 +29,60 @@ exception Overflow of string
 (** The universe exceeded [max_atoms] (non-terminating arithmetic recursion
     such as [p(X+1) :- p(X)] without a bound). *)
 
-val ground : ?max_atoms:int -> ?universe_seed:Model.AtomSet.t -> Program.t -> Ground.t
-(** [max_atoms] defaults to 200_000.
+(** Grounding effort counters, in the mould of {!Solver.Stats}: shared by
+    {!ground}, {!prepare} and {!extend}, surfaced by [cpsrisk solve/sweep
+    --stats] and the benches. *)
+module Stats : sig
+  type t = {
+    mutable passes : int;  (** semi-naive fixpoint rounds *)
+    mutable firings : int;  (** successful phase-1 rule firings *)
+    mutable probes : int;  (** candidate-index lookups, both phases *)
+    mutable fresh_rules : int;  (** ground rules instantiated anew *)
+    mutable reused_rules : int;
+        (** base instances shared by {!extend} without re-derivation *)
+    mutable wall_s : float;
+  }
 
-    [universe_seed] seeds the phase-1 atom-universe fixpoint, the reuse hook
-    for batch workloads ({!Engine.Sweep}): when many programs share a large
-    base (model facts, dynamics, compiled requirements) and differ only in a
-    small increment, ground the base once and pass its [Ground.t.universe]
-    here — the fixpoint then converges in one or two passes instead of
-    re-deriving the whole universe per program. Sound because the universe
-    is an over-approximation of the derivable atoms and the fixpoint is
-    monotone: seed atoms that the current program cannot derive only leave
-    behind ground-rule instances whose bodies can never fire (and negative
-    body literals that stay recorded instead of being simplified away),
-    neither of which changes the stable models. *)
+  val create : unit -> t
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+val ground : ?max_atoms:int -> ?stats:Stats.t -> Program.t -> Ground.t
+(** One-shot grounding. [max_atoms] defaults to 200_000; effort is added to
+    [stats] when given. Bit-for-bit equal to {!Naive_ground.ground} on any
+    program both accept. *)
+
+type prepared
+(** Reusable grounding state for a base program: its closed universe with
+    candidate indexes, head-derivation templates, and per-rule ground
+    instances with the signature metadata {!extend} classifies against.
+    Read-only after {!prepare} — one [prepared] may be extended from many
+    domains concurrently. *)
+
+val prepare : ?max_atoms:int -> ?stats:Stats.t -> Program.t -> prepared
+(** Ground the base once, keeping the state an increment can extend.
+    Raises like {!ground} if the base itself is unsafe or overflows. *)
+
+val base : prepared -> Ground.t
+(** The base program's own grounding (what [ground base] returns). *)
+
+val base_universe : prepared -> Model.AtomSet.t
+
+val extend : ?stats:Stats.t -> prepared -> Program.t -> Ground.t
+(** [extend state delta] grounds base + delta doing work proportional to
+    what the delta adds. The universe fixpoint restarts from the delta's
+    rules only (the base is already closed); base rules are then classified
+    by the signatures that gained atoms — untouched rules share their base
+    instances wholesale, rules whose positive body joins are touched share
+    the old instances and enumerate only joins involving a new atom, and
+    rules whose negated-atom / aggregate / choice-condition signatures are
+    touched are recomputed so negative-literal simplification and element
+    sets stay exact against the full universe.
+
+    Equivalent to [ground (Program.append base delta)] up to duplicate
+    ground rules across source rules (each source rule's instances are
+    exact; the global cross-rule dedup of {!ground} is not re-applied to
+    shared instances): same universe, same stable models, same costs.
+    Raises like {!ground} if the delta is unsafe or the combined universe
+    overflows [prepare]'s [max_atoms]. *)

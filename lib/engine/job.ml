@@ -18,6 +18,7 @@ type result = {
   fingerprint : Fingerprint.t;
   models : Asp.Model.t list;
   stats : Asp.Solver.Stats.t;
+  gstats : Asp.Grounder.Stats.t;
   cached : bool;
 }
 
@@ -25,7 +26,7 @@ type prepared = {
   p_spec : spec;
   p_base_fp : Fingerprint.t;
   p_mode_fp : Fingerprint.t;
-  p_universe : Asp.Model.AtomSet.t;
+  p_ground : Asp.Grounder.prepared;
 }
 
 let mode_fingerprint s =
@@ -40,16 +41,17 @@ let mode_fingerprint s =
     ]
 
 let prepare s =
-  let g = Asp.Grounder.ground ?max_atoms:s.max_atoms s.base in
   {
     p_spec = s;
     p_base_fp = Fingerprint.program s.base;
     p_mode_fp = mode_fingerprint s;
-    p_universe = g.Asp.Ground.universe;
+    p_ground = Asp.Grounder.prepare ?max_atoms:s.max_atoms s.base;
   }
 
 let prepared_spec p = p.p_spec
-let base_atoms p = Asp.Model.AtomSet.cardinal p.p_universe
+
+let base_atoms p =
+  Asp.Model.AtomSet.cardinal (Asp.Grounder.base_universe p.p_ground)
 
 let fingerprint p delta =
   Fingerprint.combine
@@ -58,12 +60,13 @@ let fingerprint p delta =
 
 let solve p delta =
   let s = p.p_spec in
-  let program = Asp.Program.append s.base (s.compile delta) in
-  let ground =
-    Asp.Grounder.ground ?max_atoms:s.max_atoms ~universe_seed:p.p_universe
-      program
+  let gstats = Asp.Grounder.Stats.create () in
+  let ground = Asp.Grounder.extend ~stats:gstats p.p_ground (s.compile delta) in
+  let models, stats =
+    match s.mode with
+    | Enumerate limit ->
+        Asp.Solver.solve_with_stats ?limit ?max_guess:s.max_guess ground
+    | Optimal ->
+        Asp.Solver.solve_optimal_with_stats ?max_guess:s.max_guess ground
   in
-  match s.mode with
-  | Enumerate limit ->
-      Asp.Solver.solve_with_stats ?limit ?max_guess:s.max_guess ground
-  | Optimal -> Asp.Solver.solve_optimal_with_stats ?max_guess:s.max_guess ground
+  (models, stats, gstats)

@@ -2,10 +2,11 @@
     job, compiled to a per-job ASP increment.
 
     {!prepare} does the work that is paid once per sweep rather than once
-    per job: fingerprint the base and ground it, so that every job can (a)
-    derive its own content address with {!Fingerprint.extend} over just the
-    increment and (b) seed the grounder's universe fixpoint with the base
-    universe ({!Asp.Grounder.ground}'s [universe_seed] reuse hook). *)
+    per job: fingerprint the base and {!Asp.Grounder.prepare} it, so that
+    every job can (a) derive its own content address with
+    {!Fingerprint.extend} over just the increment and (b) ground just its
+    increment with {!Asp.Grounder.extend} against the shared prepared
+    state, instead of re-grounding the whole base program. *)
 
 type mode =
   | Enumerate of int option
@@ -13,7 +14,7 @@ type mode =
   | Optimal  (** weak-constraint-optimal models only *)
 
 type spec = {
-  base : Asp.Program.t;  (** shared base, built and grounded once *)
+  base : Asp.Program.t;  (** shared base, built and prepared once *)
   compile : Delta.t -> Asp.Program.t;  (** delta -> program increment *)
   deltas : Delta.t list;  (** one job per delta, in order *)
   mode : mode;
@@ -35,24 +36,30 @@ type result = {
   stats : Asp.Solver.Stats.t;
       (** stats of the solve that produced [models]; for a cached result
           these are the original solve's stats, not new work *)
+  gstats : Asp.Grounder.Stats.t;
+      (** stats of the incremental grounding behind that solve — same
+          caching caveat as [stats] *)
   cached : bool;
 }
 
 type prepared
-(** A spec with the base fingerprinted and grounded. *)
+(** A spec with the base fingerprinted and its grounding state prepared. *)
 
 val prepare : spec -> prepared
-(** Grounds the base once. Raises like {!Asp.Grounder.ground} if the base
-    itself is unsafe or overflows. *)
+(** Grounds the base once into a reusable {!Asp.Grounder.prepared}. Raises
+    like {!Asp.Grounder.prepare} if the base itself is unsafe or
+    overflows. *)
 
 val prepared_spec : prepared -> spec
 val base_atoms : prepared -> int
-(** Size of the base atom universe (what each job's grounding reuses). *)
+(** Size of the base atom universe (what each job's grounding extends). *)
 
 val fingerprint : prepared -> Delta.t -> Fingerprint.t
 (** Content address of the job: base extended with the compiled increment,
     mixed with the solve mode and caps. *)
 
-val solve : prepared -> Delta.t -> Asp.Model.t list * Asp.Solver.Stats.t
-(** Ground (seeded with the base universe) and solve base + increment.
-    Pure: safe to call from any domain. *)
+val solve :
+  prepared -> Delta.t ->
+  Asp.Model.t list * Asp.Solver.Stats.t * Asp.Grounder.Stats.t
+(** Ground the increment with {!Asp.Grounder.extend} and solve. The
+    prepared state is only read: safe to call from any domain. *)

@@ -6,6 +6,7 @@ type report = {
   hits : int;
   misses : int;
   fresh : Asp.Solver.Stats.t;
+  ground : Asp.Grounder.Stats.t;
 }
 
 let run ?oversubscribe ?jobs ?cache spec =
@@ -21,15 +22,16 @@ let run ?oversubscribe ?jobs ?cache spec =
       (fun index ->
         let delta = deltas.(index) in
         let fingerprint = Job.fingerprint prepared delta in
-        let (models, stats), cached =
+        let (models, stats, gstats), cached =
           Cache.find_or_compute cache fingerprint (fun () ->
               Job.solve prepared delta)
         in
-        { Job.index; delta; fingerprint; models; stats; cached })
+        { Job.index; delta; fingerprint; models; stats; gstats; cached })
       (Array.length deltas)
   in
   let hits = ref 0 in
   let fresh = Asp.Solver.Stats.create () in
+  let ground = Asp.Grounder.Stats.create () in
   (* a program solved once but hit by several jobs of this sweep counts its
      stats once: aggregate over distinct fresh fingerprints *)
   let counted = Hashtbl.create 64 in
@@ -52,7 +54,22 @@ let run ?oversubscribe ?jobs ?cache spec =
           fresh.Asp.Solver.Stats.models <-
             fresh.Asp.Solver.Stats.models + s.Asp.Solver.Stats.models;
           fresh.Asp.Solver.Stats.wall_s <-
-            fresh.Asp.Solver.Stats.wall_s +. s.Asp.Solver.Stats.wall_s
+            fresh.Asp.Solver.Stats.wall_s +. s.Asp.Solver.Stats.wall_s;
+          let g = r.Job.gstats in
+          ground.Asp.Grounder.Stats.passes <-
+            ground.Asp.Grounder.Stats.passes + g.Asp.Grounder.Stats.passes;
+          ground.Asp.Grounder.Stats.firings <-
+            ground.Asp.Grounder.Stats.firings + g.Asp.Grounder.Stats.firings;
+          ground.Asp.Grounder.Stats.probes <-
+            ground.Asp.Grounder.Stats.probes + g.Asp.Grounder.Stats.probes;
+          ground.Asp.Grounder.Stats.fresh_rules <-
+            ground.Asp.Grounder.Stats.fresh_rules
+            + g.Asp.Grounder.Stats.fresh_rules;
+          ground.Asp.Grounder.Stats.reused_rules <-
+            ground.Asp.Grounder.Stats.reused_rules
+            + g.Asp.Grounder.Stats.reused_rules;
+          ground.Asp.Grounder.Stats.wall_s <-
+            ground.Asp.Grounder.Stats.wall_s +. g.Asp.Grounder.Stats.wall_s
         end
       end)
     results;
@@ -64,6 +81,7 @@ let run ?oversubscribe ?jobs ?cache spec =
     hits = !hits;
     misses = Array.length results - !hits;
     fresh;
+    ground;
   }
 
 let hit_rate r =
@@ -80,6 +98,7 @@ let render ?(verbose = false) r =
   p "cache: %d hits / %d fresh solves (%.1f%% hit rate)\n" r.hits r.misses
     (100.0 *. hit_rate r);
   p "fresh solver work: %s\n" (Asp.Solver.Stats.to_string r.fresh);
+  p "fresh grounder work: %s\n" (Asp.Grounder.Stats.to_string r.ground);
   if verbose then
     Array.iter
       (fun (res : Job.result) ->
@@ -106,6 +125,12 @@ let to_json r =
     r.fresh.Asp.Solver.Stats.guesses r.fresh.Asp.Solver.Stats.pruned
     r.fresh.Asp.Solver.Stats.firings r.fresh.Asp.Solver.Stats.leaves
     r.fresh.Asp.Solver.Stats.models r.fresh.Asp.Solver.Stats.wall_s;
+  p
+    "  \"ground\": {\"passes\": %d, \"firings\": %d, \"probes\": %d, \
+     \"fresh_rules\": %d, \"reused_rules\": %d, \"wall_s\": %.6f},\n"
+    r.ground.Asp.Grounder.Stats.passes r.ground.Asp.Grounder.Stats.firings
+    r.ground.Asp.Grounder.Stats.probes r.ground.Asp.Grounder.Stats.fresh_rules
+    r.ground.Asp.Grounder.Stats.reused_rules r.ground.Asp.Grounder.Stats.wall_s;
   p "  \"results\": [\n";
   let n = Array.length r.results in
   Array.iteri

@@ -22,11 +22,16 @@ type report = {
       (** solver stats aggregated over this run's {e fresh} solves only —
           cached results contribute nothing, so a fully cached re-sweep
           reports zero guesses *)
+  ground : Asp.Grounder.Stats.t;
+      (** incremental-grounding stats, aggregated like [fresh]: the
+          [reused_rules]/[fresh_rules] split shows how much of each job's
+          ground program came straight from the prepared base *)
 }
 
 val run :
   ?oversubscribe:bool -> ?jobs:int ->
-  ?cache:(Asp.Model.t list * Asp.Solver.Stats.t) Cache.t ->
+  ?cache:
+    (Asp.Model.t list * Asp.Solver.Stats.t * Asp.Grounder.Stats.t) Cache.t ->
   Job.spec -> report
 (** [jobs] defaults to {!Pool.default_jobs} and, like {!Pool.map}, is
     capped at the hardware's useful parallelism unless [oversubscribe];

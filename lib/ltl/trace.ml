@@ -49,8 +49,6 @@ let rec eval_at ?(holds = default_holds) trace i f =
       in
       go i
 
-let eval ?holds trace f = eval_at ?holds trace 0 f
-
 (* smart constructors with constant folding *)
 let sand a b =
   match (a : Formula.t), (b : Formula.t) with
@@ -90,6 +88,20 @@ let rec progress ?(holds = default_holds) st ~is_last f =
   | Release (a, b) ->
       sand (prog b)
         (sor (prog a) (if is_last then Formula.True else Formula.Release (a, b)))
+
+(* Bounded checking by progression: rewrite the formula through the states
+   left to right, one O(|f|) step per state. [progress ~is_last] always
+   folds to a verdict at the final state, so the loop needs no lookahead
+   and exits early the moment the formula collapses to True/False. *)
+let eval ?(holds = default_holds) trace f =
+  let n = Array.length trace in
+  let rec go i f =
+    match (f : Formula.t) with
+    | True -> true
+    | False -> false
+    | f -> go (i + 1) (progress ~holds trace.(i) ~is_last:(i = n - 1) f)
+  in
+  go 0 f
 
 let pp ppf t =
   Array.iteri

@@ -16,10 +16,16 @@ val default_holds : Qual.Qstate.t -> string -> bool
     atom ["var"] as [Qstate.holds var "true"]. *)
 
 val eval : ?holds:(Qual.Qstate.t -> string -> bool) -> t -> Formula.t -> bool
-(** Satisfaction at the first position (finite-trace LTLf semantics). *)
+(** Satisfaction at the first position (finite-trace LTLf semantics).
+    Implemented by {!progress}ing the formula through the trace — a single
+    O(length * |formula-closure|) pass with early exit, instead of
+    {!eval_at}'s O(length²) temporal-operator rescans. *)
 
 val eval_at :
   ?holds:(Qual.Qstate.t -> string -> bool) -> t -> int -> Formula.t -> bool
+(** Satisfaction at position [i], by direct recursive evaluation. The
+    reference semantics: kept as the oracle {!eval} and {!progress} are
+    differentially tested against. *)
 
 val progress :
   ?holds:(Qual.Qstate.t -> string -> bool) ->

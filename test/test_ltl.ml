@@ -197,7 +197,36 @@ let prop_progression_agrees =
             QCheck.Test.fail_reportf "non-verdict %s"
               (Ltl.Formula.to_string other)
       in
-      verdict = Ltl.Trace.eval tr f)
+      verdict = Ltl.Trace.eval_at tr 0 f)
+
+(* [Trace.eval] is itself progression-based now, so the recursive
+   [eval_at] is the reference it is checked against. *)
+let prop_eval_agrees_eval_at =
+  QCheck.Test.make ~name:"ltl: progression eval = recursive eval_at oracle"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (f, tr) ->
+         Ltl.Formula.to_string f ^ " on trace of length "
+         ^ string_of_int (Ltl.Trace.length tr))
+       (QCheck.Gen.pair formula_gen trace_gen))
+    (fun (f, tr) -> Ltl.Trace.eval tr f = Ltl.Trace.eval_at tr 0 f)
+
+let prop_eval_at_is_suffix_eval =
+  QCheck.Test.make ~name:"ltl: eval_at i = eval of the suffix trace"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (f, tr, _) ->
+         Ltl.Formula.to_string f ^ " on trace of length "
+         ^ string_of_int (Ltl.Trace.length tr))
+       (QCheck.Gen.triple formula_gen trace_gen (QCheck.Gen.int_bound 5)))
+    (fun (f, tr, k) ->
+      let n = Ltl.Trace.length tr in
+      let i = k mod n in
+      let suffix =
+        Ltl.Trace.of_list
+          (List.filteri (fun j _ -> j >= i) (Ltl.Trace.to_list tr))
+      in
+      Ltl.Trace.eval_at tr i f = Ltl.Trace.eval suffix f)
 
 let prop_nnf_agrees =
   QCheck.Test.make ~name:"ltl: nnf preserves finite-trace semantics" ~count:500
@@ -289,6 +318,8 @@ let suites =
           test_eval_requirements_of_paper;
         Alcotest.test_case "nnf cases" `Quick test_nnf_preserves_semantics;
         qcheck prop_progression_agrees;
+        qcheck prop_eval_agrees_eval_at;
+        qcheck prop_eval_at_is_suffix_eval;
         qcheck prop_nnf_agrees;
       ] );
     ( "ltl.ts",
