@@ -1,19 +1,32 @@
-(* Solver scaling sweep: the production solving path (Asp.Solver — interned
-   atoms, watch-indexed propagation, pruned DFS) against the retained
-   exhaustive reference (Asp.Naive), on three workload shapes:
+(* Solver scaling sweep: the production CDNL solver (Asp.Solver —
+   conflict-driven nogood learning, backjumping, unfounded-set checks)
+   against the retained pruned DFS (Asp.Dfs, the previous production
+   path) and the exhaustive reference (Asp.Naive), on five workload
+   shapes:
 
    - chain n:   deterministic transitive closure over an n-node chain; no
-                choices, measures pure propagation (semi-naive watch index
-                vs scan-all-rules fixpoint).
+                choices, measures pure propagation.
    - choice k:  k free switches with one pinned atom, 2^(k-1) stable
                 models; output-bound enumeration.
    - pinned k:  k choice atoms each pinned by a constraint, exactly one
-                stable model; the reference walks 2^k subsets while the
-                pruned search closes every wrong branch immediately.
+                stable model; past k = 64 the DFS rejects (its guess cap)
+                while the CDNL solver propagates to the single model.
+   - loop k:    k non-tight positive cycles, each powered by a choice
+                atom that a constraint forces on; one stable model. The
+                DFS walks 2^k choice branches, the CDNL solver learns
+                each forced atom from one unfounded-set conflict.
+   - pigeon h:  h+1 pigeons into h holes, unsatisfiable; conflict
+                learning prunes the symmetric search space.
 
-   Emits machine-readable JSON (committed as BENCH_solver.json at the repo
-   root for the full sweep; `dune build @bench-smoke` runs a seconds-scale
-   subset as part of the test tree). *)
+   A separate section measures guiding-path parallel enumeration
+   (Engine.Par) at 1/2/4 requested domains. On a single-core host the
+   measured walls cannot speed up, so the sweep also reports each
+   fan-out's critical path (max branch wall) and the ideal speedup
+   sum/critical — the scaling a multi-core host would realize.
+
+   Emits machine-readable JSON (committed as BENCH_solver.json at the
+   repo root for the full sweep; `dune build @bench-smoke` runs a
+   seconds-scale subset as part of the test tree). *)
 
 let time ~reps f =
   let best = ref infinity in
@@ -37,119 +50,254 @@ let pinned_program k =
     atoms;
   Asp.Parser.parse_program (Buffer.contents buf)
 
+let loop_program k =
+  let buf = Buffer.create 256 in
+  let cs = List.init k (Printf.sprintf "c%d") in
+  Buffer.add_string buf
+    (Printf.sprintf "{ %s }.\n" (String.concat " ; " cs));
+  for i = 0 to k - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "p%d :- q%d. q%d :- p%d. p%d :- c%d.\n:- not p%d.\n" i
+         i i i i i i)
+  done;
+  Asp.Parser.parse_program (Buffer.contents buf)
+
+let pigeon_program holes =
+  let pigeons = holes + 1 in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "pigeon(1..%d).\n" pigeons);
+  Buffer.add_string buf (Printf.sprintf "hole(1..%d).\n" holes);
+  Buffer.add_string buf "{ at(P,H) : hole(H) } :- pigeon(P).\n";
+  Buffer.add_string buf "placed(P) :- at(P,H).\n";
+  Buffer.add_string buf ":- pigeon(P), not placed(P).\n";
+  Buffer.add_string buf ":- at(P,H), at(Q,H), P < Q.\n";
+  Asp.Parser.parse_program (Buffer.contents buf)
+
 type entry = {
   workload : string;
   param : int;
   atoms : int;
   models : int;
-  solver_s : float;
+  cdnl_s : float;
+  dfs_s : float option; (* None above the retained DFS's budget or cap *)
   naive_s : float option; (* None above the reference's budget *)
   stats : Asp.Solver.Stats.t;
 }
 
-let run_workload ~reps ~naive_cap name param program =
+let run_workload ~reps ~dfs_cap ~naive_cap name param program =
   let g = Asp.Grounder.ground program in
-  let (models, stats), solver_s =
+  let (models, stats), cdnl_s =
     time ~reps (fun () -> Asp.Solver.solve_with_stats g)
   in
-  let naive_s =
-    if param <= naive_cap then begin
-      let naive_models, dt =
-        time ~reps (fun () -> Asp.Naive.solve ~max_guess:64 g)
-      in
-      (* the sweep doubles as a coarse differential check *)
-      if List.length naive_models <> List.length models then begin
-        Printf.eprintf "solver/naive disagree on %s %d: %d vs %d models\n"
-          name param (List.length models) (List.length naive_models);
-        exit 2
-      end;
-      Some dt
+  let check_count what n =
+    if n <> List.length models then begin
+      Printf.eprintf "cdnl/%s disagree on %s %d: %d vs %d models\n" what name
+        param (List.length models) n;
+      exit 2
+    end
+  in
+  let dfs_s =
+    if param <= dfs_cap then begin
+      match time ~reps (fun () -> Asp.Dfs.solve g) with
+      | dfs_models, dt ->
+          (* the sweep doubles as a coarse differential check *)
+          check_count "dfs" (List.length dfs_models);
+          Some dt
+      | exception Asp.Dfs.Unsupported _ -> None
     end
     else None
   in
-  Printf.eprintf "  %s %2d: solver %8.4fs%s, %d models\n%!" name param
-    solver_s
-    (match naive_s with
-    | Some t -> Printf.sprintf ", naive %8.4fs (%.1fx)" t (t /. solver_s)
-    | None -> ", naive skipped")
-    (List.length models);
+  let naive_s =
+    if param <= naive_cap then begin
+      match time ~reps (fun () -> Asp.Naive.solve ~max_guess:64 g) with
+      | naive_models, dt ->
+          check_count "naive" (List.length naive_models);
+          Some dt
+      | exception Asp.Naive.Unsupported _ -> None
+    end
+    else None
+  in
+  let pp_col label = function
+    | Some t -> Printf.sprintf ", %s %8.4fs (%.1fx)" label t (t /. cdnl_s)
+    | None -> Printf.sprintf ", %s skipped" label
+  in
+  Printf.eprintf "  %s %3d: cdnl %8.4fs%s%s, %d models\n%!" name param cdnl_s
+    (pp_col "dfs" dfs_s) (pp_col "naive" naive_s) (List.length models);
   {
     workload = name;
     param;
     atoms = Asp.Ground.atom_count g;
     models = List.length models;
-    solver_s;
+    cdnl_s;
+    dfs_s;
     naive_s;
     stats;
   }
 
-let emit_json out mode entries =
+type par_entry = {
+  jobs : int;
+  paths : int;
+  par_wall_s : float;
+  critical_s : float;
+  sum_s : float;
+}
+
+let run_par ~reps program jobs =
+  let g = Asp.Grounder.ground program in
+  let seq_models = Asp.Solver.solve g in
+  let r, wall =
+    time ~reps (fun () -> Engine.Par.enumerate ~oversubscribe:true ~jobs g)
+  in
+  if List.length r.Engine.Par.models <> List.length seq_models then begin
+    Printf.eprintf "par %d diverged: %d vs %d models\n" jobs
+      (List.length r.Engine.Par.models)
+      (List.length seq_models);
+    exit 2
+  end;
+  let sum = Array.fold_left ( +. ) 0.0 r.Engine.Par.path_walls in
+  let critical = Array.fold_left max 0.0 r.Engine.Par.path_walls in
+  Printf.eprintf
+    "  par %d: wall %8.4fs over %d paths, critical %8.4fs, ideal %.2fx\n%!"
+    jobs wall r.Engine.Par.paths critical
+    (if critical > 0.0 then sum /. critical else 1.0);
+  {
+    jobs;
+    paths = r.Engine.Par.paths;
+    par_wall_s = wall;
+    critical_s = critical;
+    sum_s = sum;
+  }
+
+let emit_json out mode entries par_entries =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"bench\": \"asp-solver-scaling\",\n";
   p "  \"mode\": %S,\n" mode;
-  p "  \"reference\": \"Asp.Naive (exhaustive subset enumeration)\",\n";
+  p
+    "  \"solver\": \"Asp.Solver (CDNL: completion nogoods, 1-UIP learning, \
+     unfounded-set checks)\",\n";
+  p
+    "  \"baselines\": [\"Asp.Dfs (retained pruned DFS)\", \"Asp.Naive \
+     (exhaustive subset enumeration)\"],\n";
+  p "  \"host_domains\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"entries\": [\n";
   List.iteri
     (fun i e ->
       let s = e.stats in
+      let opt = function
+        | Some t -> Printf.sprintf "%.6f" t
+        | None -> "null"
+      in
+      let speedup = function
+        | Some t -> Printf.sprintf "%.2f" (t /. e.cdnl_s)
+        | None -> "null"
+      in
       p
         "    {\"workload\": %S, \"param\": %d, \"ground_atoms\": %d, \
          \"models\": %d,\n\
-        \     \"solver_s\": %.6f, \"naive_s\": %s, \"speedup\": %s,\n\
-        \     \"stats\": {\"guesses\": %d, \"pruned\": %d, \"firings\": %d, \
-         \"leaves\": %d}}%s\n"
-        e.workload e.param e.atoms e.models e.solver_s
-        (match e.naive_s with
-        | Some t -> Printf.sprintf "%.6f" t
-        | None -> "null")
-        (match e.naive_s with
-        | Some t -> Printf.sprintf "%.2f" (t /. e.solver_s)
-        | None -> "null")
-        s.Asp.Solver.Stats.guesses s.Asp.Solver.Stats.pruned
-        s.Asp.Solver.Stats.firings s.Asp.Solver.Stats.leaves
+        \     \"cdnl_s\": %.6f, \"dfs_s\": %s, \"dfs_speedup\": %s, \
+         \"naive_s\": %s, \"naive_speedup\": %s,\n\
+        \     \"stats\": {\"guesses\": %d, \"firings\": %d, \"conflicts\": \
+         %d, \"learned\": %d, \"restarts\": %d, \"backjumped\": %d, \
+         \"unfounded_checks\": %d, \"unfounded_sets\": %d}}%s\n"
+        e.workload e.param e.atoms e.models e.cdnl_s (opt e.dfs_s)
+        (speedup e.dfs_s) (opt e.naive_s) (speedup e.naive_s)
+        s.Asp.Solver.Stats.guesses s.Asp.Solver.Stats.firings
+        s.Asp.Solver.Stats.conflicts s.Asp.Solver.Stats.learned
+        s.Asp.Solver.Stats.restarts s.Asp.Solver.Stats.backjumped
+        s.Asp.Solver.Stats.unfounded_checks s.Asp.Solver.Stats.unfounded_sets
         (if i = List.length entries - 1 then "" else ",");
       ())
     entries;
-  p "  ]\n}\n";
+  p "  ],\n";
+  p "  \"parallel\": {\n";
+  p
+    "    \"note\": \"guiding-path enumeration; on a single-core host the \
+     measured wall cannot improve, so critical_s (longest branch) and \
+     ideal_speedup = sum_s / critical_s report the scaling a multi-core \
+     host would realize\",\n";
+  p "    \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      p
+        "      {\"jobs\": %d, \"paths\": %d, \"wall_s\": %.6f, \
+         \"critical_s\": %.6f, \"sum_s\": %.6f, \"ideal_speedup\": %.2f}%s\n"
+        e.jobs e.paths e.par_wall_s e.critical_s e.sum_s
+        (if e.critical_s > 0.0 then e.sum_s /. e.critical_s else 1.0)
+        (if i = List.length par_entries - 1 then "" else ","))
+    par_entries;
+  p "    ]\n  }\n}\n";
   close_out oc
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let out = ref "BENCH_solver.json" in
   Array.iteri
-    (fun i a -> if a = "--out" && i + 1 < Array.length Sys.argv then
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then
         out := Sys.argv.(i + 1))
     Sys.argv;
   let reps = if smoke then 1 else 3 in
   (* chain: pure propagation, no guessing *)
   let chain_ns = if smoke then [ 20; 40 ] else [ 20; 40; 80; 160 ] in
-  (* choice: 2^(k-1) models, output-bound *)
+  (* choice: 2^(k-1) models, output-bound enumeration *)
   let choice_ks = if smoke then [ 6; 8 ] else [ 6; 10; 12; 14 ] in
   let choice_naive_cap = if smoke then 8 else 14 in
-  (* pinned: one model; the reference is 2^k, the pruned search ~linear.
-     k = 18 is the largest size the reference finishes within the full
-     bench budget; the production solver continues far past its
-     historical cap of 24 choice atoms. *)
-  let pinned_ks = if smoke then [ 8; 12; 28 ] else [ 8; 12; 16; 18; 24; 28; 32 ] in
+  (* pinned: one model; the reference is 2^k, the DFS closes wrong
+     branches immediately but rejects past its 64-atom cap, the CDNL
+     solver propagates to the model at any size *)
+  let pinned_ks =
+    if smoke then [ 8; 28; 96 ]
+    else [ 8; 12; 16; 18; 24; 28; 32; 64; 96; 128 ]
+  in
   let pinned_naive_cap = if smoke then 12 else 18 in
+  (* loop: non-tight cycles; the DFS walks 2^k branches, the reference
+     2^2k (the negated loop atoms join its guess space) *)
+  let loop_ks = if smoke then [ 8; 12 ] else [ 8; 12; 14; 16; 32; 64 ] in
+  let loop_dfs_cap = 16 in
+  let loop_naive_cap = if smoke then 6 else 8 in
+  (* pigeon: h+1 pigeons, h holes, unsatisfiable *)
+  let pigeon_hs = if smoke then [ 4 ] else [ 4; 5; 6; 7 ] in
+  let pigeon_dfs_cap = if smoke then 4 else 6 in
+  (* the reference walks 2^(pigeons*holes) candidates: ~25s at h = 4,
+     so the smoke run skips it *)
+  let pigeon_naive_cap = if smoke then 3 else 4 in
   let entries =
     List.map
       (fun n ->
-        run_workload ~reps ~naive_cap:max_int "chain" n
+        run_workload ~reps ~dfs_cap:max_int ~naive_cap:max_int "chain" n
           (Cpsrisk.Cascade.asp_chain_program n))
       chain_ns
     @ List.map
         (fun k ->
-          run_workload ~reps ~naive_cap:choice_naive_cap "choice" k
+          run_workload ~reps ~dfs_cap:max_int ~naive_cap:choice_naive_cap
+            "choice" k
             (Cpsrisk.Cascade.asp_choice_program k))
         choice_ks
     @ List.map
         (fun k ->
-          run_workload ~reps ~naive_cap:pinned_naive_cap "pinned" k
-            (pinned_program k))
+          run_workload ~reps ~dfs_cap:max_int ~naive_cap:pinned_naive_cap
+            "pinned" k (pinned_program k))
         pinned_ks
+    @ List.map
+        (fun k ->
+          run_workload ~reps ~dfs_cap:loop_dfs_cap ~naive_cap:loop_naive_cap
+            "loop" k (loop_program k))
+        loop_ks
+    @ List.map
+        (fun h ->
+          run_workload ~reps ~dfs_cap:pigeon_dfs_cap
+            ~naive_cap:pigeon_naive_cap "pigeon" h (pigeon_program h))
+        pigeon_hs
   in
-  emit_json !out (if smoke then "smoke" else "full") entries;
+  (* parallel enumeration over the largest smoke-safe choice workload *)
+  let par_k = if smoke then 8 else 12 in
+  let par_entries =
+    List.map
+      (fun jobs ->
+        run_par ~reps (Cpsrisk.Cascade.asp_choice_program par_k) jobs)
+      [ 1; 2; 4 ]
+  in
+  emit_json !out (if smoke then "smoke" else "full") entries par_entries;
   Printf.eprintf "wrote %s\n" !out

@@ -297,7 +297,7 @@ let threats_cmd =
 (* solve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let solve file limit optimal stats max_guess =
+let solve file limit optimal stats max_guess solver jobs =
   match Asp.Parser.parse_program (read_file file) with
   | exception Asp.Parser.Error msg ->
       Printf.eprintf "parse error: %s\n" msg;
@@ -310,10 +310,24 @@ let solve file limit optimal stats max_guess =
           1
       | ground -> (
           match
-            if optimal then Asp.Solver.solve_optimal_with_stats ?max_guess ground
-            else Asp.Solver.solve_with_stats ?limit ?max_guess ground
+            match solver with
+            | `Dfs ->
+                if optimal then Asp.Dfs.solve_optimal_with_stats ?max_guess ground
+                else Asp.Dfs.solve_with_stats ?limit ?max_guess ground
+            | `Cdnl -> (
+                match jobs with
+                | Some j when j > 1 ->
+                    let r =
+                      if optimal then Engine.Par.optimal ~jobs:j ground
+                      else Engine.Par.enumerate ~jobs:j ?limit ground
+                    in
+                    (r.Engine.Par.models, r.Engine.Par.stats)
+                | _ ->
+                    if optimal then
+                      Asp.Solver.solve_optimal_with_stats ?max_guess ground
+                    else Asp.Solver.solve_with_stats ?limit ?max_guess ground)
           with
-          | exception Asp.Solver.Unsupported msg ->
+          | exception Asp.Dfs.Unsupported msg ->
               Printf.eprintf "unsupported program: %s\n" msg;
               1
           | models, search_stats -> (
@@ -371,15 +385,35 @@ let max_guess_arg =
     & opt (some int) None
     & info [ "max-guess" ] ~docv:"N"
         ~doc:
-          "Refuse programs whose choice space spans more than $(docv) atoms \
-           (default 64).")
+          "With $(b,--solver=dfs): refuse programs whose choice space spans \
+           more than $(docv) atoms (default 64). The CDNL solver has no cap \
+           and ignores this option.")
+
+let solver_arg =
+  Arg.(
+    value
+    & opt (enum [ ("cdnl", `Cdnl); ("dfs", `Dfs) ]) `Cdnl
+    & info [ "solver" ] ~docv:"NAME"
+        ~doc:
+          "Solving engine: $(b,cdnl) (conflict-driven nogood learning, the \
+           default) or $(b,dfs) (the retained pruned depth-first search).")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Enumerate on $(docv) worker domains via guiding-path splitting \
+           (CDNL only; the merged result is identical to a sequential \
+           solve).")
 
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the embedded ASP solver on a program file")
     Term.(
       const solve $ file_arg $ limit_arg $ optimal_arg $ stats_arg
-      $ max_guess_arg)
+      $ max_guess_arg $ solver_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* score                                                                *)

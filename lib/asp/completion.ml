@@ -1,0 +1,322 @@
+(* Clark-completion compilation of an interned ground program into clauses
+   over an extended variable space, the input of the CDNL solver.
+
+   Variables: atom ids [0, n_atoms), then one aggregate variable per entry
+   of the shared count table, then one body variable per rule body / choice
+   element instance. Literals are ints: [2v] asserts variable [v] true,
+   [2v+1] asserts it false; a clause is an int array of literals of which
+   at least one must hold.
+
+   Clauses emitted here capture the completion exactly:
+   - facts are unit clauses;
+   - every body variable is defined in both directions against its
+     conjuncts (positive atoms, negated atoms, aggregate variables);
+   - a regular rule body implies its head; a choice-element body does
+     {e not} (the element only licenses the atom);
+   - an atom without a fact implies the disjunction of its bodies
+     (support clause — an atom with no body at all is unit-false);
+   - an integrity constraint is the disjunction of its conjuncts'
+     complements.
+
+   Aggregate variables get no defining clauses: they are evaluated lazily
+   by the solver once their scope (every atom an element mentions) is
+   assigned, matching the reference semantics where aggregates are tested
+   against the total candidate and contribute no foundedness. Choice
+   bounds and weak constraints are likewise lazy over their scopes.
+
+   For non-tight programs the module also computes the strongly connected
+   components of the positive atom dependency graph (edges head -> positive
+   body atom through rule and choice-element bodies; aggregate condition
+   atoms excluded; fact atoms excluded as they are always founded) plus,
+   for every atom of a non-trivial SCC, its support bodies annotated with
+   their same-SCC positive atoms — the inputs of the solver's
+   unfounded-set check. *)
+
+type body = {
+  bvar : int;  (* variable id of this body *)
+  bhead : int;  (* head atom id, -1 for none *)
+  bchoice : bool;  (* choice-element body: licenses but does not force *)
+  bpos : int array;  (* atom ids required true *)
+  bneg : int array;  (* atom ids required false *)
+  bcounts : int array;  (* count indices required to hold *)
+}
+
+type t = {
+  p : Interned.t;
+  n_atoms : int;
+  n_counts : int;
+  n_vars : int;
+  bodies : body array;
+  clauses : int array list;
+  agg_scope : int array array;  (* count idx -> atom ids mentioned *)
+  bound_scope : (int * int array) array;  (* bounded choice idx, scope *)
+  weak_scope : int array array;  (* weak idx -> atom ids mentioned *)
+  sccs : int array array;  (* non-trivial positive SCCs *)
+  scc_of : int array;  (* atom -> SCC index, -1 outside loops *)
+  supports : (int * int array) list array;
+      (* atom -> (body idx, same-SCC positive atoms) *)
+  is_fact : Bitset.t;
+  tight : bool;
+  unsat : bool;  (* an empty constraint body: no model at all *)
+}
+
+let lit_true v = 2 * v
+let lit_false v = (2 * v) + 1
+let var_of_lit l = l lsr 1
+
+(* true when the literal asserts its variable false *)
+let lit_neg l = l land 1 = 1
+
+let agg_var c ci = c.n_atoms + ci
+
+let sorted_dedup l = Array.of_list (List.sort_uniq compare l)
+
+let compile (p : Interned.t) =
+  let n_atoms = p.Interned.n_atoms in
+  let n_counts = Array.length p.Interned.counts in
+  let is_fact = Bitset.create (max n_atoms 1) in
+  Array.iter (Bitset.set is_fact) p.Interned.facts;
+  let agg_scope =
+    Array.map
+      (fun (c : Interned.count) ->
+        let acc = ref [] in
+        Array.iter
+          (fun (e : Interned.count_elem) ->
+            Array.iter (fun a -> acc := a :: !acc) e.Interned.epos;
+            Array.iter (fun a -> acc := a :: !acc) e.Interned.eneg)
+          c.Interned.celems;
+        sorted_dedup !acc)
+      p.Interned.counts
+  in
+  let push_counts_scope idxs acc =
+    Array.fold_left
+      (fun acc ci -> Array.fold_left (fun acc a -> a :: acc) acc agg_scope.(ci))
+      acc idxs
+  in
+  (* bodies: one per regular rule, one per choice element *)
+  let body_base = n_atoms + n_counts in
+  let rev_bodies = ref [] in
+  let n_bodies = ref 0 in
+  let add_body ~bhead ~bchoice bpos bneg bcounts =
+    let bvar = body_base + !n_bodies in
+    incr n_bodies;
+    rev_bodies := { bvar; bhead; bchoice; bpos; bneg; bcounts } :: !rev_bodies
+  in
+  Array.iter
+    (fun (r : Interned.rule) ->
+      add_body ~bhead:r.Interned.head ~bchoice:false r.Interned.pos
+        r.Interned.neg r.Interned.counts)
+    p.Interned.rules;
+  Array.iter
+    (fun (c : Interned.choice) ->
+      Array.iter
+        (fun (el : Interned.elem) ->
+          let bpos =
+            sorted_dedup
+              (Array.to_list c.Interned.cpos @ Array.to_list el.Interned.egpos)
+          in
+          let bneg =
+            sorted_dedup
+              (Array.to_list c.Interned.cneg @ Array.to_list el.Interned.egneg)
+          in
+          add_body ~bhead:el.Interned.eatom ~bchoice:true bpos bneg
+            c.Interned.ccounts)
+        c.Interned.elems)
+    p.Interned.choices;
+  let bodies = Array.of_list (List.rev !rev_bodies) in
+  let n_vars = body_base + Array.length bodies in
+  let head_bodies = Array.make (max n_atoms 1) [] in
+  Array.iteri
+    (fun bi b ->
+      if b.bhead >= 0 then head_bodies.(b.bhead) <- bi :: head_bodies.(b.bhead))
+    bodies;
+  (* clauses *)
+  let clauses = ref [] in
+  let addc c = clauses := c :: !clauses in
+  Array.iter (fun a -> addc [| lit_true a |]) p.Interned.facts;
+  Array.iter
+    (fun b ->
+      let fwd = ref [ lit_true b.bvar ] in
+      Array.iter
+        (fun a ->
+          fwd := lit_false a :: !fwd;
+          addc [| lit_false b.bvar; lit_true a |])
+        b.bpos;
+      Array.iter
+        (fun a ->
+          fwd := lit_true a :: !fwd;
+          addc [| lit_false b.bvar; lit_false a |])
+        b.bneg;
+      Array.iter
+        (fun ci ->
+          let v = n_atoms + ci in
+          fwd := lit_false v :: !fwd;
+          addc [| lit_false b.bvar; lit_true v |])
+        b.bcounts;
+      addc (Array.of_list !fwd);
+      if b.bhead >= 0 && not b.bchoice then
+        addc [| lit_false b.bvar; lit_true b.bhead |])
+    bodies;
+  for a = 0 to n_atoms - 1 do
+    if not (Bitset.get is_fact a) then
+      addc
+        (Array.of_list
+           (lit_false a
+           :: List.rev_map (fun bi -> lit_true bodies.(bi).bvar) head_bodies.(a)
+           ))
+  done;
+  let unsat = ref false in
+  Array.iter
+    (fun (k : Interned.constr) ->
+      let c = ref [] in
+      Array.iter (fun a -> c := lit_false a :: !c) k.Interned.kpos;
+      Array.iter (fun a -> c := lit_true a :: !c) k.Interned.kneg;
+      Array.iter (fun ci -> c := lit_false (n_atoms + ci) :: !c)
+        k.Interned.kcounts;
+      match !c with [] -> unsat := true | l -> addc (Array.of_list l))
+    p.Interned.constraints;
+  (* lazy scopes for choice bounds and weak constraints *)
+  let bound_scope = ref [] in
+  Array.iteri
+    (fun ci (c : Interned.choice) ->
+      if c.Interned.lower <> None || c.Interned.upper <> None then begin
+        let acc = ref [] in
+        Array.iter (fun a -> acc := a :: !acc) c.Interned.cpos;
+        Array.iter (fun a -> acc := a :: !acc) c.Interned.cneg;
+        acc := push_counts_scope c.Interned.ccounts !acc;
+        Array.iter
+          (fun (el : Interned.elem) ->
+            acc := el.Interned.eatom :: !acc;
+            Array.iter (fun a -> acc := a :: !acc) el.Interned.egpos;
+            Array.iter (fun a -> acc := a :: !acc) el.Interned.egneg)
+          c.Interned.elems;
+        bound_scope := (ci, sorted_dedup !acc) :: !bound_scope
+      end)
+    p.Interned.choices;
+  let bound_scope = Array.of_list (List.rev !bound_scope) in
+  let weak_scope =
+    Array.map
+      (fun (w : Interned.weak) ->
+        let acc = ref [] in
+        Array.iter (fun a -> acc := a :: !acc) w.Interned.wpos;
+        Array.iter (fun a -> acc := a :: !acc) w.Interned.wneg;
+        sorted_dedup (push_counts_scope w.Interned.wcounts !acc))
+      p.Interned.weaks
+  in
+  (* positive dependency SCCs over non-fact atoms *)
+  let adj = Array.make (max n_atoms 1) [] in
+  let has_self = Array.make (max n_atoms 1) false in
+  Array.iter
+    (fun b ->
+      if b.bhead >= 0 && not (Bitset.get is_fact b.bhead) then
+        Array.iter
+          (fun a ->
+            if not (Bitset.get is_fact a) then begin
+              adj.(b.bhead) <- a :: adj.(b.bhead);
+              if a = b.bhead then has_self.(a) <- true
+            end)
+          b.bpos)
+    bodies;
+  let adj = Array.map Array.of_list adj in
+  (* iterative Tarjan *)
+  let index = Array.make (max n_atoms 1) (-1) in
+  let low = Array.make (max n_atoms 1) 0 in
+  let on_stack = Array.make (max n_atoms 1) false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let raw_sccs = ref [] in
+  let frame_node = Array.make (max n_atoms 1) 0 in
+  let frame_child = Array.make (max n_atoms 1) 0 in
+  for root = 0 to n_atoms - 1 do
+    if index.(root) = -1 then begin
+      let top = ref 0 in
+      frame_node.(0) <- root;
+      frame_child.(0) <- 0;
+      index.(root) <- !counter;
+      low.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !top >= 0 do
+        let v = frame_node.(!top) in
+        if frame_child.(!top) < Array.length adj.(v) then begin
+          let w = adj.(v).(frame_child.(!top)) in
+          frame_child.(!top) <- frame_child.(!top) + 1;
+          if index.(w) = -1 then begin
+            index.(w) <- !counter;
+            low.(w) <- !counter;
+            incr counter;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            incr top;
+            frame_node.(!top) <- w;
+            frame_child.(!top) <- 0
+          end
+          else if on_stack.(w) && index.(w) < low.(v) then low.(v) <- index.(w)
+        end
+        else begin
+          if low.(v) = index.(v) then begin
+            let scc = ref [] in
+            let continue = ref true in
+            while !continue do
+              match !stack with
+              | [] -> continue := false
+              | w :: rest ->
+                  stack := rest;
+                  on_stack.(w) <- false;
+                  scc := w :: !scc;
+                  if w = v then continue := false
+            done;
+            raw_sccs := !scc :: !raw_sccs
+          end;
+          decr top;
+          if !top >= 0 then begin
+            let u = frame_node.(!top) in
+            if low.(v) < low.(u) then low.(u) <- low.(v)
+          end
+        end
+      done
+    end
+  done;
+  let sccs =
+    List.filter_map
+      (fun scc ->
+        match scc with
+        | [ v ] when not has_self.(v) -> None
+        | _ -> Some (Array.of_list (List.sort compare scc)))
+      !raw_sccs
+    |> Array.of_list
+  in
+  let scc_of = Array.make (max n_atoms 1) (-1) in
+  Array.iteri (fun si scc -> Array.iter (fun a -> scc_of.(a) <- si) scc) sccs;
+  let supports = Array.make (max n_atoms 1) [] in
+  Array.iteri
+    (fun bi b ->
+      if b.bhead >= 0 && scc_of.(b.bhead) >= 0 then begin
+        let s = scc_of.(b.bhead) in
+        let in_scc =
+          Array.of_list
+            (List.filter (fun a -> scc_of.(a) = s) (Array.to_list b.bpos))
+        in
+        supports.(b.bhead) <- (bi, in_scc) :: supports.(b.bhead)
+      end)
+    bodies;
+  (* keep support lists in body order for determinism *)
+  let supports = Array.map List.rev supports in
+  {
+    p;
+    n_atoms;
+    n_counts;
+    n_vars;
+    bodies;
+    clauses = List.rev !clauses;
+    agg_scope;
+    bound_scope;
+    weak_scope;
+    sccs;
+    scc_of;
+    supports;
+    is_fact;
+    tight = Array.length sccs = 0;
+    unsat = !unsat;
+  }

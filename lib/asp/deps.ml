@@ -160,6 +160,19 @@ let negative_cycle_sccs g =
         comp)
     components
 
+let positive_cycle_sccs g =
+  let components = sccs g in
+  let ids = scc_id_map components in
+  List.filteri
+    (fun i comp ->
+      List.exists
+        (fun v ->
+          List.exists
+            (fun (w, pol) -> pol = Positive && Hashtbl.find ids w = i)
+            (successors g v))
+        comp)
+    components
+
 let stratified g =
   let components = sccs g in
   let ids = scc_id_map components in

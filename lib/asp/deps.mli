@@ -24,6 +24,14 @@ val negative_cycle_sccs : t -> (string * int) list list
 (** The strongly connected components that do contain an internal negative
     edge — the witnesses of non-stratification, one per offending cycle. *)
 
+val positive_cycle_sccs : t -> (string * int) list list
+(** The strongly connected components with an internal positive edge —
+    positive recursion, the predicate-level witnesses of non-tightness.
+    Atoms in such cycles cannot support themselves: the CDNL solver runs
+    unfounded-set checks over them, and the pre-CDNL solving paths fell
+    back to exhaustive search. A self-recursive predicate forms a
+    one-element component here; acyclic predicates do not. *)
+
 val strata : t -> ((string * int) * int) list option
 (** Stratum number per predicate ([None] when not stratified): body
     predicates have strata [<=] the head's; negated body predicates have

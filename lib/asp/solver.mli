@@ -1,72 +1,88 @@
-(** Stable-model enumeration for ground programs.
+(** Stable-model search by conflict-driven nogood learning (CDNL-ASP).
 
-    The production solving path. The ground program is compiled once into a
-    dense interned form ({!Interned}): atoms become contiguous int ids,
-    assignments become bitsets. Enumeration is a pruned depth-first search
-    over the choice space, stratum by stratum:
+    The production solving path, superseding the pruned DFS (retained
+    verbatim as {!Dfs}). The ground program is compiled to its Clark
+    completion over atom, aggregate and body variables ({!Completion});
+    search is a CDCL loop ({!Nogood}): two-watched-literal unit
+    propagation over a trail with decision levels, 1-UIP conflict
+    analysis with clause learning, non-chronological backjumping, VSIDS
+    decision heuristic with saved phases, Luby restarts, and
+    activity-based deletion of learned nogoods. On top of the clausal
+    core sit three lazy ASP propagators:
 
-    - {b Semi-naive propagation}: a watch index maps each atom to the rules
-      and choice elements whose bodies mention it positively within the same
-      stratum, so deterministic consequences fire incrementally instead of
-      rescanning every rule to fixpoint.
-    - {b Branching on fired elements only}: a choice element becomes a
-      decision point only once its body and condition hold, which collapses
-      guess classes that the exhaustive enumerator ({!Naive}) distinguishes.
-    - {b Pruning}: a subtree is abandoned as soon as an integrity constraint
-      or a choice upper bound is violated on atoms whose values are already
-      final; remaining constraint/bound checks run at the stratum boundary
-      where all their atoms are final.
-    - {b Branch-and-bound} ({!solve_optimal}): once an incumbent model
-      exists, a stratum boundary whose partial weak-constraint cost already
-      exceeds the incumbent is pruned — only when all weights are
-      non-negative, otherwise the partial cost is not a lower bound.
+    - {b aggregates} are evaluated against the candidate once every atom
+      in their scope is assigned (the reference semantics: aggregates
+      contribute no foundedness), asserting the aggregate variable with
+      the scope assignment as reason;
+    - {b choice bounds} likewise fire once their scope is assigned and
+      contribute the violated assignment as a conflict;
+    - {b unfounded-set checks} run on the non-trivial SCCs of the
+      positive dependency graph whenever a support body becomes false:
+      atoms without external support get loop nogoods (Lin–Zhao for
+      arbitrary sets), so non-tight and non-stratified programs are
+      solved natively — the old exhaustive [2^n] fallback and its
+      64-atom guess cap are gone.
 
-    Programs that are not stratified modulo choices fall back to exhaustive
-    guessing over choice and negated atoms with a per-leaf reduct check,
-    interned but still [2^n]. Results are bit-for-bit identical to {!Naive}
-    on any program both accept. *)
+    Models are enumerated with blocking nogoods and returned sorted, so
+    results are bit-for-bit identical to {!Naive} and {!Dfs}.
+    {!solve_optimal} keeps branch-and-bound and learns a decision nogood
+    from every bound violation; the bound is a per-priority-level lower
+    bound that adds the weights of still-undecided negative tuples, so
+    pruning stays sound (and enabled) under mixed-sign weights.
+
+    [?assumptions] fixes atom values under dedicated decision levels
+    before search starts — the guiding-path mechanism used by
+    [Engine.Par] to split enumeration across domains deterministically. *)
 
 exception Unsupported of string
-(** The guess space is too large ([> max_guess] atoms), or a non-stratified
-    program uses aggregates. *)
+(** Retained for API compatibility with {!Dfs}; the CDNL path has no
+    unsupported ground form and never raises it. *)
 
 val default_max_guess : int
-(** 64. The pruned search tolerates far larger choice spaces than the
-    exhaustive enumerator's historical cap of 24, but the dimension check
-    stays as a guard against accidentally huge groundings. *)
+(** 64 — only meaningful to {!Dfs}. The CDNL solver accepts [?max_guess]
+    for drop-in compatibility and ignores it: search is polynomial-space
+    in the guess dimension, so no cap is needed. *)
 
-module Stats : sig
-  type t = {
-    mutable guesses : int;  (** decision branches explored (in + out) *)
-    mutable pruned : int;  (** subtrees abandoned by a violation or bound *)
-    mutable firings : int;  (** atom derivations (rule/choice/fact) *)
-    mutable leaves : int;  (** complete assignments reached *)
-    mutable models : int;  (** distinct stable models found (pre-filter) *)
-    mutable wall_s : float;  (** wall-clock seconds for the whole solve *)
-  }
+module Stats = Solver_stats
+(** Search statistics; fresh per [solve_*_with_stats] call, so repeated
+    or re-entrant solves report independent counters and wall times. *)
 
-  val create : unit -> t
-  val to_string : t -> string
-  val pp : Format.formatter -> t -> unit
-end
-
-val solve : ?limit:int -> ?max_guess:int -> Ground.t -> Model.t list
+val solve :
+  ?limit:int ->
+  ?max_guess:int ->
+  ?assumptions:(Atom.t * bool) list ->
+  Ground.t ->
+  Model.t list
 (** All stable models (up to [limit], default unlimited), deduplicated,
     sorted by atom set; [#show] projections are {e not} applied — use
-    {!Model.project} with [Ground.shows]. [max_guess] defaults to
-    {!default_max_guess}. *)
+    {!Model.project} with [Ground.shows]. Under [assumptions], exactly
+    the stable models consistent with the assumed atom values. *)
 
 val solve_with_stats :
-  ?limit:int -> ?max_guess:int -> Ground.t -> Model.t list * Stats.t
+  ?limit:int ->
+  ?max_guess:int ->
+  ?assumptions:(Atom.t * bool) list ->
+  Ground.t ->
+  Model.t list * Stats.t
 (** Same as {!solve}, also returning search statistics. *)
 
-val solve_optimal : ?max_guess:int -> Ground.t -> Model.t list
+val solve_optimal :
+  ?max_guess:int -> ?assumptions:(Atom.t * bool) list -> Ground.t -> Model.t list
 (** Models with the minimal weak-constraint cost (all optima). *)
 
 val solve_optimal_with_stats :
-  ?max_guess:int -> Ground.t -> Model.t list * Stats.t
+  ?max_guess:int ->
+  ?assumptions:(Atom.t * bool) list ->
+  Ground.t ->
+  Model.t list * Stats.t
 
 val satisfiable : ?max_guess:int -> Ground.t -> bool
+
+val guiding_atoms : Ground.t -> int -> Atom.t list
+(** Up to [n] split atoms for guiding-path parallel enumeration: choice
+    atoms in interned id order, then atoms under negation. Conditioning
+    on any atom set partitions the model space, so fanning out over all
+    [2^k] sign vectors and merging is equivalent to a sequential solve. *)
 
 val is_stable_model : Ground.t -> Model.AtomSet.t -> bool
 (** Independent Gelfond–Lifschitz verification, delegated to the retained

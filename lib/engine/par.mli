@@ -1,0 +1,43 @@
+(** Guiding-path parallel model enumeration.
+
+    The CDNL solver's assumption interface ({!Asp.Solver.solve} with
+    [?assumptions]) conditions the search on fixed atom values. Fixing
+    [k] atoms in all [2^k] sign combinations partitions the stable-model
+    space into disjoint branches, so the branches can be solved on
+    separate {!Pool} domains and merged by concatenation + sort — the
+    result is bit-for-bit the sequential enumeration, regardless of
+    worker count or scheduling.
+
+    The split atoms come from {!Asp.Solver.guiding_atoms} (choice atoms
+    first — the natural combinatorial frontier of the reference
+    encodings), [k = ceil(log2 jobs)] capped by the number of available
+    atoms. Merged statistics accumulate every branch's counters;
+    [stats.wall_s] is the measured elapsed time of the whole fan-out
+    while {!report.path_walls} keeps the per-branch solver walls, whose
+    max is the critical path (the ideal-parallel lower bound). *)
+
+type report = {
+  models : Asp.Model.t list;  (** merged, sorted — equal to sequential *)
+  stats : Asp.Solver.Stats.t;  (** accumulated over branches; measured wall *)
+  jobs : int;  (** worker domains used *)
+  paths : int;  (** guiding paths solved ([2^k], or 1 sequential) *)
+  wall_s : float;  (** elapsed time of the whole enumeration *)
+  path_walls : float array;  (** per-branch solver wall times *)
+}
+
+val enumerate :
+  ?oversubscribe:bool -> ?jobs:int -> ?limit:int -> Asp.Ground.t -> report
+(** All stable models. [jobs <= 1] (and the default on single-core
+    hosts) runs inline; a [limit] also forces the sequential path, since
+    a global model cap cannot be split across branches without
+    over-enumerating. [oversubscribe] is passed to {!Pool.map} (tests
+    use it to force real multi-domain execution on single-core hosts). *)
+
+val optimal : ?oversubscribe:bool -> ?jobs:int -> Asp.Ground.t -> report
+(** Optimal models under weak constraints: every branch runs its own
+    branch-and-bound under its guiding assumptions, and the global front
+    is the minimum-cost slice of the union of the branch fronts. *)
+
+val render : report -> string
+(** Human-readable summary: model/path/domain counts, measured wall,
+    summed and critical-path branch walls, merged solver statistics. *)

@@ -42,19 +42,7 @@ let run ?oversubscribe ?jobs ?cache spec =
         let key = Fingerprint.to_hex r.Job.fingerprint in
         if not (Hashtbl.mem counted key) then begin
           Hashtbl.replace counted key ();
-          let s = r.Job.stats in
-          fresh.Asp.Solver.Stats.guesses <-
-            fresh.Asp.Solver.Stats.guesses + s.Asp.Solver.Stats.guesses;
-          fresh.Asp.Solver.Stats.pruned <-
-            fresh.Asp.Solver.Stats.pruned + s.Asp.Solver.Stats.pruned;
-          fresh.Asp.Solver.Stats.firings <-
-            fresh.Asp.Solver.Stats.firings + s.Asp.Solver.Stats.firings;
-          fresh.Asp.Solver.Stats.leaves <-
-            fresh.Asp.Solver.Stats.leaves + s.Asp.Solver.Stats.leaves;
-          fresh.Asp.Solver.Stats.models <-
-            fresh.Asp.Solver.Stats.models + s.Asp.Solver.Stats.models;
-          fresh.Asp.Solver.Stats.wall_s <-
-            fresh.Asp.Solver.Stats.wall_s +. s.Asp.Solver.Stats.wall_s;
+          Asp.Solver.Stats.accumulate fresh r.Job.stats;
           let g = r.Job.gstats in
           ground.Asp.Grounder.Stats.passes <-
             ground.Asp.Grounder.Stats.passes + g.Asp.Grounder.Stats.passes;
@@ -121,10 +109,16 @@ let to_json r =
     r.misses (hit_rate r);
   p
     "  \"fresh\": {\"guesses\": %d, \"pruned\": %d, \"firings\": %d, \
-     \"leaves\": %d, \"models\": %d, \"wall_s\": %.6f},\n"
+     \"leaves\": %d, \"models\": %d, \"conflicts\": %d, \"learned\": %d, \
+     \"restarts\": %d, \"backjumped\": %d, \"unfounded_checks\": %d, \
+     \"unfounded_sets\": %d, \"wall_s\": %.6f},\n"
     r.fresh.Asp.Solver.Stats.guesses r.fresh.Asp.Solver.Stats.pruned
     r.fresh.Asp.Solver.Stats.firings r.fresh.Asp.Solver.Stats.leaves
-    r.fresh.Asp.Solver.Stats.models r.fresh.Asp.Solver.Stats.wall_s;
+    r.fresh.Asp.Solver.Stats.models r.fresh.Asp.Solver.Stats.conflicts
+    r.fresh.Asp.Solver.Stats.learned r.fresh.Asp.Solver.Stats.restarts
+    r.fresh.Asp.Solver.Stats.backjumped
+    r.fresh.Asp.Solver.Stats.unfounded_checks
+    r.fresh.Asp.Solver.Stats.unfounded_sets r.fresh.Asp.Solver.Stats.wall_s;
   p
     "  \"ground\": {\"passes\": %d, \"firings\": %d, \"probes\": %d, \
      \"fresh_rules\": %d, \"reused_rules\": %d, \"wall_s\": %.6f},\n"

@@ -76,6 +76,40 @@ let check_stratification p rules =
     (Asp.Deps.negative_cycle_sccs g)
 
 (* ------------------------------------------------------------------ *)
+(* L010: tightness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Positive recursion at the predicate level: the program may not be
+   tight, so models of its completion need not be stable and the solver
+   falls back on unfounded-set checks for the atoms in the loop. Cycles
+   that also pass through negation are already reported as L002 and are
+   skipped here. *)
+let check_tightness p rules =
+  let g = Asp.Deps.of_program p in
+  let negative = Asp.Deps.negative_cycle_sccs g in
+  Asp.Deps.positive_cycle_sccs g
+  |> List.filter (fun scc -> not (List.mem scc negative))
+  |> List.map (fun scc ->
+         let in_scc s = List.mem s scc in
+         (* anchor the cycle at the first rule that contributes a
+            positive edge inside it *)
+         let anchor =
+           List.find_opt
+             (fun r ->
+               List.exists in_scc (head_sigs r)
+               && List.exists
+                    (fun (s, pol) -> pol = Pos && in_scc s)
+                    (body_refs r))
+             rules
+         in
+         D.info ~code:"L010"
+           ?pos:(Option.bind anchor rule_pos)
+           "predicate%s %s in a positive cycle: the program is not tight, \
+            atoms in the loop need support from outside it"
+           (if List.length scc = 1 then "" else "s")
+           (String.concat ", " (List.map sig_to_string scc)))
+
+(* ------------------------------------------------------------------ *)
 (* L003 / L004 / L005: predicate usage                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,9 +384,10 @@ let run_requirements ?encode ~program reqs =
 let run_program ?(requirements = []) ?encode p =
   let rules = Asp.Program.rules p in
   D.sort
-    (check_safety rules @ check_stratification p rules @ check_undefined rules
-   @ check_unused p rules @ check_arities rules @ check_singletons rules
-   @ check_dead_rules rules @ check_function_recursion p rules
+    (check_safety rules @ check_stratification p rules
+   @ check_tightness p rules @ check_undefined rules @ check_unused p rules
+   @ check_arities rules @ check_singletons rules @ check_dead_rules rules
+   @ check_function_recursion p rules
    @ run_requirements ?encode ~program:p requirements)
 
 (* "line %d, col %d: rest" → located L000; anything else → unlocated *)
@@ -411,6 +446,7 @@ let codes =
     ("L007", D.Warning, "rule can never fire (underivable positive body atom)");
     ("L008", D.Warning, "recursion builds terms through function symbols");
     ("L009", D.Warning, "requirement mentions an atom no rule can produce");
+    ("L010", D.Info, "positive cycle; program is not tight");
     ("L101", D.Error, "composition cycle");
     ("L102", D.Error, "multiple composition parents");
     ("L103", D.Error, "flow relationship touches a motivation element");

@@ -290,6 +290,65 @@ let test_optimizer_par () =
     (Mitigation.Optimizer.budget_sweep problem ~budgets)
     (Mitigation.Optimizer.budget_sweep_par ~jobs:3 problem ~budgets)
 
+(* ------------------------------------------------------------------ *)
+(* Par: guiding-path parallel model enumeration                         *)
+(* ------------------------------------------------------------------ *)
+
+let par_programs =
+  [
+    "{ a ; b ; c ; d }. :- a, b.";
+    "{ c0 ; c1 ; c2 }. p :- q. q :- p. p :- c0. :- not p.";
+    "a :- not b. b :- not a. { c : a ; d }.";
+    "{ a ; b ; c }. :~ a. [-2@1] :~ b. [1@1] :~ c. [1@2]";
+    "p :- not p.";
+  ]
+
+let test_par_enumerate () =
+  List.iter
+    (fun src ->
+      let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+      let seq = Asp.Solver.solve g in
+      List.iter
+        (fun jobs ->
+          let r = Engine.Par.enumerate ~oversubscribe:true ~jobs g in
+          check Alcotest.int
+            (Printf.sprintf "par %d model count on:\n%s" jobs src)
+            (List.length seq) (List.length r.Engine.Par.models);
+          if not (List.for_all2 Asp.Model.equal seq r.Engine.Par.models) then
+            Alcotest.fail
+              (Printf.sprintf "par %d enumeration diverged on:\n%s" jobs src);
+          check Alcotest.int
+            (Printf.sprintf "par %d stats model count on:\n%s" jobs src)
+            (List.length seq)
+            r.Engine.Par.stats.Asp.Solver.Stats.models)
+        [ 1; 2; 4 ])
+    par_programs
+
+let test_par_optimal () =
+  List.iter
+    (fun src ->
+      let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+      let seq = Asp.Solver.solve_optimal g in
+      List.iter
+        (fun jobs ->
+          let r = Engine.Par.optimal ~oversubscribe:true ~jobs g in
+          check Alcotest.int
+            (Printf.sprintf "par-opt %d front size on:\n%s" jobs src)
+            (List.length seq) (List.length r.Engine.Par.models);
+          if not (List.for_all2 Asp.Model.equal seq r.Engine.Par.models) then
+            Alcotest.fail
+              (Printf.sprintf "par-opt %d front diverged on:\n%s" jobs src))
+        [ 1; 2; 4 ])
+    par_programs
+
+let test_par_limit_sequential () =
+  let g =
+    Asp.Grounder.ground (Asp.Parser.parse_program "{ a ; b ; c ; d }.")
+  in
+  let r = Engine.Par.enumerate ~oversubscribe:true ~jobs:4 ~limit:3 g in
+  check Alcotest.int "limited count" 3 (List.length r.Engine.Par.models);
+  check Alcotest.int "limit forces one path" 1 r.Engine.Par.paths
+
 let suites =
   [
     ( "engine",
@@ -318,6 +377,12 @@ let suites =
           test_sweep_matches_reference;
         Alcotest.test_case "sweep: pipeline topology what-ifs" `Quick
           test_topology_sweep;
+        Alcotest.test_case "par: enumeration equals sequential" `Quick
+          test_par_enumerate;
+        Alcotest.test_case "par: optima equal sequential" `Quick
+          test_par_optimal;
+        Alcotest.test_case "par: limit stays sequential" `Quick
+          test_par_limit_sequential;
         Alcotest.test_case "optimizer: parallel equals sequential" `Quick
           test_optimizer_par;
       ] );

@@ -149,6 +149,44 @@ let test_l008_function_recursion () =
   (* non-recursive function-symbol heads are fine *)
   check_fires ~neg:true "L008" (Lint.run_source "dom(1). p(f(X)) :- dom(X).")
 
+let test_l010_tightness () =
+  (* mutual positive recursion *)
+  let ds = Lint.run_source "{ c }. p :- q. q :- p. p :- c." in
+  check_fires "L010" ds;
+  check Alcotest.(option string) "info severity"
+    (Some "info")
+    (Option.map D.severity_to_string (severity_of "L010" ds));
+  (match with_code "L010" ds with
+  | [ d ] ->
+      (* the warning names the cycle *)
+      check Alcotest.bool "cycle annotated" true
+        (String.index_opt d.D.message 'p' <> None
+        && String.length d.D.message > 0);
+      check Alcotest.bool "mentions both predicates" true
+        (let has s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has d.D.message "p/0" && has d.D.message "q/0")
+  | _ -> Alcotest.fail "expected one L010");
+  (* self-recursion is a one-element positive cycle *)
+  check_fires "L010" (Lint.run_source "r :- r.");
+  (* variable-level recursion (transitive closure) is predicate-level
+     recursion too *)
+  check_fires "L010"
+    (Lint.run_source
+       "edge(1,2). reach(X,Y) :- edge(X,Y). reach(X,Y) :- reach(X,Z), \
+        edge(Z,Y).");
+  (* a cycle through negation is L002's finding, not L010's *)
+  let neg_cycle = Lint.run_source "a :- not b. b :- not a." in
+  check_fires "L002" neg_cycle;
+  check_fires ~neg:true "L010" neg_cycle;
+  (* acyclic programs are tight *)
+  check_fires ~neg:true "L010" (Lint.run_source "a :- b. b :- c. c.")
+
 (* -------------------------------------------------------------------- *)
 (* L009: requirement coverage                                            *)
 (* -------------------------------------------------------------------- *)
@@ -408,6 +446,7 @@ let suites =
         Alcotest.test_case "L008 function recursion" `Quick
           test_l008_function_recursion;
         Alcotest.test_case "L009 coverage" `Quick test_l009_coverage;
+        Alcotest.test_case "L010 tightness" `Quick test_l010_tightness;
       ] );
     ( "lint.model",
       [

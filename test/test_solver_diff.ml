@@ -1,8 +1,13 @@
-(* Differential tests: the production solver (Asp.Solver — interned atoms,
-   watch-indexed propagation, pruned DFS) against the retained exhaustive
-   reference (Asp.Naive) on seeded random ground programs. Both must agree
-   on the model sets, the per-model weak-constraint costs, the optimal
-   fronts, and on which programs are rejected as Unsupported. *)
+(* Differential tests: the production CDNL solver (Asp.Solver) against
+   both retained oracles — the pruned DFS (Asp.Dfs, the previous
+   production path) and the exhaustive reference (Asp.Naive) — on seeded
+   random ground programs. Where the oracles accept a program all three
+   must agree bit-for-bit on the model sets, the per-model
+   weak-constraint costs and the optimal fronts; where the oracles
+   reject (guess caps, aggregates under their stratification
+   requirement) the CDNL solver must still answer, and every model it
+   reports is verified independently through the Gelfond–Lifschitz
+   check. *)
 
 let check = Alcotest.check
 let fail = Alcotest.fail
@@ -14,8 +19,8 @@ let fail = Alcotest.fail
 (* Propositional programs over a small vocabulary, exercising facts,
    rules with default negation (stratified and not), choice rules with
    conditions and cardinality bounds, integrity constraints, weak
-   constraints (including negative weights, which disable the solver's
-   branch-and-bound), and #count/#sum aggregates. *)
+   constraints (including negative weights, which force the mixed-sign
+   lower bound in branch-and-bound), and #count/#sum aggregates. *)
 let gen_program rng =
   let int n = Random.State.int rng n in
   let bool () = Random.State.bool rng in
@@ -94,7 +99,7 @@ let outcome_of_models models =
 let run f =
   match f () with
   | models -> outcome_of_models models
-  | exception Asp.Solver.Unsupported msg -> Rejected msg
+  | exception Asp.Dfs.Unsupported msg -> Rejected msg
   | exception Asp.Naive.Unsupported msg -> Rejected msg
 
 let pp_outcome = function
@@ -122,53 +127,104 @@ let outcomes_agree a b =
            xs ys
   | _ -> false
 
-let compare_on ~what src fast slow =
-  let f = run fast and s = run slow in
-  if not (outcomes_agree f s) then
+let compare_on ~what ~names src a b =
+  if not (outcomes_agree a b) then
     fail
-      (Printf.sprintf
-         "%s diverged on program:\n%s\n  solver: %s\n  naive:  %s" what src
-         (pp_outcome f) (pp_outcome s))
+      (Printf.sprintf "%s diverged on program:\n%s\n  %s: %s\n  %s: %s" what
+         src (fst names) (pp_outcome a) (snd names) (pp_outcome b))
 
-(* the naive cap stays at its historical default so the exhaustive paths
-   remain fast; both sides get the same bound so rejection parity holds *)
+(* Every model the CDNL solver produced must pass the independent
+   Gelfond–Lifschitz check, and the list must be strictly sorted (so it
+   is also duplicate-free). The fallback oracle for programs the
+   reference solvers cannot enumerate. *)
+let assert_stable ~what src g models =
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        Asp.Model.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  if not (sorted models) then
+    fail (Printf.sprintf "%s: unsorted or duplicated models on:\n%s" what src);
+  List.iter
+    (fun m ->
+      if not (Asp.Solver.is_stable_model g (Asp.Model.atoms m)) then
+        fail
+          (Printf.sprintf "%s produced a non-stable model {%s} on:\n%s" what
+             (String.concat ","
+                (List.map Asp.Atom.to_string (Asp.Model.to_list m)))
+             src))
+    models
+
+(* the oracle caps stay at their historical default so the exhaustive
+   paths remain fast; Dfs and Naive get the same bound so their rejection
+   parity holds. The CDNL solver ignores the cap and must always answer. *)
 let max_guess = 18
 
 let diff_one src =
   let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
-  compare_on ~what:"solve" src
-    (fun () -> Asp.Solver.solve ~max_guess g)
-    (fun () -> Asp.Naive.solve ~max_guess g);
-  compare_on ~what:"solve_optimal" src
-    (fun () -> Asp.Solver.solve_optimal ~max_guess g)
-    (fun () -> Asp.Naive.solve_optimal ~max_guess g);
-  (* under a limit the two solvers may surface different models (the
+  (* legacy parity: the retained DFS still agrees with the reference,
+     including which programs are rejected and with what message *)
+  let dfs = run (fun () -> Asp.Dfs.solve ~max_guess g) in
+  let naive = run (fun () -> Asp.Naive.solve ~max_guess g) in
+  compare_on ~what:"solve (dfs vs naive)" ~names:("dfs", "naive") src dfs naive;
+  let cdnl_models = Asp.Solver.solve g in
+  let cdnl = outcome_of_models cdnl_models in
+  (match naive with
+  | Models _ ->
+      compare_on ~what:"solve (cdnl vs naive)" ~names:("cdnl", "naive") src
+        cdnl naive
+  | Rejected _ ->
+      (* the oracles gave up; verify the CDNL answer independently *)
+      assert_stable ~what:"solve (cdnl)" src g cdnl_models);
+  (* optima *)
+  let dfs_opt = run (fun () -> Asp.Dfs.solve_optimal ~max_guess g) in
+  let naive_opt = run (fun () -> Asp.Naive.solve_optimal ~max_guess g) in
+  compare_on ~what:"solve_optimal (dfs vs naive)" ~names:("dfs", "naive") src
+    dfs_opt naive_opt;
+  let cdnl_opt_models = Asp.Solver.solve_optimal g in
+  let cdnl_opt = outcome_of_models cdnl_opt_models in
+  (match naive_opt with
+  | Models _ ->
+      compare_on ~what:"solve_optimal (cdnl vs naive)" ~names:("cdnl", "naive")
+        src cdnl_opt naive_opt
+  | Rejected _ ->
+      (* self-consistency: branch-and-bound must return exactly the
+         minimum-cost slice of the full enumeration *)
+      let best =
+        List.fold_left
+          (fun acc m ->
+            let c = Asp.Model.cost m in
+            match acc with
+            | None -> Some c
+            | Some b -> if Asp.Model.compare_cost c b < 0 then Some c else acc)
+          None cdnl_models
+      in
+      let expected =
+        match best with
+        | None -> []
+        | Some b ->
+            List.filter
+              (fun m -> Asp.Model.compare_cost (Asp.Model.cost m) b = 0)
+              cdnl_models
+      in
+      compare_on ~what:"solve_optimal (cdnl B&B vs cdnl enumeration)"
+        ~names:("b&b", "enum") src cdnl_opt (outcome_of_models expected));
+  (* under a limit the solvers may surface different models (the
      enumeration orders differ), so compare the count and check that every
-     limited model belongs to the full front *)
-  let limited =
-    match Asp.Solver.solve ~limit:2 ~max_guess g with
-    | ms -> Some ms
-    | exception Asp.Solver.Unsupported _ -> None
-  in
-  let limited_ref =
-    match Asp.Naive.solve ~limit:2 ~max_guess g with
-    | ms -> Some ms
-    | exception Asp.Naive.Unsupported _ -> None
-  in
-  match (limited, limited_ref) with
-  | None, None -> ()
-  | Some limited, Some limited_ref ->
+     limited model belongs to the full set *)
+  let limited = Asp.Solver.solve ~limit:2 g in
+  (match naive with
+  | Rejected _ -> ()
+  | Models full ->
       check Alcotest.int
         (Printf.sprintf "limited model count on:\n%s" src)
-        (List.length limited_ref) (List.length limited);
-      let full = Asp.Naive.solve ~max_guess g in
-      List.iter
-        (fun m ->
-          if not (List.exists (Asp.Model.equal m) full) then
-            fail
-              (Printf.sprintf "limited solve invented a model on:\n%s" src))
-        limited
-  | _ -> fail (Printf.sprintf "rejection divergence on:\n%s" src)
+        (min 2 (List.length full))
+        (List.length limited));
+  List.iter
+    (fun m ->
+      if not (List.exists (Asp.Model.equal m) cdnl_models) then
+        fail (Printf.sprintf "limited solve invented a model on:\n%s" src))
+    limited
 
 let test_differential_seeded () =
   for seed = 0 to 99 do
@@ -190,27 +246,87 @@ let test_differential_corners () =
       "1 { p(X) : q(X) } :- r. r.";
       (* multi-level strata under choices *)
       "{ a }. b :- not a. c :- b, not d. d :- a.";
-      (* non-stratified fallback with choices *)
+      (* non-stratified programs with choices *)
       "{ c }. a :- not b, c. b :- not a.";
       (* odd loop: no models either way *)
       "p :- not p.";
+      (* non-tight: positive recursion with external support *)
+      "{ c }. p :- q. q :- p. p :- c.";
+      "{ c }. p :- q. q :- p. p :- c. :- not p.";
+      (* unfounded loop with no external support: atoms must stay false *)
+      "p :- q. q :- p. r :- not p.";
       (* aggregates over choice-dependent atoms *)
       "item(1). item(2). { in(X) : item(X) }. :- #count { X : in(X) } > 1.";
       "n(1). n(2). { pick(X) : n(X) }. big :- #sum { X : pick(X) } >= 3.";
-      (* aggregates in a non-stratified program must be rejected by both *)
+      (* aggregates in a non-stratified program: the oracles reject,
+         the CDNL solver answers (verified by the GL check) *)
       "a :- not b. b :- not a. c :- #count { 1 : a } > 0.";
-      (* weak constraints with negative weights: branch-and-bound must be
-         disabled, optima must still match *)
+      (* weak constraints with negative weights: the mixed-sign lower
+         bound must keep branch-and-bound sound *)
       "{ a ; b }. :~ a. [-2@1] :~ b. [1@1]";
       "{ a ; b ; c }. :~ a. [-1@2, x] :~ b. [-1@2, x] :~ c. [3@1]";
       (* weak tuple dedup across priorities *)
       "a. b. :~ a. [2@1, s] :~ b. [2@1, s] :~ a, b. [1@2]";
-      (* guess bound parity: 20 > max_guess atoms rejected by both *)
-      (let atoms =
-         String.concat " ; " (List.init 20 (Printf.sprintf "x%d"))
-       in
-       Printf.sprintf "{ %s }." atoms);
     ]
+
+(* The non-stratified aggregate corner both oracles reject: pin the CDNL
+   answer exactly, not just through the GL check. *)
+let test_beyond_oracle_aggregate () =
+  let src = "a :- not b. b :- not a. c :- #count { 1 : a } > 0." in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+  (match run (fun () -> Asp.Naive.solve ~max_guess g) with
+  | Rejected _ -> ()
+  | Models _ -> fail "expected Naive to reject the non-stratified aggregate");
+  let models =
+    Asp.Solver.solve g
+    |> List.map (fun m ->
+           List.map Asp.Atom.to_string (Asp.Model.to_list m))
+  in
+  check
+    Alcotest.(list (list string))
+    "models of the non-stratified aggregate program"
+    [ [ "a"; "c" ]; [ "b" ] ]
+    models
+
+(* Programs beyond the oracles' guess caps: Dfs and Naive reject, the
+   CDNL solver must still enumerate. Full enumeration would be 2^20 and
+   2^80 models, so the checks go through [limit] and [satisfiable]. *)
+let test_beyond_guess_cap () =
+  let check_rejected ~what g =
+    (match run (fun () -> Asp.Dfs.solve ~max_guess g) with
+    | Rejected _ -> ()
+    | Models _ -> fail (what ^ ": expected Dfs to reject"));
+    match run (fun () -> Asp.Naive.solve ~max_guess g) with
+    | Rejected _ -> ()
+    | Models _ -> fail (what ^ ": expected Naive to reject")
+  in
+  (* 20 choice atoms: beyond the historical test cap of 18 *)
+  let wide =
+    Printf.sprintf "{ %s }."
+      (String.concat " ; " (List.init 20 (Printf.sprintf "x%d")))
+  in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program wide) in
+  check_rejected ~what:"wide choice" g;
+  check Alcotest.bool "wide choice satisfiable" true (Asp.Solver.satisfiable g);
+  let ms = Asp.Solver.solve ~limit:5 g in
+  check Alcotest.int "wide choice limited count" 5 (List.length ms);
+  assert_stable ~what:"wide choice" wide g ms;
+  (* 40 negative loops (80 guess atoms): beyond even the old production
+     solver's 64-atom fallback cap *)
+  let loops =
+    String.concat "\n"
+      (List.init 40 (fun i ->
+           Printf.sprintf "a%d :- not b%d. b%d :- not a%d." i i i i))
+  in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program loops) in
+  (match run (fun () -> Asp.Dfs.solve g) with
+  | Rejected _ -> ()
+  | Models _ -> fail "expected Dfs to reject 80 guess atoms at its default cap");
+  check Alcotest.bool "80-atom loops satisfiable" true
+    (Asp.Solver.satisfiable g);
+  let ms = Asp.Solver.solve ~limit:5 g in
+  check Alcotest.int "80-atom loops limited count" 5 (List.length ms);
+  assert_stable ~what:"80-atom loops" loops g ms
 
 let suites =
   [
@@ -219,5 +335,9 @@ let suites =
         Alcotest.test_case "100 seeded random programs" `Quick
           test_differential_seeded;
         Alcotest.test_case "corner programs" `Quick test_differential_corners;
+        Alcotest.test_case "non-stratified aggregate beyond the oracles"
+          `Quick test_beyond_oracle_aggregate;
+        Alcotest.test_case "programs beyond the oracle guess caps" `Quick
+          test_beyond_guess_cap;
       ] );
   ]
