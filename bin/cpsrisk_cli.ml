@@ -6,6 +6,7 @@
      matrices    print the qualitative risk matrices (Table I, IEC 61508)
      model       parse, validate and inspect a textual system model
      lint        static analysis of ASP programs and system models
+     analyze     semantic fixpoint analysis of an ASP program
      threats     threat landscape of a typed model
      solve       run the embedded ASP solver on a program file
      score       CVSS v3.1 calculator
@@ -72,9 +73,10 @@ let casestudy_cmd =
 (* pipeline                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let pipeline budget =
+let pipeline budget semantic_lint =
   let artifacts =
-    Cpsrisk.Pipeline.run (Cpsrisk.Pipeline.water_tank_config ?budget ())
+    Cpsrisk.Pipeline.run
+      (Cpsrisk.Pipeline.water_tank_config ?budget ~semantic_lint ())
   in
   print_string (Cpsrisk.Pipeline.render_log artifacts);
   print_newline ();
@@ -93,10 +95,18 @@ let budget_arg =
     & opt (some int) None
     & info [ "budget" ] ~docv:"N" ~doc:"Mitigation budget constraint.")
 
+let semantic_lint_flag =
+  Arg.(
+    value & flag
+    & info [ "semantic-lint" ]
+        ~doc:
+          "Fail fast when the generated full-activation ASP encoding \
+           carries a semantic lint ($(b,L200)+) warning or error.")
+
 let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Run the seven-step Fig. 1 pipeline end to end")
-    Term.(const pipeline $ budget_arg)
+    Term.(const pipeline $ budget_arg $ semantic_lint_flag)
 
 (* ------------------------------------------------------------------ *)
 (* matrices                                                             *)
@@ -155,24 +165,35 @@ let model_cmd =
 (* lint                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let lint_run file builtin json strict list_codes =
+(* the paper's S5 scenario: both mitigations and the worst fault pair, so
+   every predicate family is populated *)
+let builtin_program () =
+  let scenario = List.assoc "S5" Cpsrisk.Water_tank.paper_scenarios in
+  Cpsrisk.Water_tank.asp_program ~scenario ()
+
+let semlint_config threshold =
+  match threshold with
+  | None -> Analysis.Semlint.default_config
+  | Some t -> { Analysis.Semlint.blowup_threshold = t }
+
+let lint_run file builtin json strict list_codes semantic threshold =
   let module D = Lint.Diagnostic in
   if list_codes then begin
     List.iter
       (fun (code, sev, doc) ->
         Printf.printf "%-6s %-8s %s\n" code (D.severity_to_string sev) doc)
-      Lint.codes;
+      (Lint.codes @ Analysis.Semlint.codes);
     0
   end
   else
+    let config = semlint_config threshold in
+    let semantic_diags program =
+      if semantic then Analysis.Semlint.run ~config program else []
+    in
     let diags =
       match builtin, file with
       | Some `Water_tank, _ ->
-          (* the paper's S5 scenario: both mitigations and the worst fault
-             pair, so every predicate family is populated *)
-          let scenario =
-            List.assoc "S5" Cpsrisk.Water_tank.paper_scenarios
-          in
+          let program = builtin_program () in
           let encode atom time_term =
             if atom = "alert" then
               Asp.Lit.Pos (Asp.Atom.make "alert" [ time_term ])
@@ -185,8 +206,9 @@ let lint_run file builtin json strict list_codes =
               Cpsrisk.Water_tank.requirements
           in
           Some
-            (Lint.run_program ~requirements ~encode
-               (Cpsrisk.Water_tank.asp_program ~scenario ()))
+            (D.sort
+               (Lint.run_program ~requirements ~encode program
+               @ semantic_diags program))
       | None, Some file -> (
           match read_file file with
           | exception Sys_error msg ->
@@ -195,7 +217,15 @@ let lint_run file builtin json strict list_codes =
           | src ->
               if Filename.check_suffix file ".model" then
                 Some (Lint.run_model_source src)
-              else Some (Lint.run_source src))
+              else
+                let semantic =
+                  (* a syntax error is already a diagnostic of the
+                     syntactic battery; skip the semantic pass then *)
+                  match Asp.Parser.parse_program src with
+                  | exception Asp.Parser.Error _ -> []
+                  | program -> semantic_diags program
+                in
+                Some (D.sort (Lint.run_source src @ semantic)))
       | None, None ->
           Printf.eprintf
             "lint: a FILE or --builtin water-tank is required\n";
@@ -242,6 +272,25 @@ let list_codes_flag =
     value & flag
     & info [ "list-codes" ] ~doc:"Print the table of diagnostic codes and exit.")
 
+let semantic_flag =
+  Arg.(
+    value & flag
+    & info [ "semantic" ]
+        ~doc:
+          "Also run the fixpoint semantic analysis (codes $(b,L200)+): \
+           inferred-domain dead rules, always-false comparisons, \
+           subsumed/duplicate rules, type clashes, grounding-blowup \
+           prediction.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "blowup-threshold" ] ~docv:"N"
+        ~doc:
+          "Estimated ground instantiations at which $(b,L212) flags a rule \
+           (default 512).")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
@@ -253,11 +302,77 @@ let lint_cmd =
              "Runs the pre-grounding check battery and prints located \
               diagnostics. Exit status is 0 when no error-severity \
               diagnostic was produced, 1 otherwise (with $(b,--strict), \
-              warnings also fail), 2 on usage errors.";
+              warnings also fail), 2 on usage errors. Info-severity \
+              diagnostics never affect the exit status.";
          ])
     Term.(
       const lint_run $ lint_file_arg $ builtin_arg $ json_flag $ strict_flag
-      $ list_codes_flag)
+      $ list_codes_flag $ semantic_flag $ threshold_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_run file builtin json threshold =
+  let module D = Lint.Diagnostic in
+  let program =
+    match builtin, file with
+    | Some `Water_tank, _ -> Some (builtin_program ())
+    | None, Some file -> (
+        match Asp.Parser.parse_program (read_file file) with
+        | exception Sys_error msg ->
+            Printf.eprintf "%s\n" msg;
+            None
+        | exception Asp.Parser.Error msg ->
+            Printf.eprintf "parse error: %s\n" msg;
+            None
+        | p -> Some p)
+    | None, None ->
+        Printf.eprintf "analyze: a FILE or --builtin water-tank is required\n";
+        None
+  in
+  match program with
+  | None -> 2
+  | Some program ->
+      let info = Analysis.Infer.analyze program in
+      let diags =
+        Analysis.Semlint.run_infer ~config:(semlint_config threshold) info
+      in
+      if json then print_endline (D.list_to_json diags)
+      else begin
+        print_string (Analysis.Report.render info);
+        if diags <> [] then begin
+          print_endline "\nsemantic diagnostics:";
+          List.iter (fun d -> print_endline ("  " ^ D.to_string d)) diags
+        end;
+        Printf.printf "\nanalyze: %s\n" (D.summary diags)
+      end;
+      if D.has_errors diags then 1 else 0
+
+let analyze_file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"ASP program to analyze.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Semantic analysis of an ASP program (domains, costs, dead code)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the bottom-up fixpoint abstract interpretation: inferred \
+              per-argument domains and cardinality estimates per predicate, \
+              estimated firings and instantiation cost per rule, \
+              stratification and tightness, and the $(b,L200)+ semantic \
+              diagnostics. Exit status is 1 when an error-severity \
+              diagnostic was produced, 2 on usage errors, 0 otherwise.";
+         ])
+    Term.(
+      const analyze_run $ analyze_file_arg $ builtin_arg $ json_flag
+      $ threshold_arg)
 
 (* ------------------------------------------------------------------ *)
 (* threats                                                              *)
@@ -703,8 +818,8 @@ let main_cmd =
     (Cmd.info "cpsrisk" ~version:"1.0.0" ~doc)
     [
       casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; lint_cmd;
-      threats_cmd; solve_cmd; score_cmd; attackgraph_cmd; dot_cmd; quant_cmd;
-      sweep_cmd;
+      analyze_cmd; threats_cmd; solve_cmd; score_cmd; attackgraph_cmd;
+      dot_cmd; quant_cmd; sweep_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,381 @@
+module Term = Asp.Term
+module TermSet = Set.Make (Asp.Term)
+
+type bound = NegInf | Fin of int | PosInf
+
+type t =
+  | Bot
+  | Consts of TermSet.t
+  | Interval of bound * bound
+  | Top
+
+(* finite-set cap: beyond this a set collapses to its integer hull (all
+   ints) or Top — keeps the lattice chains short without losing the
+   precision that matters (catalog constants, small integer spaces) *)
+let max_consts = 512
+
+(* pointwise-arithmetic cap: |a| * |b| beyond this falls back to interval
+   arithmetic over the hulls *)
+let max_pointwise = 1024
+
+let bot = Bot
+let top = Top
+
+(* ------------------------------------------------------------------ *)
+(* Bound helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bound_le a b =
+  match (a, b) with
+  | NegInf, _ | _, PosInf -> true
+  | _, NegInf | PosInf, _ -> false
+  | Fin x, Fin y -> x <= y
+
+let bound_min a b = if bound_le a b then a else b
+let bound_max a b = if bound_le a b then b else a
+
+let bound_succ = function Fin n -> Fin (n + 1) | b -> b
+let bound_pred = function Fin n -> Fin (n - 1) | b -> b
+
+let bound_add a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin x, Fin y -> Fin (x + y)
+
+let bound_neg = function NegInf -> PosInf | PosInf -> NegInf | Fin n -> Fin (-n)
+
+let bound_to_string = function
+  | NegInf -> "-inf"
+  | PosInf -> "+inf"
+  | Fin n -> string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Construction and views                                              *)
+(* ------------------------------------------------------------------ *)
+
+let interval lo hi = if bound_le lo hi then Interval (lo, hi) else Bot
+
+let of_term t =
+  (* Term.eval raises on arithmetic over non-integers or division by
+     zero; such a term grounds nothing, so Bot is the precise answer *)
+  if not (Term.is_ground t) then Top
+  else
+    match Term.eval t with
+    | t' -> Consts (TermSet.singleton t')
+    | exception Invalid_argument _ -> Bot
+
+let is_int = function Term.Int _ -> true | _ -> false
+
+let set_int_hull s =
+  TermSet.fold
+    (fun t acc ->
+      match (t, acc) with
+      | Term.Int n, None -> Some (n, n)
+      | Term.Int n, Some (lo, hi) -> Some (min lo n, max hi n)
+      | _ -> acc)
+    s None
+
+let all_ints = function
+  | Bot | Interval _ -> true
+  | Consts s -> TermSet.for_all is_int s
+  | Top -> false
+
+let has_non_int = function
+  | Consts s -> TermSet.exists (fun t -> not (is_int t)) s
+  | Bot | Interval _ | Top -> false
+
+let int_bounds = function
+  | Interval (lo, hi) -> Some (lo, hi)
+  | Consts s when TermSet.for_all is_int s -> (
+      match set_int_hull s with
+      | Some (lo, hi) -> Some (Fin lo, Fin hi)
+      | None -> None)
+  | Bot | Consts _ | Top -> None
+
+let is_empty = function
+  | Bot -> true
+  | Consts s -> TermSet.is_empty s
+  | Interval _ | Top -> false
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Consts x, Consts y -> TermSet.equal x y
+  | Interval (a1, a2), Interval (b1, b2) -> a1 = b1 && a2 = b2
+  | _ -> false
+
+let mem t d =
+  match d with
+  | Bot -> false
+  | Top -> true
+  | Consts s -> TermSet.mem t s
+  | Interval (lo, hi) -> (
+      match t with
+      | Term.Int n -> bound_le lo (Fin n) && bound_le (Fin n) hi
+      | _ -> false)
+
+let card = function
+  | Bot -> Some 0
+  | Consts s -> Some (TermSet.cardinal s)
+  | Interval (Fin lo, Fin hi) -> Some (hi - lo + 1)
+  | Interval _ | Top -> None
+
+let singleton = function
+  | Consts s when TermSet.cardinal s = 1 -> Some (TermSet.choose s)
+  | Interval (Fin lo, Fin hi) when lo = hi -> Some (Term.Int lo)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lattice operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* collapse an oversized finite set *)
+let normalize_set s =
+  if TermSet.cardinal s <= max_consts then Consts s
+  else if TermSet.for_all is_int s then
+    match set_int_hull s with
+    | Some (lo, hi) -> Interval (Fin lo, Fin hi)
+    | None -> Bot
+  else Top
+
+let set_to_interval s =
+  if TermSet.for_all is_int s then
+    match set_int_hull s with
+    | Some (lo, hi) -> Some (Fin lo, Fin hi)
+    | None -> None
+  else None
+
+let join a b =
+  match (a, b) with
+  | Bot, d | d, Bot -> d
+  | Top, _ | _, Top -> Top
+  | Consts x, Consts y -> normalize_set (TermSet.union x y)
+  | (Consts s, Interval (lo, hi) | Interval (lo, hi), Consts s) -> (
+      match set_to_interval s with
+      | Some (slo, shi) -> Interval (bound_min lo slo, bound_max hi shi)
+      | None -> Top)
+  | Interval (a1, a2), Interval (b1, b2) ->
+      Interval (bound_min a1 b1, bound_max a2 b2)
+
+let widen old next =
+  match (old, join old next) with
+  | Interval (olo, ohi), Interval (jlo, jhi) ->
+      let lo = if bound_le olo jlo then jlo else NegInf in
+      let hi = if bound_le jhi ohi then jhi else PosInf in
+      Interval (lo, hi)
+  | _, joined -> joined
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, d | d, Top -> d
+  | Consts x, Consts y ->
+      let i = TermSet.inter x y in
+      if TermSet.is_empty i then Bot else Consts i
+  | (Consts s, Interval (lo, hi) | Interval (lo, hi), Consts s) ->
+      let f =
+        TermSet.filter
+          (fun t ->
+            match t with
+            | Term.Int n -> bound_le lo (Fin n) && bound_le (Fin n) hi
+            | _ -> false)
+          s
+      in
+      if TermSet.is_empty f then Bot else Consts f
+  | Interval (a1, a2), Interval (b1, b2) ->
+      interval (bound_max a1 b1) (bound_min a2 b2)
+
+(* ------------------------------------------------------------------ *)
+(* Abstract arithmetic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let any_int = Interval (NegInf, PosInf)
+
+(* hull of |x| over [lo, hi] *)
+let abs_hull lo hi =
+  match (lo, hi) with
+  | Fin l, Fin h ->
+      if l >= 0 then (Fin l, Fin h)
+      else if h <= 0 then (Fin (-h), Fin (-l))
+      else (Fin 0, Fin (max (-l) h))
+  | _ ->
+      if bound_le (Fin 0) lo then (lo, hi)
+      else if bound_le hi (Fin 0) then (bound_neg hi, bound_neg lo)
+      else (Fin 0, PosInf)
+
+let mul_hull (a1, a2) (b1, b2) =
+  let candidates =
+    List.concat_map
+      (fun x ->
+        List.map
+          (fun y ->
+            match (x, y) with
+            | Fin a, Fin b -> Fin (a * b)
+            | (NegInf | PosInf), Fin 0 | Fin 0, (NegInf | PosInf) -> Fin 0
+            | NegInf, NegInf | PosInf, PosInf -> PosInf
+            | NegInf, PosInf | PosInf, NegInf -> NegInf
+            | (NegInf as i), Fin n | Fin n, (NegInf as i) ->
+                if n > 0 then i else PosInf
+            | (PosInf as i), Fin n | Fin n, (PosInf as i) ->
+                if n > 0 then i else NegInf)
+          [ b1; b2 ])
+      [ a1; a2 ]
+  in
+  ( List.fold_left bound_min PosInf candidates,
+    List.fold_left bound_max NegInf candidates )
+
+let interval_arith op (a1, a2) (b1, b2) =
+  match op with
+  | "+" -> interval (bound_add a1 b1) (bound_add a2 b2)
+  | "-" -> interval (bound_add a1 (bound_neg b2)) (bound_add a2 (bound_neg b1))
+  | "*" ->
+      let lo, hi = mul_hull (a1, a2) (b1, b2) in
+      interval lo hi
+  | "min" -> interval (bound_min a1 b1) (bound_min a2 b2)
+  | "max" -> interval (bound_max a1 b1) (bound_max a2 b2)
+  | "/" | "mod" -> (
+      (* |a / b| <= |a| and |a mod b| < |b| <= ... bound both by the
+         dividend's magnitude hull (sound for OCaml's truncated division
+         and dividend-signed remainder; division by zero never produces
+         an instance) *)
+      let _, ahi = abs_hull a1 a2 in
+      match ahi with
+      | Fin m -> interval (Fin (-m)) (Fin m)
+      | _ -> any_int)
+  | _ -> Top
+
+let rec arith op args =
+  match (op, args) with
+  | _, [] -> Top
+  | "abs", [ a ] -> (
+      match int_bounds a with
+      | Some (lo, hi) ->
+          let lo', hi' = abs_hull lo hi in
+          interval lo' hi'
+      | None -> if is_empty a then Bot else if all_ints a then any_int else Top)
+  | "-", [ a ] -> arith "-" [ Consts (TermSet.singleton (Term.Int 0)); a ]
+  | op, [ a; b ] -> (
+      if is_empty a || is_empty b then Bot
+      else
+        let pointwise =
+          match (a, b) with
+          | Consts x, Consts y
+            when TermSet.cardinal x * TermSet.cardinal y <= max_pointwise
+                 && TermSet.for_all is_int x
+                 && TermSet.for_all is_int y -> (
+              let acc = ref TermSet.empty in
+              let ok = ref true in
+              TermSet.iter
+                (fun tx ->
+                  TermSet.iter
+                    (fun ty ->
+                      match Term.eval (Term.Func (op, [ tx; ty ])) with
+                      | t -> acc := TermSet.add t !acc
+                      | exception Invalid_argument _ ->
+                          (* division by zero: that pair grounds nothing *)
+                          if op <> "/" && op <> "mod" then ok := false)
+                    y)
+                x;
+              if !ok then Some (normalize_set !acc) else None)
+          | _ -> None
+        in
+        match pointwise with
+        | Some d -> d
+        | None -> (
+            match (int_bounds a, int_bounds b) with
+            | Some ia, Some ib -> interval_arith op ia ib
+            | _ ->
+                (* a non-integer operand can never evaluate; Top keeps the
+                   over-approximation (the clash is L206's business) *)
+                Top))
+  | _ -> Top
+
+(* ------------------------------------------------------------------ *)
+(* Abstract comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cmp op a b =
+  if is_empty a || is_empty b then None
+  else
+    let int_decided () =
+      match (int_bounds a, int_bounds b) with
+      | Some (alo, ahi), Some (blo, bhi) -> (
+          let lt_all = bound_le (bound_succ ahi) blo && ahi <> PosInf in
+          let le_all = bound_le ahi blo in
+          let gt_all = bound_le (bound_succ bhi) alo && bhi <> PosInf in
+          let ge_all = bound_le bhi alo in
+          match op with
+          | Asp.Lit.Lt ->
+              if lt_all then Some true else if ge_all then Some false else None
+          | Asp.Lit.Le ->
+              if le_all then Some true else if gt_all then Some false else None
+          | Asp.Lit.Gt ->
+              if gt_all then Some true else if le_all then Some false else None
+          | Asp.Lit.Ge ->
+              if ge_all then Some true else if lt_all then Some false else None
+          | Asp.Lit.Eq | Asp.Lit.Ne -> None)
+      | _ -> None
+    in
+    match op with
+    | Asp.Lit.Eq | Asp.Lit.Ne -> (
+        let value =
+          match (singleton a, singleton b) with
+          | Some x, Some y -> Some (Term.equal x y)
+          | _ -> if is_empty (meet a b) then Some false else None
+        in
+        match (op, value) with
+        | Asp.Lit.Eq, v -> v
+        | Asp.Lit.Ne, Some v -> Some (not v)
+        | _ -> None)
+    | _ -> int_decided ()
+
+let restrict op d bound_dom =
+  if is_empty bound_dom then Bot
+  else
+    match op with
+    | Asp.Lit.Eq -> meet d bound_dom
+    | Asp.Lit.Ne -> (
+        match (singleton bound_dom, d) with
+        | Some t, Consts s ->
+            let s' = TermSet.remove t s in
+            if TermSet.is_empty s' then Bot else Consts s'
+        | _ -> d)
+    | Asp.Lit.Lt | Asp.Lit.Le | Asp.Lit.Gt | Asp.Lit.Ge -> (
+        match int_bounds bound_dom with
+        | None -> d
+        | Some (blo, bhi) ->
+            let window =
+              match op with
+              | Asp.Lit.Lt -> interval NegInf (bound_pred bhi)
+              | Asp.Lit.Le -> interval NegInf bhi
+              | Asp.Lit.Gt -> interval (bound_succ blo) PosInf
+              | Asp.Lit.Ge -> interval blo PosInf
+              | _ -> Top
+            in
+            (* only integers can satisfy an order comparison against an
+               integer domain when [d] itself is integral; a mixed [d]
+               keeps its non-integer members (term order still applies) *)
+            if all_ints d then meet d window else d)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_string = function
+  | Bot -> "empty"
+  | Top -> "any"
+  | Interval (lo, hi) ->
+      Printf.sprintf "[%s..%s]" (bound_to_string lo) (bound_to_string hi)
+  | Consts s ->
+      let elems = TermSet.elements s in
+      let n = List.length elems in
+      if n <= 6 then
+        Printf.sprintf "{%s}" (String.concat "," (List.map Term.to_string elems))
+      else
+        Printf.sprintf "{%s,… %d values}"
+          (String.concat ","
+             (List.map Term.to_string (List.filteri (fun i _ -> i < 4) elems)))
+          n
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

@@ -1,0 +1,81 @@
+(** Abstract value domains for predicate arguments: a finite set of ground
+    terms, an integer interval, or ⊤ — the lattice the {!Infer} fixpoint
+    computes over. Every operation is a sound over-approximation: the
+    concrete set of terms an argument position can take is always a subset
+    of its abstract domain, so emptiness ([Bot]) proves underivability. *)
+
+module TermSet : Set.S with type elt = Asp.Term.t
+
+type bound = NegInf | Fin of int | PosInf
+
+type t =
+  | Bot  (** no value — the position is never populated *)
+  | Consts of TermSet.t  (** finite non-empty set of ground terms *)
+  | Interval of bound * bound
+      (** integers in [lo, hi]; at least one bound infinite or the set
+          wider than the finite-set cap *)
+  | Top  (** any term *)
+
+val bot : t
+val top : t
+
+val of_term : Asp.Term.t -> t
+(** Singleton domain of a ground term; [Top] for non-ground terms and
+    [Bot] for ground terms whose arithmetic cannot evaluate. *)
+
+val interval : bound -> bound -> t
+(** Normalizes an empty interval to [Bot]. *)
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+
+val mem : Asp.Term.t -> t -> bool
+(** Membership of a ground term. *)
+
+val join : t -> t -> t
+(** Least upper bound; finite sets exceeding the cap collapse to their
+    integer hull (all-int) or [Top]. *)
+
+val widen : t -> t -> t
+(** [widen old next]: like [join], but an interval bound still growing
+    jumps straight to its infinity — the termination guarantee of the
+    {!Infer} fixpoint. *)
+
+val meet : t -> t -> t
+(** Greatest lower bound (exact on every representable pair). *)
+
+val card : t -> int option
+(** Number of concrete terms; [None] when unbounded ([Top], infinite
+    interval). *)
+
+val singleton : t -> Asp.Term.t option
+(** The term, when the domain provably holds exactly one value. *)
+
+val all_ints : t -> bool
+(** Every member is an integer ([Bot] included). *)
+
+val has_non_int : t -> bool
+(** The domain provably contains a non-integer term — the witness the
+    L206 producer/consumer type-clash check needs. [Top] answers [false]
+    (unknown is not proof). *)
+
+val int_bounds : t -> (bound * bound) option
+(** Interval view when every member is an integer; [None] otherwise
+    (including [Bot]). *)
+
+(** Abstract interval/set arithmetic for the function symbols
+    {!Asp.Term.eval} interprets. Non-integer operands yield [Top] (the
+    grounder raises on them; the analysis stays conservative). *)
+val arith : string -> t list -> t
+
+(** Abstract comparison: [Some true]/[Some false] when the comparison is
+    decided for {e every} pair of member values, [None] otherwise. *)
+val cmp : Asp.Lit.cmp -> t -> t -> bool option
+
+val restrict : Asp.Lit.cmp -> t -> t -> t
+(** [restrict op d bound_dom] refines [d] to the members that can satisfy
+    [x op y] for at least one [y] in [bound_dom] — the comparison-driven
+    narrowing applied to rule-variable domains. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

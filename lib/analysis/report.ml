@@ -1,0 +1,101 @@
+module Deps = Asp.Deps
+module Rule = Asp.Rule
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3g" x
+
+let sig_str (p, n) = Printf.sprintf "%s/%d" p n
+
+let signature_table t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %10s  %-10s %s\n" "predicate" "card" "status"
+       "argument domains");
+  List.iter
+    (fun (p : Infer.pred_info) ->
+      let card =
+        (if p.Infer.exact then "=" else "~") ^ fnum p.Infer.card
+      in
+      let status =
+        if not p.Infer.derivable then "dead"
+        else if not p.Infer.consumed then "unused"
+        else if not p.Infer.defined then "input"
+        else "ok"
+      in
+      let doms =
+        String.concat " "
+          (List.mapi
+             (fun i d -> Printf.sprintf "%d:%s" (i + 1) (Domain.to_string d))
+             (Array.to_list p.Infer.doms))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %10s  %-10s %s\n" (sig_str p.Infer.psig) card
+           status doms))
+    (Infer.preds t);
+  Buffer.contents buf
+
+let rule_costs t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%4s %10s %10s  %s\n" "#" "firings" "cost" "rule");
+  List.iter
+    (fun (ri : Infer.rule_info) ->
+      let note =
+        match ri.Infer.dead with
+        | Some c -> "  [dead: " ^ Infer.dead_cause_to_string c ^ "]"
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d %10s %10s  %s%s\n" ri.Infer.index
+           (fnum ri.Infer.firings) (fnum ri.Infer.cost)
+           (Rule.to_string ri.Infer.rule) note))
+    (Infer.rules t);
+  Buffer.contents buf
+
+let summary t =
+  let buf = Buffer.create 256 in
+  let preds = Infer.preds t in
+  let rules = Infer.rules t in
+  let dead = List.filter (fun ri -> ri.Infer.dead <> None) rules in
+  let underivable =
+    List.filter (fun (p : Infer.pred_info) -> not p.Infer.derivable) preds
+  in
+  let deps = Deps.of_program (Infer.program t) in
+  Buffer.add_string buf
+    (Printf.sprintf "predicates: %d (%d underivable), rules: %d (%d dead)\n"
+       (List.length preds) (List.length underivable) (List.length rules)
+       (List.length dead));
+  Buffer.add_string buf
+    (Printf.sprintf "constant universe: %d, total estimated grounding cost: %s\n"
+       (Infer.const_universe t)
+       (fnum (Infer.total_cost t)));
+  (match Deps.strata deps with
+  | Some strata ->
+      let n =
+        List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 strata
+      in
+      Buffer.add_string buf (Printf.sprintf "stratified: yes (%d strata)\n" n)
+  | None ->
+      let cyc =
+        List.concat (Deps.negative_cycle_sccs deps) |> List.map sig_str
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "stratified: no (negation cycle through %s)\n"
+           (String.concat ", " cyc)));
+  (match Deps.positive_cycle_sccs deps with
+  | [] -> Buffer.add_string buf "tight: yes\n"
+  | sccs ->
+      let cyc = List.concat sccs |> List.map sig_str in
+      Buffer.add_string buf
+        (Printf.sprintf "tight: no (positive cycle through %s)\n"
+           (String.concat ", " cyc)));
+  Buffer.contents buf
+
+let render t =
+  String.concat "\n"
+    [
+      summary t;
+      "inferred signatures:\n" ^ signature_table t;
+      "rule estimates:\n" ^ rule_costs t;
+    ]

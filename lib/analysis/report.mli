@@ -1,0 +1,19 @@
+(** Human-readable rendering of an {!Infer} analysis: the inferred
+    signature table, per-rule cost estimates and a program summary —
+    what [cpsrisk analyze] and [cpsrisk lint --semantic] print. *)
+
+val signature_table : Infer.t -> string
+(** One line per predicate: signature, cardinality estimate ([=n] exact,
+    [~n] estimated), status flags and per-argument abstract domains. *)
+
+val rule_costs : Infer.t -> string
+(** One line per rule: index, estimated firings and instantiation cost,
+    dead verdict, source text. *)
+
+val summary : Infer.t -> string
+(** Counts, total estimated grounding cost, stratification (strata count
+    or the negative-cycle predicates) and tightness (positive-cycle
+    predicates when not tight). *)
+
+val render : Infer.t -> string
+(** [summary] + [signature_table] + [rule_costs], section-headed. *)

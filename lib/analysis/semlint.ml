@@ -1,0 +1,443 @@
+module D = Diagnostic
+module Term = Asp.Term
+module Atom = Asp.Atom
+module Lit = Asp.Lit
+module Rule = Asp.Rule
+module Program = Asp.Program
+
+type config = { blowup_threshold : float }
+
+let default_config = { blowup_threshold = 512.0 }
+
+let sig_to_string (name, arity) = Printf.sprintf "%s/%d" name arity
+
+let rule_pos r =
+  Option.map (fun { Rule.line; col } -> { D.line; col }) (Rule.pos r)
+
+let rule_subject r = Rule.to_string r
+
+(* ------------------------------------------------------------------ *)
+(* L200/L201/L207/L208: dead rules, by cause                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_dead (ri : Infer.rule_info) =
+  match ri.Infer.dead with
+  | None -> []
+  | Some cause ->
+      let emit code =
+        [
+          D.warning ~code ?pos:(rule_pos ri.Infer.rule)
+            ~subject:(rule_subject ri.Infer.rule)
+            "rule can never fire: %s"
+            (Infer.dead_cause_to_string cause);
+        ]
+      in
+      (match cause with
+      | Infer.Empty_arg _ -> emit "L200"
+      | Infer.False_cmp _ -> emit "L201"
+      | Infer.Disjoint_var _ -> emit "L207"
+      | Infer.False_agg _ -> emit "L208"
+      (* predicate-level underivability is the syntactic layer's turf
+         (L003 undefined, L007 underivable) — don't double-report *)
+      | Infer.Undefined_pred _ | Infer.Underivable_pred _ -> [])
+
+(* L202: comparisons that always hold — redundant, worth simplifying *)
+let check_true_cmps (ri : Infer.rule_info) =
+  List.map
+    (fun lit ->
+      D.info ~code:"L202" ?pos:(rule_pos ri.Infer.rule)
+        ~subject:(rule_subject ri.Infer.rule)
+        "comparison %s is always true under inferred domains" (Lit.to_string lit))
+    ri.Infer.cmp_true
+
+(* L209: a choice whose every element condition is unsatisfiable *)
+let check_choice (ri : Infer.rule_info) =
+  if ri.Infer.dead <> None || ri.Infer.dead_elems = [] then []
+  else if ri.Infer.live_elems > 0 then []
+  else
+    [
+      D.warning ~code:"L209" ?pos:(rule_pos ri.Infer.rule)
+        ~subject:(rule_subject ri.Infer.rule)
+        "choice rule has no satisfiable element (%d dead)"
+        (List.length ri.Infer.dead_elems);
+    ]
+
+(* L212: predicted grounding blowup *)
+let check_blowup cfg (ri : Infer.rule_info) =
+  if ri.Infer.dead <> None || ri.Infer.cost < cfg.blowup_threshold then []
+  else
+    [
+      D.warning ~code:"L212" ?pos:(rule_pos ri.Infer.rule)
+        ~subject:(rule_subject ri.Infer.rule)
+        "estimated ~%.0f ground instances (threshold %.0f); grounding may blow \
+         up"
+        ri.Infer.cost cfg.blowup_threshold;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* L203/L204: duplicate and subsumed rules                             *)
+(* ------------------------------------------------------------------ *)
+
+(* canonical alpha-renaming: variables numbered by first occurrence; the
+   renamed rule's text is the duplicate key ('!' cannot appear in parsed
+   variable names, so fresh names never collide with real ones) *)
+let alpha_key r =
+  let vars = Rule.vars r in
+  let subst =
+    List.mapi (fun i v -> (v, Term.Var (Printf.sprintf "V!%d" i))) vars
+  in
+  Rule.to_string (Rule.substitute subst r)
+
+let check_duplicates rules =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun r ->
+      match r with
+      | Rule.Rule { body = _ :: _; _ } | Rule.Rule { head = Rule.Choice _; _ }
+        -> (
+          let key = alpha_key r in
+          match Hashtbl.find_opt seen key with
+          | Some first ->
+              [
+                D.warning ~code:"L203" ?pos:(rule_pos r)
+                  ~subject:(rule_subject r)
+                  "rule duplicates an earlier rule%s (up to variable renaming)"
+                  (match rule_pos first with
+                  | Some p -> Printf.sprintf " at %s" (D.pos_to_string p)
+                  | None -> "")
+              ]
+          | None ->
+              Hashtbl.replace seen key r;
+              [])
+      | _ -> [])
+    rules
+
+(* one-way matching: pattern variables bind to subject terms *)
+let rec match_term subst pat t =
+  match (pat, t) with
+  | Term.Var v, _ -> (
+      match List.assoc_opt v subst with
+      | Some b -> if Term.equal b t then Some subst else None
+      | None -> Some ((v, t) :: subst))
+  | Term.Const a, Term.Const b when a = b -> Some subst
+  | Term.Int a, Term.Int b when a = b -> Some subst
+  | Term.Str a, Term.Str b when a = b -> Some subst
+  | Term.Func (f, fa), Term.Func (g, ga)
+    when f = g && List.length fa = List.length ga ->
+      List.fold_left2
+        (fun acc p t -> Option.bind acc (fun s -> match_term s p t))
+        (Some subst) fa ga
+  | _ -> None
+
+let match_atom subst (a : Atom.t) (b : Atom.t) =
+  if a.Atom.pred = b.Atom.pred && Atom.arity a = Atom.arity b then
+    List.fold_left2
+      (fun acc p t -> Option.bind acc (fun s -> match_term s p t))
+      (Some subst) a.Atom.args b.Atom.args
+  else None
+
+let match_lit subst l1 l2 =
+  match (l1, l2) with
+  | Lit.Pos a, Lit.Pos b | Lit.Neg a, Lit.Neg b -> match_atom subst a b
+  | Lit.Cmp (a1, op1, b1), Lit.Cmp (a2, op2, b2) when op1 = op2 ->
+      Option.bind (match_term subst a1 a2) (fun s -> match_term s b1 b2)
+  | _ -> None
+
+(* theta-subsumption: every literal of the general body matches some
+   literal of the specific body under one consistent substitution *)
+let rec cover subst gen_body spec_body =
+  match gen_body with
+  | [] -> true
+  | l :: rest ->
+      List.exists
+        (fun l2 ->
+          match match_lit subst l l2 with
+          | Some s -> cover s rest spec_body
+          | None -> false)
+        spec_body
+
+let has_aggregate body =
+  List.exists (function Lit.Count _ -> true | _ -> false) body
+
+let subsumes r1 r2 =
+  match (r1, r2) with
+  | ( Rule.Rule { head = h1; body = b1; _ },
+      Rule.Rule { head = h2; body = b2; _ } )
+    when not (has_aggregate b1 || has_aggregate b2) -> (
+      match (h1, h2) with
+      | Rule.Falsity, Rule.Falsity -> cover [] b1 b2
+      | Rule.Head a1, Rule.Head a2 -> (
+          match match_atom [] a1 a2 with
+          | Some s -> cover s b1 b2
+          | None -> false)
+      | _ -> false)
+  | _ -> false
+
+let max_subsume_body = 6
+
+let check_subsumption rules =
+  let eligible =
+    List.filter
+      (fun r ->
+        match r with
+        | Rule.Rule { head = Rule.Head _ | Rule.Falsity; body; _ } ->
+            List.length body <= max_subsume_body
+        | _ -> false)
+      rules
+  in
+  (* group by head signature (constraints share one bucket) so the
+     pairwise scan stays near-linear on fact-heavy programs *)
+  let bucket r =
+    match r with
+    | Rule.Rule { head = Rule.Head a; _ } -> Some (Atom.signature a)
+    | Rule.Rule { head = Rule.Falsity; _ } -> Some ("", -1)
+    | _ -> None
+  in
+  let groups = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match bucket r with
+      | Some k ->
+          Hashtbl.replace groups k (r :: Option.value ~default:[] (Hashtbl.find_opt groups k))
+      | None -> ())
+    eligible;
+  Hashtbl.fold
+    (fun _ group acc ->
+      let group = List.rev group in
+      List.concat_map
+        (fun r2 ->
+          let by =
+            List.find_opt
+              (fun r1 -> r1 != r2 && subsumes r1 r2 && not (subsumes r2 r1))
+              group
+          in
+          match by with
+          | None -> []
+          | Some r1 ->
+              [
+                D.warning ~code:"L204" ?pos:(rule_pos r2)
+                  ~subject:(rule_subject r2)
+                  "rule is subsumed by the more general rule: %s"
+                  (Rule.to_string r1);
+              ])
+        group
+      @ acc)
+    groups []
+
+(* ------------------------------------------------------------------ *)
+(* L205: derivable but never consumed (transitively)                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec lit_sigs acc lit =
+  match lit with
+  | Lit.Pos a | Lit.Neg a -> Atom.signature a :: acc
+  | Lit.Cmp _ -> acc
+  | Lit.Count { cond; _ } -> List.fold_left lit_sigs acc cond
+
+let check_unconsumed infer =
+  let prog = Infer.program infer in
+  let shows = Program.shows prog in
+  if shows = [] then [] (* an empty #show list shows (consumes) everything *)
+  else begin
+    let rules = Program.rules prog in
+    (* roots: shown predicates plus everything a constraint or weak
+       constraint requires *)
+    let roots =
+      List.fold_left
+        (fun acc r ->
+          match r with
+          | Rule.Rule { head = Rule.Falsity; body; _ }
+          | Rule.Weak { body; _ } ->
+              List.fold_left lit_sigs acc body
+          | _ -> acc)
+        shows rules
+    in
+    (* defining rules, indexed by head signature *)
+    let defs = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun a ->
+            let s = Atom.signature a in
+            Hashtbl.replace defs s
+              (r :: Option.value ~default:[] (Hashtbl.find_opt defs s)))
+          (Rule.head_atoms r))
+      rules;
+    let reached = Hashtbl.create 64 in
+    let rec visit s =
+      if not (Hashtbl.mem reached s) then begin
+        Hashtbl.replace reached s ();
+        List.iter
+          (fun r ->
+            let deps =
+              List.fold_left lit_sigs [] (Rule.body r)
+              |> fun acc ->
+              match r with
+              | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+                  List.fold_left
+                    (fun acc (e : Rule.choice_elem) ->
+                      List.fold_left lit_sigs acc e.Rule.cond)
+                    acc elems
+              | _ -> acc
+            in
+            List.iter visit deps)
+          (Option.value ~default:[] (Hashtbl.find_opt defs s))
+      end
+    in
+    List.iter visit roots;
+    List.filter_map
+      (fun (info : Infer.pred_info) ->
+        if
+          info.Infer.defined && info.Infer.derivable
+          && not (Hashtbl.mem reached info.Infer.psig)
+        then
+          Some
+            (D.info ~code:"L205" ~subject:(sig_to_string info.Infer.psig)
+               "predicate is derivable but nothing shown or required ever \
+                consumes it")
+        else None)
+      (Infer.preds infer)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* L206: non-integers flowing into arithmetic                          *)
+(* ------------------------------------------------------------------ *)
+
+(* variables appearing inside an interpreted arithmetic function *)
+let rec arith_vars in_arith acc t =
+  match t with
+  | Term.Var v -> if in_arith then v :: acc else acc
+  | Term.Func (op, args) ->
+      let inside = List.mem op Term.arith_ops in
+      List.fold_left (arith_vars inside) acc args
+  | Term.Const _ | Term.Int _ | Term.Str _ -> acc
+
+let rule_arith_vars r =
+  let atom acc (a : Atom.t) =
+    List.fold_left (arith_vars false) acc a.Atom.args
+  in
+  let rec lit acc l =
+    match l with
+    | Lit.Pos a | Lit.Neg a -> atom acc a
+    | Lit.Cmp (t1, _, t2) ->
+        arith_vars false (arith_vars false acc t1) t2
+    | Lit.Count { kind; terms; cond; bound; _ } ->
+        let acc = arith_vars false acc bound in
+        let acc =
+          (* #sum adds its first tuple component, so it must be integer *)
+          match (kind, terms) with
+          | Lit.Summation, w :: _ -> (
+              match w with Term.Var v -> v :: acc | _ -> arith_vars false acc w)
+          | _ -> acc
+        in
+        let acc = List.fold_left (arith_vars false) acc terms in
+        List.fold_left lit acc cond
+  in
+  let body_vars = List.fold_left lit [] (Rule.body r) in
+  match r with
+  | Rule.Rule { head = Rule.Head a; _ } -> atom body_vars a
+  | Rule.Rule { head = Rule.Choice { elems; _ }; _ } ->
+      List.fold_left
+        (fun acc (e : Rule.choice_elem) ->
+          List.fold_left lit (atom acc e.Rule.atom) e.Rule.cond)
+        body_vars elems
+  | Rule.Rule { head = Rule.Falsity; _ } -> body_vars
+  | Rule.Weak { weight; terms; _ } ->
+      let acc =
+        match weight with
+        | Term.Var v -> v :: body_vars
+        | _ -> arith_vars false body_vars weight
+      in
+      List.fold_left (arith_vars false) acc terms
+
+let check_type_clash (ri : Infer.rule_info) =
+  if ri.Infer.dead <> None then []
+  else
+    let suspects = List.sort_uniq compare (rule_arith_vars ri.Infer.rule) in
+    List.filter_map
+      (fun v ->
+        match List.assoc_opt v ri.Infer.env with
+        | Some d when Domain.has_non_int d ->
+            Some
+              (D.warning ~code:"L206" ?pos:(rule_pos ri.Infer.rule)
+                 ~subject:(rule_subject ri.Infer.rule)
+                 "variable %s is used arithmetically but its domain %s \
+                  contains non-integers"
+                 v (Domain.to_string d))
+        | _ -> None)
+      suspects
+
+(* ------------------------------------------------------------------ *)
+(* L210/L211: degenerate argument, repeated literal                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_degenerate infer =
+  List.concat_map
+    (fun (info : Infer.pred_info) ->
+      if info.Infer.exact || (not info.Infer.derivable) || info.Infer.card <= 1.5
+      then []
+      else
+        Array.to_list info.Infer.doms
+        |> List.mapi (fun i d -> (i, Domain.singleton d))
+        |> List.filter_map (fun (i, s) ->
+               match s with
+               | Some v ->
+                   Some
+                     (D.info ~code:"L210"
+                        ~subject:(sig_to_string info.Infer.psig)
+                        "argument %d always takes the single value %s" (i + 1)
+                        (Term.to_string v))
+               | None -> None))
+    (Infer.preds infer)
+
+let check_repeated_lits r =
+  let body = Rule.body r in
+  let rec dups seen acc = function
+    | [] -> List.rev acc
+    | l :: rest ->
+        let key = Lit.to_string l in
+        if List.mem key seen then dups seen (l :: acc) rest
+        else dups (key :: seen) acc rest
+  in
+  List.map
+    (fun l ->
+      D.info ~code:"L211" ?pos:(rule_pos r) ~subject:(rule_subject r)
+        "literal %s is repeated in the body" (Lit.to_string l))
+    (dups [] [] body)
+
+(* ------------------------------------------------------------------ *)
+
+let codes =
+  [
+    ("L200", D.Warning, "rule can never fire (argument outside the producer's inferred domain)");
+    ("L201", D.Warning, "comparison always false under inferred domains");
+    ("L202", D.Info, "comparison always true under inferred domains (redundant)");
+    ("L203", D.Warning, "rule duplicates an earlier rule (up to variable renaming)");
+    ("L204", D.Warning, "rule subsumed by a more general rule");
+    ("L205", D.Info, "predicate derivable but never consumed by a shown or required predicate");
+    ("L206", D.Warning, "non-integer values flow into arithmetic");
+    ("L207", D.Warning, "variable joins argument positions with disjoint domains");
+    ("L208", D.Warning, "aggregate bound can never be satisfied");
+    ("L209", D.Warning, "choice rule has no satisfiable element");
+    ("L210", D.Info, "argument position always carries a single value");
+    ("L211", D.Info, "literal repeated in a rule body");
+    ("L212", D.Warning, "estimated grounding size exceeds the configured threshold");
+  ]
+
+let run_infer ?(config = default_config) infer =
+  let rules = Program.rules (Infer.program infer) in
+  let per_rule =
+    List.concat_map
+      (fun ri ->
+        check_dead ri @ check_true_cmps ri @ check_choice ri
+        @ check_blowup config ri @ check_type_clash ri)
+      (Infer.rules infer)
+  in
+  let syntactic =
+    check_duplicates rules @ check_subsumption rules
+    @ List.concat_map check_repeated_lits rules
+  in
+  let global = check_unconsumed infer @ check_degenerate infer in
+  D.sort (per_rule @ syntactic @ global)
+
+let run ?config prog = run_infer ?config (Infer.analyze prog)

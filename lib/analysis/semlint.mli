@@ -1,0 +1,28 @@
+(** Semantic lint: the L200–L212 family, built on the {!Infer} fixpoint.
+
+    Where [Lint] (L0xx) is syntactic and local, these checks reason about
+    inferred argument domains and cardinalities: rules that provably never
+    fire, comparisons decided by the domains, duplicate/subsumed rules,
+    producer/consumer type clashes, and predicted grounding blowups.
+    Every [Warning]/[Error] finding is backed by an over-approximation
+    proof except L212, which is an estimate-based prediction (and says
+    so in its message). *)
+
+type config = {
+  blowup_threshold : float;
+      (** L212 fires when a rule's estimated ground instantiations meet or
+          exceed this. The default (512) is calibrated so the pigeonhole
+          mutual-exclusion constraint trips it from 10 holes up. *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Asp.Program.t -> Diagnostic.t list
+(** Analyze and check. Sorted like [Lint.run_program] output. *)
+
+val run_infer : ?config:config -> Infer.t -> Diagnostic.t list
+(** Same checks over an existing analysis (avoids re-running the
+    fixpoint when the caller also wants the report). *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** Stable registry of the semantic codes, same shape as [Lint.codes]. *)

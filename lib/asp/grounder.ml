@@ -139,30 +139,40 @@ let count_lits lits =
    [lits]. [cands] supplies the candidate atoms for the [k]-th positive
    literal (already substituted) — the hook through which the callers plug
    in index probes, generation windows and the incremental new/old/full
-   partition. [err] is the located message for the (statically unreachable
-   after {!check_rule}) leftover-builtin case. *)
-let matches_gen ~cands ~err subst0 lits ~on_match =
-  let pats = positives lits in
-  let builtins = builtins_of lits in
-  let rec go k subst builtins = function
-    | [] -> (
-        match discharge subst builtins with
-        | Some (subst, []) -> on_match subst
-        | Some (_, _ :: _) -> raise (Unsafe err)
-        | None -> ())
-    | pat :: rest -> (
-        match discharge subst builtins with
-        | None -> ()
-        | Some (subst, builtins) ->
-            let pat' = Atom.substitute subst pat in
-            List.iter
-              (fun ga ->
-                match unify_atom subst pat' ga with
-                | Some subst -> go (k + 1) subst builtins rest
-                | None -> ())
-              (cands k pat'))
+   partition. [perm] permutes the enumeration only: the [j]-th literal
+   joined is the [perm.(j)]-th positive literal, and [cands] is still
+   queried with the original position, so windowed callers stay exact.
+   [err] is the located message for the (statically unreachable after
+   {!check_rule}) leftover-builtin case. *)
+let matches_gen ?perm ~cands ~err subst0 lits ~on_match =
+  let pats = Array.of_list (positives lits) in
+  let n = Array.length pats in
+  let order =
+    match perm with
+    | Some p when Array.length p = n -> p
+    | Some _ | None -> Array.init n (fun i -> i)
   in
-  go 0 subst0 builtins pats
+  let builtins = builtins_of lits in
+  let rec go j subst builtins =
+    if j = n then
+      match discharge subst builtins with
+      | Some (subst, []) -> on_match subst
+      | Some (_, _ :: _) -> raise (Unsafe err)
+      | None -> ()
+    else
+      match discharge subst builtins with
+      | None -> ()
+      | Some (subst, builtins) ->
+          let k = order.(j) in
+          let pat' = Atom.substitute subst pats.(k) in
+          List.iter
+            (fun ga ->
+              match unify_atom subst pat' ga with
+              | Some subst -> go (j + 1) subst builtins
+              | None -> ())
+            (cands k pat')
+  in
+  go 0 subst0 builtins
 
 (* ------------------------------------------------------------------ *)
 (* Phase 1: semi-naive universe fixpoint                               *)
@@ -444,12 +454,36 @@ let view_cands view (stats : Stats.t) (pat' : Atom.t) =
    modulo the first-argument index and hashed (instead of quadratic)
    dedup of aggregate / choice elements. [body_cands], when given,
    overrides candidate selection for the rule's outer body join only —
-   {!extend} uses it to enumerate just the joins that involve new atoms. *)
-let instantiate snap (stats : Stats.t) ?body_cands ~emit r =
+   {!extend} uses it to enumerate just the joins that involve new atoms.
+   [perm] reorders the outer body join's enumeration (selectivity-first
+   orderings from {!Analysis}); the matches are then replayed sorted by
+   their chosen-atom tuple in original body order — exactly the order the
+   in-order nested-loop join produces, since candidate buckets are sorted
+   ascending and the substitution is a function of that tuple — so the
+   emitted instances are bit-for-bit those of the unordered join. *)
+let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
   let rule_str = Rule.to_string r in
   let err = unbound_err r in
   let default_cands _ pat' = view_cands snap.sn_view stats pat' in
   let body_cands = Option.value ~default:default_cands body_cands in
+  let body_matches lits ~on_match =
+    match perm with
+    | None -> matches_gen ~cands:body_cands ~err [] lits ~on_match
+    | Some _ ->
+        let pats = positives lits in
+        let batch = ref [] in
+        matches_gen ?perm ~cands:body_cands ~err [] lits
+          ~on_match:(fun subst ->
+            let key =
+              List.map (fun a -> Atom.eval (Atom.substitute subst a)) pats
+            in
+            batch := (key, subst) :: !batch);
+        List.iter
+          (fun (_, subst) -> on_match subst)
+          (List.sort
+             (fun (k1, _) (k2, _) -> List.compare Atom.compare k1 k2)
+             !batch)
+  in
   let simplify_negs negs =
     List.filter snap.sn_mem (List.map (fun a -> Atom.eval a) negs)
   in
@@ -497,7 +531,7 @@ let instantiate snap (stats : Stats.t) ?body_cands ~emit r =
   in
   match r with
   | Rule.Rule { head; body; _ } ->
-      matches_gen ~cands:body_cands ~err [] body ~on_match:(fun subst ->
+      body_matches body ~on_match:(fun subst ->
           let pos = ground_pos subst body in
           let neg = ground_neg subst body in
           let counts = ground_counts subst body in
@@ -532,7 +566,7 @@ let instantiate snap (stats : Stats.t) ?body_cands ~emit r =
                 (Ground.Gchoice
                    { lower; upper; elems = List.rev !gelems; pos; neg; counts }))
   | Rule.Weak { body; weight; priority; terms; _ } ->
-      matches_gen ~cands:body_cands ~err [] body ~on_match:(fun subst ->
+      body_matches body ~on_match:(fun subst ->
           let pos = ground_pos subst body in
           let neg = ground_neg subst body in
           let counts = ground_counts subst body in
@@ -569,7 +603,9 @@ let phase1 ~max_atoms stats p =
 let universe_of st base =
   Hashtbl.fold (fun a _ acc -> Model.AtomSet.add a acc) st.st_univ base
 
-let ground ?(max_atoms = 200_000) ?stats p =
+let no_order : Rule.t -> int array option = fun _ -> None
+
+let ground ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let t0 = Unix.gettimeofday () in
   let st, _, _ = phase1 ~max_atoms stats p in
@@ -586,7 +622,7 @@ let ground ?(max_atoms = 200_000) ?stats p =
       out := gr :: !out
     end
   in
-  List.iter (fun r -> instantiate snap stats ~emit r) (Program.rules p);
+  List.iter (fun r -> instantiate snap stats ?perm:(order r) ~emit r) (Program.rules p);
   let g =
     {
       Ground.rules = List.rev !out;
@@ -619,9 +655,10 @@ type prepared = {
   p_tindex : (string * int, (int * int) list) Hashtbl.t;
   p_universe : Model.AtomSet.t;
   p_rules : Ground.grule list; (* globally deduped, = [ground] output *)
+  p_order : Rule.t -> int array option;
 }
 
-let prepare ?(max_atoms = 200_000) ?stats p =
+let prepare ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let t0 = Unix.gettimeofday () in
   let st, templates, tindex = phase1 ~max_atoms stats p in
@@ -636,7 +673,7 @@ let prepare ?(max_atoms = 200_000) ?stats p =
           stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
           acc := gr :: !acc
         in
-        instantiate snap stats ~emit r;
+        instantiate snap stats ?perm:(order r) ~emit r;
         {
           e_rule = r;
           e_pos_sigs = Array.of_list (Deps.positive_body_signatures r);
@@ -671,6 +708,7 @@ let prepare ?(max_atoms = 200_000) ?stats p =
       p_tindex = tindex;
       p_universe = universe_of st Model.AtomSet.empty;
       p_rules = rules;
+      p_order = order;
     }
   in
   stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
@@ -748,8 +786,9 @@ let extend ?stats prep dp =
      - nothing touched -> share wholesale. *)
   Array.iter
     (fun e ->
+      let perm = prep.p_order e.e_rule in
       if List.exists touched e.e_cond_sigs then
-        instantiate snap stats ~emit e.e_rule
+        instantiate snap stats ?perm ~emit e.e_rule
       else begin
         stats.Stats.reused_rules <-
           stats.Stats.reused_rules + List.length e.e_instances;
@@ -762,12 +801,14 @@ let extend ?stats prep dp =
                 else if k < i then view_cands prep.p_view stats pat'
                 else view_cands full_view stats pat'
               in
-              instantiate snap stats ~body_cands ~emit e.e_rule
+              instantiate snap stats ~body_cands ?perm ~emit e.e_rule
             end)
           e.e_pos_sigs
       end)
     prep.p_entries;
-  List.iter (fun r -> instantiate snap stats ~emit r) (Program.rules dp);
+  List.iter
+    (fun r -> instantiate snap stats ?perm:(prep.p_order r) ~emit r)
+    (Program.rules dp);
   let g =
     {
       Ground.rules = List.rev !out;

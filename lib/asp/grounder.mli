@@ -48,10 +48,25 @@ module Stats : sig
   val pp : Format.formatter -> t -> unit
 end
 
-val ground : ?max_atoms:int -> ?stats:Stats.t -> Program.t -> Ground.t
+val ground :
+  ?max_atoms:int ->
+  ?order:(Rule.t -> int array option) ->
+  ?stats:Stats.t ->
+  Program.t ->
+  Ground.t
 (** One-shot grounding. [max_atoms] defaults to 200_000; effort is added to
     [stats] when given. Bit-for-bit equal to {!Naive_ground.ground} on any
-    program both accept. *)
+    program both accept.
+
+    [order], when given, may return for a rule a permutation of its
+    positive body literals (enumeration position -> original index) and the
+    phase-2 join for that rule is enumerated in that order — the hook
+    through which [Analysis.Infer.join_order] plugs selectivity-ascending
+    orderings. Output is unaffected: each rule's matches are replayed in
+    canonical (original-order nested-loop) order before emission, so the
+    result stays bit-for-bit equal to the unordered and naive groundings.
+    The ordering function must be exception-safe for the program (see
+    [Analysis.Infer.join_order], which proves this before reordering). *)
 
 type prepared
 (** Reusable grounding state for a base program: its closed universe with
@@ -60,9 +75,16 @@ type prepared
     Read-only after {!prepare} — one [prepared] may be extended from many
     domains concurrently. *)
 
-val prepare : ?max_atoms:int -> ?stats:Stats.t -> Program.t -> prepared
+val prepare :
+  ?max_atoms:int ->
+  ?order:(Rule.t -> int array option) ->
+  ?stats:Stats.t ->
+  Program.t ->
+  prepared
 (** Ground the base once, keeping the state an increment can extend.
-    Raises like {!ground} if the base itself is unsafe or overflows. *)
+    [order] is as in {!ground} and is retained: {!extend} re-applies it to
+    base rules it re-instantiates and to delta rules. Raises like {!ground}
+    if the base itself is unsafe or overflows. *)
 
 val base : prepared -> Ground.t
 (** The base program's own grounding (what [ground base] returns). *)

@@ -26,9 +26,10 @@ type config = {
   actions : Mitigation.Action.t list;
   residual : active:string list -> int;
   budget : int option;
+  semantic_lint : (string * Asp.Program.t) list;
 }
 
-let water_tank_config ?budget () =
+let water_tank_config ?budget ?(semantic_lint = false) () =
   {
     model = Water_tank.refined_model;
     topology = Water_tank.topology;
@@ -36,6 +37,19 @@ let water_tank_config ?budget () =
     actions = Water_tank.mitigations;
     residual = Water_tank.residual_loss;
     budget;
+    semantic_lint =
+      (if semantic_lint then
+         (* gate on the full-activation encoding: every fault on, no
+            mitigation, so every rule family is live and any semantic
+            finding is a real defect of the generator (a per-scenario
+            encoding legitimately contains dead rules for the faults the
+            scenario leaves deactivated) *)
+         let scenario =
+           Epa.Scenario.make
+             (List.map (fun (f : Epa.Fault.t) -> f.Epa.Fault.id) Water_tank.faults)
+         in
+         [ ("water-tank/full-activation", Water_tank.asp_program ~scenario ()) ]
+       else []);
   }
 
 (* Step 6 ranking policy: loss magnitude VH when the physical requirement
@@ -76,6 +90,26 @@ let run config =
     (Archimate.Model.element_count config.model)
     (Archimate.Model.relationship_count config.model)
     (Lint.Diagnostic.summary validation);
+  (* opt-in semantic gate: the generated ASP encodings must carry no L2xx
+     warning or error before any grounding/solving happens downstream *)
+  List.iter
+    (fun (name, prog) ->
+      let diags = Analysis.Semlint.run prog in
+      let blocking =
+        List.filter
+          (fun (d : Lint.Diagnostic.t) ->
+            d.Lint.Diagnostic.severity <> Lint.Diagnostic.Info)
+          diags
+      in
+      if blocking <> [] then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.run: semantic lint rejected encoding %s: %s" name
+             (String.concat "; "
+                (List.map Lint.Diagnostic.to_string blocking)));
+      logf "step 1 (semantic lint): %s clean (%d findings, none blocking)"
+        name (List.length diags))
+    config.semantic_lint;
   (* 2. candidate system mutations *)
   let fault_mutations =
     List.map

@@ -38,13 +38,21 @@ type config = {
   actions : Mitigation.Action.t list;
   residual : active:string list -> int;
   budget : int option;
+  semantic_lint : (string * Asp.Program.t) list;
+      (** named ASP encodings to gate the run on: any non-[Info] L2xx
+          semantic finding in one of them aborts the pipeline. Empty
+          (the default) opts out. *)
 }
 
-val water_tank_config : ?budget:int -> unit -> config
+val water_tank_config : ?budget:int -> ?semantic_lint:bool -> unit -> config
+(** [semantic_lint:true] (default [false]) gates the run on the generated
+    temporal ASP programs of every paper scenario. *)
 
 val run : config -> artifacts
-(** Fails fast — raises [Invalid_argument] listing the error-severity lint
-    diagnostics — when the model fails structural validation. *)
+(** Fails fast — raises [Invalid_argument] listing the offending
+    diagnostics — when the model fails structural validation, or when an
+    encoding listed in [config.semantic_lint] carries a semantic lint
+    warning or error. *)
 
 val render_log : artifacts -> string
 

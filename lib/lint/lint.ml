@@ -442,7 +442,7 @@ let codes =
     ("L003", D.Warning, "predicate used in a body but never defined");
     ("L004", D.Info, "predicate defined but never used");
     ("L005", D.Warning, "predicate used with several arities");
-    ("L006", D.Info, "singleton variable in a rule");
+    ("L006", D.Info, "singleton variable in a rule (_-prefixed names exempt)");
     ("L007", D.Warning, "rule can never fire (underivable positive body atom)");
     ("L008", D.Warning, "recursion builds terms through function symbols");
     ("L009", D.Warning, "requirement mentions an atom no rule can produce");

@@ -1,0 +1,398 @@
+(* Tests for lib/analysis: abstract domains, fixpoint inference,
+   cardinality estimates, semantic lint, and join ordering. *)
+
+module D = Analysis.Domain
+module I = Analysis.Infer
+
+let check = Alcotest.check
+let parse = Asp.Parser.parse_program
+
+let analyze src = I.analyze (parse src)
+
+let find_pred t name arity =
+  match I.find_pred t (name, arity) with
+  | Some p -> p
+  | None -> Alcotest.fail (Printf.sprintf "no pred_info for %s/%d" name arity)
+
+let rule_at t i = List.nth (I.rules t) i
+
+(* ------------------------------------------------------------------ *)
+(* Domain unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ints lo hi = D.interval (D.Fin lo) (D.Fin hi)
+
+let consts l =
+  D.Consts
+    (List.fold_left
+       (fun s t -> D.TermSet.add t s)
+       D.TermSet.empty
+       (List.map Asp.Parser.parse_term l))
+
+let test_domain_lattice () =
+  check Alcotest.bool "bot empty" true (D.is_empty D.bot);
+  check Alcotest.bool "join consts" true
+    (D.equal (D.join (consts [ "a" ]) (consts [ "b" ])) (consts [ "a"; "b" ]));
+  check Alcotest.bool "join int consts with interval" true
+    (D.equal (D.join (consts [ "3" ]) (ints 5 9)) (ints 3 9));
+  check Alcotest.bool "join symbolic with interval is top" true
+    (D.equal (D.join (consts [ "a" ]) (ints 0 1)) D.top);
+  check Alcotest.bool "meet disjoint consts" true
+    (D.is_empty (D.meet (consts [ "a" ]) (consts [ "b" ])));
+  check Alcotest.bool "meet interval/consts filters" true
+    (D.equal (D.meet (consts [ "1"; "7"; "b" ]) (ints 0 3)) (consts [ "1" ]));
+  check Alcotest.bool "empty interval is bot" true
+    (D.is_empty (D.interval (D.Fin 3) (D.Fin 1)));
+  check (Alcotest.option Alcotest.int) "card of interval" (Some 5)
+    (D.card (ints 2 6));
+  check Alcotest.bool "widen jumps growing bound" true
+    (D.equal (D.widen (ints 0 3) (ints 0 4)) (D.interval (D.Fin 0) D.PosInf));
+  check Alcotest.bool "widen keeps stable bound" true
+    (D.equal (D.widen (ints 0 3) (ints 1 3)) (ints 0 3))
+
+let test_domain_arith () =
+  check Alcotest.bool "pointwise add" true
+    (D.equal (D.arith "+" [ consts [ "1"; "2" ]; consts [ "10" ] ])
+       (consts [ "11"; "12" ]));
+  check Alcotest.bool "interval add" true
+    (D.equal (D.arith "+" [ ints 0 3; D.interval (D.Fin 1) D.PosInf ])
+       (D.interval (D.Fin 1) D.PosInf));
+  check Alcotest.bool "mul signs" true
+    (D.equal (D.arith "*" [ ints (-2) 3; ints 4 5 ]) (ints (-10) 15));
+  check Alcotest.bool "abs" true (D.equal (D.arith "abs" [ ints (-7) 3 ]) (ints 0 7));
+  check Alcotest.bool "div bounded by dividend" true
+    (D.equal (D.arith "/" [ ints (-9) 4; ints 1 3 ]) (ints (-9) 9));
+  check Alcotest.bool "symbolic operand gives top" true
+    (D.equal (D.arith "+" [ consts [ "a" ]; ints 0 1 ]) D.top)
+
+let test_domain_cmp_restrict () =
+  check (Alcotest.option Alcotest.bool) "lt decided" (Some true)
+    (D.cmp Asp.Lit.Lt (ints 0 3) (ints 4 9));
+  check (Alcotest.option Alcotest.bool) "lt refuted" (Some false)
+    (D.cmp Asp.Lit.Lt (ints 5 9) (ints 0 5));
+  check (Alcotest.option Alcotest.bool) "lt open" None
+    (D.cmp Asp.Lit.Lt (ints 0 5) (ints 3 9));
+  check (Alcotest.option Alcotest.bool) "eq disjoint" (Some false)
+    (D.cmp Asp.Lit.Eq (consts [ "a" ]) (consts [ "b" ]));
+  check Alcotest.bool "restrict lt" true
+    (D.equal (D.restrict Asp.Lit.Lt (ints 0 9) (ints 2 5)) (ints 0 4));
+  check Alcotest.bool "restrict ge" true
+    (D.equal (D.restrict Asp.Lit.Ge (ints 0 9) (ints 7 12)) (ints 7 9));
+  check Alcotest.bool "restrict ne singleton" true
+    (D.equal
+       (D.restrict Asp.Lit.Ne (consts [ "a"; "b" ]) (consts [ "a" ]))
+       (consts [ "b" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Inference: domains and deadness                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_infer_domains () =
+  let t = analyze "p(1..4). p(9). q(X) :- p(X), X < 3." in
+  let p = find_pred t "p" 1 in
+  check Alcotest.int "p fact count" 5 p.I.fact_count;
+  check Alcotest.bool "p exact" true p.I.exact;
+  let q = find_pred t "q" 1 in
+  check Alcotest.bool "q dom within [1..2]" true
+    (D.equal q.I.doms.(0) (consts [ "1"; "2" ]));
+  check Alcotest.bool "q card about 2" true (q.I.card >= 1. && q.I.card <= 4.)
+
+let test_infer_dead_rules () =
+  let t = analyze "p(1). q(X) :- p(X), X > 5." in
+  (match (rule_at t 1).I.dead with
+  | Some (I.False_cmp _) -> ()
+  | _ -> Alcotest.fail "expected False_cmp dead cause");
+  let t = analyze "a(1). b(2). c :- a(X), b(X)." in
+  (match (rule_at t 2).I.dead with
+  | Some (I.Disjoint_var "X") -> ()
+  | _ -> Alcotest.fail "expected Disjoint_var");
+  let t = analyze "d :- e." in
+  (match (rule_at t 0).I.dead with
+  | Some (I.Undefined_pred ("e", 0)) -> ()
+  | _ -> Alcotest.fail "expected Undefined_pred");
+  (* e defined, but only by a dead rule: consumers are underivable *)
+  let t = analyze "p(1). e :- p(2). d :- e." in
+  (match (rule_at t 1).I.dead with
+  | Some (I.Empty_arg _) -> ()
+  | _ -> Alcotest.fail "expected Empty_arg for p(2)");
+  (match (rule_at t 2).I.dead with
+  | Some (I.Underivable_pred ("e", 0)) -> ()
+  | _ -> Alcotest.fail "expected Underivable_pred");
+  (* sanity: live rules are not flagged *)
+  let t = analyze "p(1..3). q(X) :- p(X), X > 1." in
+  check Alcotest.bool "live rule" true ((rule_at t 1).I.dead = None)
+
+let test_infer_false_aggregate () =
+  (* p(1..3) expands to three facts; the aggregate rule is index 3 *)
+  let t = analyze "p(1..3). q :- #count { X : p(X) } > 5." in
+  (match (rule_at t 3).I.dead with
+  | Some (I.False_agg _) -> ()
+  | _ -> Alcotest.fail "expected False_agg (count can never exceed 3)");
+  let t = analyze "p(1..3). q :- #count { X : p(X) } >= 2." in
+  check Alcotest.bool "satisfiable aggregate" true ((rule_at t 3).I.dead = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality estimates                                               *)
+(* ------------------------------------------------------------------ *)
+
+let within_10x est actual =
+  let actual = float_of_int (max actual 1) in
+  est >= actual /. 10. && est <= actual *. 10.
+
+let pigeon_src n =
+  Printf.sprintf
+    "pigeon(1..%d). hole(1..%d).\n\
+     { at(P,H) : hole(H) } :- pigeon(P).\n\
+     placed(P) :- at(P,H).\n\
+     :- pigeon(P), not placed(P).\n\
+     :- at(P,H), at(Q,H), P < Q.\n"
+    (n + 1) n
+
+let test_estimates_pigeon () =
+  let t = analyze (pigeon_src 10) in
+  let at = find_pred t "at" 2 in
+  check Alcotest.bool "at card ~110" true (within_10x at.I.card 110);
+  let placed = find_pred t "placed" 1 in
+  check Alcotest.bool "placed card ~11" true (within_10x placed.I.card 11);
+  (* the mutual-exclusion constraint dominates grounding cost *)
+  let cons = rule_at t 24 in
+  check Alcotest.bool "constraint cost ~605" true
+    (within_10x cons.I.cost 605)
+
+let chain_src n =
+  let b = Buffer.create 256 in
+  for i = 1 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "edge(%d,%d). " i (i + 1))
+  done;
+  Buffer.add_string b "path(X,Y) :- edge(X,Y). path(X,Z) :- edge(X,Y), path(Y,Z).";
+  Buffer.contents b
+
+let test_estimates_chain () =
+  let n = 30 in
+  let t = analyze (chain_src n) in
+  let actual = n * (n - 1) / 2 in
+  let path = find_pred t "path" 2 in
+  if not (within_10x path.I.card actual) then
+    Alcotest.fail
+      (Printf.sprintf "path card %.1f vs actual %d" path.I.card actual);
+  let edge = find_pred t "edge" 2 in
+  check Alcotest.bool "edge exact" true edge.I.exact;
+  if edge.I.card <> float_of_int (n - 1) then
+    Alcotest.fail (Printf.sprintf "edge card %.3f expected %d" edge.I.card (n - 1))
+
+let test_estimates_vs_ground () =
+  (* predicted per-predicate cardinalities within 10x of the actual ground
+     atom population on a small mixed program *)
+  let src =
+    "n(1..12). e(X,Y) :- n(X), n(Y), Y = X + 1.\n\
+     r(X,Y) :- e(X,Y). r(X,Z) :- e(X,Y), r(Y,Z).\n\
+     big(X) :- n(X), X > 6."
+  in
+  let t = analyze src in
+  let g = Asp.Grounder.ground (parse src) in
+  let tbl = Hashtbl.create 16 in
+  Asp.Model.AtomSet.iter
+    (fun a ->
+      let s = Asp.Atom.signature a in
+      Hashtbl.replace tbl s (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    g.Asp.Ground.universe;
+  Hashtbl.iter
+    (fun (p, n) actual ->
+      let info = find_pred t p n in
+      if not (within_10x info.I.card actual) then
+        Alcotest.fail
+          (Printf.sprintf "%s/%d: estimated %.1f actual %d" p n info.I.card
+             actual))
+    tbl
+
+(* ------------------------------------------------------------------ *)
+(* Semantic lint                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module SL = Analysis.Semlint
+
+let semlint ?config src = SL.run ?config (parse src)
+
+let codes_of diags = List.map (fun d -> d.Diagnostic.code) diags
+
+let has_code c diags = List.mem c (codes_of diags)
+
+let test_semlint_dead_family () =
+  let d = semlint "p(1..3). q :- p(7)." in
+  check Alcotest.bool "L200 empty arg" true (has_code "L200" d);
+  let d = semlint "p(1..3). q(X) :- p(X), X > 9." in
+  check Alcotest.bool "L201 false cmp" true (has_code "L201" d);
+  let d = semlint "a(1). b(2). c :- a(X), b(X)." in
+  check Alcotest.bool "L207 disjoint join" true (has_code "L207" d);
+  let d = semlint "p(1..3). q :- #count { X : p(X) } > 9." in
+  check Alcotest.bool "L208 false aggregate" true (has_code "L208" d)
+
+let test_semlint_redundancy () =
+  let d = semlint "p(1..3). q(X) :- p(X), X < 9." in
+  check Alcotest.bool "L202 true cmp" true (has_code "L202" d);
+  let d = semlint "p(1..3). r(X) :- p(X), not s(X). s(1). r(Y) :- p(Y), not s(Y)." in
+  check Alcotest.bool "L203 duplicate" true (has_code "L203" d);
+  let d = semlint "p(1..3). r(1..2). q(X) :- p(X). q(X) :- p(X), r(X)." in
+  check Alcotest.bool "L204 subsumed" true (has_code "L204" d);
+  let d = semlint "p. q :- p, p." in
+  check Alcotest.bool "L211 repeated literal" true (has_code "L211" d)
+
+let test_semlint_type_and_choice () =
+  let d = semlint "p(a). s(X + 1) :- p(X)." in
+  check Alcotest.bool "L206 symbolic arithmetic" true (has_code "L206" d);
+  let d = semlint "p(1). { q(X) : r(X) } :- p(X)." in
+  check Alcotest.bool "L209 no satisfiable element" true (has_code "L209" d);
+  let d = semlint "p(1..3). q(X) :- p(X). #show p/1." in
+  check Alcotest.bool "L205 unconsumed derived pred" true (has_code "L205" d);
+  let d = semlint "p(1..3). q(X) :- p(X). #show q/1." in
+  check Alcotest.bool "consumed pred is fine" false (has_code "L205" d)
+
+let test_semlint_blowup () =
+  let d = semlint (pigeon_src 10) in
+  check Alcotest.bool "L212 fires on pigeon-10" true (has_code "L212" d);
+  let d = semlint (pigeon_src 6) in
+  check Alcotest.bool "quiet on pigeon-6" false (has_code "L212" d);
+  let config = { SL.blowup_threshold = 10.0 } in
+  let d = semlint ~config (pigeon_src 6) in
+  check Alcotest.bool "configurable threshold" true (has_code "L212" d)
+
+(* codes that assert a defect (the zero-false-positive set) *)
+let defect_codes =
+  [ "L200"; "L201"; "L203"; "L204"; "L206"; "L207"; "L208"; "L209" ]
+
+let assert_no_defects name diags =
+  let bad = List.filter (fun d -> List.mem d.Diagnostic.code defect_codes) diags in
+  if bad <> [] then
+    Alcotest.fail
+      (Printf.sprintf "%s: unexpected defect diagnostics:\n%s" name
+         (String.concat "\n" (List.map Diagnostic.to_string bad)))
+
+let test_semlint_clean_water_tank () =
+  let scenario = snd (List.hd Cpsrisk.Water_tank.paper_scenarios) in
+  let prog = Cpsrisk.Water_tank.asp_program ~scenario () in
+  assert_no_defects "water tank" (SL.run prog)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded fuzz: clean programs stay clean; injected defects are found  *)
+(* ------------------------------------------------------------------ *)
+
+(* Clean-by-construction generator: integer predicates whose domains all
+   contain a shared window, guards drawn inside the producer's domain,
+   joins over the shared window — so every generated rule is satisfiable
+   and no two are alpha-equivalent. *)
+let gen_clean_program st =
+  let b = Buffer.create 512 in
+  let npreds = 3 + Random.State.int st 3 in
+  let doms =
+    Array.init npreds (fun _ ->
+        let lo = 1 + Random.State.int st 6 in
+        let hi = 13 + Random.State.int st 6 in
+        (lo, hi))
+  in
+  Array.iteri
+    (fun i (lo, hi) -> Buffer.add_string b (Printf.sprintf "p%d(%d..%d). " i lo hi))
+    doms;
+  (* symbolic catalog preds *)
+  let nsym = 1 + Random.State.int st 2 in
+  for i = 0 to nsym - 1 do
+    let k = 1 + Random.State.int st 3 in
+    for j = 0 to k - 1 do
+      Buffer.add_string b
+        (Printf.sprintf "cat%d(c%d). " i (j + Random.State.int st 2))
+    done
+  done;
+  (* guarded projections: bound inside the producer domain *)
+  let nguard = 2 + Random.State.int st 3 in
+  for j = 0 to nguard - 1 do
+    let k = Random.State.int st npreds in
+    let lo, hi = doms.(k) in
+    let bound = lo + Random.State.int st (hi - lo) in
+    Buffer.add_string b
+      (Printf.sprintf "g%d(X) :- p%d(X), X >= %d.\n" j k bound)
+  done;
+  (* joins over the shared window [13..13] at least *)
+  let njoin = 1 + Random.State.int st 2 in
+  for j = 0 to njoin - 1 do
+    let a = Random.State.int st npreds and c = Random.State.int st npreds in
+    Buffer.add_string b
+      (Printf.sprintf "j%d(X,Y) :- p%d(X), p%d(Y), X < Y.\n" j a c)
+  done;
+  (* integer arithmetic stays on integer producers *)
+  let k = Random.State.int st npreds in
+  Buffer.add_string b (Printf.sprintf "shift(X + 1) :- p%d(X).\n" k);
+  (* negation against a guarded pred *)
+  let k = Random.State.int st npreds in
+  Buffer.add_string b (Printf.sprintf "lone%d(X) :- p%d(X), not g0(X).\n" 0 k);
+  Buffer.contents b
+
+let inject_defects st base doms_hint =
+  ignore doms_hint;
+  let dead_cmp = "deadc(X) :- p0(X), X > 99.\n" in
+  let dead_arg = "deada :- p0(100).\n" in
+  let disjoint = "dja(101..103). djb(105..108). deadj :- dja(X), djb(X).\n" in
+  let clash = "symsrc(sy1). symsrc(sy2). clashp(X + 1) :- symsrc(X).\n" in
+  (* duplicate an existing guarded rule, variables renamed *)
+  let dup =
+    match
+      String.split_on_char '\n' base
+      |> List.filter (fun l -> String.length l > 2 && l.[0] = 'g')
+    with
+    | l :: _ ->
+        (* the only variable in a guard rule is X *)
+        String.concat "Z" (String.split_on_char 'X' l) ^ "\n"
+    | [] -> ""
+  in
+  ignore st;
+  base ^ dead_cmp ^ dead_arg ^ disjoint ^ clash ^ dup
+
+let test_semlint_fuzz () =
+  for seed = 0 to 119 do
+    let st = Random.State.make [| 0x5EED; seed |] in
+    let base = gen_clean_program st in
+    (match SL.run (parse base) with
+    | d -> assert_no_defects (Printf.sprintf "seed %d" seed) d
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "seed %d: analysis raised %s on:\n%s" seed
+             (Printexc.to_string e) base));
+    let injected = inject_defects st base () in
+    let d = SL.run (parse injected) in
+    List.iter
+      (fun code ->
+        if not (has_code code d) then
+          Alcotest.fail
+            (Printf.sprintf "seed %d: expected %s after injection in:\n%s" seed
+               code injected))
+      [ "L201"; "L200"; "L207"; "L206"; "L203" ]
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "analysis.domain",
+      [
+        Alcotest.test_case "lattice ops" `Quick test_domain_lattice;
+        Alcotest.test_case "arithmetic" `Quick test_domain_arith;
+        Alcotest.test_case "cmp and restrict" `Quick test_domain_cmp_restrict;
+      ] );
+    ( "analysis.infer",
+      [
+        Alcotest.test_case "argument domains" `Quick test_infer_domains;
+        Alcotest.test_case "dead rules" `Quick test_infer_dead_rules;
+        Alcotest.test_case "false aggregate" `Quick test_infer_false_aggregate;
+        Alcotest.test_case "pigeon estimates" `Quick test_estimates_pigeon;
+        Alcotest.test_case "chain estimates" `Quick test_estimates_chain;
+        Alcotest.test_case "estimates vs ground" `Quick test_estimates_vs_ground;
+      ] );
+    ( "analysis.semlint",
+      [
+        Alcotest.test_case "dead family" `Quick test_semlint_dead_family;
+        Alcotest.test_case "redundancy" `Quick test_semlint_redundancy;
+        Alcotest.test_case "types and choices" `Quick test_semlint_type_and_choice;
+        Alcotest.test_case "grounding blowup" `Quick test_semlint_blowup;
+        Alcotest.test_case "water tank clean" `Quick test_semlint_clean_water_tank;
+        Alcotest.test_case "120 seeded programs with injected defects" `Slow
+          test_semlint_fuzz;
+      ] );
+  ]

@@ -397,6 +397,25 @@ let test_pipeline_budget_respected () =
   check Alcotest.bool "cost within budget" true
     (artifacts.Cpsrisk.Pipeline.plan.Mitigation.Optimizer.cost <= 2)
 
+let test_pipeline_semantic_gate () =
+  (* the opt-in L2xx gate runs against the full-activation encoding, which
+     must be semantically clean — the pipeline completes and logs the
+     extra step; the default config skips the gate entirely *)
+  let artifacts =
+    Cpsrisk.Pipeline.run
+      (Cpsrisk.Pipeline.water_tank_config ~semantic_lint:true ())
+  in
+  check Alcotest.int "eight log lines with the gate" 8
+    (List.length artifacts.Cpsrisk.Pipeline.log);
+  check Alcotest.bool "gate line present" true
+    (List.exists
+       (fun l ->
+         String.length l >= 24
+         && String.sub l 0 24 = "step 1 (semantic lint): ")
+       artifacts.Cpsrisk.Pipeline.log);
+  check Alcotest.bool "hazards still confirmed" true
+    (artifacts.Cpsrisk.Pipeline.confirmed_hazards <> [])
+
 let test_pipeline_candidates_superset_confirmed () =
   let artifacts = Cpsrisk.Pipeline.run (Cpsrisk.Pipeline.water_tank_config ()) in
   List.iter
@@ -559,6 +578,7 @@ let suites =
       [
         Alcotest.test_case "end to end" `Quick test_pipeline_end_to_end;
         Alcotest.test_case "budget respected" `Quick test_pipeline_budget_respected;
+        Alcotest.test_case "semantic gate" `Quick test_pipeline_semantic_gate;
         Alcotest.test_case "over-approximation" `Quick
           test_pipeline_candidates_superset_confirmed;
       ] );

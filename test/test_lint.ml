@@ -416,6 +416,55 @@ let test_grounder_reports_all_unsafe_vars_with_pos () =
       check Alcotest.bool "first variable" true (contains "X");
       check Alcotest.bool "second variable" true (contains "Y")
 
+(* The README's lint-code table must stay in sync with the registries the
+   CLI prints for `cpsrisk lint --list-codes` ([Lint.codes] plus
+   [Analysis.Semlint.codes]): same codes, same severities, same one-line
+   descriptions, in both directions. Backticks are markdown-only. *)
+let test_readme_code_table_in_sync () =
+  let strip_backticks s = String.concat "" (String.split_on_char '`' s) in
+  let is_code s =
+    String.length s >= 2
+    && s.[0] = 'L'
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub s 1 (String.length s - 1))
+  in
+  let rows = ref [] in
+  let ic = open_in "../README.md" in
+  (try
+     while true do
+       match String.split_on_char '|' (input_line ic) with
+       | [ ""; code; sev; desc; "" ] ->
+           let code = String.trim (strip_backticks code) in
+           if is_code code then
+             rows :=
+               (code, String.trim sev, String.trim (strip_backticks desc))
+               :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  let rows = List.rev !rows in
+  let registry =
+    List.map
+      (fun (code, sev, desc) -> (code, D.severity_to_string sev, desc))
+      (Lint.codes @ Analysis.Semlint.codes)
+  in
+  List.iter
+    (fun (code, sev, desc) ->
+      match List.find_opt (fun (c, _, _) -> c = code) rows with
+      | None -> Alcotest.failf "%s registered but missing from the README" code
+      | Some (_, rsev, rdesc) ->
+          check Alcotest.string (code ^ " severity") sev rsev;
+          check Alcotest.string (code ^ " description") desc rdesc)
+    registry;
+  List.iter
+    (fun (code, _, _) ->
+      if not (List.exists (fun (c, _, _) -> c = code) registry) then
+        Alcotest.failf "%s in the README but not registered" code)
+    rows;
+  check Alcotest.int "one README row per registered code" (List.length registry)
+    (List.length rows)
+
 let test_requirement_atoms () =
   let r =
     Epa.Requirement.make ~id:"R" ~description:"d"
@@ -471,6 +520,8 @@ let suites =
       ] );
     ( "lint.regressions",
       [
+        Alcotest.test_case "README code table in sync" `Quick
+          test_readme_code_table_in_sync;
         Alcotest.test_case "shipped models clean" `Quick
           test_shipped_models_lint_clean;
         Alcotest.test_case "water-tank program clean" `Quick

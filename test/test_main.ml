@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "cpsrisk"
-    (Test_qual.suites @ Test_asp.suites @ Test_grounder_diff.suites @ Test_solver_diff.suites @ Test_solver_fuzz.suites @ Test_ltl.suites @ Test_archimate.suites @ Test_threatdb.suites @ Test_epa.suites @ Test_risk.suites @ Test_rough.suites @ Test_sensitivity.suites @ Test_fta.suites @ Test_mitigation.suites @ Test_cegar.suites @ Test_telingo.suites @ Test_lint.suites @ Test_cpsrisk.suites @ Test_quant.suites @ Test_attackgraph.suites @ Test_cascade.suites @ Test_petri.suites @ Test_aggregates.suites @ Test_engine.suites)
+    (Test_qual.suites @ Test_asp.suites @ Test_analysis.suites @ Test_grounder_diff.suites @ Test_solver_diff.suites @ Test_solver_fuzz.suites @ Test_ltl.suites @ Test_archimate.suites @ Test_threatdb.suites @ Test_epa.suites @ Test_risk.suites @ Test_rough.suites @ Test_sensitivity.suites @ Test_fta.suites @ Test_mitigation.suites @ Test_cegar.suites @ Test_telingo.suites @ Test_lint.suites @ Test_cpsrisk.suites @ Test_quant.suites @ Test_attackgraph.suites @ Test_cascade.suites @ Test_petri.suites @ Test_aggregates.suites @ Test_engine.suites)
