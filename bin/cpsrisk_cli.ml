@@ -412,7 +412,8 @@ let threats_cmd =
 (* solve                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let solve file limit optimal stats max_guess solver jobs =
+let solve file limit optimal stats max_guess solver jobs no_preprocess no_share
+    =
   match Asp.Parser.parse_program (read_file file) with
   | exception Asp.Parser.Error msg ->
       Printf.eprintf "parse error: %s\n" msg;
@@ -424,6 +425,15 @@ let solve file limit optimal stats max_guess solver jobs =
           Printf.eprintf "grounding error: %s\n" msg;
           1
       | ground -> (
+          (* --no-preprocess means "raw CDNL": both the clause-level
+             preprocessing and the propagation-only tier are bypassed *)
+          let config =
+            {
+              Asp.Solver.Config.default with
+              Asp.Solver.Config.preprocess = not no_preprocess;
+              cheap_tier = not no_preprocess;
+            }
+          in
           match
             match solver with
             | `Dfs ->
@@ -432,15 +442,21 @@ let solve file limit optimal stats max_guess solver jobs =
             | `Cdnl -> (
                 match jobs with
                 | Some j when j > 1 ->
+                    let share = not no_share in
                     let r =
-                      if optimal then Engine.Par.optimal ~jobs:j ground
-                      else Engine.Par.enumerate ~jobs:j ?limit ground
+                      if optimal then
+                        Engine.Par.optimal ~jobs:j ~share ~config ground
+                      else Engine.Par.enumerate ~jobs:j ?limit ~share ~config
+                          ground
                     in
                     (r.Engine.Par.models, r.Engine.Par.stats)
                 | _ ->
                     if optimal then
-                      Asp.Solver.solve_optimal_with_stats ?max_guess ground
-                    else Asp.Solver.solve_with_stats ?limit ?max_guess ground)
+                      Asp.Solver.solve_optimal_with_stats ?max_guess ~config
+                        ground
+                    else
+                      Asp.Solver.solve_with_stats ?limit ?max_guess ~config
+                        ground)
           with
           | exception Asp.Dfs.Unsupported msg ->
               Printf.eprintf "unsupported program: %s\n" msg;
@@ -523,12 +539,33 @@ let jobs_arg =
            (CDNL only; the merged result is identical to a sequential \
            solve).")
 
+let no_preprocess_arg =
+  Arg.(
+    value & flag
+    & info [ "no-preprocess" ]
+        ~doc:
+          "Disable completion-nogood preprocessing (unit propagation, \
+           duplicate/subsumed-clause removal, body-variable equivalence and \
+           pure-literal reduction) and the propagation-only cheap tier; the \
+           CDNL search then runs on the raw completion. Mainly for A/B \
+           measurement and differential testing.")
+
+let no_share_arg =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:
+          "With $(b,--jobs): disable learned-nogood sharing between the \
+           guiding-path worker domains. The result is identical either way; \
+           only the work per domain changes.")
+
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Run the embedded ASP solver on a program file")
     Term.(
       const solve $ file_arg $ limit_arg $ optimal_arg $ stats_arg
-      $ max_guess_arg $ solver_arg $ jobs_arg)
+      $ max_guess_arg $ solver_arg $ jobs_arg $ no_preprocess_arg
+      $ no_share_arg)
 
 (* ------------------------------------------------------------------ *)
 (* score                                                                *)
@@ -629,7 +666,25 @@ let dot_cmd =
 (* sweep                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let sweep mutations model jobs horizon stats json =
+let sweep mutations model jobs horizon stats json no_preprocess no_share =
+  ignore no_share;
+  (* sweep jobs solve distinct programs, so there is no nogood exchange to
+     disable; --no-share is accepted for symmetry with solve --jobs *)
+  let solver_config =
+    if no_preprocess then
+      Some
+        {
+          Asp.Solver.Config.default with
+          Asp.Solver.Config.preprocess = false;
+          cheap_tier = false;
+        }
+    else None
+  in
+  let with_config spec =
+    match solver_config with
+    | None -> spec
+    | Some _ -> { spec with Engine.Job.solver_config }
+  in
   let deltas =
     match mutations with
     | None -> None
@@ -649,7 +704,7 @@ let sweep mutations model jobs horizon stats json =
         | Some ds -> ds
         | None -> Cpsrisk.Sweeps.all_fault_deltas Cpsrisk.Water_tank.faults
       in
-      let spec = Cpsrisk.Sweeps.water_tank_spec ?horizon deltas in
+      let spec = with_config (Cpsrisk.Sweeps.water_tank_spec ?horizon deltas) in
       let report = Engine.Sweep.run ?jobs spec in
       if json then print_endline (Engine.Sweep.to_json report)
       else begin
@@ -682,7 +737,7 @@ let sweep mutations model jobs horizon stats json =
             | Some ds -> ds
             | None -> Cpsrisk.Sweeps.model_element_deltas m
           in
-          let spec = Cpsrisk.Sweeps.topology_spec m deltas in
+          let spec = with_config (Cpsrisk.Sweeps.topology_spec m deltas) in
           let report = Engine.Sweep.run ?jobs spec in
           if json then print_endline (Engine.Sweep.to_json report)
           else begin
@@ -769,7 +824,7 @@ let sweep_cmd =
          ])
     Term.(
       const sweep $ mutations_arg $ sweep_model_arg $ jobs_arg $ horizon_arg
-      $ sweep_stats_flag $ sweep_json_flag)
+      $ sweep_stats_flag $ sweep_json_flag $ no_preprocess_arg $ no_share_arg)
 
 (* ------------------------------------------------------------------ *)
 (* quant                                                                *)

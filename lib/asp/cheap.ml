@@ -1,0 +1,294 @@
+(* Propagation-only tier for tight-shaped, conflict-free programs: the
+   chain / pinned / dense-choice shapes of the reference encodings, where
+   full CDNL machinery (completion clauses, VSIDS, watches) costs more
+   than the enumeration itself.
+
+   The fragment: no aggregates, no negation in rule bodies or choice
+   guards, no choice bounds. In that fragment a candidate is stable iff
+   it is the least fixpoint of the definite rules over the facts plus a
+   subset of *licensed* choice atoms — foundedness holds by construction,
+   so the classifier is sound on non-tight programs too (a positive loop
+   without external support simply never enters the closure).
+
+   Classification runs a forcing fixpoint over two closures:
+   [cf] (facts + forced choices — a lower bound on every model) and
+   [cm] (additionally seeding every non-banned candidate — an upper
+   bound). Every choice-element guard must be decided (inside [cf] or
+   outside [cm]); every constraint must be dead, or have exactly one
+   undecided literal that is a free choice atom, which the fixpoint
+   forces in or out. Anything else — an undecided guard, a multi-literal
+   pending constraint, a constraint pending on a derived atom, a banned
+   atom still derivable — rejects to the full CDNL tier, which is always
+   safe. A constraint with no pending literal left is violated in every
+   model: unsat, proven without search.
+
+   Solving is then direct choice expansion: DFS over the free atoms with
+   an incremental closure (per-rule missing-premise counters, trail-based
+   undo), deduplicating closures that coincide. *)
+
+module Stats = Solver_stats
+
+exception Full_tier
+exception Done
+
+let gate (p : Interned.t) =
+  (not p.Interned.has_counts)
+  && Array.for_all (fun (r : Interned.rule) -> Array.length r.Interned.neg = 0)
+       p.Interned.rules
+  && Array.for_all
+       (fun (c : Interned.choice) ->
+         c.Interned.lower = None
+         && c.Interned.upper = None
+         && Array.length c.Interned.cneg = 0
+         && Array.for_all
+              (fun (e : Interned.elem) -> Array.length e.Interned.egneg = 0)
+              c.Interned.elems)
+       p.Interned.choices
+
+type plan = {
+  cf : Bitset.t;  (* forced closure: a subset of every model *)
+  free : int array;  (* free choice atoms, ascending *)
+  occ : (int * int) list array;  (* atom -> (rule, multiplicity) *)
+  base_missing : int array;  (* rule -> total positive premises *)
+  heads : int array;
+}
+
+let classify (p : Interned.t) =
+  if not (gate p) then `Full
+  else begin
+    let n1 = max p.Interned.n_atoms 1 in
+    let n_rules = Array.length p.Interned.rules in
+    let heads = Array.map (fun (r : Interned.rule) -> r.Interned.head) p.Interned.rules in
+    let occ = Array.make n1 [] in
+    let base_missing = Array.make (max n_rules 1) 0 in
+    Array.iteri
+      (fun ri (r : Interned.rule) ->
+        base_missing.(ri) <- Array.length r.Interned.pos;
+        let mult = Hashtbl.create 4 in
+        Array.iter
+          (fun a ->
+            Hashtbl.replace mult a
+              (1 + Option.value ~default:0 (Hashtbl.find_opt mult a)))
+          r.Interned.pos;
+        Hashtbl.iter (fun a m -> occ.(a) <- (ri, m) :: occ.(a)) mult)
+      p.Interned.rules;
+    let closure seeds =
+      let cur = Bitset.create n1 in
+      let missing = Array.sub base_missing 0 n_rules in
+      let q = Queue.create () in
+      let add a =
+        if not (Bitset.get cur a) then begin
+          Bitset.set cur a;
+          Queue.add a q
+        end
+      in
+      Array.iter add p.Interned.facts;
+      List.iter add seeds;
+      Array.iteri (fun ri m -> if m = 0 then add heads.(ri)) missing;
+      while not (Queue.is_empty q) do
+        let a = Queue.pop q in
+        List.iter
+          (fun (ri, m) ->
+            missing.(ri) <- missing.(ri) - m;
+            if missing.(ri) = 0 then add heads.(ri))
+          occ.(a)
+      done;
+      cur
+    in
+    let candidates = Bitset.create n1 in
+    Array.iter
+      (fun (c : Interned.choice) ->
+        Array.iter
+          (fun (e : Interned.elem) -> Bitset.set candidates e.Interned.eatom)
+          c.Interned.elems)
+      p.Interned.choices;
+    let chosen = ref [] in
+    let chosen_b = Bitset.create n1 in
+    let banned_b = Bitset.create n1 in
+    try
+      let unsat = ref false in
+      let final_cf = ref (Bitset.create n1) in
+      let final_free = ref (Bitset.create n1) in
+      let continue = ref true in
+      while !continue && not !unsat do
+        continue := false;
+        let cf = closure !chosen in
+        let cand_seed = ref !chosen in
+        Bitset.iter_true
+          (fun a -> if not (Bitset.get banned_b a) then cand_seed := a :: !cand_seed)
+          candidates;
+        let cm = closure !cand_seed in
+        (* a banned atom still derivable cannot be kept out by not
+           choosing it: give up (the ban came from a constraint, so the
+           full tier will handle it) *)
+        Bitset.iter_true
+          (fun b -> if Bitset.get cm b then raise Full_tier)
+          banned_b;
+        (* every guard must be decided at the fixpoint *)
+        let free_b = Bitset.create n1 in
+        Array.iter
+          (fun (c : Interned.choice) ->
+            Array.iter
+              (fun (e : Interned.elem) ->
+                let guard_in s =
+                  Array.for_all (Bitset.get s) c.Interned.cpos
+                  && Array.for_all (Bitset.get s) e.Interned.egpos
+                in
+                if guard_in cf then begin
+                  let a = e.Interned.eatom in
+                  if (not (Bitset.get cf a)) && not (Bitset.get banned_b a)
+                  then Bitset.set free_b a
+                end
+                else if guard_in cm then raise Full_tier
+                (* else: dead element, never licensed *))
+              c.Interned.elems)
+          p.Interned.choices;
+        (* every constraint must be dead or force a single free atom *)
+        Array.iter
+          (fun (k : Interned.constr) ->
+            if not !unsat then begin
+              let dead = ref false in
+              let pending = ref [] in
+              Array.iter
+                (fun a ->
+                  if not (Bitset.get cm a) then dead := true
+                  else if not (Bitset.get cf a) then
+                    pending := (a, false) :: !pending)
+                k.Interned.kpos;
+              Array.iter
+                (fun b ->
+                  if Bitset.get cf b then dead := true
+                  else if Bitset.get cm b then
+                    pending := (b, true) :: !pending)
+                k.Interned.kneg;
+              if not !dead then
+                match !pending with
+                | [] -> unsat := true
+                | [ (u, need_true) ] ->
+                    if not (Bitset.get free_b u) then raise Full_tier;
+                    if need_true then begin
+                      if not (Bitset.get chosen_b u) then begin
+                        Bitset.set chosen_b u;
+                        chosen := u :: !chosen;
+                        continue := true
+                      end
+                    end
+                    else if not (Bitset.get banned_b u) then begin
+                      Bitset.set banned_b u;
+                      continue := true
+                    end
+                | _ :: _ :: _ -> raise Full_tier
+            end)
+          p.Interned.constraints;
+        final_cf := cf;
+        final_free := free_b
+      done;
+      if !unsat then `Unsat
+      else begin
+        let free = ref [] in
+        Bitset.iter_true (fun a -> free := a :: !free) !final_free;
+        `Plan
+          {
+            cf = !final_cf;
+            free = Array.of_list (List.rev !free);
+            occ;
+            base_missing;
+            heads;
+          }
+      end
+    with Full_tier -> `Full
+  end
+
+let eligible p = match classify p with `Full -> false | `Plan _ | `Unsat -> true
+
+let expand ?limit ~stats (p : Interned.t) plan =
+  let n1 = max p.Interned.n_atoms 1 in
+  let missing = Array.copy plan.base_missing in
+  Bitset.iter_true
+    (fun a ->
+      List.iter (fun (ri, m) -> missing.(ri) <- missing.(ri) - m) plan.occ.(a))
+    plan.cf;
+  let cur = Bitset.copy plan.cf in
+  let trail = Array.make n1 0 in
+  let sp = ref 0 in
+  (* add one free atom and run the closure forward, using the trail
+     segment itself as the work queue *)
+  let add a =
+    let qh = !sp in
+    if not (Bitset.get cur a) then begin
+      Bitset.set cur a;
+      trail.(!sp) <- a;
+      incr sp;
+      stats.Stats.firings <- stats.Stats.firings + 1
+    end;
+    let i = ref qh in
+    while !i < !sp do
+      let x = trail.(!i) in
+      incr i;
+      List.iter
+        (fun (ri, m) ->
+          missing.(ri) <- missing.(ri) - m;
+          if missing.(ri) = 0 then begin
+            let h = plan.heads.(ri) in
+            if not (Bitset.get cur h) then begin
+              Bitset.set cur h;
+              trail.(!sp) <- h;
+              incr sp;
+              stats.Stats.firings <- stats.Stats.firings + 1
+            end
+          end)
+        plan.occ.(x)
+    done
+  in
+  let undo mark =
+    while !sp > mark do
+      decr sp;
+      let x = trail.(!sp) in
+      Bitset.clear cur x;
+      List.iter (fun (ri, m) -> missing.(ri) <- missing.(ri) + m) plan.occ.(x)
+    done
+  in
+  let models = ref [] in
+  let seen : (Bitset.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let n_found = ref 0 in
+  let record () =
+    stats.Stats.leaves <- stats.Stats.leaves + 1;
+    let key = Bitset.copy cur in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      stats.Stats.models <- stats.Stats.models + 1;
+      models :=
+        Model.make
+          ~cost:(Interned.cost_of p key)
+          (Interned.atoms_of_bitset p key)
+        :: !models;
+      incr n_found;
+      match limit with Some l when !n_found >= l -> raise Done | _ -> ()
+    end
+  in
+  let f = Array.length plan.free in
+  let rec go i =
+    if i = f then record ()
+    else begin
+      stats.Stats.guesses <- stats.Stats.guesses + 1;
+      (* exclude first: small models first, like the kernel's false bias *)
+      go (i + 1);
+      let mark = !sp in
+      add plan.free.(i);
+      go (i + 1);
+      undo mark
+    end
+  in
+  (try go 0 with Done -> ());
+  List.sort Model.compare !models
+
+(* [None]: not in the fragment, fall through to full CDNL *)
+let solve ?limit ~stats p =
+  match classify p with
+  | `Full -> None
+  | `Unsat ->
+      stats.Stats.cheap <- true;
+      Some []
+  | `Plan plan ->
+      stats.Stats.cheap <- true;
+      Some (expand ?limit ~stats p plan)

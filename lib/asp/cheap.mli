@@ -1,0 +1,22 @@
+(** Propagation-only solving tier for tight-shaped, conflict-free
+    programs (see {!Solver}'s [Config.cheap_tier]).
+
+    Fragment: no aggregates, no negation in rule bodies or choice guards,
+    no choice bounds; every choice-element guard decided by the forcing
+    fixpoint, every constraint dead or forcing a single free choice atom.
+    In that fragment stable models are exactly the least fixpoints of the
+    definite rules over facts plus a subset of licensed choice atoms, so
+    detection is sound on non-tight inputs too: an unsupported positive
+    loop never enters a closure. Anything outside the fragment falls back
+    to the full CDNL tier. *)
+
+val eligible : Interned.t -> bool
+(** True when the classifier accepts the program (including the case
+    where it proves unsatisfiability outright). Exposed for tests. *)
+
+val solve :
+  ?limit:int -> stats:Solver_stats.t -> Interned.t -> Model.t list option
+(** [None]: not in the fragment — the caller must run full CDNL.
+    [Some models]: the complete (up to [limit]), deduplicated, sorted
+    enumeration, bit-for-bit what the full tier returns. Sets
+    [stats.cheap] and fills the search counters. *)

@@ -1,0 +1,64 @@
+(* Lock-light learned-nogood exchange between guiding-path solver
+   domains (Engine.Par).
+
+   One single-writer mailbox per path: a preallocated slot array plus an
+   atomic published-length counter. The owner appends a copy of a learnt
+   clause and then bumps its counter with a release store; importers read
+   every counter with an acquire load and copy out the slots between
+   their per-source cursor and the published length. OCaml's memory
+   model makes the plain slot writes visible once the atomic counter
+   value is observed, so no locks are needed and neither side ever
+   blocks. Slots are write-once, so a drained clause is immutable.
+
+   Only clauses produced by 1-UIP analysis may be published: they are
+   implied by the program together with the path's assumption literals,
+   and analysis keeps every assumption-level literal in the clause, so
+   the clause is valid in every other path too. Blocking nogoods and
+   optimal-mode bound prunes are path-local and must never enter the
+   exchange (the solver enforces this at the call site). *)
+
+type t = {
+  capacity : int;
+  slots : int array array array;  (* path -> slot -> clause literals *)
+  published : int Atomic.t array;  (* path -> number of readable slots *)
+}
+
+let create ?(capacity = 4096) ~paths () =
+  {
+    capacity;
+    slots = Array.init (max paths 1) (fun _ -> Array.make capacity [||]);
+    published = Array.init (max paths 1) (fun _ -> Atomic.make 0);
+  }
+
+let paths t = Array.length t.published
+
+(* owner-only: append a clause to [me]'s mailbox; false when full *)
+let publish t ~me lits =
+  let n = Atomic.get t.published.(me) in
+  if n >= t.capacity then false
+  else begin
+    t.slots.(me).(n) <- Array.copy lits;
+    Atomic.set t.published.(me) (n + 1);
+    true
+  end
+
+type cursor = int array
+
+let cursor t = Array.make (paths t) 0
+
+(* import every clause published by other paths since the last drain;
+   the callback receives a private copy (the solver sorts clause arrays
+   in place). Returns the number of clauses delivered. *)
+let drain t ~me cur f =
+  let imported = ref 0 in
+  for src = 0 to paths t - 1 do
+    if src <> me then begin
+      let avail = Atomic.get t.published.(src) in
+      while cur.(src) < avail do
+        f (Array.copy t.slots.(src).(cur.(src)));
+        cur.(src) <- cur.(src) + 1;
+        incr imported
+      done
+    end
+  done;
+  !imported

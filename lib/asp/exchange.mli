@@ -1,0 +1,32 @@
+(** Lock-light learned-nogood exchange between guiding-path solver
+    domains ({!Solver} under [Engine.Par]).
+
+    One single-writer mailbox per path: preallocated slots plus an atomic
+    published-length counter. Publishing is an owner-only append followed
+    by a release store of the counter; draining is an acquire load plus a
+    copy of the newly published slots, so neither side blocks and no
+    locks are taken. Only 1-UIP analysis clauses are globally valid
+    (analysis keeps every assumption-level literal, so an imported clause
+    holds under any other path's assumptions too); blocking nogoods and
+    bound prunes are path-local and are never published. *)
+
+type t
+
+val create : ?capacity:int -> paths:int -> unit -> t
+(** [capacity] (default 4096) bounds each path's mailbox; publishes past
+    the bound are dropped. *)
+
+val paths : t -> int
+
+val publish : t -> me:int -> int array -> bool
+(** Owner-only: append a copy of the clause to [me]'s mailbox. [false]
+    when the mailbox is full. *)
+
+type cursor = int array
+(** Per-source read positions, private to one importing solver. *)
+
+val cursor : t -> cursor
+
+val drain : t -> me:int -> cursor -> (int array -> unit) -> int
+(** Deliver every clause published by other paths since the last drain,
+    each as a private copy; returns how many were delivered. *)

@@ -14,13 +14,18 @@ type clause = {
   mutable lits : int array;
   mutable act : float;
   learnt : bool;
+  local : bool;
+      (* path-local clause (blocking nogood, bound prune): valid only
+         under this solver's assumptions — resolvents over it must never
+         be exported to other guiding-path domains *)
   cid : int;  (* creation stamp: deterministic tie-break for deletion *)
 }
 
 (* growable clause vector with in-place compaction *)
 type cvec = { mutable data : clause array; mutable sz : int }
 
-let dummy_clause = { lits = [||]; act = 0.; learnt = false; cid = -1 }
+let dummy_clause =
+  { lits = [||]; act = 0.; learnt = false; local = false; cid = -1 }
 let cvec_create () = { data = [||]; sz = 0 }
 
 let cvec_push v c =
@@ -35,6 +40,7 @@ let cvec_push v c =
 
 type t = {
   nvars : int;
+  branchable : int;  (* vars below this bound live in the decision heap *)
   stats : Solver_stats.t;
   value : int array;  (* var -> 0 undef / 1 true / -1 false *)
   vlevel : int array;
@@ -51,35 +57,102 @@ type t = {
   mutable cla_inc : float;
   phase : bool array;  (* saved phase: last value the variable took *)
   seen : Bytes.t;
+  heap : int array;  (* binary max-heap of branchable vars by activity *)
+  hpos : int array;  (* var -> heap slot, -1 when absent *)
+  mutable hsz : int;
   mutable next_cid : int;
   mutable undo_hook : int -> unit;
+  mutable analyze_local : bool;
+      (* last analysis resolved over a path-local clause *)
   mutable unsat : bool;  (* conflict at level 0: no model at all *)
 }
 
-let create ~nvars ~stats =
+let create ?branchable ~nvars ~stats () =
   let n = max nvars 1 in
-  {
-    nvars;
-    stats;
-    value = Array.make n 0;
-    vlevel = Array.make n 0;
-    reason = Array.make n None;
-    trail = Array.make n 0;
-    trail_sz = 0;
-    trail_lim = Array.make (n + 1) 0;
-    n_levels = 0;
-    qhead = 0;
-    watches = Array.init (2 * n) (fun _ -> cvec_create ());
-    learnts = cvec_create ();
-    activity = Array.make n 0.;
-    var_inc = 1.;
-    cla_inc = 1.;
-    phase = Array.make n false;
-    seen = Bytes.make n '\000';
-    next_cid = 0;
-    undo_hook = (fun _ -> ());
-    unsat = false;
-  }
+  let branchable = Option.value ~default:nvars branchable in
+  let s =
+    {
+      nvars;
+      branchable;
+      stats;
+      value = Array.make n 0;
+      vlevel = Array.make n 0;
+      reason = Array.make n None;
+      trail = Array.make n 0;
+      trail_sz = 0;
+      trail_lim = Array.make (n + 1) 0;
+      n_levels = 0;
+      qhead = 0;
+      watches = Array.init (2 * n) (fun _ -> cvec_create ());
+      learnts = cvec_create ();
+      activity = Array.make n 0.;
+      var_inc = 1.;
+      cla_inc = 1.;
+      phase = Array.make n false;
+      seen = Bytes.make n '\000';
+      heap = Array.init branchable (fun i -> i);
+      hpos = Array.init n (fun v -> if v < branchable then v else -1);
+      hsz = branchable;
+      next_cid = 0;
+      undo_hook = (fun _ -> ());
+      analyze_local = false;
+      unsat = false;
+    }
+  in
+  (* all activities are zero, so the ascending id order is a valid heap
+     under the (activity desc, id asc) ranking *)
+  s
+
+(* heap ranking: highest activity first, lowest id on ties — exactly the
+   pick the former linear scan made, so branching stays deterministic *)
+let ranks_above s v w =
+  s.activity.(v) > s.activity.(w)
+  || (s.activity.(v) = s.activity.(w) && v < w)
+
+let sift_up s i =
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    ranks_above s s.heap.(!i) s.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let v = s.heap.(!i) and w = s.heap.(p) in
+    s.heap.(!i) <- w;
+    s.heap.(p) <- v;
+    s.hpos.(w) <- !i;
+    s.hpos.(v) <- p;
+    i := p
+  done
+
+let sift_down s i =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    let r = l + 1 in
+    let best = ref !i in
+    if l < s.hsz && ranks_above s s.heap.(l) s.heap.(!best) then best := l;
+    if r < s.hsz && ranks_above s s.heap.(r) s.heap.(!best) then best := r;
+    if !best = !i then continue := false
+    else begin
+      let v = s.heap.(!i) and w = s.heap.(!best) in
+      s.heap.(!i) <- w;
+      s.heap.(!best) <- v;
+      s.hpos.(w) <- !i;
+      s.hpos.(v) <- !best;
+      i := !best
+    end
+  done
+
+let heap_insert s v =
+  if v < s.branchable && s.hpos.(v) < 0 then begin
+    s.heap.(s.hsz) <- v;
+    s.hpos.(v) <- s.hsz;
+    s.hsz <- s.hsz + 1;
+    sift_up s (s.hsz - 1)
+  end
 
 let set_undo_hook s f = s.undo_hook <- f
 let unsat s = s.unsat
@@ -125,14 +198,15 @@ let cancel_until s lvl =
       let v = lit lsr 1 in
       s.value.(v) <- 0;
       s.reason.(v) <- None;
+      heap_insert s v;
       s.undo_hook lit
     done;
     s.qhead <- bound;
     s.n_levels <- lvl
   end
 
-let mk_clause s lits learnt =
-  let c = { lits; act = 0.; learnt; cid = s.next_cid } in
+let mk_clause ?(local = false) s lits learnt =
+  let c = { lits; act = 0.; learnt; local; cid = s.next_cid } in
   s.next_cid <- s.next_cid + 1;
   c
 
@@ -179,14 +253,26 @@ let add_initial s lits =
       | _ :: _ :: _ -> attach s (mk_clause s (Array.of_list kept) false)
   end
 
+(* preprocessed clause: already simplified (>= 2 literals, no duplicates,
+   nothing assigned), attach without re-checking *)
+let add_clean s lits =
+  if not s.unsat then attach s (mk_clause s lits false)
+
+(* assert a literal made unit by chronological backtracking: the clause
+   was attached by [add_dynamic] but re-gained exactly one unassigned
+   literal through trail pops, which event-driven propagation never sees *)
+let force s lit c = enqueue s lit (Some c)
+
 let bump_var s v =
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
   if s.activity.(v) > 1e100 then begin
+    (* uniform rescale preserves the heap order *)
     for i = 0 to s.nvars - 1 do
       s.activity.(i) <- s.activity.(i) *. 1e-100
     done;
     s.var_inc <- s.var_inc *. 1e-100
-  end
+  end;
+  if s.hpos.(v) >= 0 then sift_up s s.hpos.(v)
 
 let bump_clause s c =
   c.act <- c.act +. s.cla_inc;
@@ -262,6 +348,7 @@ let propagate s =
    first) — [learn] below performs the backjump and attachment. *)
 let analyze s confl =
   s.stats.Solver_stats.conflicts <- s.stats.Solver_stats.conflicts + 1;
+  s.analyze_local <- false;
   let tail = ref [] in
   let pathc = ref 0 in
   let p = ref (-1) in
@@ -271,6 +358,7 @@ let analyze s confl =
   let looping = ref true in
   while !looping do
     let cl = !c in
+    if cl.local then s.analyze_local <- true;
     if cl.learnt then bump_clause s cl;
     let lits = cl.lits in
     let start = if !p = -1 then 0 else 1 in
@@ -303,6 +391,8 @@ let analyze s confl =
   List.iter (fun v -> Bytes.set s.seen v '\000') !to_clear;
   Array.of_list ((!p lxor 1) :: !tail)
 
+let analyzed_local s = s.analyze_local
+
 (* backjump as far as the learnt clause allows (never above [root]),
    attach it and assert its first literal *)
 let learn s ~root lits =
@@ -330,7 +420,9 @@ let learn s ~root lits =
   cancel_until s target;
   if len = 1 then enqueue s lits.(0) None
   else begin
-    let c = mk_clause s lits true in
+    (* a resolvent over a path-local clause is itself path-local: it must
+       carry the taint so later analyses over it stay unshareable *)
+    let c = mk_clause ~local:s.analyze_local s lits true in
     attach s c;
     cvec_push s.learnts c;
     bump_clause s c;
@@ -346,7 +438,7 @@ type dyn_result = Sat | Unit | Conflict of clause | Empty
    conflicting. A unit clause (size 1 after inspection) is asserted with
    itself as reason but left unattached: once the search retracts below
    the asserting level, the lazy check that produced it fires again. *)
-let add_dynamic s ~learnt lits =
+let add_dynamic ?(local = false) s ~learnt lits =
   let len = Array.length lits in
   if len = 0 then begin
     s.unsat <- true;
@@ -364,7 +456,7 @@ let add_dynamic s ~learnt lits =
     Array.sort
       (fun a b -> compare (keyof b) (keyof a))
       lits;
-    let c = mk_clause s lits learnt in
+    let c = mk_clause ~local s lits learnt in
     if len >= 2 then begin
       attach s c;
       if learnt then begin
@@ -412,18 +504,24 @@ let reduce_db s =
     List.iter (fun c -> cvec_push ls c) (List.rev !kept)
   end
 
-(* deterministic VSIDS pick over a variable range: the unassigned
-   variable with the highest activity, lowest id on ties; saved-phase
-   polarity (variables start out false, biasing enumeration towards
-   small models first). *)
-let pick_branch s ~lo ~hi =
-  let best = ref (-1) in
-  let best_act = ref neg_infinity in
-  for v = lo to hi - 1 do
-    if s.value.(v) = 0 && s.activity.(v) > !best_act then begin
-      best := v;
-      best_act := s.activity.(v)
-    end
-  done;
-  if !best < 0 then None
-  else Some (if s.phase.(!best) then 2 * !best else (2 * !best) + 1)
+(* deterministic VSIDS pick: the unassigned branchable variable with the
+   highest activity, lowest id on ties — popped from the heap instead of
+   scanned linearly; assigned entries are discarded lazily and re-enter
+   the heap when the trail pops them. Saved-phase polarity (variables
+   start out false, biasing enumeration towards small models first). *)
+let rec pick_branch s =
+  if s.hsz = 0 then None
+  else begin
+    let v = s.heap.(0) in
+    s.hsz <- s.hsz - 1;
+    s.hpos.(v) <- -1;
+    if s.hsz > 0 then begin
+      let w = s.heap.(s.hsz) in
+      s.heap.(0) <- w;
+      s.hpos.(w) <- 0;
+      sift_down s 0
+    end;
+    if s.value.(v) = 0 then
+      Some (if s.phase.(v) then 2 * v else (2 * v) + 1)
+    else pick_branch s
+  end

@@ -13,7 +13,11 @@ type clause
 
 type t
 
-val create : nvars:int -> stats:Solver_stats.t -> t
+val create : ?branchable:int -> nvars:int -> stats:Solver_stats.t -> unit -> t
+(** [branchable] (default [nvars]) bounds the variables kept in the
+    decision heap: {!pick_branch} only ever returns vars below it (the
+    solver passes the atom count — bodies and aggregates follow by
+    propagation or are decided at the fringe). *)
 
 val set_undo_hook : t -> (int -> unit) -> unit
 (** Called once per literal popped off the trail by {!cancel_until}, most
@@ -44,6 +48,11 @@ val add_initial : t -> int array -> unit
 (** Level-0 clause, simplified against the current top-level assignment;
     may set {!unsat}. Must only be called before the first decision. *)
 
+val add_clean : t -> int array -> unit
+(** Level-0 clause already simplified by {!Preprocess} (at least two
+    literals, no duplicates, nothing assigned): attached without the
+    per-clause re-checking of {!add_initial}. *)
+
 val decide : t -> int -> unit
 (** Open a new decision level and assert the literal (also used for
     guiding-path assumptions). *)
@@ -55,18 +64,31 @@ val analyze : t -> clause -> int array
 (** 1-UIP conflict analysis; the asserting literal comes first. Only
     valid when the conflict involves the current decision level. *)
 
+val analyzed_local : t -> bool
+(** Whether the last {!analyze} resolved over a path-local clause
+    (blocking nogood, bound prune, or a learnt descendant of one). Such
+    resolvents depend on this path's assumptions or incumbent and must
+    not be published to the {!Exchange}. *)
+
 val learn : t -> root:int -> int array -> unit
 (** Backjump as far as the learnt clause allows (never above [root]),
     attach it, assert its first literal, and decay activities. *)
 
 type dyn_result = Sat | Unit | Conflict of clause | Empty
 
-val add_dynamic : t -> learnt:bool -> int array -> dyn_result
+val add_dynamic : ?local:bool -> t -> learnt:bool -> int array -> dyn_result
 (** Add a clause discovered during search (lazy aggregate/bound
     explanations, loop nogoods, blocking nogoods): the current assignment
     decides whether it is silent ([Sat]), propagating ([Unit]) or
     conflicting. [learnt] clauses are subject to deletion; blocking
-    nogoods must be permanent. *)
+    nogoods must be permanent. [local] (default false) marks the clause
+    path-local — see {!analyzed_local}. *)
+
+val force : t -> int -> clause -> unit
+(** Assert a literal with an attached clause as reason. Used by the
+    enumeration loop when chronological backtracking leaves a blocking
+    clause with exactly one unassigned literal — a unit that event-driven
+    propagation cannot see, since no new assignment touches the clause. *)
 
 val cancel_until : t -> int -> unit
 
@@ -74,7 +96,8 @@ val reduce_db : t -> unit
 (** Delete the coldest half of the learned clauses; reasons and short
     clauses survive. *)
 
-val pick_branch : t -> lo:int -> hi:int -> int option
-(** Deterministic VSIDS pick over a variable range: highest activity,
-    lowest id on ties, saved-phase polarity (initially false). [None]
-    when every variable in the range is assigned. *)
+val pick_branch : t -> int option
+(** Deterministic VSIDS pick from the activity heap: highest activity,
+    lowest id on ties, saved-phase polarity (initially false) — the same
+    choice the former linear scan made, found in O(log n). [None] when
+    every branchable variable is assigned. *)

@@ -1,0 +1,39 @@
+(** Clause-level preprocessing over completion nogoods ({!Completion}),
+    run once before CDNL search ({!Solver}).
+
+    Four reductions, in order: unit propagation to fixpoint; binary-clause
+    equivalence reduction (body variables merged into a representative);
+    duplicate removal and backward subsumption; pure-literal elimination
+    of body variables. Unit propagation, duplicates and subsumption are
+    sound unconditionally — subsumption only ever strengthens unit
+    propagation, so the solver's lazy value-keyed checks still fire.
+    Equivalence and pure-literal reduction touch only variables at or
+    above [body_base] and only when [elim_bodies] is set, which callers
+    tie to the program being tight: body variables of a tight program
+    carry no semantics beyond their clauses (no unfounded-set check reads
+    them) and are auto-decided at the search fringe, so merging or
+    force-assigning them preserves the enumerated atom projections
+    bit for bit. Counts land in the [pre_*] fields of the given
+    {!Solver_stats.t}. *)
+
+type result = {
+  clauses : int array list;
+      (** surviving simplified clauses, each with at least two literals,
+          in input order *)
+  forced : int list;
+      (** literals fixed at level 0 (units, pure assignments), in
+          derivation order; assert these before attaching [clauses] *)
+  unsat : bool;  (** a contradiction surfaced: the clause set has no model *)
+}
+
+val run :
+  ?elim_bodies:bool ->
+  nvars:int ->
+  body_base:int ->
+  stats:Solver_stats.t ->
+  int array list ->
+  result
+(** [elim_bodies] (default false) enables the body-variable-only
+    equivalence and pure-literal reductions; pass the completion's
+    tightness flag. Deterministic: identical inputs produce identical
+    outputs regardless of hash-table iteration order. *)

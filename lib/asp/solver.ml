@@ -12,6 +12,22 @@ module Stats = Solver_stats
    cap is needed *)
 let default_max_guess = 64
 
+module Config = struct
+  type t = {
+    preprocess : bool;  (* completion-nogood preprocessing (§12.1) *)
+    cheap_tier : bool;  (* propagation-only tier for eligible programs *)
+    exchange : (Exchange.t * int) option;
+        (* learned-nogood sharing hub and this solver's path id *)
+  }
+
+  let default = { preprocess = true; cheap_tier = true; exchange = None }
+end
+
+(* sharing filter: clauses worth exporting are short or have low LBD —
+   everything else costs the importers more than it saves *)
+let share_max_size = 16
+let share_max_lbd = 4
+
 (* Luby restart sequence: 1 1 2 1 1 2 4 ... *)
 let rec luby i =
   let k = ref 1 in
@@ -40,7 +56,9 @@ type driver = {
 
 let make_driver (p : Interned.t) (comp : Completion.t) stats =
   let n_atoms = comp.Completion.n_atoms in
-  let k = Nogood.create ~nvars:comp.Completion.n_vars ~stats in
+  let k =
+    Nogood.create ~branchable:n_atoms ~nvars:comp.Completion.n_vars ~stats ()
+  in
   let n1 = max n_atoms 1 in
   let d =
     {
@@ -424,11 +442,9 @@ let rec bound_exceeds lb (best : Model.cost) =
 
 exception Finished
 
-let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
-  ignore max_guess;
-  let t0 = Unix.gettimeofday () in
-  let stats = Stats.create () in
-  let p = Interned.compile g in
+(* the full CDNL tier; [p] is already compiled so the cheap-tier
+   dispatcher below shares the work *)
+let solve_full ?limit ~config ~assumptions ~optimal ~stats (p : Interned.t) =
   let comp = Completion.compile p in
   let models = ref [] in
   let seen : (Bitset.t, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -464,7 +480,18 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
   in
   (try
      if comp.Completion.unsat then raise Finished;
-     List.iter (fun c -> Nogood.add_initial k c) comp.Completion.clauses;
+     (if config.Config.preprocess then begin
+        let body_base = comp.Completion.n_atoms + comp.Completion.n_counts in
+        let pre =
+          Preprocess.run ~elim_bodies:comp.Completion.tight
+            ~nvars:comp.Completion.n_vars ~body_base ~stats
+            comp.Completion.clauses
+        in
+        if pre.Preprocess.unsat then raise Finished;
+        List.iter (fun l -> Nogood.add_initial k [| l |]) pre.Preprocess.forced;
+        List.iter (fun c -> Nogood.add_clean k c) pre.Preprocess.clauses
+      end
+      else List.iter (fun c -> Nogood.add_initial k c) comp.Completion.clauses);
      if Nogood.unsat k then raise Finished;
      (* establish the guiding path: each assumption opens its own level,
         so conflicts never backjump into it *)
@@ -489,11 +516,94 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
      let restarts = ref 0 in
      let conflicts_pending = ref 0 in
      let max_learnts = ref (max 1000 (List.length comp.Completion.clauses)) in
+     let share = config.Config.exchange in
+     let sharing = Option.is_some share in
+     let cursor =
+       match share with
+       | Some (hub, _) -> Some (Exchange.cursor hub)
+       | None -> None
+     in
+     (* vars this path's guiding assumptions fixed: a learned clause
+        that mentions one carries the path's identity — in every sibling
+        the clause is satisfied by the opposite assumption, so exporting
+        it is pure watch overhead. Only assumption-free clauses travel. *)
+     let assumption_vars =
+       if not sharing then [||]
+       else begin
+         let b = Array.make comp.Completion.n_vars false in
+         List.iter
+           (fun (atom, _) ->
+             match Interned.id p atom with
+             | exception Not_found -> ()
+             | v -> b.(v) <- true)
+           assumptions;
+         b
+       end
+     in
+     (* distinct decision levels in the clause, on the pre-backjump
+        assignment: the usual quality measure for exported clauses *)
+     let lbd lits =
+       let levels = Hashtbl.create 8 in
+       Array.iter
+         (fun l -> Hashtbl.replace levels (Nogood.var_level k (l lsr 1)) ())
+         lits;
+       Hashtbl.length levels
+     in
      let handle_conflict confl =
        if Nogood.level k <= root then raise Finished;
        let lits = Nogood.analyze k confl in
+       (* publish before [learn] reorders the array and backjumps away
+          the levels the LBD is measured on *)
+       (match share with
+       | Some (hub, me)
+         when (not (Nogood.analyzed_local k))
+              && Array.length lits <= share_max_size
+              && lbd lits <= share_max_lbd
+              && Array.for_all
+                   (fun l -> not assumption_vars.(l lsr 1))
+                   lits ->
+           if Exchange.publish hub ~me lits then
+             stats.Stats.shared_out <- stats.Stats.shared_out + 1
+       | _ -> ());
        Nogood.learn k ~root lits;
        incr conflicts_pending
+     in
+     (* pull clauses other guiding-path domains published; an imported
+        clause already false below the current level is a conflict the
+        event-driven propagator cannot surface, so backtrack to its
+        deepest literal and run the usual analysis from there *)
+     let import_shared () =
+       match (share, cursor) with
+       | Some (hub, me), Some cur ->
+           let acted = ref false in
+           let pending = ref None in
+           let n =
+             Exchange.drain hub ~me cur (fun lits ->
+                 if !pending = None then
+                   (* permanent, not learnt: imports carry no activity, so
+                      the reduction heuristic would evict them first — the
+                      size/LBD export filter bounds the volume instead *)
+                   match Nogood.add_dynamic k ~learnt:false lits with
+                   | Nogood.Sat -> ()
+                   | Nogood.Unit -> acted := true
+                   | Nogood.Empty -> raise Finished
+                   | Nogood.Conflict c -> pending := Some (c, lits))
+           in
+           if n > 0 then stats.Stats.shared_in <- stats.Stats.shared_in + n;
+           (match !pending with
+           | None -> ()
+           | Some (c, lits) ->
+               acted := true;
+               let deepest =
+                 Array.fold_left
+                   (fun m l -> max m (Nogood.var_level k (l lsr 1)))
+                   0 lits
+               in
+               if deepest <= root then raise Finished;
+               Nogood.cancel_until k deepest;
+               handle_conflict c);
+           !acted
+       | _ -> false
      in
      let n_vars = comp.Completion.n_vars in
      while true do
@@ -508,6 +618,7 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
            | Quiet ->
                if Nogood.trail_size k = n_vars then begin
                  record_model ();
+                 if Nogood.level k <= root then raise Finished;
                  (* block exactly this assignment: atoms fixed below the
                     root are common to the whole branch and stay out *)
                  let lits = ref [] in
@@ -518,10 +629,39 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
                         else Completion.lit_true a)
                        :: !lits
                  done;
-                 match Nogood.add_dynamic k ~learnt:false (Array.of_list !lits) with
+                 if !lits = [] then raise Finished;
+                 let arr = Array.of_list !lits in
+                 (* chronological retreat instead of learn-and-restart:
+                    pop levels until the blocking nogood frees a literal,
+                    then resume — the next model is usually adjacent, so
+                    the assignment prefix is worth keeping (no thrash) *)
+                 match Nogood.add_dynamic k ~learnt:false ~local:true arr with
                  | Nogood.Empty -> raise Finished
-                 | Nogood.Conflict c -> handle_conflict c
-                 | Nogood.Unit | Nogood.Sat -> ()
+                 | Nogood.Sat | Nogood.Unit ->
+                     (* unreachable: every literal is false at the model *)
+                     ()
+                 | Nogood.Conflict c ->
+                     stats.Stats.model_blocks <-
+                       stats.Stats.model_blocks + 1;
+                     let rec retreat () =
+                       if Nogood.level k <= root then raise Finished;
+                       Nogood.cancel_until k (Nogood.level k - 1);
+                       let unassigned = ref 0 in
+                       let ulit = ref (-1) in
+                       Array.iter
+                         (fun l ->
+                           if Nogood.value_lit k l = 0 then begin
+                             incr unassigned;
+                             ulit := l
+                           end)
+                         arr;
+                       if !unassigned = 0 then retreat ()
+                       else if !unassigned = 1 then
+                         (* the clause regained exactly one free literal:
+                            a unit no watch event will ever deliver *)
+                         Nogood.force k !ulit c
+                     in
+                     retreat ()
                end
                else begin
                  (* bound pruning: the decisions taken so far form the
@@ -539,16 +679,18 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
                               Nogood.decision_lit k (root + i + 1) lxor 1)
                         in
                         pruned_here := true;
-                        (match Nogood.add_dynamic k ~learnt:true lits with
+                        (match
+                           Nogood.add_dynamic k ~learnt:true ~local:true lits
+                         with
                         | Nogood.Conflict c -> handle_conflict c
                         | Nogood.Empty -> raise Finished
                         | Nogood.Unit | Nogood.Sat -> ())
                     | _ -> ());
                  if not !pruned_here then begin
-                   if
-                     !conflicts_pending
-                     >= restart_base * luby (!restarts + 1)
-                   then begin
+                   let restarted =
+                     !conflicts_pending >= restart_base * luby (!restarts + 1)
+                   in
+                   if restarted then begin
                      incr restarts;
                      stats.Stats.restarts <- stats.Stats.restarts + 1;
                      conflicts_pending := 0;
@@ -558,54 +700,84 @@ let solve_core ?limit ?max_guess ?(assumptions = []) ~optimal (g : Ground.t) =
                      Nogood.reduce_db k;
                      max_learnts := !max_learnts + (!max_learnts / 5)
                    end;
-                   match
-                     Nogood.pick_branch k ~lo:0 ~hi:comp.Completion.n_atoms
-                   with
-                   | Some lit -> Nogood.decide k lit
-                   | None ->
-                       (* every atom is assigned: bodies and aggregates
-                          must follow by propagation or lazy checks; an
-                          unassigned one can only be an aggregate over an
-                          empty scope or a body var of a degenerate rule —
-                          decide them in id order *)
-                       let v = ref comp.Completion.n_atoms in
-                       while
-                         !v < n_vars && Nogood.value_var k !v <> 0
-                       do
-                         incr v
-                       done;
-                       if !v < n_vars then
-                         Nogood.decide k (Completion.lit_false !v)
-                       else raise Finished
+                   (* imports land only at restarts: at the root they
+                      strengthen the formula monotonically, while mid-burst
+                      they would derail a VSIDS trajectory that is already
+                      paying off *)
+                   let imported =
+                     sharing && restarted && import_shared ()
+                   in
+                   if not imported then
+                     match Nogood.pick_branch k with
+                     | Some lit -> Nogood.decide k lit
+                     | None ->
+                         (* every atom is assigned: bodies and aggregates
+                            must follow by propagation or lazy checks; an
+                            unassigned one can only be an aggregate over an
+                            empty scope or a body var of a degenerate rule —
+                            decide them in id order *)
+                         let v = ref comp.Completion.n_atoms in
+                         while
+                           !v < n_vars && Nogood.value_var k !v <> 0
+                         do
+                           incr v
+                         done;
+                         if !v < n_vars then
+                           Nogood.decide k (Completion.lit_false !v)
+                         else raise Finished
                  end
                end)
      done
    with Finished -> ());
   let result = List.sort Model.compare !models in
+  if optimal then
+    match !best with
+    | None -> []
+    | Some b ->
+        List.filter (fun m -> Model.compare_cost (Model.cost m) b = 0) result
+  else result
+
+(* tier dispatch: the cheap propagation-only tier answers whole-program
+   enumeration (no assumptions, and no weak constraints when optimizing —
+   a zero-cost optimum is just the enumeration); everything else runs the
+   full CDNL tier *)
+let solve_core ?limit ?max_guess ?(assumptions = []) ?(config = Config.default)
+    ~optimal (g : Ground.t) =
+  ignore max_guess;
+  let t0 = Unix.gettimeofday () in
+  let stats = Stats.create () in
+  let p = Interned.compile g in
+  let cheap =
+    if
+      config.Config.cheap_tier
+      && assumptions = []
+      && ((not optimal) || Array.length p.Interned.weaks = 0)
+    then Cheap.solve ?limit ~stats p
+    else None
+  in
   let result =
-    if optimal then
-      match !best with
-      | None -> []
-      | Some b ->
-          List.filter (fun m -> Model.compare_cost (Model.cost m) b = 0) result
-    else result
+    match cheap with
+    | Some models -> models
+    | None -> solve_full ?limit ~config ~assumptions ~optimal ~stats p
   in
   stats.Stats.wall_s <- Unix.gettimeofday () -. t0;
   (result, stats)
 
-let solve_with_stats ?limit ?max_guess ?assumptions g =
-  solve_core ?limit ?max_guess ?assumptions ~optimal:false g
+let solve_with_stats ?limit ?max_guess ?assumptions ?config g =
+  solve_core ?limit ?max_guess ?assumptions ?config ~optimal:false g
 
-let solve ?limit ?max_guess ?assumptions g =
-  fst (solve_with_stats ?limit ?max_guess ?assumptions g)
+let solve ?limit ?max_guess ?assumptions ?config g =
+  fst (solve_with_stats ?limit ?max_guess ?assumptions ?config g)
 
-let solve_optimal_with_stats ?max_guess ?assumptions g =
-  solve_core ?max_guess ?assumptions ~optimal:true g
+let solve_optimal_with_stats ?max_guess ?assumptions ?config g =
+  solve_core ?max_guess ?assumptions ?config ~optimal:true g
 
-let solve_optimal ?max_guess ?assumptions g =
-  fst (solve_optimal_with_stats ?max_guess ?assumptions g)
+let solve_optimal ?max_guess ?assumptions ?config g =
+  fst (solve_optimal_with_stats ?max_guess ?assumptions ?config g)
 
-let satisfiable ?max_guess g = solve ?max_guess ~limit:1 g <> []
+let satisfiable ?max_guess ?config g = solve ?max_guess ?config ~limit:1 g <> []
+
+let cheap_eligible g = Cheap.eligible (Interned.compile g)
 
 (* guiding-path split points for parallel enumeration: choice atoms in
    interned id order, then atoms under negation — conditioning on any

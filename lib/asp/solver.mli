@@ -23,16 +23,31 @@
       solved natively — the old exhaustive [2^n] fallback and its
       64-atom guess cap are gone.
 
-    Models are enumerated with blocking nogoods and returned sorted, so
-    results are bit-for-bit identical to {!Naive} and {!Dfs}.
-    {!solve_optimal} keeps branch-and-bound and learns a decision nogood
-    from every bound violation; the bound is a per-priority-level lower
-    bound that adds the weights of still-undecided negative tuples, so
-    pruning stays sound (and enabled) under mixed-sign weights.
+    Models are enumerated with {e blocking nogoods under chronological
+    backtracking}: recording a model pops one decision level and resumes
+    instead of learning and restarting, so adjacent models are reached
+    without rebuilding the assignment prefix (see DESIGN.md §12.3).
+    Results are returned sorted, bit-for-bit identical to {!Naive} and
+    {!Dfs}. {!solve_optimal} keeps branch-and-bound and learns a decision
+    nogood from every bound violation; the bound is a per-priority-level
+    lower bound that adds the weights of still-undecided negative tuples,
+    so pruning stays sound (and enabled) under mixed-sign weights.
+
+    Before search, the completion nogoods run through {!Preprocess}
+    (unit propagation to fixpoint, duplicate and subsumed-clause
+    elimination, and — on tight programs — body-variable equivalence and
+    pure-literal reduction); programs in the propagation-only fragment
+    skip CDNL entirely ({!Cheap}). Both are on by default and switchable
+    via {!Config}.
 
     [?assumptions] fixes atom values under dedicated decision levels
     before search starts — the guiding-path mechanism used by
-    [Engine.Par] to split enumeration across domains deterministically. *)
+    [Engine.Par] to split enumeration across domains deterministically.
+    [Config.exchange] plugs the solver into a learned-nogood {!Exchange}
+    between such domains: only clauses from 1-UIP analyses untainted by
+    path-local nogoods are published, so imports are sound under any
+    other path's assumptions and the merged result stays bit-for-bit
+    identical to a sequential solve. *)
 
 exception Unsupported of string
 (** Retained for API compatibility with {!Dfs}; the CDNL path has no
@@ -47,10 +62,27 @@ module Stats = Solver_stats
 (** Search statistics; fresh per [solve_*_with_stats] call, so repeated
     or re-entrant solves report independent counters and wall times. *)
 
+module Config : sig
+  type t = {
+    preprocess : bool;
+        (** run {!Preprocess} over the completion nogoods (default on) *)
+    cheap_tier : bool;
+        (** dispatch eligible programs to the propagation-only {!Cheap}
+            tier (default on); disabled automatically under assumptions
+            and under optimization with weak constraints *)
+    exchange : (Exchange.t * int) option;
+        (** learned-nogood sharing: the hub and this solver's path id
+            (default [None]) *)
+  }
+
+  val default : t
+end
+
 val solve :
   ?limit:int ->
   ?max_guess:int ->
   ?assumptions:(Atom.t * bool) list ->
+  ?config:Config.t ->
   Ground.t ->
   Model.t list
 (** All stable models (up to [limit], default unlimited), deduplicated,
@@ -62,21 +94,31 @@ val solve_with_stats :
   ?limit:int ->
   ?max_guess:int ->
   ?assumptions:(Atom.t * bool) list ->
+  ?config:Config.t ->
   Ground.t ->
   Model.t list * Stats.t
 (** Same as {!solve}, also returning search statistics. *)
 
 val solve_optimal :
-  ?max_guess:int -> ?assumptions:(Atom.t * bool) list -> Ground.t -> Model.t list
+  ?max_guess:int ->
+  ?assumptions:(Atom.t * bool) list ->
+  ?config:Config.t ->
+  Ground.t ->
+  Model.t list
 (** Models with the minimal weak-constraint cost (all optima). *)
 
 val solve_optimal_with_stats :
   ?max_guess:int ->
   ?assumptions:(Atom.t * bool) list ->
+  ?config:Config.t ->
   Ground.t ->
   Model.t list * Stats.t
 
-val satisfiable : ?max_guess:int -> Ground.t -> bool
+val satisfiable : ?max_guess:int -> ?config:Config.t -> Ground.t -> bool
+
+val cheap_eligible : Ground.t -> bool
+(** Whether the cheap-tier classifier accepts the program (exposed for
+    tests of the tier dispatch; see {!Cheap.eligible}). *)
 
 val guiding_atoms : Ground.t -> int -> Atom.t list
 (** Up to [n] split atoms for guiding-path parallel enumeration: choice

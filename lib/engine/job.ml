@@ -7,10 +7,14 @@ type spec = {
   mode : mode;
   max_guess : int option;
   max_atoms : int option;
+  solver_config : Asp.Solver.Config.t option;
+      (* not fingerprinted: the config changes the work, never the models,
+         so cached results stay valid across config switches *)
 }
 
-let spec ?(mode = Enumerate None) ?max_guess ?max_atoms ~compile ~deltas base =
-  { base; compile; deltas; mode; max_guess; max_atoms }
+let spec ?(mode = Enumerate None) ?max_guess ?max_atoms ?solver_config ~compile
+    ~deltas base =
+  { base; compile; deltas; mode; max_guess; max_atoms; solver_config }
 
 type result = {
   index : int;
@@ -65,8 +69,10 @@ let solve p delta =
   let models, stats =
     match s.mode with
     | Enumerate limit ->
-        Asp.Solver.solve_with_stats ?limit ?max_guess:s.max_guess ground
+        Asp.Solver.solve_with_stats ?limit ?max_guess:s.max_guess
+          ?config:s.solver_config ground
     | Optimal ->
-        Asp.Solver.solve_optimal_with_stats ?max_guess:s.max_guess ground
+        Asp.Solver.solve_optimal_with_stats ?max_guess:s.max_guess
+          ?config:s.solver_config ground
   in
   (models, stats, gstats)

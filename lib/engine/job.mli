@@ -20,10 +20,15 @@ type spec = {
   mode : mode;
   max_guess : int option;  (** per-solve cap, default solver's *)
   max_atoms : int option;  (** grounder universe cap, default grounder's *)
+  solver_config : Asp.Solver.Config.t option;
+      (** per-solve {!Asp.Solver.Config}; [None] uses the default. Not
+          part of the fingerprint — the config changes the work, never
+          the models, so cached results stay valid across switches *)
 }
 
 val spec :
   ?mode:mode -> ?max_guess:int -> ?max_atoms:int ->
+  ?solver_config:Asp.Solver.Config.t ->
   compile:(Delta.t -> Asp.Program.t) -> deltas:Delta.t list ->
   Asp.Program.t -> spec
 (** [mode] defaults to [Enumerate None]. *)

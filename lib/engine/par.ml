@@ -18,9 +18,9 @@ let ceil_log2 n =
 let assumptions_of_path atoms i =
   List.mapi (fun k a -> (a, (i lsr k) land 1 = 1)) atoms
 
-let sequential ?limit g =
+let sequential ?limit ?config g =
   let t0 = Unix.gettimeofday () in
-  let models, stats = Asp.Solver.solve_with_stats ?limit g in
+  let models, stats = Asp.Solver.solve_with_stats ?limit ?config g in
   {
     models;
     stats;
@@ -30,17 +30,40 @@ let sequential ?limit g =
     path_walls = [| stats.Asp.Solver.Stats.wall_s |];
   }
 
-let split_atoms g jobs = Asp.Solver.guiding_atoms g (ceil_log2 jobs)
+(* Over-decompose: [2 + ceil_log2 jobs] guiding bits give four times as
+   many paths as workers. Sign-splitting on choice atoms is uneven — the
+   all-false branch keeps most of the space — so finer paths are what
+   lets the pool balance the load, at a per-path recompile cost that is
+   negligible next to any search worth parallelising. *)
+let split_atoms g jobs = Asp.Solver.guiding_atoms g (2 + ceil_log2 jobs)
+
+let popcount i =
+  let rec go n i = if i = 0 then n else go (n + (i land 1)) (i lsr 1) in
+  go 0 i
 
 let run_paths ?oversubscribe ~jobs atoms solve_path =
   let t0 = Unix.gettimeofday () in
   let bits = List.length atoms in
   let paths = 1 lsl bits in
-  let per_path =
+  (* schedule the most-constrained paths (most true-assumption bits)
+     first: they are the quick ones, and the clauses they publish to the
+     exchange then prune the wide all-false branches that follow *)
+  let order = Array.init paths (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare (popcount b) (popcount a) with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let scheduled =
     Pool.map ?oversubscribe ~jobs
-      (fun i -> solve_path (assumptions_of_path atoms i))
+      (fun j ->
+        let i = order.(j) in
+        solve_path i (assumptions_of_path atoms i))
       paths
   in
+  let per_path = Array.make paths scheduled.(0) in
+  Array.iteri (fun j r -> per_path.(order.(j)) <- r) scheduled;
   let stats = Asp.Solver.Stats.create () in
   Array.iter (fun (_, s) -> Asp.Solver.Stats.accumulate stats s) per_path;
   let path_walls =
@@ -53,32 +76,48 @@ let run_paths ?oversubscribe ~jobs atoms solve_path =
   let models = List.concat_map fst (Array.to_list per_path) in
   (models, { models = []; stats; jobs; paths; wall_s = wall; path_walls })
 
-let enumerate ?oversubscribe ?jobs ?limit g =
+(* per-path config: plug the sharing hub in (when enabled) and force the
+   full CDNL tier — under guiding-path assumptions the cheap tier is
+   skipped anyway, and the explicit override keeps the config honest *)
+let path_config ~share ~hub base =
+  match (share, hub) with
+  | true, Some h ->
+      fun i -> { base with Asp.Solver.Config.exchange = Some (h, i) }
+  | _ -> fun _ -> base
+
+let enumerate ?oversubscribe ?jobs ?limit ?(share = true)
+    ?(config = Asp.Solver.Config.default) g =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   (* a global model cap cannot be split soundly across branches without
      over-enumerating, so limited solves stay sequential *)
-  if jobs <= 1 || limit <> None then sequential ?limit g
+  if jobs <= 1 || limit <> None then sequential ?limit ~config g
   else
     match split_atoms g jobs with
-    | [] -> sequential g
+    | [] -> sequential ~config g
     | atoms ->
+        let paths = 1 lsl List.length atoms in
+        let hub =
+          if share then Some (Asp.Exchange.create ~paths ()) else None
+        in
+        let config_of = path_config ~share ~hub config in
         let models, r =
-          run_paths ?oversubscribe ~jobs atoms (fun assumptions ->
-              Asp.Solver.solve_with_stats ~assumptions g)
+          run_paths ?oversubscribe ~jobs atoms (fun i assumptions ->
+              Asp.Solver.solve_with_stats ~assumptions ~config:(config_of i) g)
         in
         (* branches are disjoint: concatenation + sort reproduces the
            sequential enumeration bit for bit *)
         { r with models = List.sort Asp.Model.compare models }
 
-let optimal ?oversubscribe ?jobs g =
+let optimal ?oversubscribe ?jobs ?(share = true)
+    ?(config = Asp.Solver.Config.default) g =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   if jobs <= 1 then begin
     let t0 = Unix.gettimeofday () in
-    let models, stats = Asp.Solver.solve_optimal_with_stats g in
+    let models, stats = Asp.Solver.solve_optimal_with_stats ~config g in
     {
       models;
       stats;
@@ -92,7 +131,7 @@ let optimal ?oversubscribe ?jobs g =
     match split_atoms g jobs with
     | [] ->
         let t0 = Unix.gettimeofday () in
-        let models, stats = Asp.Solver.solve_optimal_with_stats g in
+        let models, stats = Asp.Solver.solve_optimal_with_stats ~config g in
         {
           models;
           stats;
@@ -102,9 +141,15 @@ let optimal ?oversubscribe ?jobs g =
           path_walls = [| stats.Asp.Solver.Stats.wall_s |];
         }
     | atoms ->
+        let paths = 1 lsl List.length atoms in
+        let hub =
+          if share then Some (Asp.Exchange.create ~paths ()) else None
+        in
+        let config_of = path_config ~share ~hub config in
         let fronts, r =
-          run_paths ?oversubscribe ~jobs atoms (fun assumptions ->
-              Asp.Solver.solve_optimal_with_stats ~assumptions g)
+          run_paths ?oversubscribe ~jobs atoms (fun i assumptions ->
+              Asp.Solver.solve_optimal_with_stats ~assumptions
+                ~config:(config_of i) g)
         in
         (* each branch returns its local optimum front; the global front
            is the minimum-cost slice of their union *)

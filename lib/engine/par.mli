@@ -10,11 +10,25 @@
 
     The split atoms come from {!Asp.Solver.guiding_atoms} (choice atoms
     first — the natural combinatorial frontier of the reference
-    encodings), [k = ceil(log2 jobs)] capped by the number of available
-    atoms. Merged statistics accumulate every branch's counters;
+    encodings), [k = 2 + ceil(log2 jobs)] capped by the number of
+    available atoms: four times as many paths as workers, because sign
+    splits on choice atoms are uneven (the all-false branch keeps most
+    of the space) and the surplus lets the pool balance the load. Paths
+    are scheduled most-constrained first (descending count of true
+    assumption bits), so the quick branches run early and seed the
+    exchange for the wide ones. Merged statistics accumulate every
+    branch's counters;
     [stats.wall_s] is the measured elapsed time of the whole fan-out
     while {!report.path_walls} keeps the per-branch solver walls, whose
-    max is the critical path (the ideal-parallel lower bound). *)
+    max is the critical path (the ideal-parallel lower bound).
+
+    By default the branches exchange learned nogoods through an
+    {!Asp.Exchange} hub ([?share], on unless disabled): each solver
+    publishes the short/low-LBD clauses of its 1-UIP analyses that are
+    untainted by path-local nogoods, so every import is valid under any
+    other branch's assumptions and the merged result stays bit-for-bit
+    the sequential enumeration — sharing changes the work, never the
+    answer. *)
 
 type report = {
   models : Asp.Model.t list;  (** merged, sorted — equal to sequential *)
@@ -26,14 +40,29 @@ type report = {
 }
 
 val enumerate :
-  ?oversubscribe:bool -> ?jobs:int -> ?limit:int -> Asp.Ground.t -> report
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  ?limit:int ->
+  ?share:bool ->
+  ?config:Asp.Solver.Config.t ->
+  Asp.Ground.t ->
+  report
 (** All stable models. [jobs <= 1] (and the default on single-core
     hosts) runs inline; a [limit] also forces the sequential path, since
     a global model cap cannot be split across branches without
     over-enumerating. [oversubscribe] is passed to {!Pool.map} (tests
-    use it to force real multi-domain execution on single-core hosts). *)
+    use it to force real multi-domain execution on single-core hosts).
+    [share] (default true) enables learned-nogood exchange between the
+    branches; [config] is the per-solver base configuration (its
+    [exchange] field is overwritten per path). *)
 
-val optimal : ?oversubscribe:bool -> ?jobs:int -> Asp.Ground.t -> report
+val optimal :
+  ?oversubscribe:bool ->
+  ?jobs:int ->
+  ?share:bool ->
+  ?config:Asp.Solver.Config.t ->
+  Asp.Ground.t ->
+  report
 (** Optimal models under weak constraints: every branch runs its own
     branch-and-bound under its guiding assumptions, and the global front
     is the minimum-cost slice of the union of the branch fronts. *)

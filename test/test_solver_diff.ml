@@ -224,7 +224,36 @@ let diff_one src =
     (fun m ->
       if not (List.exists (Asp.Model.equal m) cdnl_models) then
         fail (Printf.sprintf "limited solve invented a model on:\n%s" src))
-    limited
+    limited;
+  (* preprocessing and the cheap tier are pure accelerations: every
+     switch combination must reproduce the default answer bit for bit *)
+  List.iter
+    (fun (what, config) ->
+      let ms = Asp.Solver.solve ~config g in
+      compare_on ~what ~names:(what, "default") src (outcome_of_models ms)
+        cdnl)
+    [
+      ( "solve --no-preprocess",
+        { Asp.Solver.Config.default with preprocess = false } );
+      ("solve no-cheap", { Asp.Solver.Config.default with cheap_tier = false });
+      ( "solve raw",
+        {
+          Asp.Solver.Config.default with
+          preprocess = false;
+          cheap_tier = false;
+        } );
+    ];
+  (* guiding-path parallel enumeration, shared and isolated exchanges:
+     the merged model sets and costs must equal the sequential run *)
+  List.iter
+    (fun (jobs, share) ->
+      let r = Engine.Par.enumerate ~oversubscribe:true ~jobs ~share g in
+      compare_on
+        ~what:(Printf.sprintf "par jobs=%d share=%b" jobs share)
+        ~names:("par", "seq") src
+        (outcome_of_models r.Engine.Par.models)
+        cdnl)
+    [ (2, true); (2, false); (4, true); (4, false) ]
 
 let test_differential_seeded () =
   for seed = 0 to 99 do
@@ -328,6 +357,84 @@ let test_beyond_guess_cap () =
   check Alcotest.int "80-atom loops limited count" 5 (List.length ms);
   assert_stable ~what:"80-atom loops" loops g ms
 
+(* The cheap-tier classifier: membership in the propagation-only
+   fragment is decided before search, and the decision must be sound on
+   non-tight inputs (foundedness holds because models are least
+   fixpoints, not arbitrary supported sets). *)
+let test_cheap_classifier () =
+  let eligible src =
+    Asp.Solver.cheap_eligible
+      (Asp.Grounder.ground (Asp.Parser.parse_program src))
+  in
+  (* non-tight but inside the fragment: the lfp construction is founded,
+     so the positive p/q loop cannot smuggle in an unfounded model *)
+  check Alcotest.bool "non-tight choice-supported loop" true
+    (eligible "{ c }. p :- q. q :- p. p :- c.");
+  (* same program plus a negated constraint: negation leaves the
+     fragment, CDNL must take over *)
+  check Alcotest.bool "negated constraint rejects" false
+    (eligible "{ c }. p :- q. q :- p. p :- c. :- not p.");
+  (* a constraint pending on two free atoms cannot be resolved by
+     forcing: full tier *)
+  check Alcotest.bool "two-pending constraint rejects" false
+    (eligible "{ a ; b }. :- a, b.");
+  (* negation in a rule body leaves the fragment *)
+  check Alcotest.bool "rule negation rejects" false
+    (eligible "{ a }. b :- not a.");
+  (* choice bounds leave the fragment *)
+  check Alcotest.bool "choice bounds reject" false
+    (eligible "1 { a ; b } 1.");
+  (* classifier-proven unsat, no search: the forced closure violates a
+     constraint in every candidate model *)
+  let src = "{ c }. a :- c. a. :- a." in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+  check Alcotest.bool "forced-contradiction still eligible" true
+    (Asp.Solver.cheap_eligible g);
+  let ms, s = Asp.Solver.solve_with_stats g in
+  check Alcotest.int "forced contradiction is unsat" 0 (List.length ms);
+  check Alcotest.bool "unsat proven in the cheap tier" true
+    s.Asp.Solver.Stats.cheap;
+  check Alcotest.int "no search needed" 0 s.Asp.Solver.Stats.guesses;
+  (* the reference chain shape solves in the cheap tier *)
+  let chain =
+    "{ s }. a1 :- s. a2 :- a1. a3 :- a2. a4 :- a3. goal :- a4."
+  in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program chain) in
+  let ms, s = Asp.Solver.solve_with_stats g in
+  check Alcotest.int "chain model count" 2 (List.length ms);
+  check Alcotest.bool "chain solved in the cheap tier" true
+    s.Asp.Solver.Stats.cheap
+
+(* Preprocessing statistics: the pipeline must actually fire on shapes
+   built to trigger each reduction, and report it in [Stats]. *)
+let test_preprocess_stats () =
+  (* facts force units through the completion; the cheap tier would
+     bypass CDNL entirely, so pin it off to observe the preprocessor *)
+  let no_cheap = { Asp.Solver.Config.default with cheap_tier = false } in
+  let src = "a. b :- a. { c }. d :- c, not b." in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+  let _, s = Asp.Solver.solve_with_stats ~config:no_cheap g in
+  check Alcotest.bool "unit propagation fired"
+    true (s.Asp.Solver.Stats.pre_units > 0);
+  (* x and y only ever appear together in one body: the body variable is
+     pure once the constraint removes the joint assignment *)
+  let src = "a :- x, y. { x ; y }. :- x, y." in
+  let g = Asp.Grounder.ground (Asp.Parser.parse_program src) in
+  let ms, s = Asp.Solver.solve_with_stats ~config:no_cheap g in
+  check Alcotest.int "pure-literal program models" 3 (List.length ms);
+  check Alcotest.bool "some reduction fired" true
+    (s.Asp.Solver.Stats.pre_units > 0
+    || s.Asp.Solver.Stats.pre_pure > 0
+    || s.Asp.Solver.Stats.pre_equivs > 0
+    || s.Asp.Solver.Stats.pre_subsumed > 0);
+  (* preprocessing off: all four counters stay at zero *)
+  let raw = { no_cheap with preprocess = false } in
+  let _, s0 = Asp.Solver.solve_with_stats ~config:raw g in
+  check Alcotest.int "no-preprocess leaves units at 0" 0
+    s0.Asp.Solver.Stats.pre_units;
+  check Alcotest.int "no-preprocess leaves pure at 0" 0
+    s0.Asp.Solver.Stats.pre_pure
+
 let suites =
   [
     ( "asp.solver_diff",
@@ -335,6 +442,10 @@ let suites =
         Alcotest.test_case "100 seeded random programs" `Quick
           test_differential_seeded;
         Alcotest.test_case "corner programs" `Quick test_differential_corners;
+        Alcotest.test_case "cheap-tier classifier" `Quick
+          test_cheap_classifier;
+        Alcotest.test_case "preprocessing statistics" `Quick
+          test_preprocess_stats;
         Alcotest.test_case "non-stratified aggregate beyond the oracles"
           `Quick test_beyond_oracle_aggregate;
         Alcotest.test_case "programs beyond the oracle guess caps" `Quick

@@ -76,11 +76,36 @@ let diff3 ~tag seed src =
   if not (agree dfs_opt naive_opt) then
     fail_diverge "solve_optimal dfs/naive" dfs_opt naive_opt;
   let cdnl_opt = outcome_of_models (Asp.Solver.solve_optimal g) in
-  match naive_opt with
+  (match naive_opt with
   | Models _ ->
       if not (agree cdnl_opt naive_opt) then
         fail_diverge "solve_optimal cdnl/naive" cdnl_opt naive_opt
-  | Rejected _ -> ()
+  | Rejected _ -> ());
+  (* preprocessing and the cheap tier are pure accelerations: every
+     switch combination must reproduce the default answer bit for bit *)
+  List.iter
+    (fun config ->
+      let variant = outcome_of_models (Asp.Solver.solve ~config g) in
+      if not (agree variant cdnl) then
+        fail_diverge "solve config A/B" variant cdnl)
+    [
+      { Asp.Solver.Config.default with preprocess = false };
+      { Asp.Solver.Config.default with cheap_tier = false };
+      { Asp.Solver.Config.default with preprocess = false; cheap_tier = false };
+    ];
+  (* guiding-path sharing on a sample of the corpus (every fifth seed,
+     to keep the suite quick): 2- and 4-domain enumeration, shared and
+     isolated, must reproduce the sequential model sets and costs *)
+  if seed mod 5 = 0 then
+    List.iter
+      (fun (jobs, share) ->
+        let r = Engine.Par.enumerate ~oversubscribe:true ~jobs ~share g in
+        let par = outcome_of_models r.Engine.Par.models in
+        if not (agree par cdnl) then
+          fail_diverge
+            (Printf.sprintf "par jobs=%d share=%b" jobs share)
+            par cdnl)
+      [ (2, true); (2, false); (4, true); (4, false) ]
 
 (* ------------------------------------------------------------------ *)
 (* Generator 1: large mixed programs (the original fuzzer)              *)
