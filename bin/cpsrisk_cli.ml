@@ -10,7 +10,9 @@
      threats     threat landscape of a typed model
      solve       run the embedded ASP solver on a program file
      score       CVSS v3.1 calculator
-     sweep       batch what-if analysis through the parallel sweep engine *)
+     sweep       batch what-if analysis through the parallel sweep engine
+     serve       persistent assessment service on a Unix-domain socket
+     request     client for a running assessment service *)
 
 open Cmdliner
 
@@ -691,8 +693,8 @@ let sweep mutations model jobs horizon stats json no_preprocess no_share =
     | Some file -> (
         match Engine.Delta.parse (read_file file) with
         | Ok ds -> Some ds
-        | Error msg ->
-            Printf.eprintf "%s: %s\n" file msg;
+        | Error e ->
+            Printf.eprintf "%s: %s\n" file (Engine.Delta.error_to_string e);
             exit 2)
   in
   match model with
@@ -827,6 +829,259 @@ let sweep_cmd =
       $ sweep_stats_flag $ sweep_json_flag $ no_preprocess_arg $ no_share_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / request                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "cpsrisk.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve socket cache_dir cache_mb jobs quiet =
+  let log =
+    if quiet then None
+    else
+      Some
+        (fun msg ->
+          Printf.eprintf "cpsrisk serve: %s\n%!" msg)
+  in
+  match
+    Serve.Server.run { Serve.Server.socket; cache_dir; cache_mb; jobs; log }
+  with
+  | () -> 0
+  | exception Unix.Unix_error (err, fn, _) ->
+      Printf.eprintf "cpsrisk serve: %s: %s\n" fn (Unix.error_message err);
+      1
+
+let serve_cmd =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist solved answers in an on-disk content-addressed store \
+             rooted here (created if needed); re-sweeps against a restarted \
+             daemon are then served from disk with no fresh grounding or \
+             solving. Omitted: the cache is in-memory only.")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Bound the on-disk store; least-recently-used entries are \
+             evicted past the bound. Omitted: unbounded.")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No event log on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent assessment service"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Starts a daemon on a Unix-domain socket speaking a \
+              line-delimited JSON protocol (one request object per line, \
+              one response object back). Loaded models keep their base \
+              encoding grounded and fingerprinted in memory, so what-if \
+              sweeps extend warm state; concurrent sweep requests are \
+              coalesced into single engine batches; with $(b,--cache-dir), \
+              every solved delta is also persisted content-addressed on \
+              disk and survives restarts. Use $(b,cpsrisk request) as the \
+              client, or any tool that can write JSON lines to a socket. \
+              Stop it with $(b,cpsrisk request shutdown).";
+         ])
+    Term.(
+      const serve $ socket_arg $ cache_dir_arg $ cache_mb_arg $ jobs_arg
+      $ quiet_flag)
+
+(* --- request: client side ------------------------------------------ *)
+
+let request_fail msg =
+  Printf.eprintf "cpsrisk request: %s\n" msg;
+  1
+
+(* Reproduce `cpsrisk sweep`'s text output from the wire response, so
+   `cpsrisk request sweep` is diffable bit-for-bit against the one-shot
+   command on the same model and mutations. *)
+let print_sweep_text response =
+  let results =
+    Option.value ~default:[] (Serve.Json.mem_list "results" response)
+  in
+  List.iter
+    (fun r ->
+      let label =
+        Option.value ~default:"?" (Serve.Json.mem_string "label" r)
+      in
+      match Serve.Json.member "verdicts" r with
+      | Some (Serve.Json.Obj verdicts) ->
+          Printf.printf "%-28s %s\n" label
+            (String.concat "  "
+               (List.map
+                  (fun (req, v) ->
+                    Printf.sprintf "%s=%s" req
+                      (match v with
+                      | Serve.Json.Bool true -> "Violated"
+                      | _ -> "-"))
+                  verdicts))
+      | _ -> (
+          match Serve.Json.mem_list "affected" r with
+          | Some affected ->
+              let affected =
+                List.filter_map
+                  (function Serve.Json.String s -> Some s | _ -> None)
+                  affected
+              in
+              Printf.printf "%-28s -> %s\n" label
+                (if affected = [] then "(contained)"
+                 else String.concat ", " affected)
+          | None -> Printf.printf "%-28s\n" label))
+    results
+
+let request socket op name model_file horizon mutations jobs limit optimal
+    json =
+  let build_request () =
+    match op with
+    | "load-model" -> (
+        match model_file with
+        | Some file ->
+            Ok
+              (Serve.Protocol.Load_model
+                 {
+                   name;
+                   backend = Serve.Protocol.Topology;
+                   horizon;
+                   model_src = Some (read_file file);
+                 })
+        | None ->
+            Ok
+              (Serve.Protocol.Load_model
+                 {
+                   name;
+                   backend = Serve.Protocol.Water_tank;
+                   horizon;
+                   model_src = None;
+                 }))
+    | "sweep" -> (
+        match mutations with
+        | None -> Error "sweep needs a MUTATIONS file argument"
+        | Some file ->
+            Ok
+              (Serve.Protocol.Sweep
+                 { model = name; mutations = read_file file; jobs }))
+    | "solve" -> (
+        match mutations with
+        | None -> Error "solve needs a PROGRAM file argument"
+        | Some file ->
+            Ok
+              (Serve.Protocol.Solve
+                 { program = read_file file; limit; optimal }))
+    | "status" -> Ok Serve.Protocol.Status
+    | "stats" -> Ok Serve.Protocol.Stats
+    | "list-models" -> Ok Serve.Protocol.List_models
+    | "evict-model" -> Ok (Serve.Protocol.Evict_model { name })
+    | "shutdown" -> Ok Serve.Protocol.Shutdown
+    | op ->
+        Error
+          (Printf.sprintf
+             "unknown op %S (load-model | sweep | solve | status | stats | \
+              list-models | evict-model | shutdown)"
+             op)
+  in
+  match build_request () with
+  | Error msg -> request_fail msg
+  | Ok req -> (
+      match
+        Serve.Client.request ~socket (Serve.Protocol.request_to_json req)
+      with
+      | Error msg -> request_fail msg
+      | Ok response ->
+          if (not json) && op = "sweep" then print_sweep_text response
+          else print_endline (Serve.Json.to_string response);
+          0)
+
+let request_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,load-model), $(b,sweep), $(b,solve), $(b,status), \
+             $(b,stats), $(b,list-models), $(b,evict-model), \
+             $(b,shutdown).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Mutations file for $(b,sweep), ASP program for $(b,solve).")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "name"; "n" ] ~docv:"NAME"
+          ~doc:"Model name to load / sweep against / evict.")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:
+            "For $(b,load-model): load this textual system model under the \
+             topology backend (the file is inlined into the request). \
+             Omitted: the built-in water-tank temporal encoding.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"For $(b,solve): stop after N models.")
+  in
+  let optimal_flag =
+    Arg.(
+      value & flag
+      & info [ "optimal" ] ~doc:"For $(b,solve): only cost-minimal models.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the raw JSON response (default for every op except \
+             $(b,sweep), which prints `cpsrisk sweep`-compatible text).")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running assessment service"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Connects to the daemon started by $(b,cpsrisk serve), sends \
+              one JSON request line, prints the response. $(b,sweep) \
+              output matches the one-shot $(b,cpsrisk sweep) text format, \
+              so warm answers from the daemon can be diffed against a cold \
+              batch run; every other op prints the JSON response, which \
+              for sweeps includes per-job cache provenance \
+              (fresh/memory/disk), hit counters and timings.";
+         ])
+    Term.(
+      const request $ socket_arg $ op_arg $ name_arg $ model_arg
+      $ horizon_arg $ file_arg $ jobs_arg $ limit_arg $ optimal_flag
+      $ json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* quant                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -874,7 +1129,7 @@ let main_cmd =
     [
       casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; lint_cmd;
       analyze_cmd; threats_cmd; solve_cmd; score_cmd; attackgraph_cmd;
-      dot_cmd; quant_cmd; sweep_cmd;
+      dot_cmd; quant_cmd; sweep_cmd; serve_cmd; request_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,30 +7,65 @@
     {!find_or_compute} deduplicates in-flight work: while one domain
     computes a key, other domains asking for the same key block on a
     condition variable instead of solving the same program twice, so the
-    hit/miss accounting is exact even under parallelism. *)
+    hit/miss accounting is exact even under parallelism.
+
+    A cache may carry a {!persist} hook — a second, slower storage tier
+    (the assessment service plugs {!Serve.Store} in here). Entries found
+    there are promoted into the in-memory table and reported as {!Disk}
+    hits; freshly computed values are pushed back through the hook. *)
+
+type source = Memory | Disk | Fresh
+    (** Where an answer came from: the in-memory table (or a wait on
+        another domain's in-flight solve), the persistent tier, or a fresh
+        computation. *)
+
+val source_to_string : source -> string
+(** ["memory"], ["disk"], ["fresh"] — the wire spelling used by reports
+    and the service protocol. *)
+
+type 'a persist = {
+  load : Fingerprint.t -> 'a option;
+      (** consulted once per in-memory miss, outside the cache lock;
+          [None] falls through to the computation *)
+  store : Fingerprint.t -> 'a -> unit;
+      (** called after each fresh computation, outside the cache lock;
+          failures must be handled by the hook itself *)
+}
+(** The persistence hook must be safe to call from several domains at
+    once; the cache's in-flight dedup guarantees at most one [load] and
+    one [store] per key at any moment, but different keys proceed
+    concurrently. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?persist:'a persist -> unit -> 'a t
+
+val find_or_compute_src : 'a t -> Fingerprint.t -> (unit -> 'a) -> 'a * source
+(** Like {!find_or_compute}, with full provenance. If the computing
+    domain's thunk (or the persist hook's [load]) raises, the key is
+    released, waiters retry (one of them becomes the new computer), and
+    the exception propagates to the original caller. *)
 
 val find_or_compute : 'a t -> Fingerprint.t -> (unit -> 'a) -> 'a * bool
 (** [(value, was_cached)]. [was_cached] is [true] both for a completed
-    entry and for a wait on another domain's in-flight computation. If the
-    computing domain's thunk raises, the key is released, waiters retry
-    (one of them becomes the new computer), and the exception propagates to
-    the original caller. *)
+    entry (memory or disk) and for a wait on another domain's in-flight
+    computation. *)
 
 val mem : 'a t -> Fingerprint.t -> bool
-(** True for completed entries only. *)
+(** True for completed in-memory entries only (never consults persist). *)
 
 val length : 'a t -> int
-(** Completed entries. *)
+(** Completed in-memory entries. *)
 
 val hits : 'a t -> int
+val disk_hits : 'a t -> int
 val misses : 'a t -> int
-(** Lifetime counters over {!find_or_compute}; per-sweep accounting is done
-    from the [was_cached] flags instead. *)
+(** Lifetime counters over {!find_or_compute_src}: [hits] counts memory
+    hits, [disk_hits] persistent-tier promotions, [misses] fresh
+    computations; per-sweep accounting is done from the [source] flags
+    instead. *)
 
 val clear : 'a t -> unit
-(** Drop all completed entries and reset the counters. Must not be called
-    while a sweep is running on this cache. *)
+(** Drop all completed in-memory entries and reset the counters (the
+    persistent tier is untouched). Must not be called while a sweep is
+    running on this cache. *)

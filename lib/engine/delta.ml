@@ -30,6 +30,13 @@ let equal a b = compare a b = 0
 (* Mutations-file parsing                                              *)
 (* ------------------------------------------------------------------ *)
 
+type error = { line : int; col : int; msg : string }
+
+let error_to_string e =
+  (* same position spelling as Lint.Diagnostic: col 0 means unknown *)
+  if e.col > 0 then Printf.sprintf "line %d, col %d: %s" e.line e.col e.msg
+  else Printf.sprintf "line %d: %s" e.line e.msg
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i
@@ -40,39 +47,79 @@ let ids csv =
   |> List.map String.trim
   |> List.filter (fun s -> s <> "" && s <> "-")
 
-let parse_line line =
-  let line = String.trim (strip_comment line) in
-  if line = "" then Ok None
+(* offset of the [n]th occurrence of [c] in [s], 1-based column *)
+let col_of_char s c n =
+  let rec go i left =
+    if i >= String.length s then 0
+    else if s.[i] = c then if left = 1 then i + 1 else go (i + 1) (left - 1)
+    else go (i + 1) left
+  in
+  go 0 n
+
+let parse_line ?(line = 1) raw =
+  let err ?(col = 0) msg = Error { line; col; msg } in
+  let text = String.trim (strip_comment raw) in
+  if text = "" then Ok None
   else
+    (* columns are reported against the raw line, label and comment
+       included, so editors can jump to them *)
+    let base = ref 0 in
+    (match String.index_opt raw (if text = "" then ' ' else text.[0]) with
+    | Some i -> base := i
+    | None -> ());
     let label, rest =
-      match String.index_opt line ':' with
+      match String.index_opt text ':' with
       | Some i ->
-          ( String.trim (String.sub line 0 i),
-            String.sub line (i + 1) (String.length line - i - 1) )
-      | None -> ("", line)
+          base := !base + i + 1;
+          ( String.trim (String.sub text 0 i),
+            String.sub text (i + 1) (String.length text - i - 1) )
+      | None -> ("", text)
     in
-    let rest, extra =
+    let rest, extra_src =
       match String.index_opt rest '!' with
       | Some i ->
           ( String.sub rest 0 i,
-            [ String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) ] )
-      | None -> (rest, [])
+            Some
+              ( !base + i + 2,
+                String.trim
+                  (String.sub rest (i + 1) (String.length rest - i - 1)) ) )
+      | None -> (rest, None)
     in
-    match String.split_on_char '/' rest with
-    | [ faults ] -> Ok (Some (make ~label ~extra (ids faults)))
-    | [ faults; mitigations ] ->
-        Ok (Some (make ~label ~mitigations:(ids mitigations) ~extra (ids faults)))
-    | _ -> Error "more than one '/' separator"
+    let extra =
+      match extra_src with
+      | None -> Ok []
+      | Some (col, src) -> (
+          (* validate the raw-ASP tail here, where we still know the line,
+             instead of letting the sweep's compile step fail without a
+             position much later *)
+          match Asp.Parser.parse_program src with
+          | _ -> Ok [ src ]
+          | exception Asp.Parser.Error m ->
+              err ~col (Printf.sprintf "invalid ASP after '!': %s" m))
+    in
+    match extra with
+    | Error e -> Error e
+    | Ok extra -> (
+        match String.split_on_char '/' rest with
+        | [ faults ] -> Ok (Some (make ~label ~extra (ids faults)))
+        | [ faults; mitigations ] ->
+            Ok
+              (Some
+                 (make ~label ~mitigations:(ids mitigations) ~extra (ids faults)))
+        | _ ->
+            err
+              ~col:(col_of_char raw '/' 2)
+              "more than one '/' separator (expected FAULTS [/ MITIGATIONS])")
 
 let parse src =
   let lines = String.split_on_char '\n' src in
   let rec go n acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
-        match parse_line line with
+        match parse_line ~line:n line with
         | Ok None -> go (n + 1) acc rest
         | Ok (Some d) -> go (n + 1) (d :: acc) rest
-        | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+        | Error e -> Error e)
   in
   go 1 [] lines
 

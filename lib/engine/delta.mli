@@ -27,13 +27,26 @@ val label : t -> string
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
-val parse_line : string -> (t option, string) result
+type error = { line : int; col : int; msg : string }
+(** A positioned parse failure, in the spelling of the lint diagnostics:
+    1-based [line], 1-based [col] against the raw source line (0 when the
+    column is unknown). *)
+
+val error_to_string : error -> string
+(** ["line 3, col 12: ..."], or ["line 3: ..."] when the column is
+    unknown — matches {!Lint.Diagnostic.pos_to_string}. *)
+
+val parse_line : ?line:int -> string -> (t option, error) result
 (** One line of a mutations file:
     [[LABEL:] FAULTS [/ MITIGATIONS] [! ASP statements]] — comma-separated
     id lists, [-] or an empty list for none, [#] starts a comment.
-    [Ok None] for blank/comment-only lines. *)
+    [Ok None] for blank/comment-only lines. The [! ASP] tail is validated
+    immediately: a syntax error there is reported against this line
+    ([line] defaults to 1) rather than surfacing later, position-free,
+    when the sweep compiles the delta. *)
 
-val parse : string -> (t list, string) result
-(** A whole mutations file; errors carry the 1-based line number. *)
+val parse : string -> (t list, error) result
+(** A whole mutations file; errors carry the 1-based line (and, where
+    known, column) of the offending input. *)
 
 val pp : Format.formatter -> t -> unit

@@ -24,6 +24,7 @@ type result = {
   stats : Asp.Solver.Stats.t;
   gstats : Asp.Grounder.Stats.t;
   cached : bool;
+  source : Cache.source;
 }
 
 type prepared = {

@@ -44,7 +44,10 @@ type result = {
   gstats : Asp.Grounder.Stats.t;
       (** stats of the incremental grounding behind that solve — same
           caching caveat as [stats] *)
-  cached : bool;
+  cached : bool;  (** [source <> Fresh] *)
+  source : Cache.source;
+      (** where the answer came from: the in-memory cache, the persistent
+          store behind it, or a fresh ground+solve *)
 }
 
 type prepared

@@ -4,32 +4,42 @@ type report = {
   wall_s : float;
   base_atoms : int;
   hits : int;
+  disk_hits : int;
   misses : int;
   fresh : Asp.Solver.Stats.t;
   ground : Asp.Grounder.Stats.t;
 }
 
-let run ?oversubscribe ?jobs ?cache spec =
+let run_prepared ?oversubscribe ?jobs ?cache prepared deltas =
   let t0 = Unix.gettimeofday () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  let prepared = Job.prepare spec in
-  let deltas = Array.of_list spec.Job.deltas in
+  let deltas = Array.of_list deltas in
   let results =
     Pool.map ?oversubscribe ~jobs
       (fun index ->
         let delta = deltas.(index) in
         let fingerprint = Job.fingerprint prepared delta in
-        let (models, stats, gstats), cached =
-          Cache.find_or_compute cache fingerprint (fun () ->
+        let (models, stats, gstats), source =
+          Cache.find_or_compute_src cache fingerprint (fun () ->
               Job.solve prepared delta)
         in
-        { Job.index; delta; fingerprint; models; stats; gstats; cached })
+        {
+          Job.index;
+          delta;
+          fingerprint;
+          models;
+          stats;
+          gstats;
+          cached = source <> Cache.Fresh;
+          source;
+        })
       (Array.length deltas)
   in
   let hits = ref 0 in
+  let disk_hits = ref 0 in
   let fresh = Asp.Solver.Stats.create () in
   let ground = Asp.Grounder.Stats.create () in
   (* a program solved once but hit by several jobs of this sweep counts its
@@ -37,29 +47,30 @@ let run ?oversubscribe ?jobs ?cache spec =
   let counted = Hashtbl.create 64 in
   Array.iter
     (fun (r : Job.result) ->
-      if r.Job.cached then incr hits
-      else begin
-        let key = Fingerprint.to_hex r.Job.fingerprint in
-        if not (Hashtbl.mem counted key) then begin
-          Hashtbl.replace counted key ();
-          Asp.Solver.Stats.accumulate fresh r.Job.stats;
-          let g = r.Job.gstats in
-          ground.Asp.Grounder.Stats.passes <-
-            ground.Asp.Grounder.Stats.passes + g.Asp.Grounder.Stats.passes;
-          ground.Asp.Grounder.Stats.firings <-
-            ground.Asp.Grounder.Stats.firings + g.Asp.Grounder.Stats.firings;
-          ground.Asp.Grounder.Stats.probes <-
-            ground.Asp.Grounder.Stats.probes + g.Asp.Grounder.Stats.probes;
-          ground.Asp.Grounder.Stats.fresh_rules <-
-            ground.Asp.Grounder.Stats.fresh_rules
-            + g.Asp.Grounder.Stats.fresh_rules;
-          ground.Asp.Grounder.Stats.reused_rules <-
-            ground.Asp.Grounder.Stats.reused_rules
-            + g.Asp.Grounder.Stats.reused_rules;
-          ground.Asp.Grounder.Stats.wall_s <-
-            ground.Asp.Grounder.Stats.wall_s +. g.Asp.Grounder.Stats.wall_s
-        end
-      end)
+      match r.Job.source with
+      | Cache.Memory -> incr hits
+      | Cache.Disk -> incr disk_hits
+      | Cache.Fresh ->
+          let key = Fingerprint.to_hex r.Job.fingerprint in
+          if not (Hashtbl.mem counted key) then begin
+            Hashtbl.replace counted key ();
+            Asp.Solver.Stats.accumulate fresh r.Job.stats;
+            let g = r.Job.gstats in
+            ground.Asp.Grounder.Stats.passes <-
+              ground.Asp.Grounder.Stats.passes + g.Asp.Grounder.Stats.passes;
+            ground.Asp.Grounder.Stats.firings <-
+              ground.Asp.Grounder.Stats.firings + g.Asp.Grounder.Stats.firings;
+            ground.Asp.Grounder.Stats.probes <-
+              ground.Asp.Grounder.Stats.probes + g.Asp.Grounder.Stats.probes;
+            ground.Asp.Grounder.Stats.fresh_rules <-
+              ground.Asp.Grounder.Stats.fresh_rules
+              + g.Asp.Grounder.Stats.fresh_rules;
+            ground.Asp.Grounder.Stats.reused_rules <-
+              ground.Asp.Grounder.Stats.reused_rules
+              + g.Asp.Grounder.Stats.reused_rules;
+            ground.Asp.Grounder.Stats.wall_s <-
+              ground.Asp.Grounder.Stats.wall_s +. g.Asp.Grounder.Stats.wall_s
+          end)
     results;
   {
     results;
@@ -67,14 +78,25 @@ let run ?oversubscribe ?jobs ?cache spec =
     wall_s = Unix.gettimeofday () -. t0;
     base_atoms = Job.base_atoms prepared;
     hits = !hits;
-    misses = Array.length results - !hits;
+    disk_hits = !disk_hits;
+    misses = Array.length results - !hits - !disk_hits;
     fresh;
     ground;
   }
 
+let run ?oversubscribe ?jobs ?cache spec =
+  let t0 = Unix.gettimeofday () in
+  let prepared = Job.prepare spec in
+  let report =
+    run_prepared ?oversubscribe ?jobs ?cache prepared spec.Job.deltas
+  in
+  (* fold the preparation time into the report: run = prepare + sweep *)
+  { report with wall_s = Unix.gettimeofday () -. t0 }
+
 let hit_rate r =
   let n = Array.length r.results in
-  if n = 0 then 0.0 else float_of_int r.hits /. float_of_int n
+  if n = 0 then 0.0
+  else float_of_int (r.hits + r.disk_hits) /. float_of_int n
 
 let render ?(verbose = false) r =
   let buf = Buffer.create 256 in
@@ -83,7 +105,8 @@ let render ?(verbose = false) r =
     (Array.length r.results) r.jobs
     (if r.jobs = 1 then "" else "s")
     r.wall_s r.base_atoms;
-  p "cache: %d hits / %d fresh solves (%.1f%% hit rate)\n" r.hits r.misses
+  p "cache: %d memory hits / %d disk hits / %d fresh solves (%.1f%% hit rate)\n"
+    r.hits r.disk_hits r.misses
     (100.0 *. hit_rate r);
   p "fresh solver work: %s\n" (Asp.Solver.Stats.to_string r.fresh);
   p "fresh grounder work: %s\n" (Asp.Grounder.Stats.to_string r.ground);
@@ -91,7 +114,10 @@ let render ?(verbose = false) r =
     Array.iter
       (fun (res : Job.result) ->
         p "  [%3d]%s %-28s %d model%s  %s\n" res.Job.index
-          (if res.Job.cached then "*" else " ")
+          (match res.Job.source with
+          | Cache.Memory -> "*"
+          | Cache.Disk -> "+"
+          | Cache.Fresh -> " ")
           (Delta.label res.Job.delta)
           (List.length res.Job.models)
           (if List.length res.Job.models = 1 then "" else "s")
@@ -105,8 +131,10 @@ let to_json r =
   p "{\n";
   p "  \"jobs\": %d, \"deltas\": %d, \"wall_s\": %.6f, \"base_atoms\": %d,\n"
     r.jobs (Array.length r.results) r.wall_s r.base_atoms;
-  p "  \"cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n" r.hits
-    r.misses (hit_rate r);
+  p
+    "  \"cache\": {\"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+     \"hit_rate\": %.4f},\n"
+    r.hits r.disk_hits r.misses (hit_rate r);
   p
     "  \"fresh\": {\"guesses\": %d, \"pruned\": %d, \"firings\": %d, \
      \"leaves\": %d, \"models\": %d, \"conflicts\": %d, \"learned\": %d, \
@@ -130,11 +158,12 @@ let to_json r =
   Array.iteri
     (fun i (res : Job.result) ->
       p "    {\"label\": %S, \"fingerprint\": %S, \"models\": %d, \
-         \"cached\": %b}%s\n"
+         \"cached\": %b, \"source\": %S}%s\n"
         (Delta.label res.Job.delta)
         (Fingerprint.to_hex res.Job.fingerprint)
         (List.length res.Job.models)
         res.Job.cached
+        (Cache.source_to_string res.Job.source)
         (if i = n - 1 then "" else ","))
     r.results;
   p "  ]\n}";

@@ -9,14 +9,22 @@
 
     Pass your own [cache] to reuse solves across sweeps; a second identical
     sweep on the same cache reports a 100% hit rate and zero fresh solver
-    work. *)
+    work. A cache built with a {!Cache.persist} hook additionally serves
+    repeats across process restarts — those answers are counted as
+    [disk_hits].
+
+    Long-running callers (the assessment service) keep the prepared base
+    around and call {!run_prepared} per request, so consecutive delta
+    batches extend warm grounder state instead of re-preparing. *)
 
 type report = {
-  results : Job.result array;  (** indexed by position in [spec.deltas] *)
+  results : Job.result array;  (** indexed by position in the delta list *)
   jobs : int;  (** worker domains used *)
   wall_s : float;  (** whole-sweep wall clock *)
   base_atoms : int;  (** base universe size reused by every job *)
-  hits : int;  (** jobs answered from the cache, this run *)
+  hits : int;  (** jobs answered from the in-memory cache, this run *)
+  disk_hits : int;
+      (** jobs answered from the cache's persistent tier, this run *)
   misses : int;  (** jobs that ran a fresh solve, this run *)
   fresh : Asp.Solver.Stats.t;
       (** solver stats aggregated over this run's {e fresh} solves only —
@@ -38,13 +46,24 @@ val run :
     [cache] defaults to a fresh private cache. The report's [jobs] field
     records the requested fan-out width. *)
 
+val run_prepared :
+  ?oversubscribe:bool -> ?jobs:int ->
+  ?cache:
+    (Asp.Model.t list * Asp.Solver.Stats.t * Asp.Grounder.Stats.t) Cache.t ->
+  Job.prepared -> Delta.t list -> report
+(** Sweep the given deltas against an already-{!Job.prepare}d base —
+    [run spec] is [prepare] + [run_prepared] over [spec.deltas]. The
+    prepared state is only read, so one base may serve many concurrent
+    and consecutive [run_prepared] calls. *)
+
 val hit_rate : report -> float
-(** Hits over total jobs, in [0, 1]; 0 on an empty sweep. *)
+(** Memory + disk hits over total jobs, in [0, 1]; 0 on an empty sweep. *)
 
 val render : ?verbose:bool -> report -> string
 (** Human-readable summary; [verbose] adds one line per job (label,
-    model count, cache flag, fingerprint). *)
+    model count, cache provenance — [*] memory, [+] disk — and
+    fingerprint). *)
 
 val to_json : report -> string
 (** Machine-readable report: sweep-level counters plus one entry per job
-    (label, fingerprint, model count, cached flag). *)
+    (label, fingerprint, model count, cached flag, source). *)

@@ -1,0 +1,38 @@
+(** A minimal, dependency-free JSON codec — just enough for the service's
+    line-delimited protocol. Values round-trip through {!to_string} /
+    {!parse}; printing never emits raw newlines (strings are escaped), so
+    one JSON document per line is a safe framing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact, single-line rendering; control characters in strings are
+    [\u]-escaped. *)
+
+val parse : string -> (t, string) result
+(** Full-document parse: trailing non-whitespace input is an error.
+    Handles the usual escapes including surrogate-pair [\u] sequences. *)
+
+(** {2 Accessors} — each returns [None] on a type or key mismatch. *)
+
+val member : string -> t -> t option
+val string_opt : t -> string option
+val int_opt : t -> int option
+val float_opt : t -> float option
+val bool_opt : t -> bool option
+val list_opt : t -> t list option
+
+val mem_string : string -> t -> string option
+val mem_int : string -> t -> int option
+val mem_float : string -> t -> float option
+val mem_bool : string -> t -> bool option
+val mem_list : string -> t -> t list option

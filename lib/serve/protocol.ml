@@ -1,0 +1,148 @@
+type backend = Water_tank | Topology
+
+let backend_to_string = function
+  | Water_tank -> "water-tank"
+  | Topology -> "topology"
+
+let backend_of_string = function
+  | "water-tank" -> Some Water_tank
+  | "topology" -> Some Topology
+  | _ -> None
+
+type request =
+  | Load_model of {
+      name : string;
+      backend : backend;
+      horizon : int option;
+      model_src : string option;
+    }
+  | Sweep of { model : string; mutations : string; jobs : int option }
+  | Solve of { program : string; limit : int option; optimal : bool }
+  | Status
+  | Stats
+  | List_models
+  | Evict_model of { name : string }
+  | Shutdown
+
+let request_to_json = function
+  | Load_model { name; backend; horizon; model_src } ->
+      Json.Obj
+        (List.concat
+           [
+             [
+               ("op", Json.String "load-model");
+               ("name", Json.String name);
+               ("backend", Json.String (backend_to_string backend));
+             ];
+             (match horizon with
+             | Some h -> [ ("horizon", Json.Int h) ]
+             | None -> []);
+             (match model_src with
+             | Some s -> [ ("model_src", Json.String s) ]
+             | None -> []);
+           ])
+  | Sweep { model; mutations; jobs } ->
+      Json.Obj
+        (List.concat
+           [
+             [
+               ("op", Json.String "sweep");
+               ("model", Json.String model);
+               ("mutations", Json.String mutations);
+             ];
+             (match jobs with Some j -> [ ("jobs", Json.Int j) ] | None -> []);
+           ])
+  | Solve { program; limit; optimal } ->
+      Json.Obj
+        (List.concat
+           [
+             [ ("op", Json.String "solve"); ("program", Json.String program) ];
+             (match limit with Some l -> [ ("limit", Json.Int l) ] | None -> []);
+             (if optimal then [ ("optimal", Json.Bool true) ] else []);
+           ])
+  | Status -> Json.Obj [ ("op", Json.String "status") ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | List_models -> Json.Obj [ ("op", Json.String "list-models") ]
+  | Evict_model { name } ->
+      Json.Obj [ ("op", Json.String "evict-model"); ("name", Json.String name) ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_of_json json =
+  match Json.mem_string "op" json with
+  | None -> Error "missing \"op\" field"
+  | Some op -> (
+      match op with
+      | "load-model" -> (
+          match Json.mem_string "name" json with
+          | None -> Error "load-model: missing \"name\""
+          | Some name -> (
+              let backend_name =
+                Option.value ~default:"water-tank"
+                  (Json.mem_string "backend" json)
+              in
+              match backend_of_string backend_name with
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "load-model: unknown backend %S (water-tank | topology)"
+                       backend_name)
+              | Some backend ->
+                  Ok
+                    (Load_model
+                       {
+                         name;
+                         backend;
+                         horizon = Json.mem_int "horizon" json;
+                         model_src = Json.mem_string "model_src" json;
+                       })))
+      | "sweep" -> (
+          match
+            (Json.mem_string "model" json, Json.mem_string "mutations" json)
+          with
+          | Some model, Some mutations ->
+              Ok (Sweep { model; mutations; jobs = Json.mem_int "jobs" json })
+          | None, _ -> Error "sweep: missing \"model\""
+          | _, None -> Error "sweep: missing \"mutations\"")
+      | "solve" -> (
+          match Json.mem_string "program" json with
+          | None -> Error "solve: missing \"program\""
+          | Some program ->
+              Ok
+                (Solve
+                   {
+                     program;
+                     limit = Json.mem_int "limit" json;
+                     optimal =
+                       Option.value ~default:false
+                         (Json.mem_bool "optimal" json);
+                   }))
+      | "status" -> Ok Status
+      | "stats" -> Ok Stats
+      | "list-models" -> Ok List_models
+      | "evict-model" -> (
+          match Json.mem_string "name" json with
+          | None -> Error "evict-model: missing \"name\""
+          | Some name -> Ok (Evict_model { name }))
+      | "shutdown" -> Ok Shutdown
+      | op -> Error (Printf.sprintf "unknown op %S" op))
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  | Ok json -> request_of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let error msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let response_result json =
+  match Json.mem_bool "ok" json with
+  | Some true -> Ok json
+  | Some false ->
+      Error
+        (Option.value ~default:"unspecified server error"
+           (Json.mem_string "error" json))
+  | None -> Error "malformed response: missing \"ok\""

@@ -1,0 +1,124 @@
+type ('req, 'resp) cell = {
+  req : 'req;
+  mutable resp : ('resp, exn) result option;
+  cell_done : Condition.t;
+}
+
+type ('req, 'resp) t = {
+  batch : 'req array -> 'resp array;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable pending : ('req, 'resp) cell list;  (* newest first *)
+  mutable stopped : bool;
+  mutable worker_exited : bool;
+  exited : Condition.t;
+  (* counters *)
+  mutable submitted : int;
+  mutable batches : int;
+  mutable max_batch : int;
+}
+
+exception Stopped
+
+let rec worker t =
+  Mutex.lock t.lock;
+  while t.pending = [] && not t.stopped do
+    Condition.wait t.nonempty t.lock
+  done;
+  if t.pending = [] (* stopped, fully drained *) then begin
+    t.worker_exited <- true;
+    Condition.broadcast t.exited;
+    Mutex.unlock t.lock
+  end
+  else begin
+    (* drain everything that queued up while the previous batch ran: that
+       backlog is exactly what gets coalesced into one engine pass *)
+    let cells = Array.of_list (List.rev t.pending) in
+    t.pending <- [];
+    t.batches <- t.batches + 1;
+    t.max_batch <- max t.max_batch (Array.length cells);
+    Mutex.unlock t.lock;
+    let outcome =
+      match t.batch (Array.map (fun c -> c.req) cells) with
+      | resps when Array.length resps = Array.length cells ->
+          Array.map (fun r -> Ok r) resps
+      | _ ->
+          Array.map
+            (fun _ -> Error (Invalid_argument "Queue: batch arity mismatch"))
+            cells
+      | exception e -> Array.map (fun _ -> Error e) cells
+    in
+    Mutex.lock t.lock;
+    Array.iteri
+      (fun i c ->
+        c.resp <- Some outcome.(i);
+        Condition.broadcast c.cell_done)
+      cells;
+    Mutex.unlock t.lock;
+    worker t
+  end
+
+let create ~batch =
+  let t =
+    {
+      batch;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = [];
+      stopped = false;
+      worker_exited = false;
+      exited = Condition.create ();
+      submitted = 0;
+      batches = 0;
+      max_batch = 0;
+    }
+  in
+  ignore (Thread.create worker t);
+  t
+
+let submit t req =
+  let cell = { req; resp = None; cell_done = Condition.create () } in
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    raise Stopped
+  end;
+  t.pending <- cell :: t.pending;
+  t.submitted <- t.submitted + 1;
+  Condition.signal t.nonempty;
+  while cell.resp = None do
+    Condition.wait cell.cell_done t.lock
+  done;
+  Mutex.unlock t.lock;
+  match cell.resp with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> assert false
+
+let stop t =
+  Mutex.lock t.lock;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Condition.broadcast t.nonempty
+  end;
+  (* wait for the worker to drain what was already accepted *)
+  while not t.worker_exited do
+    Condition.wait t.exited t.lock
+  done;
+  Mutex.unlock t.lock
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = List.length t.pending in
+  Mutex.unlock t.lock;
+  n
+
+type stats = { submitted : int; batches : int; max_batch : int }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { submitted = t.submitted; batches = t.batches; max_batch = t.max_batch }
+  in
+  Mutex.unlock t.lock;
+  s

@@ -49,12 +49,42 @@ let test_fp_extend_append () =
     (Engine.Fingerprint.to_hex
        (Engine.Fingerprint.extend (Engine.Fingerprint.program base) inc))
 
+(* Golden values: the on-disk store ({!Serve.Store}) addresses entries by
+   these hex strings, so a silent change to the fingerprint function would
+   orphan every persisted cache on upgrade. Drift must be a conscious
+   decision — if this test fails, either revert the hash change or accept
+   that existing cache directories go cold and update the values here. *)
+let test_fp_golden () =
+  List.iter
+    (fun (src, hex) ->
+      check Alcotest.string
+        (Printf.sprintf "program %S" src)
+        hex
+        (fp_hex (Asp.Parser.parse_program src)))
+    [
+      ("", "cbf29ce4842223250000000000000000");
+      ("p(1).", "3b68118e23f0ec220000000000000000");
+      ("p(1). q(X) :- p(X), not r(X).", "6916b9456e28604d0000000000000000");
+      ("p(1). #show p/1.", "3b68118e23f0ec22c20dd19c4d1ccedd");
+    ];
+  let base = Engine.Fingerprint.program (Asp.Parser.parse_program "p(1).") in
+  check Alcotest.string "extend"
+    "ffd4024e2e9490730000000000000000"
+    (Engine.Fingerprint.to_hex
+       (Engine.Fingerprint.extend base (Asp.Parser.parse_program "q(2).")));
+  check Alcotest.string "ints"
+    "da2bfb225e0d1f050000000000000000"
+    (Engine.Fingerprint.to_hex (Engine.Fingerprint.ints [ 1; 2; 3 ]))
+
 (* ------------------------------------------------------------------ *)
 (* Delta parsing                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let test_delta_parse () =
-  let ok = function Ok v -> v | Error e -> Alcotest.fail e in
+  let ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Engine.Delta.error_to_string e)
+  in
   let d = ok (Engine.Delta.parse_line "worst: F2, F3 / M1 ! fix(a). fix(b).") in
   (match d with
   | Some d ->
@@ -74,8 +104,30 @@ let test_delta_parse () =
   | None -> Alcotest.fail "expected a delta");
   match Engine.Delta.parse "F1\nF2 // M1\n" with
   | Ok _ -> Alcotest.fail "expected a parse error"
-  | Error msg -> checkb "line number in error" true
-      (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+  | Error e -> check Alcotest.int "line number in error" 2 e.Engine.Delta.line
+
+(* The two diagnostics a mutations file can raise must carry the position
+   of the offending character, in the Lint.Diagnostic "line N, col C"
+   spelling, against the raw line (label and comment included). *)
+let test_delta_error_positions () =
+  (match Engine.Delta.parse "F1\nF2 // M1\nF3" with
+  | Ok _ -> Alcotest.fail "double separator must not parse"
+  | Error e ->
+      check Alcotest.int "separator line" 2 e.Engine.Delta.line;
+      check Alcotest.int "separator col (the second '/')" 5
+        e.Engine.Delta.col;
+      check Alcotest.string "separator rendering"
+        "line 2, col 5: more than one '/' separator (expected FAULTS [/ \
+         MITIGATIONS])"
+        (Engine.Delta.error_to_string e));
+  match Engine.Delta.parse "ok: F1\nbad: F1 ! p(." with
+  | Ok _ -> Alcotest.fail "invalid ASP tail must not parse"
+  | Error e ->
+      check Alcotest.int "asp-tail line" 2 e.Engine.Delta.line;
+      check Alcotest.int "asp-tail col (after the '!')" 10 e.Engine.Delta.col;
+      checkb "asp-tail message names the construct" true
+        (String.length e.Engine.Delta.msg >= 22
+        && String.sub e.Engine.Delta.msg 0 22 = "invalid ASP after '!':")
 
 let test_delta_label () =
   check Alcotest.string "derived label" "{F2,F3}+{M1}"
@@ -359,8 +411,12 @@ let suites =
           test_fp_perturbation;
         Alcotest.test_case "fingerprint: extend/append law" `Quick
           test_fp_extend_append;
+        Alcotest.test_case "fingerprint: golden values (store format)" `Quick
+          test_fp_golden;
         Alcotest.test_case "delta: mutations-file parsing" `Quick
           test_delta_parse;
+        Alcotest.test_case "delta: error positions" `Quick
+          test_delta_error_positions;
         Alcotest.test_case "delta: derived labels" `Quick test_delta_label;
         Alcotest.test_case "pool: map equals Array.init" `Quick test_pool_map;
         Alcotest.test_case "pool: deterministic exception" `Quick
