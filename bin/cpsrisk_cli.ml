@@ -829,6 +829,221 @@ let sweep_cmd =
       $ sweep_stats_flag $ sweep_json_flag $ no_preprocess_arg $ no_share_arg)
 
 (* ------------------------------------------------------------------ *)
+(* refine / mitigate                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let refine levels entries mode jobs scratch no_share stats json =
+  match
+    Cpsrisk.Pipeline.refine_hierarchy ?jobs ~levels ~entries ~mode
+      ~share:(not no_share) ~scratch ()
+  with
+  | outcome ->
+      if json then print_endline (Cpsrisk.Pipeline.refine_to_json outcome)
+      else print_string (Cpsrisk.Pipeline.render_refine ~stats outcome);
+      0
+  | exception Invalid_argument msg ->
+      Printf.eprintf "cpsrisk refine: %s\n" msg;
+      1
+
+let refine_cmd =
+  let levels_arg =
+    Arg.(
+      value
+      & opt int Cpsrisk.Hierarchy.default_levels
+      & info [ "levels"; "l" ] ~docv:"N"
+          ~doc:"Refinement levels of the zone hierarchy.")
+  in
+  let entries_arg =
+    Arg.(
+      value
+      & opt int Cpsrisk.Hierarchy.default_entries
+      & info [ "entries"; "e" ] ~docv:"N"
+          ~doc:"Candidate entry-point hypotheses (must exceed --levels).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("assume", `Assume); ("increment", `Increment) ]) `Assume
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Candidate encoding: $(b,assume) pins hypotheses with solver \
+             assumptions over one shared ground program (enables \
+             learned-nogood carry); $(b,increment) extends the warm \
+             grounder per candidate (deduplicated through the cache).")
+  in
+  let scratch_flag =
+    Arg.(
+      value & flag
+      & info [ "scratch" ]
+          ~doc:
+            "Run the retained cold-grounding oracle instead of the \
+             incremental driver (same outcome, no reuse).")
+  in
+  let no_share_flag =
+    Arg.(
+      value & flag
+      & info [ "no-share" ]
+          ~doc:"Disable learned-nogood carry between candidate solves.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print solver/cache/grounding statistics: fresh solves vs \
+             cache hits, nogoods carried and published, extend-vs-scratch \
+             grounding reuse.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit rounds, verdicts and stats as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Incremental CEGAR over the hierarchical case study"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the layered-zone refinement schedule through the \
+              incremental CEGAR driver: the base abstraction is grounded \
+              once, every refinement level extends the warm grounder state \
+              of the previous one, candidate hypotheses are assessed in \
+              parallel, and (in assume mode) conflict clauses learned \
+              while refuting one candidate prune the others. The outcome \
+              is bit-for-bit the one of $(b,--scratch), which re-grounds \
+              everything from nothing each round.";
+         ])
+    Term.(
+      const refine $ levels_arg $ entries_arg $ mode_arg $ jobs_arg
+      $ scratch_flag $ no_share_flag $ stats_flag $ json_flag)
+
+let mitigate frontier case budget budgets pareto jobs horizon stats json =
+  let f =
+    match case with
+    | `Hierarchy -> Cpsrisk.Hierarchy.frontier ()
+    | `Water_tank -> Cpsrisk.Pipeline.water_tank_frontier ?horizon ()
+  in
+  let request =
+    if pareto then Cpsrisk.Pipeline.Frontier_pareto
+    else
+      match budgets with
+      | Some bs -> Cpsrisk.Pipeline.Frontier_sweep bs
+      | None -> Cpsrisk.Pipeline.Frontier_optimal budget
+  in
+  let answer, report =
+    if frontier then Cpsrisk.Pipeline.mitigate_frontier ?jobs f request
+    else
+      (* the retained scratch search: cold per-evaluation grounding, no
+         cache, no pool — the differential oracle of --frontier *)
+      let p = Mitigation.Frontier.scratch_problem f in
+      let answer =
+        match request with
+        | Cpsrisk.Pipeline.Frontier_optimal budget ->
+            Cpsrisk.Pipeline.Frontier_solution
+              (Mitigation.Optimizer.optimal ?budget p)
+        | Cpsrisk.Pipeline.Frontier_pareto ->
+            Cpsrisk.Pipeline.Frontier_front (Mitigation.Optimizer.pareto p)
+        | Cpsrisk.Pipeline.Frontier_sweep budgets ->
+            Cpsrisk.Pipeline.Frontier_curve
+              (Mitigation.Optimizer.budget_sweep p ~budgets)
+      in
+      ( answer,
+        {
+          Mitigation.Frontier.r_evals = 0;
+          r_hits = 0;
+          r_disk_hits = 0;
+          r_fresh = 0;
+          r_pruned = 0;
+          r_sum_s = 0.0;
+          r_critical_s = 0.0;
+          r_wall_s = 0.0;
+        } )
+  in
+  if json then print_endline (Cpsrisk.Pipeline.frontier_to_json answer report)
+  else
+    print_string
+      (Cpsrisk.Pipeline.render_frontier ~stats:(stats && frontier) answer
+         report);
+  0
+
+let mitigate_cmd =
+  let frontier_flag =
+    Arg.(
+      value & flag
+      & info [ "frontier" ]
+          ~doc:
+            "Evaluate candidate action sets as fingerprinted deltas over \
+             warm engine state — cache-deduplicated, fanned out over \
+             worker domains, branch-and-bound pruned. Without it the \
+             retained scratch search runs (same answers, cold).")
+  in
+  let case_arg =
+    Arg.(
+      value
+      & opt (enum [ ("hierarchy", `Hierarchy); ("water-tank", `Water_tank) ])
+          `Hierarchy
+      & info [ "case" ] ~docv:"CASE"
+          ~doc:
+            "Action catalog: $(b,hierarchy) (12 shield placements over the \
+             layered plant) or $(b,water-tank) (the paper's M1/M2 catalog \
+             under the F4 workstation-compromise scenario).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget"; "b" ] ~docv:"COST"
+          ~doc:"Budget for the single optimal search.")
+  in
+  let budgets_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "budgets" ] ~docv:"B1,B2,..."
+          ~doc:
+            "Sweep these budgets; sweeps share one cache, so subsets \
+             within several budgets are solved once.")
+  in
+  let pareto_flag =
+    Arg.(
+      value & flag
+      & info [ "pareto" ] ~doc:"Compute the full cost/residual front.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the frontier report: evaluations, cache hit sources, \
+             subtrees pruned, critical-path vs summed solve time.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit answer and report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "mitigate"
+       ~doc:"Mitigation search over the engine-backed frontier"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Searches the mitigation-action subsets of the chosen case \
+              study for optimal plans, Pareto fronts and cost/benefit \
+              curves. With $(b,--frontier), every candidate subset is one \
+              fingerprinted delta over the prepared base encoding: \
+              structurally identical what-ifs are answered from the cache, \
+              independent evaluations fan out over worker domains, and \
+              the optimal search prunes subtrees whose full-inclusion \
+              bound already loses. Answers are bit-for-bit those of the \
+              retained scratch search.";
+         ])
+    Term.(
+      const mitigate $ frontier_flag $ case_arg $ budget_arg $ budgets_arg
+      $ pareto_flag $ jobs_arg $ horizon_arg $ stats_flag $ json_flag)
+
+(* ------------------------------------------------------------------ *)
 (* serve / request                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -944,8 +1159,8 @@ let print_sweep_text response =
           | None -> Printf.printf "%-28s\n" label))
     results
 
-let request socket op name model_file horizon mutations jobs limit optimal
-    json =
+let request socket op name model_file backend horizon mutations jobs limit
+    optimal budget budgets pareto json =
   let build_request () =
     match op with
     | "load-model" -> (
@@ -962,12 +1177,24 @@ let request socket op name model_file horizon mutations jobs limit optimal
         | None ->
             Ok
               (Serve.Protocol.Load_model
-                 {
-                   name;
-                   backend = Serve.Protocol.Water_tank;
-                   horizon;
-                   model_src = None;
-                 }))
+                 { name; backend; horizon; model_src = None }))
+    | "mitigate" ->
+        let op =
+          if pareto then Serve.Protocol.Pareto
+          else
+            match budgets with
+            | Some _ -> Serve.Protocol.Budget_curve
+            | None -> Serve.Protocol.Optimal
+        in
+        Ok
+          (Serve.Protocol.Mitigate
+             {
+               model = name;
+               op;
+               budget;
+               budgets = Option.value ~default:[] budgets;
+               jobs;
+             })
     | "sweep" -> (
         match mutations with
         | None -> Error "sweep needs a MUTATIONS file argument"
@@ -990,8 +1217,8 @@ let request socket op name model_file horizon mutations jobs limit optimal
     | op ->
         Error
           (Printf.sprintf
-             "unknown op %S (load-model | sweep | solve | status | stats | \
-              list-models | evict-model | shutdown)"
+             "unknown op %S (load-model | sweep | mitigate | solve | status \
+              | stats | list-models | evict-model | shutdown)"
              op)
   in
   match build_request () with
@@ -1013,9 +1240,45 @@ let request_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP"
           ~doc:
-            "One of $(b,load-model), $(b,sweep), $(b,solve), $(b,status), \
-             $(b,stats), $(b,list-models), $(b,evict-model), \
+            "One of $(b,load-model), $(b,sweep), $(b,mitigate), $(b,solve), \
+             $(b,status), $(b,stats), $(b,list-models), $(b,evict-model), \
              $(b,shutdown).")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("water-tank", Serve.Protocol.Water_tank);
+               ("hierarchy", Serve.Protocol.Hierarchy);
+             ])
+          Serve.Protocol.Water_tank
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "For $(b,load-model) without $(b,--model): the built-in \
+             encoding to load — $(b,water-tank) or $(b,hierarchy) (the \
+             12-action layered plant).")
+  in
+  let req_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget"; "b" ] ~docv:"COST"
+          ~doc:"For $(b,mitigate): budget of the optimal search.")
+  in
+  let req_budgets_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "budgets" ] ~docv:"B1,B2,..."
+          ~doc:"For $(b,mitigate): request a budget curve.")
+  in
+  let req_pareto_flag =
+    Arg.(
+      value & flag
+      & info [ "pareto" ]
+          ~doc:"For $(b,mitigate): request the full cost/residual front.")
   in
   let file_arg =
     Arg.(
@@ -1078,7 +1341,8 @@ let request_cmd =
          ])
     Term.(
       const request $ socket_arg $ op_arg $ name_arg $ model_arg
-      $ horizon_arg $ file_arg $ jobs_arg $ limit_arg $ optimal_flag
+      $ backend_arg $ horizon_arg $ file_arg $ jobs_arg $ limit_arg
+      $ optimal_flag $ req_budget_arg $ req_budgets_arg $ req_pareto_flag
       $ json_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -1129,7 +1393,8 @@ let main_cmd =
     [
       casestudy_cmd; pipeline_cmd; matrices_cmd; model_cmd; lint_cmd;
       analyze_cmd; threats_cmd; solve_cmd; score_cmd; attackgraph_cmd;
-      dot_cmd; quant_cmd; sweep_cmd; serve_cmd; request_cmd;
+      dot_cmd; quant_cmd; sweep_cmd; refine_cmd; mitigate_cmd; serve_cmd;
+      request_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -647,7 +647,9 @@ type rule_entry = {
 type prepared = {
   p_program : Program.t;
   p_max_atoms : int;
-  p_store : store; (* frozen after prepare *)
+  p_store : store; (* frozen after prepare; always single-layer *)
+  p_sigs : (string * int, Atom.t list) Hashtbl.t; (* sorted buckets *)
+  p_firsts : (string * int * Term.t, Atom.t list) Hashtbl.t;
   p_view : view; (* sorted base candidate tables *)
   p_snap : snap;
   p_entries : rule_entry array;
@@ -701,6 +703,8 @@ let prepare ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
       p_program = p;
       p_max_atoms = max_atoms;
       p_store = st;
+      p_sigs = sigs;
+      p_firsts = firsts;
       p_view = view;
       p_snap = snap;
       p_entries = Array.of_list entries;
@@ -818,3 +822,159 @@ let extend ?stats prep dp =
   in
   stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
   g
+
+(* ------------------------------------------------------------------ *)
+(* Structural re-preparation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a two-layer overlay back into a single generation-0 store.
+   [store_mem] and [iter_window] look through at most one base layer, so
+   a [prepared] must always hold a single-layer store for the next
+   overlay to see every atom. Generation 0 is correct for all future
+   extends: their windows with [lo = 0] take the whole base layer. *)
+let flatten_store ~max_atoms base overlay =
+  let flat = new_store ~max_atoms None in
+  let copy st =
+    Hashtbl.iter
+      (fun a _ ->
+        if not (Hashtbl.mem flat.st_univ a) then begin
+          Hashtbl.replace flat.st_univ a 0;
+          flat.st_count <- flat.st_count + 1;
+          push flat.st_by_sig (Atom.signature a) (a, 0);
+          match a.Atom.args with
+          | first :: _ ->
+              push flat.st_by_first
+                (a.Atom.pred, List.length a.Atom.args, first)
+                (a, 0)
+          | [] -> ()
+        end)
+      st.st_univ
+  in
+  copy base;
+  copy overlay;
+  flat
+
+let extend_prepare ?stats prep dp =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iter check_rule (Program.rules dp);
+  (* Overlay phase 1, exactly as in {!extend} — but the merged template
+     index is kept: it becomes the new prepared's [p_tindex]. *)
+  let st = new_store ~max_atoms:prep.p_max_atoms (Some prep.p_store) in
+  let nbase = Array.length prep.p_templates in
+  let dtemplates, dtindex = build_templates (Program.rules dp) in
+  let templates = Array.append prep.p_templates dtemplates in
+  let tindex = Hashtbl.copy prep.p_tindex in
+  Hashtbl.iter
+    (fun sg d ->
+      let b = Option.value ~default:[] (Hashtbl.find_opt tindex sg) in
+      Hashtbl.replace tindex sg
+        (b @ List.map (fun (ti, pos) -> (ti + nbase, pos)) d))
+    dtindex;
+  let entries_for sg = Option.value ~default:[] (Hashtbl.find_opt tindex sg) in
+  run_fixpoint st stats templates entries_for
+    ~initial:
+      (List.map (fun i -> i + nbase) (all_indices (Array.length dtemplates)));
+  (* Merge the overlay's sorted tables into copies of the base tables:
+     the new prepared answers candidate queries over the full universe. *)
+  let nsigs, nfirsts = sorted_tables st in
+  let sigs = Hashtbl.copy prep.p_sigs in
+  Hashtbl.iter
+    (fun k nl ->
+      let b = Option.value ~default:[] (Hashtbl.find_opt sigs k) in
+      Hashtbl.replace sigs k (List.merge Atom.compare b nl))
+    nsigs;
+  let firsts = Hashtbl.copy prep.p_firsts in
+  Hashtbl.iter
+    (fun k nl ->
+      let b = Option.value ~default:[] (Hashtbl.find_opt firsts k) in
+      Hashtbl.replace firsts k (List.merge Atom.compare b nl))
+    nfirsts;
+  let view = tbl_view sigs firsts in
+  let new_view = tbl_view nsigs nfirsts in
+  let store = flatten_store ~max_atoms:prep.p_max_atoms prep.p_store st in
+  let snap = { sn_view = view; sn_mem = (fun a -> Hashtbl.mem store.st_univ a) } in
+  let touched sg = Hashtbl.mem nsigs sg in
+  (* Per-entry instance update under {!extend}'s classification: shared
+     instances stay shared (and keep their emission order), delta-exact
+     new joins are appended, cond-touched rules are recomputed. *)
+  let entries = ref [] in
+  let recompute ?body_cands perm r =
+    let acc = ref [] in
+    let emit gr =
+      stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
+      acc := gr :: !acc
+    in
+    instantiate snap stats ?body_cands ?perm ~emit r;
+    List.rev !acc
+  in
+  Array.iter
+    (fun e ->
+      let perm = prep.p_order e.e_rule in
+      let insts =
+        if List.exists touched e.e_cond_sigs then recompute perm e.e_rule
+        else begin
+          stats.Stats.reused_rules <-
+            stats.Stats.reused_rules + List.length e.e_instances;
+          let extra = ref [] in
+          Array.iteri
+            (fun i sg ->
+              if touched sg then begin
+                let body_cands k pat' =
+                  if k = i then view_cands new_view stats pat'
+                  else if k < i then view_cands prep.p_view stats pat'
+                  else view_cands view stats pat'
+                in
+                extra := !extra @ recompute ~body_cands perm e.e_rule
+              end)
+            e.e_pos_sigs;
+          e.e_instances @ !extra
+        end
+      in
+      entries := { e with e_instances = insts } :: !entries)
+    prep.p_entries;
+  List.iter
+    (fun r ->
+      entries :=
+        {
+          e_rule = r;
+          e_pos_sigs = Array.of_list (Deps.positive_body_signatures r);
+          e_cond_sigs = Deps.condition_signatures r;
+          e_instances = recompute (prep.p_order r) r;
+        }
+        :: !entries)
+    (Program.rules dp);
+  let entries = List.rev !entries in
+  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rules =
+    List.concat_map
+      (fun e ->
+        List.filter
+          (fun gr ->
+            if Hashtbl.mem seen gr then false
+            else begin
+              Hashtbl.replace seen gr ();
+              true
+            end)
+          e.e_instances)
+      entries
+  in
+  let next =
+    {
+      p_program = Program.append prep.p_program dp;
+      p_max_atoms = prep.p_max_atoms;
+      p_store = store;
+      p_sigs = sigs;
+      p_firsts = firsts;
+      p_view = view;
+      p_snap = snap;
+      p_entries = Array.of_list entries;
+      p_templates = templates;
+      p_tindex = tindex;
+      p_universe = universe_of store Model.AtomSet.empty;
+      p_rules = rules;
+      p_order = prep.p_order;
+    }
+  in
+  stats.Stats.wall_s <- stats.Stats.wall_s +. (Unix.gettimeofday () -. t0);
+  next

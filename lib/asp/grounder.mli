@@ -108,3 +108,18 @@ val extend : ?stats:Stats.t -> prepared -> Program.t -> Ground.t
     shared instances): same universe, same stable models, same costs.
     Raises like {!ground} if the delta is unsafe or the combined universe
     overflows [prepare]'s [max_atoms]. *)
+
+val extend_prepare : ?stats:Stats.t -> prepared -> Program.t -> prepared
+(** [extend_prepare state delta] is to {!prepare} what {!extend} is to
+    {!ground}: it absorbs [delta] as a permanent structural increment and
+    returns warm state for [base + delta], doing instance work
+    proportional to what the delta touches (the same share / delta-join /
+    recompute classification as {!extend}). Chains: a refinement sequence
+    pays one [extend_prepare] per level instead of a scratch re-ground,
+    and the result can itself be {!extend}ed per what-if delta.
+
+    The returned state's {!base} is equivalent to
+    [ground (Program.append base delta)] in the sense documented for
+    {!extend} — same universe, same stable models, same costs; rule
+    emission order may differ from a scratch {!prepare}. The input
+    [state] is not mutated and stays usable. Raises like {!extend}. *)

@@ -606,6 +606,13 @@ let solve_full ?limit ~config ~assumptions ~optimal ~stats (p : Interned.t) =
        | _ -> false
      in
      let n_vars = comp.Completion.n_vars in
+     (* seed from the hub before search: a warm hub (repeated solves of
+        one ground program under different assumptions — the incremental
+        CEGAR loop) only helps a conflict-light solve if its clauses land
+        before the first restart, and an easy solve may never restart.
+        Sound for the same reason restart-time imports are: at the root
+        they strengthen the formula monotonically. *)
+     if sharing then ignore (import_shared ());
      while true do
        match Nogood.propagate k with
        | Some confl -> handle_conflict confl

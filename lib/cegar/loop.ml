@@ -10,8 +10,20 @@ type 'c outcome = {
   converged : bool;
 }
 
-let run ?(max_rounds = 10) ~equal ~initial ~refine () =
+let run ?(max_rounds = 10) ?key ~equal ~initial ~refine () =
   let initial_candidates = initial () in
+  (* membership test over [l]: a hashed key set when the caller supplies
+     an injective [key] (O(1) per probe), the pairwise [equal] scan
+     otherwise — refinement rounds over large candidate sets were
+     quadratic in both the soundness check and the elimination diff *)
+  let mem_of l =
+    match key with
+    | Some key ->
+        let tbl = Hashtbl.create (max 16 (2 * List.length l)) in
+        List.iter (fun c -> Hashtbl.replace tbl (key c) ()) l;
+        fun c -> Hashtbl.mem tbl (key c)
+    | None -> fun c -> List.exists (equal c) l
+  in
   let rec go level candidates rounds =
     if level >= max_rounds then
       { rounds = List.rev rounds; confirmed = candidates; converged = false }
@@ -20,10 +32,9 @@ let run ?(max_rounds = 10) ~equal ~initial ~refine () =
       | None ->
           { rounds = List.rev rounds; confirmed = candidates; converged = true }
       | Some refined ->
+          let in_candidates = mem_of candidates in
           let fresh =
-            List.filter
-              (fun c -> not (List.exists (equal c) candidates))
-              refined
+            List.filter (fun c -> not (in_candidates c)) refined
           in
           if fresh <> [] then
             invalid_arg
@@ -31,10 +42,9 @@ let run ?(max_rounds = 10) ~equal ~initial ~refine () =
                  "Cegar.Loop.run: refinement at level %d introduced %d \
                   candidates absent from the abstraction (unsound abstraction)"
                  (level + 1) (List.length fresh));
+          let in_refined = mem_of refined in
           let eliminated =
-            List.filter
-              (fun c -> not (List.exists (equal c) refined))
-              candidates
+            List.filter (fun c -> not (in_refined c)) candidates
           in
           let round = { level = level + 1; candidates = refined; eliminated } in
           go (level + 1) refined (round :: rounds)

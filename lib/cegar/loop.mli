@@ -22,6 +22,7 @@ type 'c outcome = {
 
 val run :
   ?max_rounds:int ->
+  ?key:('c -> string) ->
   equal:('c -> 'c -> bool) ->
   initial:(unit -> 'c list) ->
   refine:(int -> 'c list -> 'c list option) ->
@@ -32,4 +33,9 @@ val run :
     exists. Candidates {e introduced} by a refinement (absent from the
     abstract round) violate the over-approximation contract and raise
     [Invalid_argument] — abstraction soundness is enforced, not assumed.
-    [max_rounds] defaults to 10. *)
+    [max_rounds] defaults to 10.
+
+    [key], when given, must agree with [equal] ([equal a b] iff
+    [key a = key b]); the per-round membership diffs then use hashed key
+    sets — linear per round — instead of the pairwise [equal] scans,
+    which are quadratic in the candidate count. *)

@@ -65,13 +65,22 @@ let attack_path model ~entry ~target =
   bfs [ (entry, [ entry ]) ]
 
 let flatten model id =
-  let rec collect acc eid =
-    List.fold_left
-      (fun acc (e : Archimate.Element.t) ->
+  (* hashed seen-set: nested compositions revisit shared parts, and the
+     [List.mem] accumulator scan was quadratic in the part count *)
+  let seen = Hashtbl.create 32 in
+  let to_remove = ref [] in
+  let rec collect eid =
+    List.iter
+      (fun (e : Archimate.Element.t) ->
         let pid = e.Archimate.Element.id in
-        if List.mem pid acc then acc else collect (pid :: acc) pid)
-      acc
+        if not (Hashtbl.mem seen pid) then begin
+          Hashtbl.replace seen pid ();
+          to_remove := pid :: !to_remove;
+          collect pid
+        end)
       (Archimate.Model.parts eid model)
   in
-  let to_remove = collect [] id in
-  List.fold_left (fun m eid -> Archimate.Model.remove_element eid m) model to_remove
+  collect id;
+  List.fold_left
+    (fun m eid -> Archimate.Model.remove_element eid m)
+    model !to_remove

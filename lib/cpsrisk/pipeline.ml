@@ -223,6 +223,212 @@ let run config =
 
 let render_log artifacts = String.concat "\n" artifacts.log ^ "\n"
 
+(* ------------------------------------------------------------------ *)
+(* Engine-backed refinement (step 5 at scale)                          *)
+(* ------------------------------------------------------------------ *)
+
+let refine_hierarchy ?jobs ?levels ?entries ?mode ?share ?cache
+    ?(scratch = false) () =
+  let spec = Hierarchy.refine_spec ?levels ?entries ?mode () in
+  if scratch then Cegar.Inc.run_scratch spec
+  else Cegar.Inc.run ?jobs ?share ?cache spec
+
+let render_refine ?(stats = false) (o : Cegar.Inc.outcome) =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (r : Cegar.Inc.round) ->
+      p "round %d (%s): %d survive%s\n" r.Cegar.Inc.r_level
+        r.Cegar.Inc.r_label
+        (List.length r.Cegar.Inc.r_survivors)
+        (match r.Cegar.Inc.r_eliminated with
+        | [] -> ""
+        | e ->
+            Printf.sprintf ", eliminated %s"
+              (String.concat "," (List.map Engine.Delta.label e))))
+    o.Cegar.Inc.rounds;
+  p "confirmed: %s\n"
+    (match o.Cegar.Inc.confirmed with
+    | [] -> "(none)"
+    | c -> String.concat "," (List.map Engine.Delta.label c));
+  if stats then begin
+    let s = o.Cegar.Inc.stats in
+    p
+      "rounds %d  solves %d  hits %d  disk %d  fresh %d  carried %d  \
+       published %d  flushes %d\n"
+      s.Cegar.Inc.s_rounds s.Cegar.Inc.s_solves s.Cegar.Inc.s_hits
+      s.Cegar.Inc.s_disk_hits s.Cegar.Inc.s_fresh s.Cegar.Inc.s_carried
+      s.Cegar.Inc.s_published s.Cegar.Inc.s_flushes;
+    p "ground: %s\n"
+      (Asp.Grounder.Stats.to_string s.Cegar.Inc.s_ground);
+    p "wall: %.3fs\n" s.Cegar.Inc.s_wall_s
+  end;
+  Buffer.contents buf
+
+let refine_to_json (o : Cegar.Inc.outcome) =
+  let buf = Buffer.create 512 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let labels ds = List.map Engine.Delta.label ds in
+  let str_list l =
+    String.concat ", " (List.map (Printf.sprintf "%S") l)
+  in
+  p "{\n  \"rounds\": [\n";
+  let n = List.length o.Cegar.Inc.rounds in
+  List.iteri
+    (fun i (r : Cegar.Inc.round) ->
+      p
+        "    {\"level\": %d, \"label\": %S, \"survivors\": [%s], \
+         \"eliminated\": [%s]}%s\n"
+        r.Cegar.Inc.r_level r.Cegar.Inc.r_label
+        (str_list (labels r.Cegar.Inc.r_survivors))
+        (str_list (labels r.Cegar.Inc.r_eliminated))
+        (if i = n - 1 then "" else ","))
+    o.Cegar.Inc.rounds;
+  p "  ],\n";
+  p "  \"confirmed\": [%s],\n" (str_list (labels o.Cegar.Inc.confirmed));
+  let s = o.Cegar.Inc.stats in
+  p
+    "  \"stats\": {\"rounds\": %d, \"solves\": %d, \"hits\": %d, \
+     \"disk_hits\": %d, \"fresh\": %d, \"carried\": %d, \"published\": %d, \
+     \"flushes\": %d,\n"
+    s.Cegar.Inc.s_rounds s.Cegar.Inc.s_solves s.Cegar.Inc.s_hits
+    s.Cegar.Inc.s_disk_hits s.Cegar.Inc.s_fresh s.Cegar.Inc.s_carried
+    s.Cegar.Inc.s_published s.Cegar.Inc.s_flushes;
+  p
+    "    \"ground\": {\"fresh_rules\": %d, \"reused_rules\": %d, \
+     \"wall_s\": %.6f},\n"
+    s.Cegar.Inc.s_ground.Asp.Grounder.Stats.fresh_rules
+    s.Cegar.Inc.s_ground.Asp.Grounder.Stats.reused_rules
+    s.Cegar.Inc.s_ground.Asp.Grounder.Stats.wall_s;
+  p "    \"wall_s\": %.6f}\n}" s.Cegar.Inc.s_wall_s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Engine-backed mitigation frontier (step 7 at scale)                 *)
+(* ------------------------------------------------------------------ *)
+
+type frontier_request =
+  | Frontier_optimal of int option
+  | Frontier_pareto
+  | Frontier_sweep of int list
+
+type frontier_answer =
+  | Frontier_solution of Mitigation.Optimizer.solution
+  | Frontier_front of Mitigation.Optimizer.solution list
+  | Frontier_curve of (int * Mitigation.Optimizer.solution) list
+
+(* The water-tank catalog over the paper's attack scenario (F4, the
+   workstation compromise inducing F1–F3): each action set is one warm
+   delta; the residual weighs the violated requirements as
+   {!Water_tank.residual_loss} does (R1 physical damage 3, R2 lost
+   alerting 1). Monotone: mitigations only ever block activations. *)
+let water_tank_measure = function
+  | [ m ] ->
+      List.fold_left
+        (fun acc ((req : Epa.Requirement.t), weight) ->
+          let atom =
+            Asp.Atom.make "violated"
+              [
+                Asp.Term.Const
+                  (String.lowercase_ascii req.Epa.Requirement.id);
+              ]
+          in
+          if Asp.Model.holds m atom then acc + weight else acc)
+        0
+        (List.map2
+           (fun r w -> (r, w))
+           Water_tank.requirements [ 3; 1 ])
+  | models ->
+      invalid_arg
+        (Printf.sprintf
+           "Pipeline.water_tank_measure: expected a unique stable model, \
+            got %d"
+           (List.length models))
+
+let water_tank_frontier_of ?cache prepared =
+  Mitigation.Frontier.make ?cache ~actions:Water_tank.mitigations
+    ~delta:(fun ~active ->
+      Engine.Delta.make ~mitigations:active [ "F4" ])
+    ~measure:water_tank_measure prepared
+
+let water_tank_frontier ?cache ?horizon () =
+  water_tank_frontier_of ?cache
+    (Engine.Job.prepare (Sweeps.water_tank_spec ?horizon []))
+
+let mitigate_frontier ?jobs f = function
+  | Frontier_optimal budget ->
+      let s, report = Mitigation.Frontier.optimal ?budget f in
+      (Frontier_solution s, report)
+  | Frontier_pareto ->
+      let front, report = Mitigation.Frontier.pareto ?jobs f in
+      (Frontier_front front, report)
+  | Frontier_sweep budgets ->
+      let curve, report = Mitigation.Frontier.budget_sweep ?jobs f ~budgets in
+      (Frontier_curve curve, report)
+
+let render_solution (s : Mitigation.Optimizer.solution) =
+  Format.asprintf "%a" Mitigation.Optimizer.pp_solution s
+
+let render_frontier ?(stats = false) answer (report : Mitigation.Frontier.report)
+    =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match answer with
+  | Frontier_solution s -> p "optimal: %s\n" (render_solution s)
+  | Frontier_front front ->
+      p "pareto front (%d points):\n" (List.length front);
+      List.iter (fun s -> p "  %s\n" (render_solution s)) front
+  | Frontier_curve curve ->
+      p "budget sweep:\n";
+      List.iter
+        (fun (b, s) -> p "  budget %3d -> %s\n" b (render_solution s))
+        curve);
+  if stats then
+    p
+      "evals %d  hits %d  disk %d  fresh %d  pruned %d  sum %.3fs  \
+       critical %.3fs  wall %.3fs\n"
+      report.Mitigation.Frontier.r_evals report.Mitigation.Frontier.r_hits
+      report.Mitigation.Frontier.r_disk_hits
+      report.Mitigation.Frontier.r_fresh report.Mitigation.Frontier.r_pruned
+      report.Mitigation.Frontier.r_sum_s
+      report.Mitigation.Frontier.r_critical_s
+      report.Mitigation.Frontier.r_wall_s;
+  Buffer.contents buf
+
+let solution_json (s : Mitigation.Optimizer.solution) =
+  Printf.sprintf "{\"selected\": [%s], \"cost\": %d, \"residual\": %d}"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%S") s.Mitigation.Optimizer.selected))
+    s.Mitigation.Optimizer.cost s.Mitigation.Optimizer.residual
+
+let frontier_to_json answer (report : Mitigation.Frontier.report) =
+  let buf = Buffer.create 256 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  (match answer with
+  | Frontier_solution s -> p "  \"optimal\": %s,\n" (solution_json s)
+  | Frontier_front front ->
+      p "  \"pareto\": [%s],\n"
+        (String.concat ", " (List.map solution_json front))
+  | Frontier_curve curve ->
+      p "  \"sweep\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun (b, s) ->
+                Printf.sprintf "{\"budget\": %d, \"solution\": %s}" b
+                  (solution_json s))
+              curve)));
+  p
+    "  \"report\": {\"evals\": %d, \"hits\": %d, \"disk_hits\": %d, \
+     \"fresh\": %d, \"pruned\": %d, \"sum_s\": %.6f, \"critical_s\": %.6f, \
+     \"wall_s\": %.6f}\n}"
+    report.Mitigation.Frontier.r_evals report.Mitigation.Frontier.r_hits
+    report.Mitigation.Frontier.r_disk_hits report.Mitigation.Frontier.r_fresh
+    report.Mitigation.Frontier.r_pruned report.Mitigation.Frontier.r_sum_s
+    report.Mitigation.Frontier.r_critical_s
+    report.Mitigation.Frontier.r_wall_s;
+  Buffer.contents buf
+
 let topology_sweep ?jobs ?deltas config =
   let deltas =
     match deltas with

@@ -56,6 +56,74 @@ val run : config -> artifacts
 
 val render_log : artifacts -> string
 
+(** {2 Engine-backed refinement (step 5 at scale)}
+
+    The hierarchical case study of {!Hierarchy} driven through the
+    incremental CEGAR engine ({!Cegar.Inc}): one warm grounder chain
+    across refinement levels, learned nogoods carried between candidate
+    solves in Assume mode, results deduplicated through the engine
+    cache. *)
+
+val refine_hierarchy :
+  ?jobs:int ->
+  ?levels:int ->
+  ?entries:int ->
+  ?mode:[ `Assume | `Increment ] ->
+  ?share:bool ->
+  ?cache:Cegar.Inc.value Engine.Cache.t ->
+  ?scratch:bool ->
+  unit ->
+  Cegar.Inc.outcome
+(** [scratch:true] runs the retained cold-grounding oracle instead — the
+    outcome is bit-for-bit identical, only the stats differ. *)
+
+val render_refine : ?stats:bool -> Cegar.Inc.outcome -> string
+val refine_to_json : Cegar.Inc.outcome -> string
+
+(** {2 Engine-backed mitigation frontier (step 7 at scale)} *)
+
+type frontier_request =
+  | Frontier_optimal of int option  (** budget *)
+  | Frontier_pareto
+  | Frontier_sweep of int list  (** budgets *)
+
+type frontier_answer =
+  | Frontier_solution of Mitigation.Optimizer.solution
+  | Frontier_front of Mitigation.Optimizer.solution list
+  | Frontier_curve of (int * Mitigation.Optimizer.solution) list
+
+val water_tank_frontier_of :
+  ?cache:Mitigation.Frontier.value Engine.Cache.t ->
+  Engine.Job.prepared ->
+  Mitigation.Frontier.t
+(** Over already-warm prepared state — a prepared
+    {!Sweeps.water_tank_spec} — so the serve layer's loaded water-tank
+    model answers frontier requests from its own base grounding and
+    cache. *)
+
+val water_tank_frontier :
+  ?cache:Mitigation.Frontier.value Engine.Cache.t ->
+  ?horizon:int ->
+  unit ->
+  Mitigation.Frontier.t
+(** The water-tank mitigation catalog over the paper's §VII attack
+    scenario (F4 — the infected engineering workstation inducing F1–F3):
+    candidate action sets are warm deltas over the prepared temporal
+    encoding, the residual weighs violated requirements as
+    {!Water_tank.residual_loss} does (R1 at 3, R2 at 1). *)
+
+val mitigate_frontier :
+  ?jobs:int ->
+  Mitigation.Frontier.t ->
+  frontier_request ->
+  frontier_answer * Mitigation.Frontier.report
+
+val render_frontier :
+  ?stats:bool -> frontier_answer -> Mitigation.Frontier.report -> string
+
+val frontier_to_json :
+  frontier_answer -> Mitigation.Frontier.report -> string
+
 val topology_sweep :
   ?jobs:int ->
   ?deltas:Engine.Delta.t list ->

@@ -17,21 +17,31 @@ let evaluate p ids =
     residual = p.residual ~active:selected;
   }
 
-(* enumerate subsets within budget, with simple cost pruning along the
-   inclusion order (costs are non-negative) *)
-let subsets_within_budget actions budget =
+(* Fold [f] over every subset within budget, inclusion-order DFS with
+   cost pruning along the way (costs are non-negative). The fold
+   evaluates and prunes in place: live memory is the O(actions) DFS
+   spine, where the previous enumerator materialized every subset into a
+   list before scoring — 2^20 cons cells at the 20-action catalog scale
+   this search is documented for. *)
+let fold_subsets_within_budget actions budget ~init ~f =
   let rec go remaining cost selected acc =
     match remaining with
-    | [] -> List.rev selected :: acc
+    | [] -> f acc (List.rev selected) cost
     | (a : Action.t) :: rest ->
         let acc = go rest cost selected acc in
         let cost' = cost + a.Action.cost in
-        if
-          match budget with Some b -> cost' <= b | None -> true
-        then go rest cost' (a.Action.id :: selected) acc
+        if match budget with Some b -> cost' <= b | None -> true then
+          go rest cost' (a.Action.id :: selected) acc
         else acc
   in
-  go actions 0 [] []
+  go actions 0 [] init
+
+(* materialized spelling, still used by the parallel fan-out paths (a
+   Pool needs indexable work) — never by the sequential searches *)
+let subsets_within_budget actions budget =
+  List.rev
+    (fold_subsets_within_budget actions budget ~init:[]
+       ~f:(fun acc ids _cost -> ids :: acc))
 
 let better a b =
   (* smaller residual, then cheaper, then lexicographically smaller *)
@@ -42,41 +52,47 @@ let better a b =
     if c <> 0 then c < 0 else Stdlib.compare a.selected b.selected < 0
 
 let optimal ?budget p =
-  let candidates = subsets_within_budget p.actions budget in
-  match candidates with
-  | [] -> evaluate p [] (* budget < 0: only the empty selection *)
-  | first :: rest ->
-      List.fold_left
-        (fun best ids ->
-          let s = evaluate p ids in
-          if better s best then s else best)
-        (evaluate p first) rest
+  (* [better] is a strict total order (residual, cost, lex selection), so
+     the running best is independent of enumeration order *)
+  let best =
+    fold_subsets_within_budget p.actions budget ~init:None
+      ~f:(fun best ids _cost ->
+        let s = evaluate p ids in
+        match best with Some b when not (better s b) -> best | _ -> Some s)
+  in
+  match best with
+  | None -> evaluate p [] (* budget < 0: only the empty selection *)
+  | Some s -> s
 
 let dominates a b =
   a.cost <= b.cost && a.residual <= b.residual
   && (a.cost < b.cost || a.residual < b.residual)
 
 let pareto p =
-  let all = List.map (evaluate p) (subsets_within_budget p.actions None) in
+  (* running front, maintained in place while the subsets stream by: at
+     most one representative per (cost, residual) point — the
+     lexicographically smallest selection — and no dominated member.
+     Order-independent, so it equals the old collect-all-then-filter
+     result without ever holding all 2^n solutions. *)
+  let insert front s =
+    if List.exists (fun s' -> dominates s' s) front then front
+    else
+      let front = List.filter (fun s' -> not (dominates s s')) front in
+      let equal_pt s' = s'.cost = s.cost && s'.residual = s.residual in
+      match List.find_opt equal_pt front with
+      | Some s' when Stdlib.compare s'.selected s.selected <= 0 -> front
+      | Some _ -> s :: List.filter (fun s' -> not (equal_pt s')) front
+      | None -> s :: front
+  in
   let front =
-    List.filter (fun s -> not (List.exists (fun s' -> dominates s' s) all)) all
+    fold_subsets_within_budget p.actions None ~init:[]
+      ~f:(fun front ids _cost -> insert front (evaluate p ids))
   in
-  (* dedup equal (cost, residual) points, keep the lexicographically
-     smallest selection as the representative *)
-  let front =
-    List.sort
-      (fun a b ->
-        let c = Stdlib.compare (a.cost, a.residual) (b.cost, b.residual) in
-        if c <> 0 then c else Stdlib.compare a.selected b.selected)
-      front
-  in
-  let rec dedup = function
-    | a :: (b :: _ as rest) when a.cost = b.cost && a.residual = b.residual ->
-        a :: dedup (List.filter (fun s -> not (s.cost = a.cost && s.residual = a.residual)) rest)
-    | a :: rest -> a :: dedup rest
-    | [] -> []
-  in
-  dedup front
+  List.sort
+    (fun a b ->
+      let c = Stdlib.compare (a.cost, a.residual) (b.cost, b.residual) in
+      if c <> 0 then c else Stdlib.compare a.selected b.selected)
+    front
 
 let budget_sweep p ~budgets =
   List.map (fun b -> (b, optimal ~budget:b p)) budgets

@@ -21,10 +21,31 @@ type solution = {
 
 val evaluate : problem -> string list -> solution
 
+val better : solution -> solution -> bool
+(** The strict total order of the searches: smaller residual, then
+    cheaper, then lexicographically smaller selection. Exposed so
+    engine-backed searches ({!Frontier}) replay the exact
+    tie-breaking. *)
+
+val fold_subsets_within_budget :
+  Action.t list ->
+  int option ->
+  init:'a ->
+  f:('a -> string list -> int -> 'a) ->
+  'a
+(** Fold over every action subset whose total cost fits the budget, as
+    [f acc selected cost] in inclusion-order DFS with cost pruning
+    (costs are non-negative by {!Action.make}). Evaluation happens in
+    place during enumeration — live memory is the O(actions) DFS spine,
+    never a materialized subset list. The sequential searches below are
+    all folds over this; it is exposed for callers (the engine-backed
+    {!Frontier}) that need the same enumeration order. *)
+
 val optimal : ?budget:int -> problem -> solution
 (** Minimal residual within budget; ties broken by lower cost, then
-    lexicographic selection. Exhaustive with cost pruning — exact for the
-    catalog sizes of the paper's domain (≤ ~20 actions). *)
+    lexicographic selection. Exhaustive with cost pruning, streaming
+    through {!fold_subsets_within_budget} in O(actions) memory — exact
+    for the catalog sizes of the paper's domain (≤ ~20 actions). *)
 
 val pareto : problem -> solution list
 (** Cost-vs-residual Pareto front over all subsets, sorted by cost: no

@@ -1,12 +1,27 @@
-type backend = Water_tank | Topology
+type backend = Water_tank | Topology | Hierarchy
 
 let backend_to_string = function
   | Water_tank -> "water-tank"
   | Topology -> "topology"
+  | Hierarchy -> "hierarchy"
 
 let backend_of_string = function
   | "water-tank" -> Some Water_tank
   | "topology" -> Some Topology
+  | "hierarchy" -> Some Hierarchy
+  | _ -> None
+
+type frontier_op = Optimal | Pareto | Budget_curve
+
+let frontier_op_to_string = function
+  | Optimal -> "optimal"
+  | Pareto -> "pareto"
+  | Budget_curve -> "budget-curve"
+
+let frontier_op_of_string = function
+  | "optimal" -> Some Optimal
+  | "pareto" -> Some Pareto
+  | "budget-curve" -> Some Budget_curve
   | _ -> None
 
 type request =
@@ -17,6 +32,13 @@ type request =
       model_src : string option;
     }
   | Sweep of { model : string; mutations : string; jobs : int option }
+  | Mitigate of {
+      model : string;
+      op : frontier_op;
+      budget : int option;
+      budgets : int list;
+      jobs : int option;
+    }
   | Solve of { program : string; limit : int option; optimal : bool }
   | Status
   | Stats
@@ -50,6 +72,24 @@ let request_to_json = function
                ("model", Json.String model);
                ("mutations", Json.String mutations);
              ];
+             (match jobs with Some j -> [ ("jobs", Json.Int j) ] | None -> []);
+           ])
+  | Mitigate { model; op; budget; budgets; jobs } ->
+      Json.Obj
+        (List.concat
+           [
+             [
+               ("op", Json.String "mitigate");
+               ("model", Json.String model);
+               ("search", Json.String (frontier_op_to_string op));
+             ];
+             (match budget with
+             | Some b -> [ ("budget", Json.Int b) ]
+             | None -> []);
+             (match budgets with
+             | [] -> []
+             | bs ->
+                 [ ("budgets", Json.List (List.map (fun b -> Json.Int b) bs)) ]);
              (match jobs with Some j -> [ ("jobs", Json.Int j) ] | None -> []);
            ])
   | Solve { program; limit; optimal } ->
@@ -103,6 +143,42 @@ let request_of_json json =
               Ok (Sweep { model; mutations; jobs = Json.mem_int "jobs" json })
           | None, _ -> Error "sweep: missing \"model\""
           | _, None -> Error "sweep: missing \"mutations\"")
+      | "mitigate" -> (
+          match Json.mem_string "model" json with
+          | None -> Error "mitigate: missing \"model\""
+          | Some model -> (
+              let search =
+                Option.value ~default:"optimal"
+                  (Json.mem_string "search" json)
+              in
+              match frontier_op_of_string search with
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "mitigate: unknown search %S (optimal | pareto | \
+                        budget-curve)"
+                       search)
+              | Some op ->
+                  let budgets =
+                    match Json.mem_list "budgets" json with
+                    | None -> []
+                    | Some items ->
+                        List.filter_map
+                          (function Json.Int b -> Some b | _ -> None)
+                          items
+                  in
+                  if op = Budget_curve && budgets = [] then
+                    Error "mitigate: budget-curve needs a \"budgets\" list"
+                  else
+                    Ok
+                      (Mitigate
+                         {
+                           model;
+                           op;
+                           budget = Json.mem_int "budget" json;
+                           budgets;
+                           jobs = Json.mem_int "jobs" json;
+                         })))
       | "solve" -> (
           match Json.mem_string "program" json with
           | None -> Error "solve: missing \"program\""

@@ -8,10 +8,15 @@
     per-job cache provenance (["source"]: fresh | memory | disk) and
     timings. *)
 
-type backend = Water_tank | Topology
+type backend = Water_tank | Topology | Hierarchy
 
 val backend_to_string : backend -> string
 val backend_of_string : string -> backend option
+
+type frontier_op = Optimal | Pareto | Budget_curve
+
+val frontier_op_to_string : frontier_op -> string
+val frontier_op_of_string : string -> frontier_op option
 
 type request =
   | Load_model of {
@@ -29,6 +34,15 @@ type request =
               the file's own line numbers *)
       jobs : int option;  (** override the daemon's fan-out for this batch *)
     }
+  | Mitigate of {
+      model : string;  (** a name loaded earlier *)
+      op : frontier_op;
+      budget : int option;  (** for [Optimal] *)
+      budgets : int list;  (** for [Budget_curve] *)
+      jobs : int option;
+    }
+      (** mitigation-frontier search answered from the model's warm
+          prepared state, through its solve cache *)
   | Solve of { program : string; limit : int option; optimal : bool }
   | Status  (** daemon liveness, uptime, queue + store summary *)
   | Stats  (** per-model cache counters and store counters *)

@@ -6,9 +6,11 @@ type entry = {
   spec : Engine.Job.spec;
   prepared : Engine.Job.prepared;
   cache : value Engine.Cache.t;
+  frontier : Mitigation.Frontier.t option;
   loaded_at : float;
   mutable sweeps : int;
   mutable jobs_served : int;
+  mutable mitigations : int;
 }
 
 type t = {
@@ -25,7 +27,7 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let load t ~name ~backend spec =
+let load t ?frontier ~name ~backend spec =
   (* preparing (fingerprint + base grounding) is the expensive part and is
      done outside the lock: a slow load must not block lookups *)
   let prepared = Engine.Job.prepare spec in
@@ -41,9 +43,11 @@ let load t ~name ~backend spec =
       spec;
       prepared;
       cache;
+      frontier = Option.map (fun f -> f prepared cache) frontier;
       loaded_at = Unix.gettimeofday ();
       sweeps = 0;
       jobs_served = 0;
+      mitigations = 0;
     }
   in
   locked t (fun () ->
@@ -79,6 +83,7 @@ let entry_to_json e =
       ("base_atoms", Json.Int (base_atoms e));
       ("sweeps", Json.Int e.sweeps);
       ("jobs_served", Json.Int e.jobs_served);
+      ("mitigations", Json.Int e.mitigations);
       ("cache_entries", Json.Int (Engine.Cache.length e.cache));
       ("cache_hits", Json.Int (Engine.Cache.hits e.cache));
       ("cache_disk_hits", Json.Int (Engine.Cache.disk_hits e.cache));

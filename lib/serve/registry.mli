@@ -20,19 +20,32 @@ type entry = {
                                their own) *)
   prepared : Engine.Job.prepared;  (** warm base state, read-only *)
   cache : value Engine.Cache.t;
+  frontier : Mitigation.Frontier.t option;
+      (** mitigation frontier sharing [prepared] and [cache], when the
+          backend carries an action catalog — frontier evaluations and
+          sweep jobs answer each other's what-ifs *)
   loaded_at : float;
   mutable sweeps : int;  (** sweep requests served *)
   mutable jobs_served : int;  (** delta jobs across those sweeps *)
+  mutable mitigations : int;  (** mitigation-frontier requests served *)
 }
 
 type t
 
 val create : ?store:value Store.t -> unit -> t
 
-val load : t -> name:string -> backend:string -> Engine.Job.spec -> entry
+val load :
+  t ->
+  ?frontier:(Engine.Job.prepared -> value Engine.Cache.t -> Mitigation.Frontier.t) ->
+  name:string ->
+  backend:string ->
+  Engine.Job.spec ->
+  entry
 (** Prepare the spec's base (outside the registry lock — slow loads do
     not block lookups) and register it, replacing any previous model of
-    the same name. Raises like {!Engine.Job.prepare} on an unsafe or
+    the same name. A [frontier] builder receives the warm prepared state
+    and the model's own cache, so frontier searches and sweeps share
+    answers. Raises like {!Engine.Job.prepare} on an unsafe or
     overflowing base. *)
 
 val find : t -> string -> entry option

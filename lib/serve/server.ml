@@ -127,6 +127,10 @@ let result_to_json (entry : Registry.entry) (r : Engine.Job.result) =
         | affected ->
             [ ("affected", Json.List (List.map (fun c -> Json.String c) affected)) ]
         | exception Invalid_argument _ -> [])
+    | "hierarchy" -> (
+        match Cpsrisk.Hierarchy.frontier_measure r.Engine.Job.models with
+        | residual -> [ ("residual", Json.Int residual) ]
+        | exception Invalid_argument _ -> [])
     | _ -> []
   in
   Json.Obj
@@ -203,22 +207,82 @@ let sweep_response entry (reply : sweep_reply) wall_s =
           (Array.to_list (Array.map (result_to_json entry) reply.results)) );
     ]
 
+let solution_to_json (s : Mitigation.Optimizer.solution) =
+  Json.Obj
+    [
+      ( "selected",
+        Json.List
+          (List.map (fun a -> Json.String a) s.Mitigation.Optimizer.selected) );
+      ("cost", Json.Int s.Mitigation.Optimizer.cost);
+      ("residual", Json.Int s.Mitigation.Optimizer.residual);
+    ]
+
+let frontier_report_to_json (r : Mitigation.Frontier.report) =
+  Json.Obj
+    [
+      ("evals", Json.Int r.Mitigation.Frontier.r_evals);
+      ("hits", Json.Int r.Mitigation.Frontier.r_hits);
+      ("disk_hits", Json.Int r.Mitigation.Frontier.r_disk_hits);
+      ("fresh", Json.Int r.Mitigation.Frontier.r_fresh);
+      ("pruned", Json.Int r.Mitigation.Frontier.r_pruned);
+      ("sum_s", Json.Float r.Mitigation.Frontier.r_sum_s);
+      ("critical_s", Json.Float r.Mitigation.Frontier.r_critical_s);
+      ("wall_s", Json.Float r.Mitigation.Frontier.r_wall_s);
+    ]
+
+let mitigate_response entry op answer report wall_s =
+  let answer_field =
+    match (answer : Cpsrisk.Pipeline.frontier_answer) with
+    | Cpsrisk.Pipeline.Frontier_solution s -> ("optimal", solution_to_json s)
+    | Cpsrisk.Pipeline.Frontier_front front ->
+        ("pareto", Json.List (List.map solution_to_json front))
+    | Cpsrisk.Pipeline.Frontier_curve curve ->
+        ( "curve",
+          Json.List
+            (List.map
+               (fun (b, s) ->
+                 Json.Obj
+                   [ ("budget", Json.Int b); ("solution", solution_to_json s) ])
+               curve) )
+  in
+  Protocol.ok
+    [
+      ("model", Json.String entry.Registry.name);
+      ("search", Json.String (Protocol.frontier_op_to_string op));
+      answer_field;
+      ("report", frontier_report_to_json report);
+      ("wall_s", Json.Float wall_s);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Each backend declares its sweep spec plus, when it carries an action
+   catalog, a frontier builder over the entry's own warm state and cache
+   — so mitigation searches and sweep jobs share answers. *)
 let spec_of_load ~backend ~horizon ~model_src =
   match (backend : Protocol.backend) with
   | Protocol.Water_tank ->
       Ok
         ( "water-tank",
-          Cpsrisk.Sweeps.water_tank_spec ?horizon [] )
+          Cpsrisk.Sweeps.water_tank_spec ?horizon [],
+          Some
+            (fun prepared cache ->
+              Cpsrisk.Pipeline.water_tank_frontier_of ~cache prepared) )
+  | Protocol.Hierarchy ->
+      Ok
+        ( "hierarchy",
+          Cpsrisk.Hierarchy.frontier_spec (),
+          Some
+            (fun prepared cache ->
+              Cpsrisk.Hierarchy.frontier_of ~cache prepared) )
   | Protocol.Topology -> (
       match model_src with
       | None -> Error "topology backend requires \"model_src\""
       | Some src -> (
           match Archimate.Text.parse src with
-          | model -> Ok ("topology", Cpsrisk.Sweeps.topology_spec model [])
+          | model -> Ok ("topology", Cpsrisk.Sweeps.topology_spec model [], None)
           | exception Archimate.Text.Error msg ->
               Error (Printf.sprintf "model parse error: %s" msg)))
 
@@ -287,8 +351,8 @@ let handle_request t (request : Protocol.request) : Json.t * bool =
   | Protocol.Load_model { name; backend; horizon; model_src } -> (
       match spec_of_load ~backend ~horizon ~model_src with
       | Error msg -> (Protocol.error msg, false)
-      | Ok (backend, spec) -> (
-          match Registry.load t.registry ~name ~backend spec with
+      | Ok (backend, spec, frontier) -> (
+          match Registry.load t.registry ?frontier ~name ~backend spec with
           | entry ->
               log t "load-model %s (%s, %d base atoms)" name backend
                 (Registry.base_atoms entry);
@@ -329,6 +393,44 @@ let handle_request t (request : Protocol.request) : Json.t * bool =
                     false )
               | exception Queue.Stopped ->
                   (Protocol.error "server shutting down", false)
+              | exception e ->
+                  (Protocol.error (Printexc.to_string e), false))))
+  | Protocol.Mitigate { model; op; budget; budgets; jobs } -> (
+      match Registry.find t.registry model with
+      | None ->
+          ( Protocol.error
+              (Printf.sprintf "unknown model %S (load-model first)" model),
+            false )
+      | Some entry -> (
+          match entry.Registry.frontier with
+          | None ->
+              ( Protocol.error
+                  (Printf.sprintf
+                     "model %S (%s backend) carries no action catalog"
+                     model entry.Registry.backend),
+                false )
+          | Some f -> (
+              let jobs =
+                match jobs with Some _ -> jobs | None -> t.config.jobs
+              in
+              let request =
+                match op with
+                | Protocol.Optimal -> Cpsrisk.Pipeline.Frontier_optimal budget
+                | Protocol.Pareto -> Cpsrisk.Pipeline.Frontier_pareto
+                | Protocol.Budget_curve ->
+                    Cpsrisk.Pipeline.Frontier_sweep budgets
+              in
+              match Cpsrisk.Pipeline.mitigate_frontier ?jobs f request with
+              | answer, report ->
+                  entry.Registry.mitigations <- entry.Registry.mitigations + 1;
+                  log t "mitigate %s: %s (%d evals, %d cached)" model
+                    (Protocol.frontier_op_to_string op)
+                    report.Mitigation.Frontier.r_evals
+                    (report.Mitigation.Frontier.r_hits
+                    + report.Mitigation.Frontier.r_disk_hits);
+                  ( mitigate_response entry op answer report
+                      (Unix.gettimeofday () -. t0),
+                    false )
               | exception e ->
                   (Protocol.error (Printexc.to_string e), false))))
   | Protocol.Solve { program; limit; optimal } ->

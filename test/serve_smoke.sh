@@ -61,6 +61,22 @@ diff oneshot.txt warm.txt \
   || { echo "serve-smoke: served sweep differs from one-shot" >&2; exit 1; }
 "$CLI" request sweep muts.txt --socket s.sock --name wt --json > repeat.json
 expect repeat.json '"hits":3,"disk_hits":0,"misses":0' "warm-memory repeat"
+
+# --- mitigation frontier answered from the loaded model's warm state -----
+"$CLI" request mitigate --socket s.sock --name wt > mit.json
+"$CLI" mitigate --frontier --case water-tank --json \
+  | grep -o '"optimal": {[^}]*}' | tr -d ' ' > mit_oneshot.txt
+grep -o '"optimal":{[^}]*}' mit.json > mit_served.txt
+diff mit_oneshot.txt mit_served.txt \
+  || { echo "serve-smoke: served mitigate differs from one-shot" >&2; exit 1; }
+"$CLI" request mitigate --socket s.sock --name wt --json > mit2.json
+expect mit2.json '"fresh":0' "warm mitigate repeat runs no fresh solves"
+
+# the hierarchy backend serves the 12-action catalog the same way
+"$CLI" request load-model --socket s.sock --name hier --backend hierarchy \
+  > /dev/null
+"$CLI" request mitigate --socket s.sock --name hier --budgets 3,9 > hier.json
+expect hier.json '"curve":[{"budget":3' "hierarchy budget curve"
 stop_daemon
 
 # --- restarted daemon: everything must come from the persistent store ----

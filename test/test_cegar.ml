@@ -179,6 +179,205 @@ let prop_loop_candidates_shrink =
       in
       non_increasing sizes)
 
+let test_loop_keyed_matches_unkeyed () =
+  let refine level candidates =
+    match level with
+    | 0 -> Some (List.filter (fun c -> c mod 2 = 0) candidates)
+    | 1 -> Some (List.filter (fun c -> c <= 4) candidates)
+    | _ -> None
+  in
+  let initial () = [ 1; 2; 3; 4; 5; 6 ] in
+  let plain = Cegar.Loop.run ~equal:Int.equal ~initial ~refine () in
+  let keyed =
+    Cegar.Loop.run ~key:string_of_int ~equal:Int.equal ~initial ~refine ()
+  in
+  check (Alcotest.list Alcotest.int) "same confirmed"
+    plain.Cegar.Loop.confirmed keyed.Cegar.Loop.confirmed;
+  check Alcotest.int "same rounds"
+    (List.length plain.Cegar.Loop.rounds)
+    (List.length keyed.Cegar.Loop.rounds);
+  List.iter2
+    (fun (a : int Cegar.Loop.round) (b : int Cegar.Loop.round) ->
+      check (Alcotest.list Alcotest.int) "same survivors"
+        a.Cegar.Loop.candidates b.Cegar.Loop.candidates;
+      check (Alcotest.list Alcotest.int) "same eliminated"
+        a.Cegar.Loop.eliminated b.Cegar.Loop.eliminated)
+    plain.Cegar.Loop.rounds keyed.Cegar.Loop.rounds
+
+let test_loop_keyed_rejects_unsound () =
+  (* the soundness check must fire through the hashed key sets too *)
+  let refine _ _ = Some [ 42 ] in
+  match
+    Cegar.Loop.run ~key:string_of_int ~equal:Int.equal
+      ~initial:(fun () -> [ 1 ])
+      ~refine ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "keyed run accepted an introduced candidate"
+
+let test_refine_flatten_nested () =
+  (* refine, then refine a part; flattening the root must remove the
+     transitive decomposition, not just the direct parts *)
+  let m1 = Cegar.Refine.apply (base_model ()) ews_refinement in
+  let nested =
+    {
+      Cegar.Refine.target = "browser";
+      parts = [ el "js" "JS Engine" Archimate.Element.Application_component ];
+      internal_flows = [];
+    }
+  in
+  let m2 = Cegar.Refine.apply m1 nested in
+  check (Alcotest.list Alcotest.string) "nested part attached" [ "js" ]
+    (Cegar.Refine.parts_of m2 "browser");
+  let m3 = Cegar.Refine.flatten m2 "ews" in
+  check Alcotest.int "back to coarse"
+    (Archimate.Model.element_count (base_model ()))
+    (Archimate.Model.element_count m3);
+  check (Alcotest.list Alcotest.string) "no parts left" []
+    (Cegar.Refine.parts_of m3 "ews")
+
+(* -------------------------------------------------------------------- *)
+(* Incremental CEGAR (Cegar.Inc) on the hierarchical case study          *)
+(* -------------------------------------------------------------------- *)
+
+let labels = List.map Engine.Delta.label
+
+let check_outcome_equal tag (a : Cegar.Inc.outcome) (b : Cegar.Inc.outcome) =
+  check (Alcotest.list Alcotest.string)
+    (tag ^ ": confirmed")
+    (labels a.Cegar.Inc.confirmed)
+    (labels b.Cegar.Inc.confirmed);
+  check Alcotest.int
+    (tag ^ ": rounds")
+    (List.length a.Cegar.Inc.rounds)
+    (List.length b.Cegar.Inc.rounds);
+  List.iter2
+    (fun (ra : Cegar.Inc.round) (rb : Cegar.Inc.round) ->
+      check Alcotest.string (tag ^ ": label") ra.Cegar.Inc.r_label
+        rb.Cegar.Inc.r_label;
+      check (Alcotest.list Alcotest.string)
+        (tag ^ ": survivors")
+        (labels ra.Cegar.Inc.r_survivors)
+        (labels rb.Cegar.Inc.r_survivors);
+      check (Alcotest.list Alcotest.string)
+        (tag ^ ": eliminated")
+        (labels ra.Cegar.Inc.r_eliminated)
+        (labels rb.Cegar.Inc.r_eliminated))
+    a.Cegar.Inc.rounds b.Cegar.Inc.rounds
+
+let test_inc_hierarchy_schedule () =
+  let spec = Cpsrisk.Hierarchy.refine_spec () in
+  let o = Cegar.Inc.run spec in
+  check Alcotest.int "1 + levels rounds" 7 (List.length o.Cegar.Inc.rounds);
+  check (Alcotest.list Alcotest.string) "confirmed entries"
+    [ "E7"; "E8"; "E9" ]
+    (labels o.Cegar.Inc.confirmed);
+  List.iteri
+    (fun i (r : Cegar.Inc.round) ->
+      let expect = if i = 0 then [] else [ Printf.sprintf "E%d" i ] in
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "eliminated at round %d" i)
+        expect
+        (labels r.Cegar.Inc.r_eliminated))
+    o.Cegar.Inc.rounds;
+  check (Alcotest.list Alcotest.string) "spurious schedule"
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6" ]
+    (Cpsrisk.Hierarchy.spurious_entries ~levels:6)
+
+let test_inc_matches_scratch () =
+  List.iter
+    (fun (tag, mode) ->
+      let spec = Cpsrisk.Hierarchy.refine_spec ~levels:3 ~entries:5 ~mode () in
+      let oracle = Cegar.Inc.run_scratch spec in
+      check_outcome_equal (tag ^ "/seq") (Cegar.Inc.run ~jobs:1 spec) oracle;
+      check_outcome_equal (tag ^ "/par")
+        (Cegar.Inc.run ~jobs:2 ~oversubscribe:true spec)
+        oracle;
+      check_outcome_equal
+        (tag ^ "/no-share")
+        (Cegar.Inc.run ~share:false spec)
+        oracle)
+    [ ("assume", `Assume); ("increment", `Increment) ]
+
+let test_inc_seeded_matches_scratch () =
+  (* seeded schedule shapes: every (levels, entries, mode) combination
+     must agree with the scratch oracle bit-for-bit *)
+  List.iter
+    (fun seed ->
+      let levels = 1 + (seed mod 4) in
+      let entries = levels + 1 + (seed * 3 mod 4) in
+      let mode = if seed mod 2 = 0 then `Assume else `Increment in
+      let spec = Cpsrisk.Hierarchy.refine_spec ~levels ~entries ~mode () in
+      check_outcome_equal
+        (Printf.sprintf "seed %d (L=%d C=%d)" seed levels entries)
+        (Cegar.Inc.run spec)
+        (Cegar.Inc.run_scratch spec))
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_inc_cache_reuse () =
+  let spec = Cpsrisk.Hierarchy.refine_spec ~levels:2 ~entries:4 () in
+  let cache = Engine.Cache.create () in
+  let first = Cegar.Inc.run ~cache spec in
+  check Alcotest.bool "first run solves" true
+    (first.Cegar.Inc.stats.Cegar.Inc.s_fresh > 0);
+  let second = Cegar.Inc.run ~cache spec in
+  check_outcome_equal "warm rerun" second first;
+  check Alcotest.int "no fresh work on rerun" 0
+    second.Cegar.Inc.stats.Cegar.Inc.s_fresh;
+  check Alcotest.int "all assessments answered from memory"
+    (first.Cegar.Inc.stats.Cegar.Inc.s_fresh
+    + first.Cegar.Inc.stats.Cegar.Inc.s_hits)
+    second.Cegar.Inc.stats.Cegar.Inc.s_hits
+
+let test_inc_empty_level_is_cached () =
+  (* an empty structural increment is a re-assessment round: in Assume
+     mode the ground program is unchanged, so it costs only cache hits *)
+  let spec = Cpsrisk.Hierarchy.refine_spec ~levels:2 ~entries:4 () in
+  let spec =
+    {
+      spec with
+      Cegar.Inc.levels =
+        spec.Cegar.Inc.levels
+        @ [ { Cegar.Inc.l_label = "recheck"; l_structure = Asp.Program.empty } ];
+    }
+  in
+  let o = Cegar.Inc.run spec in
+  let oracle = Cegar.Inc.run_scratch spec in
+  check_outcome_equal "with re-assessment round" o oracle;
+  let last = List.nth o.Cegar.Inc.rounds 3 in
+  let prev = List.nth o.Cegar.Inc.rounds 2 in
+  check (Alcotest.list Alcotest.string) "recheck keeps survivors"
+    (labels prev.Cegar.Inc.r_survivors)
+    (labels last.Cegar.Inc.r_survivors);
+  check Alcotest.bool "recheck round hit the cache" true
+    (o.Cegar.Inc.stats.Cegar.Inc.s_hits
+    >= List.length last.Cegar.Inc.r_survivors)
+
+let test_inc_stats_shape () =
+  let spec = Cpsrisk.Hierarchy.refine_spec () in
+  let o = Cegar.Inc.run spec in
+  let s = o.Cegar.Inc.stats in
+  check Alcotest.int "one flush per structural level (Assume + share)" 6
+    s.Cegar.Inc.s_flushes;
+  check Alcotest.bool "grounding reused instances across levels" true
+    (s.Cegar.Inc.s_ground.Asp.Grounder.Stats.reused_rules > 0);
+  check Alcotest.bool "dead-end conflicts published to the hub" true
+    (s.Cegar.Inc.s_published > 0);
+  let o' = Cegar.Inc.run ~share:false spec in
+  check_outcome_equal "share-independent" o' o;
+  check Alcotest.int "no hub without sharing" 0
+    o'.Cegar.Inc.stats.Cegar.Inc.s_published
+
+let test_inc_empty_candidates () =
+  let spec = Cpsrisk.Hierarchy.refine_spec () in
+  let spec = { spec with Cegar.Inc.candidates = [] } in
+  (match Cegar.Inc.run spec with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty candidate list accepted");
+  match Cegar.Inc.run_scratch spec with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty candidate list accepted by scratch driver"
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suites =
@@ -196,6 +395,8 @@ let suites =
         Alcotest.test_case "no reverse path" `Quick test_refine_attack_path_absent;
         Alcotest.test_case "flatten roundtrip" `Quick
           test_refine_flatten_roundtrip;
+        Alcotest.test_case "flatten nested composition" `Quick
+          test_refine_flatten_nested;
         Alcotest.test_case "errors" `Quick test_refine_errors;
       ] );
     ( "cegar.loop",
@@ -207,6 +408,26 @@ let suites =
         Alcotest.test_case "max rounds" `Quick test_loop_max_rounds;
         Alcotest.test_case "immediate convergence" `Quick
           test_loop_immediate_convergence;
+        Alcotest.test_case "keyed matches unkeyed" `Quick
+          test_loop_keyed_matches_unkeyed;
+        Alcotest.test_case "keyed rejects unsound refinement" `Quick
+          test_loop_keyed_rejects_unsound;
         qcheck prop_loop_candidates_shrink;
+      ] );
+    ( "cegar.inc",
+      [
+        Alcotest.test_case "hierarchy schedule" `Quick
+          test_inc_hierarchy_schedule;
+        Alcotest.test_case "matches scratch oracle" `Quick
+          test_inc_matches_scratch;
+        Alcotest.test_case "seeded schedules match scratch" `Quick
+          test_inc_seeded_matches_scratch;
+        Alcotest.test_case "cache reuse across runs" `Quick
+          test_inc_cache_reuse;
+        Alcotest.test_case "empty level answered from cache" `Quick
+          test_inc_empty_level_is_cached;
+        Alcotest.test_case "stats shape" `Quick test_inc_stats_shape;
+        Alcotest.test_case "empty candidates rejected" `Quick
+          test_inc_empty_candidates;
       ] );
   ]

@@ -458,6 +458,114 @@ let test_extend_reuses () =
     (Asp.Ground.atom_count g
     > Asp.Model.AtomSet.cardinal (Asp.Grounder.base_universe st))
 
+(* ------------------------------------------------------------------ *)
+(* extend_prepare: chained structural increments                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Same comparison discipline as [extend_one]: universes and shows
+   exact, rule lists as canonical sets (shared instances skip the
+   cross-rule dedup). Each chained level is checked against a scratch
+   grounding of the accumulated program, and the final warm state must
+   still answer what-if extends exactly. *)
+let extend_prepare_one base_src d1_src d2_src probe_src =
+  let parse = Asp.Parser.parse_program in
+  let base = parse base_src in
+  let d1 = parse d1_src and d2 = parse d2_src and probe = parse probe_src in
+  let compare_ground ctx ge gs =
+    if not (Asp.Model.AtomSet.equal ge.Asp.Ground.universe gs.Asp.Ground.universe)
+    then
+      fail
+        (Printf.sprintf "%s: universe diverged on:\n%s\n+ %s / %s" ctx base_src
+           d1_src d2_src);
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      (ctx ^ " shows") gs.Asp.Ground.shows ge.Asp.Ground.shows;
+    if canon ge.Asp.Ground.rules <> canon gs.Asp.Ground.rules then
+      fail
+        (Printf.sprintf
+           "%s: rules diverged on:\n%s\n+ %s / %s\n--- incremental:\n%s\n--- \
+            scratch:\n%s"
+           ctx base_src d1_src d2_src (render ge) (render gs))
+  in
+  match Asp.Grounder.prepare ~max_atoms base with
+  | exception (Asp.Grounder.Unsafe _ | Asp.Grounder.Overflow _) -> ()
+  | st0 -> (
+      let step ctx st dp accum =
+        let inc =
+          match Asp.Grounder.extend_prepare st dp with
+          | st' -> Ok st'
+          | exception Asp.Grounder.Unsafe _ -> Error Unsafe
+          | exception Asp.Grounder.Overflow _ -> Error Overflow
+        in
+        match (inc, run_new accum) with
+        | Ok st', Grounded gs ->
+            compare_ground ctx (Asp.Grounder.base st') gs;
+            Some st'
+        | Error Unsafe, Unsafe | Error Overflow, Overflow -> None
+        | Ok _, o ->
+            fail
+              (Printf.sprintf "%s: scratch %s where extend_prepare grounded"
+                 ctx (outcome_name o))
+        | Error e, o ->
+            fail
+              (Printf.sprintf "%s: extend_prepare %s vs scratch %s" ctx
+                 (outcome_name (match e with Unsafe -> Unsafe | _ -> Overflow))
+                 (outcome_name o))
+      in
+      let acc1 = Asp.Program.append base d1 in
+      match step "level 1" st0 d1 acc1 with
+      | None -> ()
+      | Some st1 -> (
+          let acc2 = Asp.Program.append acc1 d2 in
+          match step "level 2" st1 d2 acc2 with
+          | None -> ()
+          | Some st2 -> (
+              let acc3 = Asp.Program.append acc2 probe in
+              let ext =
+                match Asp.Grounder.extend st2 probe with
+                | g -> Grounded g
+                | exception Asp.Grounder.Unsafe _ -> Unsafe
+                | exception Asp.Grounder.Overflow _ -> Overflow
+              in
+              match (ext, run_new acc3) with
+              | Grounded ge, Grounded gs -> compare_ground "probe" ge gs
+              | Unsafe, Unsafe | Overflow, Overflow -> ()
+              | e, s ->
+                  fail
+                    (Printf.sprintf "probe divergence: extend %s, scratch %s"
+                       (outcome_name e) (outcome_name s)))))
+
+let test_extend_prepare_seeded () =
+  for seed = 0 to 79 do
+    let rng = Random.State.make [| 0x1CE; seed |] in
+    let base = gen_program rng in
+    let d1 = gen_delta rng and d2 = gen_delta rng and probe = gen_delta rng in
+    extend_prepare_one base d1 d2 probe
+  done
+
+let test_extend_prepare_corners () =
+  List.iter
+    (fun (b, d1, d2, p) -> extend_prepare_one b d1 d2 p)
+    [
+      (* negation re-simplified at both levels *)
+      ("p(1). q(X) :- p(X), not s(X).", "s(1).", "p(2). p(3).", "s(2).");
+      (* recursion fed level by level, cyclic probe *)
+      ( "e(1,2). path(X,Y) :- e(X,Y). path(X,Z) :- path(X,Y), e(Y,Z).",
+        "e(2,3).",
+        "e(3,4).",
+        "e(4,1)." );
+      (* choice condition growing, aggregate added mid-chain *)
+      ( "a(1). { h(X) : a(X) } 2.",
+        "a(2).",
+        "big :- #count { X : a(X) } >= 2.",
+        "a(3)." );
+      (* empty increments chain without disturbing warm state *)
+      ("p(1). q(X) :- p(X).", "", "q2(X) :- q(X).", "p(2).");
+      (* delta rules deriving into base predicates at each level *)
+      ("p(1). q(X) :- p(X).", "p(X+1) :- p(X), X < 3.", "r(X) :- q(X).",
+       "p(7).");
+    ]
+
 let suites =
   [
     ( "asp.grounder_diff",
@@ -478,5 +586,9 @@ let suites =
           test_extend_corners;
         Alcotest.test_case "extend reuses base instances" `Quick
           test_extend_reuses;
+        Alcotest.test_case "extend_prepare chains vs scratch (80 seeded)"
+          `Quick test_extend_prepare_seeded;
+        Alcotest.test_case "extend_prepare chains vs scratch (corners)" `Quick
+          test_extend_prepare_corners;
       ] );
   ]

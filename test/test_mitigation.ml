@@ -187,6 +187,136 @@ let prop_optimal_matches_bruteforce =
       s.Mitigation.Optimizer.residual = best
       && s.Mitigation.Optimizer.cost <= budget)
 
+(* 20-action catalog: the sequential searches stream through
+   fold_subsets_within_budget in O(actions) memory — this used to
+   materialize all 2^20 subsets before scoring. *)
+let test_optimal_twenty_actions () =
+  let n = 20 in
+  let actions =
+    List.init n (fun i ->
+        Mitigation.Action.make
+          ~id:(Printf.sprintf "A%02d" i)
+          ~name:(Printf.sprintf "A%02d" i)
+          ~cost:(1 + (i mod 7))
+          ~blocks:[])
+  in
+  (* each action i removes 2i+1 loss units: optimum = take everything *)
+  let residual ~active =
+    let covered =
+      List.fold_left
+        (fun acc id -> acc + (2 * int_of_string (String.sub id 1 2)) + 1)
+        0 active
+    in
+    (n * n) - covered
+  in
+  let p = { Mitigation.Optimizer.actions; residual } in
+  let s = Mitigation.Optimizer.optimal p in
+  check Alcotest.int "residual at full selection" 0
+    s.Mitigation.Optimizer.residual;
+  check Alcotest.int "all selected" n
+    (List.length s.Mitigation.Optimizer.selected);
+  (* tight budget prunes almost the whole tree *)
+  let s2 = Mitigation.Optimizer.optimal ~budget:2 p in
+  check Alcotest.bool "budget respected" true
+    (s2.Mitigation.Optimizer.cost <= 2)
+
+(* -------------------------------------------------------------------- *)
+(* Engine-backed frontier vs the scratch oracle                          *)
+(* -------------------------------------------------------------------- *)
+
+let sol = Alcotest.testable Mitigation.Optimizer.pp_solution (fun a b ->
+    a.Mitigation.Optimizer.selected = b.Mitigation.Optimizer.selected
+    && a.Mitigation.Optimizer.cost = b.Mitigation.Optimizer.cost
+    && a.Mitigation.Optimizer.residual = b.Mitigation.Optimizer.residual)
+
+(* a small frontier (8 actions) keeps the cold-ground oracle affordable *)
+let sub_frontier () =
+  let actions =
+    List.filteri (fun i _ -> i < 8) Cpsrisk.Hierarchy.frontier_actions
+  in
+  Mitigation.Frontier.make ~actions ~delta:Cpsrisk.Hierarchy.frontier_delta
+    ~measure:Cpsrisk.Hierarchy.frontier_measure
+    (Engine.Job.prepare (Cpsrisk.Hierarchy.frontier_spec ()))
+
+let test_frontier_optimal_matches_scratch () =
+  let f = sub_frontier () in
+  let oracle = Mitigation.Frontier.scratch_problem f in
+  List.iter
+    (fun budget ->
+      let got, _ = Mitigation.Frontier.optimal ?budget f in
+      let want = Mitigation.Optimizer.optimal ?budget oracle in
+      check sol
+        (Printf.sprintf "budget %s"
+           (match budget with None -> "-" | Some b -> string_of_int b))
+        want got)
+    [ None; Some 0; Some 5; Some 11 ]
+
+let test_frontier_pareto_matches_scratch () =
+  let f = sub_frontier () in
+  let got, report = Mitigation.Frontier.pareto ~jobs:2 f in
+  let want = Mitigation.Optimizer.pareto (Mitigation.Frontier.scratch_problem f) in
+  check (Alcotest.list sol) "identical front" want got;
+  check Alcotest.int "every subset evaluated" 256
+    report.Mitigation.Frontier.r_evals
+
+let test_frontier_budget_sweep_matches_scratch () =
+  let f = sub_frontier () in
+  let budgets = [ 3; 9; 15; 18; 21; 24 ] in
+  let got, report = Mitigation.Frontier.budget_sweep f ~budgets in
+  let want =
+    Mitigation.Optimizer.budget_sweep
+      (Mitigation.Frontier.scratch_problem f)
+      ~budgets
+  in
+  List.iter2
+    (fun (b, w) (b', g) ->
+      check Alcotest.int "budget order" b b';
+      check sol (Printf.sprintf "optimum at budget %d" b) w g)
+    want got;
+  (* ascending budgets re-visit the smaller budgets' subsets: the shared
+     cache must absorb well over half of the evaluations *)
+  check Alcotest.bool "sweep mostly deduped" true
+    (report.Mitigation.Frontier.r_hits * 2 > report.Mitigation.Frontier.r_evals)
+
+let test_frontier_full_catalog_consistent () =
+  (* the full 12-action catalog, warm path only: branch-and-bound and the
+     parallel sweep must agree with the retained sequential searches over
+     the same cached problem *)
+  let f = Cpsrisk.Hierarchy.frontier () in
+  let p = Mitigation.Frontier.problem f in
+  let got, report = Mitigation.Frontier.optimal ~budget:9 f in
+  check sol "b&b equals exhaustive" (Mitigation.Optimizer.optimal ~budget:9 p) got;
+  check Alcotest.bool "b&b actually pruned" true
+    (report.Mitigation.Frontier.r_pruned > 0);
+  let front, _ = Mitigation.Frontier.pareto f in
+  check (Alcotest.list sol) "pareto equals sequential"
+    (Mitigation.Optimizer.pareto p) front
+
+let test_frontier_monotone_residual () =
+  (* the b&b licence: activating more shields never increases the
+     residual — checked along nested chains of the catalog *)
+  let f = Cpsrisk.Hierarchy.frontier () in
+  let ids =
+    List.map
+      (fun (a : Mitigation.Action.t) -> a.Mitigation.Action.id)
+      (Mitigation.Frontier.actions f)
+  in
+  let rec chains acc = function
+    | [] -> [ acc ]
+    | id :: rest -> acc :: chains (id :: acc) rest
+  in
+  let residuals =
+    List.map
+      (fun c -> (fst (Mitigation.Frontier.evaluate f c)).Mitigation.Optimizer.residual)
+      (chains [] ids)
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "residual monotone along chain" true
+    (non_increasing residuals)
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suites =
@@ -205,6 +335,21 @@ let suites =
         Alcotest.test_case "multi-phase plan" `Quick test_multi_phase;
         Alcotest.test_case "multi-phase monotone" `Quick
           test_multi_phase_never_worse;
+        Alcotest.test_case "twenty-action catalog" `Quick
+          test_optimal_twenty_actions;
         qcheck prop_optimal_matches_bruteforce;
+      ] );
+    ( "mitigation.frontier",
+      [
+        Alcotest.test_case "optimal matches scratch" `Quick
+          test_frontier_optimal_matches_scratch;
+        Alcotest.test_case "pareto matches scratch" `Quick
+          test_frontier_pareto_matches_scratch;
+        Alcotest.test_case "budget sweep matches scratch" `Quick
+          test_frontier_budget_sweep_matches_scratch;
+        Alcotest.test_case "full catalog consistent" `Quick
+          test_frontier_full_catalog_consistent;
+        Alcotest.test_case "monotone residual" `Quick
+          test_frontier_monotone_residual;
       ] );
   ]
