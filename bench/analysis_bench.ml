@@ -154,14 +154,7 @@ let emit_json out mode entries =
   p "  ]\n}\n";
   close_out oc
 
-let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let out = ref "BENCH_analysis.json" in
-  Array.iteri
-    (fun i a ->
-      if a = "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
-    Sys.argv;
+let run_bench ~smoke ~out =
   let reps = if smoke then 1 else 3 in
   let tank_hs = if smoke then [ 6 ] else [ 6; 12; 24; 48 ] in
   let pigeon_hs = if smoke then [ 6 ] else [ 6; 10; 14 ] in
@@ -181,5 +174,22 @@ let () =
         tc_ns
     @ List.map (fun n -> run ~reps "join" n (join_program n)) join_ns
   in
-  emit_json !out (if smoke then "smoke" else "full") entries;
-  Printf.eprintf "wrote %s\n" !out
+  emit_json out (if smoke then "smoke" else "full") entries;
+  Printf.eprintf "wrote %s\n" out;
+  List.map
+    (fun e ->
+      Registry.row ~ground_atoms:e.ground_atoms
+        ~note:
+          (Printf.sprintf "ordered %.2fx, %d/%d rules reordered"
+             (e.unordered_s /. e.ordered_s)
+             e.reordered e.rules)
+        ~param:(string_of_int e.param) e.workload e.ordered_s)
+    entries
+
+let bench =
+  {
+    Registry.name = "analysis";
+    descr = "semantic-analysis fixpoint + join-ordering payoff";
+    default_out = "BENCH_analysis.json";
+    run = run_bench;
+  }

@@ -78,15 +78,7 @@ let refine_entry name (o : Cegar.Inc.outcome) w =
     re_reused_rules = s.Cegar.Inc.s_ground.Asp.Grounder.Stats.reused_rules;
   }
 
-let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let out = ref "BENCH_cegar.json" in
-  Array.iteri
-    (fun i a ->
-      if a = "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
-    Sys.argv;
-
+let run ~smoke ~out =
   (* --- refine: incremental vs accumulated-reground scratch ------------ *)
   let levels = if smoke then 6 else 10 in
   let entries = if smoke then 9 else 14 in
@@ -242,7 +234,7 @@ let () =
   end;
 
   (* --- emit ------------------------------------------------------------ *)
-  let oc = open_out !out in
+  let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"bench\": \"incremental-cegar-frontier\",\n";
@@ -312,4 +304,50 @@ let () =
      paths\"\n";
   p "}\n";
   close_out oc;
-  Printf.eprintf "wrote %s\n" !out
+  Printf.eprintf "wrote %s\n" out;
+  let refine_row (e : refine_entry) =
+    Registry.row
+      ~note:
+        (Printf.sprintf "%.1fx scratch, %d solves / %d hits, reused %d"
+           (scratch_a.re_wall_s /. e.re_wall_s)
+           e.re_solves e.re_hits e.re_reused_rules)
+      ~param:(Printf.sprintf "%dx%d" levels entries)
+      ("refine-" ^ e.re_name) e.re_wall_s
+  in
+  let retract_row name (s, i, solves, hits) =
+    Registry.row
+      ~note:
+        (Printf.sprintf "%.1fx scratch over %d passes, %d solves / %d hits"
+           (s /. i) passes solves hits)
+      ~param:(string_of_int passes) ("retract-" ^ name) i
+  in
+  [
+    refine_row scratch_a;
+    refine_row assume_e;
+    refine_row increment_e;
+    retract_row "assume" assume_it;
+    retract_row "increment" increment_it;
+    Registry.row
+      ~note:
+        (Printf.sprintf "est %d domains %.1fx seq, front %d points" jobs
+           (seq_s /. est_parallel_s)
+           (List.length par_front))
+      ~param:(string_of_int par_report.Mitigation.Frontier.r_evals) "pareto"
+      est_parallel_s;
+    Registry.row
+      ~note:
+        (Printf.sprintf "%d evals, %d hits (%.0f%% deduped)"
+           bud_report.Mitigation.Frontier.r_evals
+           bud_report.Mitigation.Frontier.r_hits (hit_rate *. 100.0))
+      ~param:
+        (String.concat "," (List.map string_of_int budgets))
+      "budget-sweep" bud_s;
+  ]
+
+let bench =
+  {
+    Registry.name = "cegar";
+    descr = "incremental CEGAR + mitigation frontier vs scratch oracles";
+    default_out = "BENCH_cegar.json";
+    run;
+  }

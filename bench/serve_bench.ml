@@ -99,14 +99,7 @@ let sweep_entry name client muts =
     },
     response )
 
-let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let out = ref "BENCH_serve.json" in
-  Array.iteri
-    (fun i a ->
-      if a = "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
-    Sys.argv;
+let run ~smoke ~out =
   let n = if smoke then 24 else 256 in
   let horizon = if smoke then 6 else 12 in
   let seed = 1 in
@@ -231,7 +224,7 @@ let () =
     exit 2
   end;
 
-  let oc = open_out !out in
+  let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"bench\": \"assessment-service\",\n";
@@ -261,4 +254,29 @@ let () =
     batches max_batch;
   p "}\n";
   close_out oc;
-  Printf.eprintf "wrote %s\n" !out
+  Printf.eprintf "wrote %s\n" out;
+  let sweep_row (e : entry) =
+    Registry.row
+      ~note:
+        (Printf.sprintf "%.1fx cold, %d hits / %d disk / %d fresh"
+           (cold.wall_s /. e.wall_s)
+           e.hits e.disk_hits e.misses)
+      ~param:(string_of_int n) e.name e.wall_s
+  in
+  List.map sweep_row [ cold; warm_mem; warm_disk ]
+  @ [
+      Registry.row
+        ~note:
+          (Printf.sprintf "%.0f req/s over %d client threads"
+             (float_of_int burst_total /. burst_s)
+             threads)
+        ~param:(string_of_int burst_total) "burst" burst_s;
+    ]
+
+let bench =
+  {
+    Registry.name = "serve";
+    descr = "assessment daemon end to end over its Unix socket";
+    default_out = "BENCH_serve.json";
+    run;
+  }

@@ -384,14 +384,7 @@ let emit_json out mode entries par_entries =
   p "    ]\n  }\n}\n";
   close_out oc
 
-let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let out = ref "BENCH_solver.json" in
-  Array.iteri
-    (fun i a ->
-      if a = "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
-    Sys.argv;
+let run ~smoke ~out =
   let reps = if smoke then 1 else 3 in
   (* chain: pure propagation, no guessing *)
   let chain_ns = if smoke then [ 20; 40 ] else [ 20; 40; 80; 160 ] in
@@ -459,5 +452,35 @@ let () =
         (pigeon_direct_program par_pigeon_h)
         ladder
   in
-  emit_json !out (if smoke then "smoke" else "full") entries par_entries;
-  Printf.eprintf "wrote %s\n" !out
+  emit_json out (if smoke then "smoke" else "full") entries par_entries;
+  Printf.eprintf "wrote %s\n" out;
+  List.map
+    (fun e ->
+      Registry.row ~ground_atoms:e.atoms ~models:e.models
+        ~note:
+          (Printf.sprintf "%s%s"
+             (if e.stats.Asp.Solver.Stats.cheap then "cheap tier" else "cdnl")
+             (match e.dfs with
+             | Ran t -> Printf.sprintf ", %.1fx dfs" (t /. e.cdnl_s)
+             | Skipped _ -> ""))
+        ~param:(string_of_int e.param) e.workload e.cdnl_s)
+    entries
+  @ List.map
+      (fun e ->
+        Registry.row
+          ~note:
+            (Printf.sprintf "%d paths, est %.2fx seq, shared %d/%d" e.paths
+               e.speedup_vs_seq e.shared_in e.shared_out)
+          ~param:
+            (Printf.sprintf "%d j%d %s" e.p_param e.jobs
+               (if e.share then "share" else "noshare"))
+          ("par-" ^ e.p_workload) e.est_parallel_s)
+      par_entries
+
+let bench =
+  {
+    Registry.name = "solver";
+    descr = "CDNL solver vs DFS and naive references; parallel ladder";
+    default_out = "BENCH_solver.json";
+    run;
+  }

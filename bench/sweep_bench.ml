@@ -86,14 +86,7 @@ let emit_json out mode ~deltas ~horizon ~seed ~base_atoms entries =
   p "  ]\n}\n";
   close_out oc
 
-let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  let out = ref "BENCH_sweep.json" in
-  Array.iteri
-    (fun i a ->
-      if a = "--out" && i + 1 < Array.length Sys.argv then
-        out := Sys.argv.(i + 1))
-    Sys.argv;
+let run ~smoke ~out =
   let n = if smoke then 24 else 256 in
   let horizon = if smoke then 6 else 12 in
   let seed = 1 in
@@ -152,8 +145,25 @@ let () =
       misses = n; guesses = 0; firings = 0; reused_rules = 0;
       fresh_rules = 0 }
   in
-  emit_json !out
+  let entries = [ cold_entry; e1; e1c; e2; e4; e4o ] in
+  emit_json out
     (if smoke then "smoke" else "full")
-    ~deltas:n ~horizon ~seed ~base_atoms:r1.Engine.Sweep.base_atoms
-    [ cold_entry; e1; e1c; e2; e4; e4o ];
-  Printf.eprintf "wrote %s\n" !out
+    ~deltas:n ~horizon ~seed ~base_atoms:r1.Engine.Sweep.base_atoms entries;
+  Printf.eprintf "wrote %s\n" out;
+  let total_models = List.fold_left (fun acc ms -> acc + List.length ms) 0 cold in
+  List.map
+    (fun e ->
+      Registry.row ~models:total_models
+        ~note:
+          (Printf.sprintf "%.1fx cold, %d hits / %d misses" (cold_s /. e.wall_s)
+             e.hits e.misses)
+        ~param:(string_of_int e.jobs) e.name e.wall_s)
+    entries
+
+let bench =
+  {
+    Registry.name = "sweep";
+    descr = "batch sweep engine vs one-scenario-at-a-time loop";
+    default_out = "BENCH_sweep.json";
+    run;
+  }

@@ -65,12 +65,13 @@ let of_term t =
     | t' -> Consts (TermSet.singleton t')
     | exception Invalid_argument _ -> Bot
 
-let is_int = function Term.Int _ -> true | _ -> false
+let is_int (t : Term.t) =
+  match t.Term.node with Term.Int _ -> true | _ -> false
 
 let set_int_hull s =
   TermSet.fold
-    (fun t acc ->
-      match (t, acc) with
+    (fun (t : Term.t) acc ->
+      match (t.Term.node, acc) with
       | Term.Int n, None -> Some (n, n)
       | Term.Int n, Some (lo, hi) -> Some (min lo n, max hi n)
       | _ -> acc)
@@ -111,7 +112,7 @@ let mem t d =
   | Top -> true
   | Consts s -> TermSet.mem t s
   | Interval (lo, hi) -> (
-      match t with
+      match t.Term.node with
       | Term.Int n -> bound_le lo (Fin n) && bound_le (Fin n) hi
       | _ -> false)
 
@@ -123,7 +124,7 @@ let card = function
 
 let singleton = function
   | Consts s when TermSet.cardinal s = 1 -> Some (TermSet.choose s)
-  | Interval (Fin lo, Fin hi) when lo = hi -> Some (Term.Int lo)
+  | Interval (Fin lo, Fin hi) when lo = hi -> Some (Term.int lo)
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -176,8 +177,8 @@ let meet a b =
   | (Consts s, Interval (lo, hi) | Interval (lo, hi), Consts s) ->
       let f =
         TermSet.filter
-          (fun t ->
-            match t with
+          (fun (t : Term.t) ->
+            match t.Term.node with
             | Term.Int n -> bound_le lo (Fin n) && bound_le (Fin n) hi
             | _ -> false)
           s
@@ -254,7 +255,7 @@ let rec arith op args =
           let lo', hi' = abs_hull lo hi in
           interval lo' hi'
       | None -> if is_empty a then Bot else if all_ints a then any_int else Top)
-  | "-", [ a ] -> arith "-" [ Consts (TermSet.singleton (Term.Int 0)); a ]
+  | "-", [ a ] -> arith "-" [ Consts (TermSet.singleton (Term.int 0)); a ]
   | op, [ a; b ] -> (
       if is_empty a || is_empty b then Bot
       else
@@ -270,7 +271,7 @@ let rec arith op args =
                 (fun tx ->
                   TermSet.iter
                     (fun ty ->
-                      match Term.eval (Term.Func (op, [ tx; ty ])) with
+                      match Term.eval (Term.func op [ tx; ty ]) with
                       | t -> acc := TermSet.add t !acc
                       | exception Invalid_argument _ ->
                           (* division by zero: that pair grounds nothing *)

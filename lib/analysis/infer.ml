@@ -87,14 +87,13 @@ module AtomSet = Set.Make (Atom)
 let is_arith op = List.mem op Term.arith_ops
 
 (* Abstract value of a term under a variable environment. *)
-let rec eval_term_env env t =
-  match t with
+let rec eval_term_env env (t : Term.t) =
+  match t.Term.node with
   | Term.Var v -> ( match Hashtbl.find_opt env v with Some d -> d | None -> Domain.top)
   | Term.Func (op, args) when is_arith op ->
       if Term.is_ground t then Domain.of_term t
       else Domain.arith op (List.map (eval_term_env env) args)
-  | t when Term.is_ground t -> Domain.of_term t
-  | Term.Func _ -> Domain.top
+  | _ when Term.is_ground t -> Domain.of_term t
   | _ -> Domain.top
 
 let flip_cmp = function
@@ -128,9 +127,9 @@ let atom_pass states env body set_dead =
                    else Undefined_pred (fst s, snd s))
               else
                 List.iteri
-                  (fun i arg ->
+                  (fun i (arg : Term.t) ->
                     let di = st.sdoms.(i) in
-                    match arg with
+                    match arg.Term.node with
                     | Term.Var v ->
                         let cur =
                           match Hashtbl.find_opt env v with
@@ -144,9 +143,10 @@ let atom_pass states env body set_dead =
                         then set_dead (Disjoint_var v)
                         else if Domain.is_empty di then
                           set_dead (Empty_arg { pred = s; arg = i; term = arg })
-                    | t when Term.is_ground t ->
-                        if Domain.is_empty (Domain.meet (Domain.of_term t) di)
-                        then set_dead (Empty_arg { pred = s; arg = i; term = t })
+                    | _ when Term.is_ground arg ->
+                        if Domain.is_empty (Domain.meet (Domain.of_term arg) di)
+                        then
+                          set_dead (Empty_arg { pred = s; arg = i; term = arg })
                     | _ -> ())
                   a.Atom.args)
       | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ -> ())
@@ -175,10 +175,10 @@ let cmp_pass env body set_dead =
               if Domain.is_empty r && not (Domain.is_empty cur) then
                 set_dead (False_cmp lit)
             in
-            (match t1 with
+            (match t1.Term.node with
             | Term.Var v -> narrow v op (eval_term_env env t2)
             | _ -> ());
-            (match t2 with
+            (match t2.Term.node with
             | Term.Var v -> narrow v (flip_cmp op) (eval_term_env env t1)
             | _ -> ())
         | _ -> ())
@@ -397,7 +397,8 @@ let est_join states universe env lits =
               match op with
               | Lit.Lt | Lit.Le | Lit.Gt | Lit.Ge -> rows := !rows *. 0.5
               | Lit.Eq ->
-                  let side = function
+                  let side (t : Term.t) =
+                    match t.Term.node with
                     | Term.Var v -> Some (env_card universe env v)
                     | _ -> None
                   in
@@ -486,8 +487,8 @@ let count_fixpoint states universe rules max_rounds =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let rec term_consts acc t =
-  match t with
+let rec term_consts acc (t : Term.t) =
+  match t.Term.node with
   | Term.Const _ | Term.Int _ | Term.Str _ -> Domain.TermSet.add t acc
   | Term.Var _ -> acc
   | Term.Func (_, args) -> List.fold_left term_consts acc args
@@ -699,13 +700,16 @@ let eval_term _t env term =
 (* ------------------------------------------------------------------ *)
 
 (* The grounder enumerates candidates for each positive literal in body
-   order, using a first-argument discrimination index when the first
-   argument is already bound. The cost model mirrors that: scanning a
-   literal costs its relation size, divided by the first argument's
-   domain size when the index applies; surviving rows multiply by the
-   estimated matches. Identity order wins ties — we only deviate on a
-   >10% predicted improvement, so well-written programs keep their
-   order (and their grounding output trivially unchanged). *)
+   order, probing its discrimination indexes on every argument position
+   that is already ground — a composite key over all bound positions when
+   more than one is, a single-position bucket otherwise. The cost model
+   mirrors that: scanning a literal costs its relation size divided by
+   the product of the bound columns' distinct-value counts (capped at the
+   relation size — an index cannot return less than the matching rows);
+   surviving rows multiply by the estimated matches. Identity order wins
+   ties — we only deviate on a >10% predicted improvement, so well-written
+   programs keep their order (and their grounding output trivially
+   unchanged). *)
 
 let max_order_lits = 6
 
@@ -741,8 +745,8 @@ let join_order t rule =
             | None -> ()
             | Some info ->
                 List.iteri
-                  (fun i arg ->
-                    match arg with
+                  (fun i (arg : Term.t) ->
+                    match arg.Term.node with
                     | Term.Var v ->
                         let cur =
                           Option.value ~default:Domain.top
@@ -770,8 +774,8 @@ let join_order t rule =
           | _ -> Domain.top
         in
         List.iteri
-          (fun i arg ->
-            match arg with
+          (fun i (arg : Term.t) ->
+            match arg.Term.node with
             | Term.Var v ->
                 let cur =
                   Option.value ~default:Domain.bot (Hashtbl.find_opt prod v)
@@ -785,7 +789,8 @@ let join_order t rule =
       | Some d -> Domain.all_ints d
       | None -> false
     in
-    let rec term_safe ~in_arith = function
+    let rec term_safe ~in_arith (t : Term.t) =
+      match t.Term.node with
       | Term.Int _ -> true
       | Term.Const _ | Term.Str _ -> not in_arith
       | Term.Var v -> (not in_arith) || var_ints v
@@ -811,11 +816,25 @@ let join_order t rule =
       | Some info -> Float.max 1.0 info.card
       | None -> 1.0
     in
-    let first_arg_card (a : Atom.t) =
-      match (a.Atom.args, find_pred t (Atom.signature a)) with
-      | _ :: _, Some info when Array.length info.doms > 0 ->
-          dom_card_f t.universe info.doms.(0)
-      | _ -> 1.0
+    (* combined selectivity of the index probe: product of the
+       distinct-value counts of every argument position that will be
+       ground at enumeration time (the composite key the grounder builds).
+       1.0 when nothing is bound — a full scan. *)
+    let probe_selectivity (a : Atom.t) in_bound =
+      match find_pred t (Atom.signature a) with
+      | None -> 1.0
+      | Some info ->
+          List.fold_left
+            (fun (i, sel) (arg : Term.t) ->
+              let arg_bound =
+                Term.is_ground arg
+                || List.for_all (fun v -> StrSet.mem v in_bound) (Term.vars arg)
+              in
+              if arg_bound && Array.length info.doms > i then
+                (i + 1, sel *. Float.max 1.0 (dom_card_f t.universe info.doms.(i)))
+              else (i + 1, sel))
+            (0, 1.0) a.Atom.args
+          |> snd
     in
     (* distinct values a variable can take in its column(s) of [a] — the
        V(R, y) of the textbook join-size estimate *)
@@ -823,8 +842,8 @@ let join_order t rule =
       match find_pred t (Atom.signature a) with
       | Some info ->
           List.fold_left
-            (fun (i, acc) arg ->
-              match arg with
+            (fun (i, acc) (arg : Term.t) ->
+              match arg.Term.node with
               | Term.Var v' when v' = v && Array.length info.doms > i ->
                   (i + 1, Float.min acc (dom_card_f t.universe info.doms.(i)))
               | _ -> (i + 1, acc))
@@ -845,16 +864,8 @@ let join_order t rule =
           let a = indexed.(idx) in
           let cnt = count a in
           let vars = Atom.vars a in
-          let first_bound =
-            match a.Atom.args with
-            | [] -> true
-            | arg0 :: _ ->
-                Term.is_ground arg0
-                || List.for_all (fun v -> StrSet.mem v !bound) (Term.vars arg0)
-          in
           let scan =
-            if first_bound then Float.max 1.0 (cnt /. first_arg_card a)
-            else cnt
+            Float.max 1.0 (cnt /. probe_selectivity a !bound)
           in
           total := !total +. (!rows *. scan);
           let matches =

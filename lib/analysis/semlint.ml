@@ -84,7 +84,7 @@ let check_blowup cfg (ri : Infer.rule_info) =
 let alpha_key r =
   let vars = Rule.vars r in
   let subst =
-    List.mapi (fun i v -> (v, Term.Var (Printf.sprintf "V!%d" i))) vars
+    List.mapi (fun i v -> (v, Term.var (Printf.sprintf "V!%d" i))) vars
   in
   Rule.to_string (Rule.substitute subst r)
 
@@ -113,8 +113,8 @@ let check_duplicates rules =
     rules
 
 (* one-way matching: pattern variables bind to subject terms *)
-let rec match_term subst pat t =
-  match (pat, t) with
+let rec match_term subst (pat : Term.t) (t : Term.t) =
+  match (pat.Term.node, t.Term.node) with
   | Term.Var v, _ -> (
       match List.assoc_opt v subst with
       | Some b -> if Term.equal b t then Some subst else None
@@ -304,8 +304,8 @@ let check_unconsumed infer =
 (* ------------------------------------------------------------------ *)
 
 (* variables appearing inside an interpreted arithmetic function *)
-let rec arith_vars in_arith acc t =
-  match t with
+let rec arith_vars in_arith acc (t : Term.t) =
+  match t.Term.node with
   | Term.Var v -> if in_arith then v :: acc else acc
   | Term.Func (op, args) ->
       let inside = List.mem op Term.arith_ops in
@@ -327,7 +327,9 @@ let rule_arith_vars r =
           (* #sum adds its first tuple component, so it must be integer *)
           match (kind, terms) with
           | Lit.Summation, w :: _ -> (
-              match w with Term.Var v -> v :: acc | _ -> arith_vars false acc w)
+              match w.Term.node with
+              | Term.Var v -> v :: acc
+              | _ -> arith_vars false acc w)
           | _ -> acc
         in
         let acc = List.fold_left (arith_vars false) acc terms in
@@ -344,7 +346,7 @@ let rule_arith_vars r =
   | Rule.Rule { head = Rule.Falsity; _ } -> body_vars
   | Rule.Weak { weight; terms; _ } ->
       let acc =
-        match weight with
+        match weight.Term.node with
         | Term.Var v -> v :: body_vars
         | _ -> arith_vars false body_vars weight
       in

@@ -12,8 +12,8 @@ let sanitize s =
   else if out.[0] >= '0' && out.[0] <= '9' then "x" ^ out
   else out
 
-let const s = Asp.Term.Const (sanitize s)
-let str s = Asp.Term.Str s
+let const s = Asp.Term.const (sanitize s)
+let str s = Asp.Term.str s
 let fact pred args = Asp.Rule.fact (Asp.Atom.make pred args)
 
 let split_fault_modes s =

@@ -10,12 +10,20 @@ val arity : t -> int
 val signature : t -> string * int
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Folds the arguments' precomputed {!Term.hash} keys: O(arity),
+    deterministic across runs. *)
+
 val is_ground : t -> bool
 val vars : t -> string list
 val substitute : Term.subst -> t -> t
 
 val eval : t -> t
 (** Evaluate arithmetic in all arguments (ground atoms only). *)
+
+val rehydrate : t -> t
+(** Re-intern every argument (see {!Term.rehydrate}). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

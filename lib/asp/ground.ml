@@ -49,6 +49,97 @@ let equal a b =
   && a.shows = b.shows
   && a.rules = b.rules
 
+(* Structural hash/equality over ground rules built on the terms'
+   precomputed hkeys and interned spines. The grounder's dedup tables
+   probe these once per emitted instance; the polymorphic versions
+   re-walk (and re-hash) whole rule structures on every probe. *)
+
+let hash_fold h = List.fold_left (fun acc x -> (acc * 0x100000001b3) lxor h x)
+
+let equal_atoms = List.equal Atom.equal
+let hash_atoms seed l = hash_fold Atom.hash seed l
+let equal_terms = List.equal Term.equal
+let hash_terms seed l = hash_fold Term.hash seed l
+
+let equal_elem a b =
+  Atom.equal a.gatom b.gatom
+  && equal_atoms a.gpos b.gpos
+  && equal_atoms a.gneg b.gneg
+
+let hash_elem e = hash_atoms (hash_atoms (Atom.hash e.gatom) e.gpos) e.gneg
+
+let equal_celem a b =
+  equal_terms a.etuple b.etuple
+  && equal_atoms a.epos b.epos
+  && equal_atoms a.eneg b.eneg
+
+let hash_celem e = hash_atoms (hash_atoms (hash_terms 41 e.etuple) e.epos) e.eneg
+
+let equal_count a b =
+  a.ckind = b.ckind && a.cop = b.cop && a.cbound = b.cbound
+  && List.equal equal_celem a.celems b.celems
+
+let hash_count c =
+  hash_fold hash_celem
+    (Hashtbl.hash c.ckind lxor Hashtbl.hash c.cop lxor (c.cbound * 0x9e3779b9))
+    c.celems
+
+let equal_counts = List.equal equal_count
+let hash_counts seed l = hash_fold hash_count seed l
+
+let equal_rule a b =
+  a == b
+  ||
+  match a, b with
+  | Gfact x, Gfact y -> Atom.equal x y
+  | Grule a, Grule b ->
+      Atom.equal a.head b.head
+      && equal_atoms a.pos b.pos
+      && equal_atoms a.neg b.neg
+      && equal_counts a.counts b.counts
+  | Gchoice a, Gchoice b ->
+      a.lower = b.lower && a.upper = b.upper
+      && List.equal equal_elem a.elems b.elems
+      && equal_atoms a.pos b.pos
+      && equal_atoms a.neg b.neg
+      && equal_counts a.counts b.counts
+  | Gconstraint a, Gconstraint b ->
+      equal_atoms a.pos b.pos
+      && equal_atoms a.neg b.neg
+      && equal_counts a.counts b.counts
+  | Gweak a, Gweak b ->
+      a.weight = b.weight && a.priority = b.priority
+      && equal_terms a.terms b.terms
+      && equal_atoms a.pos b.pos
+      && equal_atoms a.neg b.neg
+      && equal_counts a.counts b.counts
+  | (Gfact _ | Grule _ | Gchoice _ | Gconstraint _ | Gweak _), _ -> false
+
+let hash_rule = function
+  | Gfact a -> Atom.hash a lxor 0x3
+  | Grule { head; pos; neg; counts } ->
+      hash_counts (hash_atoms (hash_atoms (Atom.hash head lxor 0x5) pos) neg) counts
+  | Gchoice { lower; upper; elems; pos; neg; counts } ->
+      hash_counts
+        (hash_atoms
+           (hash_atoms
+              (hash_fold hash_elem
+                 (Hashtbl.hash lower lxor Hashtbl.hash upper lxor 0x7)
+                 elems)
+              pos)
+           neg)
+        counts
+  | Gconstraint { pos; neg; counts } ->
+      hash_counts (hash_atoms (hash_atoms 0xB pos) neg) counts
+  | Gweak { pos; neg; counts; weight; priority; terms } ->
+      hash_counts
+        (hash_atoms
+           (hash_atoms
+              (hash_terms ((weight * 0x9e3779b9) lxor priority lxor 0xD) terms)
+              pos)
+           neg)
+        counts
+
 let count_to_string c =
   let elem e =
     let tuple = String.concat "," (List.map Term.to_string e.etuple) in

@@ -61,5 +61,20 @@ val equal : t -> t -> bool
     grounder differential suite enforces between {!Grounder} and
     {!Naive_ground} output. *)
 
+val equal_rule : grule -> grule -> bool
+(** Structural rule equality via {!Term.equal} on the interned terms —
+    O(1) per subterm, unlike polymorphic [(=)] which re-walks nodes. *)
+
+val hash_rule : grule -> int
+(** Deterministic hash folding the terms' precomputed hkeys; consistent
+    with {!equal_rule}. Backs the grounder's instance-dedup tables. *)
+
+val equal_elem : gelem -> gelem -> bool
+val hash_elem : gelem -> int
+val equal_celem : gcount_elem -> gcount_elem -> bool
+val hash_celem : gcount_elem -> int
+(** Same contract as {!equal_rule}/{!hash_rule} for choice and aggregate
+    elements (the per-rule element dedup tables). *)
+
 val pp_rule : Format.formatter -> grule -> unit
 val pp : Format.formatter -> t -> unit

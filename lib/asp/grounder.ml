@@ -25,6 +25,14 @@ module Stats = struct
       wall_s = 0.0;
     }
 
+  let add ~into s =
+    into.passes <- into.passes + s.passes;
+    into.firings <- into.firings + s.firings;
+    into.probes <- into.probes + s.probes;
+    into.fresh_rules <- into.fresh_rules + s.fresh_rules;
+    into.reused_rules <- into.reused_rules + s.reused_rules;
+    into.wall_s <- into.wall_s +. s.wall_s
+
   let to_string s =
     Printf.sprintf
       "passes=%d firings=%d probes=%d fresh=%d reused=%d wall=%.3fs" s.passes
@@ -32,6 +40,18 @@ module Stats = struct
 
   let pp ppf s = Format.pp_print_string ppf (to_string s)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel hook                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [lib/asp] cannot depend on [lib/engine], so the fixpoint's parallel
+   rounds are driven through an injected map: [pmap f n] must return
+   [[| f 0; …; f (n-1) |]] (slots may be computed on any domain, results
+   land by index). [Engine.Pool.map] is the production implementation.
+   [min_items] gates spawning: rounds with fewer work items run inline,
+   since domain spawn latency dwarfs small joins. *)
+type par = { pmap : 'a. (int -> 'a) -> int -> 'a array; min_items : int }
 
 (* ------------------------------------------------------------------ *)
 (* Safety                                                              *)
@@ -54,10 +74,10 @@ let check_rule r =
 let rec unify subst pat gterm =
   let pat = Term.substitute subst pat in
   let pat = if Term.is_ground pat then Term.eval pat else pat in
-  match pat with
+  match pat.Term.node with
   | Term.Var v -> Some ((v, gterm) :: subst)
   | Term.Func (f, args) -> (
-      match gterm with
+      match gterm.Term.node with
       | Term.Func (g, gargs)
         when String.equal f g && List.length args = List.length gargs ->
           unify_all subst args gargs
@@ -86,9 +106,9 @@ let try_builtin subst (l, op, r) =
   let l' = Term.substitute subst l and r' = Term.substitute subst r in
   if Term.is_ground l' && Term.is_ground r' then Result (Lit.eval_cmp op l' r')
   else
-    match op, l', r' with
-    | Lit.Eq, Term.Var v, rhs when Term.is_ground rhs -> Bind (v, Term.eval rhs)
-    | Lit.Eq, lhs, Term.Var v when Term.is_ground lhs -> Bind (v, Term.eval lhs)
+    match op, l'.Term.node, r'.Term.node with
+    | Lit.Eq, Term.Var v, _ when Term.is_ground r' -> Bind (v, Term.eval r')
+    | Lit.Eq, _, Term.Var v when Term.is_ground l' -> Bind (v, Term.eval l')
     | _ -> Stuck
 
 let rec discharge subst builtins =
@@ -135,15 +155,33 @@ let count_lits lits =
       | Lit.Count c -> Some c | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ -> None)
     lits
 
+(* The ground argument positions of a substituted pattern, each with its
+   evaluated key. [None] when some ground argument fails to evaluate — the
+   caller must then fall back to the signature sweep so the error (if any)
+   surfaces from per-candidate unification exactly as in the oracle. *)
+let ground_keys (pat' : Atom.t) =
+  let ok = ref true in
+  let acc = ref [] in
+  List.iteri
+    (fun i t ->
+      if !ok && Term.is_ground t then
+        match Term.eval t with
+        | k -> acc := (i, k) :: !acc
+        | exception Invalid_argument _ -> ok := false)
+    pat'.Atom.args;
+  if !ok then Some (List.rev !acc) else None
+
 (* Enumerate the substitutions satisfying the positive body + builtins of
    [lits]. [cands] supplies the candidate atoms for the [k]-th positive
    literal (already substituted) — the hook through which the callers plug
    in index probes, generation windows and the incremental new/old/full
-   partition. [perm] permutes the enumeration only: the [j]-th literal
-   joined is the [perm.(j)]-th positive literal, and [cands] is still
-   queried with the original position, so windowed callers stay exact.
-   [err] is the located message for the (statically unreachable after
-   {!check_rule}) leftover-builtin case. *)
+   partition; [~pending] gives it the still-undischarged builtins under
+   the current substitution, which range-aware indexes use to narrow
+   integer-keyed scans. [perm] permutes the enumeration only: the [j]-th
+   literal joined is the [perm.(j)]-th positive literal, and [cands] is
+   still queried with the original position, so windowed callers stay
+   exact. [err] is the located message for the (statically unreachable
+   after {!check_rule}) leftover-builtin case. *)
 let matches_gen ?perm ~cands ~err subst0 lits ~on_match =
   let pats = Array.of_list (positives lits) in
   let n = Array.length pats in
@@ -165,12 +203,18 @@ let matches_gen ?perm ~cands ~err subst0 lits ~on_match =
       | Some (subst, builtins) ->
           let k = order.(j) in
           let pat' = Atom.substitute subst pats.(k) in
+          let pending () =
+            List.map
+              (fun (l, op, r) ->
+                (Term.substitute subst l, op, Term.substitute subst r))
+              builtins
+          in
           List.iter
             (fun ga ->
               match unify_atom subst pat' ga with
               | Some subst -> go (j + 1) subst builtins
               | None -> ())
-            (cands k pat')
+            (cands k pat' ~pending)
   in
   go 0 subst0 builtins
 
@@ -180,15 +224,88 @@ let matches_gen ?perm ~cands ~err subst0 lits ~on_match =
 (* Atoms carry the round (generation) in which they were derived.      *)
 (* Candidate lists are consed newest-first, so they are sorted by      *)
 (* non-increasing generation and a [lo..hi] generation window is a     *)
-(* skip-prefix / take-while walk. A [store] optionally layers over a   *)
+(* skip-prefix / take-while walk. Discrimination indexes are kept for  *)
+(* EVERY argument position — a probe picks the smallest bucket among   *)
+(* the pattern's ground positions. A [store] optionally layers over a  *)
 (* frozen base store (the {!extend} overlay), whose atoms all count    *)
 (* as generation 0.                                                    *)
 (* ------------------------------------------------------------------ *)
 
+module AtomTbl = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
+
+(* Predicate strings are interned ({!Atom.make} routes them through
+   [Term.intern_string]), so physical equality catches nearly every
+   signature comparison, and the precomputed term hkeys replace deep
+   polymorphic hashing. Profiles of the transitive-closure workloads put
+   generic [caml_hash]/[compare_val] at ~2/3 of grounding time when
+   these tables were polymorphic. *)
+
+module SigTbl = Hashtbl.Make (struct
+  type t = string * int (* pred, arity *)
+
+  let equal (p1, a1) (p2, a2) = a1 = a2 && (p1 == p2 || String.equal p1 p2)
+  let hash (p, a) = (String.hash p * 0x01000193) lxor a
+end)
+
+module PosIdxTbl = Hashtbl.Make (struct
+  type t = string * int * int (* pred, arity, position (or mask) *)
+
+  let equal (p1, a1, i1) (p2, a2, i2) =
+    a1 = a2 && i1 = i2 && (p1 == p2 || String.equal p1 p2)
+
+  let hash (p, a, i) = (((String.hash p * 0x01000193) lxor a) * 31) + i
+end)
+
+module PosTbl = Hashtbl.Make (struct
+  type t = string * int * int * Term.t (* pred, arity, position, key *)
+
+  let equal (p1, a1, i1, t1) (p2, a2, i2, t2) =
+    a1 = a2 && i1 = i2 && Term.equal t1 t2 && String.equal p1 p2
+
+  let hash (p, a, i, t) =
+    ((((String.hash p * 0x01000193) lxor a) * 31) + i) lxor (Term.hash t * 0x9e3779b9)
+end)
+
+(* Composite-tier key tuples: ground terms at the masked positions. *)
+module KeyTbl = Hashtbl.Make (struct
+  type t = Term.t list
+
+  let equal = List.equal Term.equal
+  let hash = List.fold_left (fun h t -> (h * 0x100000001b3) lxor Term.hash t) 17
+end)
+
+module GrTbl = Hashtbl.Make (struct
+  type t = Ground.grule
+
+  let equal = Ground.equal_rule
+  let hash = Ground.hash_rule
+end)
+
+module GeTbl = Hashtbl.Make (struct
+  type t = Ground.gelem
+
+  let equal = Ground.equal_elem
+  let hash = Ground.hash_elem
+end)
+
+module CeTbl = Hashtbl.Make (struct
+  type t = Ground.gcount_elem
+
+  let equal = Ground.equal_celem
+  let hash = Ground.hash_celem
+end)
+
+type bucket = { mutable b_len : int; mutable b_items : (Atom.t * int) list }
+
 type store = {
-  st_univ : (Atom.t, int) Hashtbl.t; (* atom -> generation *)
-  st_by_sig : (string * int, (Atom.t * int) list ref) Hashtbl.t;
-  st_by_first : (string * int * Term.t, (Atom.t * int) list ref) Hashtbl.t;
+  st_univ : int AtomTbl.t; (* atom -> generation *)
+  st_by_sig : bucket SigTbl.t;
+  st_by_pos : bucket PosTbl.t;
   mutable st_count : int; (* includes the base layer's count *)
   st_max : int;
   st_base : store option;
@@ -196,64 +313,87 @@ type store = {
 
 let new_store ~max_atoms base =
   {
-    st_univ = Hashtbl.create 1024;
-    st_by_sig = Hashtbl.create 64;
-    st_by_first = Hashtbl.create 256;
+    st_univ = AtomTbl.create 1024;
+    st_by_sig = SigTbl.create 64;
+    st_by_pos = PosTbl.create 256;
     st_count = (match base with Some b -> b.st_count | None -> 0);
     st_max = max_atoms;
     st_base = base;
   }
 
 let store_mem st a =
-  Hashtbl.mem st.st_univ a
-  || match st.st_base with Some b -> Hashtbl.mem b.st_univ a | None -> false
+  AtomTbl.mem st.st_univ a
+  || match st.st_base with Some b -> AtomTbl.mem b.st_univ a | None -> false
 
-let push tbl key v =
-  match Hashtbl.find_opt tbl key with
-  | Some l -> l := v :: !l
-  | None -> Hashtbl.add tbl key (ref [ v ])
+let push_sig tbl key v =
+  match SigTbl.find_opt tbl key with
+  | Some b ->
+      b.b_len <- b.b_len + 1;
+      b.b_items <- v :: b.b_items
+  | None -> SigTbl.add tbl key { b_len = 1; b_items = [ v ] }
+
+let push_pos tbl key v =
+  match PosTbl.find_opt tbl key with
+  | Some b ->
+      b.b_len <- b.b_len + 1;
+      b.b_items <- v :: b.b_items
+  | None -> PosTbl.add tbl key { b_len = 1; b_items = [ v ] }
+
+let index_atom st a gen =
+  push_sig st.st_by_sig (Atom.signature a) (a, gen);
+  let ar = List.length a.Atom.args in
+  List.iteri
+    (fun i t -> push_pos st.st_by_pos (a.Atom.pred, ar, i, t) (a, gen))
+    a.Atom.args
 
 let add_atom st ~gen a ~on_new =
   let a = Atom.eval a in
   if not (Atom.is_ground a) then
     raise (Unsafe ("derived non-ground atom " ^ Atom.to_string a));
   if not (store_mem st a) then begin
-    Hashtbl.replace st.st_univ a gen;
+    AtomTbl.replace st.st_univ a gen;
     st.st_count <- st.st_count + 1;
     if st.st_count > st.st_max then
       raise
         (Overflow (Printf.sprintf "atom universe exceeded %d atoms" st.st_max));
-    push st.st_by_sig (Atom.signature a) (a, gen);
-    (match a.Atom.args with
-    | first :: _ ->
-        push st.st_by_first (a.Atom.pred, List.length a.Atom.args, first) (a, gen)
-    | [] -> ());
+    index_atom st a gen;
     on_new a
   end
 
-(* Candidates of this layer only, discriminated on the first argument when
-   the substituted pattern's first argument is ground. A failing
-   [Term.eval] falls back to the signature scan so that the error (if any)
-   surfaces from per-candidate unification exactly as in the oracle. *)
+let empty_bucket = { b_len = 0; b_items = [] }
+
+(* Candidates of this layer only: the smallest per-position bucket among
+   the pattern's ground argument positions, the signature bucket when the
+   pattern has none, and — mirroring the oracle's error surface — the
+   signature bucket when any ground argument fails to evaluate. A missing
+   bucket for an evaluated key means no stored atom can unify: empty. *)
 let layer_cands st (stats : Stats.t) (pat' : Atom.t) =
   stats.Stats.probes <- stats.Stats.probes + 1;
   let of_sig () =
-    match Hashtbl.find_opt st.st_by_sig (Atom.signature pat') with
-    | Some l -> !l
-    | None -> []
+    match SigTbl.find_opt st.st_by_sig (Atom.signature pat') with
+    | Some b -> b
+    | None -> empty_bucket
   in
-  match pat'.Atom.args with
-  | first :: _ when Term.is_ground first -> (
-      match (try Some (Term.eval first) with Invalid_argument _ -> None) with
-      | Some key -> (
-          match
-            Hashtbl.find_opt st.st_by_first
-              (pat'.Atom.pred, List.length pat'.Atom.args, key)
-          with
-          | Some l -> !l
-          | None -> [])
-      | None -> of_sig ())
-  | _ -> of_sig ()
+  match ground_keys pat' with
+  | None -> (of_sig ()).b_items
+  | Some [] -> (of_sig ()).b_items
+  | Some keys ->
+      let ar = List.length pat'.Atom.args in
+      let best =
+        List.fold_left
+          (fun best (i, k) ->
+            match best with
+            | Some b when b.b_len = 0 -> best
+            | _ -> (
+                match PosTbl.find_opt st.st_by_pos (pat'.Atom.pred, ar, i, k) with
+                | None -> Some empty_bucket
+                | Some b -> (
+                    match best with
+                    | Some best when best.b_len <= b.b_len -> Some best
+                    | _ -> Some b)))
+          None keys
+      in
+      (match best with Some b -> b | None -> of_sig ()).b_items
 
 (* Iterate atoms of st (plus its base layer when [lo = 0]) whose generation
    lies in [lo..hi]. *)
@@ -293,7 +433,7 @@ let unbound_err r =
 let build_templates rules =
   let ts = ref [] in
   let n = ref 0 in
-  let index : (string * int, (int * int) list) Hashtbl.t = Hashtbl.create 32 in
+  let index : (int * int) list SigTbl.t = SigTbl.create 32 in
   let add_template pats bs head err =
     let ti = !n in
     incr n;
@@ -301,8 +441,8 @@ let build_templates rules =
     List.iteri
       (fun pos pat ->
         let sg = Atom.signature pat in
-        let cur = Option.value ~default:[] (Hashtbl.find_opt index sg) in
-        Hashtbl.replace index sg ((ti, pos) :: cur))
+        let cur = Option.value ~default:[] (SigTbl.find_opt index sg) in
+        SigTbl.replace index sg ((ti, pos) :: cur))
       pats
   in
   List.iter
@@ -326,8 +466,20 @@ let build_templates rules =
     rules;
   (Array.of_list (List.rev !ts), index)
 
+(* Fire one (template, delta-position) work item against a store that is
+   frozen for the round. The join enumerates the delta literal FIRST (its
+   window is one generation deep, so it is by far the most selective),
+   then the remaining literals in original order — candidate windows are
+   keyed by the ORIGINAL position, so the generation partition is exact
+   under any enumeration order. *)
 let fire st stats t ~round ~dpos ~on_match =
   let n = Array.length t.t_pats in
+  let order =
+    if dpos <= 0 then Array.init n (fun i -> i)
+    else
+      Array.init n (fun j ->
+          if j = 0 then dpos else if j <= dpos then j - 1 else j)
+  in
   let cands k pat' f =
     let lo, hi =
       if dpos < 0 then (0, max_int) (* naive: everything *)
@@ -337,8 +489,8 @@ let fire st stats t ~round ~dpos ~on_match =
     in
     iter_window st stats ~lo ~hi pat' f
   in
-  let rec go k subst builtins =
-    if k = n then
+  let rec go j subst builtins =
+    if j = n then
       match discharge subst builtins with
       | Some (subst, []) -> on_match subst
       | Some (_, _ :: _) -> raise (Unsafe t.t_err)
@@ -347,55 +499,72 @@ let fire st stats t ~round ~dpos ~on_match =
       match discharge subst builtins with
       | None -> ()
       | Some (subst, builtins) ->
+          let k = order.(j) in
           let pat' = Atom.substitute subst t.t_pats.(k) in
           cands k pat' (fun ga ->
               match unify_atom subst pat' ga with
-              | Some subst -> go (k + 1) subst builtins
+              | Some subst -> go (j + 1) subst builtins
               | None -> ())
   in
   go 0 [] t.t_builtins
 
-(* Semi-naive driver. Round 1 fires [initial] naively (live candidate
-   lists); every later round re-fires only the (template, position) pairs
-   whose position's signature gained an atom in the previous round, with
-   the join partitioned delta-exactly: strictly-older atoms left of the
-   delta position, the previous round's atoms at it, anything so far right
-   of it. Every join result is found exactly at the round after its newest
-   constituent atom was derived (leftmost-newest position). *)
-let run_fixpoint st (stats : Stats.t) templates entries_for ~initial =
+(* Semi-naive driver with snapshot (BFS) rounds: the store is frozen while
+   a round's work items fire — derived heads are buffered per item and
+   committed sequentially in item order afterwards — so an atom's
+   generation is exactly its derivation depth and every join result is
+   found exactly once, at the round after its newest constituent atom was
+   derived (leftmost-newest position). Freezing the store is also what
+   makes the rounds parallelizable: items only read it, so [par] may fan
+   them out across domains and the deterministic sequential commit keeps
+   the result bit-for-bit equal to the inline path. *)
+let run_fixpoint ?par st (stats : Stats.t) templates entries_for ~initial =
   let added = ref [] in
-  let derive ~round t subst =
-    stats.Stats.firings <- stats.Stats.firings + 1;
-    add_atom st ~gen:round
-      (Atom.substitute subst t.t_head)
-      ~on_new:(fun a -> added := a :: !added)
-  in
-  stats.Stats.passes <- stats.Stats.passes + 1;
-  List.iter
-    (fun ti ->
+  let run_round ~round items =
+    stats.Stats.passes <- stats.Stats.passes + 1;
+    let n = Array.length items in
+    let fire_item i =
+      let ti, dpos = items.(i) in
       let t = templates.(ti) in
-      fire st stats t ~round:1 ~dpos:(-1) ~on_match:(derive ~round:1 t))
-    initial;
+      let local = Stats.create () in
+      let heads = ref [] in
+      fire st local t ~round ~dpos ~on_match:(fun subst ->
+          local.Stats.firings <- local.Stats.firings + 1;
+          heads := Atom.substitute subst t.t_head :: !heads);
+      (local, List.rev !heads)
+    in
+    let results =
+      match par with
+      | Some p when n >= p.min_items && n > 1 -> p.pmap fire_item n
+      | _ -> Array.init n fire_item
+    in
+    Array.iter
+      (fun (local, heads) ->
+        stats.Stats.firings <- stats.Stats.firings + local.Stats.firings;
+        stats.Stats.probes <- stats.Stats.probes + local.Stats.probes;
+        List.iter
+          (fun a ->
+            add_atom st ~gen:round a ~on_new:(fun a -> added := a :: !added))
+          heads)
+      results
+  in
+  run_round ~round:1
+    (Array.of_list (List.map (fun ti -> (ti, -1)) initial));
   let round = ref 1 in
   while !added <> [] do
     incr round;
-    stats.Stats.passes <- stats.Stats.passes + 1;
-    let r = !round in
-    let prev = !added in
+    let prev = List.rev !added in
     added := [];
-    let seen_sig = Hashtbl.create 16 in
+    let seen_sig = SigTbl.create 16 in
+    let items = ref [] in
     List.iter
       (fun a ->
         let sg = Atom.signature a in
-        if not (Hashtbl.mem seen_sig sg) then begin
-          Hashtbl.replace seen_sig sg ();
-          List.iter
-            (fun (ti, pos) ->
-              let t = templates.(ti) in
-              fire st stats t ~round:r ~dpos:pos ~on_match:(derive ~round:r t))
-            (entries_for sg)
+        if not (SigTbl.mem seen_sig sg) then begin
+          SigTbl.replace seen_sig sg ();
+          List.iter (fun it -> items := it :: !items) (entries_for sg)
         end)
-      prev
+      prev;
+    run_round ~round:!round (Array.of_list (List.rev !items))
   done
 
 (* ------------------------------------------------------------------ *)
@@ -405,53 +574,249 @@ let run_fixpoint st (stats : Stats.t) templates entries_for ~initial =
 (* A [view] answers candidate queries over an immutable universe with
    every bucket sorted ascending by [Atom.compare] — the canonical order
    shared with {!Naive_ground}, which is what makes the two grounders'
-   outputs bit-for-bit comparable. *)
-type view = {
-  v_sig : string * int -> Atom.t list;
-  v_first : string * int * Term.t -> Atom.t list;
+   outputs bit-for-bit comparable (any index is a superset filter: the
+   subset enumerated in ascending order yields the oracle's match
+   sequence).
+
+   Three probe tiers, most selective first:
+   - composite: patterns with >= 2 ground argument positions are answered
+     from a lazily materialized (signature, position-mask) group table —
+     one pass over the signature bucket the first time a mask is seen,
+     O(1) after. The cache freezes when its view becomes shared state (a
+     [prepared] may be extended from many domains concurrently); frozen
+     misses fall through to the single-position tier.
+   - positional: the smallest per-argument-position bucket.
+   - range: a pattern whose argument is an unbound variable constrained by
+     a pending [V < k]-style builtin scans only the integer keys inside
+     the bound interval (sorted buckets merged, so order is preserved)
+     instead of sweeping the whole signature. *)
+
+type comp_cache = {
+  mutable cc_frozen : bool;
+  cc_tbl : Atom.t list KeyTbl.t PosIdxTbl.t;
+      (* (pred, arity, mask) -> key tuple -> ascending bucket *)
 }
 
-let tbl_view sigs firsts =
+type view = {
+  v_sig : string * int -> Atom.t list;
+  v_pos : string * int * int * Term.t -> (int * Atom.t list) option;
+      (* (length, ascending bucket); None: no atom has that key there *)
+  v_ints : string * int * int -> (bool * int list) option;
+      (* (all keys at this position are ints, sorted distinct int keys) *)
+  v_cache : comp_cache;
+}
+
+let new_cache () = { cc_frozen = false; cc_tbl = PosIdxTbl.create 16 }
+
+let tbl_view sigs poses ints =
   {
-    v_sig = (fun k -> Option.value ~default:[] (Hashtbl.find_opt sigs k));
-    v_first = (fun k -> Option.value ~default:[] (Hashtbl.find_opt firsts k));
+    v_sig =
+      (fun k -> Option.value ~default:[] (SigTbl.find_opt sigs k));
+    v_pos = (fun k -> PosTbl.find_opt poses k);
+    v_ints = (fun k -> PosIdxTbl.find_opt ints k);
+    v_cache = new_cache ();
   }
 
-(* Sorted per-signature and per-first-argument tables for the atoms of
-   [st]'s own layer. *)
+(* Sorted per-signature / per-position tables for the atoms of [st]'s own
+   layer, plus the per-position integer-key summaries the range tier
+   scans. *)
+type tables = {
+  tb_sigs : Atom.t list SigTbl.t;
+  tb_poses : (int * Atom.t list) PosTbl.t;
+  tb_ints : (bool * int list) PosIdxTbl.t;
+}
+
+let ints_of_poses poses =
+  let ints = PosIdxTbl.create 16 in
+  PosTbl.iter
+    (fun (p, ar, i, key) _ ->
+      let cur =
+        Option.value ~default:(true, []) (PosIdxTbl.find_opt ints (p, ar, i))
+      in
+      let all_int, ks = cur in
+      match key.Term.node with
+      | Term.Int n -> PosIdxTbl.replace ints (p, ar, i) (all_int, n :: ks)
+      | _ -> PosIdxTbl.replace ints (p, ar, i) (false, ks))
+    poses;
+  PosIdxTbl.iter
+    (fun k (all_int, ks) ->
+      PosIdxTbl.replace ints k (all_int, List.sort_uniq Int.compare ks))
+    ints;
+  ints
+
 let sorted_tables st =
-  let sigs = Hashtbl.create (Hashtbl.length st.st_by_sig) in
-  let firsts = Hashtbl.create (Hashtbl.length st.st_by_first) in
-  Hashtbl.iter
-    (fun key l ->
-      let sorted = List.sort Atom.compare (List.map fst !l) in
-      Hashtbl.replace sigs key sorted;
-      (* cons in descending order so every first-arg bucket stays sorted *)
+  let sigs = SigTbl.create (SigTbl.length st.st_by_sig) in
+  let poses = PosTbl.create 256 in
+  SigTbl.iter
+    (fun key b ->
+      let sorted = List.sort Atom.compare (List.map fst b.b_items) in
+      SigTbl.replace sigs key sorted;
+      (* cons in descending order so every positional bucket stays sorted *)
       List.iter
         (fun (a : Atom.t) ->
-          match a.Atom.args with
-          | first :: _ ->
-              let fk = (a.Atom.pred, List.length a.Atom.args, first) in
-              let cur = Option.value ~default:[] (Hashtbl.find_opt firsts fk) in
-              Hashtbl.replace firsts fk (a :: cur)
-          | [] -> ())
+          let ar = List.length a.Atom.args in
+          List.iteri
+            (fun i t ->
+              let pk = (a.Atom.pred, ar, i, t) in
+              match PosTbl.find_opt poses pk with
+              | Some (len, l) -> PosTbl.replace poses pk (len + 1, a :: l)
+              | None -> PosTbl.add poses pk (1, [ a ]))
+            a.Atom.args)
         (List.rev sorted))
     st.st_by_sig;
-  (sigs, firsts)
+  { tb_sigs = sigs; tb_poses = poses; tb_ints = ints_of_poses poses }
+
+let view_of_tables t = tbl_view t.tb_sigs t.tb_poses t.tb_ints
 
 type snap = { sn_view : view; sn_mem : Atom.t -> bool }
 
-let view_cands view (stats : Stats.t) (pat' : Atom.t) =
+let no_pending : (unit -> (Term.t * Lit.cmp * Term.t) list) = fun () -> []
+
+(* Integer bounds on variable [v] implied by the pending builtins. An
+   upper bound excludes every non-integer key (non-integers compare above
+   all ints), so it is always safe to narrow on; a lower bound alone is
+   only safe when every key at the position is an integer. *)
+let int_bounds v pending =
+  List.fold_left
+    (fun (lo, hi) (l, op, r) ->
+      let bound_of t =
+        if Term.is_ground t then
+          match (try Some (Term.eval t) with Invalid_argument _ -> None) with
+          | Some { Term.node = Term.Int n; _ } -> Some n
+          | _ -> None
+        else None
+      in
+      let tighten_lo n = Some (match lo with Some l -> max l n | None -> n) in
+      let tighten_hi n = Some (match hi with Some h -> min h n | None -> n) in
+      match l.Term.node, r.Term.node with
+      | Term.Var v', _ when String.equal v' v -> (
+          match bound_of r, op with
+          | Some n, Lit.Lt -> (lo, tighten_hi (n - 1))
+          | Some n, Lit.Le -> (lo, tighten_hi n)
+          | Some n, Lit.Gt -> (tighten_lo (n + 1), hi)
+          | Some n, Lit.Ge -> (tighten_lo n, hi)
+          | _ -> (lo, hi))
+      | _, Term.Var v' when String.equal v' v -> (
+          match bound_of l, op with
+          | Some n, Lit.Gt -> (lo, tighten_hi (n - 1))
+          | Some n, Lit.Ge -> (lo, tighten_hi n)
+          | Some n, Lit.Lt -> (tighten_lo (n + 1), hi)
+          | Some n, Lit.Le -> (tighten_lo n, hi)
+          | _ -> (lo, hi))
+      | _ -> (lo, hi))
+    (None, None) pending
+
+let range_cands view (pat' : Atom.t) pending =
+  let ar = List.length pat'.Atom.args in
+  let rec try_pos i = function
+    | [] -> None
+    | t :: rest -> (
+        match t.Term.node with
+        | Term.Var v -> (
+            match view.v_ints (pat'.Atom.pred, ar, i) with
+            | None -> try_pos (i + 1) rest
+            | Some (all_int, keys) -> (
+                match int_bounds v pending with
+                | None, None -> try_pos (i + 1) rest
+                | lo, None when not all_int ->
+                    ignore lo;
+                    try_pos (i + 1) rest
+                | lo, hi ->
+                    let lo = Option.value ~default:min_int lo in
+                    let hi = Option.value ~default:max_int hi in
+                    let buckets =
+                      List.filter_map
+                        (fun k ->
+                          if k >= lo && k <= hi then
+                            Option.map snd
+                              (view.v_pos
+                                 (pat'.Atom.pred, ar, i, Term.int k))
+                          else None)
+                        keys
+                    in
+                    Some
+                      (List.fold_left
+                         (fun acc l -> List.merge Atom.compare acc l)
+                         [] buckets)))
+        | _ -> try_pos (i + 1) rest)
+  in
+  try_pos 0 pat'.Atom.args
+
+(* Composite tier: group the signature bucket by the key tuple at the
+   pattern's ground positions, once per (signature, mask). *)
+let comp_cands view (pat' : Atom.t) keys =
+  let cache = view.v_cache in
+  let ar = List.length pat'.Atom.args in
+  let mask = List.fold_left (fun m (i, _) -> m lor (1 lsl i)) 0 keys in
+  let ck = (pat'.Atom.pred, ar, mask) in
+  let group =
+    match PosIdxTbl.find_opt cache.cc_tbl ck with
+    | Some g -> Some g
+    | None ->
+        if cache.cc_frozen then None
+        else begin
+          let g = KeyTbl.create 64 in
+          List.iter
+            (fun (a : Atom.t) ->
+              let key =
+                List.rev
+                  (snd
+                     (List.fold_left
+                        (fun (i, acc) t ->
+                          (i + 1, if mask land (1 lsl i) <> 0 then t :: acc else acc))
+                        (0, []) a.Atom.args))
+              in
+              let cur = Option.value ~default:[] (KeyTbl.find_opt g key) in
+              KeyTbl.replace g key (a :: cur))
+            (List.rev (view.v_sig (pat'.Atom.pred, ar)));
+          PosIdxTbl.add cache.cc_tbl ck g;
+          Some g
+        end
+  in
+  match group with
+  | None -> None
+  | Some g ->
+      Some
+        (Option.value ~default:[]
+           (KeyTbl.find_opt g (List.map snd keys)))
+
+let view_cands ?(pending = no_pending) view (stats : Stats.t) (pat' : Atom.t) =
   stats.Stats.probes <- stats.Stats.probes + 1;
-  match pat'.Atom.args with
-  | first :: _ when Term.is_ground first -> (
-      match (try Some (Term.eval first) with Invalid_argument _ -> None) with
-      | Some key -> view.v_first (pat'.Atom.pred, List.length pat'.Atom.args, key)
-      | None -> view.v_sig (Atom.signature pat'))
-  | _ -> view.v_sig (Atom.signature pat')
+  let of_sig () = view.v_sig (Atom.signature pat') in
+  match ground_keys pat' with
+  | None -> of_sig ()
+  | Some [] -> (
+      match range_cands view pat' (pending ()) with
+      | Some cs -> cs
+      | None -> of_sig ())
+  | Some [ (i, k) ] -> (
+      match view.v_pos (pat'.Atom.pred, List.length pat'.Atom.args, i, k) with
+      | Some (_, l) -> l
+      | None -> [])
+  | Some keys -> (
+      match comp_cands view pat' keys with
+      | Some l -> l
+      | None ->
+          (* frozen cache miss: smallest single-position bucket *)
+          let ar = List.length pat'.Atom.args in
+          let best =
+            List.fold_left
+              (fun best (i, k) ->
+                match best with
+                | Some (blen, _) when blen = 0 -> best
+                | _ -> (
+                    match view.v_pos (pat'.Atom.pred, ar, i, k) with
+                    | None -> Some (0, [])
+                    | Some (len, l) -> (
+                        match best with
+                        | Some (blen, _) when blen <= len -> best
+                        | _ -> Some (len, l))))
+              None keys
+          in
+          (match best with Some (_, l) -> l | None -> of_sig ()))
 
 (* Instantiate rule [r] against [snap], mirroring the oracle's phase 2
-   modulo the first-argument index and hashed (instead of quadratic)
+   modulo the discrimination indexes and hashed (instead of quadratic)
    dedup of aggregate / choice elements. [body_cands], when given,
    overrides candidate selection for the rule's outer body join only —
    {!extend} uses it to enumerate just the joins that involve new atoms.
@@ -464,7 +829,7 @@ let view_cands view (stats : Stats.t) (pat' : Atom.t) =
 let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
   let rule_str = Rule.to_string r in
   let err = unbound_err r in
-  let default_cands _ pat' = view_cands snap.sn_view stats pat' in
+  let default_cands _ pat' ~pending = view_cands ~pending snap.sn_view stats pat' in
   let body_cands = Option.value ~default:default_cands body_cands in
   let body_matches lits ~on_match =
     match perm with
@@ -504,7 +869,7 @@ let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
                 (Unsafe ("aggregate bound is not an integer in: " ^ rule_str))
         in
         let celems = ref [] in
-        let seen_ce = Hashtbl.create 16 in
+        let seen_ce = CeTbl.create 16 in
         matches_gen ~cands:default_cands ~err subst c.Lit.cond
           ~on_match:(fun subst' ->
             let ce =
@@ -517,8 +882,8 @@ let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
                 eneg = ground_neg subst' c.Lit.cond;
               }
             in
-            if not (Hashtbl.mem seen_ce ce) then begin
-              Hashtbl.replace seen_ce ce ();
+            if not (CeTbl.mem seen_ce ce) then begin
+              CeTbl.replace seen_ce ce ();
               celems := ce :: !celems
             end);
         {
@@ -544,7 +909,7 @@ let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
           | Rule.Falsity -> emit (Ground.Gconstraint { pos; neg; counts })
           | Rule.Choice { lower; upper; elems } ->
               let gelems = ref [] in
-              let seen_ge = Hashtbl.create 16 in
+              let seen_ge = GeTbl.create 16 in
               List.iter
                 (fun (e : Rule.choice_elem) ->
                   matches_gen ~cands:default_cands ~err subst e.cond
@@ -557,8 +922,8 @@ let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
                           gneg = ground_neg subst' e.cond;
                         }
                       in
-                      if not (Hashtbl.mem seen_ge ge) then begin
-                        Hashtbl.replace seen_ge ge ();
+                      if not (GeTbl.mem seen_ge ge) then begin
+                        GeTbl.replace seen_ge ge ();
                         gelems := ge :: !gelems
                       end))
                 elems;
@@ -589,35 +954,38 @@ let instantiate snap (stats : Stats.t) ?body_cands ?perm ~emit r =
 
 let all_indices n = List.init n (fun i -> i)
 
-let phase1 ~max_atoms stats p =
+let phase1 ?par ~max_atoms stats p =
   List.iter check_rule (Program.rules p);
   let st = new_store ~max_atoms None in
   let templates, tindex = build_templates (Program.rules p) in
   let entries_for sg =
-    Option.value ~default:[] (Hashtbl.find_opt tindex sg)
+    Option.value ~default:[] (SigTbl.find_opt tindex sg)
   in
-  run_fixpoint st stats templates entries_for
+  run_fixpoint ?par st stats templates entries_for
     ~initial:(all_indices (Array.length templates));
   (st, templates, tindex)
 
 let universe_of st base =
-  Hashtbl.fold (fun a _ acc -> Model.AtomSet.add a acc) st.st_univ base
+  AtomTbl.fold (fun a _ acc -> Model.AtomSet.add a acc) st.st_univ base
 
 let no_order : Rule.t -> int array option = fun _ -> None
 
-let ground ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
+let ground ?(max_atoms = 200_000) ?(order = no_order) ?par ?stats p =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let t0 = Unix.gettimeofday () in
-  let st, _, _ = phase1 ~max_atoms stats p in
-  let sigs, firsts = sorted_tables st in
+  let st, _, _ = phase1 ?par ~max_atoms stats p in
+  let tables = sorted_tables st in
   let snap =
-    { sn_view = tbl_view sigs firsts; sn_mem = (fun a -> Hashtbl.mem st.st_univ a) }
+    {
+      sn_view = view_of_tables tables;
+      sn_mem = (fun a -> AtomTbl.mem st.st_univ a);
+    }
   in
-  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen = GrTbl.create 256 in
   let out = ref [] in
   let emit gr =
-    if not (Hashtbl.mem seen gr) then begin
-      Hashtbl.replace seen gr ();
+    if not (GrTbl.mem seen gr) then begin
+      GrTbl.replace seen gr ();
       stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
       out := gr :: !out
     end
@@ -648,25 +1016,24 @@ type prepared = {
   p_program : Program.t;
   p_max_atoms : int;
   p_store : store; (* frozen after prepare; always single-layer *)
-  p_sigs : (string * int, Atom.t list) Hashtbl.t; (* sorted buckets *)
-  p_firsts : (string * int * Term.t, Atom.t list) Hashtbl.t;
-  p_view : view; (* sorted base candidate tables *)
+  p_tables : tables; (* sorted base candidate tables *)
+  p_view : view;
   p_snap : snap;
   p_entries : rule_entry array;
   p_templates : template array;
-  p_tindex : (string * int, (int * int) list) Hashtbl.t;
+  p_tindex : (int * int) list SigTbl.t;
   p_universe : Model.AtomSet.t;
   p_rules : Ground.grule list; (* globally deduped, = [ground] output *)
   p_order : Rule.t -> int array option;
 }
 
-let prepare ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
+let prepare ?(max_atoms = 200_000) ?(order = no_order) ?par ?stats p =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let t0 = Unix.gettimeofday () in
-  let st, templates, tindex = phase1 ~max_atoms stats p in
-  let sigs, firsts = sorted_tables st in
-  let view = tbl_view sigs firsts in
-  let snap = { sn_view = view; sn_mem = (fun a -> Hashtbl.mem st.st_univ a) } in
+  let st, templates, tindex = phase1 ?par ~max_atoms stats p in
+  let tables = sorted_tables st in
+  let view = view_of_tables tables in
+  let snap = { sn_view = view; sn_mem = (fun a -> AtomTbl.mem st.st_univ a) } in
   let entries =
     List.map
       (fun r ->
@@ -684,27 +1051,29 @@ let prepare ?(max_atoms = 200_000) ?(order = no_order) ?stats p =
         })
       (Program.rules p)
   in
-  let seen : (Ground.grule, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen = GrTbl.create 256 in
   let rules =
     List.concat_map
       (fun e ->
         List.filter
           (fun gr ->
-            if Hashtbl.mem seen gr then false
+            if GrTbl.mem seen gr then false
             else begin
-              Hashtbl.replace seen gr ();
+              GrTbl.replace seen gr ();
               true
             end)
           e.e_instances)
       entries
   in
+  (* the view is about to become shared, read-only state: no further
+     composite-mask materialization (concurrent extends read the cache) *)
+  view.v_cache.cc_frozen <- true;
   let prep =
     {
       p_program = p;
       p_max_atoms = max_atoms;
       p_store = st;
-      p_sigs = sigs;
-      p_firsts = firsts;
+      p_tables = tables;
       p_view = view;
       p_snap = snap;
       p_entries = Array.of_list entries;
@@ -723,57 +1092,64 @@ let base p =
 
 let base_universe p = p.p_universe
 
-let extend ?stats prep dp =
-  let stats = match stats with Some s -> s | None -> Stats.create () in
-  let t0 = Unix.gettimeofday () in
+(* Merge the overlay's sorted tables into (copies of) the base tables. *)
+let merge_tables base overlay =
+  let sigs = SigTbl.copy base.tb_sigs in
+  SigTbl.iter
+    (fun k nl ->
+      let b = Option.value ~default:[] (SigTbl.find_opt sigs k) in
+      SigTbl.replace sigs k (List.merge Atom.compare b nl))
+    overlay.tb_sigs;
+  let poses = PosTbl.copy base.tb_poses in
+  PosTbl.iter
+    (fun k (nlen, nl) ->
+      match PosTbl.find_opt poses k with
+      | Some (blen, bl) ->
+          PosTbl.replace poses k (blen + nlen, List.merge Atom.compare bl nl)
+      | None -> PosTbl.add poses k (nlen, nl))
+    overlay.tb_poses;
+  let ints = PosIdxTbl.copy base.tb_ints in
+  PosIdxTbl.iter
+    (fun k (nall, nks) ->
+      match PosIdxTbl.find_opt ints k with
+      | Some (ball, bks) ->
+          PosIdxTbl.replace ints k
+            (ball && nall, List.sort_uniq Int.compare (bks @ nks))
+      | None -> PosIdxTbl.add ints k (nall, nks))
+    overlay.tb_ints;
+  { tb_sigs = sigs; tb_poses = poses; tb_ints = ints }
+
+let overlay_phase1 ?par ~stats prep dp =
   List.iter check_rule (Program.rules dp);
-  (* Overlay phase 1: close the base universe under base + delta rules,
-     starting from a naive pass over the delta's templates only (the base
-     is already closed under its own rules). Only reads the prepared
-     state, so concurrent extends of one [prepared] are safe. *)
   let st = new_store ~max_atoms:prep.p_max_atoms (Some prep.p_store) in
   let nbase = Array.length prep.p_templates in
   let dtemplates, dtindex = build_templates (Program.rules dp) in
   let templates = Array.append prep.p_templates dtemplates in
   let entries_for sg =
-    let b = Option.value ~default:[] (Hashtbl.find_opt prep.p_tindex sg) in
-    match Hashtbl.find_opt dtindex sg with
+    let b = Option.value ~default:[] (SigTbl.find_opt prep.p_tindex sg) in
+    match SigTbl.find_opt dtindex sg with
     | None -> b
     | Some d -> b @ List.map (fun (ti, pos) -> (ti + nbase, pos)) d
   in
-  run_fixpoint st stats templates entries_for
-    ~initial:(List.map (fun i -> i + nbase) (all_indices (Array.length dtemplates)));
-  (* Sorted overlay tables + full view layering them over the base view. *)
-  let nsigs, nfirsts = sorted_tables st in
-  let merged_sigs = Hashtbl.create (Hashtbl.length nsigs) in
-  Hashtbl.iter
-    (fun k nl ->
-      Hashtbl.replace merged_sigs k (List.merge Atom.compare (prep.p_view.v_sig k) nl))
-    nsigs;
-  let merged_firsts = Hashtbl.create (Hashtbl.length nfirsts) in
-  Hashtbl.iter
-    (fun k nl ->
-      Hashtbl.replace merged_firsts k
-        (List.merge Atom.compare (prep.p_view.v_first k) nl))
-    nfirsts;
-  let full_view =
-    {
-      v_sig =
-        (fun k ->
-          match Hashtbl.find_opt merged_sigs k with
-          | Some l -> l
-          | None -> prep.p_view.v_sig k);
-      v_first =
-        (fun k ->
-          match Hashtbl.find_opt merged_firsts k with
-          | Some l -> l
-          | None -> prep.p_view.v_first k);
-    }
-  in
-  let new_view = tbl_view nsigs nfirsts in
-  let mem a = Hashtbl.mem st.st_univ a || Hashtbl.mem prep.p_store.st_univ a in
+  run_fixpoint ?par st stats templates entries_for
+    ~initial:
+      (List.map (fun i -> i + nbase) (all_indices (Array.length dtemplates)));
+  (st, dtemplates, dtindex, templates)
+
+let extend ?par ?stats prep dp =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let t0 = Unix.gettimeofday () in
+  (* Overlay phase 1: close the base universe under base + delta rules,
+     starting from a naive pass over the delta's templates only (the base
+     is already closed). Only reads the prepared state, so concurrent
+     extends of one [prepared] are safe. *)
+  let st, _, _, _ = overlay_phase1 ?par ~stats prep dp in
+  let ntables = sorted_tables st in
+  let full_view = view_of_tables (merge_tables prep.p_tables ntables) in
+  let new_view = view_of_tables ntables in
+  let mem a = AtomTbl.mem st.st_univ a || AtomTbl.mem prep.p_store.st_univ a in
   let snap = { sn_view = full_view; sn_mem = mem } in
-  let touched sg = Hashtbl.mem nsigs sg in
+  let touched sg = SigTbl.mem ntables.tb_sigs sg in
   let out = ref [] in
   let emit gr =
     stats.Stats.fresh_rules <- stats.Stats.fresh_rules + 1;
@@ -800,10 +1176,10 @@ let extend ?stats prep dp =
         Array.iteri
           (fun i sg ->
             if touched sg then begin
-              let body_cands k pat' =
-                if k = i then view_cands new_view stats pat'
-                else if k < i then view_cands prep.p_view stats pat'
-                else view_cands full_view stats pat'
+              let body_cands k pat' ~pending =
+                if k = i then view_cands ~pending new_view stats pat'
+                else if k < i then view_cands ~pending prep.p_view stats pat'
+                else view_cands ~pending full_view stats pat'
               in
               instantiate snap stats ~body_cands ?perm ~emit e.e_rule
             end)
@@ -835,18 +1211,12 @@ let extend ?stats prep dp =
 let flatten_store ~max_atoms base overlay =
   let flat = new_store ~max_atoms None in
   let copy st =
-    Hashtbl.iter
+    AtomTbl.iter
       (fun a _ ->
-        if not (Hashtbl.mem flat.st_univ a) then begin
-          Hashtbl.replace flat.st_univ a 0;
+        if not (AtomTbl.mem flat.st_univ a) then begin
+          AtomTbl.replace flat.st_univ a 0;
           flat.st_count <- flat.st_count + 1;
-          push flat.st_by_sig (Atom.signature a) (a, 0);
-          match a.Atom.args with
-          | first :: _ ->
-              push flat.st_by_first
-                (a.Atom.pred, List.length a.Atom.args, first)
-                (a, 0)
-          | [] -> ()
+          index_atom flat a 0
         end)
       st.st_univ
   in
@@ -854,47 +1224,27 @@ let flatten_store ~max_atoms base overlay =
   copy overlay;
   flat
 
-let extend_prepare ?stats prep dp =
+let extend_prepare ?par ?stats prep dp =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   let t0 = Unix.gettimeofday () in
-  List.iter check_rule (Program.rules dp);
   (* Overlay phase 1, exactly as in {!extend} — but the merged template
      index is kept: it becomes the new prepared's [p_tindex]. *)
-  let st = new_store ~max_atoms:prep.p_max_atoms (Some prep.p_store) in
+  let st, _, dtindex, templates = overlay_phase1 ?par ~stats prep dp in
   let nbase = Array.length prep.p_templates in
-  let dtemplates, dtindex = build_templates (Program.rules dp) in
-  let templates = Array.append prep.p_templates dtemplates in
-  let tindex = Hashtbl.copy prep.p_tindex in
-  Hashtbl.iter
+  let tindex = SigTbl.copy prep.p_tindex in
+  SigTbl.iter
     (fun sg d ->
-      let b = Option.value ~default:[] (Hashtbl.find_opt tindex sg) in
-      Hashtbl.replace tindex sg
+      let b = Option.value ~default:[] (SigTbl.find_opt tindex sg) in
+      SigTbl.replace tindex sg
         (b @ List.map (fun (ti, pos) -> (ti + nbase, pos)) d))
     dtindex;
-  let entries_for sg = Option.value ~default:[] (Hashtbl.find_opt tindex sg) in
-  run_fixpoint st stats templates entries_for
-    ~initial:
-      (List.map (fun i -> i + nbase) (all_indices (Array.length dtemplates)));
-  (* Merge the overlay's sorted tables into copies of the base tables:
-     the new prepared answers candidate queries over the full universe. *)
-  let nsigs, nfirsts = sorted_tables st in
-  let sigs = Hashtbl.copy prep.p_sigs in
-  Hashtbl.iter
-    (fun k nl ->
-      let b = Option.value ~default:[] (Hashtbl.find_opt sigs k) in
-      Hashtbl.replace sigs k (List.merge Atom.compare b nl))
-    nsigs;
-  let firsts = Hashtbl.copy prep.p_firsts in
-  Hashtbl.iter
-    (fun k nl ->
-      let b = Option.value ~default:[] (Hashtbl.find_opt firsts k) in
-      Hashtbl.replace firsts k (List.merge Atom.compare b nl))
-    nfirsts;
-  let view = tbl_view sigs firsts in
-  let new_view = tbl_view nsigs nfirsts in
+  let ntables = sorted_tables st in
+  let tables = merge_tables prep.p_tables ntables in
+  let view = view_of_tables tables in
+  let new_view = view_of_tables ntables in
   let store = flatten_store ~max_atoms:prep.p_max_atoms prep.p_store st in
-  let snap = { sn_view = view; sn_mem = (fun a -> Hashtbl.mem store.st_univ a) } in
-  let touched sg = Hashtbl.mem nsigs sg in
+  let snap = { sn_view = view; sn_mem = (fun a -> AtomTbl.mem store.st_univ a) } in
+  let touched sg = SigTbl.mem ntables.tb_sigs sg in
   (* Per-entry instance update under {!extend}'s classification: shared
      instances stay shared (and keep their emission order), delta-exact
      new joins are appended, cond-touched rules are recomputed. *)
@@ -920,10 +1270,10 @@ let extend_prepare ?stats prep dp =
           Array.iteri
             (fun i sg ->
               if touched sg then begin
-                let body_cands k pat' =
-                  if k = i then view_cands new_view stats pat'
-                  else if k < i then view_cands prep.p_view stats pat'
-                  else view_cands view stats pat'
+                let body_cands k pat' ~pending =
+                  if k = i then view_cands ~pending new_view stats pat'
+                  else if k < i then view_cands ~pending prep.p_view stats pat'
+                  else view_cands ~pending view stats pat'
                 in
                 extra := !extra @ recompute ~body_cands perm e.e_rule
               end)
@@ -959,13 +1309,13 @@ let extend_prepare ?stats prep dp =
           e.e_instances)
       entries
   in
+  view.v_cache.cc_frozen <- true;
   let next =
     {
       p_program = Program.append prep.p_program dp;
       p_max_atoms = prep.p_max_atoms;
       p_store = store;
-      p_sigs = sigs;
-      p_firsts = firsts;
+      p_tables = tables;
       p_view = view;
       p_snap = snap;
       p_entries = Array.of_list entries;

@@ -2,14 +2,20 @@
 
     Instantiation proceeds in two phases. Phase 1 closes the atom universe
     over the positive projection of the program with a {e semi-naive}
-    fixpoint: atoms are stamped with the round that derived them, rules are
-    indexed by body-predicate signature, and a round re-fires only the
-    (rule, body-position) pairs whose signature gained an atom in the
-    previous round — seeding the join from the delta literal instead of
-    re-enumerating every candidate, so each join result is derived exactly
-    once. Phase 2 instantiates every rule against that universe through
-    per-signature candidate tables discriminated on the (ground) first
-    argument of the queried pattern, in canonical ascending {!Atom.compare}
+    fixpoint run in snapshot (BFS) rounds: atoms are stamped with the round
+    that derived them, rules are indexed by body-predicate signature, and a
+    round re-fires only the (rule, body-position) pairs whose signature
+    gained an atom in the previous round — the delta literal is enumerated
+    first (its one-generation window is the most selective) and each join
+    result is derived exactly once. Because the store is frozen while a
+    round's work items fire (derivations are buffered and committed in
+    deterministic order between rounds), the items can be fanned out
+    across domains ({!par}) with bit-for-bit identical results. Phase 2
+    instantiates every rule against that universe through per-signature
+    candidate tables discriminated per argument position (smallest-bucket
+    selection over every ground argument, lazily materialized composite
+    multi-argument group tables, and pending-builtin range narrowing for
+    integer-keyed positions), in canonical ascending {!Atom.compare}
     order. Built-in comparisons are evaluated during instantiation (an
     [X = expr] equality with a ground right-hand side acts as an
     assignment, as in clingo).
@@ -44,13 +50,28 @@ module Stats : sig
   }
 
   val create : unit -> t
+
+  val add : into:t -> t -> unit
+  (** Accumulate [s] into [into] (benches aggregate per-run counters). *)
+
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
 end
 
+type par = { pmap : 'a. (int -> 'a) -> int -> 'a array; min_items : int }
+(** Parallel-map hook for phase-1 fixpoint rounds. [pmap f n] must return
+    [[| f 0; …; f (n-1) |]]; slots may run on any domain ([Engine.Pool.map]
+    is the production implementation — [lib/asp] cannot depend on
+    [lib/engine], hence the injection). Rounds with fewer than [min_items]
+    work items run inline: domain spawn latency dwarfs small joins. The
+    result is bit-for-bit identical to the sequential path — work items
+    only read the round's frozen store, and their derivations are
+    committed sequentially in item order either way. *)
+
 val ground :
   ?max_atoms:int ->
   ?order:(Rule.t -> int array option) ->
+  ?par:par ->
   ?stats:Stats.t ->
   Program.t ->
   Ground.t
@@ -78,6 +99,7 @@ type prepared
 val prepare :
   ?max_atoms:int ->
   ?order:(Rule.t -> int array option) ->
+  ?par:par ->
   ?stats:Stats.t ->
   Program.t ->
   prepared
@@ -91,7 +113,7 @@ val base : prepared -> Ground.t
 
 val base_universe : prepared -> Model.AtomSet.t
 
-val extend : ?stats:Stats.t -> prepared -> Program.t -> Ground.t
+val extend : ?par:par -> ?stats:Stats.t -> prepared -> Program.t -> Ground.t
 (** [extend state delta] grounds base + delta doing work proportional to
     what the delta adds. The universe fixpoint restarts from the delta's
     rules only (the base is already closed); base rules are then classified
@@ -109,7 +131,8 @@ val extend : ?stats:Stats.t -> prepared -> Program.t -> Ground.t
     Raises like {!ground} if the delta is unsafe or the combined universe
     overflows [prepare]'s [max_atoms]. *)
 
-val extend_prepare : ?stats:Stats.t -> prepared -> Program.t -> prepared
+val extend_prepare :
+  ?par:par -> ?stats:Stats.t -> prepared -> Program.t -> prepared
 (** [extend_prepare state delta] is to {!prepare} what {!extend} is to
     {!ground}: it absorbs [delta] as a permanent structural increment and
     returns warm state for [base + delta], doing instance work

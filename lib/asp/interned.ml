@@ -202,7 +202,7 @@ let eval_count _p m (c : count) =
         List.fold_left
           (fun acc tuple ->
             match tuple with
-            | Term.Int w :: _ -> acc + w
+            | { Term.node = Term.Int w; _ } :: _ -> acc + w
             | _ -> acc (* non-integer weights contribute 0, as in clingo *))
           0 tuples
   in

@@ -31,6 +31,14 @@ let compare_cost a b =
   in
   go levels
 
+let rehydrate m =
+  {
+    m with
+    atoms =
+      AtomSet.fold (fun a acc -> AtomSet.add (Atom.rehydrate a) acc) m.atoms
+        AtomSet.empty;
+  }
+
 let equal a b = AtomSet.equal a.atoms b.atoms
 let compare a b = AtomSet.compare a.atoms b.atoms
 

@@ -25,6 +25,11 @@ val project : (string * int) list -> t -> t
 
 val cost : t -> cost
 
+val rehydrate : t -> t
+(** Re-intern every atom's terms (see {!Term.rehydrate}); the set and cost
+    are unchanged. Apply to models resurrected by [Marshal] (which bypasses
+    hash-consing) before mixing them with freshly built terms. *)
+
 val compare_cost : cost -> cost -> int
 (** Lexicographic comparison, higher priority levels first; missing levels
     count as weight 0. Smaller is better. *)

@@ -179,7 +179,7 @@ let eval_count m (c : Ground.gcount) =
         List.fold_left
           (fun acc tuple ->
             match tuple with
-            | Term.Int w :: _ -> acc + w
+            | { Term.node = Term.Int w; _ } :: _ -> acc + w
             | _ -> acc (* non-integer weights contribute 0, as in clingo *))
           0 tuples
   in

@@ -29,10 +29,10 @@ let check_rule r =
 let rec unify subst pat gterm =
   let pat = Term.substitute subst pat in
   let pat = if Term.is_ground pat then Term.eval pat else pat in
-  match pat with
+  match pat.Term.node with
   | Term.Var v -> Some ((v, gterm) :: subst)
   | Term.Func (f, args) -> (
-      match gterm with
+      match gterm.Term.node with
       | Term.Func (g, gargs)
         when String.equal f g && List.length args = List.length gargs ->
           unify_all subst args gargs
@@ -61,9 +61,9 @@ let try_builtin subst (l, op, r) =
   let l' = Term.substitute subst l and r' = Term.substitute subst r in
   if Term.is_ground l' && Term.is_ground r' then Result (Lit.eval_cmp op l' r')
   else
-    match op, l', r' with
-    | Lit.Eq, Term.Var v, rhs when Term.is_ground rhs -> Bind (v, Term.eval rhs)
-    | Lit.Eq, lhs, Term.Var v when Term.is_ground lhs -> Bind (v, Term.eval lhs)
+    match op, l'.Term.node, r'.Term.node with
+    | Lit.Eq, Term.Var v, _ when Term.is_ground r' -> Bind (v, Term.eval r')
+    | Lit.Eq, _, Term.Var v when Term.is_ground l' -> Bind (v, Term.eval l')
     | _ -> Stuck
 
 let rec discharge subst builtins =

@@ -35,7 +35,7 @@ let rec parse_term_prec st =
   | Lexer.OP ".." ->
       ignore (next st);
       let hi = parse_addsub st in
-      Term.Func ("..", [ t; hi ])
+      Term.func ".." [ t; hi ]
   | _ -> t
 
 and parse_addsub st =
@@ -44,7 +44,7 @@ and parse_addsub st =
     | Lexer.OP ("+" | "-") ->
         let op = match next st with Lexer.OP o -> o | _ -> assert false in
         let rhs = parse_mul st in
-        loop (Term.Func (op, [ acc; rhs ]))
+        loop (Term.func op [ acc; rhs ])
     | _ -> acc
   in
   loop (parse_mul st)
@@ -55,7 +55,7 @@ and parse_mul st =
     | Lexer.OP ("*" | "/") ->
         let op = match next st with Lexer.OP o -> o | _ -> assert false in
         let rhs = parse_unary st in
-        loop (Term.Func (op, [ acc; rhs ]))
+        loop (Term.func op [ acc; rhs ])
     | _ -> acc
   in
   loop (parse_unary st)
@@ -65,22 +65,24 @@ and parse_unary st =
   | Lexer.OP "-" ->
       ignore (next st);
       let t = parse_unary st in
-      (match t with Term.Int n -> Term.Int (-n) | _ -> Term.Func ("-", [ t ]))
+      (match t.Term.node with
+      | Term.Int n -> Term.int (-n)
+      | _ -> Term.func "-" [ t ])
   | _ -> parse_primary st
 
 and parse_primary st =
   match next st with
-  | Lexer.INT n -> Term.Int n
-  | Lexer.STRING s -> Term.Str s
-  | Lexer.VAR v -> Term.Var v
+  | Lexer.INT n -> Term.int n
+  | Lexer.STRING s -> Term.str s
+  | Lexer.VAR v -> Term.var v
   | Lexer.IDENT f ->
       if peek st = Lexer.LPAREN then begin
         ignore (next st);
         let args = parse_term_list st in
         expect st Lexer.RPAREN "')'";
-        Term.Func (f, args)
+        Term.func f args
       end
-      else Term.Const f
+      else Term.const f
   | Lexer.LPAREN ->
       let t = parse_term_prec st in
       expect st Lexer.RPAREN "')'";
@@ -99,7 +101,8 @@ and parse_term_list st =
 
 (* ---------------- literals ---------------- *)
 
-let atom_of_term st = function
+let atom_of_term st t =
+  match t.Term.node with
   | Term.Const c -> Atom.prop c
   | Term.Func (f, args) when not (List.mem f Term.arith_ops) -> Atom.make f args
   | _ -> fail st "expected an atom"
@@ -186,15 +189,17 @@ let parse_opt_body st =
   else []
 
 (* expand interval terms in facts: p(1..3) -> p(1). p(2). p(3). *)
-let rec expand_term = function
+let rec expand_term t =
+  match t.Term.node with
   | Term.Func ("..", [ lo; hi ]) -> (
       match Term.eval_int lo, Term.eval_int hi with
-      | Some a, Some b when a <= b -> List.init (b - a + 1) (fun k -> Term.Int (a + k))
+      | Some a, Some b when a <= b ->
+          List.init (b - a + 1) (fun k -> Term.int (a + k))
       | Some _, Some _ -> []
       | _ -> raise (Error "interval bounds must be ground integers"))
   | Term.Func (f, args) ->
-      List.map (fun args -> Term.Func (f, args)) (expand_args args)
-  | t -> [ t ]
+      List.map (fun args -> Term.func f args) (expand_args args)
+  | _ -> [ t ]
 
 and expand_args = function
   | [] -> [ [] ]
@@ -203,7 +208,8 @@ and expand_args = function
       let rests = expand_args rest in
       List.concat_map (fun c -> List.map (fun r -> c :: r) rests) choices
 
-let rec has_interval = function
+let rec has_interval t =
+  match t.Term.node with
   | Term.Func ("..", _) -> true
   | Term.Func (_, args) -> List.exists has_interval args
   | Term.Const _ | Term.Int _ | Term.Str _ | Term.Var _ -> false

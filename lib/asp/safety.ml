@@ -23,10 +23,10 @@ let bound_closure base lits =
       List.fold_left
         (fun (bound, progressed) l ->
           match l with
-          | Lit.Cmp (Term.Var v, Lit.Eq, rhs)
+          | Lit.Cmp ({ Term.node = Term.Var v; _ }, Lit.Eq, rhs)
             when (not (List.mem v bound)) && subset (Term.vars rhs) bound ->
               (v :: bound, true)
-          | Lit.Cmp (lhs, Lit.Eq, Term.Var v)
+          | Lit.Cmp (lhs, Lit.Eq, { Term.node = Term.Var v; _ })
             when (not (List.mem v bound)) && subset (Term.vars lhs) bound ->
               (v :: bound, true)
           | Lit.Pos _ | Lit.Neg _ | Lit.Cmp _ | Lit.Count _ ->

@@ -1,4 +1,6 @@
-type t =
+type t = { hkey : int; ground : bool; normal : bool; node : node }
+
+and node =
   | Const of string
   | Int of int
   | Str of string
@@ -7,90 +9,234 @@ type t =
 
 type subst = (string * t) list
 
+let arith_ops = [ "+"; "-"; "*"; "/"; "abs"; "min"; "max"; "mod" ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural hashing (deterministic across runs and domains)          *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a folded into OCaml's native int width. The constants are the
+   64-bit FNV parameters with the offset basis truncated to 62 bits so the
+   literal fits a 63-bit int; multiplication wraps, which is fine — all
+   that matters is that the function is a pure function of the structure. *)
+let fnv_basis = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_byte h b = (h lxor (b land 0xff)) * fnv_prime
+
+let fnv_int h n =
+  let rec go h i v = if i = 8 then h else go (fnv_byte h v) (i + 1) (v asr 8) in
+  go h 0 n
+
+let fnv_string h s =
+  let h = fnv_int h (String.length s) in
+  let r = ref h in
+  String.iter (fun c -> r := fnv_byte !r (Char.code c)) s;
+  !r
+
+let node_hash = function
+  | Const s -> fnv_string (fnv_byte fnv_basis 1) s
+  | Int n -> fnv_int (fnv_byte fnv_basis 2) n
+  | Str s -> fnv_string (fnv_byte fnv_basis 3) s
+  | Var v -> fnv_string (fnv_byte fnv_basis 4) v
+  | Func (f, args) ->
+      List.fold_left
+        (fun h a -> fnv_int h a.hkey)
+        (fnv_int (fnv_string (fnv_byte fnv_basis 5) f) (List.length args))
+        args
+
+(* ------------------------------------------------------------------ *)
+(* Equality / order                                                    *)
+(* ------------------------------------------------------------------ *)
+
 let rec equal a b =
-  match a, b with
-  | Const x, Const y -> String.equal x y
-  | Int x, Int y -> x = y
-  | Str x, Str y -> String.equal x y
-  | Var x, Var y -> String.equal x y
-  | Func (f, xs), Func (g, ys) ->
-      String.equal f g
-      && List.length xs = List.length ys
-      && List.for_all2 equal xs ys
-  | (Const _ | Int _ | Str _ | Var _ | Func _), _ -> false
+  a == b
+  || (a.hkey = b.hkey
+     &&
+     match a.node, b.node with
+     | Const x, Const y | Str x, Str y | Var x, Var y -> String.equal x y
+     | Int x, Int y -> x = y
+     | Func (f, xs), Func (g, ys) -> String.equal f g && equal_list xs ys
+     | (Const _ | Int _ | Str _ | Var _ | Func _), _ -> false)
 
+and equal_list xs ys =
+  match xs, ys with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | _ -> false
+
+(* fully structural (interning-independent): the canonical order shared
+   with the retained oracles must not depend on arena state *)
 let rec compare a b =
-  let tag = function
-    | Int _ -> 0
-    | Const _ -> 1
-    | Str _ -> 2
-    | Var _ -> 3
-    | Func _ -> 4
-  in
-  match a, b with
-  | Int x, Int y -> Stdlib.compare x y
-  | Const x, Const y | Str x, Str y | Var x, Var y -> String.compare x y
-  | Func (f, xs), Func (g, ys) ->
-      let c = String.compare f g in
-      if c <> 0 then c else List.compare compare xs ys
-  | _ -> Stdlib.compare (tag a) (tag b)
+  if a == b then 0
+  else
+    let tag = function
+      | Int _ -> 0
+      | Const _ -> 1
+      | Str _ -> 2
+      | Var _ -> 3
+      | Func _ -> 4
+    in
+    match a.node, b.node with
+    | Int x, Int y -> Int.compare x y
+    | Const x, Const y | Str x, Str y | Var x, Var y -> String.compare x y
+    | Func (f, xs), Func (g, ys) ->
+        let c = String.compare f g in
+        if c <> 0 then c else List.compare compare xs ys
+    | an, bn -> Int.compare (tag an) (tag bn)
 
-let rec is_ground = function
-  | Const _ | Int _ | Str _ -> true
-  | Var _ -> false
-  | Func (_, args) -> List.for_all is_ground args
+let hash t = t.hkey
+let is_ground t = t.ground
+
+(* ------------------------------------------------------------------ *)
+(* Interning arena (one per domain, so no lock is ever taken)          *)
+(* ------------------------------------------------------------------ *)
+
+module NodeTbl = Hashtbl.Make (struct
+  type nonrec t = node
+
+  let hash = node_hash
+
+  let equal a b =
+    match a, b with
+    | Const x, Const y | Str x, Str y | Var x, Var y -> String.equal x y
+    | Int x, Int y -> x = y
+    | Func (f, xs), Func (g, ys) -> String.equal f g && equal_list xs ys
+    | (Const _ | Int _ | Str _ | Var _ | Func _), _ -> false
+end)
+
+let node_flags = function
+  | Const _ | Str _ -> (true, true)
+  | Int _ -> (true, true)
+  | Var _ -> (false, false)
+  | Func (f, args) ->
+      let ground = List.for_all (fun a -> a.ground) args in
+      let normal =
+        ground
+        && (not (List.mem f arith_ops))
+        && List.for_all (fun a -> a.normal) args
+      in
+      (ground, normal)
+
+let arena : t NodeTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> NodeTbl.create 4096)
+
+let strings : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 512)
+
+let intern_string s =
+  let tbl = Domain.DLS.get strings in
+  match Hashtbl.find_opt tbl s with
+  | Some s -> s
+  | None ->
+      Hashtbl.add tbl s s;
+      s
+
+let intern node =
+  let tbl = Domain.DLS.get arena in
+  match NodeTbl.find_opt tbl node with
+  | Some t -> t
+  | None ->
+      let ground, normal = node_flags node in
+      let t = { hkey = node_hash node; ground; normal; node } in
+      NodeTbl.add tbl node t;
+      t
+
+let const s = intern (Const (intern_string s))
+let str s = intern (Str s)
+let var v = intern (Var (intern_string v))
+let func f args = intern (Func (intern_string f, args))
+
+(* small integers are ubiquitous (time steps, levels, weights): a shared
+   immutable cache skips even the arena lookup *)
+let small_lo = -128
+let small_hi = 1024
+
+let small_ints =
+  Array.init
+    (small_hi - small_lo + 1)
+    (fun i ->
+      let n = small_lo + i in
+      let node = Int n in
+      { hkey = node_hash node; ground = true; normal = true; node })
+
+let int n =
+  if n >= small_lo && n <= small_hi then small_ints.(n - small_lo)
+  else intern (Int n)
+
+let rec rehydrate t =
+  match t.node with
+  | Const s -> const s
+  | Int n -> int n
+  | Str s -> str s
+  | Var v -> var v
+  | Func (f, args) -> func f (List.map rehydrate args)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let vars t =
-  let rec go acc = function
-    | Const _ | Int _ | Str _ -> acc
-    | Var v -> if List.mem v acc then acc else v :: acc
-    | Func (_, args) -> List.fold_left go acc args
+  let rec go acc t =
+    if t.ground then acc
+    else
+      match t.node with
+      | Const _ | Int _ | Str _ -> acc
+      | Var v -> if List.mem v acc then acc else v :: acc
+      | Func (_, args) -> List.fold_left go acc args
   in
   List.rev (go [] t)
 
-let rec substitute s = function
-  | (Const _ | Int _ | Str _) as t -> t
-  | Var v as t -> ( match List.assoc_opt v s with Some t' -> t' | None -> t)
-  | Func (f, args) -> Func (f, List.map (substitute s) args)
-
-let arith_ops = [ "+"; "-"; "*"; "/"; "abs"; "min"; "max"; "mod" ]
+let rec substitute s t =
+  if t.ground then t
+  else
+    match t.node with
+    | Const _ | Int _ | Str _ -> t
+    | Var v -> ( match List.assoc_opt v s with Some t' -> t' | None -> t)
+    | Func (f, args) -> func f (List.map (substitute s) args)
 
 let rec eval t =
-  match t with
-  | Const _ | Int _ | Str _ -> t
-  | Var v -> invalid_arg (Printf.sprintf "Term.eval: non-ground term (variable %s)" v)
-  | Func (f, args) when List.mem f arith_ops -> (
-      let args = List.map eval args in
-      let ints =
-        List.map
-          (function
-            | Int n -> n
-            | other ->
-                invalid_arg
-                  (Printf.sprintf "Term.eval: arithmetic on non-integer %s"
-                     (to_string other)))
-          args
-      in
-      match f, ints with
-      | "+", [ a; b ] -> Int (a + b)
-      | "-", [ a; b ] -> Int (a - b)
-      | "-", [ a ] -> Int (-a)
-      | "*", [ a; b ] -> Int (a * b)
-      | "/", [ a; b ] ->
-          if b = 0 then invalid_arg "Term.eval: division by zero" else Int (a / b)
-      | "mod", [ a; b ] ->
-          if b = 0 then invalid_arg "Term.eval: modulo by zero" else Int (a mod b)
-      | "abs", [ a ] -> Int (abs a)
-      | "min", [ a; b ] -> Int (Stdlib.min a b)
-      | "max", [ a; b ] -> Int (Stdlib.max a b)
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "Term.eval: bad arity for arithmetic %s/%d" f
-               (List.length ints)))
-  | Func (f, args) -> Func (f, List.map eval args)
+  if t.normal then t
+  else
+    match t.node with
+    | Const _ | Int _ | Str _ -> t
+    | Var v ->
+        invalid_arg
+          (Printf.sprintf "Term.eval: non-ground term (variable %s)" v)
+    | Func (f, args) when List.mem f arith_ops -> (
+        let args = List.map eval args in
+        let ints =
+          List.map
+            (fun a ->
+              match a.node with
+              | Int n -> n
+              | _ ->
+                  invalid_arg
+                    (Printf.sprintf "Term.eval: arithmetic on non-integer %s"
+                       (to_string a)))
+            args
+        in
+        match f, ints with
+        | "+", [ a; b ] -> int (a + b)
+        | "-", [ a; b ] -> int (a - b)
+        | "-", [ a ] -> int (-a)
+        | "*", [ a; b ] -> int (a * b)
+        | "/", [ a; b ] ->
+            if b = 0 then invalid_arg "Term.eval: division by zero"
+            else int (a / b)
+        | "mod", [ a; b ] ->
+            if b = 0 then invalid_arg "Term.eval: modulo by zero"
+            else int (a mod b)
+        | "abs", [ a ] -> int (abs a)
+        | "min", [ a; b ] -> int (Stdlib.min a b)
+        | "max", [ a; b ] -> int (Stdlib.max a b)
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Term.eval: bad arity for arithmetic %s/%d" f
+                 (List.length ints)))
+    | Func (f, args) -> func f (List.map eval args)
 
 and to_string t =
-  match t with
+  match t.node with
   | Const c -> c
   | Int n -> string_of_int n
   | Str s -> Printf.sprintf "%S" s
@@ -100,5 +246,5 @@ and to_string t =
   | Func (f, args) ->
       Printf.sprintf "%s(%s)" f (String.concat "," (List.map to_string args))
 
-let eval_int t = match eval t with Int n -> Some n | _ -> None
+let eval_int t = match (eval t).node with Int n -> Some n | _ -> None
 let pp ppf t = Format.pp_print_string ppf (to_string t)

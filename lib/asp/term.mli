@@ -1,16 +1,46 @@
-(** Terms of the ASP language: constants, integers, variables and compound
-    terms. Arithmetic function symbols ["+"], ["-"], ["*"], ["/"], ["abs"]
-    evaluate over integers during grounding. *)
+(** Hash-consed terms of the ASP language: constants, integers, variables
+    and compound terms. Arithmetic function symbols ["+"], ["-"], ["*"],
+    ["/"], ["abs"] evaluate over integers during grounding.
 
-type t =
-  | Const of string        (** lowercase symbolic constant *)
+    Every term is interned in a per-domain arena through the smart
+    constructors {!const}, {!int}, {!str}, {!var} and {!func}; a term
+    carries its structural hash ([hkey]) and groundness precomputed, so
+    {!hash} and {!is_ground} are O(1) and {!equal} is a physical-equality
+    check in the common (same-arena) case with a hash-guarded structural
+    fallback. [hkey] is a {e deterministic} function of the term's
+    structure — the same term hashes identically in every process and
+    every domain, which is what lets content-addressed fingerprints fold
+    precomputed hashes instead of re-traversing terms.
+
+    Terms that arrive from outside an arena (e.g. [Marshal] payloads read
+    back by [Serve.Store]) are structurally valid but unshared; pass them
+    through {!rehydrate} to restore arena sharing. *)
+
+type t = private { hkey : int; ground : bool; normal : bool; node : node }
+(** [ground] is true when the term contains no variable; [normal]
+    additionally means arithmetic-free (so {!eval} is the identity). *)
+
+and node =
+  | Const of string  (** lowercase symbolic constant *)
   | Int of int
-  | Str of string          (** quoted string constant *)
-  | Var of string          (** uppercase variable *)
+  | Str of string  (** quoted string constant *)
+  | Var of string  (** uppercase variable *)
   | Func of string * t list  (** compound term / arithmetic expression *)
+
+val const : string -> t
+val int : int -> t
+val str : string -> t
+val var : string -> t
+val func : string -> t list -> t
+
+val hash : t -> int
+(** The precomputed structural hash: O(1), deterministic across runs. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+(** Structural order, independent of interning (canonical across
+    processes). *)
+
 val is_ground : t -> bool
 val vars : t -> string list
 (** Variables in order of first occurrence, without duplicates. *)
@@ -18,18 +48,30 @@ val vars : t -> string list
 type subst = (string * t) list
 
 val substitute : subst -> t -> t
+(** O(1) on ground terms. *)
 
 val eval : t -> t
 (** Normalize a ground term by evaluating arithmetic function symbols over
-    integer arguments; non-arithmetic structure is preserved. Raises
-    [Invalid_argument] on arithmetic over non-integers, division by zero, or
-    a non-ground term. *)
+    integer arguments; non-arithmetic structure is preserved. O(1) on
+    normal (ground, arithmetic-free) terms. Raises [Invalid_argument] on
+    arithmetic over non-integers, division by zero, or a non-ground
+    term. *)
 
 val eval_int : t -> int option
 (** [Some n] when {!eval} yields [Int n]. *)
 
 val arith_ops : string list
 (** Function symbols interpreted arithmetically by {!eval}. *)
+
+val intern_string : string -> string
+(** Per-domain string pool shared with predicate symbols: returns the
+    canonical copy of [s], so equality between two interned strings hits
+    the physical-equality fast path. *)
+
+val rehydrate : t -> t
+(** Re-intern a term whose sharing was lost (e.g. after [Marshal]):
+    returns the arena's canonical copy, rebuilding through the smart
+    constructors. Structural equality is unaffected. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -72,7 +72,7 @@ let refine_spec ?(levels = default_levels) ?(entries = default_entries)
     | `Increment -> topology ^ routing_rules
   in
   let entry_atom c =
-    Asp.Atom.make "entry" [ Asp.Term.Const (candidate_entry c) ]
+    Asp.Atom.make "entry" [ Asp.Term.const (candidate_entry c) ]
   in
   let mode =
     match mode with
@@ -82,7 +82,7 @@ let refine_spec ?(levels = default_levels) ?(entries = default_entries)
             let mine = candidate_entry c in
             List.init entries (fun i ->
                 let e = entry_const (i + 1) in
-                (Asp.Atom.make "entry" [ Asp.Term.Const e ], String.equal e mine)))
+                (Asp.Atom.make "entry" [ Asp.Term.const e ], String.equal e mine)))
     | `Increment ->
         Cegar.Inc.Increment
           (fun c ->
@@ -194,7 +194,7 @@ let frontier_measure = function
   | [ m ] ->
       List.fold_left
         (fun acc (c, w) ->
-          if Asp.Model.holds m (Asp.Atom.make "error" [ Asp.Term.Const c ])
+          if Asp.Model.holds m (Asp.Atom.make "error" [ Asp.Term.const c ])
           then acc + w
           else acc)
         0 weights

@@ -329,7 +329,7 @@ let water_tank_measure = function
           let atom =
             Asp.Atom.make "violated"
               [
-                Asp.Term.Const
+                Asp.Term.const
                   (String.lowercase_ascii req.Epa.Requirement.id);
               ]
           in

@@ -47,7 +47,7 @@ let verdicts (r : Engine.Job.result) =
         (fun (req : Epa.Requirement.t) ->
           let atom =
             Asp.Atom.make "violated"
-              [ Asp.Term.Const (String.lowercase_ascii req.Epa.Requirement.id) ]
+              [ Asp.Term.const (String.lowercase_ascii req.Epa.Requirement.id) ]
           in
           (req.Epa.Requirement.id, Asp.Model.holds m atom))
         Water_tank.requirements
@@ -115,7 +115,7 @@ let affected (r : Engine.Job.result) =
       Asp.Model.by_predicate m "affected"
       |> List.filter_map (fun (a : Asp.Atom.t) ->
              match a.Asp.Atom.args with
-             | [ Asp.Term.Const c ] -> Some c
+             | [ { Asp.Term.node = Asp.Term.Const c; _ } ] -> Some c
              | _ -> None)
       |> List.sort_uniq String.compare
   | models ->

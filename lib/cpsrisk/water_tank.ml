@@ -411,7 +411,7 @@ let asp_verdicts ?horizon ~scenario () =
         (fun (r : Epa.Requirement.t) ->
           let atom =
             Asp.Atom.make "violated"
-              [ Asp.Term.Const (String.lowercase_ascii r.Epa.Requirement.id) ]
+              [ Asp.Term.const (String.lowercase_ascii r.Epa.Requirement.id) ]
           in
           (r.Epa.Requirement.id, Asp.Model.holds m atom))
         requirements
@@ -448,7 +448,7 @@ let asp_critical_scenario ?(horizon = 12) ?(mitigations = []) () =
         Asp.Model.by_predicate m pred
         |> List.filter_map (fun (a : Asp.Atom.t) ->
                match a.Asp.Atom.args with
-               | [ Asp.Term.Const c ] -> Some (String.uppercase_ascii c)
+               | [ { Asp.Term.node = Asp.Term.Const c; _ } ] -> Some (String.uppercase_ascii c)
                | _ -> None)
         |> List.sort String.compare
       in
@@ -549,7 +549,7 @@ let joint_facts () =
   Buffer.contents buf
 
 let joint_requirement_rules ~horizon =
-  let svar = Asp.Term.Var "S" in
+  let svar = Asp.Term.var "S" in
   let context =
     {
       Telingo.Compile.params = [ svar ];
@@ -574,7 +574,7 @@ let joint_requirement_rules ~horizon =
       in
       let violated =
         Asp.Rule.rule
-          (Asp.Atom.make "violated" [ svar; Asp.Term.Const rid ])
+          (Asp.Atom.make "violated" [ svar; Asp.Term.const rid ])
           [ Asp.Lit.Pos (Asp.Atom.make "scenario" [ svar ]); Asp.Lit.Neg root ]
       in
       Asp.Program.append acc (Asp.Program.add violated rules))
@@ -603,7 +603,7 @@ let asp_optimal_mitigations ?horizon ?budget () =
         Asp.Model.by_predicate m "chosen"
         |> List.filter_map (fun (a : Asp.Atom.t) ->
                match a.Asp.Atom.args with
-               | [ Asp.Term.Const mid ] -> Some (String.uppercase_ascii mid)
+               | [ { Asp.Term.node = Asp.Term.Const mid; _ } ] -> Some (String.uppercase_ascii mid)
                | _ -> None)
         |> List.sort String.compare
       in

@@ -25,14 +25,13 @@ let fold_opt_int h = function
   | None -> byte h 0
   | Some n -> fold_int (byte h 1) n
 
-let rec fold_term h = function
-  | Asp.Term.Const c -> fold_string (byte h 1) c
-  | Asp.Term.Int n -> fold_int (byte h 2) n
-  | Asp.Term.Str s -> fold_string (byte h 3) s
-  | Asp.Term.Var v -> fold_string (byte h 4) v
-  | Asp.Term.Func (f, args) -> fold_terms (fold_string (byte h 5) f) args
+(* Terms are hash-consed with a structural, process-independent key
+   ({!Asp.Term.hash}): folding the precomputed key is O(1) per term and
+   hashes the same content as the former deep traversal did (the key is
+   itself an FNV fold of the node structure). *)
+let fold_term h t = fold_int h (Asp.Term.hash t)
 
-and fold_terms h ts = List.fold_left fold_term (fold_int h (List.length ts)) ts
+let fold_terms h ts = List.fold_left fold_term (fold_int h (List.length ts)) ts
 
 let fold_atom h (a : Asp.Atom.t) =
   fold_terms (fold_string h a.Asp.Atom.pred) a.Asp.Atom.args

@@ -172,8 +172,8 @@ let check_arities rules =
 
 (* variable occurrences with multiplicity, everywhere in the rule *)
 let rule_var_occurrences r =
-  let rec term t acc =
-    match t with
+  let rec term (t : Asp.Term.t) acc =
+    match t.Asp.Term.node with
     | Asp.Term.Var v -> v :: acc
     | Asp.Term.Func (_, args) -> List.fold_left (fun acc t -> term t acc) acc args
     | Asp.Term.Const _ | Asp.Term.Int _ | Asp.Term.Str _ -> acc
@@ -301,8 +301,8 @@ let check_function_recursion p rules =
     | Some i, Some j -> i = j
     | _ -> false
   in
-  let nonground_func t =
-    match t with
+  let nonground_func (t : Asp.Term.t) =
+    match t.Asp.Term.node with
     | Asp.Term.Func _ -> Asp.Term.vars t <> []
     | Asp.Term.Const _ | Asp.Term.Int _ | Asp.Term.Str _ | Asp.Term.Var _ ->
         false
@@ -334,8 +334,8 @@ let check_function_recursion p rules =
 
 (* can a head atom pattern produce an instance of the requirement's encoded
    atom pattern? variables (and arithmetic) unify with anything *)
-let rec compatible t u =
-  match t, u with
+let rec compatible (t : Asp.Term.t) (u : Asp.Term.t) =
+  match t.Asp.Term.node, u.Asp.Term.node with
   | Asp.Term.Var _, _ | _, Asp.Term.Var _ -> true
   | Asp.Term.Func (f, ts), Asp.Term.Func (g, us) ->
       f = g && List.length ts = List.length us && List.for_all2 compatible ts us
@@ -343,8 +343,10 @@ let rec compatible t u =
   | _ -> Asp.Term.equal t u
 
 let atom_display (a : Asp.Atom.t) =
-  let arg t =
-    match t with Asp.Term.Var _ -> "_" | t -> Asp.Term.to_string t
+  let arg (t : Asp.Term.t) =
+    match t.Asp.Term.node with
+    | Asp.Term.Var _ -> "_"
+    | _ -> Asp.Term.to_string t
   in
   match a.Asp.Atom.args with
   | [] -> a.Asp.Atom.pred

@@ -31,9 +31,15 @@ let load t ?frontier ~name ~backend spec =
   (* preparing (fingerprint + base grounding) is the expensive part and is
      done outside the lock: a slow load must not block lookups *)
   let prepared = Engine.Job.prepare spec in
+  (* disk-promoted values went through Marshal, which bypasses the term
+     arena: re-intern their models so they share structure (and the O(1)
+     equality fast paths) with atoms built by this process *)
+  let rehydrate (models, ss, gs) =
+    (List.map Asp.Model.rehydrate models, ss, gs)
+  in
   let cache =
     Engine.Cache.create
-      ?persist:(Option.map Store.persist t.store)
+      ?persist:(Option.map (Store.persist ~rehydrate) t.store)
       ()
   in
   let entry =

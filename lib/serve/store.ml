@@ -1,5 +1,14 @@
 let magic = "cpsrisk-store"
-let version = 1
+
+(* Format history:
+   1 — original entry format.
+   2 — [Asp.Term.t] became a hash-consed record; marshalled payloads
+       containing terms changed layout, so every v1 entry is unreadable
+       as the new type. Reading a v1 entry as v2 would not fail Marshal
+       (the type is erased) — it would produce garbage — hence the bump:
+       v1 entries are classified [Corrupt "stale format version"] and
+       deleted on first touch. *)
+let version = 2
 let manifest_magic = "cpsrisk-manifest"
 let manifest_name = "manifest"
 let entry_suffix = ".ent"
@@ -344,9 +353,10 @@ let close t =
         write_manifest_unlocked t
       end)
 
-let persist t =
+let persist ?rehydrate t =
+  let rehydrate = Option.value ~default:Fun.id rehydrate in
   {
-    Engine.Cache.load = (fun key -> find t key);
+    Engine.Cache.load = (fun key -> Option.map rehydrate (find t key));
     Engine.Cache.store =
       (fun key v -> try store t key v with _ -> ());
   }

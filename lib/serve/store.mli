@@ -88,7 +88,14 @@ val close : 'a t -> unit
     open file descriptors between operations, so there is nothing else to
     release. *)
 
-val persist : 'a t -> 'a Engine.Cache.persist
+val persist : ?rehydrate:('a -> 'a) -> 'a t -> 'a Engine.Cache.persist
 (** Adapter: use this store as the persistent tier of an
     {!Engine.Cache}. The [store] direction swallows exceptions — a broken
-    disk degrades the cache to memory-only instead of failing sweeps. *)
+    disk degrades the cache to memory-only instead of failing sweeps.
+
+    [rehydrate] is applied to every loaded value. Unmarshalling bypasses
+    the smart constructors of hash-consed types ({!Asp.Term.t}): loaded
+    terms are structurally correct but not interned, so they miss the
+    pointer-equality fast paths and O(1) hashes until re-interned. Pass
+    the value's re-interning pass (e.g. {!Asp.Model.rehydrate} over each
+    model) to restore full sharing on the promotion path. *)

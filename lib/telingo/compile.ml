@@ -23,15 +23,16 @@ let default_encoding atom time_term =
   in
   Asp.Lit.Pos
     (Asp.Atom.make "holds"
-       [ Asp.Term.Const (sanitize var); Asp.Term.Const (sanitize value); time_term ])
+       [ Asp.Term.const (sanitize var); Asp.Term.const (sanitize value); time_term ])
 
 (* internal time variables; deliberately unusual names so context
    parameters cannot capture them *)
-let tvar = Asp.Term.Var "TLT_NOW"
-let svar = Asp.Term.Var "TLT_NEXT"
+let tvar = Asp.Term.var "TLT_NOW"
+let svar = Asp.Term.var "TLT_NEXT"
 let time_lit t = Asp.Lit.Pos (Asp.Atom.make "time" [ t ])
-let succ_assign = Asp.Lit.Cmp (svar, Asp.Lit.Eq, Asp.Term.Func ("+", [ tvar; Asp.Term.Int 1 ]))
-let at_last horizon = Asp.Lit.Cmp (tvar, Asp.Lit.Eq, Asp.Term.Int horizon)
+let succ_assign =
+  Asp.Lit.Cmp (svar, Asp.Lit.Eq, Asp.Term.func "+" [ tvar; Asp.Term.int 1 ])
+let at_last horizon = Asp.Lit.Cmp (tvar, Asp.Lit.Eq, Asp.Term.int horizon)
 
 type context = {
   params : Asp.Term.t list;
@@ -103,29 +104,29 @@ let formula ?(prefix = "f") ?(encode = default_encoding)
   in
   let root_name = go f in
   ( Asp.Program.of_rules (List.rev !rules),
-    Asp.Atom.make root_name (context.params @ [ Asp.Term.Int 0 ]) )
+    Asp.Atom.make root_name (context.params @ [ Asp.Term.int 0 ]) )
 
 let encoded_atoms ?(encode = default_encoding) f =
   List.map (fun a -> (a, encode a tvar)) (Ltl.Formula.atoms f)
 
 let violated_rule ~requirement ~root =
   Asp.Rule.rule
-    (Asp.Atom.make "violated" [ Asp.Term.Const (sanitize requirement) ])
+    (Asp.Atom.make "violated" [ Asp.Term.const (sanitize requirement) ])
     [ Asp.Lit.Neg root ]
 
 let trace_facts trace =
   let facts = ref [] in
   let n = Ltl.Trace.length trace in
   for t = 0 to n - 1 do
-    facts := Asp.Rule.fact (Asp.Atom.make "time" [ Asp.Term.Int t ]) :: !facts;
+    facts := Asp.Rule.fact (Asp.Atom.make "time" [ Asp.Term.int t ]) :: !facts;
     List.iter
       (fun (var, value) ->
         facts :=
           Asp.Rule.fact
             (Asp.Atom.make "holds"
                [
-                 Asp.Term.Const (sanitize var); Asp.Term.Const (sanitize value);
-                 Asp.Term.Int t;
+                 Asp.Term.const (sanitize var); Asp.Term.const (sanitize value);
+                 Asp.Term.int t;
                ])
           :: !facts)
       (Qual.Qstate.to_list (Ltl.Trace.state trace t))

@@ -99,7 +99,7 @@ let sanitize s =
       else '_')
     s
 
-let const s = Asp.Term.Const (sanitize s)
+let const s = Asp.Term.const (sanitize s)
 let fact pred args = Asp.Rule.fact (Asp.Atom.make pred args)
 let level_int l = Qual.Level.to_index l + 1
 
@@ -115,7 +115,7 @@ let asp_facts ~components =
     [
       fact "mitigation" [ const m.Attck.mid ];
       fact "mitigation_cost"
-        [ const m.Attck.mid; Asp.Term.Int (level_int m.Attck.cost_hint) ];
+        [ const m.Attck.mid; Asp.Term.int (level_int m.Attck.cost_hint) ];
     ]
   in
   let mitigates_facts (t : Attck.technique) =
@@ -132,7 +132,7 @@ let asp_facts ~components =
             [
               const cid;
               const threat.technique.Attck.id;
-              Asp.Term.Int (level_int threat.severity);
+              Asp.Term.int (level_int threat.severity);
             ];
         ])
       (threats_for_type ty)

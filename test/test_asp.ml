@@ -23,11 +23,11 @@ let models_as_strings models = List.map model_strings models
 
 let test_term_eval () =
   let t = Asp.Parser.parse_term "1+2*3" in
-  check term_testable "precedence" (Asp.Term.Int 7) (Asp.Term.eval t);
+  check term_testable "precedence" (Asp.Term.int 7) (Asp.Term.eval t);
   let t = Asp.Parser.parse_term "(1+2)*3" in
-  check term_testable "parens" (Asp.Term.Int 9) (Asp.Term.eval t);
+  check term_testable "parens" (Asp.Term.int 9) (Asp.Term.eval t);
   let t = Asp.Parser.parse_term "-4" in
-  check term_testable "negative" (Asp.Term.Int (-4)) (Asp.Term.eval t);
+  check term_testable "negative" (Asp.Term.int (-4)) (Asp.Term.eval t);
   check (Alcotest.option Alcotest.int) "eval_int" (Some 10)
     (Asp.Term.eval_int (Asp.Parser.parse_term "20/2"))
 
@@ -35,13 +35,13 @@ let test_term_eval_errors () =
   (match Asp.Term.eval (Asp.Parser.parse_term "1/0") with
   | exception Invalid_argument _ -> ()
   | _ -> fail "division by zero accepted");
-  match Asp.Term.eval (Asp.Term.Var "X") with
+  match Asp.Term.eval (Asp.Term.var "X") with
   | exception Invalid_argument _ -> ()
   | _ -> fail "non-ground eval accepted"
 
 let test_term_substitute () =
   let t = Asp.Parser.parse_term "f(X, g(Y), X)" in
-  let s = [ ("X", Asp.Term.Int 1); ("Y", Asp.Term.Const "a") ] in
+  let s = [ ("X", Asp.Term.int 1); ("Y", Asp.Term.const "a") ] in
   check term_testable "substitution"
     (Asp.Parser.parse_term "f(1, g(a), 1)")
     (Asp.Term.substitute s t)
@@ -127,7 +127,7 @@ let test_parse_strings_and_negatives () =
   | [ a ] ->
       check atom_testable "string arg"
         (Asp.Atom.make "label"
-           [ Asp.Term.Const "c"; Asp.Term.Str "Engineering Workstation" ])
+           [ Asp.Term.const "c"; Asp.Term.str "Engineering Workstation" ])
         a
   | _ -> fail "expected a fact"
 

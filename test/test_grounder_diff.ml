@@ -163,6 +163,110 @@ let gen_delta rng =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Builtin-heavy and interval-comparison generators                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Rules whose bodies are dominated by builtins — several comparisons and
+   chained assignments per rule over integer-valued predicates — so the
+   pending-builtin discharge order and the builtin-aware index probing
+   carry most of the work. *)
+let gen_builtin_rule rng buf =
+  let int n = Random.State.int rng n in
+  let bool () = Random.State.bool rng in
+  let stmt fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let ops = [| "<"; "<="; ">"; ">="; "!=" |] in
+  let body = ref [ Printf.sprintf "%s(X)" upreds.(int 3) ] in
+  let used = ref [ "X" ] in
+  if bool () then begin
+    body := !body @ [ Printf.sprintf "%s(X,Y)" bpreds.(int 2) ];
+    used := "Y" :: !used
+  end;
+  let pick l = List.nth l (int (List.length l)) in
+  (* one to three comparisons: variable vs constant (the range-probe
+     shape) and variable vs variable *)
+  for _ = 1 to 1 + int 3 do
+    let l = pick !used in
+    let r = if bool () then string_of_int (int 6) else pick !used in
+    body := !body @ [ Printf.sprintf "%s %s %s" l ops.(int 5) r ]
+  done;
+  (* zero to two chained assignments *)
+  let assigned = ref [] in
+  for i = 1 to int 3 do
+    let w = Printf.sprintf "W%d" i in
+    let src =
+      match !assigned with
+      | a :: _ when bool () -> a
+      | _ -> pick !used
+    in
+    let op = if bool () then "+" else "*" in
+    body := !body @ [ Printf.sprintf "%s = %s %s %d" w src op (1 + int 3) ];
+    assigned := w :: !assigned
+  done;
+  let head_arg =
+    match !assigned with w :: _ when bool () -> w | _ -> pick !used
+  in
+  stmt "%s(%s) :- %s." upreds.(int 3) head_arg (String.concat ", " !body)
+
+let gen_builtin_program rng =
+  let int n = Random.State.int rng n in
+  let buf = Buffer.create 512 in
+  gen_facts rng buf (4 + int 5);
+  for _ = 1 to 3 + int 4 do
+    gen_builtin_rule rng buf
+  done;
+  Buffer.contents buf
+
+(* Interval-comparison joins over dense integer ranges: the enumerated
+   literal's only variable is bounded by comparisons against constants or
+   against already-bound variables — exactly the shape the grounder's
+   range tier narrows. A sparse integer predicate rides along so missing
+   buckets and partial ranges are hit too. *)
+let gen_interval_program rng =
+  let int n = Random.State.int rng n in
+  let bool () = Random.State.bool rng in
+  let buf = Buffer.create 512 in
+  let stmt fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let n = 8 + int 17 in
+  stmt "m(1..%d)." (4 + int 8);
+  stmt "n(1..%d)." n;
+  for _ = 1 to 3 + int 4 do
+    stmt "s(%d)." (1 + int (2 * n))
+  done;
+  let ops = [| "<"; "<="; ">"; ">=" |] in
+  for _ = 1 to 3 + int 4 do
+    let second = if bool () then "n" else "s" in
+    let guards =
+      Printf.sprintf "Y %s X" ops.(int 4)
+      ::
+      (if bool () then [ Printf.sprintf "Y %s %d" ops.(int 4) (1 + int n) ]
+       else [])
+    in
+    stmt "j%d(X,Y) :- m(X), %s(Y), %s." (int 5) second
+      (String.concat ", " guards)
+  done;
+  (* interval membership between two constants *)
+  for _ = 1 to 1 + int 3 do
+    let a = 1 + int n and b = 1 + int n in
+    stmt "in%d(Y) :- n(Y), Y >= %d, Y <= %d." (int 3) (min a b) (max a b)
+  done;
+  (* recursion through an interval guard *)
+  if bool () then stmt "r(1). r(X+1) :- r(X), X < %d." (3 + int 10);
+  Buffer.contents buf
+
+(* increments over the interval vocabulary: new sparse facts, sometimes a
+   widened dense range or a fresh guarded rule *)
+let gen_interval_delta rng =
+  let int n = Random.State.int rng n in
+  let buf = Buffer.create 128 in
+  let stmt fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  for _ = 1 to 2 + int 3 do
+    stmt "s(%d)." (1 + int 40)
+  done;
+  if int 2 = 0 then stmt "n(%d..%d)." (20 + int 5) (26 + int 6);
+  if int 2 = 0 then stmt "k%d(Y) :- n(Y), Y > %d." (int 3) (int 20);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* One-shot grounding: bit-for-bit parity                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -211,6 +315,18 @@ let test_diff_seeded () =
   for seed = 0 to 199 do
     let rng = Random.State.make [| 0x96D; seed |] in
     diff_one (gen_program rng)
+  done
+
+let test_diff_builtin_seeded () =
+  for seed = 0 to 99 do
+    let rng = Random.State.make [| 0xB17; seed |] in
+    diff_one (gen_builtin_program rng)
+  done
+
+let test_diff_interval_seeded () =
+  for seed = 0 to 99 do
+    let rng = Random.State.make [| 0x1A7; seed |] in
+    diff_one (gen_interval_program rng)
   done
 
 let corners =
@@ -402,6 +518,22 @@ let test_extend_seeded () =
     extend_one base delta
   done
 
+let test_extend_builtin_seeded () =
+  for seed = 0 to 59 do
+    let rng = Random.State.make [| 0xB1E; seed |] in
+    let base = gen_builtin_program rng in
+    (* gen_delta shares the p/q/t/r/e vocabulary, so increments feed the
+       builtin-heavy rules *)
+    extend_one base (gen_delta rng)
+  done
+
+let test_extend_interval_seeded () =
+  for seed = 0 to 59 do
+    let rng = Random.State.make [| 0x17E; seed |] in
+    let base = gen_interval_program rng in
+    extend_one base (gen_interval_delta rng)
+  done
+
 let test_extend_corners () =
   List.iter
     (fun (base, delta) -> extend_one base delta)
@@ -566,11 +698,95 @@ let test_extend_prepare_corners () =
        "p(7).");
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel grounding: bit-for-bit vs sequential                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [min_items:1] forces every multi-item fixpoint round through the
+   domain pool, so the partition/merge path is exercised across the whole
+   corpus rather than only on wide rounds. The contract is exact: the
+   parallel grounding is the same Ground.t, bit for bit. *)
+let par = Engine.Pool.grounder_par ~min_items:1 ()
+
+let run_par p =
+  match Asp.Grounder.ground ~max_atoms ~par p with
+  | g -> Grounded g
+  | exception Asp.Grounder.Unsafe _ -> Unsafe
+  | exception Asp.Grounder.Overflow _ -> Overflow
+
+let diff_one_par src =
+  let p = Asp.Parser.parse_program src in
+  match (run_par p, run_new p) with
+  | Grounded ga, Grounded gb ->
+      if not (Asp.Ground.equal ga gb) then
+        fail
+          (Printf.sprintf
+             "parallel grounding diverged on program:\n%s\n--- parallel:\n\
+              %s\n--- sequential:\n%s"
+             src (render ga) (render gb))
+  | Unsafe, Unsafe | Overflow, Overflow -> ()
+  | a, b ->
+      fail
+        (Printf.sprintf
+           "parallel outcome divergence on program:\n%s\n  parallel: %s\n\
+           \  sequential: %s"
+           src (outcome_name a) (outcome_name b))
+
+let test_par_seeded () =
+  for seed = 0 to 199 do
+    let rng = Random.State.make [| 0x96D; seed |] in
+    diff_one_par (gen_program rng)
+  done
+
+let test_par_corners () = List.iter diff_one_par corners
+
+(* prepare/extend under the pool: base grounding and every extension stay
+   bit-for-bit equal to their sequential counterparts *)
+let test_par_prepare_extend () =
+  for seed = 0 to 59 do
+    let rng = Random.State.make [| 0xFA2; seed |] in
+    let base = Asp.Parser.parse_program (gen_program rng) in
+    let delta = Asp.Parser.parse_program (gen_delta rng) in
+    let prep p =
+      match Asp.Grounder.prepare ~max_atoms ?par:p base with
+      | st -> Some st
+      | exception (Asp.Grounder.Unsafe _ | Asp.Grounder.Overflow _) -> None
+    in
+    match (prep (Some par), prep None) with
+    | None, None -> ()
+    | Some _, None | None, Some _ ->
+        fail "parallel prepare outcome diverged from sequential"
+    | Some stp, Some sts -> (
+        if
+          not
+            (Asp.Ground.equal (Asp.Grounder.base stp) (Asp.Grounder.base sts))
+        then fail "parallel prepare grounding diverged from sequential";
+        let ext st p =
+          match Asp.Grounder.extend ?par:p st delta with
+          | g -> Grounded g
+          | exception Asp.Grounder.Unsafe _ -> Unsafe
+          | exception Asp.Grounder.Overflow _ -> Overflow
+        in
+        match (ext stp (Some par), ext sts None) with
+        | Grounded ge, Grounded gs ->
+            if not (Asp.Ground.equal ge gs) then
+              fail "parallel extend diverged from sequential"
+        | Unsafe, Unsafe | Overflow, Overflow -> ()
+        | e, s ->
+            fail
+              (Printf.sprintf "parallel extend outcome %s vs sequential %s"
+                 (outcome_name e) (outcome_name s)))
+  done
+
 let suites =
   [
     ( "asp.grounder_diff",
       [
         Alcotest.test_case "200 seeded random programs" `Quick test_diff_seeded;
+        Alcotest.test_case "builtin-heavy: 100 seeded programs" `Quick
+          test_diff_builtin_seeded;
+        Alcotest.test_case "interval: 100 seeded programs" `Quick
+          test_diff_interval_seeded;
         Alcotest.test_case "corner programs" `Quick test_diff_corners;
         Alcotest.test_case "ordered: 200 seeded random programs" `Quick
           test_ordered_seeded;
@@ -584,6 +800,15 @@ let suites =
           test_extend_seeded;
         Alcotest.test_case "extend vs scratch (corners)" `Quick
           test_extend_corners;
+        Alcotest.test_case "extend vs scratch (60 builtin-heavy)" `Quick
+          test_extend_builtin_seeded;
+        Alcotest.test_case "extend vs scratch (60 interval)" `Quick
+          test_extend_interval_seeded;
+        Alcotest.test_case "parallel: 200 seeded bit-for-bit" `Quick
+          test_par_seeded;
+        Alcotest.test_case "parallel: corner programs" `Quick test_par_corners;
+        Alcotest.test_case "parallel: prepare/extend (60 seeded)" `Quick
+          test_par_prepare_extend;
         Alcotest.test_case "extend reuses base instances" `Quick
           test_extend_reuses;
         Alcotest.test_case "extend_prepare chains vs scratch (80 seeded)"
